@@ -1,0 +1,50 @@
+//! Exhaustive execution: the target labeler on every record (Table 1).
+//!
+//! The most expensive and most accurate option; its cost is the yardstick
+//! TASTI's 10–46× savings are measured against.
+
+use tasti_labeler::{BudgetExhausted, MeteredLabeler, TargetLabeler};
+
+/// Labels every record and returns the per-record query scores.
+///
+/// # Errors
+/// Propagates [`BudgetExhausted`] from the labeler.
+pub fn exhaustive_scores<L: TargetLabeler>(
+    n_records: usize,
+    labeler: &MeteredLabeler<L>,
+    score: impl Fn(&tasti_labeler::LabelerOutput) -> f64,
+) -> Result<Vec<f64>, BudgetExhausted> {
+    (0..n_records).map(|r| labeler.try_label(r).map(|o| score(&o))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasti_data::video::amsterdam;
+    use tasti_data::OracleLabeler;
+    use tasti_labeler::ObjectClass;
+
+    #[test]
+    fn exhaustive_labels_everything_exactly_once() {
+        let p = amsterdam(250, 1);
+        let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(p.dataset.truth_handle()));
+        let scores =
+            exhaustive_scores(250, &labeler, |o| o.count_class(ObjectClass::Car) as f64).unwrap();
+        assert_eq!(scores.len(), 250);
+        assert_eq!(labeler.invocations(), 250);
+        for (i, s) in scores.iter().enumerate() {
+            assert_eq!(*s, p.dataset.ground_truth(i).count_class(ObjectClass::Car) as f64);
+        }
+        // Re-running costs nothing (cache).
+        let _ = exhaustive_scores(250, &labeler, |o| o.count_class(ObjectClass::Car) as f64);
+        assert_eq!(labeler.invocations(), 250);
+    }
+
+    #[test]
+    fn budget_failure_propagates() {
+        let p = amsterdam(100, 2);
+        let labeler =
+            MeteredLabeler::with_budget(OracleLabeler::mask_rcnn(p.dataset.truth_handle()), 50);
+        assert!(exhaustive_scores(100, &labeler, |_| 0.0).is_err());
+    }
+}

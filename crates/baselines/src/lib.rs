@@ -1,0 +1,29 @@
+//! # tasti-baselines
+//!
+//! The baselines TASTI is evaluated against (§6.1):
+//!
+//! * [`tmas`] — BlazeIt's "target-model annotated set": a uniform random
+//!   sample of records annotated by the target labeler, which is both the
+//!   training set for per-query proxies and the index whose construction
+//!   cost Figure 2 compares against.
+//! * [`proxy`] — **per-query proxy models**: a small trainable model fitted
+//!   to the TMAS for each individual query (BlazeIt's "tiny ResNet",
+//!   SUPG's proxies, the WikiSQL logistic regression and Common Voice
+//!   CNN-10 stand-ins). This is the state of the art TASTI replaces.
+//! * [`no_proxy`] — uniform sampling with no proxy at all (the "No proxy"
+//!   bars of Figure 4).
+//! * [`exhaustive`] — running the target labeler on every record (Table 1's
+//!   most expensive column).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exhaustive;
+pub mod no_proxy;
+pub mod proxy;
+pub mod tmas;
+
+pub use exhaustive::exhaustive_scores;
+pub use no_proxy::no_proxy_scores;
+pub use proxy::{train_per_query_proxy, ProxyModelConfig, ProxyTask};
+pub use tmas::{annotate, sample_tmas};

@@ -1,0 +1,38 @@
+//! The "no proxy" baseline: uniform sampling with uninformative scores.
+//!
+//! Proxy-score algorithms degrade gracefully to plain uniform sampling when
+//! every record's proxy score is identical — the control variate vanishes in
+//! aggregation, importance sampling becomes uniform in SUPG, and limit
+//! ranking becomes an arbitrary scan. Figure 4's "No proxy" bars use exactly
+//! this.
+
+/// Constant (uninformative) proxy scores for `n` records.
+pub fn no_proxy_scores(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasti_query::{ebs_aggregate, AggregationConfig};
+
+    #[test]
+    fn constant_scores_have_no_variance_reduction() {
+        let scores = no_proxy_scores(100);
+        assert_eq!(scores.len(), 100);
+        assert!(scores.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn no_proxy_aggregation_degenerates_to_uniform_sampling() {
+        // With constant proxies the control coefficient must be ~0.
+        let truth: Vec<f64> = (0..5000).map(|i| ((i * 31) % 7) as f64).collect();
+        let proxy = no_proxy_scores(5000);
+        let cfg = AggregationConfig { error_target: 0.3, ..Default::default() };
+        let res = ebs_aggregate(&proxy, &mut |r| truth[r], &cfg);
+        assert_eq!(res.control_coefficient, 0.0);
+        assert_eq!(res.rho_squared, 0.0);
+        let mu = truth.iter().sum::<f64>() / truth.len() as f64;
+        assert!((res.estimate - mu).abs() <= 0.3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-query proxy models — the state of the art TASTI replaces (§2.1).
+//!
+//! For every query, BlazeIt/NoScope/SUPG-style systems train a small model
+//! mapping raw record features to that query's score: a regressor for
+//! aggregation (predicted count per frame), a classifier for selection
+//! (probability of matching the predicate). Training data comes from the
+//! TMAS. The three drawbacks the paper lists — expensive training labels,
+//! per-query-type training procedures, no sharing across queries — all
+//! appear naturally in this implementation: the model must be retrained
+//! from scratch for each `(query, dataset)` pair.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tasti_labeler::RecordId;
+use tasti_nn::loss::sigmoid;
+use tasti_nn::train::{fit_classifier, fit_regression};
+use tasti_nn::{Adam, FitConfig, Matrix, Mlp, MlpConfig};
+
+/// Whether the proxy regresses a numeric score or classifies a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyTask {
+    /// Regression on a numeric query score (aggregation, position queries).
+    Regression,
+    /// Binary classification of a predicate (selection, limit queries);
+    /// proxy scores are match probabilities.
+    Classification,
+}
+
+/// Hyperparameters of the per-query proxy model.
+#[derive(Debug, Clone)]
+pub struct ProxyModelConfig {
+    /// Hidden width of the MLP (0 → a pure linear model, the paper's
+    /// logistic-regression baseline for WikiSQL).
+    pub hidden: usize,
+    /// Task type.
+    pub task: ProxyTask,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Seed for weight init and batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for ProxyModelConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            task: ProxyTask::Regression,
+            epochs: 60,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            seed: 1,
+        }
+    }
+}
+
+impl ProxyModelConfig {
+    /// Classification preset.
+    pub fn classifier() -> Self {
+        Self { task: ProxyTask::Classification, ..Self::default() }
+    }
+
+    /// Linear (logistic-regression) preset for the WikiSQL baseline.
+    pub fn linear_classifier() -> Self {
+        Self { hidden: 0, task: ProxyTask::Classification, ..Self::default() }
+    }
+}
+
+/// Trains a per-query proxy on the annotated records and returns proxy
+/// scores for **all** records.
+///
+/// * `features` — raw features of every record (the proxy's input; the
+///   paper's baselines see pixels / FastText embeddings / spectrograms).
+/// * `annotated` — `(record, query_score)` pairs derived from the TMAS by
+///   applying the query's scoring function to each annotation.
+pub fn train_per_query_proxy(
+    features: &Matrix,
+    annotated: &[(RecordId, f64)],
+    config: &ProxyModelConfig,
+) -> Vec<f64> {
+    assert!(!annotated.is_empty(), "need at least one annotated record");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mlp_config = if config.hidden == 0 {
+        MlpConfig::linear(features.cols(), 1)
+    } else {
+        MlpConfig::proxy(features.cols(), config.hidden)
+    };
+    let mut net = Mlp::new(&mlp_config, &mut rng);
+    let mut opt = Adam::new(config.learning_rate);
+    let idx: Vec<usize> = annotated.iter().map(|&(r, _)| r).collect();
+    let train_x = features.select_rows(&idx);
+    let train_y: Vec<f32> = annotated.iter().map(|&(_, s)| s as f32).collect();
+    let fit = FitConfig {
+        epochs: config.epochs,
+        batch_size: config.batch_size,
+        loss_tolerance: 1e-5,
+    };
+    match config.task {
+        ProxyTask::Regression => {
+            fit_regression(&mut net, &train_x, &train_y, &fit, &mut opt, &mut rng);
+        }
+        ProxyTask::Classification => {
+            fit_classifier(&mut net, &train_x, &train_y, &fit, &mut opt, &mut rng);
+        }
+    }
+    let out = net.forward(features);
+    (0..out.rows())
+        .map(|i| {
+            let v = out.get(i, 0);
+            match config.task {
+                ProxyTask::Regression => v as f64,
+                ProxyTask::Classification => sigmoid(v) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tmas::sample_tmas;
+    use tasti_data::video::night_street;
+    use tasti_labeler::ObjectClass;
+    use tasti_nn::metrics::{auc_roc, rho_squared};
+
+    #[test]
+    fn regression_proxy_correlates_with_counts() {
+        let p = night_street(1500, 21);
+        let d = &p.dataset;
+        let tmas = sample_tmas(d.len(), 300, 1);
+        let annotated: Vec<(usize, f64)> = tmas
+            .iter()
+            .map(|&r| (r, d.ground_truth(r).count_class(ObjectClass::Car) as f64))
+            .collect();
+        let proxy = train_per_query_proxy(&d.features, &annotated, &ProxyModelConfig::default());
+        let truth = d.true_scores(|o| o.count_class(ObjectClass::Car) as f64);
+        let rho2 = rho_squared(&proxy, &truth);
+        assert!(rho2 > 0.2, "per-query regression proxy ρ² = {rho2}");
+    }
+
+    #[test]
+    fn classification_proxy_ranks_positives() {
+        let p = night_street(1500, 22);
+        let d = &p.dataset;
+        let tmas = sample_tmas(d.len(), 300, 2);
+        let annotated: Vec<(usize, f64)> = tmas
+            .iter()
+            .map(|&r| {
+                (r, (d.ground_truth(r).count_class(ObjectClass::Car) > 0) as u8 as f64)
+            })
+            .collect();
+        let proxy =
+            train_per_query_proxy(&d.features, &annotated, &ProxyModelConfig::classifier());
+        // Scores are probabilities.
+        assert!(proxy.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        let truth: Vec<bool> =
+            (0..d.len()).map(|i| d.ground_truth(i).count_class(ObjectClass::Car) > 0).collect();
+        let auc = auc_roc(&proxy, &truth);
+        assert!(auc > 0.7, "per-query classifier AUC = {auc}");
+    }
+
+    #[test]
+    fn linear_model_trains_without_hidden_layer() {
+        let features = Matrix::from_fn(200, 4, |r, c| ((r * 4 + c) as f32 * 0.1).sin());
+        let annotated: Vec<(usize, f64)> =
+            (0..100).map(|r| (r, (features.get(r, 0) > 0.0) as u8 as f64)).collect();
+        let proxy =
+            train_per_query_proxy(&features, &annotated, &ProxyModelConfig::linear_classifier());
+        assert_eq!(proxy.len(), 200);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let features = Matrix::from_fn(100, 3, |r, c| (r + c) as f32 * 0.01);
+        let annotated: Vec<(usize, f64)> = (0..50).map(|r| (r, (r % 3) as f64)).collect();
+        let cfg = ProxyModelConfig { epochs: 5, ..Default::default() };
+        let a = train_per_query_proxy(&features, &annotated, &cfg);
+        let b = train_per_query_proxy(&features, &annotated, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one annotated record")]
+    fn empty_tmas_panics() {
+        let features = Matrix::zeros(10, 2);
+        let _ = train_per_query_proxy(&features, &[], &ProxyModelConfig::default());
+    }
+}

@@ -1,0 +1,82 @@
+//! The target-model annotated set (TMAS) of BlazeIt.
+//!
+//! BlazeIt constructs its "index" by executing the target labeler over a
+//! uniform random subset of the data; per-query proxy models are then
+//! trained on it. Figure 2 compares the cost of building this set against
+//! TASTI's full construction.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tasti_labeler::{BudgetExhausted, LabelerOutput, MeteredLabeler, RecordId, TargetLabeler};
+
+/// Uniformly samples `size` distinct records out of `n_records`.
+pub fn sample_tmas(n_records: usize, size: usize, seed: u64) -> Vec<RecordId> {
+    let mut order: Vec<RecordId> = (0..n_records).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order.truncate(size.min(n_records));
+    order
+}
+
+/// Annotates the given records through the metered labeler.
+///
+/// # Errors
+/// Propagates [`BudgetExhausted`] from the labeler.
+pub fn annotate<L: TargetLabeler>(
+    records: &[RecordId],
+    labeler: &MeteredLabeler<L>,
+) -> Result<Vec<LabelerOutput>, BudgetExhausted> {
+    records.iter().map(|&r| labeler.try_label(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasti_data::video::night_street;
+    use tasti_data::OracleLabeler;
+
+    #[test]
+    fn tmas_is_distinct_and_sized() {
+        let recs = sample_tmas(1000, 100, 1);
+        assert_eq!(recs.len(), 100);
+        let mut sorted = recs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+        assert!(sorted.iter().all(|&r| r < 1000));
+    }
+
+    #[test]
+    fn oversized_request_is_clamped() {
+        assert_eq!(sample_tmas(10, 50, 2).len(), 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(sample_tmas(500, 50, 3), sample_tmas(500, 50, 3));
+        assert_ne!(sample_tmas(500, 50, 3), sample_tmas(500, 50, 4));
+    }
+
+    #[test]
+    fn annotate_meters_invocations() {
+        let p = night_street(300, 1);
+        let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(p.dataset.truth_handle()));
+        let recs = sample_tmas(300, 40, 5);
+        let outs = annotate(&recs, &labeler).unwrap();
+        assert_eq!(outs.len(), 40);
+        assert_eq!(labeler.invocations(), 40);
+        for (r, o) in recs.iter().zip(&outs) {
+            assert_eq!(o, p.dataset.ground_truth(*r));
+        }
+    }
+
+    #[test]
+    fn annotate_respects_budget() {
+        let p = night_street(300, 1);
+        let labeler =
+            MeteredLabeler::with_budget(OracleLabeler::mask_rcnn(p.dataset.truth_handle()), 10);
+        let recs = sample_tmas(300, 40, 5);
+        assert!(annotate(&recs, &labeler).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion benchmarks over the full experiment pipeline: dataset
+//! generation, query execution, and the proxy-score paths that every
+//! figure's harness exercises.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tasti_bench::queries::{run_aggregation, run_limit, run_supg};
+use tasti_bench::runner::{BuiltSetting, Method};
+use tasti_bench::settings::setting_by_name;
+use tasti_data::video::night_street;
+
+fn small_built() -> BuiltSetting {
+    let mut s = setting_by_name("night-street");
+    let p = night_street(2_000, 101);
+    s.dataset = p.dataset;
+    s.proxy_features = tasti_data::degraded_view(&s.dataset.features, 10, 0.05, 101);
+    s.config.n_train = 100;
+    s.config.n_reps = 200;
+    s.config.triplet.steps = 100;
+    s.tmas_size = 400;
+    s.limit_threshold = 4.0;
+    s.limit_k = 5;
+    BuiltSetting::build(s)
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    c.bench_function("generate_night_street_2k", |b| {
+        b.iter(|| night_street(black_box(2_000), 7))
+    });
+    c.bench_function("generate_wikisql_2k", |b| {
+        b.iter(|| tasti_data::text::wikisql(black_box(2_000), 7))
+    });
+    c.bench_function("generate_common_voice_2k", |b| {
+        b.iter(|| tasti_data::speech::common_voice(black_box(2_000), 7))
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let built = small_built();
+    c.bench_function("aggregation_query_tasti_t", |b| {
+        b.iter(|| run_aggregation(black_box(&built), Method::TastiT, 1))
+    });
+    c.bench_function("supg_query_tasti_t", |b| {
+        b.iter(|| run_supg(black_box(&built), Method::TastiT, 1))
+    });
+    c.bench_function("limit_query_tasti_t", |b| {
+        b.iter(|| run_limit(black_box(&built), Method::TastiT))
+    });
+}
+
+fn bench_setting_build(c: &mut Criterion) {
+    c.bench_function("build_setting_all_methods_2k", |b| {
+        b.iter_with_large_drop(small_built)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dataset_generation, bench_queries, bench_setting_build
+}
+criterion_main!(benches);

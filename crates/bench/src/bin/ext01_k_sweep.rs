@@ -1,0 +1,6 @@
+//! Extension experiment — see `tasti_bench::experiments::ext01_k_sweep`.
+fn main() {
+    let records = tasti_bench::experiments::ext01_k_sweep::run();
+    let path = tasti_bench::write_json("ext01_k_sweep", &records).expect("write results");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,6 @@
+//! Extension experiment — see `tasti_bench::experiments::ext02_precision_supg`.
+fn main() {
+    let records = tasti_bench::experiments::ext02_precision_supg::run();
+    let path = tasti_bench::write_json("ext02_precision_supg", &records).expect("write results");
+    println!("\nwrote {path}");
+}

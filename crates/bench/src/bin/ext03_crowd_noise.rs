@@ -1,0 +1,6 @@
+//! Extension experiment — see `tasti_bench::experiments::ext03_crowd_noise`.
+fn main() {
+    let records = tasti_bench::experiments::ext03_crowd_noise::run();
+    let path = tasti_bench::write_json("ext03_crowd_noise", &records).expect("write results");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,6 @@
+//! Extension experiment — see `tasti_bench::experiments::ext04_diagnostics`.
+fn main() {
+    let records = tasti_bench::experiments::ext04_diagnostics::run();
+    let path = tasti_bench::write_json("ext04_diagnostics", &records).expect("write results");
+    println!("\nwrote {path}");
+}

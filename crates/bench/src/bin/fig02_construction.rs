@@ -1,0 +1,6 @@
+//! Regenerates fig02 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig02_construction::run();
+    let path = tasti_bench::write_json("fig02_construction", &records).expect("write results");
+    println!("\nwrote {path}");
+}

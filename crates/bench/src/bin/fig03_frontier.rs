@@ -1,0 +1,6 @@
+//! Regenerates fig03 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig03_frontier::run();
+    let path = tasti_bench::write_json("fig03_frontier", &records).expect("write results");
+    println!("\nwrote {path}");
+}

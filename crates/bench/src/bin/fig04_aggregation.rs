@@ -1,0 +1,6 @@
+//! Regenerates fig04 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig04_aggregation::run();
+    let path = tasti_bench::write_json("fig04_aggregation", &records).expect("write results");
+    println!("\nwrote {path}");
+}

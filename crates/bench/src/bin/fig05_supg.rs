@@ -1,0 +1,6 @@
+//! Regenerates fig05 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig05_supg::run();
+    let path = tasti_bench::write_json("fig05_supg", &records).expect("write results");
+    println!("\nwrote {path}");
+}

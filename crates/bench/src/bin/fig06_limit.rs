@@ -1,0 +1,6 @@
+//! Regenerates fig06 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig06_limit::run();
+    let path = tasti_bench::write_json("fig06_limit", &records).expect("write results");
+    println!("\nwrote {path}");
+}

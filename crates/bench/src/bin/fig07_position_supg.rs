@@ -1,0 +1,6 @@
+//! Regenerates fig07 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig07_position_supg::run();
+    let path = tasti_bench::write_json("fig07_position_supg", &records).expect("write results");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig08 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig08_position_agg::run();
+    let path = tasti_bench::write_json("fig08_position_agg", &records).expect("write results");
+    println!("\nwrote {path}");
+}

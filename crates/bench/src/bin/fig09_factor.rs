@@ -1,0 +1,6 @@
+//! Regenerates fig09 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig09_factor::run();
+    let path = tasti_bench::write_json("fig09_factor", &records).expect("write results");
+    println!("\nwrote {path}");
+}

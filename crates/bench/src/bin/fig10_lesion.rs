@@ -1,0 +1,6 @@
+//! Regenerates fig10 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig10_lesion::run();
+    let path = tasti_bench::write_json("fig10_lesion", &records).expect("write results");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig11 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig11_reps_sweep::run();
+    let path = tasti_bench::write_json("fig11_reps_sweep", &records).expect("write results");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig12 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig12_train_sweep::run();
+    let path = tasti_bench::write_json("fig12_train_sweep", &records).expect("write results");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig13 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::fig13_dim_sweep::run();
+    let path = tasti_bench::write_json("fig13_dim_sweep", &records).expect("write results");
+    println!("\nwrote {path}");
+}

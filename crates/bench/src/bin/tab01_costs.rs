@@ -1,0 +1,6 @@
+//! Regenerates tab01 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::tab01_costs::run();
+    let path = tasti_bench::write_json("tab01_costs", &records).expect("write results");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates tab02 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::tab02_noguarantee::run();
+    let path = tasti_bench::write_json("tab02_noguarantee", &records).expect("write results");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates tab03 of the paper. See `tasti_bench::experiments`.
+fn main() {
+    let records = tasti_bench::experiments::tab03_cracking::run();
+    let path = tasti_bench::write_json("tab03_cracking", &records).expect("write results");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,50 @@
+//! Extension experiment: sensitivity to the propagation parameter `k`.
+//!
+//! §5.3 notes the analysis covers `k = 1` while the system defaults to
+//! `k = 5`; the paper does not plot a k-sweep. This experiment fills that
+//! gap: aggregation proxy quality (ρ²) and limit performance on
+//! night-street as `k` varies. Expected shape: moderate `k` smooths noise
+//! and helps aggregation; limit queries prefer `k = 1` (§6.3 uses exactly
+//! that), since smoothing dilutes rare high scores.
+
+use crate::report::ExperimentRecord;
+use crate::runner::BuiltSetting;
+use crate::settings::setting_by_name;
+use tasti_nn::metrics::rho_squared;
+use tasti_query::{ebs_aggregate, AggregationConfig, StoppingRule};
+
+/// Propagation depths swept.
+pub const KS: [usize; 5] = [1, 2, 5, 10, 20];
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let mut setting = setting_by_name("night-street");
+    setting.config.k = KS[KS.len() - 1]; // store enough neighbors for all sweeps
+    let built = BuiltSetting::build(setting);
+    let agg = built.setting.agg_score.clone();
+    let truth = built.truth(agg.as_ref());
+
+    let mut records = Vec::new();
+    println!("\n=== Extension 1: propagation k vs performance (night-street) ===");
+    println!("{:<8}{:>12}{:>16}", "k", "agg rho2", "agg calls");
+    for k in KS {
+        let proxy = built.index_t.propagate_with_k(agg.as_ref(), k);
+        let rho2 = rho_squared(&proxy, &truth);
+        let cfg = AggregationConfig {
+            error_target: built.setting.agg_error,
+            stopping: StoppingRule::Clt,
+            seed: built.setting.seed,
+            ..Default::default()
+        };
+        let res = ebs_aggregate(&proxy, &mut |r| truth[r], &cfg);
+        println!("{k:<8}{rho2:>12.3}{:>16}", res.samples);
+        records.push(ExperimentRecord::new(
+            "ext01", "night-street", "TASTI-T", "rho2", rho2, format!("k={k}"),
+        ));
+        records.push(ExperimentRecord::new(
+            "ext01", "night-street", "TASTI-T", "agg_target_calls",
+            res.samples as f64, format!("k={k}"),
+        ));
+    }
+    records
+}

@@ -1,0 +1,62 @@
+//! Extension experiment: validating the label-free index diagnostics.
+//!
+//! `tasti_core::diagnostics::loo_quality` estimates proxy quality by
+//! leave-one-out cross-validation over the representatives — zero extra
+//! target-labeler calls. This experiment checks the estimate against the
+//! true (ground-truth) ρ² across all six settings and both TASTI variants:
+//! the estimate must *rank* configurations correctly (that is its job when
+//! choosing between candidate indexes), and stay on the conservative side.
+
+use crate::report::ExperimentRecord;
+use crate::runner::BuiltSetting;
+use crate::settings::all_settings;
+use tasti_core::diagnostics::loo_quality;
+use tasti_nn::metrics::rho_squared;
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    println!("\n=== Extension 4: label-free diagnostics vs ground truth ===");
+    println!("{:<16}{:>12}{:>12}{:>12}{:>12}", "setting", "LOO (T)", "true (T)", "LOO (PT)", "true (PT)");
+    let mut rank_correct = 0usize;
+    let mut rank_total = 0usize;
+    for setting in all_settings() {
+        let name = setting.name;
+        let built = BuiltSetting::build(setting);
+        let agg = built.setting.agg_score.clone();
+        let truth = built.truth(agg.as_ref());
+
+        let loo_t = loo_quality(&built.index_t, agg.as_ref()).rho_squared;
+        let true_t = rho_squared(&built.index_t.propagate(agg.as_ref()), &truth);
+        let loo_pt = loo_quality(&built.index_pt, agg.as_ref()).rho_squared;
+        let true_pt = rho_squared(&built.index_pt.propagate(agg.as_ref()), &truth);
+        println!("{name:<16}{loo_t:>12.3}{true_t:>12.3}{loo_pt:>12.3}{true_pt:>12.3}");
+
+        rank_total += 1;
+        if (loo_t >= loo_pt) == (true_t >= true_pt) {
+            rank_correct += 1;
+        }
+        for (variant, loo, truth_v) in
+            [("TASTI-T", loo_t, true_t), ("TASTI-PT", loo_pt, true_pt)]
+        {
+            records.push(ExperimentRecord::new(
+                "ext04",
+                name,
+                variant,
+                "loo_rho2",
+                loo,
+                format!("true_rho2={truth_v:.4}"),
+            ));
+        }
+    }
+    println!("diagnostic ranked T-vs-PT correctly on {rank_correct}/{rank_total} settings");
+    records.push(ExperimentRecord::new(
+        "ext04",
+        "all",
+        "diagnostics",
+        "rank_accuracy",
+        rank_correct as f64 / rank_total.max(1) as f64,
+        "",
+    ));
+    records
+}

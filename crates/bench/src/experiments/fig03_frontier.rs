@@ -1,0 +1,91 @@
+//! Figure 3: index-construction cost vs aggregation query performance.
+//!
+//! Sweeps TASTI's construction budget (N₁, N₂) and BlazeIt's TMAS size, and
+//! plots (construction cost in simulated seconds, query-time target labeler
+//! invocations) points.
+//!
+//! Paper result: TASTI matches or beats BlazeIt's query performance at up to
+//! 10× lower construction cost — its frontier strictly dominates.
+
+use crate::queries::run_aggregation;
+use crate::report::ExperimentRecord;
+use crate::runner::{per_query_proxy_scores, BuiltSetting, QueryKind};
+use crate::settings::setting_by_name;
+use tasti_baselines::sample_tmas;
+use tasti_labeler::CostModel;
+use tasti_query::{ebs_aggregate, AggregationConfig, StoppingRule};
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let cost = CostModel::mask_rcnn();
+    let mut records = Vec::new();
+    println!("\n=== Figure 3: construction cost vs aggregation performance (night-street) ===");
+    println!("{:<26}{:>18}{:>16}", "configuration", "construction (s)", "query calls");
+
+    // TASTI sweep over (N₁, N₂).
+    for (n_train, n_reps) in [(100, 200), (200, 400), (300, 800), (500, 1600), (800, 2400)] {
+        let mut setting = setting_by_name("night-street");
+        setting.config.n_train = n_train;
+        setting.config.n_reps = n_reps;
+        let built = BuiltSetting::build(setting);
+        let r = &built.report_t;
+        let construction = cost.target.times(r.total_invocations).seconds
+            + cost.embedding.times(r.training_forward_rows + r.n_records as u64).seconds
+            + cost.distance.times(r.distance_computations).seconds;
+        let out = run_aggregation(&built, crate::runner::Method::TastiT, 1);
+        println!(
+            "{:<26}{:>18.1}{:>16}",
+            format!("TASTI {n_train}/{n_reps}"),
+            construction,
+            out.calls
+        );
+        records.push(ExperimentRecord::new(
+            "fig03",
+            "night-street",
+            "TASTI-T",
+            "frontier",
+            out.calls as f64,
+            format!("n_train={n_train} n_reps={n_reps} construction_s={construction:.1}"),
+        ));
+    }
+
+    // BlazeIt sweep over TMAS size (one build of the dataset reused).
+    let setting = setting_by_name("night-street");
+    let truth = setting.dataset.true_scores(|o| setting.agg_score.score(o));
+    for tmas_size in [300usize, 600, 1200, 2400, 4800] {
+        let tmas = sample_tmas(setting.dataset.len(), tmas_size, setting.seed ^ 0x7);
+        let proxy = per_query_proxy_scores(
+            &setting.proxy_features,
+            &setting.dataset,
+            setting.agg_score.as_ref(),
+            &tmas,
+            QueryKind::Aggregation,
+            setting.limit_threshold,
+            setting.seed ^ 0x51,
+        );
+        let config = AggregationConfig {
+            error_target: setting.agg_error,
+            confidence: 0.95,
+            stopping: StoppingRule::Clt,
+            seed: setting.seed,
+            ..Default::default()
+        };
+        let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
+        let construction = cost.target.times(tmas_size as u64).seconds;
+        println!(
+            "{:<26}{:>18.1}{:>16}",
+            format!("BlazeIt TMAS={tmas_size}"),
+            construction,
+            res.samples
+        );
+        records.push(ExperimentRecord::new(
+            "fig03",
+            "night-street",
+            "BlazeIt",
+            "frontier",
+            res.samples as f64,
+            format!("tmas={tmas_size} construction_s={construction:.1}"),
+        ));
+    }
+    records
+}

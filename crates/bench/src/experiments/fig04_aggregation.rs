@@ -1,0 +1,52 @@
+//! Figure 4: target-labeler invocations for approximate aggregation with
+//! statistical guarantees (BlazeIt EBS), six settings × four methods.
+//!
+//! Paper result: TASTI outperforms everywhere; TASTI-T beats per-query
+//! proxies by up to 2× and no-proxy by up to 3×; all methods hit the error
+//! target.
+
+use crate::queries::run_aggregation;
+use crate::report::{print_matrix, ExperimentRecord};
+use crate::runner::{BuiltSetting, Method};
+use crate::settings::all_settings;
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for setting in all_settings() {
+        let name = setting.name;
+        let built = BuiltSetting::build(setting);
+        let mut cells = Vec::new();
+        for method in Method::ALL {
+            let out = run_aggregation(&built, method, 1);
+            records.push(ExperimentRecord::new(
+                "fig04",
+                name,
+                method.label(),
+                "target_calls",
+                out.calls as f64,
+                format!(
+                    "estimate={:.4} true={:.4} rho2={:.3} within_target={}",
+                    out.estimate, out.true_mean, out.rho2, out.within_target
+                ),
+            ));
+            records.push(ExperimentRecord::new(
+                "fig04",
+                name,
+                method.label(),
+                "rho2",
+                out.rho2,
+                "",
+            ));
+            cells.push((method.label().to_string(), out.calls as f64));
+        }
+        rows.push((name.to_string(), cells));
+    }
+    print_matrix(
+        "Figure 4: aggregation — target labeler invocations (lower is better)",
+        "target_calls",
+        &rows,
+    );
+    records
+}

@@ -1,0 +1,43 @@
+//! Figure 5: false-positive rate of recall-target SUPG queries, six settings
+//! × three methods (no-proxy is not applicable to SUPG; the paper omits it).
+//!
+//! Paper result: TASTI wins everywhere, improving FPR by up to 21×; triplet
+//! training (TASTI-T) beats pre-trained embeddings (TASTI-PT).
+
+use crate::queries::run_supg;
+use crate::report::{print_matrix, ExperimentRecord};
+use crate::runner::{BuiltSetting, Method};
+use crate::settings::all_settings;
+
+/// Methods compared (SUPG requires proxy scores).
+pub const METHODS: [Method; 3] = [Method::PerQuery, Method::TastiPT, Method::TastiT];
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for setting in all_settings() {
+        let name = setting.name;
+        let built = BuiltSetting::build(setting);
+        let mut cells = Vec::new();
+        for method in METHODS {
+            let out = run_supg(&built, method, 1);
+            records.push(ExperimentRecord::new(
+                "fig05",
+                name,
+                method.label(),
+                "fpr",
+                out.fpr,
+                format!("recall={:.3} calls={} returned={}", out.recall, out.calls, out.returned),
+            ));
+            cells.push((method.label().to_string(), out.fpr));
+        }
+        rows.push((name.to_string(), cells));
+    }
+    print_matrix(
+        "Figure 5: SUPG recall-target queries — false positive rate (lower is better)",
+        "fpr",
+        &rows,
+    );
+    records
+}

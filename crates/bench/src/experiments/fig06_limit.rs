@@ -1,0 +1,44 @@
+//! Figure 6: target-labeler invocations for limit queries (find K records
+//! matching a rare predicate), six settings × three methods.
+//!
+//! Paper result: TASTI wins everywhere, by up to 24× (34× in the figure
+//! caption for the strongest case); FPF mining/clustering are what make
+//! rare events findable.
+
+use crate::queries::run_limit;
+use crate::report::{print_matrix, ExperimentRecord};
+use crate::runner::{BuiltSetting, Method};
+use crate::settings::all_settings;
+
+/// Methods compared (matches the paper's panels).
+pub const METHODS: [Method; 3] = [Method::PerQuery, Method::TastiPT, Method::TastiT];
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for setting in all_settings() {
+        let name = setting.name;
+        let built = BuiltSetting::build(setting);
+        let mut cells = Vec::new();
+        for method in METHODS {
+            let out = run_limit(&built, method);
+            records.push(ExperimentRecord::new(
+                "fig06",
+                name,
+                method.label(),
+                "target_calls",
+                out.calls as f64,
+                format!("satisfied={} k={}", out.satisfied, built.setting.limit_k),
+            ));
+            cells.push((method.label().to_string(), out.calls as f64));
+        }
+        rows.push((name.to_string(), cells));
+    }
+    print_matrix(
+        "Figure 6: limit queries — target labeler invocations (lower is better)",
+        "target_calls",
+        &rows,
+    );
+    records
+}

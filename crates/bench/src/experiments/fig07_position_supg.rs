@@ -1,0 +1,45 @@
+//! Figure 7: SUPG selection of objects on the *left-hand side* of the frame
+//! — a query whose label has a sharp discontinuity at the frame center,
+//! violating the Lipschitz assumption of the theoretical analysis.
+//!
+//! Paper result: prior per-query proxies handle position poorly; TASTI still
+//! outperforms both baselines because its scores come from the target
+//! labeler's actual outputs (which include positions).
+
+use crate::queries::run_supg_with;
+use crate::report::{print_matrix, ExperimentRecord};
+use crate::runner::{BuiltSetting, Method};
+use crate::settings::setting_by_name;
+use tasti_core::scoring::HasClassInLeftHalf;
+use tasti_labeler::ObjectClass;
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for name in ["night-street", "taipei-car"] {
+        let built = BuiltSetting::build(setting_by_name(name));
+        let panel = if name == "night-street" { "night-street" } else { "taipei" };
+        let score = HasClassInLeftHalf(ObjectClass::Car);
+        let mut cells = Vec::new();
+        for method in [Method::PerQuery, Method::TastiPT, Method::TastiT] {
+            let out = run_supg_with(&built, method, &score, 1);
+            records.push(ExperimentRecord::new(
+                "fig07",
+                panel,
+                method.label(),
+                "fpr",
+                out.fpr,
+                format!("recall={:.3}", out.recall),
+            ));
+            cells.push((method.label().to_string(), out.fpr));
+        }
+        rows.push((panel.to_string(), cells));
+    }
+    print_matrix(
+        "Figure 7: SUPG for objects in the left half of the frame — FPR (lower is better)",
+        "fpr",
+        &rows,
+    );
+    records
+}

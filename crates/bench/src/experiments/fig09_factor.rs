@@ -1,0 +1,73 @@
+//! Figure 9: factor analysis — optimizations added in sequence
+//! (none → +triplet → +FPF clustering → +FPF training-data mining) on
+//! night-street, for aggregation and limit queries.
+//!
+//! Paper result: every optimization helps; FPF clustering is what makes
+//! limit (rare-event) queries tractable.
+
+use crate::queries::{run_aggregation, run_limit};
+use crate::report::ExperimentRecord;
+use crate::runner::{BuiltSetting, Method};
+use crate::settings::setting_by_name;
+use tasti_cluster::SelectionStrategy;
+
+/// The cumulative configurations of the factor analysis.
+pub fn factor_configs() -> Vec<(&'static str, bool, SelectionStrategy, SelectionStrategy)> {
+    let fpf_mix = SelectionStrategy::FpfWithRandomMix { random_fraction: 0.1 };
+    vec![
+        ("None", false, SelectionStrategy::Random, SelectionStrategy::Random),
+        ("+Triplet", true, SelectionStrategy::Random, SelectionStrategy::Random),
+        ("+FPF cluster", true, SelectionStrategy::Random, fpf_mix),
+        ("+FPF train", true, SelectionStrategy::Fpf, fpf_mix),
+    ]
+}
+
+/// Builds night-street with an ablated configuration and measures both
+/// query types. Shared with the lesion study.
+pub fn measure(
+    label: &str,
+    train: bool,
+    mining: SelectionStrategy,
+    clustering: SelectionStrategy,
+    experiment: &str,
+) -> (Vec<ExperimentRecord>, u64, u64) {
+    let mut setting = setting_by_name("night-street");
+    setting.config.train_embedding = train;
+    setting.config.mining = mining;
+    setting.config.clustering = clustering;
+    let built = BuiltSetting::build(setting);
+    let agg = run_aggregation(&built, Method::TastiT, 1);
+    let limit = run_limit(&built, Method::TastiT);
+    let records = vec![
+        ExperimentRecord::new(
+            experiment,
+            "night-street",
+            label,
+            "agg_target_calls",
+            agg.calls as f64,
+            format!("rho2={:.3}", agg.rho2),
+        ),
+        ExperimentRecord::new(
+            experiment,
+            "night-street",
+            label,
+            "limit_target_calls",
+            limit.calls as f64,
+            format!("satisfied={}", limit.satisfied),
+        ),
+    ];
+    (records, agg.calls, limit.calls)
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    println!("\n=== Figure 9: factor analysis (night-street) ===");
+    println!("{:<16}{:>16}{:>16}", "configuration", "agg calls", "limit calls");
+    for (label, train, mining, clustering) in factor_configs() {
+        let (recs, agg_calls, limit_calls) = measure(label, train, mining, clustering, "fig09");
+        println!("{label:<16}{agg_calls:>16}{limit_calls:>16}");
+        records.extend(recs);
+    }
+    records
+}

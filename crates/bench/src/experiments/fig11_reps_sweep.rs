@@ -1,0 +1,55 @@
+//! Figure 11: sensitivity to the number of cluster representatives
+//! ("buckets", §6.8) on night-street, aggregation and limit queries, with
+//! the per-query proxy baseline as the reference line.
+//!
+//! Paper result: performance improves with more buckets; TASTI beats the
+//! baseline on aggregation with as few as 50 buckets, and on limit queries
+//! from mid-range bucket counts.
+
+use crate::queries::{run_aggregation, run_limit};
+use crate::report::ExperimentRecord;
+use crate::runner::{BuiltSetting, Method};
+use crate::settings::setting_by_name;
+
+/// Representative counts swept (scaled from the paper's 50–11,000 on ~1M
+/// frames to our 12k-frame dataset).
+pub const REP_COUNTS: [usize; 5] = [50, 200, 800, 2000, 4000];
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    println!("\n=== Figure 11: #cluster representatives vs performance (night-street) ===");
+    println!("{:<22}{:>16}{:>16}", "configuration", "agg calls", "limit calls");
+
+    // Baseline reference line (built once).
+    let built = BuiltSetting::build(setting_by_name("night-street"));
+    let base_agg = run_aggregation(&built, Method::PerQuery, 1);
+    let base_limit = run_limit(&built, Method::PerQuery);
+    println!("{:<22}{:>16}{:>16}", "Per-query proxy", base_agg.calls, base_limit.calls);
+    records.push(ExperimentRecord::new(
+        "fig11", "night-street", "Per-query proxy", "agg_target_calls",
+        base_agg.calls as f64, "reference",
+    ));
+    records.push(ExperimentRecord::new(
+        "fig11", "night-street", "Per-query proxy", "limit_target_calls",
+        base_limit.calls as f64, "reference",
+    ));
+
+    for n_reps in REP_COUNTS {
+        let mut setting = setting_by_name("night-street");
+        setting.config.n_reps = n_reps;
+        let built = BuiltSetting::build(setting);
+        let agg = run_aggregation(&built, Method::TastiT, 1);
+        let limit = run_limit(&built, Method::TastiT);
+        println!("{:<22}{:>16}{:>16}", format!("TASTI-T reps={n_reps}"), agg.calls, limit.calls);
+        records.push(ExperimentRecord::new(
+            "fig11", "night-street", "TASTI-T", "agg_target_calls",
+            agg.calls as f64, format!("n_reps={n_reps}"),
+        ));
+        records.push(ExperimentRecord::new(
+            "fig11", "night-street", "TASTI-T", "limit_target_calls",
+            limit.calls as f64, format!("n_reps={n_reps}"),
+        ));
+    }
+    records
+}

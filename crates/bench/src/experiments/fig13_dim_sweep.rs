@@ -1,0 +1,50 @@
+//! Figure 13: sensitivity to the embedding dimension on night-street.
+//!
+//! Paper result (dims 32–512): TASTI beats the per-query baseline across the
+//! whole range; the metric is flat in the dimension.
+
+use crate::queries::{run_aggregation, run_limit};
+use crate::report::ExperimentRecord;
+use crate::runner::{BuiltSetting, Method};
+use crate::settings::setting_by_name;
+
+/// Embedding dimensions swept (paper: 32–512; scaled to our feature width).
+pub const DIMS: [usize; 5] = [8, 16, 32, 64, 128];
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    println!("\n=== Figure 13: embedding dimension vs performance (night-street) ===");
+    println!("{:<22}{:>16}{:>16}", "configuration", "agg calls", "limit calls");
+
+    let built = BuiltSetting::build(setting_by_name("night-street"));
+    let base_agg = run_aggregation(&built, Method::PerQuery, 1);
+    let base_limit = run_limit(&built, Method::PerQuery);
+    println!("{:<22}{:>16}{:>16}", "Per-query proxy", base_agg.calls, base_limit.calls);
+    records.push(ExperimentRecord::new(
+        "fig13", "night-street", "Per-query proxy", "agg_target_calls",
+        base_agg.calls as f64, "reference",
+    ));
+    records.push(ExperimentRecord::new(
+        "fig13", "night-street", "Per-query proxy", "limit_target_calls",
+        base_limit.calls as f64, "reference",
+    ));
+
+    for dim in DIMS {
+        let mut setting = setting_by_name("night-street");
+        setting.config.embedding_dim = dim;
+        let built = BuiltSetting::build(setting);
+        let agg = run_aggregation(&built, Method::TastiT, 1);
+        let limit = run_limit(&built, Method::TastiT);
+        println!("{:<22}{:>16}{:>16}", format!("TASTI-T dim={dim}"), agg.calls, limit.calls);
+        records.push(ExperimentRecord::new(
+            "fig13", "night-street", "TASTI-T", "agg_target_calls",
+            agg.calls as f64, format!("dim={dim}"),
+        ));
+        records.push(ExperimentRecord::new(
+            "fig13", "night-street", "TASTI-T", "limit_target_calls",
+            limit.calls as f64, format!("dim={dim}"),
+        ));
+    }
+    records
+}

@@ -1,0 +1,53 @@
+//! One module per table/figure of the paper's evaluation (§6).
+//!
+//! Every module exposes `run() -> Vec<ExperimentRecord>`: it executes the
+//! experiment, prints the figure/table to stdout, and returns the records
+//! for `results/*.json` and `EXPERIMENTS.md`.
+
+pub mod ext01_k_sweep;
+pub mod ext02_precision_supg;
+pub mod ext03_crowd_noise;
+pub mod ext04_diagnostics;
+pub mod fig02_construction;
+pub mod fig03_frontier;
+pub mod fig04_aggregation;
+pub mod fig05_supg;
+pub mod fig06_limit;
+pub mod fig07_position_supg;
+pub mod fig08_position_agg;
+pub mod fig09_factor;
+pub mod fig10_lesion;
+pub mod fig11_reps_sweep;
+pub mod fig12_train_sweep;
+pub mod fig13_dim_sweep;
+pub mod tab01_costs;
+pub mod tab02_noguarantee;
+pub mod tab03_cracking;
+
+use crate::report::ExperimentRecord;
+
+/// Runs every experiment in paper order, returning all records.
+pub fn run_all() -> Vec<ExperimentRecord> {
+    let mut all = Vec::new();
+    all.extend(fig02_construction::run());
+    all.extend(fig03_frontier::run());
+    all.extend(fig04_aggregation::run());
+    all.extend(fig05_supg::run());
+    all.extend(fig06_limit::run());
+    all.extend(tab01_costs::run());
+    all.extend(fig07_position_supg::run());
+    all.extend(fig08_position_agg::run());
+    all.extend(tab02_noguarantee::run());
+    all.extend(tab03_cracking::run());
+    all.extend(fig09_factor::run());
+    all.extend(fig10_lesion::run());
+    all.extend(fig11_reps_sweep::run());
+    all.extend(fig12_train_sweep::run());
+    all.extend(fig13_dim_sweep::run());
+    // Extensions beyond the paper's evaluation.
+    all.extend(ext01_k_sweep::run());
+    all.extend(ext02_precision_supg::run());
+    all.extend(ext03_crowd_noise::run());
+    all.extend(ext04_diagnostics::run());
+    all
+}

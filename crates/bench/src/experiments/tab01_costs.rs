@@ -1,0 +1,109 @@
+//! Table 1: end-to-end query costs for an aggregation query on night-street
+//! under three target labelers — human annotators ($), Mask R-CNN (GPU
+//! seconds), and SSD (cheap but ~33% count error) — comparing TASTI with the
+//! index cost amortized, TASTI including all construction costs, uniform
+//! sampling, and exhaustive labeling.
+//!
+//! Paper result: TASTI is cheapest in every column, up to 46×, *including*
+//! the cost of building the index; and SSD-as-target is inaccurate (33%
+//! error), so cheap labelers are not a substitute.
+
+use crate::queries::run_aggregation;
+use crate::report::ExperimentRecord;
+use crate::runner::{BuiltSetting, Method};
+use crate::settings::setting_by_name;
+use tasti_labeler::{CostModel, LabelCost, ObjectClass};
+use tasti_data::NoisyDetector;
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    // Tighter error target than Figure 4: Table 1 amortizes the index over
+    // a demanding query, as the paper's ±0.01 target does at 10⁶-frame
+    // scale (index cost must be small relative to exhaustive/uniform work).
+    let mut setting = setting_by_name("night-street");
+    setting.agg_error = 0.03;
+    let built = BuiltSetting::build(setting);
+    let n = built.setting.dataset.len() as u64;
+    let mut records = Vec::new();
+
+    // Query-time invocation counts (labeler-independent).
+    let tasti_query_calls = run_aggregation(&built, Method::TastiT, 1).calls;
+    let uniform_calls = run_aggregation(&built, Method::NoProxy, 1).calls;
+    let index_calls = built.report_t.total_invocations;
+
+    println!("\n=== Table 1: aggregation query costs on night-street ===");
+    println!(
+        "{:<14}{:>20}{:>20}{:>20}{:>16}",
+        "target", "TASTI (no index)", "TASTI (all costs)", "Uniform (no proxy)", "Exhaustive"
+    );
+
+    for (label, model) in [
+        ("human", CostModel::human()),
+        ("mask-rcnn", CostModel::mask_rcnn()),
+        ("ssd", CostModel::ssd()),
+    ] {
+        let compute_overhead = model
+            .embedding
+            .times(built.report_t.training_forward_rows + n)
+            .plus(model.distance.times(built.report_t.distance_computations));
+        let tasti_no_index = model.target.times(tasti_query_calls);
+        let tasti_all = tasti_no_index
+            .plus(model.target.times(index_calls))
+            .plus(compute_overhead);
+        let uniform = model.target.times(uniform_calls);
+        let exhaustive = model.target.times(n);
+        let fmt = |c: LabelCost| -> String {
+            if label == "human" {
+                format!("${:.0}", c.dollars)
+            } else {
+                format!("{:.0} s", c.seconds)
+            }
+        };
+        println!(
+            "{:<14}{:>20}{:>20}{:>20}{:>16}",
+            label,
+            fmt(tasti_no_index),
+            fmt(tasti_all),
+            fmt(uniform),
+            fmt(exhaustive)
+        );
+        for (method, c) in [
+            ("TASTI (no index)", tasti_no_index),
+            ("TASTI (all costs)", tasti_all),
+            ("Uniform (no proxy)", uniform),
+            ("Exhaustive", exhaustive),
+        ] {
+            records.push(ExperimentRecord::new(
+                "tab01",
+                &format!("night-street/{label}"),
+                method,
+                if label == "human" { "dollars" } else { "seconds" },
+                if label == "human" { c.dollars } else { c.seconds },
+                format!("query_calls={tasti_query_calls} index_calls={index_calls} n={n}"),
+            ));
+        }
+    }
+
+    // SSD accuracy: count error relative to the Mask R-CNN ground truth.
+    let ssd = NoisyDetector::ssd(built.setting.dataset.truth_handle(), 99);
+    let truth = built.setting.dataset.true_scores(|o| o.count_class(ObjectClass::Car) as f64);
+    let mut abs_err = 0.0;
+    let mut total = 0.0;
+    for (i, &t) in truth.iter().enumerate() {
+        let noisy =
+            tasti_labeler::TargetLabeler::label(&ssd, i).count_class(ObjectClass::Car) as f64;
+        abs_err += (noisy - t).abs();
+        total += t;
+    }
+    let ssd_error = abs_err / total.max(1.0);
+    println!("SSD count error vs Mask R-CNN ground truth: {:.0}% (paper: 33%)", ssd_error * 100.0);
+    records.push(ExperimentRecord::new(
+        "tab01",
+        "night-street/ssd",
+        "SSD",
+        "percent_error",
+        ssd_error,
+        "count error vs oracle",
+    ));
+    records
+}

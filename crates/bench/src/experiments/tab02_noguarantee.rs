@@ -1,0 +1,67 @@
+//! Table 2: queries *without* statistical guarantees on night-street.
+//!
+//! Aggregation: the proxy-score mean is returned directly as the answer
+//! (zero query-time labeler calls); quality is percent error vs ground
+//! truth. Selection: records above a validation-tuned threshold are
+//! returned (NoScope/Tahoma-style); quality is `100 − F1`.
+//!
+//! Paper result (Table 2): TASTI 3.3% vs BlazeIt 4.4% aggregation error;
+//! TASTI 5.5 vs NoScope 14.9 on `100 − F1`.
+
+use crate::report::ExperimentRecord;
+use crate::runner::{BuiltSetting, Method, QueryKind};
+use crate::settings::setting_by_name;
+use tasti_nn::metrics::Confusion;
+use tasti_query::{direct_aggregate, tune_threshold};
+
+/// Runs the experiment.
+pub fn run() -> Vec<ExperimentRecord> {
+    let built = BuiltSetting::build(setting_by_name("night-street"));
+    let mut records = Vec::new();
+    println!("\n=== Table 2: queries without statistical guarantees (night-street) ===");
+    println!("{:<14}{:<12}{:>16}", "method", "query", "quality (lower=better)");
+
+    // Aggregation: percent error of the direct proxy mean.
+    let agg_truth = built.truth(built.setting.agg_score.as_ref());
+    let true_mean = agg_truth.iter().sum::<f64>() / agg_truth.len() as f64;
+    for (label, method) in [("TASTI", Method::TastiT), ("BlazeIt", Method::PerQuery)] {
+        let proxy =
+            built.proxy_scores(method, built.setting.agg_score.as_ref(), QueryKind::Aggregation);
+        let est = direct_aggregate(&proxy);
+        let pct_err = (est - true_mean).abs() / true_mean.max(1e-12);
+        println!("{:<14}{:<12}{:>15.1}%", label, "agg", pct_err * 100.0);
+        records.push(ExperimentRecord::new(
+            "tab02",
+            "night-street",
+            label,
+            "percent_error",
+            pct_err,
+            format!("estimate={est:.4} true={true_mean:.4}"),
+        ));
+    }
+
+    // Selection: 100 − F1 after validation-set threshold tuning.
+    let sel_truth: Vec<bool> =
+        built.truth(built.setting.sel_score.as_ref()).iter().map(|&v| v >= 0.5).collect();
+    for (label, method) in [("TASTI", Method::TastiT), ("NoScope", Method::PerQuery)] {
+        let proxy =
+            built.proxy_scores(method, built.setting.sel_score.as_ref(), QueryKind::Selection);
+        let res = tune_threshold(&proxy, &mut |r| sel_truth[r], 300, built.setting.seed);
+        let mut predicted = vec![false; sel_truth.len()];
+        for &r in &res.selected {
+            predicted[r] = true;
+        }
+        let f1 = Confusion::from_predictions(&predicted, &sel_truth).f1();
+        let quality = 100.0 * (1.0 - f1);
+        println!("{:<14}{:<12}{:>16.1}", label, "selection", quality);
+        records.push(ExperimentRecord::new(
+            "tab02",
+            "night-street",
+            label,
+            "100_minus_f1",
+            quality,
+            format!("f1={f1:.3} threshold={:.3}", res.threshold),
+        ));
+    }
+    records
+}

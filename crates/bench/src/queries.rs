@@ -1,0 +1,185 @@
+//! Uniform query execution over a built setting: one function per query
+//! type, returning the metrics the paper's figures plot.
+
+use crate::runner::{BuiltSetting, Method, QueryKind};
+use tasti_nn::metrics::{rho_squared, Confusion};
+use tasti_query::{
+    ebs_aggregate, limit_query, supg_recall_target, AggregationConfig, StoppingRule, SupgConfig,
+};
+
+/// Outcome of one aggregation run (Figure 4's bars plus diagnostics).
+#[derive(Debug, Clone)]
+pub struct AggOutcome {
+    /// Target-labeler invocations (the paper's cost metric, lower better).
+    pub calls: u64,
+    /// The estimate returned.
+    pub estimate: f64,
+    /// Ground-truth mean.
+    pub true_mean: f64,
+    /// Proxy-quality ρ² against ground truth over the full dataset.
+    pub rho2: f64,
+    /// Whether the error target was met.
+    pub within_target: bool,
+}
+
+/// Runs the BlazeIt-style EBS aggregation query for `method`.
+pub fn run_aggregation(built: &BuiltSetting, method: Method, seed: u64) -> AggOutcome {
+    let score = built.setting.agg_score.clone();
+    run_aggregation_with(built, method, score.as_ref(), seed)
+}
+
+/// Aggregation with an explicit scoring function (used by the position
+/// queries of Figure 8).
+pub fn run_aggregation_with(
+    built: &BuiltSetting,
+    method: Method,
+    score: &dyn tasti_core::scoring::ScoringFunction,
+    seed: u64,
+) -> AggOutcome {
+    let proxy = built.proxy_scores(method, score, QueryKind::Aggregation);
+    let truth = built.truth(score);
+    // CLT stopping (what BlazeIt's stopping behaves like in practice) keeps
+    // sample counts proportional to the control-variate residual variance —
+    // the mechanism behind Figure 4's spread. See `StoppingRule`.
+    let config = AggregationConfig {
+        error_target: built.setting.agg_error,
+        confidence: 0.95,
+        stopping: StoppingRule::Clt,
+        seed: seed ^ built.setting.seed,
+        ..Default::default()
+    };
+    let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
+    let true_mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    AggOutcome {
+        calls: res.samples,
+        estimate: res.estimate,
+        true_mean,
+        rho2: rho_squared(&proxy, &truth),
+        within_target: (res.estimate - true_mean).abs() <= built.setting.agg_error,
+    }
+}
+
+/// Outcome of one SUPG run (Figure 5's bars plus diagnostics).
+#[derive(Debug, Clone)]
+pub struct SupgOutcome {
+    /// False-positive rate of the returned set (lower better).
+    pub fpr: f64,
+    /// Achieved recall of the returned set.
+    pub recall: f64,
+    /// Oracle calls consumed (≤ budget by construction).
+    pub calls: u64,
+    /// Size of the returned set.
+    pub returned: usize,
+}
+
+/// Runs the SUPG recall-target selection query for `method`.
+pub fn run_supg(built: &BuiltSetting, method: Method, seed: u64) -> SupgOutcome {
+    let score = built.setting.sel_score.clone();
+    run_supg_with(built, method, score.as_ref(), seed)
+}
+
+/// SUPG with an explicit predicate (used by the position query, Figure 7).
+pub fn run_supg_with(
+    built: &BuiltSetting,
+    method: Method,
+    score: &dyn tasti_core::scoring::ScoringFunction,
+    seed: u64,
+) -> SupgOutcome {
+    let proxy = built.proxy_scores(method, score, QueryKind::Selection);
+    let truth: Vec<bool> = built.truth(score).iter().map(|&v| v >= 0.5).collect();
+    let config = SupgConfig {
+        recall_target: 0.9,
+        confidence: 0.95,
+        budget: built.setting.supg_budget,
+        seed: seed ^ built.setting.seed,
+        ..Default::default()
+    };
+    let res = supg_recall_target(&proxy, &mut |r| truth[r], &config);
+    let mut predicted = vec![false; truth.len()];
+    for &r in &res.returned {
+        predicted[r] = true;
+    }
+    let c = Confusion::from_predictions(&predicted, &truth);
+    SupgOutcome {
+        fpr: c.false_positive_rate(),
+        recall: c.recall(),
+        calls: res.oracle_calls,
+        returned: res.returned.len(),
+    }
+}
+
+/// Outcome of one limit run (Figure 6's bars).
+#[derive(Debug, Clone)]
+pub struct LimitOutcome {
+    /// Target-labeler invocations until `k` matches were found.
+    pub calls: u64,
+    /// Whether all `k` matches were found.
+    pub satisfied: bool,
+}
+
+/// Runs the BlazeIt-style limit query for `method`.
+pub fn run_limit(built: &BuiltSetting, method: Method) -> LimitOutcome {
+    let score = built.setting.limit_score.clone();
+    let ranking = built.limit_ranking(method, score.as_ref());
+    let truth = built.truth(score.as_ref());
+    let threshold = built.setting.limit_threshold;
+    let res = limit_query(
+        &ranking,
+        &mut |r| truth[r] >= threshold,
+        built.setting.limit_k,
+        truth.len(),
+    );
+    LimitOutcome { calls: res.invocations, satisfied: res.satisfied }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::setting_by_name;
+
+    fn small_built() -> BuiltSetting {
+        let mut s = setting_by_name("night-street");
+        let p = tasti_data::video::night_street(2500, 101);
+        s.dataset = p.dataset;
+        s.proxy_features = s.dataset.features.clone();
+        s.config.n_train = 120;
+        s.config.n_reps = 250;
+        s.config.triplet.steps = 200;
+        s.tmas_size = 500;
+        s.supg_budget = 300;
+        s.agg_error = 0.08;
+        s.limit_threshold = 4.0;
+        s.limit_k = 5;
+        BuiltSetting::build(s)
+    }
+
+    #[test]
+    fn all_three_query_types_run_end_to_end() {
+        let b = small_built();
+        let agg = run_aggregation(&b, Method::TastiT, 1);
+        assert!(agg.calls > 0);
+        assert!(agg.within_target, "estimate {} vs {}", agg.estimate, agg.true_mean);
+
+        let supg = run_supg(&b, Method::TastiT, 1);
+        assert!(supg.recall >= 0.85, "recall {}", supg.recall);
+        assert!(supg.calls <= 300);
+
+        let limit = run_limit(&b, Method::TastiT);
+        assert!(limit.satisfied);
+        assert!(limit.calls > 0);
+    }
+
+    #[test]
+    fn tasti_t_beats_no_proxy_on_aggregation() {
+        let b = small_built();
+        let t = run_aggregation(&b, Method::TastiT, 2);
+        let none = run_aggregation(&b, Method::NoProxy, 2);
+        assert!(
+            t.calls < none.calls,
+            "TASTI-T {} calls should beat no-proxy {}",
+            t.calls,
+            none.calls
+        );
+        assert!(t.rho2 > none.rho2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Result records and output helpers for the experiment binaries.
+//!
+//! Every binary prints a human-readable table to stdout (the "figure") and
+//! appends machine-readable JSON to `results/<experiment>.json`, which
+//! `all_experiments` collates into `EXPERIMENTS.md` rows.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// One measured cell of a figure/table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (`fig04`, `tab01`, …).
+    pub experiment: String,
+    /// Dataset / panel name.
+    pub setting: String,
+    /// Method name.
+    pub method: String,
+    /// Metric name (`target_calls`, `fpr`, `percent_error`, …).
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+    /// Free-form context (parameters, truth values).
+    pub note: String,
+}
+
+impl ExperimentRecord {
+    /// Convenience constructor.
+    pub fn new(
+        experiment: &str,
+        setting: &str,
+        method: &str,
+        metric: &str,
+        value: f64,
+        note: impl Into<String>,
+    ) -> Self {
+        Self {
+            experiment: experiment.into(),
+            setting: setting.into(),
+            method: method.into(),
+            metric: metric.into(),
+            value,
+            note: note.into(),
+        }
+    }
+}
+
+/// Writes records as pretty-printed JSON to `results/<name>.json`,
+/// creating the directory if needed. Returns the path written.
+pub fn write_json(name: &str, records: &[ExperimentRecord]) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(records)?)?;
+    Ok(path.display().to_string())
+}
+
+/// Formats a value for the stdout tables: thousands for call counts,
+/// percentages for rates.
+pub fn fmt_value(metric: &str, value: f64) -> String {
+    match metric {
+        "target_calls" => {
+            if value >= 1000.0 {
+                format!("{:.1}k", value / 1000.0)
+            } else {
+                format!("{value:.0}")
+            }
+        }
+        "fpr" | "percent_error" | "error" => format!("{:.1}%", value * 100.0),
+        "rho2" | "f1" | "recall" => format!("{value:.3}"),
+        "seconds" => format!("{value:.1}s"),
+        "dollars" => format!("${value:.2}"),
+        _ => format!("{value:.4}"),
+    }
+}
+
+/// Prints an aligned table: rows = settings, columns = methods.
+pub fn print_matrix(
+    title: &str,
+    metric: &str,
+    rows: &[(String, Vec<(String, f64)>)],
+) {
+    println!("\n=== {title} ===");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let methods: Vec<&String> = rows[0].1.iter().map(|(m, _)| m).collect();
+    print!("{:<18}", "setting");
+    for m in &methods {
+        print!("{m:>18}");
+    }
+    println!();
+    for (setting, cells) in rows {
+        print!("{setting:<18}");
+        for (_, v) in cells {
+            print!("{:>18}", fmt_value(metric, *v));
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_values() {
+        assert_eq!(fmt_value("target_calls", 53_100.0), "53.1k");
+        assert_eq!(fmt_value("target_calls", 473.0), "473");
+        assert_eq!(fmt_value("fpr", 0.078), "7.8%");
+        assert_eq!(fmt_value("rho2", 0.912), "0.912");
+        assert_eq!(fmt_value("dollars", 1482.0), "$1482.00");
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = ExperimentRecord::new("fig04", "night-street", "TASTI-T", "target_calls", 21_200.0, "err=0.05");
+        let s = serde_json::to_string(&r).unwrap();
+        assert!(s.contains("night-street"));
+        assert!(s.contains("21200"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Builds the four compared methods for a setting and produces their proxy
+//! scores for each query type.
+
+use crate::settings::Setting;
+use tasti_baselines::{sample_tmas, train_per_query_proxy, ProxyModelConfig, ProxyTask};
+use tasti_core::build::{build_index, BuildReport};
+use tasti_core::scoring::ScoringFunction;
+use tasti_core::TastiIndex;
+use tasti_data::{OracleLabeler, PretrainedEmbedder};
+use tasti_labeler::{MeteredLabeler, Schema};
+use tasti_nn::Matrix;
+
+/// The four methods compared throughout §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Uniform sampling, no proxy scores at all.
+    NoProxy,
+    /// Per-query proxy model trained on the TMAS (prior state of the art).
+    PerQuery,
+    /// TASTI with pre-trained (untrained) embeddings.
+    TastiPT,
+    /// TASTI with triplet-trained embeddings (the paper's full method).
+    TastiT,
+}
+
+impl Method {
+    /// All four methods in the paper's bar order.
+    pub const ALL: [Method; 4] = [Method::NoProxy, Method::PerQuery, Method::TastiPT, Method::TastiT];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::NoProxy => "No proxy",
+            Method::PerQuery => "Per-query proxy",
+            Method::TastiPT => "TASTI-PT",
+            Method::TastiT => "TASTI-T",
+        }
+    }
+}
+
+/// Which query type scores are being produced for (decides the per-query
+/// proxy's task head, exactly the per-query-type training procedures the
+/// paper criticizes in §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Mean-of-score aggregation.
+    Aggregation,
+    /// Predicate selection.
+    Selection,
+    /// Limit (rare-event) queries.
+    Limit,
+}
+
+/// A setting with all four methods constructed.
+pub struct BuiltSetting {
+    /// The underlying setting.
+    pub setting: Setting,
+    /// TASTI with triplet-trained embeddings.
+    pub index_t: TastiIndex,
+    /// Construction report for TASTI-T.
+    pub report_t: BuildReport,
+    /// TASTI on pre-trained embeddings only.
+    pub index_pt: TastiIndex,
+    /// Construction report for TASTI-PT.
+    pub report_pt: BuildReport,
+    /// Pre-trained embeddings (shared by both TASTI variants).
+    pub pretrained: Matrix,
+    /// TMAS record ids for the per-query proxy baselines.
+    pub tmas: Vec<usize>,
+}
+
+impl BuiltSetting {
+    /// Builds TASTI-T, TASTI-PT and samples the TMAS for a setting.
+    pub fn build(setting: Setting) -> Self {
+        let labeler = MeteredLabeler::new(OracleLabeler::new(
+            setting.dataset.truth_handle(),
+            tasti_labeler::CostModel::mask_rcnn().target,
+            Schema::object_detection(),
+            "oracle",
+        ));
+        let mut pt =
+            PretrainedEmbedder::new(setting.dataset.feature_dim(), setting.config.embedding_dim, setting.seed ^ 0x50);
+        let pretrained = pt.embed_all(&setting.dataset.features);
+
+        let (index_t, report_t) = build_index(
+            &setting.dataset.features,
+            &pretrained,
+            &labeler,
+            setting.closeness.as_ref(),
+            &setting.config,
+        )
+        .expect("unbudgeted build");
+
+        let labeler_pt = MeteredLabeler::new(OracleLabeler::new(
+            setting.dataset.truth_handle(),
+            tasti_labeler::CostModel::mask_rcnn().target,
+            Schema::object_detection(),
+            "oracle",
+        ));
+        let config_pt = setting.config.clone().pretrained_only();
+        let (index_pt, report_pt) = build_index(
+            &setting.dataset.features,
+            &pretrained,
+            &labeler_pt,
+            setting.closeness.as_ref(),
+            &config_pt,
+        )
+        .expect("unbudgeted build");
+
+        let tmas = sample_tmas(setting.dataset.len(), setting.tmas_size, setting.seed ^ 0x7);
+        Self { setting, index_t, report_t, index_pt, report_pt, pretrained, tmas }
+    }
+
+    /// Ground-truth scores of every record under `score` (evaluation only).
+    pub fn truth(&self, score: &dyn ScoringFunction) -> Vec<f64> {
+        self.setting.dataset.true_scores(|o| score.score(o))
+    }
+
+    /// Proxy scores of every record for `method` on the query defined by
+    /// `score` / `kind`.
+    pub fn proxy_scores(
+        &self,
+        method: Method,
+        score: &dyn ScoringFunction,
+        kind: QueryKind,
+    ) -> Vec<f64> {
+        match method {
+            Method::NoProxy => tasti_baselines::no_proxy_scores(self.setting.dataset.len()),
+            Method::PerQuery => self.per_query_scores(score, kind),
+            Method::TastiPT => self.index_pt.propagate(score),
+            Method::TastiT => self.index_t.propagate(score),
+        }
+    }
+
+    /// Limit-query ranking for `method` (§6.3: TASTI uses k = 1 with
+    /// distance tie-breaks; baselines rank by proxy score).
+    pub fn limit_ranking(&self, method: Method, score: &dyn ScoringFunction) -> Vec<usize> {
+        match method {
+            Method::TastiT => self.index_t.limit_ranking(score),
+            Method::TastiPT => self.index_pt.limit_ranking(score),
+            Method::NoProxy | Method::PerQuery => {
+                let proxy = self.proxy_scores(method, score, QueryKind::Limit);
+                let mut order: Vec<usize> = (0..proxy.len()).collect();
+                order.sort_by(|&a, &b| {
+                    proxy[b].partial_cmp(&proxy[a]).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                order
+            }
+        }
+    }
+
+    fn per_query_scores(&self, score: &dyn ScoringFunction, kind: QueryKind) -> Vec<f64> {
+        per_query_proxy_scores(
+            &self.setting.proxy_features,
+            &self.setting.dataset,
+            score,
+            &self.tmas,
+            kind,
+            self.setting.limit_threshold,
+            self.setting.seed ^ 0x51,
+        )
+    }
+}
+
+/// Trains a per-query proxy on an explicit TMAS and returns proxy scores for
+/// all records (shared by [`BuiltSetting`] and the construction-cost
+/// frontier sweep of Figure 3, which varies the TMAS size).
+#[allow(clippy::too_many_arguments)]
+pub fn per_query_proxy_scores(
+    proxy_features: &Matrix,
+    dataset: &tasti_data::Dataset,
+    score: &dyn ScoringFunction,
+    tmas: &[usize],
+    kind: QueryKind,
+    limit_threshold: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let annotated: Vec<(usize, f64)> = tmas
+        .iter()
+        .map(|&r| {
+            let s = score.score(dataset.ground_truth(r));
+            let y = match kind {
+                QueryKind::Aggregation => s,
+                QueryKind::Selection => s, // predicates already 0/1
+                QueryKind::Limit => (s >= limit_threshold) as u8 as f64,
+            };
+            (r, y)
+        })
+        .collect();
+    let task = match kind {
+        QueryKind::Aggregation => ProxyTask::Regression,
+        QueryKind::Selection | QueryKind::Limit => ProxyTask::Classification,
+    };
+    let config = ProxyModelConfig {
+        hidden: 24,
+        task,
+        epochs: 40,
+        batch_size: 32,
+        learning_rate: 3e-3,
+        seed,
+    };
+    train_per_query_proxy(proxy_features, &annotated, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::setting_by_name;
+    use tasti_nn::metrics::rho_squared;
+
+    /// One shared end-to-end smoke test; the per-figure binaries exercise the
+    /// rest. Uses a downsized setting for test speed.
+    fn small_built() -> BuiltSetting {
+        let mut s = setting_by_name("amsterdam");
+        // Downscale for test speed: rebuild a smaller dataset.
+        let p = tasti_data::video::amsterdam(2000, 303);
+        s.dataset = p.dataset;
+        s.proxy_features = s.dataset.features.clone();
+        s.config.n_train = 100;
+        s.config.n_reps = 200;
+        s.config.triplet.steps = 150;
+        s.tmas_size = 400;
+        BuiltSetting::build(s)
+    }
+
+    #[test]
+    fn built_setting_produces_scores_for_all_methods() {
+        let b = small_built();
+        let agg = b.setting.agg_score.clone();
+        let truth = b.truth(agg.as_ref());
+        for m in Method::ALL {
+            let scores = b.proxy_scores(m, agg.as_ref(), QueryKind::Aggregation);
+            assert_eq!(scores.len(), b.setting.dataset.len(), "{}", m.label());
+            if m != Method::NoProxy {
+                let rho2 = rho_squared(&scores, &truth);
+                assert!(rho2 > 0.05, "{} produced uncorrelated scores: ρ²={rho2}", m.label());
+            }
+            let ranking = b.limit_ranking(m, b.setting.limit_score.as_ref());
+            assert_eq!(ranking.len(), b.setting.dataset.len());
+        }
+        // TASTI-T should at least match TASTI-PT on aggregation ρ².
+        let t = b.proxy_scores(Method::TastiT, agg.as_ref(), QueryKind::Aggregation);
+        let pt = b.proxy_scores(Method::TastiPT, agg.as_ref(), QueryKind::Aggregation);
+        let rho_t = rho_squared(&t, &truth);
+        let rho_pt = rho_squared(&pt, &truth);
+        assert!(rho_t > rho_pt * 0.8, "TASTI-T ρ²={rho_t} vs TASTI-PT ρ²={rho_pt}");
+    }
+}

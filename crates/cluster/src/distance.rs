@@ -1,0 +1,144 @@
+//! Distance kernels over embedding vectors.
+//!
+//! TASTI's embeddings are L2-normalized, so Euclidean distance is the default
+//! (and on the unit sphere it is monotone in cosine distance); L1 and cosine
+//! are provided for experimentation. Inner loops run over contiguous slices.
+
+use serde::{Deserialize, Serialize};
+
+/// Distance metric over embedding vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Metric {
+    /// Euclidean (L2) distance — the default for TASTI embeddings.
+    #[default]
+    L2,
+    /// Squared Euclidean distance (same ordering as L2, cheaper; do not mix
+    /// with radii computed under L2).
+    SquaredL2,
+    /// Manhattan (L1) distance.
+    L1,
+    /// Cosine distance `1 − cos(a, b)`; 0 for identical directions.
+    Cosine,
+}
+
+impl Metric {
+    /// Distance between two equal-length vectors.
+    #[inline]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::L2 => squared_l2(a, b).sqrt(),
+            Metric::SquaredL2 => squared_l2(a, b),
+            Metric::L1 => a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum(),
+            Metric::Cosine => {
+                let mut dot = 0.0f32;
+                let mut na = 0.0f32;
+                let mut nb = 0.0f32;
+                for (&x, &y) in a.iter().zip(b) {
+                    dot += x * y;
+                    na += x * x;
+                    nb += y * y;
+                }
+                let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
+                1.0 - dot / denom
+            }
+        }
+    }
+
+    /// Whether the metric satisfies the triangle inequality (SquaredL2 and
+    /// Cosine do not; callers relying on metric-space bounds — e.g. pruned
+    /// nearest-neighbor search — must check this).
+    pub fn is_metric(self) -> bool {
+        matches!(self, Metric::L2 | Metric::L1)
+    }
+}
+
+#[inline]
+fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Computes the distance from `query` to every row of `data` (row-major,
+/// `dim` columns), writing into `out`.
+pub fn distances_to_all(metric: Metric, query: &[f32], data: &[f32], dim: usize, out: &mut [f32]) {
+    assert_eq!(query.len(), dim);
+    assert_eq!(data.len(), out.len() * dim, "data/out length mismatch");
+    for (o, row) in out.iter_mut().zip(data.chunks_exact(dim)) {
+        *o = metric.distance(query, row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_basics() {
+        assert_eq!(Metric::L2.distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(Metric::SquaredL2.distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(Metric::L1.distance(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
+    }
+
+    #[test]
+    fn cosine_identical_direction_is_zero() {
+        let d = Metric::Cosine.distance(&[1.0, 2.0], &[2.0, 4.0]);
+        assert!(d.abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_opposite_direction_is_two() {
+        let d = Metric::Cosine.distance(&[1.0, 0.0], &[-1.0, 0.0]);
+        assert!((d - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        let d = Metric::Cosine.distance(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metric_flags() {
+        assert!(Metric::L2.is_metric());
+        assert!(Metric::L1.is_metric());
+        assert!(!Metric::SquaredL2.is_metric());
+        // Cosine distance violates the triangle inequality in general.
+        assert!(!Metric::Cosine.is_metric());
+    }
+
+    #[test]
+    fn distances_to_all_matches_scalar_calls() {
+        let data = [0.0f32, 0.0, 3.0, 4.0, 1.0, 1.0];
+        let mut out = [0.0f32; 3];
+        distances_to_all(Metric::L2, &[0.0, 0.0], &data, 2, &mut out);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 5.0);
+        assert!((out[2] - 2.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangle_inequality_holds_for_l2_l1_on_samples() {
+        let pts = [
+            vec![0.1f32, -0.4, 0.9],
+            vec![1.0, 2.0, -0.5],
+            vec![-0.3, 0.7, 0.2],
+        ];
+        for metric in [Metric::L2, Metric::L1] {
+            for a in &pts {
+                for b in &pts {
+                    for c in &pts {
+                        let ab = metric.distance(a, b);
+                        let bc = metric.distance(b, c);
+                        let ac = metric.distance(a, c);
+                        assert!(ac <= ab + bc + 1e-5);
+                    }
+                }
+            }
+        }
+    }
+}

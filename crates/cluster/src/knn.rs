@@ -1,0 +1,380 @@
+//! Min-k neighbor tables (paper Algorithm 1: `MinKDistances`).
+//!
+//! For every record, TASTI stores the `k` nearest cluster representatives in
+//! embedding space together with their distances; score propagation (§4.3)
+//! reads only this table, never the raw embeddings. The table supports
+//! incremental extension with new representatives — the operation behind
+//! index cracking (§3.3), which the paper notes is "computationally efficient
+//! and trivially parallelizable" (each record's update is independent).
+
+use crate::distance::Metric;
+use serde::{Deserialize, Serialize};
+
+/// One `(representative, distance)` entry in a record's neighbor list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Index into the representative list (not a record index).
+    pub rep: u32,
+    /// Embedding-space distance from the record to this representative.
+    pub dist: f32,
+}
+
+/// For every record, its `k` nearest representatives sorted by ascending
+/// distance. Stored flat (`n_records × k`) for locality.
+///
+/// ```
+/// use tasti_cluster::{Metric, MinKTable};
+/// let records = [0.0f32, 1.0, 2.0, 9.0];
+/// let reps = [0.0f32, 10.0];
+/// let t = MinKTable::build(&records, &reps, 1, 1, Metric::L2);
+/// assert_eq!(t.nearest(0).rep, 0);
+/// assert_eq!(t.nearest(3).rep, 1); // 9.0 is closer to rep 10.0
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinKTable {
+    k: usize,
+    n_records: usize,
+    n_reps: usize,
+    entries: Vec<Neighbor>,
+}
+
+impl MinKTable {
+    /// Builds the table by brute-force scan: for each record embedding, the
+    /// `k` closest of `reps` under `metric`. `records` and `reps` are
+    /// row-major with `dim` columns. `O(n_records · n_reps · dim)`.
+    pub fn build(records: &[f32], reps: &[f32], dim: usize, k: usize, metric: Metric) -> Self {
+        Self::build_parallel(records, reps, dim, k, metric, 1)
+    }
+
+    /// Parallel variant of [`MinKTable::build`]: records are split across
+    /// `threads` crossbeam-scoped workers (each record's neighbor list is
+    /// independent, so the result is bit-identical to the serial build).
+    /// `threads = 0` picks the machine's available parallelism.
+    pub fn build_parallel(
+        records: &[f32],
+        reps: &[f32],
+        dim: usize,
+        k: usize,
+        metric: Metric,
+        threads: usize,
+    ) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(records.len() % dim, 0);
+        assert_eq!(reps.len() % dim, 0);
+        let n_records = records.len() / dim;
+        let n_reps = reps.len() / dim;
+        assert!(n_reps > 0, "need at least one representative");
+        let k = k.min(n_reps).max(1);
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+        } else {
+            threads
+        };
+
+        let mut entries = vec![Neighbor { rep: 0, dist: f32::INFINITY }; n_records * k];
+        if threads <= 1 || n_records < 2 * threads {
+            scan_chunk(records, reps, dim, k, metric, &mut entries);
+        } else {
+            let rows_per_chunk = n_records.div_ceil(threads);
+            let record_chunks = records.chunks(rows_per_chunk * dim);
+            let entry_chunks = entries.chunks_mut(rows_per_chunk * k);
+            crossbeam::thread::scope(|scope| {
+                for (rec_chunk, ent_chunk) in record_chunks.zip(entry_chunks) {
+                    scope.spawn(move |_| scan_chunk(rec_chunk, reps, dim, k, metric, ent_chunk));
+                }
+            })
+            .expect("min-k worker panicked");
+        }
+        Self { k, n_records, n_reps, entries }
+    }
+
+    /// Assembles a table from raw parts (used by the pruned builder; the
+    /// caller guarantees `entries.len() == n_records · k`, ascending per
+    /// record).
+    pub(crate) fn from_parts(
+        k: usize,
+        n_records: usize,
+        n_reps: usize,
+        entries: Vec<Neighbor>,
+    ) -> Self {
+        assert_eq!(entries.len(), n_records * k);
+        Self { k, n_records, n_reps, entries }
+    }
+
+    /// Number of neighbors kept per record.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of records covered.
+    pub fn n_records(&self) -> usize {
+        self.n_records
+    }
+
+    /// Number of representatives currently known to the table.
+    pub fn n_reps(&self) -> usize {
+        self.n_reps
+    }
+
+    /// The `k` nearest representatives of `record`, ascending by distance.
+    pub fn neighbors(&self, record: usize) -> &[Neighbor] {
+        assert!(record < self.n_records, "record index out of range");
+        &self.entries[record * self.k..(record + 1) * self.k]
+    }
+
+    /// Nearest representative of `record` (the `k = 1` view used by limit
+    /// queries, §6.3) and its distance.
+    pub fn nearest(&self, record: usize) -> Neighbor {
+        self.neighbors(record)[0]
+    }
+
+    /// Incrementally registers a new representative: for every record, the
+    /// distance to the new representative's embedding is computed and the
+    /// neighbor list is updated if it improves. This is the cracking
+    /// primitive (§3.3): `O(n_records · dim)` per new representative.
+    ///
+    /// Returns the index assigned to the new representative.
+    pub fn add_representative(&mut self, records: &[f32], rep_embedding: &[f32], dim: usize, metric: Metric) -> u32 {
+        assert_eq!(records.len(), self.n_records * dim);
+        assert_eq!(rep_embedding.len(), dim);
+        let new_idx = self.n_reps as u32;
+        self.n_reps += 1;
+        let k = self.k;
+        for (i, rec) in records.chunks_exact(dim).enumerate() {
+            let d = metric.distance(rec, rep_embedding);
+            let list = &mut self.entries[i * k..(i + 1) * k];
+            if d < list[k - 1].dist {
+                // Shift the tail to make room, keeping ascending order.
+                let mut pos = k - 1;
+                while pos > 0 && list[pos - 1].dist > d {
+                    list[pos] = list[pos - 1];
+                    pos -= 1;
+                }
+                list[pos] = Neighbor { rep: new_idx, dist: d };
+            }
+        }
+        new_idx
+    }
+
+    /// Appends neighbor lists for new records (streaming ingest): computes
+    /// each new record's `k` nearest among `reps` and pushes the rows.
+    /// `new_records` and `reps` are row-major with `dim` columns; `reps`
+    /// must contain *all* current representatives in index order.
+    pub fn append_records(&mut self, new_records: &[f32], reps: &[f32], dim: usize, metric: Metric) {
+        assert_eq!(new_records.len() % dim, 0);
+        assert_eq!(reps.len(), self.n_reps * dim, "rep embeddings must match table state");
+        let n_new = new_records.len() / dim;
+        let start = self.entries.len();
+        self.entries.extend(std::iter::repeat_n(
+            Neighbor { rep: 0, dist: f32::INFINITY },
+            n_new * self.k,
+        ));
+        scan_chunk(new_records, reps, dim, self.k, metric, &mut self.entries[start..]);
+        self.n_records += n_new;
+    }
+
+    /// Maximum distance from any record to its nearest representative (the
+    /// quantity bounded by the paper's clustering-density assumption).
+    pub fn max_nearest_distance(&self) -> f32 {
+        (0..self.n_records)
+            .map(|i| self.nearest(i).dist)
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Mean distance from records to their nearest representative.
+    pub fn mean_nearest_distance(&self) -> f32 {
+        if self.n_records == 0 {
+            return 0.0;
+        }
+        (0..self.n_records).map(|i| self.nearest(i).dist).sum::<f32>() / self.n_records as f32
+    }
+}
+
+/// Inserts into a short ascending-sorted vector (k is small; linear shift
+/// beats a heap for k ≤ ~32).
+fn insert_sorted(list: &mut Vec<Neighbor>, n: Neighbor) {
+    let pos = list.partition_point(|x| x.dist <= n.dist);
+    list.insert(pos, n);
+}
+
+/// Fills `entries` (`rows · k` neighbors) for a contiguous chunk of records.
+fn scan_chunk(
+    records: &[f32],
+    reps: &[f32],
+    dim: usize,
+    k: usize,
+    metric: Metric,
+    entries: &mut [Neighbor],
+) {
+    let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    for (rec, out) in records.chunks_exact(dim).zip(entries.chunks_exact_mut(k)) {
+        heap.clear();
+        for (j, rep_row) in reps.chunks_exact(dim).enumerate() {
+            let d = metric.distance(rec, rep_row);
+            if heap.len() < k {
+                insert_sorted(&mut heap, Neighbor { rep: j as u32, dist: d });
+            } else if d < heap[k - 1].dist {
+                heap.pop();
+                insert_sorted(&mut heap, Neighbor { rep: j as u32, dist: d });
+            }
+        }
+        out.copy_from_slice(&heap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records on a 1-D line 0..10; reps at 0, 5, 9.
+    fn fixture() -> (Vec<f32>, Vec<f32>) {
+        let records: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let reps = vec![0.0f32, 5.0, 9.0];
+        (records, reps)
+    }
+
+    #[test]
+    fn neighbors_are_sorted_ascending() {
+        let (records, reps) = fixture();
+        let t = MinKTable::build(&records, &reps, 1, 3, Metric::L2);
+        for i in 0..10 {
+            let ns = t.neighbors(i);
+            for w in ns.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_rep_is_correct_on_line() {
+        let (records, reps) = fixture();
+        let t = MinKTable::build(&records, &reps, 1, 2, Metric::L2);
+        assert_eq!(t.nearest(0).rep, 0);
+        assert_eq!(t.nearest(1).rep, 0);
+        assert_eq!(t.nearest(4).rep, 1);
+        assert_eq!(t.nearest(6).rep, 1);
+        assert_eq!(t.nearest(9).rep, 2);
+        assert_eq!(t.nearest(9).dist, 0.0);
+    }
+
+    #[test]
+    fn k_is_clamped_to_rep_count() {
+        let (records, reps) = fixture();
+        let t = MinKTable::build(&records, &reps, 1, 10, Metric::L2);
+        assert_eq!(t.k(), 3);
+        assert_eq!(t.neighbors(0).len(), 3);
+    }
+
+    #[test]
+    fn add_representative_updates_nearest() {
+        let (records, reps) = fixture();
+        let mut t = MinKTable::build(&records, &reps, 1, 2, Metric::L2);
+        let before = t.nearest(2).dist; // nearest to record 2 was rep 0 at d=2
+        assert_eq!(before, 2.0);
+        let idx = t.add_representative(&records, &[2.0], 1, Metric::L2);
+        assert_eq!(idx, 3);
+        assert_eq!(t.n_reps(), 4);
+        assert_eq!(t.nearest(2).rep, 3);
+        assert_eq!(t.nearest(2).dist, 0.0);
+        // Record 9 unaffected.
+        assert_eq!(t.nearest(9).rep, 2);
+    }
+
+    #[test]
+    fn add_representative_never_increases_nearest_distance() {
+        let (records, reps) = fixture();
+        let mut t = MinKTable::build(&records, &reps, 1, 3, Metric::L2);
+        let before: Vec<f32> = (0..10).map(|i| t.nearest(i).dist).collect();
+        t.add_representative(&records, &[7.5], 1, Metric::L2);
+        for (i, &b) in before.iter().enumerate() {
+            assert!(t.nearest(i).dist <= b + 1e-7);
+        }
+    }
+
+    #[test]
+    fn max_and_mean_nearest_distance() {
+        let (records, reps) = fixture();
+        let t = MinKTable::build(&records, &reps, 1, 1, Metric::L2);
+        // Distances: 0,1,2,2,1,0,1,2,1,0 → max 2, mean 1.0
+        assert_eq!(t.max_nearest_distance(), 2.0);
+        assert!((t.mean_nearest_distance() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_dim_build() {
+        let records = vec![0.0f32, 0.0, 1.0, 1.0, 4.0, 4.0];
+        let reps = vec![0.0f32, 0.0, 4.0, 4.0];
+        let t = MinKTable::build(&records, &reps, 2, 2, Metric::L2);
+        assert_eq!(t.nearest(0).rep, 0);
+        assert_eq!(t.nearest(1).rep, 0);
+        assert_eq!(t.nearest(2).rep, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "record index out of range")]
+    fn out_of_range_record_panics() {
+        let (records, reps) = fixture();
+        let t = MinKTable::build(&records, &reps, 1, 1, Metric::L2);
+        let _ = t.neighbors(10);
+    }
+
+    #[test]
+    fn append_records_matches_fresh_build() {
+        let (records, reps) = fixture();
+        let mut incremental = MinKTable::build(&records[..6], &reps, 1, 2, Metric::L2);
+        incremental.append_records(&records[6..], &reps, 1, Metric::L2);
+        let fresh = MinKTable::build(&records, &reps, 1, 2, Metric::L2);
+        assert_eq!(incremental.n_records(), fresh.n_records());
+        for i in 0..fresh.n_records() {
+            assert_eq!(incremental.neighbors(i), fresh.neighbors(i), "record {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rep embeddings must match table state")]
+    fn append_records_rejects_stale_rep_set() {
+        let (records, reps) = fixture();
+        let mut t = MinKTable::build(&records, &reps, 1, 2, Metric::L2);
+        t.append_records(&[11.0], &reps[..2], 1, Metric::L2);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_bitwise() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let records: Vec<f32> = (0..500 * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let reps: Vec<f32> = (0..23 * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let serial = MinKTable::build_parallel(&records, &reps, 4, 3, Metric::L2, 1);
+        for threads in [2usize, 3, 7, 0] {
+            let par = MinKTable::build_parallel(&records, &reps, 4, 3, Metric::L2, threads);
+            assert_eq!(par.n_records(), serial.n_records());
+            for i in 0..serial.n_records() {
+                assert_eq!(par.neighbors(i), serial.neighbors(i), "record {i}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_tiny_inputs() {
+        let records = vec![0.0f32, 1.0, 2.0];
+        let reps = vec![0.5f32];
+        let t = MinKTable::build_parallel(&records, &reps, 1, 2, Metric::L2, 8);
+        assert_eq!(t.n_records(), 3);
+        assert_eq!(t.k(), 1);
+    }
+
+    #[test]
+    fn duplicate_distances_keep_all_entries() {
+        // Two reps equidistant from a record: both must appear.
+        let records = vec![0.0f32];
+        let reps = vec![-1.0f32, 1.0];
+        let t = MinKTable::build(&records, &reps, 1, 2, Metric::L2);
+        let ns = t.neighbors(0);
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns[0].dist, 1.0);
+        assert_eq!(ns[1].dist, 1.0);
+        let mut reps_seen: Vec<u32> = ns.iter().map(|n| n.rep).collect();
+        reps_seen.sort_unstable();
+        assert_eq!(reps_seen, vec![0, 1]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # tasti-cluster
+//!
+//! Clustering substrate for the TASTI index:
+//!
+//! * [`distance`] — the distance kernels used over embedding space.
+//! * [`fpf`] — the furthest-point-first algorithm of Gonzalez (1985), a
+//!   2-approximation to the optimal maximum intra-cluster distance, which the
+//!   paper uses both to mine training data (§3.1) and to select cluster
+//!   representatives (§3.2), optionally mixed with a fraction of random
+//!   representatives.
+//! * [`knn`] — min-k neighbor tables: for every record, the `k` nearest
+//!   cluster representatives and their distances. Supports incremental
+//!   extension with new representatives, which is what makes index
+//!   "cracking" (§3.3) cheap.
+//! * [`pruned`] — an exact triangle-inequality-pruned min-k builder that
+//!   skips most distance computations on clustered data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod fpf;
+pub mod knn;
+pub mod pruned;
+
+pub use distance::Metric;
+pub use fpf::{fpf, fpf_from, random_selection, select, FpfResult, SelectionStrategy};
+pub use knn::{MinKTable, Neighbor};
+pub use pruned::{build_pruned, PruneStats};

@@ -1,0 +1,287 @@
+//! Exact pruned min-k construction via triangle-inequality bounds.
+//!
+//! The brute-force min-k build is `O(N · R · d)` distance work. At the
+//! paper's scale (10⁶ records × 7,000 representatives × 128 dims) that is
+//! the dominant construction compute after the labeler (§3.4's `N·C·D·c_D`
+//! term). This module cuts it *without approximation*: representatives are
+//! sorted by distance to a pivot; for each record, candidates are visited
+//! outward from the record's own pivot distance, and a candidate is skipped
+//! whenever a pivot-based lower bound (`|d(x, p) − d(p, r)| ≤ d(x, r)` by
+//! the triangle inequality) already exceeds the current k-th best. The
+//! sweep on each side stops as soon as the primary-pivot bound alone
+//! exceeds the k-th best, because that bound is monotone along the sorted
+//! order. Results are bit-identical to [`MinKTable::build`] up to
+//! tie-breaking on equal distances.
+//!
+//! Requires a true metric ([`Metric::is_metric`]); panics otherwise.
+//!
+//! **When it pays off:** the pruned sweep trades vectorizable brute-force
+//! distance kernels for branchy bound checks, so wall-clock wins require the
+//! avoided work to dominate — high embedding dimension, many
+//! representatives, and clustered data. At small dims the brute build's
+//! SIMD-friendly inner loop can still be faster even when >50% of distance
+//! computations are pruned ([`PruneStats`] reports the exact counts); the
+//! default construction path therefore stays brute-force-parallel, with
+//! this builder available where the §3.4 distance term genuinely dominates.
+
+use crate::distance::Metric;
+use crate::fpf::fpf;
+use crate::knn::{MinKTable, Neighbor};
+
+/// Statistics from a pruned build.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneStats {
+    /// Exact distance computations performed (records × candidates kept).
+    pub distances_computed: u64,
+    /// Distance computations a brute-force build would have performed.
+    pub distances_brute_force: u64,
+}
+
+impl PruneStats {
+    /// Fraction of brute-force distance work avoided.
+    pub fn savings(&self) -> f64 {
+        if self.distances_brute_force == 0 {
+            return 0.0;
+        }
+        1.0 - self.distances_computed as f64 / self.distances_brute_force as f64
+    }
+}
+
+/// Builds a [`MinKTable`] with triangle-inequality pruning. Exact: the
+/// per-record neighbor distances equal the brute-force result (rep identity
+/// may differ only across exactly tied distances).
+///
+/// `n_pivots` extra pivots (chosen by FPF over the representatives) tighten
+/// the candidate filter; 4–8 is plenty.
+///
+/// # Panics
+/// Panics if `metric` does not satisfy the triangle inequality.
+pub fn build_pruned(
+    records: &[f32],
+    reps: &[f32],
+    dim: usize,
+    k: usize,
+    metric: Metric,
+    n_pivots: usize,
+) -> (MinKTable, PruneStats) {
+    assert!(metric.is_metric(), "pruned build requires a true metric (L2 or L1)");
+    assert!(dim > 0);
+    assert_eq!(records.len() % dim, 0);
+    assert_eq!(reps.len() % dim, 0);
+    let n_records = records.len() / dim;
+    let n_reps = reps.len() / dim;
+    assert!(n_reps > 0, "need at least one representative");
+    let k = k.min(n_reps).max(1);
+
+    // Pivots: FPF over the representatives (diverse pivots bound best).
+    let n_pivots = n_pivots.clamp(1, n_reps);
+    let pivot_ids = fpf(reps, dim, n_pivots, metric, 0).selected;
+    let pivots: Vec<&[f32]> = pivot_ids.iter().map(|&p| &reps[p * dim..(p + 1) * dim]).collect();
+
+    // d(pivot, rep) for every pivot × rep.
+    let mut rep_pivot: Vec<f32> = vec![0.0; n_reps * n_pivots];
+    for j in 0..n_reps {
+        let rep_row = &reps[j * dim..(j + 1) * dim];
+        for (p, pivot) in pivots.iter().enumerate() {
+            rep_pivot[j * n_pivots + p] = metric.distance(pivot, rep_row);
+        }
+    }
+
+    // Representatives sorted by distance to the primary pivot.
+    let mut order: Vec<u32> = (0..n_reps as u32).collect();
+    order.sort_by(|&a, &b| {
+        rep_pivot[a as usize * n_pivots]
+            .partial_cmp(&rep_pivot[b as usize * n_pivots])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let sorted_primary: Vec<f32> =
+        order.iter().map(|&j| rep_pivot[j as usize * n_pivots]).collect();
+
+    let mut entries: Vec<Neighbor> = Vec::with_capacity(n_records * k);
+    let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    let mut rec_pivot = vec![0.0f32; n_pivots];
+    let mut computed = 0u64;
+
+    for rec in records.chunks_exact(dim) {
+        for (p, pivot) in pivots.iter().enumerate() {
+            rec_pivot[p] = metric.distance(pivot, rec);
+        }
+        computed += n_pivots as u64;
+        heap.clear();
+        // Start at the representative whose primary-pivot distance is
+        // closest to the record's and expand outward.
+        let start = sorted_primary.partition_point(|&d| d < rec_pivot[0]);
+        let mut lo = start as isize - 1;
+        let mut hi = start;
+        let mut lo_open = true;
+        let mut hi_open = true;
+        while lo_open || hi_open {
+            // Pick the side with the smaller primary bound next.
+            let lo_bound =
+                if lo >= 0 { (rec_pivot[0] - sorted_primary[lo as usize]).abs() } else { f32::INFINITY };
+            let hi_bound = if hi < n_reps {
+                (rec_pivot[0] - sorted_primary[hi]).abs()
+            } else {
+                f32::INFINITY
+            };
+            let kth = if heap.len() == k { heap[k - 1].dist } else { f32::INFINITY };
+            // Monotone stop: once a side's primary bound exceeds the k-th
+            // best, every further rep on that side is prunable.
+            if lo_bound >= kth {
+                lo_open = false;
+            }
+            if hi_bound >= kth {
+                hi_open = false;
+            }
+            let take_lo = lo_open && (!hi_open || lo_bound <= hi_bound);
+            let take_hi = hi_open && !take_lo;
+            if !take_lo && !take_hi {
+                if lo < 0 && hi >= n_reps {
+                    break;
+                }
+                if !lo_open && !hi_open {
+                    break;
+                }
+                continue;
+            }
+            let j = if take_lo {
+                let j = order[lo as usize];
+                lo -= 1;
+                if lo < 0 {
+                    lo_open = false;
+                }
+                j
+            } else {
+                let j = order[hi];
+                hi += 1;
+                if hi >= n_reps {
+                    hi_open = false;
+                }
+                j
+            } as usize;
+
+            // Secondary-pivot filter.
+            let mut lb = 0.0f32;
+            for p in 0..n_pivots {
+                lb = lb.max((rec_pivot[p] - rep_pivot[j * n_pivots + p]).abs());
+            }
+            let kth = if heap.len() == k { heap[k - 1].dist } else { f32::INFINITY };
+            if lb >= kth {
+                continue;
+            }
+            let d = metric.distance(rec, &reps[j * dim..(j + 1) * dim]);
+            computed += 1;
+            if heap.len() < k {
+                let pos = heap.partition_point(|x| x.dist <= d);
+                heap.insert(pos, Neighbor { rep: j as u32, dist: d });
+            } else if d < heap[k - 1].dist {
+                heap.pop();
+                let pos = heap.partition_point(|x| x.dist <= d);
+                heap.insert(pos, Neighbor { rep: j as u32, dist: d });
+            }
+        }
+        entries.extend_from_slice(&heap);
+    }
+
+    let table = MinKTable::from_parts(k, n_records, n_reps, entries);
+    let stats = PruneStats {
+        distances_computed: computed,
+        distances_brute_force: (n_records as u64) * (n_reps as u64),
+    };
+    (table, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    /// Clustered data (like real embeddings) where pruning actually bites.
+    fn clustered_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..8)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+            .collect();
+        (0..n)
+            .flat_map(|i| {
+                let c = &centers[i % 8];
+                c.iter().map(|&x| x + rng.gen_range(-0.2f32..0.2)).collect::<Vec<f32>>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pruned_distances_match_brute_force() {
+        for metric in [Metric::L2, Metric::L1] {
+            let records = random_data(400, 6, 1);
+            let reps = random_data(60, 6, 2);
+            let brute = MinKTable::build(&records, &reps, 6, 4, metric);
+            let (pruned, stats) = build_pruned(&records, &reps, 6, 4, metric, 4);
+            assert_eq!(pruned.n_records(), brute.n_records());
+            for i in 0..brute.n_records() {
+                let a = brute.neighbors(i);
+                let b = pruned.neighbors(i);
+                for (x, y) in a.iter().zip(b) {
+                    assert!(
+                        (x.dist - y.dist).abs() < 1e-5,
+                        "record {i} {metric:?}: {x:?} vs {y:?}"
+                    );
+                }
+            }
+            assert!(stats.distances_computed <= stats.distances_brute_force + 400 * 4);
+        }
+    }
+
+    #[test]
+    fn pruning_saves_work_on_clustered_data() {
+        let records = clustered_data(2_000, 8, 3);
+        let reps = clustered_data(160, 8, 4);
+        let (_, stats) = build_pruned(&records, &reps, 8, 5, Metric::L2, 6);
+        assert!(
+            stats.savings() > 0.2,
+            "expected ≥20% pruning on clustered data, got {:.1}%",
+            stats.savings() * 100.0
+        );
+        // And the result still matches brute force.
+        let brute = MinKTable::build(&records, &reps, 8, 5, Metric::L2);
+        let (pruned, _) = build_pruned(&records, &reps, 8, 5, Metric::L2, 6);
+        for i in (0..2_000).step_by(37) {
+            for (x, y) in brute.neighbors(i).iter().zip(pruned.neighbors(i)) {
+                assert!((x.dist - y.dist).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_reps_is_clamped() {
+        let records = random_data(50, 3, 5);
+        let reps = random_data(4, 3, 6);
+        let (pruned, _) = build_pruned(&records, &reps, 3, 99, Metric::L2, 2);
+        assert_eq!(pruned.k(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a true metric")]
+    fn non_metric_is_rejected() {
+        let records = random_data(10, 2, 7);
+        let reps = random_data(3, 2, 8);
+        let _ = build_pruned(&records, &reps, 2, 1, Metric::Cosine, 2);
+    }
+
+    #[test]
+    fn single_rep_degenerate_case() {
+        let records = random_data(20, 2, 9);
+        let reps = random_data(1, 2, 10);
+        let (pruned, _) = build_pruned(&records, &reps, 2, 3, Metric::L2, 4);
+        let brute = MinKTable::build(&records, &reps, 2, 3, Metric::L2);
+        for i in 0..20 {
+            assert_eq!(pruned.neighbors(i), brute.neighbors(i));
+        }
+    }
+}

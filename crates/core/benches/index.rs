@@ -1,0 +1,96 @@
+//! Criterion benchmarks for index construction and query-time hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tasti_core::scoring::CountClass;
+use tasti_core::{build_index, TastiConfig, TastiIndex};
+use tasti_data::video::night_street;
+use tasti_data::{OracleLabeler, PretrainedEmbedder};
+use tasti_labeler::{MeteredLabeler, ObjectClass, VideoCloseness};
+use tasti_nn::TripletConfig;
+
+fn built_index(n: usize) -> (tasti_data::Dataset, TastiIndex) {
+    let p = night_street(n, 11);
+    let dataset = p.dataset;
+    let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+    let config = TastiConfig {
+        n_train: 100,
+        n_reps: 200,
+        embedding_dim: 16,
+        triplet: TripletConfig { steps: 100, batch_size: 16, margin: 0.3, ..Default::default() },
+        ..TastiConfig::default()
+    };
+    let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 1);
+    let pretrained = pt.embed_all(&dataset.features);
+    let (index, _) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &VideoCloseness::default(),
+        &config,
+    )
+    .unwrap();
+    (dataset, index)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let p = night_street(2_000, 11);
+    let dataset = p.dataset;
+    let config = TastiConfig {
+        n_train: 100,
+        n_reps: 200,
+        embedding_dim: 16,
+        triplet: TripletConfig { steps: 100, batch_size: 16, margin: 0.3, ..Default::default() },
+        ..TastiConfig::default()
+    };
+    let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 1);
+    let pretrained = pt.embed_all(&dataset.features);
+    c.bench_function("build_index_2k_frames", |b| {
+        b.iter(|| {
+            let labeler =
+                MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+            build_index(
+                black_box(&dataset.features),
+                black_box(&pretrained),
+                &labeler,
+                &VideoCloseness::default(),
+                &config,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_propagate(c: &mut Criterion) {
+    let (_dataset, index) = built_index(4_000);
+    let score = CountClass(ObjectClass::Car);
+    c.bench_function("propagate_4k_records_k5", |b| {
+        b.iter(|| index.propagate(black_box(&score)))
+    });
+    c.bench_function("limit_ranking_4k_records", |b| {
+        b.iter(|| index.limit_ranking(black_box(&score)))
+    });
+}
+
+fn bench_crack(c: &mut Criterion) {
+    let (dataset, index) = built_index(4_000);
+    let fresh: Vec<usize> = (0..4_000).filter(|r| !index.is_rep(*r)).take(64).collect();
+    c.bench_function("crack_64_reps_into_4k_index", |b| {
+        b.iter_batched(
+            || index.clone(),
+            |mut idx| {
+                for &r in &fresh {
+                    idx.crack(r, dataset.ground_truth(r).clone());
+                }
+                idx
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build, bench_propagate, bench_crack
+}
+criterion_main!(benches);

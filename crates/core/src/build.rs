@@ -1,0 +1,425 @@
+//! Index construction — Algorithm 1 of the paper.
+//!
+//! ```text
+//! function Make TASTI index(X, N₁, N₂, k)
+//!     PretrainedEmbeddings[i] ← PretrainedModel(X[i])
+//!     TrainingPoints        ← FPF(PretrainedEmbeddings, N₁)
+//!     TripletModel          ← Finetune(TrainingPoints, PretrainedModel)
+//!     Embeddings[i]         ← TripletModel(X[i])
+//!     ClusterRepresentatives ← FPF(Embeddings, N₂)
+//!     MinKDistances[i]      ← ClosestKDistances(X[i], ClusterRepresentatives, k)
+//!     return ClusterRepresentatives, MinKDistances
+//! ```
+//!
+//! Every stage is timed and its target-labeler invocations are recorded,
+//! which is what Figure 2's construction-cost breakdown plots. The
+//! `mining` / `clustering` / `train_embedding` switches in
+//! [`TastiConfig`](crate::TastiConfig) turn individual stages off or replace
+//! FPF with random selection for the factor analysis and lesion study
+//! (Figures 9–10).
+
+use crate::config::TastiConfig;
+use crate::index::TastiIndex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+use tasti_cluster::{select, MinKTable};
+use tasti_labeler::{BudgetExhausted, ClosenessFn, MeteredLabeler, TargetLabeler};
+use tasti_nn::train::fit_triplet;
+use tasti_nn::{Adam, Matrix, Mlp, MlpConfig};
+
+/// One timed construction stage.
+#[derive(Debug, Clone, Serialize)]
+pub struct BuildStage {
+    /// Stage name (`mining`, `annotate-train`, `triplet-train`, `embed`,
+    /// `cluster`, `annotate-reps`, `distances`).
+    pub name: &'static str,
+    /// Wall-clock seconds spent in the stage (of *our* pipeline; labeler
+    /// execution is accounted separately through the cost model).
+    pub seconds: f64,
+    /// Target-labeler invocations incurred by the stage.
+    pub labeler_invocations: u64,
+}
+
+/// Construction report: the data behind Figure 2 and Figure 3's x-axis.
+#[derive(Debug, Clone, Serialize)]
+pub struct BuildReport {
+    /// Per-stage timings and invocation counts.
+    pub stages: Vec<BuildStage>,
+    /// Final mean triplet loss (NaN when training was skipped).
+    pub triplet_loss: f32,
+    /// Total distinct target-labeler invocations for construction.
+    pub total_invocations: u64,
+    /// Number of records indexed.
+    pub n_records: usize,
+    /// Number of embedding-model forward rows during training
+    /// (`L` in the §3.4 cost model).
+    pub training_forward_rows: u64,
+    /// Record-to-representative distance computations (`N·C` term of §3.4).
+    pub distance_computations: u64,
+}
+
+impl BuildReport {
+    /// Total wall-clock seconds across stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Invocations of a named stage (0 if absent).
+    pub fn stage_invocations(&self, name: &str) -> u64 {
+        self.stages.iter().filter(|s| s.name == name).map(|s| s.labeler_invocations).sum()
+    }
+}
+
+/// Embeds all rows of `features` through `net`, splitting the batch across
+/// threads. Deterministic: rows are processed independently and reassembled
+/// in order.
+fn parallel_embed(net: &Mlp, features: &Matrix) -> Matrix {
+    let threads =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+    let n = features.rows();
+    if threads <= 1 || n < 2 * threads {
+        return net.forward_ref(features);
+    }
+    let rows_per_chunk = n.div_ceil(threads);
+    let mut out = Matrix::zeros(n, net.output_dim());
+    let out_cols = out.cols();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk_idx in 0..threads {
+            let start = chunk_idx * rows_per_chunk;
+            if start >= n {
+                break;
+            }
+            let end = (start + rows_per_chunk).min(n);
+            let rows: Vec<usize> = (start..end).collect();
+            let chunk = features.select_rows(&rows);
+            handles.push((start, scope.spawn(move |_| net.forward_ref(&chunk))));
+        }
+        for (start, h) in handles {
+            let emb = h.join().expect("embedding worker panicked");
+            let flat = out.as_mut_slice();
+            flat[start * out_cols..start * out_cols + emb.as_slice().len()]
+                .copy_from_slice(emb.as_slice());
+        }
+    })
+    .expect("embedding scope failed");
+    out
+}
+
+/// Builds a [`TastiIndex`] over a dataset (Algorithm 1).
+///
+/// * `features` — raw record features (the embedding model's input).
+/// * `pretrained` — pre-computed pre-trained embeddings (Algorithm 1 line 1;
+///   also the final embeddings for TASTI-PT).
+/// * `labeler` — the metered target labeler; training points and cluster
+///   representatives are annotated through it, so its meter reflects
+///   construction cost afterwards.
+/// * `closeness` — the user's closeness function, used to bucket training
+///   annotations for triplet construction (§3.1).
+///
+/// # Errors
+/// Propagates [`BudgetExhausted`] if the labeler's hard budget cannot cover
+/// the configured `N₁ + N₂` annotations.
+pub fn build_index<L: TargetLabeler>(
+    features: &Matrix,
+    pretrained: &Matrix,
+    labeler: &MeteredLabeler<L>,
+    closeness: &dyn ClosenessFn,
+    config: &TastiConfig,
+) -> Result<(TastiIndex, BuildReport), BudgetExhausted> {
+    assert_eq!(features.rows(), pretrained.rows(), "features/pretrained row mismatch");
+    assert!(features.rows() > 0, "cannot index an empty dataset");
+    let n = features.rows();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut stages = Vec::new();
+    let mut triplet_loss = f32::NAN;
+    let mut training_forward_rows = 0u64;
+
+    // ── Stage 1+2: mine training points on pre-trained embeddings and
+    //    annotate them (skipped entirely for TASTI-PT: no training → no
+    //    training labels).
+    let (embeddings, trained_model) = if config.train_embedding {
+        let t = Instant::now();
+        let inv0 = labeler.invocations();
+        let mining = select(
+            pretrained.as_slice(),
+            pretrained.cols(),
+            config.n_train.min(n),
+            config.metric,
+            config.mining,
+            0,
+            &mut rng,
+        );
+        stages.push(BuildStage {
+            name: "mining",
+            seconds: t.elapsed().as_secs_f64(),
+            labeler_invocations: labeler.invocations() - inv0,
+        });
+
+        // Annotate and bucket the training points (§3.1).
+        let t = Instant::now();
+        let inv0 = labeler.invocations();
+        let mut buckets = Vec::with_capacity(mining.selected.len());
+        let mut bucket_ids: std::collections::HashMap<u64, usize> = Default::default();
+        for &rec in &mining.selected {
+            let out = labeler.try_label(rec)?;
+            let key = closeness.bucket(&out);
+            let next = bucket_ids.len();
+            buckets.push(*bucket_ids.entry(key).or_insert(next));
+        }
+        stages.push(BuildStage {
+            name: "annotate-train",
+            seconds: t.elapsed().as_secs_f64(),
+            labeler_invocations: labeler.invocations() - inv0,
+        });
+
+        // ── Stage 3: triplet fine-tuning (§3.1) over the raw features of
+        //    the mined records.
+        let t = Instant::now();
+        let train_features = features.select_rows(&mining.selected);
+        let mlp_config = MlpConfig::embedding(features.cols(), config.embedding_dim);
+        let mut net = Mlp::new(&mlp_config, &mut rng);
+        let mut opt = Adam::new(3e-3);
+        let report =
+            fit_triplet(&mut net, &train_features, &buckets, &config.triplet, &mut opt, &mut rng);
+        triplet_loss = report.final_loss;
+        training_forward_rows = (report.steps * config.triplet.batch_size * 3) as u64;
+        stages.push(BuildStage {
+            name: "triplet-train",
+            seconds: t.elapsed().as_secs_f64(),
+            labeler_invocations: 0,
+        });
+
+        // ── Stage 4: embed every record with the fine-tuned model
+        //    (fanned out across threads; §3.4 notes embedding all records is
+        //    a first-order construction cost).
+        let t = Instant::now();
+        let emb = parallel_embed(&net, features);
+        stages.push(BuildStage {
+            name: "embed",
+            seconds: t.elapsed().as_secs_f64(),
+            labeler_invocations: 0,
+        });
+        (emb, Some(net))
+    } else {
+        // TASTI-PT: the pre-trained embeddings are the index embeddings.
+        (pretrained.clone(), None)
+    };
+
+    // ── Stage 5: select cluster representatives (§3.2).
+    let t = Instant::now();
+    let clustering = select(
+        embeddings.as_slice(),
+        embeddings.cols(),
+        config.n_reps.min(n),
+        config.metric,
+        config.clustering,
+        0,
+        &mut rng,
+    );
+    stages.push(BuildStage {
+        name: "cluster",
+        seconds: t.elapsed().as_secs_f64(),
+        labeler_invocations: 0,
+    });
+
+    // ── Stage 6: annotate the representatives.
+    let t = Instant::now();
+    let inv0 = labeler.invocations();
+    let mut rep_outputs = Vec::with_capacity(clustering.selected.len());
+    for &rec in &clustering.selected {
+        rep_outputs.push(labeler.try_label(rec)?);
+    }
+    stages.push(BuildStage {
+        name: "annotate-reps",
+        seconds: t.elapsed().as_secs_f64(),
+        labeler_invocations: labeler.invocations() - inv0,
+    });
+
+    // ── Stage 7: min-k distance table.
+    let t = Instant::now();
+    let rep_embeddings: Vec<f32> = clustering
+        .selected
+        .iter()
+        .flat_map(|&r| embeddings.row(r).iter().copied())
+        .collect();
+    let mink = MinKTable::build_parallel(
+        embeddings.as_slice(),
+        &rep_embeddings,
+        embeddings.cols(),
+        config.k,
+        config.metric,
+        0, // auto parallelism; per-record work is independent and deterministic
+    );
+    stages.push(BuildStage {
+        name: "distances",
+        seconds: t.elapsed().as_secs_f64(),
+        labeler_invocations: 0,
+    });
+
+    let distance_computations = (n as u64) * clustering.selected.len() as u64;
+    let total_invocations = stages.iter().map(|s| s.labeler_invocations).sum();
+    let report = BuildReport {
+        stages,
+        triplet_loss,
+        total_invocations,
+        n_records: n,
+        training_forward_rows,
+        distance_computations,
+    };
+    let mut index = TastiIndex::new(
+        embeddings,
+        config.metric,
+        config.k,
+        clustering.selected,
+        rep_outputs,
+        mink,
+    );
+    if let Some(net) = trained_model {
+        // Carrying the trained model enables streaming ingest of new
+        // records (TastiIndex::append_records).
+        index = index.with_model(net);
+    }
+    Ok((index, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::{CountClass, ScoringFunction};
+    use tasti_cluster::SelectionStrategy;
+    use tasti_data::video::night_street;
+    use tasti_data::{OracleLabeler, PretrainedEmbedder};
+    use tasti_labeler::{ObjectClass, VideoCloseness};
+    use tasti_nn::metrics::rho_squared;
+    use tasti_nn::TripletConfig;
+
+    fn small_config() -> TastiConfig {
+        TastiConfig {
+            n_train: 60,
+            n_reps: 120,
+            k: 5,
+            embedding_dim: 8,
+            triplet: TripletConfig { steps: 150, batch_size: 16, margin: 0.3, ..Default::default() },
+            ..TastiConfig::default()
+        }
+    }
+
+    fn build_night_street(
+        config: &TastiConfig,
+    ) -> (tasti_data::Dataset, MeteredLabeler<OracleLabeler>, TastiIndex, BuildReport) {
+        let preset = night_street(1200, 42);
+        let dataset = preset.dataset;
+        let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+        let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 3);
+        let pretrained = pt.embed_all(&dataset.features);
+        let (index, report) = build_index(
+            &dataset.features,
+            &pretrained,
+            &labeler,
+            &VideoCloseness::default(),
+            config,
+        )
+        .expect("unbudgeted build cannot fail");
+        (dataset, labeler, index, report)
+    }
+
+    #[test]
+    fn build_produces_configured_shape() {
+        let config = small_config();
+        let (dataset, labeler, index, report) = build_night_street(&config);
+        assert_eq!(index.n_records(), dataset.len());
+        assert_eq!(index.reps().len(), config.n_reps);
+        assert_eq!(index.embedding_dim(), config.embedding_dim);
+        // Invocation accounting: ≤ N₁ + N₂ (overlap dedupes), > 0.
+        assert!(report.total_invocations <= (config.n_train + config.n_reps) as u64);
+        assert!(report.total_invocations > 0);
+        assert_eq!(report.total_invocations, labeler.invocations());
+        assert!(report.total_seconds() > 0.0);
+        assert!(report.triplet_loss.is_finite());
+    }
+
+    #[test]
+    fn rep_outputs_match_ground_truth() {
+        let config = small_config();
+        let (dataset, _labeler, index, _report) = build_night_street(&config);
+        for (i, &rec) in index.reps().iter().enumerate() {
+            assert_eq!(index.rep_output(i), dataset.ground_truth(rec));
+        }
+    }
+
+    #[test]
+    fn trained_proxy_scores_correlate_with_truth() {
+        let config = small_config();
+        let (dataset, _labeler, index, _report) = build_night_street(&config);
+        let score_fn = CountClass(ObjectClass::Car);
+        let proxy = index.propagate(&score_fn);
+        let truth = dataset.true_scores(|o| score_fn.score(o));
+        let rho2 = rho_squared(&proxy, &truth);
+        assert!(rho2 > 0.3, "trained index proxy should correlate with truth: ρ² = {rho2}");
+    }
+
+    #[test]
+    fn pretrained_build_skips_training_stages_and_labels() {
+        let config = small_config().pretrained_only();
+        let (_dataset, labeler, index, report) = build_night_street(&config);
+        assert!(report.triplet_loss.is_nan());
+        assert_eq!(report.stage_invocations("annotate-train"), 0);
+        assert_eq!(labeler.invocations(), config.n_reps as u64);
+        assert_eq!(index.reps().len(), config.n_reps);
+        assert!(report.stages.iter().all(|s| s.name != "triplet-train"));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let preset = night_street(400, 7);
+        let dataset = preset.dataset;
+        let labeler =
+            MeteredLabeler::with_budget(OracleLabeler::mask_rcnn(dataset.truth_handle()), 10);
+        let config = small_config();
+        let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 3);
+        let pretrained = pt.embed_all(&dataset.features);
+        let result = build_index(
+            &dataset.features,
+            &pretrained,
+            &labeler,
+            &VideoCloseness::default(),
+            &config,
+        );
+        assert_eq!(result.err(), Some(BudgetExhausted { budget: 10 }));
+    }
+
+    #[test]
+    fn random_ablation_builds_successfully() {
+        let config = TastiConfig {
+            mining: SelectionStrategy::Random,
+            clustering: SelectionStrategy::Random,
+            ..small_config()
+        };
+        let (_dataset, _labeler, index, _report) = build_night_street(&config);
+        assert_eq!(index.reps().len(), config.n_reps);
+    }
+
+    #[test]
+    fn build_is_deterministic_given_seed() {
+        let config = small_config();
+        let (_d1, _l1, i1, _r1) = build_night_street(&config);
+        let (_d2, _l2, i2, _r2) = build_night_street(&config);
+        assert_eq!(i1.reps(), i2.reps());
+        assert_eq!(i1.embeddings(), i2.embeddings());
+    }
+
+    #[test]
+    fn stage_names_cover_algorithm_one() {
+        let config = small_config();
+        let (_d, _l, _i, report) = build_night_street(&config);
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
+        for expected in
+            ["mining", "annotate-train", "triplet-train", "embed", "cluster", "annotate-reps", "distances"]
+        {
+            assert!(names.contains(&expected), "missing stage {expected}");
+        }
+    }
+}

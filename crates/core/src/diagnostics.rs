@@ -1,0 +1,225 @@
+//! Index diagnostics: self-assessment without ground truth.
+//!
+//! A production index needs to answer "how good are my proxy scores for
+//! this query?" *before* spending target-labeler budget. The only labeled
+//! records an index owns are its cluster representatives, so diagnostics
+//! are computed by **leave-one-out cross-validation over the
+//! representatives**: each representative's score is re-predicted from its
+//! `k` nearest *other* representatives, and the predicted-vs-exact
+//! agreement estimates downstream proxy quality. The same machinery reports
+//! structural statistics (cover radius distribution, cluster sizes, bucket
+//! purity) that §5's analysis ties to query accuracy.
+//!
+//! **Bias note:** the LOO estimate is systematically *pessimistic*. FPF
+//! selects representatives to be maximally far apart, so each one is
+//! harder to predict from its peers than a typical record is from its
+//! nearest representatives. Treat the estimate as a conservative lower
+//! bound; crucially, it preserves *ordering* between candidate indexes
+//! (e.g. TASTI-T vs TASTI-PT, or different budgets), which is what
+//! index-selection decisions need.
+
+use crate::index::TastiIndex;
+use crate::propagate::weighted_mean;
+use crate::scoring::ScoringFunction;
+use serde::Serialize;
+use tasti_cluster::{MinKTable, Neighbor};
+use tasti_nn::metrics::{mae, rho_squared};
+
+/// Leave-one-out proxy-quality estimate for one scoring function.
+#[derive(Debug, Clone, Serialize)]
+pub struct LooQuality {
+    /// Squared correlation between LOO-predicted and exact representative
+    /// scores — a *conservative* estimate of the deployed proxy's ρ²
+    /// (see the module docs for why it under-reports).
+    pub rho_squared: f64,
+    /// Mean absolute LOO prediction error.
+    pub mae: f64,
+    /// Number of representatives evaluated.
+    pub n_reps: usize,
+}
+
+/// Structural statistics of an index.
+#[derive(Debug, Clone, Serialize)]
+pub struct IndexStats {
+    /// Number of records.
+    pub n_records: usize,
+    /// Number of representatives.
+    pub n_reps: usize,
+    /// Max record-to-nearest-rep distance (§5's density quantity).
+    pub cover_radius: f32,
+    /// Mean record-to-nearest-rep distance.
+    pub mean_nearest_distance: f32,
+    /// Records assigned (by nearest rep) to the largest cluster.
+    pub largest_cluster: usize,
+    /// Fraction of representatives that are some record's nearest rep
+    /// (representatives with empty clusters indicate over-provisioning in
+    /// dense regions).
+    pub active_rep_fraction: f64,
+}
+
+/// Computes structural statistics.
+pub fn index_stats(index: &TastiIndex) -> IndexStats {
+    let mink = index.mink();
+    let n_reps = index.reps().len();
+    let mut cluster_sizes = vec![0usize; n_reps];
+    for rec in 0..mink.n_records() {
+        cluster_sizes[mink.nearest(rec).rep as usize] += 1;
+    }
+    let largest_cluster = cluster_sizes.iter().copied().max().unwrap_or(0);
+    let active = cluster_sizes.iter().filter(|&&c| c > 0).count();
+    IndexStats {
+        n_records: index.n_records(),
+        n_reps,
+        cover_radius: mink.max_nearest_distance(),
+        mean_nearest_distance: mink.mean_nearest_distance(),
+        largest_cluster,
+        active_rep_fraction: active as f64 / n_reps.max(1) as f64,
+    }
+}
+
+/// Estimates the proxy quality the index would deliver for `score_fn` via
+/// leave-one-out cross-validation over the representatives — **zero target
+/// labeler invocations**.
+pub fn loo_quality(index: &TastiIndex, score_fn: &dyn ScoringFunction) -> LooQuality {
+    let reps = index.reps();
+    let n_reps = reps.len();
+    let exact = index.rep_scores(score_fn);
+    if n_reps < 3 {
+        return LooQuality { rho_squared: 0.0, mae: f64::NAN, n_reps };
+    }
+    // Min-k table over the representatives themselves (k+1 so each rep can
+    // drop itself from its own neighbor list).
+    let dim = index.embedding_dim();
+    let rep_flat: Vec<f32> = reps
+        .iter()
+        .flat_map(|&r| index.embeddings().row(r).iter().copied())
+        .collect();
+    let k = index.k();
+    let table = MinKTable::build_parallel(&rep_flat, &rep_flat, dim, k + 1, index.metric(), 0);
+    let mut predicted = Vec::with_capacity(n_reps);
+    let mut others: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    for i in 0..n_reps {
+        others.clear();
+        others.extend(table.neighbors(i).iter().filter(|n| n.rep as usize != i).copied());
+        predicted.push(weighted_mean(&others, &exact, k));
+    }
+    LooQuality {
+        rho_squared: rho_squared(&predicted, &exact),
+        mae: mae(&predicted, &exact),
+        n_reps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_index;
+    use crate::config::TastiConfig;
+    use crate::scoring::CountClass;
+    use tasti_data::video::night_street;
+    use tasti_data::{OracleLabeler, PretrainedEmbedder};
+    use tasti_labeler::{MeteredLabeler, ObjectClass, VideoCloseness};
+    use tasti_nn::TripletConfig;
+
+    fn build(n: usize, seed: u64, train: bool) -> (tasti_data::Dataset, TastiIndex) {
+        let p = night_street(n, seed);
+        let dataset = p.dataset;
+        let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+        let mut config = TastiConfig {
+            n_train: 120,
+            n_reps: 220,
+            embedding_dim: 16,
+            triplet: TripletConfig { steps: 150, batch_size: 24, margin: 0.3, ..Default::default() },
+            seed,
+            ..TastiConfig::default()
+        };
+        if !train {
+            config = config.pretrained_only();
+        }
+        let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 5);
+        let pretrained = pt.embed_all(&dataset.features);
+        let (index, _) = build_index(
+            &dataset.features,
+            &pretrained,
+            &labeler,
+            &VideoCloseness::default(),
+            &config,
+        )
+        .unwrap();
+        (dataset, index)
+    }
+
+    #[test]
+    fn stats_reflect_index_shape() {
+        let (_, index) = build(1_500, 41, true);
+        let stats = index_stats(&index);
+        assert_eq!(stats.n_records, 1_500);
+        assert_eq!(stats.n_reps, 220);
+        assert!(stats.cover_radius > 0.0);
+        assert!(stats.mean_nearest_distance <= stats.cover_radius);
+        assert!(stats.largest_cluster >= 1_500 / 220);
+        assert!(stats.active_rep_fraction > 0.5);
+    }
+
+    #[test]
+    fn loo_estimate_tracks_true_proxy_quality() {
+        let (dataset, index) = build(1_500, 43, true);
+        let score = CountClass(ObjectClass::Car);
+        let est = loo_quality(&index, &score);
+        let proxy = index.propagate(&score);
+        let truth = dataset.true_scores(|o| score.score(o));
+        let true_rho2 = rho_squared(&proxy, &truth);
+        assert!(est.n_reps == 220);
+        // Conservative lower bound: meaningfully positive, rarely above the
+        // true quality (FPF reps are the hardest records to predict).
+        assert!(
+            est.rho_squared > 0.25,
+            "LOO estimate should be informative: {:.3}",
+            est.rho_squared
+        );
+        assert!(
+            est.rho_squared <= true_rho2 + 0.15,
+            "LOO estimate {:.3} should not exceed true ρ² {:.3} by much",
+            est.rho_squared,
+            true_rho2
+        );
+        assert!(est.mae.is_finite());
+    }
+
+    #[test]
+    fn loo_ranks_trained_above_untrained_embeddings() {
+        // The diagnostic must reproduce the TASTI-T > TASTI-PT ordering
+        // without ever touching ground truth.
+        let (_, trained) = build(1_500, 47, true);
+        let (_, untrained) = build(1_500, 47, false);
+        let score = CountClass(ObjectClass::Car);
+        let q_t = loo_quality(&trained, &score);
+        let q_pt = loo_quality(&untrained, &score);
+        assert!(
+            q_t.rho_squared > q_pt.rho_squared - 0.05,
+            "LOO should not rank TASTI-T below TASTI-PT: {:.3} vs {:.3}",
+            q_t.rho_squared,
+            q_pt.rho_squared
+        );
+    }
+
+    #[test]
+    fn tiny_index_degrades_gracefully() {
+        use tasti_cluster::{Metric, MinKTable};
+        use tasti_labeler::LabelerOutput;
+        use tasti_nn::Matrix;
+        let embeddings = Matrix::from_fn(2, 1, |r, _| r as f32);
+        let mink = MinKTable::build(embeddings.as_slice(), &[0.0], 1, 1, Metric::L2);
+        let index = TastiIndex::new(
+            embeddings,
+            Metric::L2,
+            1,
+            vec![0],
+            vec![LabelerOutput::Detections(vec![])],
+            mink,
+        );
+        let q = loo_quality(&index, &CountClass(ObjectClass::Car));
+        assert_eq!(q.rho_squared, 0.0);
+        assert!(q.mae.is_nan());
+    }
+}

@@ -1,0 +1,302 @@
+//! The queryable TASTI index.
+//!
+//! A [`TastiIndex`] is the artifact Algorithm 1 produces: record embeddings,
+//! annotated cluster representatives, and the min-k distance table. All query
+//! processing goes through [`TastiIndex::propagate`] and friends; cracking
+//! (§3.3) mutates the index in place via [`TastiIndex::crack`].
+
+use crate::propagate;
+use crate::scoring::ScoringFunction;
+use std::collections::HashSet;
+use tasti_cluster::{Metric, MinKTable};
+use tasti_labeler::{LabelerOutput, RecordId};
+use tasti_nn::{Matrix, Mlp};
+
+/// The TASTI semantic index over one dataset.
+#[derive(Debug, Clone)]
+pub struct TastiIndex {
+    embeddings: Matrix,
+    metric: Metric,
+    k: usize,
+    reps: Vec<RecordId>,
+    rep_outputs: Vec<LabelerOutput>,
+    rep_set: HashSet<RecordId>,
+    mink: MinKTable,
+    /// The triplet-trained embedding model, when available (TASTI-T).
+    /// Required for streaming ingest of new records.
+    model: Option<Mlp>,
+}
+
+impl TastiIndex {
+    /// Assembles an index from its parts (normally done by
+    /// [`crate::build::build_index`]).
+    pub fn new(
+        embeddings: Matrix,
+        metric: Metric,
+        k: usize,
+        reps: Vec<RecordId>,
+        rep_outputs: Vec<LabelerOutput>,
+        mink: MinKTable,
+    ) -> Self {
+        assert_eq!(reps.len(), rep_outputs.len(), "one output per representative");
+        assert_eq!(mink.n_reps(), reps.len(), "min-k table rep count mismatch");
+        assert_eq!(mink.n_records(), embeddings.rows(), "min-k table record count mismatch");
+        let rep_set = reps.iter().copied().collect();
+        Self { embeddings, metric, k, reps, rep_outputs, rep_set, mink, model: None }
+    }
+
+    /// Attaches the trained embedding model (enables
+    /// [`TastiIndex::append_records`]).
+    pub fn with_model(mut self, model: Mlp) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// The trained embedding model, if the index carries one.
+    pub fn model(&self) -> Option<&Mlp> {
+        self.model.as_ref()
+    }
+
+    /// Number of records indexed.
+    pub fn n_records(&self) -> usize {
+        self.embeddings.rows()
+    }
+
+    /// Current cluster representatives (record ids, in insertion order).
+    pub fn reps(&self) -> &[RecordId] {
+        &self.reps
+    }
+
+    /// The cached target-labeler output of representative `rep_idx`.
+    pub fn rep_output(&self, rep_idx: usize) -> &LabelerOutput {
+        &self.rep_outputs[rep_idx]
+    }
+
+    /// Whether `record` is a representative.
+    pub fn is_rep(&self, record: RecordId) -> bool {
+        self.rep_set.contains(&record)
+    }
+
+    /// Default propagation `k` (§5.3: 5).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Embedding dimension.
+    pub fn embedding_dim(&self) -> usize {
+        self.embeddings.cols()
+    }
+
+    /// Record embeddings (row per record).
+    pub fn embeddings(&self) -> &Matrix {
+        &self.embeddings
+    }
+
+    /// The min-k distance table.
+    pub fn mink(&self) -> &MinKTable {
+        &self.mink
+    }
+
+    /// Distance metric in use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Executes `score_fn` exactly on the representatives' cached outputs.
+    pub fn rep_scores(&self, score_fn: &dyn ScoringFunction) -> Vec<f64> {
+        self.rep_outputs.iter().map(|o| score_fn.score(o)).collect()
+    }
+
+    /// Produces query-specific proxy scores for every record (§4.3) with the
+    /// index's default `k`.
+    pub fn propagate(&self, score_fn: &dyn ScoringFunction) -> Vec<f64> {
+        self.propagate_with_k(score_fn, self.k)
+    }
+
+    /// Propagation with an explicit `k` (the sensitivity analyses vary it).
+    pub fn propagate_with_k(&self, score_fn: &dyn ScoringFunction, k: usize) -> Vec<f64> {
+        let rep_scores = self.rep_scores(score_fn);
+        propagate::propagate_numeric(&self.mink, &rep_scores, k)
+    }
+
+    /// Categorical propagation: weighted majority vote of `categorize` over
+    /// the `k` nearest representatives.
+    pub fn propagate_categorical(
+        &self,
+        categorize: impl Fn(&LabelerOutput) -> u32,
+        k: usize,
+    ) -> Vec<u32> {
+        let cats: Vec<u32> = self.rep_outputs.iter().map(categorize).collect();
+        propagate::propagate_categorical(&self.mink, &cats, k)
+    }
+
+    /// Limit-query ranking (§6.3): records ordered by descending `k = 1`
+    /// proxy score, ties broken by ascending distance to the representative.
+    pub fn limit_ranking(&self, score_fn: &dyn ScoringFunction) -> Vec<RecordId> {
+        let rep_scores = self.rep_scores(score_fn);
+        propagate::limit_ranking(&self.mink, &rep_scores)
+    }
+
+    /// Maximum record-to-nearest-representative embedding distance — the
+    /// cluster-density quantity `max‖φ(x) − φ(c(x))‖` from the analysis (§5).
+    pub fn cover_radius(&self) -> f32 {
+        self.mink.max_nearest_distance()
+    }
+
+    /// Streams new unstructured records into the index: embeds them with
+    /// the trained model and extends the min-k table. The new records get
+    /// proxy scores from the existing representatives immediately; later
+    /// cracking can promote them to representatives like any other record.
+    /// Returns the id range assigned to the new records.
+    ///
+    /// # Panics
+    /// Panics if the index carries no embedding model (TASTI-PT indexes:
+    /// embed externally and use [`TastiIndex::append_embedded`]).
+    pub fn append_records(&mut self, new_features: &Matrix) -> std::ops::Range<RecordId> {
+        let model = self.model.as_ref().expect(
+            "append_records requires an embedding model; use append_embedded for TASTI-PT",
+        );
+        assert_eq!(
+            new_features.cols(),
+            model.input_dim(),
+            "new record feature dimension mismatch"
+        );
+        let new_embeddings = model.forward_ref(new_features);
+        self.append_embedded(&new_embeddings)
+    }
+
+    /// Streams new *pre-embedded* records into the index (the TASTI-PT
+    /// ingest path). Returns the id range assigned.
+    pub fn append_embedded(&mut self, new_embeddings: &Matrix) -> std::ops::Range<RecordId> {
+        assert_eq!(
+            new_embeddings.cols(),
+            self.embeddings.cols(),
+            "embedding dimension mismatch"
+        );
+        let start = self.embeddings.rows();
+        let dim = self.embeddings.cols();
+        let rep_flat: Vec<f32> = self
+            .reps
+            .iter()
+            .flat_map(|&r| self.embeddings.row(r).iter().copied())
+            .collect();
+        self.mink.append_records(new_embeddings.as_slice(), &rep_flat, dim, self.metric);
+        self.embeddings = Matrix::vstack(&[&self.embeddings, new_embeddings]);
+        start..self.embeddings.rows()
+    }
+
+    /// Registers a query-time target-labeler result as a new representative
+    /// — index cracking (§3.3). No-op (returning `false`) if the record
+    /// already is a representative.
+    pub fn crack(&mut self, record: RecordId, output: LabelerOutput) -> bool {
+        if !self.rep_set.insert(record) {
+            return false;
+        }
+        let dim = self.embeddings.cols();
+        let emb_row = self.embeddings.row(record).to_vec();
+        self.mink.add_representative(self.embeddings.as_slice(), &emb_row, dim, self.metric);
+        self.reps.push(record);
+        self.rep_outputs.push(output);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::CountClass;
+    use tasti_labeler::{Detection, ObjectClass};
+
+    fn frame(n_cars: usize) -> LabelerOutput {
+        LabelerOutput::Detections(
+            (0..n_cars)
+                .map(|i| Detection {
+                    class: ObjectClass::Car,
+                    x: 0.1 * (i + 1) as f32,
+                    y: 0.5,
+                    w: 0.1,
+                    h: 0.1,
+                })
+                .collect(),
+        )
+    }
+
+    /// Six records on a line; reps at records 0 (0 cars) and 5 (3 cars).
+    fn tiny_index() -> TastiIndex {
+        let embeddings = Matrix::from_fn(6, 1, |r, _| r as f32);
+        let reps = vec![0usize, 5];
+        let rep_outputs = vec![frame(0), frame(3)];
+        let rep_emb: Vec<f32> = vec![0.0, 5.0];
+        let mink = MinKTable::build(embeddings.as_slice(), &rep_emb, 1, 2, Metric::L2);
+        TastiIndex::new(embeddings, Metric::L2, 2, reps, rep_outputs, mink)
+    }
+
+    #[test]
+    fn propagate_counts_interpolate() {
+        let idx = tiny_index();
+        let scores = idx.propagate(&CountClass(ObjectClass::Car));
+        assert_eq!(scores[0], 0.0);
+        assert_eq!(scores[5], 3.0);
+        assert!(scores[1] < scores[4]);
+    }
+
+    #[test]
+    fn rep_bookkeeping() {
+        let idx = tiny_index();
+        assert_eq!(idx.n_records(), 6);
+        assert_eq!(idx.reps(), &[0, 5]);
+        assert!(idx.is_rep(0));
+        assert!(!idx.is_rep(3));
+        assert_eq!(idx.rep_output(1), &frame(3));
+        assert_eq!(idx.embedding_dim(), 1);
+        assert_eq!(idx.k(), 2);
+    }
+
+    #[test]
+    fn crack_adds_new_rep_and_tightens_cover() {
+        let mut idx = tiny_index();
+        let before = idx.cover_radius();
+        assert!(idx.crack(2, frame(1)));
+        assert!(idx.is_rep(2));
+        assert_eq!(idx.reps(), &[0, 5, 2]);
+        assert!(idx.cover_radius() <= before);
+        // Record 2 now gets its exact score.
+        let scores = idx.propagate(&CountClass(ObjectClass::Car));
+        assert_eq!(scores[2], 1.0);
+    }
+
+    #[test]
+    fn crack_on_existing_rep_is_noop() {
+        let mut idx = tiny_index();
+        assert!(!idx.crack(0, frame(9)));
+        assert_eq!(idx.reps().len(), 2);
+        // Output unchanged.
+        assert_eq!(idx.rep_output(0), &frame(0));
+    }
+
+    #[test]
+    fn limit_ranking_prefers_high_count_cluster() {
+        let idx = tiny_index();
+        let order = idx.limit_ranking(&CountClass(ObjectClass::Car));
+        // Records nearest the 3-car rep come first, closest first.
+        assert_eq!(&order[..3], &[5, 4, 3]);
+    }
+
+    #[test]
+    fn categorical_propagation_votes() {
+        let idx = tiny_index();
+        let cats = idx.propagate_categorical(
+            |o| o.count_class(ObjectClass::Car) as u32,
+            1,
+        );
+        assert_eq!(cats, vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output per representative")]
+    fn mismatched_outputs_panic() {
+        let embeddings = Matrix::from_fn(2, 1, |r, _| r as f32);
+        let mink = MinKTable::build(embeddings.as_slice(), &[0.0], 1, 1, Metric::L2);
+        let _ = TastiIndex::new(embeddings, Metric::L2, 1, vec![0], vec![], mink);
+    }
+}

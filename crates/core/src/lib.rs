@@ -1,0 +1,54 @@
+//! # tasti-core
+//!
+//! The TASTI semantic index — the primary contribution of *"Semantic Indexes
+//! for Machine Learning-based Queries over Unstructured Data"* (SIGMOD 2022).
+//!
+//! TASTI removes per-query proxy models: it builds **one** embedding-based
+//! index per dataset and derives high-quality proxy scores for *any* query
+//! over the induced schema from it. The index is:
+//!
+//! * a (optionally triplet-trained) embedding per record,
+//! * a set of **cluster representatives** chosen by furthest-point-first,
+//!   annotated once by the expensive target labeler,
+//! * a **min-k distance table** from every record to its nearest
+//!   representatives.
+//!
+//! Query processing (§4) executes the user's scoring function exactly on the
+//! representatives and *propagates* scores to every other record by
+//! inverse-distance weighting (numeric) or weighted majority vote
+//! (categorical). The resulting proxy scores plug into existing proxy-based
+//! algorithms (BlazeIt aggregation, SUPG selection, limit ranking — see the
+//! `tasti-query` crate).
+//!
+//! Module map:
+//!
+//! * [`config`] — [`TastiConfig`]: budgets `N₁`/`N₂`, `k`, embedding size,
+//!   and the ablation switches for the paper's factor/lesion studies.
+//! * [`build`] — Algorithm 1: FPF mining → bucketing → triplet fine-tuning →
+//!   re-embedding → FPF clustering (+ random mix) → min-k distances, with
+//!   per-stage timing and labeler-invocation accounting (Figure 2).
+//! * [`index`] — the queryable [`TastiIndex`].
+//! * [`scoring`] — the `Score` API of §4.2 with the paper's example scoring
+//!   functions built in.
+//! * [`propagate`] — score propagation (§4.3).
+//! * [`crack`] — index cracking (§3.3): feeding query-time labels back in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod config;
+pub mod crack;
+pub mod diagnostics;
+pub mod index;
+pub mod persist;
+pub mod propagate;
+pub mod scoring;
+
+pub use build::{build_index, BuildReport, BuildStage};
+pub use config::TastiConfig;
+pub use index::TastiIndex;
+pub use scoring::{
+    CountClass, FnScore, HasAtLeast, HasClass, HasClassInLeftHalf, MeanXPosition,
+    ScoringFunction, SpeechIsMale, SqlNumPredicates, SqlOpIs,
+};

@@ -1,0 +1,213 @@
+//! Index persistence.
+//!
+//! A TASTI index is built once per dataset and amortized across queries and
+//! sessions (Table 1's "no index" column is exactly the amortized view), so
+//! it must survive process restarts. The on-disk format is a versioned JSON
+//! document carrying everything [`TastiIndex`] needs to answer queries:
+//! embeddings, representative ids and cached labeler outputs, and the min-k
+//! table. Cracked representatives round-trip too.
+
+use crate::index::TastiIndex;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+use tasti_cluster::{Metric, MinKTable};
+use tasti_labeler::{LabelerOutput, RecordId};
+use tasti_nn::{Matrix, Mlp};
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Serializable snapshot of a [`TastiIndex`].
+#[derive(Serialize, Deserialize)]
+struct IndexSnapshot {
+    version: u32,
+    embeddings: Matrix,
+    metric: Metric,
+    k: usize,
+    reps: Vec<RecordId>,
+    rep_outputs: Vec<LabelerOutput>,
+    mink: MinKTable,
+    /// Trained embedding model (None for TASTI-PT indexes).
+    model: Option<Mlp>,
+}
+
+/// Errors raised when loading an index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The document is not a valid index snapshot.
+    Format(serde_json::Error),
+    /// The snapshot's version is not supported by this build.
+    UnsupportedVersion(u32),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "index I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "malformed index snapshot: {e}"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported index format version {v} (supported: {FORMAT_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Serializes the index to a JSON string.
+pub fn to_json(index: &TastiIndex) -> String {
+    let snapshot = IndexSnapshot {
+        version: FORMAT_VERSION,
+        embeddings: index.embeddings().clone(),
+        metric: index.metric(),
+        k: index.k(),
+        reps: index.reps().to_vec(),
+        rep_outputs: (0..index.reps().len()).map(|i| index.rep_output(i).clone()).collect(),
+        mink: index.mink().clone(),
+        model: index.model().cloned(),
+    };
+    serde_json::to_string(&snapshot).expect("index serialization cannot fail")
+}
+
+/// Deserializes an index from a JSON string.
+///
+/// # Errors
+/// Returns [`PersistError`] on malformed input or version mismatch.
+pub fn from_json(json: &str) -> Result<TastiIndex, PersistError> {
+    let snapshot: IndexSnapshot = serde_json::from_str(json)?;
+    if snapshot.version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(snapshot.version));
+    }
+    let mut index = TastiIndex::new(
+        snapshot.embeddings,
+        snapshot.metric,
+        snapshot.k,
+        snapshot.reps,
+        snapshot.rep_outputs,
+        snapshot.mink,
+    );
+    if let Some(model) = snapshot.model {
+        index = index.with_model(model);
+    }
+    Ok(index)
+}
+
+/// Writes the index to `path` as JSON.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save(index: &TastiIndex, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    fs::write(path, to_json(index))?;
+    Ok(())
+}
+
+/// Loads an index from `path`.
+///
+/// # Errors
+/// Returns [`PersistError`] on I/O failure, malformed input, or version
+/// mismatch.
+pub fn load(path: impl AsRef<Path>) -> Result<TastiIndex, PersistError> {
+    from_json(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::CountClass;
+    use tasti_labeler::{Detection, ObjectClass};
+
+    fn frame(n_cars: usize) -> LabelerOutput {
+        LabelerOutput::Detections(
+            (0..n_cars)
+                .map(|i| Detection {
+                    class: ObjectClass::Car,
+                    x: 0.1 * (i + 1) as f32,
+                    y: 0.5,
+                    w: 0.1,
+                    h: 0.1,
+                })
+                .collect(),
+        )
+    }
+
+    fn tiny_index() -> TastiIndex {
+        let embeddings = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as f32 * 0.5);
+        let reps = vec![0usize, 5];
+        let rep_outputs = vec![frame(0), frame(3)];
+        let rep_emb: Vec<f32> = [embeddings.row(0), embeddings.row(5)].concat();
+        let mink = MinKTable::build(embeddings.as_slice(), &rep_emb, 2, 2, Metric::L2);
+        TastiIndex::new(embeddings, Metric::L2, 2, reps, rep_outputs, mink)
+    }
+
+    #[test]
+    fn round_trip_preserves_query_behavior() {
+        let index = tiny_index();
+        let restored = from_json(&to_json(&index)).unwrap();
+        assert_eq!(restored.reps(), index.reps());
+        assert_eq!(restored.k(), index.k());
+        assert_eq!(restored.embeddings(), index.embeddings());
+        let score = CountClass(ObjectClass::Car);
+        assert_eq!(restored.propagate(&score), index.propagate(&score));
+        assert_eq!(restored.limit_ranking(&score), index.limit_ranking(&score));
+    }
+
+    #[test]
+    fn cracked_reps_survive_round_trip() {
+        let mut index = tiny_index();
+        index.crack(3, frame(2));
+        let restored = from_json(&to_json(&index)).unwrap();
+        assert!(restored.is_rep(3));
+        assert_eq!(restored.rep_output(2), &frame(2));
+        let score = CountClass(ObjectClass::Car);
+        assert_eq!(restored.propagate(&score)[3], 2.0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let index = tiny_index();
+        let dir = std::env::temp_dir().join("tasti-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.json");
+        save(&index, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(restored.reps(), index.reps());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(from_json("not json"), Err(PersistError::Format(_))));
+        assert!(matches!(from_json("{}"), Err(PersistError::Format(_))));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut json = to_json(&tiny_index());
+        json = json.replace("\"version\":1", "\"version\":999");
+        assert!(matches!(from_json(&json), Err(PersistError::UnsupportedVersion(999))));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load("/nonexistent/path/index.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

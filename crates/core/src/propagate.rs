@@ -1,0 +1,199 @@
+//! Score propagation (§4.3).
+//!
+//! TASTI executes the scoring function on the cluster representatives (their
+//! target-labeler outputs are cached) and materializes approximate scores
+//! for every other record: the **inverse-distance-weighted mean** of the `k`
+//! nearest representatives for numeric scores, and the **distance-weighted
+//! majority vote** for categorical scores. Records at (numerically) zero
+//! distance from a representative — in particular the representatives
+//! themselves — receive that representative's exact score.
+
+use std::collections::HashMap;
+use tasti_cluster::{MinKTable, Neighbor};
+
+/// Distances below this are treated as "is the representative" → exact score.
+const EXACT_EPS: f32 = 1e-9;
+/// Regularizer keeping inverse-distance weights finite.
+const WEIGHT_EPS: f64 = 1e-6;
+
+/// Inverse-distance-weighted mean of the ≤ `k` nearest representatives'
+/// scores for a single record.
+pub fn weighted_mean(neighbors: &[Neighbor], rep_scores: &[f64], k: usize) -> f64 {
+    let take = k.max(1).min(neighbors.len());
+    let nearest = &neighbors[..take];
+    // Exact on (numerically) zero distance.
+    if nearest[0].dist <= EXACT_EPS {
+        return rep_scores[nearest[0].rep as usize];
+    }
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for n in nearest {
+        let w = 1.0 / (n.dist as f64 + WEIGHT_EPS);
+        num += w * rep_scores[n.rep as usize];
+        den += w;
+    }
+    num / den
+}
+
+/// Distance-weighted majority vote over the ≤ `k` nearest representatives'
+/// categories for a single record.
+pub fn weighted_vote(neighbors: &[Neighbor], rep_categories: &[u32], k: usize) -> u32 {
+    let take = k.max(1).min(neighbors.len());
+    let nearest = &neighbors[..take];
+    if nearest[0].dist <= EXACT_EPS {
+        return rep_categories[nearest[0].rep as usize];
+    }
+    let mut tally: HashMap<u32, f64> = HashMap::new();
+    for n in nearest {
+        let w = 1.0 / (n.dist as f64 + WEIGHT_EPS);
+        *tally.entry(rep_categories[n.rep as usize]).or_insert(0.0) += w;
+    }
+    // Deterministic tie-break: highest weight, then smallest category id.
+    tally
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+        .map(|(c, _)| c)
+        .expect("at least one neighbor")
+}
+
+/// Propagates numeric representative scores to every record (§4.3).
+pub fn propagate_numeric(mink: &MinKTable, rep_scores: &[f64], k: usize) -> Vec<f64> {
+    assert_eq!(rep_scores.len(), mink.n_reps(), "one score per representative required");
+    (0..mink.n_records()).map(|i| weighted_mean(mink.neighbors(i), rep_scores, k)).collect()
+}
+
+/// Propagates categorical representative labels to every record.
+pub fn propagate_categorical(mink: &MinKTable, rep_categories: &[u32], k: usize) -> Vec<u32> {
+    assert_eq!(rep_categories.len(), mink.n_reps(), "one category per representative required");
+    (0..mink.n_records()).map(|i| weighted_vote(mink.neighbors(i), rep_categories, k)).collect()
+}
+
+/// The limit-query scoring view (§6.3): `k = 1` score with ties broken by
+/// the distance to the nearest representative. Returns `(score, distance)`
+/// per record; rank descending by score, ascending by distance.
+pub fn limit_scores(mink: &MinKTable, rep_scores: &[f64]) -> Vec<(f64, f32)> {
+    assert_eq!(rep_scores.len(), mink.n_reps());
+    (0..mink.n_records())
+        .map(|i| {
+            let n = mink.nearest(i);
+            (rep_scores[n.rep as usize], n.dist)
+        })
+        .collect()
+}
+
+/// Ranks record indices for a limit query: descending score, ascending
+/// distance tie-break (closest to a high-scoring representative first).
+pub fn limit_ranking(mink: &MinKTable, rep_scores: &[f64]) -> Vec<usize> {
+    let scores = limit_scores(mink, rep_scores);
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .0
+            .partial_cmp(&scores[a].0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(scores[a].1.partial_cmp(&scores[b].1).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasti_cluster::Metric;
+
+    /// Records on a line at 0..6, reps at {0, 5} with scores {0, 10}.
+    fn fixture() -> MinKTable {
+        let records: Vec<f32> = (0..6).map(|i| i as f32).collect();
+        let reps = vec![0.0f32, 5.0];
+        MinKTable::build(&records, &reps, 1, 2, Metric::L2)
+    }
+
+    #[test]
+    fn representatives_receive_exact_scores() {
+        let t = fixture();
+        let scores = propagate_numeric(&t, &[0.0, 10.0], 2);
+        assert_eq!(scores[0], 0.0);
+        assert_eq!(scores[5], 10.0);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_between_reps() {
+        let t = fixture();
+        let scores = propagate_numeric(&t, &[0.0, 10.0], 2);
+        for w in scores.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "scores should rise toward the high rep: {scores:?}");
+        }
+        // Midpoint-ish record leans toward nearer rep.
+        assert!(scores[1] < 5.0);
+        assert!(scores[4] > 5.0);
+    }
+
+    #[test]
+    fn k1_equals_nearest_rep_score() {
+        let t = fixture();
+        let scores = propagate_numeric(&t, &[0.0, 10.0], 1);
+        assert_eq!(scores, vec![0.0, 0.0, 0.0, 10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn propagated_scores_stay_within_rep_score_range() {
+        let t = fixture();
+        let scores = propagate_numeric(&t, &[2.0, 7.0], 2);
+        for s in scores {
+            assert!((2.0..=7.0).contains(&s), "convex combination out of range: {s}");
+        }
+    }
+
+    #[test]
+    fn categorical_vote_matches_nearest_when_k1() {
+        let t = fixture();
+        let cats = propagate_categorical(&t, &[3, 9], 1);
+        assert_eq!(cats, vec![3, 3, 3, 9, 9, 9]);
+    }
+
+    #[test]
+    fn categorical_vote_weighted_by_distance() {
+        let t = fixture();
+        let cats = propagate_categorical(&t, &[3, 9], 2);
+        // Record 1 is at d=1 from rep0, d=4 from rep1 → vote 3.
+        assert_eq!(cats[1], 3);
+        assert_eq!(cats[4], 9);
+    }
+
+    #[test]
+    fn categorical_tie_breaks_deterministically() {
+        // Record 0 equidistant from both reps.
+        let records = vec![0.0f32];
+        let reps = vec![-1.0f32, 1.0];
+        let t = MinKTable::build(&records, &reps, 1, 2, Metric::L2);
+        let a = propagate_categorical(&t, &[7, 2], 2);
+        let b = propagate_categorical(&t, &[7, 2], 2);
+        assert_eq!(a, b);
+        // Equal weights → smaller category id wins.
+        assert_eq!(a[0], 2);
+    }
+
+    #[test]
+    fn limit_ranking_orders_by_score_then_distance() {
+        let t = fixture();
+        // rep0 (records 0..2) scores high.
+        let order = limit_ranking(&t, &[10.0, 0.0]);
+        // Among high-score records, nearest to rep first: 0 (d=0), 1, 2.
+        assert_eq!(&order[..3], &[0, 1, 2]);
+        assert_eq!(&order[3..], &[5, 4, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per representative")]
+    fn rep_score_length_mismatch_panics() {
+        let t = fixture();
+        let _ = propagate_numeric(&t, &[1.0], 2);
+    }
+
+    #[test]
+    fn k_larger_than_neighbor_list_is_clamped() {
+        let t = fixture();
+        let scores = propagate_numeric(&t, &[0.0, 10.0], 99);
+        assert_eq!(scores.len(), 6);
+    }
+}

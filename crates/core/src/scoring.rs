@@ -1,0 +1,260 @@
+//! Query-specific scoring functions (§4.2).
+//!
+//! A scoring function maps a target labeler's structured output to a numeric
+//! score — the paper's `Score(target_output) -> ScoreType` API. TASTI
+//! executes it exactly on the annotated cluster representatives and
+//! propagates the scores to every other record (§4.3). "These functions can
+//! be implemented in few lines of code" — the built-ins below are the
+//! paper's own examples (car counting, car presence, position queries) plus
+//! the text/speech queries of §6.1, and [`FnScore`] adapts any closure.
+
+use tasti_labeler::{LabelerOutput, ObjectClass, SqlOp};
+
+/// Maps a target-labeler output to a numeric proxy-score source (§4.2).
+///
+/// Selection predicates return `{0.0, 1.0}`; aggregation scores return the
+/// aggregated quantity; propagation smooths both.
+pub trait ScoringFunction: Send + Sync {
+    /// Scores one structured output.
+    fn score(&self, output: &LabelerOutput) -> f64;
+
+    /// Whether the score is categorical (propagate by weighted majority
+    /// vote) rather than numeric (propagate by weighted mean). Default:
+    /// numeric, matching the paper's default propagation.
+    fn is_categorical(&self) -> bool {
+        false
+    }
+}
+
+/// Counts objects of a class — the paper's `CountCarScore` example, used by
+/// the BlazeIt-style aggregation queries.
+#[derive(Debug, Clone, Copy)]
+pub struct CountClass(pub ObjectClass);
+
+impl ScoringFunction for CountClass {
+    fn score(&self, output: &LabelerOutput) -> f64 {
+        output.count_class(self.0) as f64
+    }
+}
+
+/// Predicate: does the frame contain an object of this class? Used by the
+/// selection queries (NoScope / SUPG style).
+#[derive(Debug, Clone, Copy)]
+pub struct HasClass(pub ObjectClass);
+
+impl ScoringFunction for HasClass {
+    fn score(&self, output: &LabelerOutput) -> f64 {
+        if output.count_class(self.0) > 0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Predicate: does the frame contain at least `min_count` objects of this
+/// class? The general form of [`HasClass`]; count-boundary predicates are
+/// the genuinely ambiguous selection queries on dense video (two dim cars
+/// and one bright car look alike).
+#[derive(Debug, Clone, Copy)]
+pub struct HasAtLeast(pub ObjectClass, pub usize);
+
+impl ScoringFunction for HasAtLeast {
+    fn score(&self, output: &LabelerOutput) -> f64 {
+        (output.count_class(self.0) >= self.1) as u8 as f64
+    }
+}
+
+/// Mean x-position of objects of a class (Figure 8's "average position"
+/// regression query). Empty frames score the frame center (0.5), keeping the
+/// aggregate well-defined; the paper notes prior proxy models cannot express
+/// this query at all.
+#[derive(Debug, Clone, Copy)]
+pub struct MeanXPosition(pub ObjectClass);
+
+impl ScoringFunction for MeanXPosition {
+    fn score(&self, output: &LabelerOutput) -> f64 {
+        match output {
+            LabelerOutput::Detections(d) => {
+                let xs: Vec<f64> =
+                    d.iter().filter(|b| b.class == self.0).map(|b| b.x as f64).collect();
+                if xs.is_empty() {
+                    0.5
+                } else {
+                    xs.iter().sum::<f64>() / xs.len() as f64
+                }
+            }
+            _ => 0.5,
+        }
+    }
+}
+
+/// Predicate: is there an object of this class whose average x-position is
+/// in the left half of the frame? (Figure 7's Lipschitz-violating selection
+/// query: a sharp discontinuity runs down the frame center.)
+#[derive(Debug, Clone, Copy)]
+pub struct HasClassInLeftHalf(pub ObjectClass);
+
+impl ScoringFunction for HasClassInLeftHalf {
+    fn score(&self, output: &LabelerOutput) -> f64 {
+        match output {
+            LabelerOutput::Detections(d) => {
+                let xs: Vec<f32> =
+                    d.iter().filter(|b| b.class == self.0).map(|b| b.x).collect();
+                if xs.is_empty() {
+                    return 0.0;
+                }
+                let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+                if mean < 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Number of `WHERE` predicates in a WikiSQL annotation (the paper's text
+/// aggregation query).
+#[derive(Debug, Clone, Copy)]
+pub struct SqlNumPredicates;
+
+impl ScoringFunction for SqlNumPredicates {
+    fn score(&self, output: &LabelerOutput) -> f64 {
+        match output {
+            LabelerOutput::Sql(s) => s.num_predicates as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Predicate: does the question parse into the given SQL operator? (The
+/// paper selects "star"/selection operators, §6.3.)
+#[derive(Debug, Clone, Copy)]
+pub struct SqlOpIs(pub SqlOp);
+
+impl ScoringFunction for SqlOpIs {
+    fn score(&self, output: &LabelerOutput) -> f64 {
+        matches!(output, LabelerOutput::Sql(s) if s.op == self.0) as u8 as f64
+    }
+}
+
+/// Predicate: is the speaker male? (The paper's Common Voice selection and
+/// fraction-male aggregation queries.)
+#[derive(Debug, Clone, Copy)]
+pub struct SpeechIsMale;
+
+impl ScoringFunction for SpeechIsMale {
+    fn score(&self, output: &LabelerOutput) -> f64 {
+        matches!(
+            output,
+            LabelerOutput::Speech(s) if s.gender == tasti_labeler::Gender::Male
+        ) as u8 as f64
+    }
+}
+
+/// Adapts any closure into a [`ScoringFunction`] — the "custom proxy scores"
+/// extension point of §4.2.
+///
+/// ```
+/// use tasti_core::scoring::{FnScore, ScoringFunction};
+/// use tasti_labeler::{Detection, LabelerOutput, ObjectClass};
+/// // "Number of large objects" — a query no built-in covers, in 3 lines.
+/// let large = FnScore(|o: &LabelerOutput| match o {
+///     LabelerOutput::Detections(d) => d.iter().filter(|b| b.w > 0.1).count() as f64,
+///     _ => 0.0,
+/// });
+/// let frame = LabelerOutput::Detections(vec![
+///     Detection { class: ObjectClass::Bus, x: 0.5, y: 0.5, w: 0.2, h: 0.1 },
+///     Detection { class: ObjectClass::Car, x: 0.2, y: 0.2, w: 0.05, h: 0.05 },
+/// ]);
+/// assert_eq!(large.score(&frame), 1.0);
+/// ```
+pub struct FnScore<F: Fn(&LabelerOutput) -> f64 + Send + Sync>(pub F);
+
+impl<F: Fn(&LabelerOutput) -> f64 + Send + Sync> ScoringFunction for FnScore<F> {
+    fn score(&self, output: &LabelerOutput) -> f64 {
+        (self.0)(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasti_labeler::{Detection, Gender, SpeechAnnotation, SqlAnnotation};
+
+    fn frame(boxes: &[(ObjectClass, f32)]) -> LabelerOutput {
+        LabelerOutput::Detections(
+            boxes
+                .iter()
+                .map(|&(class, x)| Detection { class, x, y: 0.5, w: 0.1, h: 0.1 })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn count_class_counts_only_matching() {
+        let f = frame(&[(ObjectClass::Car, 0.1), (ObjectClass::Bus, 0.2), (ObjectClass::Car, 0.9)]);
+        assert_eq!(CountClass(ObjectClass::Car).score(&f), 2.0);
+        assert_eq!(CountClass(ObjectClass::Bus).score(&f), 1.0);
+    }
+
+    #[test]
+    fn has_class_is_binary() {
+        let f = frame(&[(ObjectClass::Car, 0.4)]);
+        assert_eq!(HasClass(ObjectClass::Car).score(&f), 1.0);
+        assert_eq!(HasClass(ObjectClass::Bus).score(&f), 0.0);
+        assert_eq!(HasClass(ObjectClass::Car).score(&frame(&[])), 0.0);
+    }
+
+    #[test]
+    fn mean_x_averages_positions() {
+        let f = frame(&[(ObjectClass::Car, 0.2), (ObjectClass::Car, 0.6)]);
+        assert!((MeanXPosition(ObjectClass::Car).score(&f) - 0.4).abs() < 1e-6);
+        assert_eq!(MeanXPosition(ObjectClass::Car).score(&frame(&[])), 0.5);
+        // Other classes don't contribute.
+        let g = frame(&[(ObjectClass::Car, 0.2), (ObjectClass::Bus, 0.9)]);
+        assert!((MeanXPosition(ObjectClass::Car).score(&g) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn left_half_predicate_has_sharp_boundary() {
+        let left = frame(&[(ObjectClass::Car, 0.49)]);
+        let right = frame(&[(ObjectClass::Car, 0.51)]);
+        assert_eq!(HasClassInLeftHalf(ObjectClass::Car).score(&left), 1.0);
+        assert_eq!(HasClassInLeftHalf(ObjectClass::Car).score(&right), 0.0);
+        assert_eq!(HasClassInLeftHalf(ObjectClass::Car).score(&frame(&[])), 0.0);
+    }
+
+    #[test]
+    fn sql_scores() {
+        let q = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Count, num_predicates: 3 });
+        assert_eq!(SqlNumPredicates.score(&q), 3.0);
+        assert_eq!(SqlOpIs(SqlOp::Count).score(&q), 1.0);
+        assert_eq!(SqlOpIs(SqlOp::Select).score(&q), 0.0);
+    }
+
+    #[test]
+    fn speech_scores() {
+        let m = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Male, age_bucket: 1 });
+        let f = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Female, age_bucket: 1 });
+        assert_eq!(SpeechIsMale.score(&m), 1.0);
+        assert_eq!(SpeechIsMale.score(&f), 0.0);
+    }
+
+    #[test]
+    fn fn_score_adapts_closures() {
+        let custom = FnScore(|o: &LabelerOutput| o.count_class(ObjectClass::Car) as f64 * 10.0);
+        assert_eq!(custom.score(&frame(&[(ObjectClass::Car, 0.5)])), 10.0);
+    }
+
+    #[test]
+    fn cross_modality_scores_are_neutral() {
+        let q = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Avg, num_predicates: 1 });
+        assert_eq!(CountClass(ObjectClass::Car).score(&q), 0.0);
+        assert_eq!(MeanXPosition(ObjectClass::Car).score(&q), 0.5);
+        assert_eq!(SpeechIsMale.score(&q), 0.0);
+    }
+}

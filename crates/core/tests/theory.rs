@@ -1,0 +1,258 @@
+//! Numerical validation of the paper's theoretical analysis (§5, Appendix A).
+//!
+//! The theorems bound the *query loss gap* of propagated (k = 1) proxy
+//! scores by the triplet loss and the clustering density:
+//!
+//! * **Theorem 1 (zero loss)** — if the embedding achieves zero population
+//!   triplet loss `L(φ; M, m) = 0` and every record is within embedding
+//!   distance `m` of its representative, then
+//!   `E[ℓ_Q(x, f̂(x))] ≤ E[ℓ_Q(x, f(x))] + M·K_Q`.
+//! * **Theorem 2 (non-zero loss)** — with triplet loss `α` the gap grows by
+//!   `C·sup|B̄_M|·α / m`.
+//! * **Lemma 1** — zero triplet loss plus embedding gap < m implies true
+//!   distance < M (the embedding recovers the metric's neighborhoods).
+//!
+//! The tests build finite metric spaces where every quantity in the
+//! theorem statements is computable exactly, then check the inequalities.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tasti_cluster::{fpf, Metric, MinKTable};
+use tasti_core::propagate::propagate_numeric;
+use tasti_nn::loss::triplet_example;
+
+/// A finite metric space: points in ℝ², metric = Euclidean.
+struct Space {
+    points: Vec<[f32; 2]>,
+}
+
+impl Space {
+    /// Well-separated clusters: intra-cluster diameter ≤ `diameter`,
+    /// inter-cluster gap ≥ `gap`. With `diameter < M ≤ gap` the population
+    /// triplet loss of a scaled-identity embedding is exactly zero.
+    fn clustered(n_clusters: usize, per_cluster: usize, diameter: f32, gap: f32, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut points = Vec::new();
+        for c in 0..n_clusters {
+            // Centers on a coarse grid with spacing ≥ gap + diameter.
+            let spacing = gap + diameter;
+            let cx = (c % 4) as f32 * spacing;
+            let cy = (c / 4) as f32 * spacing;
+            for _ in 0..per_cluster {
+                let r = diameter / 2.0;
+                points.push([cx + rng.gen_range(-r..r), cy + rng.gen_range(-r..r)]);
+            }
+        }
+        Space { points }
+    }
+
+    fn d(&self, i: usize, j: usize) -> f32 {
+        let a = self.points[i];
+        let b = self.points[j];
+        ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
+    }
+
+    /// Embedding φ(x) = scale·x (+ optional noise), flattened row-major.
+    fn embed(&self, scale: f32, noise: f32, seed: u64) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        self.points
+            .iter()
+            .flat_map(|p| {
+                [
+                    p[0] * scale + if noise > 0.0 { rng.gen_range(-noise..noise) } else { 0.0 },
+                    p[1] * scale + if noise > 0.0 { rng.gen_range(-noise..noise) } else { 0.0 },
+                ]
+            })
+            .collect()
+    }
+}
+
+/// Empirical population triplet loss `L(φ; M, m)`: mean over all valid
+/// (a, p, n) triples with `d(a,p) < M ≤ d(a,n)`.
+fn population_triplet_loss(space: &Space, emb: &[f32], big_m: f32, margin: f32) -> f32 {
+    let n = space.points.len();
+    let row = |i: usize| &emb[i * 2..i * 2 + 2];
+    let mut total = 0.0f64;
+    let mut count = 0u64;
+    // Subsample anchors for speed; triples are exhaustive per anchor pair.
+    for a in (0..n).step_by(3) {
+        for p in 0..n {
+            if p == a || space.d(a, p) >= big_m {
+                continue;
+            }
+            for nn in (0..n).step_by(2) {
+                if space.d(a, nn) < big_m {
+                    continue;
+                }
+                total += triplet_example(row(a), row(p), row(nn), margin) as f64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (total / count as f64) as f32
+    }
+}
+
+/// A 1-Lipschitz function of the space (distance to an anchor point).
+fn lipschitz_fn(space: &Space, anchor: [f32; 2]) -> Vec<f64> {
+    space
+        .points
+        .iter()
+        .map(|p| (((p[0] - anchor[0]).powi(2) + (p[1] - anchor[1]).powi(2)) as f64).sqrt())
+        .collect()
+}
+
+/// Runs the k = 1 query procedure of the analysis: exact scores on FPF
+/// representatives, nearest-representative propagation elsewhere.
+/// Returns (per-record propagated scores, max embedding gap to the rep).
+fn propagate_k1(emb: &[f32], n_reps: usize, scores: &[f64]) -> (Vec<f64>, f32) {
+    let sel = fpf(emb, 2, n_reps, Metric::L2, 0);
+    let rep_emb: Vec<f32> =
+        sel.selected.iter().flat_map(|&r| emb[r * 2..r * 2 + 2].to_vec()).collect();
+    let mink = MinKTable::build(emb, &rep_emb, 2, 1, Metric::L2);
+    let rep_scores: Vec<f64> = sel.selected.iter().map(|&r| scores[r]).collect();
+    (propagate_numeric(&mink, &rep_scores, 1), mink.max_nearest_distance())
+}
+
+#[test]
+fn lemma1_zero_loss_embedding_recovers_neighborhoods() {
+    // diameter 0.4 < M = 1.0 ≤ gap 2.0; φ = 3·x ⇒ embedding gap m wherever
+    // |φ(x)−φ(x')| < m := 3·(M−diameter) implies d < M.
+    let space = Space::clustered(8, 20, 0.4, 2.0, 1);
+    let scale = 3.0;
+    let emb = space.embed(scale, 0.0, 0);
+    let margin = 1.0;
+    let loss = population_triplet_loss(&space, &emb, 1.0, margin);
+    assert_eq!(loss, 0.0, "separated clusters under scaled identity give zero triplet loss");
+
+    // Lemma 1: |φ(xi) − φ(xr)| < m ⇒ d(xi, xr) < M.
+    let n = space.points.len();
+    for i in (0..n).step_by(5) {
+        for j in (0..n).step_by(7) {
+            let e = Metric::L2.distance(&emb[i * 2..i * 2 + 2], &emb[j * 2..j * 2 + 2]);
+            if e < margin {
+                assert!(
+                    space.d(i, j) < 1.0,
+                    "embedding-close pair ({i},{j}) must be metric-close"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem1_zero_loss_bound_holds() {
+    // Tight clusters (diameter 0.2 → max scaled intra-distance ≈ 0.85 < m)
+    // so one representative per cluster satisfies the density condition.
+    let space = Space::clustered(8, 25, 0.2, 2.0, 2);
+    let emb = space.embed(3.0, 0.0, 0);
+    let big_m = 1.0f32;
+    let margin = 1.0f32;
+    assert_eq!(population_triplet_loss(&space, &emb, big_m, margin), 0.0);
+
+    // ℓ_Q(x, y) = (K_Q/2)·|h(x) − y| with h 1-Lipschitz and f = h:
+    // E[ℓ_Q(x, f(x))] = 0, so the bound reads E[ℓ_Q(x, f̂(x))] ≤ M·K_Q.
+    let k_q = 2.0f64;
+    for anchor in [[0.0f32, 0.0], [3.0, 1.0], [-1.0, 4.0]] {
+        let h = lipschitz_fn(&space, anchor);
+        // One representative per cluster suffices for gap < m; 8 clusters.
+        let (propagated, gap) = propagate_k1(&emb, 8, &h);
+        assert!(gap < margin, "clustering must be dense enough: gap {gap} ≥ m {margin}");
+        let mean_loss: f64 = propagated
+            .iter()
+            .zip(&h)
+            .map(|(fh, f)| (k_q / 2.0) * (fh - f).abs())
+            .sum::<f64>()
+            / h.len() as f64;
+        let bound = big_m as f64 * k_q;
+        assert!(
+            mean_loss <= bound,
+            "Theorem 1 violated for anchor {anchor:?}: {mean_loss} > {bound}"
+        );
+    }
+}
+
+#[test]
+fn theorem1_bound_is_not_vacuous() {
+    // Sanity: with far too few representatives (gap ≥ m, assumption broken)
+    // the same quantity can exceed the bound — the theorem's density
+    // condition is load-bearing.
+    let space = Space::clustered(8, 25, 0.4, 2.0, 3);
+    let emb = space.embed(3.0, 0.0, 0);
+    let h = lipschitz_fn(&space, [0.0, 0.0]);
+    let (propagated, gap) = propagate_k1(&emb, 2, &h); // 2 reps for 8 clusters
+    assert!(gap > 1.0, "with 2 reps the density assumption must fail");
+    let k_q = 2.0f64;
+    let mean_loss: f64 =
+        propagated.iter().zip(&h).map(|(fh, f)| (k_q / 2.0) * (fh - f).abs()).sum::<f64>()
+            / h.len() as f64;
+    assert!(
+        mean_loss > 1.0f64 * k_q / 4.0,
+        "under-clustered index should suffer visible loss ({mean_loss})"
+    );
+}
+
+#[test]
+fn theorem2_nonzero_loss_bound_holds() {
+    // Perturb the embedding so the triplet loss α > 0, then check
+    // E[ℓ_Q(x, f̂)] ≤ E[ℓ_Q(x, f)] + M·K_Q + C·sup|B̄_M|·α/m.
+    let space = Space::clustered(8, 25, 0.4, 2.0, 4);
+    let big_m = 1.0f32;
+    let margin = 1.0f32;
+    let k_q = 2.0f64;
+    let n = space.points.len();
+
+    for noise in [0.05f32, 0.2, 0.5] {
+        let emb = space.embed(3.0, noise, 7);
+        let alpha = population_triplet_loss(&space, &emb, big_m, margin) as f64;
+        let h = lipschitz_fn(&space, [1.0, 1.0]);
+        let (propagated, _gap) = propagate_k1(&emb, 8, &h);
+        let mean_loss: f64 =
+            propagated.iter().zip(&h).map(|(fh, f)| (k_q / 2.0) * (fh - f).abs()).sum::<f64>()
+                / n as f64;
+        // C = max ℓ_Q value; sup|B̄_M| ≤ n (finite-sample count).
+        let c_max = propagated
+            .iter()
+            .zip(&h)
+            .map(|(fh, f)| (k_q / 2.0) * (fh - f).abs())
+            .fold(0.0f64, f64::max)
+            .max(k_q / 2.0 * 10.0);
+        let bound = big_m as f64 * k_q + c_max * n as f64 * alpha / margin as f64;
+        assert!(
+            mean_loss <= bound,
+            "Theorem 2 violated at noise {noise}: {mean_loss} > {bound} (α = {alpha})"
+        );
+    }
+}
+
+#[test]
+fn loss_gap_grows_with_triplet_loss() {
+    // The qualitative content of Theorem 2: worse embeddings (higher
+    // triplet loss) yield worse propagated scores, monotonically on average.
+    let space = Space::clustered(8, 25, 0.4, 2.0, 5);
+    let h = lipschitz_fn(&space, [2.0, 0.5]);
+    let mut losses = Vec::new();
+    let mut gaps = Vec::new();
+    for noise in [0.0f32, 2.0, 8.0] {
+        let emb = space.embed(3.0, noise, 11);
+        let alpha = population_triplet_loss(&space, &emb, 1.0, 1.0) as f64;
+        let (propagated, _) = propagate_k1(&emb, 8, &h);
+        let mean_loss: f64 = propagated
+            .iter()
+            .zip(&h)
+            .map(|(fh, f)| (fh - f).abs())
+            .sum::<f64>()
+            / h.len() as f64;
+        losses.push(alpha);
+        gaps.push(mean_loss);
+    }
+    assert!(losses[0] <= losses[1] && losses[1] <= losses[2], "α must grow with noise: {losses:?}");
+    assert!(
+        gaps[2] > gaps[0] * 1.5,
+        "query loss should degrade from clean to very noisy embeddings: {gaps:?}"
+    );
+}

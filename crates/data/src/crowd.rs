@@ -1,0 +1,200 @@
+//! Crowd-worker annotation noise for the text and speech datasets.
+//!
+//! The paper's WikiSQL/Common Voice target labelers are human annotators
+//! (§6.1), and real crowd answers disagree: individual workers mislabel a
+//! few percent of items. [`CrowdLabeler`] models a majority vote over `v`
+//! simulated workers, each flipping the annotation with an independent
+//! per-item error probability — the aggregate error shrinks roughly as the
+//! binomial tail, which is why real pipelines buy 3–5 votes. Cost scales
+//! linearly with the vote count, exposing the accuracy/cost tradeoff that
+//! Table 1's human column prices.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use tasti_labeler::{
+    Gender, LabelCost, LabelerOutput, RecordId, Schema, SpeechAnnotation, SqlAnnotation, SqlOp,
+    TargetLabeler,
+};
+
+/// A simulated crowd: majority vote of `votes` workers with per-worker
+/// error rate `worker_error`.
+#[derive(Clone)]
+pub struct CrowdLabeler {
+    truth: Arc<Vec<LabelerOutput>>,
+    /// Workers polled per record.
+    pub votes: usize,
+    /// Probability an individual worker's answer is corrupted.
+    pub worker_error: f32,
+    per_vote_cost: LabelCost,
+    schema: Schema,
+    seed: u64,
+}
+
+impl CrowdLabeler {
+    /// A crowd over the given ground truth. `per_vote_cost` prices a single
+    /// worker's answer; the labeler's invocation cost is `votes ×` that.
+    pub fn new(
+        truth: Arc<Vec<LabelerOutput>>,
+        schema: Schema,
+        votes: usize,
+        worker_error: f32,
+        per_vote_cost: LabelCost,
+        seed: u64,
+    ) -> Self {
+        assert!(votes >= 1, "need at least one worker");
+        Self { truth, votes, worker_error, per_vote_cost, schema, seed }
+    }
+
+    /// One worker's (possibly corrupted) answer for `record`.
+    fn worker_answer(&self, record: RecordId, vote: usize) -> LabelerOutput {
+        let truth = &self.truth[record];
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(record as u64)
+                .wrapping_add((vote as u64) << 40),
+        );
+        if rng.gen::<f32>() >= self.worker_error {
+            return truth.clone();
+        }
+        // Corrupt: perturb the annotation plausibly (adjacent categories).
+        match truth {
+            LabelerOutput::Sql(s) => {
+                let ops = SqlOp::ALL;
+                let op = if rng.gen::<bool>() {
+                    ops[rng.gen_range(0..ops.len())]
+                } else {
+                    s.op
+                };
+                let delta: i8 = if rng.gen::<bool>() { 1 } else { -1 };
+                let num_predicates = (s.num_predicates as i8 + delta).clamp(0, 4) as u8;
+                LabelerOutput::Sql(SqlAnnotation { op, num_predicates })
+            }
+            LabelerOutput::Speech(s) => {
+                if rng.gen::<bool>() {
+                    LabelerOutput::Speech(SpeechAnnotation {
+                        gender: match s.gender {
+                            Gender::Male => Gender::Female,
+                            Gender::Female => Gender::Male,
+                        },
+                        ..*s
+                    })
+                } else {
+                    let delta: i8 = if rng.gen::<bool>() { 1 } else { -1 };
+                    LabelerOutput::Speech(SpeechAnnotation {
+                        age_bucket: (s.age_bucket as i8 + delta).clamp(0, 5) as u8,
+                        ..*s
+                    })
+                }
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+impl TargetLabeler for CrowdLabeler {
+    fn label(&self, record: RecordId) -> LabelerOutput {
+        // Majority vote over workers; ties broken by first occurrence
+        // (deterministic because worker order is deterministic).
+        let mut counts: Vec<(LabelerOutput, usize)> = Vec::with_capacity(self.votes);
+        for v in 0..self.votes {
+            let answer = self.worker_answer(record, v);
+            match counts.iter_mut().find(|(a, _)| *a == answer) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((answer, 1)),
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(a, _)| a)
+            .expect("at least one vote")
+    }
+
+    fn invocation_cost(&self) -> LabelCost {
+        self.per_vote_cost.times(self.votes as u64)
+    }
+
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn name(&self) -> &str {
+        "crowd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::wikisql;
+    use tasti_labeler::CostModel;
+
+    fn crowd(votes: usize, error: f32, seed: u64) -> (crate::Dataset, CrowdLabeler) {
+        let p = wikisql(3_000, 11);
+        let labeler = CrowdLabeler::new(
+            p.dataset.truth_handle(),
+            Schema::wikisql(),
+            votes,
+            error,
+            CostModel::human().target,
+            seed,
+        );
+        (p.dataset, labeler)
+    }
+
+    fn error_rate(dataset: &crate::Dataset, labeler: &CrowdLabeler) -> f64 {
+        let wrong = (0..dataset.len())
+            .filter(|&i| &labeler.label(i) != dataset.ground_truth(i))
+            .count();
+        wrong as f64 / dataset.len() as f64
+    }
+
+    #[test]
+    fn answers_are_deterministic() {
+        let (_, labeler) = crowd(3, 0.1, 1);
+        for i in 0..40 {
+            assert_eq!(labeler.label(i), labeler.label(i));
+        }
+    }
+
+    #[test]
+    fn zero_error_crowd_is_exact() {
+        let (dataset, labeler) = crowd(1, 0.0, 2);
+        assert_eq!(error_rate(&dataset, &labeler), 0.0);
+    }
+
+    #[test]
+    fn more_votes_reduce_aggregate_error() {
+        let (dataset, one) = crowd(1, 0.15, 3);
+        let (_, five) = crowd(5, 0.15, 3);
+        let e1 = error_rate(&dataset, &one);
+        let e5 = error_rate(&dataset, &five);
+        assert!(e1 > 0.05, "single worker should err visibly: {e1}");
+        assert!(
+            e5 < e1 * 0.6,
+            "5-vote majority should cut error substantially: {e1} → {e5}"
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_votes() {
+        let (_, one) = crowd(1, 0.1, 4);
+        let (_, five) = crowd(5, 0.1, 4);
+        assert!((five.invocation_cost().dollars - 5.0 * one.invocation_cost().dollars).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corruptions_stay_in_annotation_space() {
+        let (dataset, labeler) = crowd(1, 1.0, 5); // every answer corrupted
+        for i in 0..200 {
+            match labeler.label(i) {
+                LabelerOutput::Sql(s) => assert!(s.num_predicates <= 4),
+                other => panic!("unexpected modality {other:?}"),
+            }
+            let _ = &dataset;
+        }
+    }
+}

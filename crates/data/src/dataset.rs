@@ -1,0 +1,133 @@
+//! The in-memory dataset container shared by all five synthetic datasets.
+
+use std::sync::Arc;
+use tasti_labeler::{LabelerOutput, Schema};
+use tasti_nn::Matrix;
+
+/// A dataset of unstructured records: raw feature vectors (the stand-in for
+/// pixels / audio / text) plus hidden ground-truth structured outputs.
+///
+/// Ground truth is deliberately kept behind [`Dataset::ground_truth`] and the
+/// shared [`Dataset::truth_handle`]: algorithms must reach it only through a
+/// [`tasti_labeler::MeteredLabeler`] so every access is metered. Direct
+/// `ground_truth` reads are for *evaluation* (accuracy metrics) only.
+#[derive(Clone)]
+pub struct Dataset {
+    /// Dataset name (e.g. `"night-street"`).
+    pub name: String,
+    /// Raw record features, one row per record.
+    pub features: Matrix,
+    /// Induced schema of the ground-truth outputs.
+    pub schema: Schema,
+    truth: Arc<Vec<LabelerOutput>>,
+}
+
+impl Dataset {
+    /// Assembles a dataset. `features.rows()` must equal `truth.len()`.
+    pub fn new(
+        name: impl Into<String>,
+        features: Matrix,
+        truth: Vec<LabelerOutput>,
+        schema: Schema,
+    ) -> Self {
+        assert_eq!(features.rows(), truth.len(), "features/truth length mismatch");
+        Self { name: name.into(), features, schema, truth: Arc::new(truth) }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.truth.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Ground-truth output of `record` — **evaluation only**; query
+    /// processing must go through a metered labeler.
+    pub fn ground_truth(&self, record: usize) -> &LabelerOutput {
+        &self.truth[record]
+    }
+
+    /// Shared handle to the full ground truth, used to construct oracle
+    /// labelers without copying.
+    pub fn truth_handle(&self) -> Arc<Vec<LabelerOutput>> {
+        Arc::clone(&self.truth)
+    }
+
+    /// Ground-truth scores under an arbitrary scoring function — evaluation
+    /// only (e.g. computing the true aggregate a query should return).
+    pub fn true_scores(&self, score: impl Fn(&LabelerOutput) -> f64) -> Vec<f64> {
+        self.truth.iter().map(score).collect()
+    }
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("name", &self.name)
+            .field("records", &self.len())
+            .field("feature_dim", &self.feature_dim())
+            .field("schema", &self.schema.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasti_labeler::{SqlAnnotation, SqlOp};
+
+    fn tiny() -> Dataset {
+        let features = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let truth = (0..3)
+            .map(|i| {
+                LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Select, num_predicates: i as u8 })
+            })
+            .collect();
+        Dataset::new("tiny", features, truth, Schema::wikisql())
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.feature_dim(), 2);
+        assert_eq!(
+            d.ground_truth(2),
+            &LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Select, num_predicates: 2 })
+        );
+    }
+
+    #[test]
+    fn true_scores_applies_function() {
+        let d = tiny();
+        let scores = d.true_scores(|o| match o {
+            LabelerOutput::Sql(s) => s.num_predicates as f64,
+            _ => 0.0,
+        });
+        assert_eq!(scores, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "features/truth length mismatch")]
+    fn mismatched_lengths_panic() {
+        let features = Matrix::zeros(2, 2);
+        Dataset::new("bad", features, vec![], Schema::wikisql());
+    }
+
+    #[test]
+    fn truth_handle_shares_storage() {
+        let d = tiny();
+        let h1 = d.truth_handle();
+        let h2 = d.truth_handle();
+        assert!(Arc::ptr_eq(&h1, &h2));
+    }
+}

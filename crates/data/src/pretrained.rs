@@ -1,0 +1,163 @@
+//! Pre-trained embedding simulator (the paper's TASTI-PT configuration).
+//!
+//! The paper's TASTI-PT uses off-the-shelf embeddings (ImageNet-pretrained
+//! CNN features, BERT sentence embeddings): *semantically meaningful,
+//! although not adapted to the specific induced schema* (§3.1). We model
+//! this with a fixed, randomly initialized nonlinear projection of the raw
+//! record features onto the unit sphere: distances in the projected space
+//! reflect overall record similarity — including nuisance factors like
+//! lighting and recording gain, which a schema-adapted (triplet-trained)
+//! embedding learns to suppress.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tasti_nn::{Activation, Matrix, Mlp, MlpConfig};
+
+/// Produces the *degraded view* that cheap specialized proxy models operate
+/// on: a fixed random projection to `dim` dimensions plus observation noise.
+///
+/// The paper's per-query proxies are constrained to inputs far cheaper than
+/// the target labeler's — NoScope/BlazeIt proxies consume heavily
+/// downsampled frames, the WikiSQL baseline uses FastText instead of BERT
+/// embeddings (§6.1), CNN-10 sees reduced spectrograms. This helper models
+/// that information loss: the proxy baselines train on `degraded_view`
+/// output while TASTI's embedding model sees the full features.
+pub fn degraded_view(features: &Matrix, dim: usize, noise: f32, seed: u64) -> Matrix {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let scale = (1.0 / features.cols() as f32).sqrt() * 2.0;
+    let proj: Vec<f32> =
+        (0..features.cols() * dim).map(|_| rng.gen_range(-scale..scale)).collect();
+    let mut out = Matrix::zeros(features.rows(), dim);
+    for r in 0..features.rows() {
+        let row = features.row(r);
+        let out_row = out.row_mut(r);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (i, &x) in row.iter().enumerate() {
+                acc += x * proj[i * dim + j];
+            }
+            *o = acc + rng.gen_range(-noise..=noise);
+        }
+    }
+    out
+}
+
+/// A fixed (untrained) embedding network standing in for an off-the-shelf
+/// pre-trained model.
+pub struct PretrainedEmbedder {
+    net: Mlp,
+    dim: usize,
+}
+
+impl PretrainedEmbedder {
+    /// Builds the embedder for records of `input_dim` features, producing
+    /// `embedding_dim`-dimensional unit-norm embeddings. The projection is a
+    /// function of `seed` only, so every build sees the same "pre-trained"
+    /// model.
+    pub fn new(input_dim: usize, embedding_dim: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = MlpConfig {
+            input_dim,
+            hidden: vec![embedding_dim * 2],
+            output_dim: embedding_dim,
+            activation: Activation::Tanh,
+            l2_normalize_output: true,
+        };
+        Self { net: Mlp::new(&config, &mut rng), dim: embedding_dim }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds every row of `features`.
+    pub fn embed_all(&mut self, features: &Matrix) -> Matrix {
+        self.net.forward(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::night_street;
+    use tasti_labeler::ObjectClass;
+    use tasti_nn::tensor::{l2, norm};
+
+    #[test]
+    fn degraded_view_loses_information_but_keeps_some_signal() {
+        let p = night_street(1200, 19);
+        let full = &p.dataset.features;
+        let degraded = degraded_view(full, 8, 0.05, 3);
+        assert_eq!(degraded.rows(), full.rows());
+        assert_eq!(degraded.cols(), 8);
+        // Deterministic.
+        assert_eq!(degraded, degraded_view(full, 8, 0.05, 3));
+        // Still correlates with content: busy frames differ from empty ones.
+        let counts: Vec<f64> = (0..p.dataset.len())
+            .map(|i| p.dataset.ground_truth(i).count_class(ObjectClass::Car) as f64)
+            .collect();
+        let mut best = 0.0f64;
+        for c in 0..8 {
+            let col: Vec<f64> = (0..degraded.rows()).map(|r| degraded.get(r, c) as f64).collect();
+            best = best.max(tasti_nn::metrics::pearson_r(&col, &counts).abs());
+        }
+        assert!(best > 0.15, "degraded view should retain some signal: |r| = {best}");
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm_and_deterministic() {
+        let features = Matrix::from_fn(20, 8, |r, c| ((r * 8 + c) as f32 * 0.1).sin());
+        let mut a = PretrainedEmbedder::new(8, 4, 7);
+        let mut b = PretrainedEmbedder::new(8, 4, 7);
+        let ea = a.embed_all(&features);
+        let eb = b.embed_all(&features);
+        assert_eq!(ea, eb);
+        for r in 0..ea.rows() {
+            assert!((norm(ea.row(r)) - 1.0).abs() < 1e-4);
+        }
+        assert_eq!(a.dim(), 4);
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let features = Matrix::from_fn(5, 8, |r, c| (r + c) as f32 * 0.1);
+        let ea = PretrainedEmbedder::new(8, 4, 1).embed_all(&features);
+        let eb = PretrainedEmbedder::new(8, 4, 2).embed_all(&features);
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn pretrained_embeddings_are_semantically_meaningful_on_video() {
+        // Empty frames should sit closer to other empty frames than to busy
+        // frames on average — "semantically meaningful" per §3.1.
+        let p = night_street(1500, 13);
+        let mut emb = PretrainedEmbedder::new(p.dataset.feature_dim(), 16, 5);
+        let e = emb.embed_all(&p.dataset.features);
+        let counts: Vec<usize> = (0..p.dataset.len())
+            .map(|i| p.dataset.ground_truth(i).count_class(ObjectClass::Car))
+            .collect();
+        let empties: Vec<usize> =
+            (0..counts.len()).filter(|&i| counts[i] == 0).take(60).collect();
+        let busy: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] >= 2).take(60).collect();
+        assert!(busy.len() >= 10, "need busy frames for this test");
+        let mut d_ee = 0.0;
+        let mut n_ee = 0;
+        let mut d_eb = 0.0;
+        let mut n_eb = 0;
+        for (k, &i) in empties.iter().enumerate() {
+            for &j in empties.iter().skip(k + 1) {
+                d_ee += l2(e.row(i), e.row(j)) as f64;
+                n_ee += 1;
+            }
+            for &j in &busy {
+                d_eb += l2(e.row(i), e.row(j)) as f64;
+                n_eb += 1;
+            }
+        }
+        let d_ee = d_ee / n_ee as f64;
+        let d_eb = d_eb / n_eb as f64;
+        assert!(d_ee < d_eb, "empty-empty {d_ee} should be below empty-busy {d_eb}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Dataset statistics: the distributional properties TASTI's performance
+//! depends on, quantified.
+//!
+//! The paper's premise is that target-labeler outputs are highly redundant
+//! (§1: "the structured outputs of many data records are semantically
+//! similar") with a rare-event tail. [`DatasetSummary`] measures both:
+//! the **bucket redundancy** (what fraction of records share their
+//! closeness bucket with many others) and the **rare-event mass** (records
+//! in buckets below a population threshold). The experiment harness and
+//! docs use these to characterize the synthetic datasets the same way one
+//! would profile a real video before indexing it.
+
+use crate::dataset::Dataset;
+use serde::Serialize;
+use std::collections::HashMap;
+use tasti_labeler::ClosenessFn;
+
+/// Distributional summary of a dataset under a closeness function.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetSummary {
+    /// Number of records.
+    pub n_records: usize,
+    /// Number of distinct closeness buckets among the ground-truth outputs.
+    pub n_buckets: usize,
+    /// Records per bucket, descending.
+    pub bucket_sizes: Vec<usize>,
+    /// Fraction of records living in the single largest bucket.
+    pub largest_bucket_fraction: f64,
+    /// Fraction of records whose bucket holds ≥ 1% of the dataset — the
+    /// "redundant mass" TASTI's clustering exploits.
+    pub redundant_fraction: f64,
+    /// Fraction of records whose bucket holds ≤ 0.1% of the dataset — the
+    /// rare-event tail FPF mining/clustering must cover.
+    pub rare_fraction: f64,
+    /// Shannon entropy (bits) of the bucket distribution; low entropy =
+    /// high redundancy.
+    pub bucket_entropy_bits: f64,
+}
+
+/// Profiles a dataset's ground-truth outputs under `closeness`.
+///
+/// Evaluation-only: reads ground truth directly (a real deployment would
+/// profile a labeled sample instead).
+pub fn summarize(dataset: &Dataset, closeness: &dyn ClosenessFn) -> DatasetSummary {
+    let n = dataset.len();
+    let mut buckets: HashMap<u64, usize> = HashMap::new();
+    for i in 0..n {
+        *buckets.entry(closeness.bucket(dataset.ground_truth(i))).or_insert(0) += 1;
+    }
+    let mut bucket_sizes: Vec<usize> = buckets.values().copied().collect();
+    bucket_sizes.sort_unstable_by(|a, b| b.cmp(a));
+
+    let nf = n.max(1) as f64;
+    let largest_bucket_fraction = bucket_sizes.first().map_or(0.0, |&s| s as f64 / nf);
+    let redundant_threshold = (nf * 0.01).ceil() as usize;
+    let rare_threshold = (nf * 0.001).floor().max(1.0) as usize;
+    let redundant: usize = bucket_sizes.iter().filter(|&&s| s >= redundant_threshold).sum();
+    let rare: usize = bucket_sizes.iter().filter(|&&s| s <= rare_threshold).sum();
+    let entropy = bucket_sizes
+        .iter()
+        .map(|&s| {
+            let p = s as f64 / nf;
+            -p * p.log2()
+        })
+        .sum::<f64>();
+
+    DatasetSummary {
+        n_records: n,
+        n_buckets: bucket_sizes.len(),
+        largest_bucket_fraction,
+        redundant_fraction: redundant as f64 / nf,
+        rare_fraction: rare as f64 / nf,
+        bucket_entropy_bits: entropy,
+        bucket_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speech::common_voice;
+    use crate::text::wikisql;
+    use crate::video::night_street;
+    use tasti_labeler::{SpeechCloseness, SqlCloseness, VideoCloseness};
+
+    #[test]
+    fn night_street_is_redundant_with_a_rare_tail() {
+        let p = night_street(6_000, 3);
+        let s = summarize(&p.dataset, &VideoCloseness::default());
+        assert_eq!(s.n_records, 6_000);
+        assert!(s.n_buckets > 10, "expected varied scenes: {}", s.n_buckets);
+        // The empty-frame bucket dominates.
+        assert!(
+            s.largest_bucket_fraction > 0.2,
+            "night-street should have a dominant bucket: {}",
+            s.largest_bucket_fraction
+        );
+        assert!(s.redundant_fraction > 0.4, "redundant mass {}", s.redundant_fraction);
+        assert!(s.rare_fraction > 0.0, "a rare tail must exist");
+        assert!(s.bucket_entropy_bits > 1.0);
+        // Sizes are sorted descending and sum to n.
+        assert!(s.bucket_sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(s.bucket_sizes.iter().sum::<usize>(), 6_000);
+    }
+
+    #[test]
+    fn wikisql_buckets_match_annotation_space() {
+        let p = wikisql(4_000, 5);
+        let s = summarize(&p.dataset, &SqlCloseness);
+        // 6 ops × 5 predicate counts = 30 possible buckets.
+        assert!(s.n_buckets <= 30);
+        assert!(s.n_buckets >= 15, "most op×pred combinations should occur: {}", s.n_buckets);
+    }
+
+    #[test]
+    fn common_voice_buckets_are_gender_times_age() {
+        let d = common_voice(4_000, 7);
+        let s = summarize(&d, &SpeechCloseness);
+        assert!(s.n_buckets <= 12); // 2 genders × 6 age buckets
+        assert!(s.n_buckets >= 8);
+        assert!(s.redundant_fraction > 0.9, "speech buckets are all common");
+    }
+
+    #[test]
+    fn entropy_orders_by_redundancy() {
+        // Speech (≤12 buckets) must have lower entropy than night-street
+        // video (hundreds of position-grid buckets).
+        let v = night_street(4_000, 9);
+        let sv = summarize(&v.dataset, &VideoCloseness::default());
+        let d = common_voice(4_000, 9);
+        let sd = summarize(&d, &SpeechCloseness);
+        assert!(sd.bucket_entropy_bits < sv.bucket_entropy_bits);
+    }
+}

@@ -1,0 +1,290 @@
+//! Synthetic WikiSQL-style text dataset (§6.1).
+//!
+//! The original dataset pairs natural-language questions with SQL statements
+//! (Zhong et al. 2017); the paper assumes the SQL is unknown at query time
+//! and must be crowd-annotated. Our generator draws a latent annotation
+//! (aggregation operator + number of `WHERE` predicates), then emits a token
+//! sequence: operator-specific phrase tokens, one phrase per predicate,
+//! random entity tokens, and filler — so surface form correlates with, but
+//! does not trivially reveal, the latent schema.
+//!
+//! Two featurizations are produced, mirroring the paper's models:
+//!
+//! * **BERT-sim** ([`TextPreset::dataset`] features) — a contextual mix:
+//!   mean/max token embeddings passed through a fixed random nonlinear map.
+//!   This is what TASTI's embedding DNN trains on.
+//! * **FastText-sim** ([`TextPreset::fasttext`]) — plain mean of per-token
+//!   embeddings, the cheaper representation the paper's per-query logistic
+//!   regression baseline uses.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tasti_labeler::{LabelerOutput, Schema, SqlAnnotation, SqlOp};
+use tasti_nn::Matrix;
+
+/// Dimension of per-token embeddings.
+const TOKEN_DIM: usize = 16;
+/// BERT-sim output feature dimension.
+const BERT_DIM: usize = 48;
+/// FastText-sim output dimension (= token dim, mean pooling).
+const FASTTEXT_DIM: usize = TOKEN_DIM;
+
+/// Token-id layout: operators own dedicated phrase tokens, predicates a
+/// small shared set, entities and filler draw from large pools.
+const OP_TOKEN_BASE: u32 = 0; // 6 ops × 3 tokens
+const PRED_TOKEN_BASE: u32 = 32; // 8 predicate-phrase tokens
+const ENTITY_TOKEN_BASE: u32 = 64; // 256 entity tokens
+const FILLER_TOKEN_BASE: u32 = 512; // 256 filler tokens
+
+/// A WikiSQL-style dataset with both featurizations.
+#[derive(Debug, Clone)]
+pub struct TextPreset {
+    /// The dataset with BERT-sim features (TASTI's view).
+    pub dataset: Dataset,
+    /// FastText-sim features (per-query proxy baseline's view).
+    pub fasttext: Matrix,
+}
+
+/// Generates a WikiSQL-style dataset of `n` questions.
+pub fn wikisql(n: usize, seed: u64) -> TextPreset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut truth = Vec::with_capacity(n);
+    let mut token_seqs: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ann = sample_annotation(&mut rng);
+        token_seqs.push(tokenize(ann, &mut rng));
+        truth.push(LabelerOutput::Sql(ann));
+    }
+    let bert = featurize_bert(&token_seqs, seed ^ 0xB347);
+    let fasttext = featurize_fasttext(&token_seqs, seed ^ 0xFA57);
+    let dataset = Dataset::new("wikisql", bert, truth, Schema::wikisql());
+    TextPreset { dataset, fasttext }
+}
+
+/// Operator mix loosely following WikiSQL's skew: plain selection dominates.
+fn sample_annotation(rng: &mut impl Rng) -> SqlAnnotation {
+    let op = match rng.gen_range(0..100u32) {
+        0..=47 => SqlOp::Select,
+        48..=67 => SqlOp::Count,
+        68..=77 => SqlOp::Max,
+        78..=87 => SqlOp::Min,
+        88..=93 => SqlOp::Sum,
+        _ => SqlOp::Avg,
+    };
+    // Predicate count: geometric-ish, 1 most common, occasionally 0 or many.
+    let num_predicates = match rng.gen_range(0..100u32) {
+        0..=9 => 0u8,
+        10..=59 => 1,
+        60..=84 => 2,
+        85..=94 => 3,
+        _ => 4,
+    };
+    SqlAnnotation { op, num_predicates }
+}
+
+/// Emits the token sequence for an annotation.
+fn tokenize(ann: SqlAnnotation, rng: &mut impl Rng) -> Vec<u32> {
+    let mut tokens = Vec::new();
+    // Operator phrase: 1–3 of the operator's dedicated tokens.
+    let op_base = OP_TOKEN_BASE + ann.op.id() as u32 * 3;
+    let n_op_tokens = rng.gen_range(1..=3);
+    for k in 0..n_op_tokens {
+        tokens.push(op_base + k % 3);
+    }
+    // One predicate phrase per predicate plus an entity each.
+    for _ in 0..ann.num_predicates {
+        tokens.push(PRED_TOKEN_BASE + rng.gen_range(0..8));
+        tokens.push(ENTITY_TOKEN_BASE + rng.gen_range(0..256));
+    }
+    // Subject entity.
+    tokens.push(ENTITY_TOKEN_BASE + rng.gen_range(0..256));
+    // Filler: 2–8 random function words.
+    for _ in 0..rng.gen_range(2..=8) {
+        tokens.push(FILLER_TOKEN_BASE + rng.gen_range(0..256));
+    }
+    tokens
+}
+
+/// Per-token embedding: deterministic in the token id and the seed.
+fn token_embedding(token: u32, seed: u64, out: &mut [f32]) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(token as u64));
+    for x in out.iter_mut() {
+        *x = rng.gen_range(-1.0f32..1.0);
+    }
+}
+
+/// FastText-sim: mean of token embeddings.
+fn featurize_fasttext(seqs: &[Vec<u32>], seed: u64) -> Matrix {
+    let mut out = Matrix::zeros(seqs.len(), FASTTEXT_DIM);
+    let mut emb = [0.0f32; TOKEN_DIM];
+    for (i, seq) in seqs.iter().enumerate() {
+        let row = out.row_mut(i);
+        for &t in seq {
+            token_embedding(t, seed, &mut emb);
+            for (r, &e) in row.iter_mut().zip(&emb) {
+                *r += e;
+            }
+        }
+        let inv = 1.0 / seq.len().max(1) as f32;
+        row.iter_mut().for_each(|x| *x *= inv);
+    }
+    out
+}
+
+/// Salience weight of a token in BERT-sim pooling: real encoders attend to
+/// content words (the operator and predicate phrases) far more than filler.
+fn salience(token: u32) -> f32 {
+    if token < PRED_TOKEN_BASE {
+        3.0 // operator phrase
+    } else if token < ENTITY_TOKEN_BASE {
+        2.0 // predicate phrase
+    } else if token < FILLER_TOKEN_BASE {
+        0.8 // entities
+    } else {
+        0.3 // filler
+    }
+}
+
+/// BERT-sim: salience-weighted `[mean; max]` token-embedding pooling through
+/// a fixed random tanh layer, with mild sequence-length signal (as real
+/// encoders leak).
+fn featurize_bert(seqs: &[Vec<u32>], seed: u64) -> Matrix {
+    let pooled_dim = TOKEN_DIM * 2 + 1;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let scale = (2.0 / pooled_dim as f32).sqrt() * 2.0;
+    let w: Vec<f32> = (0..pooled_dim * BERT_DIM).map(|_| rng.gen_range(-scale..scale)).collect();
+    let mut out = Matrix::zeros(seqs.len(), BERT_DIM);
+    let mut emb = [0.0f32; TOKEN_DIM];
+    let mut pooled = vec![0.0f32; pooled_dim];
+    for (i, seq) in seqs.iter().enumerate() {
+        pooled.iter_mut().for_each(|x| *x = 0.0);
+        pooled[TOKEN_DIM..TOKEN_DIM * 2].iter_mut().for_each(|x| *x = f32::NEG_INFINITY);
+        let mut weight_sum = 0.0f32;
+        for &t in seq {
+            token_embedding(t, seed, &mut emb);
+            let s = salience(t);
+            weight_sum += s;
+            for (k, &e) in emb.iter().enumerate() {
+                pooled[k] += s * e;
+                if s * e > pooled[TOKEN_DIM + k] {
+                    pooled[TOKEN_DIM + k] = s * e;
+                }
+            }
+        }
+        let inv = 1.0 / weight_sum.max(1e-6);
+        pooled[..TOKEN_DIM].iter_mut().for_each(|x| *x *= inv);
+        pooled[pooled_dim - 1] = (seq.len() as f32 / 16.0).tanh();
+        let row = out.row_mut(i);
+        for (j, r) in row.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, &p) in pooled.iter().enumerate() {
+                acc += p * w[k * BERT_DIM + j];
+            }
+            *r = acc.tanh();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasti_nn::metrics::pearson_r;
+
+    fn annotations(p: &TextPreset) -> Vec<SqlAnnotation> {
+        (0..p.dataset.len())
+            .map(|i| match p.dataset.ground_truth(i) {
+                LabelerOutput::Sql(s) => *s,
+                _ => panic!("wrong modality"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = wikisql(200, 5);
+        let b = wikisql(200, 5);
+        assert_eq!(a.dataset.features, b.dataset.features);
+        assert_eq!(a.fasttext, b.fasttext);
+        assert_eq!(annotations(&a), annotations(&b));
+    }
+
+    #[test]
+    fn operator_mix_is_skewed_toward_select() {
+        let p = wikisql(2000, 1);
+        let anns = annotations(&p);
+        let selects = anns.iter().filter(|a| a.op == SqlOp::Select).count();
+        let avgs = anns.iter().filter(|a| a.op == SqlOp::Avg).count();
+        assert!(selects > avgs * 3, "select {selects} vs avg {avgs}");
+        // All ops should appear in a sample this large.
+        for op in SqlOp::ALL {
+            assert!(anns.iter().any(|a| a.op == op), "missing {op:?}");
+        }
+    }
+
+    #[test]
+    fn predicate_counts_span_range() {
+        let p = wikisql(2000, 2);
+        let anns = annotations(&p);
+        for k in 0..=4u8 {
+            assert!(anns.iter().any(|a| a.num_predicates == k), "missing k={k}");
+        }
+        let mean =
+            anns.iter().map(|a| a.num_predicates as f64).sum::<f64>() / anns.len() as f64;
+        assert!(mean > 0.8 && mean < 2.5, "mean predicates {mean}");
+    }
+
+    #[test]
+    fn features_carry_predicate_count_signal() {
+        // Question length grows with predicates, and BERT-sim sees length +
+        // predicate-phrase tokens, so some feature should correlate.
+        let p = wikisql(1000, 3);
+        let anns = annotations(&p);
+        let truth: Vec<f64> = anns.iter().map(|a| a.num_predicates as f64).collect();
+        let mut best = 0.0f64;
+        for c in 0..p.dataset.feature_dim() {
+            let col: Vec<f64> =
+                (0..p.dataset.len()).map(|i| p.dataset.features.get(i, c) as f64).collect();
+            best = best.max(pearson_r(&col, &truth).abs());
+        }
+        assert!(best > 0.3, "no feature correlates with predicate count: best |r| = {best}");
+    }
+
+    #[test]
+    fn fasttext_and_bert_dims() {
+        let p = wikisql(10, 4);
+        assert_eq!(p.dataset.feature_dim(), BERT_DIM);
+        assert_eq!(p.fasttext.cols(), FASTTEXT_DIM);
+        assert_eq!(p.fasttext.rows(), 10);
+    }
+
+    #[test]
+    fn same_annotation_questions_are_nearer_on_average() {
+        let p = wikisql(400, 6);
+        let anns = annotations(&p);
+        let mut same = (0.0f64, 0usize);
+        let mut diff = (0.0f64, 0usize);
+        for i in 0..200 {
+            for j in (i + 1)..200 {
+                let d =
+                    tasti_nn::tensor::l2(p.dataset.features.row(i), p.dataset.features.row(j))
+                        as f64;
+                if anns[i] == anns[j] {
+                    same.0 += d;
+                    same.1 += 1;
+                } else {
+                    diff.0 += d;
+                    diff.1 += 1;
+                }
+            }
+        }
+        let same_mean = same.0 / same.1.max(1) as f64;
+        let diff_mean = diff.0 / diff.1.max(1) as f64;
+        assert!(
+            same_mean < diff_mean,
+            "same-annotation pairs should be closer: {same_mean} vs {diff_mean}"
+        );
+    }
+}

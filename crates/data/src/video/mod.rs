@@ -1,0 +1,17 @@
+//! Synthetic traffic-camera video datasets (`night-street`, `taipei`,
+//! `amsterdam` in the paper, §6.1).
+//!
+//! The pipeline is: a hidden scene process ([`scene`]) spawns objects with
+//! persistent tracks and time-of-day traffic intensity; each frame's visible
+//! objects are the ground-truth detections; [`render`] maps each frame
+//! through a fixed random nonlinear "camera" (plus lighting drift, camera
+//! jitter, and sensor noise) into the raw feature vector that embedding
+//! models actually see. [`presets`] instantiates the three named datasets.
+
+pub mod presets;
+pub mod render;
+pub mod scene;
+
+pub use presets::{amsterdam, night_street, taipei, VideoPreset};
+pub use render::RenderConfig;
+pub use scene::{ClassConfig, SceneConfig, SceneSimulator};

@@ -1,0 +1,157 @@
+//! The three named video datasets from the paper's evaluation (§6.1).
+//!
+//! * `night-street` — the most widely studied video-analytics benchmark:
+//!   cars only, long empty stretches (most frames empty at night), strong
+//!   diurnal swings, occasional multi-car bursts (the rare events limit
+//!   queries hunt for).
+//! * `taipei` — two object classes, car and bus, with buses rare; the paper
+//!   uses one set of embeddings for both classes.
+//! * `amsterdam` — light traffic, low counts.
+
+use crate::dataset::Dataset;
+use crate::video::render::{render_frames, RenderConfig};
+use crate::video::scene::{ClassConfig, SceneConfig, SceneSimulator};
+use tasti_labeler::{LabelerOutput, ObjectClass, Schema};
+
+/// A fully instantiated video dataset plus its generation configs (kept for
+/// reproducibility records in the experiment harness).
+#[derive(Debug, Clone)]
+pub struct VideoPreset {
+    /// The rendered dataset.
+    pub dataset: Dataset,
+    /// Scene configuration used.
+    pub scene: SceneConfig,
+    /// Render configuration used.
+    pub render: RenderConfig,
+}
+
+fn build(name: &str, scene: SceneConfig, render: RenderConfig) -> VideoPreset {
+    let frames = SceneSimulator::new(scene.clone()).run();
+    let features = render_frames(&frames, &render);
+    let truth: Vec<LabelerOutput> = frames.into_iter().map(LabelerOutput::Detections).collect();
+    let dataset = Dataset::new(name, features, truth, Schema::object_detection());
+    VideoPreset { dataset, scene, render }
+}
+
+/// `night-street`: cars only, heavy empty-frame redundancy, strong diurnal
+/// intensity swings producing rare busy bursts.
+pub fn night_street(n_frames: usize, seed: u64) -> VideoPreset {
+    let scene = SceneConfig {
+        n_frames,
+        classes: vec![ClassConfig {
+            class: ObjectClass::Car,
+            spawn_rate: 0.035,
+            speed: 0.025,
+            size: (0.09, 0.07),
+        }],
+        intensity_period: (n_frames / 4).max(100),
+        intensity_amplitude: 0.9,
+        seed,
+    };
+    let render = RenderConfig { seed: seed ^ 0x11, ..RenderConfig::default() };
+    build("night-street", scene, render)
+}
+
+/// `taipei`: cars common, buses rare (~30× fewer); the same embeddings serve
+/// queries over both classes.
+pub fn taipei(n_frames: usize, seed: u64) -> VideoPreset {
+    let scene = SceneConfig {
+        n_frames,
+        classes: vec![
+            ClassConfig {
+                class: ObjectClass::Car,
+                spawn_rate: 0.06,
+                speed: 0.03,
+                size: (0.08, 0.06),
+            },
+            ClassConfig {
+                class: ObjectClass::Bus,
+                spawn_rate: 0.002,
+                speed: 0.018,
+                size: (0.16, 0.11),
+            },
+        ],
+        intensity_period: (n_frames / 3).max(100),
+        intensity_amplitude: 0.5,
+        seed,
+    };
+    let render = RenderConfig { seed: seed ^ 0x22, ..RenderConfig::default() };
+    build("taipei", scene, render)
+}
+
+/// `amsterdam`: light canal-side traffic, low counts, mild diurnal cycle.
+pub fn amsterdam(n_frames: usize, seed: u64) -> VideoPreset {
+    let scene = SceneConfig {
+        n_frames,
+        classes: vec![ClassConfig {
+            class: ObjectClass::Car,
+            spawn_rate: 0.02,
+            speed: 0.02,
+            size: (0.07, 0.05),
+        }],
+        intensity_period: (n_frames / 2).max(100),
+        intensity_amplitude: 0.4,
+        seed,
+    };
+    let render = RenderConfig { seed: seed ^ 0x33, ..RenderConfig::default() };
+    build("amsterdam", scene, render)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_stats(p: &VideoPreset, class: ObjectClass) -> (f64, f64, usize) {
+        let n = p.dataset.len();
+        let counts: Vec<usize> =
+            (0..n).map(|i| p.dataset.ground_truth(i).count_class(class)).collect();
+        let mean = counts.iter().sum::<usize>() as f64 / n as f64;
+        let empty = counts.iter().filter(|&&c| c == 0).count() as f64 / n as f64;
+        let max = counts.iter().copied().max().unwrap_or(0);
+        (mean, empty, max)
+    }
+
+    #[test]
+    fn night_street_is_mostly_empty_with_rare_bursts() {
+        let p = night_street(4000, 7);
+        let (mean, empty_frac, max) = count_stats(&p, ObjectClass::Car);
+        assert!(mean > 0.05 && mean < 2.0, "mean cars {mean}");
+        assert!(empty_frac > 0.4, "empty fraction {empty_frac}");
+        assert!(max >= 3, "expected multi-car bursts, max {max}");
+    }
+
+    #[test]
+    fn taipei_has_rare_buses() {
+        let p = taipei(4000, 9);
+        let (car_mean, _, _) = count_stats(&p, ObjectClass::Car);
+        let (bus_mean, bus_empty, _) = count_stats(&p, ObjectClass::Bus);
+        assert!(car_mean > bus_mean * 5.0, "cars {car_mean} vs buses {bus_mean}");
+        assert!(bus_mean > 0.0, "buses must occur");
+        assert!(bus_empty > 0.9, "bus frames must be rare: empty {bus_empty}");
+    }
+
+    #[test]
+    fn amsterdam_has_low_counts() {
+        let p = amsterdam(4000, 11);
+        let (mean, _, _) = count_stats(&p, ObjectClass::Car);
+        let night = count_stats(&night_street(4000, 11), ObjectClass::Car).0;
+        assert!(mean < night, "amsterdam {mean} should be lighter than night-street {night}");
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = night_street(500, 3);
+        let b = night_street(500, 3);
+        assert_eq!(a.dataset.features, b.dataset.features);
+        for i in 0..500 {
+            assert_eq!(a.dataset.ground_truth(i), b.dataset.ground_truth(i));
+        }
+    }
+
+    #[test]
+    fn feature_rows_match_frames() {
+        let p = taipei(300, 1);
+        assert_eq!(p.dataset.len(), 300);
+        assert_eq!(p.dataset.feature_dim(), p.render.feature_dim);
+    }
+}

@@ -1,0 +1,246 @@
+//! Renders scene frames to raw feature vectors — the "pixels".
+//!
+//! Each frame's ground-truth detections are first rasterized into a
+//! low-dimensional *scene signal* (per-class Gaussian splats on a coarse
+//! grid), then pushed through a fixed random two-layer nonlinear map — the
+//! "camera" — together with nuisance inputs (lighting drift, camera jitter,
+//! weather) and per-frame sensor noise. The resulting features correlate
+//! with scene content but entangle it with nuisance, so a pre-trained
+//! (random-projection) embedding is informative-but-noisy while a
+//! triplet-trained embedding can learn to invert the mixing and isolate the
+//! schema-relevant structure.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tasti_labeler::{Detection, ObjectClass};
+use tasti_nn::Matrix;
+
+/// Rendering configuration.
+#[derive(Debug, Clone)]
+pub struct RenderConfig {
+    /// Output feature dimension.
+    pub feature_dim: usize,
+    /// Rasterization grid resolution per axis.
+    pub grid: usize,
+    /// Sensor-noise standard deviation.
+    pub noise: f32,
+    /// Strength of the nuisance channels relative to the scene signal.
+    pub nuisance_strength: f32,
+    /// Lower bound of per-object visibility: each detection's contribution
+    /// to the rendered features is scaled by a random factor in
+    /// `[visibility_floor, 1]`, modeling dim, distant, motion-blurred, or
+    /// partially occluded objects that the (accurate) target labeler still
+    /// detects but that are faint in the raw signal. This is what makes the
+    /// selection/limit decision boundaries genuinely ambiguous, as they are
+    /// for real video. Set to 1.0 to disable.
+    pub visibility_floor: f32,
+    /// Seed for the fixed camera map and the noise stream.
+    pub seed: u64,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        Self {
+            feature_dim: 32,
+            grid: 4,
+            noise: 0.02,
+            nuisance_strength: 0.6,
+            visibility_floor: 0.2,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Number of nuisance channels appended to the scene signal.
+const N_NUISANCE: usize = 4;
+
+/// Renders a full scene (one detection list per frame) into an
+/// `n_frames × feature_dim` feature matrix.
+pub fn render_frames(frames: &[Vec<Detection>], config: &RenderConfig) -> Matrix {
+    let g = config.grid.max(1);
+    let n_classes = ObjectClass::ALL.len();
+    let signal_dim = g * g * n_classes + N_NUISANCE;
+
+    // Fixed random camera: signal → hidden → features, tanh nonlinearities.
+    let mut cam_rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let hidden_dim = (config.feature_dim * 2).max(signal_dim);
+    let w1 = random_matrix(signal_dim, hidden_dim, &mut cam_rng, (2.0 / signal_dim as f32).sqrt() * 3.0);
+    let w2 = random_matrix(hidden_dim, config.feature_dim, &mut cam_rng, (2.0 / hidden_dim as f32).sqrt() * 3.0);
+
+    let mut noise_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5EED_F00D);
+    let mut out = Matrix::zeros(frames.len(), config.feature_dim);
+    let mut signal = vec![0.0f32; signal_dim];
+    let mut hidden = vec![0.0f32; hidden_dim];
+    let mut lighting_walk = 0.0f32;
+
+    for (t, dets) in frames.iter().enumerate() {
+        signal.iter_mut().for_each(|x| *x = 0.0);
+        rasterize(dets, g, &mut signal[..g * g * n_classes], config.visibility_floor, &mut noise_rng);
+
+        // Nuisance channels: diurnal lighting, slow drift, camera jitter.
+        lighting_walk = 0.999 * lighting_walk + noise_rng.gen_range(-0.01..0.01);
+        let diurnal = ((t as f32 / 1200.0) * std::f32::consts::TAU).sin();
+        let base = g * g * n_classes;
+        signal[base] = config.nuisance_strength * diurnal;
+        signal[base + 1] = config.nuisance_strength * lighting_walk.clamp(-1.0, 1.0);
+        signal[base + 2] = config.nuisance_strength * noise_rng.gen_range(-1.0f32..=1.0);
+        signal[base + 3] = config.nuisance_strength * noise_rng.gen_range(-1.0f32..=1.0);
+
+        // Camera map: tanh(W2 · tanh(W1 · s)) + sensor noise.
+        matvec(&w1, &signal, &mut hidden);
+        hidden.iter_mut().for_each(|x| *x = x.tanh());
+        let row = out.row_mut(t);
+        matvec_into_row(&w2, &hidden, row);
+        for x in row.iter_mut() {
+            *x = x.tanh() + noise_rng.gen_range(-config.noise..=config.noise);
+        }
+    }
+    out
+}
+
+/// Splats each detection as a Gaussian bump onto its class's grid plane,
+/// attenuated by a per-object visibility factor.
+fn rasterize(
+    dets: &[Detection],
+    g: usize,
+    signal: &mut [f32],
+    visibility_floor: f32,
+    rng: &mut impl Rng,
+) {
+    let sigma = 0.75 / g as f32;
+    let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+    for d in dets {
+        let visibility =
+            if visibility_floor >= 1.0 { 1.0 } else { rng.gen_range(visibility_floor..=1.0) };
+        let plane = d.class.id() as usize * g * g;
+        for cy in 0..g {
+            for cx in 0..g {
+                let cell_x = (cx as f32 + 0.5) / g as f32;
+                let cell_y = (cy as f32 + 0.5) / g as f32;
+                let dx = d.x - cell_x;
+                let dy = d.y - cell_y;
+                let v = (-(dx * dx + dy * dy) * inv_two_sigma_sq).exp();
+                signal[plane + cy * g + cx] += visibility * v;
+            }
+        }
+    }
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut impl Rng, scale: f32) -> Vec<f32> {
+    (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect()
+}
+
+/// `out = xᵀ · W` where `w` is `rows × cols` row-major and `x` has `rows` entries.
+fn matvec(w: &[f32], x: &[f32], out: &mut [f32]) {
+    let cols = out.len();
+    debug_assert_eq!(w.len(), x.len() * cols);
+    out.iter_mut().for_each(|o| *o = 0.0);
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = &w[i * cols..(i + 1) * cols];
+        for (o, &wv) in out.iter_mut().zip(row) {
+            *o += xi * wv;
+        }
+    }
+}
+
+fn matvec_into_row(w: &[f32], x: &[f32], out: &mut [f32]) {
+    matvec(w, x, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: ObjectClass, x: f32, y: f32) -> Detection {
+        Detection { class, x, y, w: 0.1, h: 0.1 }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let frames = vec![vec![det(ObjectClass::Car, 0.5, 0.5)], vec![]];
+        let cfg = RenderConfig::default();
+        let a = render_frames(&frames, &cfg);
+        let b = render_frames(&frames, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_shape_matches_config() {
+        let frames = vec![vec![]; 5];
+        let cfg = RenderConfig { feature_dim: 17, ..RenderConfig::default() };
+        let m = render_frames(&frames, &cfg);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.cols(), 17);
+    }
+
+    #[test]
+    fn similar_scenes_render_closer_than_dissimilar() {
+        // Frame A and B: one car in nearly the same place. Frame C: three
+        // cars elsewhere. ‖f(A)−f(B)‖ must be ≪ ‖f(A)−f(C)‖ on average.
+        let frames = vec![
+            vec![det(ObjectClass::Car, 0.3, 0.3)],
+            vec![det(ObjectClass::Car, 0.32, 0.31)],
+            vec![
+                det(ObjectClass::Car, 0.8, 0.8),
+                det(ObjectClass::Car, 0.7, 0.2),
+                det(ObjectClass::Car, 0.2, 0.8),
+            ],
+        ];
+        let cfg = RenderConfig {
+            noise: 0.0,
+            nuisance_strength: 0.0,
+            visibility_floor: 1.0,
+            ..RenderConfig::default()
+        };
+        let m = render_frames(&frames, &cfg);
+        let d_ab = tasti_nn::tensor::l2(m.row(0), m.row(1));
+        let d_ac = tasti_nn::tensor::l2(m.row(0), m.row(2));
+        assert!(d_ab * 3.0 < d_ac, "d_ab {d_ab} vs d_ac {d_ac}");
+    }
+
+    #[test]
+    fn nuisance_perturbs_identical_scenes() {
+        // Same scene at different times must differ when nuisance is on.
+        let frames = vec![vec![det(ObjectClass::Car, 0.5, 0.5)]; 100];
+        let cfg = RenderConfig { noise: 0.0, nuisance_strength: 1.0, ..RenderConfig::default() };
+        let m = render_frames(&frames, &cfg);
+        let d = tasti_nn::tensor::l2(m.row(0), m.row(99));
+        assert!(d > 1e-3, "nuisance should move identical scenes apart, d={d}");
+    }
+
+    #[test]
+    fn different_classes_occupy_different_planes() {
+        let g = 4;
+        let mut s_car = vec![0.0f32; g * g * ObjectClass::ALL.len()];
+        let mut s_bus = vec![0.0f32; g * g * ObjectClass::ALL.len()];
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        rasterize(&[det(ObjectClass::Car, 0.5, 0.5)], g, &mut s_car, 1.0, &mut rng);
+        rasterize(&[det(ObjectClass::Bus, 0.5, 0.5)], g, &mut s_bus, 1.0, &mut rng);
+        // Car plane energy for car frame, zero for bus frame.
+        let car_plane = 0..g * g;
+        let car_energy: f32 = car_plane.clone().map(|i| s_car[i]).sum();
+        let bus_frame_car_energy: f32 = car_plane.map(|i| s_bus[i]).sum();
+        assert!(car_energy > 0.1);
+        assert_eq!(bus_frame_car_energy, 0.0);
+    }
+
+    #[test]
+    fn rasterize_peak_is_at_object_cell() {
+        let g = 4;
+        let mut s = vec![0.0f32; g * g * ObjectClass::ALL.len()];
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        rasterize(&[det(ObjectClass::Car, 0.125, 0.125)], g, &mut s, 1.0, &mut rng); // cell (0,0)
+        let plane = &s[..g * g];
+        let max_idx = plane
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 0, "peak should be in cell (0,0)");
+    }
+}

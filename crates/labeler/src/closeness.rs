@@ -1,0 +1,277 @@
+//! User-provided closeness functions over target-labeler outputs (§2.3, §3.1).
+//!
+//! TASTI requires "a heuristic for 'close' and 'far' target labeler outputs,
+//! either as a Boolean function or as a cutoff based on a continuous distance
+//! measure". Two views are exposed:
+//!
+//! * [`ClosenessFn::is_close`] — the pairwise Boolean from the paper's §2.3
+//!   pseudocode (used in the theory validation and as the ground metric).
+//! * [`ClosenessFn::bucket`] — a discretized equivalence key. §3.1: "TASTI
+//!   will first bucket records by the closeness function" before sampling
+//!   triplets (anchor+positive from one bucket, negative from another).
+//!
+//! For video the paper's heuristic groups frames with the same number of
+//! objects and similar positions; we discretize positions onto a grid for
+//! bucketing and use greedy box matching for the pairwise check.
+
+use crate::output::{Detection, LabelerOutput};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A closeness heuristic over target-labeler outputs.
+pub trait ClosenessFn: Send + Sync {
+    /// The paper's Boolean closeness (§2.3 pseudocode).
+    fn is_close(&self, a: &LabelerOutput, b: &LabelerOutput) -> bool;
+
+    /// Discretized bucket key; outputs sharing a key are treated as "close"
+    /// for triplet mining (§3.1). Buckets must refine `is_close` reasonably:
+    /// same-bucket outputs should almost always be close.
+    fn bucket(&self, out: &LabelerOutput) -> u64;
+}
+
+/// Video closeness (§2.3): frames are close iff they contain the same number
+/// of objects and every box in one frame has a same-class counterpart within
+/// `position_threshold` (normalized center distance) in the other.
+///
+/// ```
+/// use tasti_labeler::{ClosenessFn, Detection, LabelerOutput, ObjectClass, VideoCloseness};
+/// let car = |x: f32| Detection { class: ObjectClass::Car, x, y: 0.5, w: 0.1, h: 0.1 };
+/// let c = VideoCloseness::default();
+/// let a = LabelerOutput::Detections(vec![car(0.50)]);
+/// let b = LabelerOutput::Detections(vec![car(0.55)]); // nearby car: close
+/// let d = LabelerOutput::Detections(vec![]);          // empty frame: far
+/// assert!(c.is_close(&a, &b));
+/// assert!(!c.is_close(&a, &d));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct VideoCloseness {
+    /// Maximum normalized center distance for two boxes to be "close".
+    pub position_threshold: f32,
+    /// Grid resolution per axis for bucketing positions.
+    pub grid: u32,
+    /// Whether object classes must match (taipei queries both car and bus
+    /// from one set of embeddings, so class matters there).
+    pub match_class: bool,
+}
+
+impl Default for VideoCloseness {
+    fn default() -> Self {
+        Self { position_threshold: 0.25, grid: 4, match_class: true }
+    }
+}
+
+impl VideoCloseness {
+    /// `all_boxes_close` helper from the paper's pseudocode: greedy matching
+    /// of each box in `a` to an unused close box in `b`.
+    fn all_boxes_close(&self, a: &[Detection], b: &[Detection]) -> bool {
+        let mut used = vec![false; b.len()];
+        'outer: for box_a in a {
+            for (j, box_b) in b.iter().enumerate() {
+                if used[j] {
+                    continue;
+                }
+                if self.match_class && box_a.class != box_b.class {
+                    continue;
+                }
+                if box_a.center_distance(box_b) <= self.position_threshold {
+                    used[j] = true;
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl ClosenessFn for VideoCloseness {
+    fn is_close(&self, a: &LabelerOutput, b: &LabelerOutput) -> bool {
+        let (a, b) = match (a, b) {
+            (LabelerOutput::Detections(a), LabelerOutput::Detections(b)) => (a, b),
+            _ => return false,
+        };
+        // Paper: `if len(frame1) != len(frame2): return False`.
+        if a.len() != b.len() {
+            return false;
+        }
+        self.all_boxes_close(a, b)
+    }
+
+    fn bucket(&self, out: &LabelerOutput) -> u64 {
+        let boxes = match out {
+            LabelerOutput::Detections(d) => d,
+            _ => return u64::MAX,
+        };
+        // Key: multiset of (class, grid cell), order-independent.
+        let g = self.grid.max(1) as f32;
+        let mut cells: Vec<(u8, u32, u32)> = boxes
+            .iter()
+            .map(|b| {
+                let cx = ((b.x * g) as u32).min(self.grid.saturating_sub(1));
+                let cy = ((b.y * g) as u32).min(self.grid.saturating_sub(1));
+                (if self.match_class { b.class.id() } else { 0 }, cx, cy)
+            })
+            .collect();
+        cells.sort_unstable();
+        let mut h = DefaultHasher::new();
+        cells.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// WikiSQL closeness (§6.1): questions are close iff their annotations share
+/// the SQL operator and the number of predicates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SqlCloseness;
+
+impl ClosenessFn for SqlCloseness {
+    fn is_close(&self, a: &LabelerOutput, b: &LabelerOutput) -> bool {
+        matches!((a, b), (LabelerOutput::Sql(x), LabelerOutput::Sql(y)) if x == y)
+    }
+
+    fn bucket(&self, out: &LabelerOutput) -> u64 {
+        match out {
+            LabelerOutput::Sql(s) => (s.op.id() as u64) << 8 | s.num_predicates as u64,
+            _ => u64::MAX,
+        }
+    }
+}
+
+/// Common Voice closeness (§6.1): snippets are close iff gender and
+/// discretized age bucket match.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpeechCloseness;
+
+impl ClosenessFn for SpeechCloseness {
+    fn is_close(&self, a: &LabelerOutput, b: &LabelerOutput) -> bool {
+        matches!((a, b), (LabelerOutput::Speech(x), LabelerOutput::Speech(y)) if x == y)
+    }
+
+    fn bucket(&self, out: &LabelerOutput) -> u64 {
+        match out {
+            LabelerOutput::Speech(s) => {
+                let g = match s.gender {
+                    crate::output::Gender::Male => 0u64,
+                    crate::output::Gender::Female => 1,
+                };
+                g << 8 | s.age_bucket as u64
+            }
+            _ => u64::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::{Gender, ObjectClass, SpeechAnnotation, SqlAnnotation, SqlOp};
+
+    fn car(x: f32, y: f32) -> Detection {
+        Detection { class: ObjectClass::Car, x, y, w: 0.1, h: 0.1 }
+    }
+
+    fn bus(x: f32, y: f32) -> Detection {
+        Detection { class: ObjectClass::Bus, x, y, w: 0.2, h: 0.2 }
+    }
+
+    #[test]
+    fn different_counts_are_far() {
+        let c = VideoCloseness::default();
+        let a = LabelerOutput::Detections(vec![car(0.5, 0.5)]);
+        let b = LabelerOutput::Detections(vec![car(0.5, 0.5), car(0.6, 0.6)]);
+        assert!(!c.is_close(&a, &b));
+    }
+
+    #[test]
+    fn nearby_same_class_boxes_are_close() {
+        let c = VideoCloseness::default();
+        let a = LabelerOutput::Detections(vec![car(0.5, 0.5)]);
+        let b = LabelerOutput::Detections(vec![car(0.55, 0.52)]);
+        assert!(c.is_close(&a, &b));
+        assert!(c.is_close(&b, &a), "closeness should be symmetric here");
+    }
+
+    #[test]
+    fn distant_boxes_are_far() {
+        let c = VideoCloseness::default();
+        let a = LabelerOutput::Detections(vec![car(0.1, 0.1)]);
+        let b = LabelerOutput::Detections(vec![car(0.9, 0.9)]);
+        assert!(!c.is_close(&a, &b));
+    }
+
+    #[test]
+    fn class_mismatch_is_far_when_matching_classes() {
+        let c = VideoCloseness::default();
+        let a = LabelerOutput::Detections(vec![car(0.5, 0.5)]);
+        let b = LabelerOutput::Detections(vec![bus(0.5, 0.5)]);
+        assert!(!c.is_close(&a, &b));
+        let ignore_class = VideoCloseness { match_class: false, ..VideoCloseness::default() };
+        assert!(ignore_class.is_close(&a, &b));
+    }
+
+    #[test]
+    fn greedy_matching_handles_permuted_boxes() {
+        let c = VideoCloseness::default();
+        let a = LabelerOutput::Detections(vec![car(0.1, 0.1), car(0.9, 0.9)]);
+        let b = LabelerOutput::Detections(vec![car(0.9, 0.88), car(0.12, 0.1)]);
+        assert!(c.is_close(&a, &b));
+    }
+
+    #[test]
+    fn empty_frames_are_close() {
+        let c = VideoCloseness::default();
+        let a = LabelerOutput::Detections(vec![]);
+        let b = LabelerOutput::Detections(vec![]);
+        assert!(c.is_close(&a, &b));
+        assert_eq!(c.bucket(&a), c.bucket(&b));
+    }
+
+    #[test]
+    fn bucket_is_order_invariant() {
+        let c = VideoCloseness::default();
+        let a = LabelerOutput::Detections(vec![car(0.1, 0.1), bus(0.9, 0.9)]);
+        let b = LabelerOutput::Detections(vec![bus(0.9, 0.9), car(0.1, 0.1)]);
+        assert_eq!(c.bucket(&a), c.bucket(&b));
+    }
+
+    #[test]
+    fn bucket_separates_different_cells() {
+        let c = VideoCloseness::default();
+        let a = LabelerOutput::Detections(vec![car(0.05, 0.05)]);
+        let b = LabelerOutput::Detections(vec![car(0.95, 0.95)]);
+        assert_ne!(c.bucket(&a), c.bucket(&b));
+    }
+
+    #[test]
+    fn sql_closeness_requires_exact_annotation_match() {
+        let c = SqlCloseness;
+        let a = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Count, num_predicates: 2 });
+        let b = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Count, num_predicates: 2 });
+        let d = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Count, num_predicates: 3 });
+        assert!(c.is_close(&a, &b));
+        assert!(!c.is_close(&a, &d));
+        assert_eq!(c.bucket(&a), c.bucket(&b));
+        assert_ne!(c.bucket(&a), c.bucket(&d));
+    }
+
+    #[test]
+    fn speech_closeness_separates_gender_and_age() {
+        let c = SpeechCloseness;
+        let m2 = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Male, age_bucket: 2 });
+        let f2 = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Female, age_bucket: 2 });
+        let m3 = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Male, age_bucket: 3 });
+        assert!(c.is_close(&m2, &m2.clone()));
+        assert!(!c.is_close(&m2, &f2));
+        assert!(!c.is_close(&m2, &m3));
+        assert_ne!(c.bucket(&m2), c.bucket(&f2));
+        assert_ne!(c.bucket(&m2), c.bucket(&m3));
+    }
+
+    #[test]
+    fn cross_modality_outputs_are_far() {
+        let c = VideoCloseness::default();
+        let a = LabelerOutput::Detections(vec![]);
+        let b = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Select, num_predicates: 0 });
+        assert!(!c.is_close(&a, &b));
+    }
+}

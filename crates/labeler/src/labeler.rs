@@ -1,0 +1,283 @@
+//! The [`TargetLabeler`] trait and [`MeteredLabeler`] wrapper.
+//!
+//! `MeteredLabeler` is the front door every algorithm in this repository uses
+//! to touch the expensive oracle. It (1) caches outputs — the paper's own
+//! evaluation "simulated [the target labeler's] execution by caching target
+//! labeler results" (§6.1), and cached results are also what cracking (§3.3)
+//! feeds back into the index; (2) meters *distinct-record* invocations, the
+//! paper's primary cost metric; and (3) optionally enforces a hard budget,
+//! since both index construction and SUPG queries are budgeted.
+
+use crate::cost::LabelCost;
+use crate::output::LabelerOutput;
+use crate::schema::Schema;
+use crate::RecordId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An expensive oracle mapping records to structured outputs (§2.1).
+///
+/// Implementations are *pure*: the same record always yields the same output
+/// (the paper's labelers are deterministic DNNs or aggregated crowd answers).
+/// All cost accounting lives in [`MeteredLabeler`], not here.
+pub trait TargetLabeler: Send + Sync {
+    /// Produces the structured output for `record`.
+    fn label(&self, record: RecordId) -> LabelerOutput;
+
+    /// Cost of one invocation.
+    fn invocation_cost(&self) -> LabelCost;
+
+    /// The induced schema (§2.1).
+    fn schema(&self) -> Schema;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Error returned when a hard invocation budget would be exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// The configured budget.
+    pub budget: u64,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "target labeler budget of {} invocations exhausted", self.budget)
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+#[derive(Default)]
+struct MeterState {
+    cache: HashMap<RecordId, LabelerOutput>,
+    invocations: u64,
+    cache_hits: u64,
+}
+
+/// Caching, metering, optionally budgeted wrapper around a [`TargetLabeler`].
+///
+/// Interior mutability (a [`parking_lot::Mutex`]) lets query-processing
+/// algorithms share `&MeteredLabeler` freely; the lock is held only for the
+/// cache lookup/insert, never across the inner labeler call for cache hits.
+///
+/// ```
+/// use tasti_labeler::*;
+/// struct Fake;
+/// impl TargetLabeler for Fake {
+///     fn label(&self, r: RecordId) -> LabelerOutput {
+///         LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Select, num_predicates: r as u8 })
+///     }
+///     fn invocation_cost(&self) -> LabelCost { LabelCost { seconds: 1.0, dollars: 0.07 } }
+///     fn schema(&self) -> Schema { Schema::wikisql() }
+///     fn name(&self) -> &str { "fake" }
+/// }
+/// let m = MeteredLabeler::new(Fake);
+/// let _ = m.label(3);
+/// let _ = m.label(3); // cache hit — not billed again
+/// assert_eq!(m.invocations(), 1);
+/// assert_eq!(m.total_cost().dollars, 0.07);
+/// ```
+pub struct MeteredLabeler<L: TargetLabeler> {
+    inner: L,
+    state: Mutex<MeterState>,
+    budget: Option<u64>,
+}
+
+impl<L: TargetLabeler> MeteredLabeler<L> {
+    /// Wraps a labeler with unlimited budget.
+    pub fn new(inner: L) -> Self {
+        Self { inner, state: Mutex::new(MeterState::default()), budget: None }
+    }
+
+    /// Wraps a labeler with a hard invocation budget.
+    pub fn with_budget(inner: L, budget: u64) -> Self {
+        Self { inner, state: Mutex::new(MeterState::default()), budget: Some(budget) }
+    }
+
+    /// Labels `record`, counting one invocation only on a cache miss.
+    ///
+    /// # Errors
+    /// Returns [`BudgetExhausted`] when the record is uncached and the budget
+    /// is spent.
+    pub fn try_label(&self, record: RecordId) -> Result<LabelerOutput, BudgetExhausted> {
+        let mut state = self.state.lock();
+        if let Some(out) = state.cache.get(&record).cloned() {
+            state.cache_hits += 1;
+            return Ok(out);
+        }
+        if let Some(b) = self.budget {
+            if state.invocations >= b {
+                return Err(BudgetExhausted { budget: b });
+            }
+        }
+        let out = self.inner.label(record);
+        state.invocations += 1;
+        state.cache.insert(record, out.clone());
+        Ok(out)
+    }
+
+    /// Labels `record`, panicking if a hard budget is exhausted. Use
+    /// [`MeteredLabeler::try_label`] in budget-aware algorithms.
+    pub fn label(&self, record: RecordId) -> LabelerOutput {
+        self.try_label(record).expect("target labeler budget exhausted")
+    }
+
+    /// Returns the cached output for `record` without invoking the labeler.
+    pub fn cached(&self, record: RecordId) -> Option<LabelerOutput> {
+        self.state.lock().cache.get(&record).cloned()
+    }
+
+    /// All records labeled so far, in unspecified order.
+    pub fn labeled_records(&self) -> Vec<RecordId> {
+        self.state.lock().cache.keys().copied().collect()
+    }
+
+    /// Number of distinct inner-labeler invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.state.lock().invocations
+    }
+
+    /// Number of cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.state.lock().cache_hits
+    }
+
+    /// Total cost of the invocations so far under the labeler's cost model.
+    pub fn total_cost(&self) -> LabelCost {
+        self.inner.invocation_cost().times(self.invocations())
+    }
+
+    /// Resets the invocation meter (the cache is preserved — cached labels
+    /// were already paid for; this mirrors amortizing index-construction cost
+    /// across queries in Table 1).
+    pub fn reset_meter(&self) {
+        let mut state = self.state.lock();
+        state.invocations = 0;
+        state.cache_hits = 0;
+    }
+
+    /// Clears both the cache and the meter.
+    pub fn reset_all(&self) {
+        *self.state.lock() = MeterState::default();
+    }
+
+    /// Replaces the hard budget.
+    pub fn set_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    /// Access to the wrapped labeler.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::{SqlAnnotation, SqlOp};
+
+    /// Labels record i with `num_predicates = i % 4`.
+    struct FakeLabeler;
+
+    impl TargetLabeler for FakeLabeler {
+        fn label(&self, record: RecordId) -> LabelerOutput {
+            LabelerOutput::Sql(SqlAnnotation {
+                op: SqlOp::Select,
+                num_predicates: (record % 4) as u8,
+            })
+        }
+        fn invocation_cost(&self) -> LabelCost {
+            LabelCost { seconds: 2.0, dollars: 0.1 }
+        }
+        fn schema(&self) -> Schema {
+            Schema::wikisql()
+        }
+        fn name(&self) -> &str {
+            "fake"
+        }
+    }
+
+    #[test]
+    fn caching_deduplicates_invocations() {
+        let m = MeteredLabeler::new(FakeLabeler);
+        for _ in 0..3 {
+            let _ = m.label(7);
+        }
+        let _ = m.label(8);
+        assert_eq!(m.invocations(), 2);
+        assert_eq!(m.cache_hits(), 2);
+    }
+
+    #[test]
+    fn budget_is_enforced_on_distinct_records_only() {
+        let m = MeteredLabeler::with_budget(FakeLabeler, 2);
+        assert!(m.try_label(0).is_ok());
+        assert!(m.try_label(1).is_ok());
+        // Cached record is free even at budget.
+        assert!(m.try_label(0).is_ok());
+        assert_eq!(m.try_label(2), Err(BudgetExhausted { budget: 2 }));
+    }
+
+    #[test]
+    fn total_cost_scales_with_invocations() {
+        let m = MeteredLabeler::new(FakeLabeler);
+        for i in 0..5 {
+            let _ = m.label(i);
+        }
+        let c = m.total_cost();
+        assert!((c.seconds - 10.0).abs() < 1e-12);
+        assert!((c.dollars - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_meter_keeps_cache() {
+        let m = MeteredLabeler::new(FakeLabeler);
+        let _ = m.label(1);
+        m.reset_meter();
+        assert_eq!(m.invocations(), 0);
+        // Still cached: labeling again costs nothing.
+        let _ = m.label(1);
+        assert_eq!(m.invocations(), 0);
+        assert_eq!(m.cache_hits(), 1);
+    }
+
+    #[test]
+    fn reset_all_clears_cache() {
+        let m = MeteredLabeler::new(FakeLabeler);
+        let _ = m.label(1);
+        m.reset_all();
+        assert!(m.cached(1).is_none());
+        let _ = m.label(1);
+        assert_eq!(m.invocations(), 1);
+    }
+
+    #[test]
+    fn labeled_records_reflects_cache() {
+        let m = MeteredLabeler::new(FakeLabeler);
+        let _ = m.label(3);
+        let _ = m.label(9);
+        let mut recs = m.labeled_records();
+        recs.sort_unstable();
+        assert_eq!(recs, vec![3, 9]);
+    }
+
+    #[test]
+    fn cached_returns_output_without_invocation() {
+        let m = MeteredLabeler::new(FakeLabeler);
+        assert!(m.cached(5).is_none());
+        let out = m.label(5);
+        assert_eq!(m.cached(5), Some(out));
+    }
+
+    #[test]
+    #[should_panic(expected = "budget exhausted")]
+    fn label_panics_past_budget() {
+        let m = MeteredLabeler::with_budget(FakeLabeler, 1);
+        let _ = m.label(0);
+        let _ = m.label(1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # tasti-labeler
+//!
+//! The *target labeler* abstraction from the TASTI paper (§2.1). Target
+//! labelers are the expensive oracles — Mask R-CNN, BERT-era crowd workers,
+//! speech annotators — that extract structured records from unstructured
+//! data. They induce a schema over the extracted data, dominate query costs,
+//! and are the resource every algorithm in this repository tries to conserve.
+//!
+//! This crate provides:
+//!
+//! * [`output`] — the structured outputs of the induced schemas used in the
+//!   paper's evaluation: object detections (video), SQL annotations
+//!   (WikiSQL), and speaker attributes (Common Voice).
+//! * [`schema`] — descriptors for the induced schemas themselves.
+//! * [`labeler`] — the [`TargetLabeler`] trait plus [`MeteredLabeler`], which
+//!   caches outputs and meters invocations (the paper's primary cost metric),
+//!   with optional hard budgets.
+//! * [`closeness`] — user-provided closeness functions over labeler outputs
+//!   (§2.3, §3.1): pairwise `is_close` plus the bucketing view used for
+//!   triplet mining.
+//! * [`cost`] — the cost model translating invocation counts into seconds
+//!   and dollars, with constants calibrated to the paper (Mask R-CNN ≈ 3 fps,
+//!   embedding DNN ≈ 12,000 fps, human labels ≈ $0.07 each).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closeness;
+pub mod cost;
+pub mod labeler;
+pub mod output;
+pub mod schema;
+
+pub use closeness::{ClosenessFn, SpeechCloseness, SqlCloseness, VideoCloseness};
+pub use cost::{CostModel, LabelCost};
+pub use labeler::{BudgetExhausted, MeteredLabeler, TargetLabeler};
+pub use output::{
+    Detection, Gender, LabelerOutput, ObjectClass, SpeechAnnotation, SqlAnnotation, SqlOp,
+};
+pub use schema::{FieldType, Schema, SchemaField};
+
+/// Identifier of a data record within a dataset (its position).
+pub type RecordId = usize;

@@ -1,0 +1,216 @@
+//! Structured outputs of the induced schemas used in the paper's evaluation.
+//!
+//! Object detections for the video datasets (the Mask R-CNN schema: object
+//! type + position), SQL annotations for WikiSQL (operator + #predicates),
+//! and speaker attributes for Common Voice (gender + age bucket).
+
+use serde::{Deserialize, Serialize};
+
+/// Object classes produced by the video target labelers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ObjectClass {
+    /// Cars — the primary class in all three video datasets.
+    Car,
+    /// Buses — the second `taipei` class.
+    Bus,
+    /// Trucks (appear as clutter in the synthetic scenes).
+    Truck,
+    /// Pedestrians (clutter class).
+    Pedestrian,
+    /// Bicycles (clutter class).
+    Bicycle,
+}
+
+impl ObjectClass {
+    /// All classes, in a fixed order (useful for per-class statistics).
+    pub const ALL: [ObjectClass; 5] = [
+        ObjectClass::Car,
+        ObjectClass::Bus,
+        ObjectClass::Truck,
+        ObjectClass::Pedestrian,
+        ObjectClass::Bicycle,
+    ];
+
+    /// Stable small integer id of the class.
+    pub fn id(self) -> u8 {
+        match self {
+            ObjectClass::Car => 0,
+            ObjectClass::Bus => 1,
+            ObjectClass::Truck => 2,
+            ObjectClass::Pedestrian => 3,
+            ObjectClass::Bicycle => 4,
+        }
+    }
+}
+
+/// One detected object: class plus a bounding box in normalized frame
+/// coordinates (`[0, 1]²`, origin top-left).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Object class.
+    pub class: ObjectClass,
+    /// Box-center x in `[0, 1]`.
+    pub x: f32,
+    /// Box-center y in `[0, 1]`.
+    pub y: f32,
+    /// Box width in `[0, 1]`.
+    pub w: f32,
+    /// Box height in `[0, 1]`.
+    pub h: f32,
+}
+
+impl Detection {
+    /// Euclidean distance between box centers.
+    pub fn center_distance(&self, other: &Detection) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// SQL aggregation operator of a WikiSQL annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SqlOp {
+    /// Plain `SELECT col` (the "star"/selection operator queried in §6.1).
+    Select,
+    /// `COUNT`.
+    Count,
+    /// `MAX`.
+    Max,
+    /// `MIN`.
+    Min,
+    /// `SUM`.
+    Sum,
+    /// `AVG`.
+    Avg,
+}
+
+impl SqlOp {
+    /// All operators, in a fixed order.
+    pub const ALL: [SqlOp; 6] =
+        [SqlOp::Select, SqlOp::Count, SqlOp::Max, SqlOp::Min, SqlOp::Sum, SqlOp::Avg];
+
+    /// Stable small integer id.
+    pub fn id(self) -> u8 {
+        match self {
+            SqlOp::Select => 0,
+            SqlOp::Count => 1,
+            SqlOp::Max => 2,
+            SqlOp::Min => 3,
+            SqlOp::Sum => 4,
+            SqlOp::Avg => 5,
+        }
+    }
+}
+
+/// Crowd-worker annotation of a natural-language question (the WikiSQL
+/// induced schema: which SQL statement the question parses into).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SqlAnnotation {
+    /// Aggregation operator of the parsed statement.
+    pub op: SqlOp,
+    /// Number of `WHERE` predicates (the paper aggregates over this).
+    pub num_predicates: u8,
+}
+
+/// Speaker gender in the Common Voice induced schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gender {
+    /// Male speaker (the class selected for in §6.1's queries).
+    Male,
+    /// Female speaker.
+    Female,
+}
+
+/// Crowd-worker annotation of a speech snippet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpeechAnnotation {
+    /// Speaker gender.
+    pub gender: Gender,
+    /// Discretized age bucket (decades: 0 = <20, 1 = 20s, … 5 = 60+).
+    pub age_bucket: u8,
+}
+
+/// A target labeler's structured output for one record — the value cached by
+/// the index, scored by [`Score` functions](https://arxiv.org/abs/2009.04540)
+/// (§4.2), and propagated to unannotated records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LabelerOutput {
+    /// Video frame → list of detections (Mask R-CNN schema).
+    Detections(Vec<Detection>),
+    /// Natural-language question → SQL annotation (WikiSQL schema).
+    Sql(SqlAnnotation),
+    /// Speech snippet → speaker attributes (Common Voice schema).
+    Speech(SpeechAnnotation),
+}
+
+impl LabelerOutput {
+    /// Convenience: the detections, panicking for non-video outputs.
+    pub fn detections(&self) -> &[Detection] {
+        match self {
+            LabelerOutput::Detections(d) => d,
+            other => panic!("expected Detections, got {other:?}"),
+        }
+    }
+
+    /// Counts detections of `class` (0 for non-video outputs).
+    pub fn count_class(&self, class: ObjectClass) -> usize {
+        match self {
+            LabelerOutput::Detections(d) => d.iter().filter(|b| b.class == class).count(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ids_are_distinct() {
+        let mut ids: Vec<u8> = ObjectClass::ALL.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ObjectClass::ALL.len());
+    }
+
+    #[test]
+    fn sql_op_ids_are_distinct() {
+        let mut ids: Vec<u8> = SqlOp::ALL.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), SqlOp::ALL.len());
+    }
+
+    #[test]
+    fn center_distance_is_euclidean() {
+        let a = Detection { class: ObjectClass::Car, x: 0.0, y: 0.0, w: 0.1, h: 0.1 };
+        let b = Detection { class: ObjectClass::Car, x: 0.3, y: 0.4, w: 0.1, h: 0.1 };
+        assert!((a.center_distance(&b) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn count_class_filters_by_class() {
+        let out = LabelerOutput::Detections(vec![
+            Detection { class: ObjectClass::Car, x: 0.5, y: 0.5, w: 0.1, h: 0.1 },
+            Detection { class: ObjectClass::Bus, x: 0.2, y: 0.2, w: 0.2, h: 0.2 },
+            Detection { class: ObjectClass::Car, x: 0.8, y: 0.1, w: 0.1, h: 0.1 },
+        ]);
+        assert_eq!(out.count_class(ObjectClass::Car), 2);
+        assert_eq!(out.count_class(ObjectClass::Bus), 1);
+        assert_eq!(out.count_class(ObjectClass::Truck), 0);
+    }
+
+    #[test]
+    fn count_class_on_non_video_output_is_zero() {
+        let out = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Count, num_predicates: 2 });
+        assert_eq!(out.count_class(ObjectClass::Car), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Detections")]
+    fn detections_accessor_panics_on_wrong_variant() {
+        let out = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Male, age_bucket: 2 });
+        let _ = out.detections();
+    }
+}

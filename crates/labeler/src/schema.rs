@@ -1,0 +1,112 @@
+//! Induced-schema descriptors (§2.1).
+//!
+//! A target labeler induces a schema over the structured data it extracts —
+//! e.g. Mask R-CNN induces `(object_type, x, y, w, h)` per detection. TASTI
+//! takes the induced schema as an input; in this reproduction the descriptor
+//! is carried alongside each labeler for introspection, documentation, and
+//! validation that closeness functions / scoring functions are applied to
+//! the schema they were written for.
+
+use serde::{Deserialize, Serialize};
+
+/// Type of a schema field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldType {
+    /// Categorical value with the given cardinality (0 = unbounded).
+    Categorical(u32),
+    /// Real-valued field.
+    Numeric,
+    /// Non-negative integer count.
+    Count,
+}
+
+/// One field of an induced schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaField {
+    /// Field name (e.g. `"object_type"`).
+    pub name: String,
+    /// Field type.
+    pub ty: FieldType,
+}
+
+/// An induced schema: the structure a target labeler extracts per record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Human-readable schema name.
+    pub name: String,
+    /// Whether one record yields a *set* of rows (detections) or a single row.
+    pub multi_row: bool,
+    /// Fields of each extracted row.
+    pub fields: Vec<SchemaField>,
+}
+
+impl Schema {
+    /// The object-detection schema induced by Mask R-CNN-style labelers.
+    pub fn object_detection() -> Self {
+        Schema {
+            name: "object_detection".into(),
+            multi_row: true,
+            fields: vec![
+                SchemaField { name: "object_type".into(), ty: FieldType::Categorical(5) },
+                SchemaField { name: "x".into(), ty: FieldType::Numeric },
+                SchemaField { name: "y".into(), ty: FieldType::Numeric },
+                SchemaField { name: "w".into(), ty: FieldType::Numeric },
+                SchemaField { name: "h".into(), ty: FieldType::Numeric },
+            ],
+        }
+    }
+
+    /// The WikiSQL crowd-annotation schema.
+    pub fn wikisql() -> Self {
+        Schema {
+            name: "wikisql".into(),
+            multi_row: false,
+            fields: vec![
+                SchemaField { name: "sql_op".into(), ty: FieldType::Categorical(6) },
+                SchemaField { name: "num_predicates".into(), ty: FieldType::Count },
+            ],
+        }
+    }
+
+    /// The Common Voice speaker-attribute schema.
+    pub fn common_voice() -> Self {
+        Schema {
+            name: "common_voice".into(),
+            multi_row: false,
+            fields: vec![
+                SchemaField { name: "gender".into(), ty: FieldType::Categorical(2) },
+                SchemaField { name: "age_bucket".into(), ty: FieldType::Categorical(6) },
+            ],
+        }
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&SchemaField> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_schemas_have_expected_shape() {
+        let od = Schema::object_detection();
+        assert!(od.multi_row);
+        assert_eq!(od.fields.len(), 5);
+        assert_eq!(od.field("object_type").unwrap().ty, FieldType::Categorical(5));
+
+        let ws = Schema::wikisql();
+        assert!(!ws.multi_row);
+        assert_eq!(ws.field("num_predicates").unwrap().ty, FieldType::Count);
+
+        let cv = Schema::common_voice();
+        assert_eq!(cv.fields.len(), 2);
+    }
+
+    #[test]
+    fn field_lookup_misses_return_none() {
+        assert!(Schema::wikisql().field("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks for the NN substrate hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tasti_nn::loss::triplet_batch;
+use tasti_nn::tensor::{dot, l2, Matrix};
+use tasti_nn::{Activation, Mlp, MlpConfig};
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_fn(64, 128, |r, q| ((r * q) as f32 * 0.01).sin());
+    let b = Matrix::from_fn(128, 64, |r, q| ((r + q) as f32 * 0.01).cos());
+    let mut out = Matrix::zeros(64, 64);
+    c.bench_function("matmul_64x128x64", |bench| {
+        bench.iter(|| a.matmul_into(black_box(&b), &mut out))
+    });
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let a: Vec<f32> = (0..512).map(|i| (i as f32).sin()).collect();
+    let b: Vec<f32> = (0..512).map(|i| (i as f32).cos()).collect();
+    c.bench_function("dot_512", |bench| bench.iter(|| dot(black_box(&a), black_box(&b))));
+    c.bench_function("l2_512", |bench| bench.iter(|| l2(black_box(&a), black_box(&b))));
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut net = Mlp::new(
+        &MlpConfig {
+            input_dim: 64,
+            hidden: vec![128],
+            output_dim: 128,
+            activation: Activation::Relu,
+            l2_normalize_output: true,
+        },
+        &mut rng,
+    );
+    let x = Matrix::from_fn(32, 64, |r, q| ((r * 64 + q) as f32 * 0.001).sin());
+    c.bench_function("mlp_forward_b32", |bench| bench.iter(|| net.forward(black_box(&x))));
+}
+
+fn bench_triplet(c: &mut Criterion) {
+    let emb = Matrix::from_fn(96, 128, |r, q| ((r * 128 + q) as f32 * 0.001).sin());
+    c.bench_function("triplet_batch_32x128", |bench| {
+        bench.iter(|| triplet_batch(black_box(&emb), 0.3))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_dot, bench_forward, bench_triplet);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Weight initialization schemes.
+//!
+//! He initialization for ReLU networks, Xavier/Glorot for tanh, both in their
+//! uniform variants. All draws flow through a caller-provided RNG so builds
+//! are reproducible.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+
+/// Initialization scheme for a linear layer's weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// He (Kaiming) uniform: `U(-√(6/fan_in), +√(6/fan_in))` — for ReLU nets.
+    HeUniform,
+    /// Xavier (Glorot) uniform: `U(-√(6/(fan_in+fan_out)), …)` — for tanh nets.
+    XavierUniform,
+    /// All zeros (used for biases and in tests).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a `fan_in × fan_out` weight matrix under this scheme.
+    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+        match self {
+            Init::Zeros => Matrix::zeros(fan_in, fan_out),
+            Init::HeUniform => {
+                let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+                uniform(fan_in, fan_out, bound, rng)
+            }
+            Init::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                uniform(fan_in, fan_out, bound, rng)
+            }
+        }
+    }
+}
+
+fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn he_uniform_respects_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = Init::HeUniform.sample(64, 32, &mut rng);
+        let bound = (6.0 / 64.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= bound));
+        // A sample this large should not be degenerate.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan_out() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = Init::XavierUniform.sample(16, 1024, &mut rng);
+        let bound = (6.0 / (16.0 + 1024.0f32)).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn zeros_is_all_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = Init::Zeros.sample(4, 4, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = Init::HeUniform.sample(8, 8, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = Init::HeUniform.sample(8, 8, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,196 @@
+//! Loss functions: the margin triplet loss (paper §5.1) plus MSE / BCE for
+//! the per-query proxy baselines.
+//!
+//! Each loss returns `(mean loss, gradient w.r.t. predictions)` so training
+//! loops can feed the gradient straight into [`crate::mlp::Mlp::backward`].
+
+use crate::tensor::{l2, Matrix};
+
+/// Mean squared error: `L = mean((pred − target)²)`.
+///
+/// Returns the scalar loss and `∂L/∂pred`.
+pub fn mse(pred: &Matrix, target: &[f32]) -> (f32, Matrix) {
+    assert_eq!(pred.rows(), target.len());
+    assert_eq!(pred.cols(), 1, "mse expects scalar predictions");
+    let n = pred.rows() as f32;
+    let mut grad = Matrix::zeros(pred.rows(), 1);
+    let mut loss = 0.0;
+    for (i, &t) in target.iter().enumerate() {
+        let d = pred.get(i, 0) - t;
+        loss += d * d;
+        grad.set(i, 0, 2.0 * d / n);
+    }
+    (loss / n, grad)
+}
+
+/// Numerically stable sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy on logits: `L = mean(BCE(σ(logit), target))`.
+///
+/// Targets must be in `{0, 1}` (or soft labels in `[0, 1]`). Returns the
+/// scalar loss and `∂L/∂logit = (σ(logit) − target)/n`, the standard fused
+/// sigmoid+BCE gradient.
+pub fn bce_with_logits(pred: &Matrix, target: &[f32]) -> (f32, Matrix) {
+    assert_eq!(pred.rows(), target.len());
+    assert_eq!(pred.cols(), 1, "bce expects scalar logits");
+    let n = pred.rows() as f32;
+    let mut grad = Matrix::zeros(pred.rows(), 1);
+    let mut loss = 0.0;
+    for (i, &t) in target.iter().enumerate() {
+        let z = pred.get(i, 0);
+        // log(1 + e^{-|z|}) + max(z, 0) − z·t  is the stable form.
+        loss += (1.0 + (-z.abs()).exp()).ln() + z.max(0.0) - z * t;
+        grad.set(i, 0, (sigmoid(z) - t) / n);
+    }
+    (loss / n, grad)
+}
+
+/// Per-example margin triplet loss (paper §5.1):
+/// `ℓ_T(a, p, n) = max(0, m + ‖φ(a) − φ(p)‖ − ‖φ(a) − φ(n)‖)`.
+pub fn triplet_example(anchor: &[f32], positive: &[f32], negative: &[f32], margin: f32) -> f32 {
+    (margin + l2(anchor, positive) - l2(anchor, negative)).max(0.0)
+}
+
+/// Batch triplet loss over stacked embeddings.
+///
+/// `emb` must contain `3·b` rows laid out `[anchors; positives; negatives]`
+/// (the training loop concatenates the three views into one forward pass so
+/// the shared network backpropagates all three roles at once). Returns the
+/// mean loss and `∂L/∂emb` with the same `3·b × d` layout.
+pub fn triplet_batch(emb: &Matrix, margin: f32) -> (f32, Matrix) {
+    assert_eq!(emb.rows() % 3, 0, "triplet batch rows must be divisible by 3");
+    let b = emb.rows() / 3;
+    let d = emb.cols();
+    let mut grad = Matrix::zeros(emb.rows(), d);
+    let mut loss = 0.0;
+    let inv_b = 1.0 / b.max(1) as f32;
+    const EPS: f32 = 1e-8;
+    for i in 0..b {
+        let a = emb.row(i);
+        let p = emb.row(b + i);
+        let n = emb.row(2 * b + i);
+        let dap = l2(a, p);
+        let dan = l2(a, n);
+        let l = margin + dap - dan;
+        if l <= 0.0 {
+            continue;
+        }
+        loss += l;
+        // d‖a−p‖/da = (a−p)/‖a−p‖ ; d‖a−n‖/da = (a−n)/‖a−n‖
+        let inv_ap = inv_b / dap.max(EPS);
+        let inv_an = inv_b / dan.max(EPS);
+        for j in 0..d {
+            let ap = (a[j] - p[j]) * inv_ap;
+            let an = (a[j] - n[j]) * inv_an;
+            *grad.row_mut(i).get_mut(j).unwrap() += ap - an;
+            *grad.row_mut(b + i).get_mut(j).unwrap() -= ap;
+            *grad.row_mut(2 * b + i).get_mut(j).unwrap() += an;
+        }
+    }
+    (loss * inv_b, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_on_perfect_predictions() {
+        let pred = Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
+        let (loss, grad) = mse(&pred, &[1.0, 2.0, 3.0]);
+        assert_eq!(loss, 0.0);
+        assert!(grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_points_toward_target() {
+        let pred = Matrix::from_vec(2, 1, vec![2.0, 0.0]);
+        let (loss, grad) = mse(&pred, &[0.0, 0.0]);
+        assert!((loss - 2.0).abs() < 1e-6);
+        assert!(grad.get(0, 0) > 0.0); // step down reduces pred toward 0
+        assert_eq!(grad.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn bce_matches_closed_form_at_zero_logit() {
+        let pred = Matrix::from_vec(1, 1, vec![0.0]);
+        let (loss, grad) = bce_with_logits(&pred, &[1.0]);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-6);
+        assert!((grad.get(0, 0) - (-0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let pred = Matrix::from_vec(2, 1, vec![80.0, -80.0]);
+        let (loss, grad) = bce_with_logits(&pred, &[1.0, 0.0]);
+        assert!(loss.is_finite());
+        assert!(loss < 1e-6);
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn triplet_zero_when_negative_far_beyond_margin() {
+        let a = [0.0, 0.0];
+        let p = [0.1, 0.0];
+        let n = [10.0, 0.0];
+        assert_eq!(triplet_example(&a, &p, &n, 1.0), 0.0);
+    }
+
+    #[test]
+    fn triplet_positive_when_violated() {
+        let a = [0.0, 0.0];
+        let p = [2.0, 0.0];
+        let n = [1.0, 0.0];
+        // m + 2 − 1 = m + 1
+        assert!((triplet_example(&a, &p, &n, 0.5) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triplet_batch_gradient_matches_finite_differences() {
+        let b = 2;
+        let d = 3;
+        let mut emb = Matrix::from_fn(3 * b, d, |r, c| ((r * d + c) as f32 * 0.37).sin());
+        let margin = 0.6;
+        let (_, grad) = triplet_batch(&emb, margin);
+        let eps = 1e-3f32;
+        for r in 0..3 * b {
+            for c in 0..d {
+                let orig = emb.get(r, c);
+                emb.set(r, c, orig + eps);
+                let (lp, _) = triplet_batch(&emb, margin);
+                emb.set(r, c, orig - eps);
+                let (lm, _) = triplet_batch(&emb, margin);
+                emb.set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grad.get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "({r},{c}): analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triplet_batch_loss_is_nonnegative() {
+        let emb = Matrix::from_fn(6, 4, |r, c| ((r + c) as f32).cos());
+        let (loss, _) = triplet_batch(&emb, 0.3);
+        assert!(loss >= 0.0);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for &x in &[-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion microbenchmarks for query-processing hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tasti_query::{ebs_aggregate, supg_recall_target, AggregationConfig, SupgConfig};
+
+fn population(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<bool>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut truth = Vec::with_capacity(n);
+    let mut proxy = Vec::with_capacity(n);
+    let mut matches = Vec::with_capacity(n);
+    for _ in 0..n {
+        let shared: f64 = rng.gen_range(0.0..4.0);
+        truth.push(shared + rng.gen_range(-0.5..0.5));
+        proxy.push(0.9 * shared + 0.1 * rng.gen_range(0.0..4.0));
+        matches.push(shared > 3.0);
+    }
+    (truth, proxy, matches)
+}
+
+fn bench_ebs(c: &mut Criterion) {
+    let (truth, proxy, _) = population(20_000, 1);
+    c.bench_function("ebs_aggregate_20k", |b| {
+        b.iter(|| {
+            let cfg = AggregationConfig { error_target: 0.05, ..Default::default() };
+            ebs_aggregate(black_box(&proxy), &mut |r| truth[r], &cfg)
+        })
+    });
+}
+
+fn bench_supg(c: &mut Criterion) {
+    let (_, proxy, matches) = population(20_000, 2);
+    c.bench_function("supg_20k_budget500", |b| {
+        b.iter(|| {
+            let cfg = SupgConfig { budget: 500, ..Default::default() };
+            supg_recall_target(black_box(&proxy), &mut |r| matches[r], &cfg)
+        })
+    });
+}
+
+criterion_group!(benches, bench_ebs, bench_supg);
+criterion_main!(benches);

@@ -1,0 +1,440 @@
+//! Approximate aggregation (BlazeIt-style, §2.1/§4.1/§6.3).
+//!
+//! The query asks for the mean of the target labeler's score over all
+//! records (e.g. average cars per frame) within `±error_target` at a given
+//! confidence. The algorithm samples records uniformly **without
+//! replacement**, invokes the oracle on each, and uses the proxy scores as a
+//! **control variate**: the estimated quantity is
+//!
+//! `E[y] = E[y − c·(p − μ_p)]`  with  `μ_p` known exactly (proxy scores are
+//! cheap to materialize for every record) and `c = Cov(y, p)/Var(p)`
+//! estimated on the sample. The variance of the corrected samples shrinks by
+//! `(1 − ρ²)`, which is precisely why better proxy scores mean fewer target
+//! labeler invocations (§6.3: "As the correlation of the proxy scores with
+//! the target labeler increases, the control variates variance decreases").
+//!
+//! Stopping uses the empirical-Bernstein bound with a union-bound schedule
+//! (EBS / EBGStop of Mnih, Szepesvári & Audibert, the rule BlazeIt adopts).
+//! If the sampler exhausts the dataset the exact mean is returned.
+
+use crate::stats::{covariance, empirical_bernstein_half_width, variance};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Which confidence interval drives the stopping decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoppingRule {
+    /// Strict empirical-Bernstein bound with a union-bound check schedule —
+    /// a rigorous any-time guarantee, but its `3·R·ln(3/δ)/t` range term
+    /// dominates at small sample counts for wide-range scores.
+    #[default]
+    EmpiricalBernstein,
+    /// Normal-approximation (CLT) interval `z·σ̂/√t` — what BlazeIt's
+    /// stopping behaves like in practice (its reported sample counts match
+    /// the CLT prediction `t ≈ (z·σ/ε)²`, not the Bernstein one); sample
+    /// counts become directly proportional to the control-variate residual
+    /// variance `σ²(1 − ρ²)`, the mechanism §6.3 describes.
+    Clt,
+}
+
+/// Configuration for approximate aggregation with guarantees.
+#[derive(Debug, Clone)]
+pub struct AggregationConfig {
+    /// Absolute error target `ε`.
+    pub error_target: f64,
+    /// Confidence level `1 − δ` (e.g. 0.95).
+    pub confidence: f64,
+    /// Samples drawn between stopping checks (checking every sample is
+    /// statistically fine under the union bound but needlessly slow).
+    pub batch_size: usize,
+    /// Minimum samples before the first stopping check (stabilizes the
+    /// control-variate coefficient estimate).
+    pub min_samples: usize,
+    /// Stopping rule.
+    pub stopping: StoppingRule,
+    /// Apply the finite-population correction `√((N−t)/(N−1))` to the
+    /// interval width. Sampling here is *without replacement*, so the
+    /// correction is exact for the CLT interval and conservative-compatible
+    /// for Bernstein; it matters once samples become a sizable fraction of
+    /// the dataset (small-N regimes like per-camera indexes).
+    pub finite_population_correction: bool,
+    /// RNG seed for the sampling order.
+    pub seed: u64,
+}
+
+impl Default for AggregationConfig {
+    fn default() -> Self {
+        Self {
+            error_target: 0.05,
+            confidence: 0.95,
+            batch_size: 50,
+            min_samples: 100,
+            stopping: StoppingRule::EmpiricalBernstein,
+            finite_population_correction: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of an aggregation query.
+#[derive(Debug, Clone, Serialize)]
+pub struct AggregationResult {
+    /// The estimate of the population mean of the oracle score.
+    pub estimate: f64,
+    /// Target-labeler invocations consumed.
+    pub samples: u64,
+    /// Final empirical-Bernstein half-width (≤ `error_target` unless the
+    /// dataset was exhausted).
+    pub ci_half_width: f64,
+    /// Whether every record ended up labeled (estimate is then exact).
+    pub exhausted: bool,
+    /// Control-variate coefficient `c` in use at termination.
+    pub control_coefficient: f64,
+    /// Squared correlation between oracle scores and proxy scores on the
+    /// sample (the paper's proxy-quality metric ρ²).
+    pub rho_squared: f64,
+}
+
+/// Runs EBS aggregation with the proxy score as a control variate.
+///
+/// `proxy` holds one score per record; `oracle(record)` invokes the target
+/// labeler and returns the query score of that record.
+///
+/// ```
+/// use tasti_query::{ebs_aggregate, AggregationConfig};
+/// // Perfect proxy scores: the control variate removes all variance and
+/// // the query stops at the minimum sample count.
+/// let truth: Vec<f64> = (0..10_000).map(|i| (i % 5) as f64).collect();
+/// let proxy = truth.clone();
+/// let res = ebs_aggregate(&proxy, &mut |r| truth[r], &AggregationConfig::default());
+/// assert!((res.estimate - 2.0).abs() <= 0.05);
+/// assert!(res.samples < 1_000);
+/// ```
+pub fn ebs_aggregate(
+    proxy: &[f64],
+    oracle: &mut dyn FnMut(usize) -> f64,
+    config: &AggregationConfig,
+) -> AggregationResult {
+    let n = proxy.len();
+    assert!(n > 0, "cannot aggregate an empty dataset");
+    let delta = 1.0 - config.confidence;
+    assert!(delta > 0.0 && delta < 1.0, "confidence must be in (0, 1)");
+    let proxy_mean = proxy.iter().sum::<f64>() / n as f64;
+
+    // Uniform sampling without replacement via a shuffled record order.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    order.shuffle(&mut rng);
+
+    let mut ys: Vec<f64> = Vec::new();
+    let mut ps: Vec<f64> = Vec::new();
+    let mut checks = 0u32;
+
+    loop {
+        // Draw a batch.
+        let target = (ys.len() + config.batch_size).min(n).max(config.min_samples.min(n));
+        while ys.len() < target {
+            let rec = order[ys.len()];
+            ys.push(oracle(rec));
+            ps.push(proxy[rec]);
+        }
+        let t = ys.len() as u64;
+
+        // Control-variate coefficient on the current sample.
+        let var_p = variance(&ps);
+        let c = if var_p > 1e-12 { covariance(&ys, &ps) / var_p } else { 0.0 };
+        // Corrected samples z_i = y_i − c (p_i − μ_p).
+        let zs: Vec<f64> = ys.iter().zip(&ps).map(|(&y, &p)| y - c * (p - proxy_mean)).collect();
+        let mean_z = zs.iter().sum::<f64>() / zs.len() as f64;
+        let std_z = variance(&zs).sqrt();
+        let range_z = zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - zs.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        let fpc = if config.finite_population_correction && n > 1 {
+            (((n as f64 - t as f64) / (n as f64 - 1.0)).max(0.0)).sqrt()
+        } else {
+            1.0
+        };
+        let half_width = fpc * match config.stopping {
+            StoppingRule::EmpiricalBernstein => {
+                // Union-bound schedule over stopping checks:
+                // δ_k = δ / (k(k+1)), Σ_k δ_k = δ.
+                checks += 1;
+                let delta_k = delta / (checks as f64 * (checks as f64 + 1.0));
+                empirical_bernstein_half_width(std_z, range_z.max(1e-12), t, delta_k)
+            }
+            StoppingRule::Clt => {
+                let z = crate::stats::normal_inverse_cdf(1.0 - delta / 2.0);
+                z * std_z / (t as f64).sqrt()
+            }
+        };
+
+        let rho2 = {
+            let var_y = variance(&ys);
+            if var_y > 1e-12 && var_p > 1e-12 {
+                let cov = covariance(&ys, &ps);
+                (cov * cov) / (var_y * var_p)
+            } else {
+                0.0
+            }
+        };
+
+        if ys.len() >= n {
+            // Exhausted: exact mean over all records.
+            let exact = ys.iter().sum::<f64>() / n as f64;
+            return AggregationResult {
+                estimate: exact,
+                samples: t,
+                ci_half_width: 0.0,
+                exhausted: true,
+                control_coefficient: c,
+                rho_squared: rho2,
+            };
+        }
+        if half_width <= config.error_target && ys.len() >= config.min_samples {
+            return AggregationResult {
+                estimate: mean_z,
+                samples: t,
+                ci_half_width: half_width,
+                exhausted: false,
+                control_coefficient: c,
+                rho_squared: rho2,
+            };
+        }
+    }
+}
+
+/// Direct (no-guarantee) aggregation: the mean of the proxy scores is
+/// returned as the answer with zero target-labeler invocations (§6.5).
+pub fn direct_aggregate(proxy: &[f64]) -> f64 {
+    assert!(!proxy.is_empty(), "cannot aggregate an empty dataset");
+    proxy.iter().sum::<f64>() / proxy.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A population with controllable proxy correlation.
+    fn population(n: usize, rho: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut truth = Vec::with_capacity(n);
+        let mut proxy = Vec::with_capacity(n);
+        for _ in 0..n {
+            let shared: f64 = rng.gen_range(0.0..4.0);
+            let y = shared + rng.gen_range(-0.5..0.5);
+            let noise: f64 = rng.gen_range(0.0..4.0);
+            let p = rho * shared + (1.0 - rho) * noise;
+            truth.push(y);
+            proxy.push(p);
+        }
+        (truth, proxy)
+    }
+
+    fn true_mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn estimate_is_within_error_target() {
+        let (truth, proxy) = population(30_000, 0.9, 1);
+        let mu = true_mean(&truth);
+        let config = AggregationConfig { error_target: 0.05, seed: 7, ..Default::default() };
+        let mut oracle = |r: usize| truth[r];
+        let res = ebs_aggregate(&proxy, &mut oracle, &config);
+        assert!(
+            (res.estimate - mu).abs() <= config.error_target,
+            "estimate {} vs true {mu}",
+            res.estimate
+        );
+        assert!(res.samples < 30_000, "should not exhaust");
+    }
+
+    #[test]
+    fn better_proxy_needs_fewer_samples() {
+        let (truth, good_proxy) = population(30_000, 0.95, 2);
+        let (_, bad_proxy) = population(30_000, 0.0, 2);
+        let config = AggregationConfig { error_target: 0.04, seed: 3, ..Default::default() };
+        let good =
+            ebs_aggregate(&good_proxy, &mut |r| truth[r], &config);
+        let bad = ebs_aggregate(&bad_proxy, &mut |r| truth[r], &config);
+        assert!(
+            good.samples * 2 <= bad.samples,
+            "good proxy {} vs bad proxy {} samples",
+            good.samples,
+            bad.samples
+        );
+        assert!(good.rho_squared > bad.rho_squared);
+    }
+
+    #[test]
+    fn coverage_over_repeated_runs() {
+        // The (ε, δ) guarantee: ≥ 95% of runs land within ε. Check ≥ 80% over
+        // 25 runs to keep the test fast but meaningful.
+        let (truth, proxy) = population(20_000, 0.7, 5);
+        let mu = true_mean(&truth);
+        let config = AggregationConfig { error_target: 0.06, ..Default::default() };
+        let mut hits = 0;
+        for seed in 0..25 {
+            let cfg = AggregationConfig { seed, ..config.clone() };
+            let res = ebs_aggregate(&proxy, &mut |r| truth[r], &cfg);
+            if (res.estimate - mu).abs() <= cfg.error_target {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 20, "coverage too low: {hits}/25");
+    }
+
+    #[test]
+    fn tiny_dataset_exhausts_and_returns_exact_mean() {
+        let truth: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let proxy = vec![0.0; 40];
+        let config = AggregationConfig { error_target: 1e-6, ..Default::default() };
+        let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
+        assert!(res.exhausted);
+        assert_eq!(res.samples, 40);
+        assert!((res.estimate - true_mean(&truth)).abs() < 1e-12);
+        assert_eq!(res.ci_half_width, 0.0);
+    }
+
+    #[test]
+    fn constant_oracle_stops_at_min_samples() {
+        let truth = vec![2.5f64; 10_000];
+        let proxy = vec![0.0f64; 10_000];
+        let config = AggregationConfig { error_target: 0.01, ..Default::default() };
+        let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
+        // Zero variance → stops at the first check after min_samples... but
+        // the Bernstein range term needs range > 0; with zero range clamp it
+        // still shrinks as 1/t, so samples stay modest.
+        assert!(res.samples <= 1_000, "constant data should stop early: {}", res.samples);
+        assert!((res.estimate - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_proxy_drives_variance_to_zero() {
+        let truth: Vec<f64> = (0..20_000).map(|i| ((i * 37) % 11) as f64).collect();
+        let proxy = truth.clone();
+        let config = AggregationConfig { error_target: 0.02, ..Default::default() };
+        let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
+        assert!(res.rho_squared > 0.999);
+        assert!((res.control_coefficient - 1.0).abs() < 0.05);
+        assert!(res.samples <= 1000, "perfect proxy should stop almost immediately");
+        assert!((res.estimate - true_mean(&truth)).abs() < 0.02);
+    }
+
+    #[test]
+    fn clt_stopping_scales_with_residual_variance() {
+        // Under CLT stopping, sample count ≈ (z·σ_z/ε)² with
+        // σ_z² = σ²(1 − ρ²): a proxy with ρ² = 0.9 should need roughly an
+        // order of magnitude fewer samples than no proxy.
+        let (truth, proxy) = population(50_000, 0.95, 31);
+        let cfg = AggregationConfig {
+            error_target: 0.03,
+            stopping: StoppingRule::Clt,
+            seed: 5,
+            ..Default::default()
+        };
+        let with_proxy = ebs_aggregate(&proxy, &mut |r| truth[r], &cfg);
+        let none = vec![0.0f64; truth.len()];
+        let without = ebs_aggregate(&none, &mut |r| truth[r], &cfg);
+        assert!(
+            with_proxy.samples * 3 <= without.samples,
+            "CLT: proxy {} vs none {}",
+            with_proxy.samples,
+            without.samples
+        );
+        // And the estimate is still accurate.
+        let mu = true_mean(&truth);
+        assert!((with_proxy.estimate - mu).abs() <= 0.05);
+        assert!((without.estimate - mu).abs() <= 0.05);
+    }
+
+    #[test]
+    fn clt_coverage_over_repeated_runs() {
+        let (truth, proxy) = population(20_000, 0.7, 33);
+        let mu = true_mean(&truth);
+        let mut hits = 0;
+        for seed in 0..25 {
+            let cfg = AggregationConfig {
+                error_target: 0.06,
+                stopping: StoppingRule::Clt,
+                seed,
+                ..Default::default()
+            };
+            let res = ebs_aggregate(&proxy, &mut |r| truth[r], &cfg);
+            if (res.estimate - mu).abs() <= 0.06 {
+                hits += 1;
+            }
+        }
+        // CLT intervals are approximate; expect near-nominal coverage.
+        assert!(hits >= 20, "CLT coverage too low: {hits}/25");
+    }
+
+    #[test]
+    fn fpc_reduces_samples_on_small_populations() {
+        // On a 1,000-record population where the target forces sampling a
+        // large fraction, the finite-population correction stops earlier —
+        // and the estimate stays accurate.
+        let (truth, _) = population(1_000, 0.0, 41);
+        let proxy = vec![0.0f64; truth.len()];
+        let mu = true_mean(&truth);
+        let base = AggregationConfig {
+            error_target: 0.12,
+            stopping: StoppingRule::Clt,
+            seed: 3,
+            ..Default::default()
+        };
+        let without = ebs_aggregate(&proxy, &mut |r| truth[r], &base);
+        let with_fpc = ebs_aggregate(
+            &proxy,
+            &mut |r| truth[r],
+            &AggregationConfig { finite_population_correction: true, ..base },
+        );
+        assert!(
+            with_fpc.samples < without.samples,
+            "FPC should stop earlier: {} vs {}",
+            with_fpc.samples,
+            without.samples
+        );
+        assert!((with_fpc.estimate - mu).abs() <= 0.12, "estimate {}", with_fpc.estimate);
+    }
+
+    #[test]
+    fn fpc_coverage_is_preserved() {
+        let (truth, proxy) = population(2_000, 0.5, 43);
+        let mu = true_mean(&truth);
+        let mut hits = 0;
+        for seed in 0..25 {
+            let cfg = AggregationConfig {
+                error_target: 0.1,
+                stopping: StoppingRule::Clt,
+                finite_population_correction: true,
+                seed,
+                ..Default::default()
+            };
+            let res = ebs_aggregate(&proxy, &mut |r| truth[r], &cfg);
+            if (res.estimate - mu).abs() <= 0.1 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 20, "FPC coverage too low: {hits}/25");
+    }
+
+    #[test]
+    fn direct_aggregate_is_proxy_mean() {
+        assert!((direct_aggregate(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (truth, proxy) = population(10_000, 0.6, 9);
+        let config = AggregationConfig { error_target: 0.08, seed: 11, ..Default::default() };
+        let a = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
+        let b = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(a.samples, b.samples);
+    }
+}

@@ -1,0 +1,43 @@
+//! # tasti-query
+//!
+//! The downstream proxy-score query-processing algorithms the TASTI paper
+//! plugs its indexes into (§4, §6.1):
+//!
+//! * [`agg`] — approximate aggregation in the style of BlazeIt: sequential
+//!   uniform sampling with the proxy score as a **control variate** and an
+//!   **empirical-Bernstein stopping rule** (EBS) guaranteeing an error
+//!   target at a confidence level, plus direct (no-guarantee) aggregation.
+//! * [`supg`] — SUPG recall-target selection: importance sampling against
+//!   the proxy scores, a conservative lower confidence bound on recall, and
+//!   the returned-set construction of Kang et al. 2020.
+//! * [`limit`] — the BlazeIt limit-query ranking algorithm: scan records in
+//!   descending proxy-score order, invoking the target labeler until the
+//!   requested number of matches is found.
+//! * [`select`] — selection without statistical guarantees (NoScope /
+//!   Tahoma / probabilistic-predicates style thresholding), scored by F1.
+//! * [`stats`] — the statistical machinery shared by all of the above:
+//!   empirical-Bernstein half-widths, normal quantiles, streaming moments.
+//!
+//! The algorithms are deliberately *decoupled from the index*: they consume
+//! plain proxy-score slices and an oracle closure, so they run identically
+//! over TASTI proxy scores, per-query proxy-model scores, or constant
+//! scores (the "no proxy" baseline). All randomness is seeded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod agg_pred;
+pub mod limit;
+pub mod select;
+pub mod stats;
+pub mod supg;
+
+pub use agg::{direct_aggregate, ebs_aggregate, AggregationConfig, AggregationResult, StoppingRule};
+pub use agg_pred::{predicate_aggregate, PredicateAggConfig, PredicateAggResult};
+pub use limit::{limit_query, LimitResult};
+pub use select::{threshold_selection, tune_threshold, SelectionResult};
+pub use supg::{
+    supg_precision_target, supg_recall_target, SupgConfig, SupgPrecisionConfig,
+    SupgPrecisionResult, SupgResult,
+};

@@ -1,0 +1,114 @@
+//! Limit queries (BlazeIt's ranking algorithm, §4.1/§6.3).
+//!
+//! "Select 10 frames containing at least 5 cars" — the system examines data
+//! records in descending proxy-score order, invoking the target labeler on
+//! each, and terminates once the requested number of matching records is
+//! found. The cost metric is the number of target-labeler invocations
+//! (Figure 6); proxy scores with high recall at the top ranks win.
+
+use serde::Serialize;
+
+/// Result of a limit query.
+#[derive(Debug, Clone, Serialize)]
+pub struct LimitResult {
+    /// Records found matching the predicate, in scan order.
+    pub found: Vec<usize>,
+    /// Target-labeler invocations consumed.
+    pub invocations: u64,
+    /// Whether the requested number of matches was reached before the scan
+    /// budget (or the ranking) was exhausted.
+    pub satisfied: bool,
+}
+
+/// Scans `ranking` (record indices, best first), invoking
+/// `oracle_match(record)` until `k_matches` matches are found or `max_scan`
+/// records have been examined.
+///
+/// ```
+/// use tasti_query::limit_query;
+/// let ranking = vec![4, 2, 0, 1, 3]; // proxy thinks 4 and 2 look best
+/// let matches = [false, false, true, false, true];
+/// let res = limit_query(&ranking, &mut |r| matches[r], 2, 5);
+/// assert_eq!(res.found, vec![4, 2]);
+/// assert_eq!(res.invocations, 2); // perfect ranking: no wasted calls
+/// ```
+pub fn limit_query(
+    ranking: &[usize],
+    oracle_match: &mut dyn FnMut(usize) -> bool,
+    k_matches: usize,
+    max_scan: usize,
+) -> LimitResult {
+    let mut found = Vec::with_capacity(k_matches);
+    let mut invocations = 0u64;
+    for &rec in ranking.iter().take(max_scan) {
+        if found.len() >= k_matches {
+            break;
+        }
+        invocations += 1;
+        if oracle_match(rec) {
+            found.push(rec);
+        }
+    }
+    let satisfied = found.len() >= k_matches;
+    LimitResult { found, invocations, satisfied }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_exactly_at_k_matches() {
+        // Matches at positions 0, 2, 4, …
+        let ranking: Vec<usize> = (0..100).collect();
+        let mut res = limit_query(&ranking, &mut |r| r % 2 == 0, 3, 100);
+        assert_eq!(res.found, vec![0, 2, 4]);
+        assert_eq!(res.invocations, 5); // scanned 0,1,2,3,4
+        assert!(res.satisfied);
+        // k = 1 stops immediately.
+        res = limit_query(&ranking, &mut |r| r % 2 == 0, 1, 100);
+        assert_eq!(res.invocations, 1);
+    }
+
+    #[test]
+    fn good_ranking_beats_bad_ranking() {
+        // 5 rare matches hidden at indices 900..905.
+        let is_match = |r: usize| (900..905).contains(&r);
+        let good: Vec<usize> = (900..1000).chain(0..900).collect();
+        let bad: Vec<usize> = (0..1000).collect();
+        let res_good = limit_query(&good, &mut |r| is_match(r), 5, 1000);
+        let res_bad = limit_query(&bad, &mut |r| is_match(r), 5, 1000);
+        assert!(res_good.satisfied && res_bad.satisfied);
+        assert!(
+            res_good.invocations * 10 < res_bad.invocations,
+            "good {} vs bad {}",
+            res_good.invocations,
+            res_bad.invocations
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_query_reports_failure() {
+        let ranking: Vec<usize> = (0..50).collect();
+        let res = limit_query(&ranking, &mut |_| false, 1, 50);
+        assert!(!res.satisfied);
+        assert!(res.found.is_empty());
+        assert_eq!(res.invocations, 50);
+    }
+
+    #[test]
+    fn max_scan_caps_invocations() {
+        let ranking: Vec<usize> = (0..1000).collect();
+        let res = limit_query(&ranking, &mut |_| false, 1, 10);
+        assert_eq!(res.invocations, 10);
+        assert!(!res.satisfied);
+    }
+
+    #[test]
+    fn zero_matches_requested_is_trivially_satisfied() {
+        let ranking: Vec<usize> = (0..10).collect();
+        let res = limit_query(&ranking, &mut |_| true, 0, 10);
+        assert!(res.satisfied);
+        assert_eq!(res.invocations, 0);
+    }
+}

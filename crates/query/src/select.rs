@@ -1,0 +1,171 @@
+//! Selection without statistical guarantees (§6.5, Table 2).
+//!
+//! NoScope, Tahoma, and probabilistic predicates select records whose proxy
+//! score clears a threshold, "either ad-hoc or computed over some validation
+//! set". [`tune_threshold`] implements the validation-set variant: it labels
+//! a small uniform sample through the oracle and picks the threshold
+//! maximizing F1 on it; [`threshold_selection`] then applies a threshold to
+//! the whole dataset. Quality is reported as `100 − F1` (Table 2, lower is
+//! better).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Result of a threshold selection.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelectionResult {
+    /// Indices of the selected records.
+    pub selected: Vec<usize>,
+    /// Threshold applied to the proxy scores.
+    pub threshold: f64,
+    /// Oracle invocations spent tuning (0 for ad-hoc thresholds).
+    pub oracle_calls: u64,
+}
+
+/// Selects every record whose proxy score is ≥ `threshold`.
+pub fn threshold_selection(proxy: &[f64], threshold: f64) -> Vec<usize> {
+    (0..proxy.len()).filter(|&i| proxy[i] >= threshold).collect()
+}
+
+/// Labels `validation_size` uniformly sampled records through the oracle and
+/// returns the proxy threshold maximizing F1 on that sample, applied to the
+/// full dataset.
+pub fn tune_threshold(
+    proxy: &[f64],
+    oracle: &mut dyn FnMut(usize) -> bool,
+    validation_size: usize,
+    seed: u64,
+) -> SelectionResult {
+    let n = proxy.len();
+    assert!(n > 0, "cannot select over an empty dataset");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order.truncate(validation_size.min(n));
+
+    let sample: Vec<(f64, bool)> = order.iter().map(|&r| (proxy[r], oracle(r))).collect();
+    let oracle_calls = sample.len() as u64;
+    let total_pos = sample.iter().filter(|s| s.1).count();
+
+    // Candidate thresholds: the distinct proxy values in the sample,
+    // descending, plus −∞ (select all). Evaluate F1 at each by sweeping.
+    let mut by_score = sample.clone();
+    by_score.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut best_threshold = f64::NEG_INFINITY;
+    let mut best_f1 = f1(total_pos, sample.len() - total_pos, 0); // select-all F1
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < by_score.len() {
+        // Advance over ties so the threshold sits at a realizable cut.
+        let tau = by_score[i].0;
+        while i < by_score.len() && by_score[i].0 == tau {
+            if by_score[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let fn_ = total_pos - tp;
+        let score = f1(tp, fp, fn_);
+        if score > best_f1 {
+            best_f1 = score;
+            best_threshold = tau;
+        }
+    }
+
+    let selected = threshold_selection(proxy, best_threshold);
+    SelectionResult { selected, threshold: best_threshold, oracle_calls }
+}
+
+fn f1(tp: usize, fp: usize, fn_: usize) -> f64 {
+    if tp == 0 {
+        return 0.0;
+    }
+    let p = tp as f64 / (tp + fp) as f64;
+    let r = tp as f64 / (tp + fn_) as f64;
+    2.0 * p * r / (p + r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn threshold_selection_filters_by_score() {
+        let proxy = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(threshold_selection(&proxy, 0.6), vec![1, 3]);
+        assert_eq!(threshold_selection(&proxy, 0.0), vec![0, 1, 2, 3]);
+        assert_eq!(threshold_selection(&proxy, 2.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn tuned_threshold_separates_well_ranked_data() {
+        // Positives score in [0.6, 1.0], negatives in [0.0, 0.4].
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 2000;
+        let truth: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < 0.2).collect();
+        let proxy: Vec<f64> = truth
+            .iter()
+            .map(|&t| if t { rng.gen_range(0.6..1.0) } else { rng.gen_range(0.0..0.4) })
+            .collect();
+        let res = tune_threshold(&proxy, &mut |r| truth[r], 300, 2);
+        // Selected set should match the positives almost exactly.
+        let tp = res.selected.iter().filter(|&&i| truth[i]).count();
+        let total_pos = truth.iter().filter(|&&t| t).count();
+        let precision = tp as f64 / res.selected.len().max(1) as f64;
+        let recall = tp as f64 / total_pos as f64;
+        assert!(precision > 0.95, "precision {precision}");
+        assert!(recall > 0.95, "recall {recall}");
+        assert!(res.threshold > 0.4 && res.threshold <= 0.7, "threshold {}", res.threshold);
+        assert_eq!(res.oracle_calls, 300);
+    }
+
+    #[test]
+    fn noisy_scores_still_yield_reasonable_f1() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 3000;
+        let truth: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < 0.3).collect();
+        let proxy: Vec<f64> = truth
+            .iter()
+            .map(|&t| 0.6 * (t as u8 as f64) + 0.4 * rng.gen::<f64>())
+            .collect();
+        let res = tune_threshold(&proxy, &mut |r| truth[r], 400, 4);
+        let tp = res.selected.iter().filter(|&&i| truth[i]).count();
+        let fp = res.selected.len() - tp;
+        let total_pos = truth.iter().filter(|&&t| t).count();
+        let f = super::f1(tp, fp, total_pos - tp);
+        assert!(f > 0.85, "F1 {f}");
+    }
+
+    #[test]
+    fn all_negative_validation_selects_nothing_confidently() {
+        let proxy: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let res = tune_threshold(&proxy, &mut |_| false, 50, 5);
+        // Best F1 is 0 everywhere; the select-all default applies, which is
+        // the conservative (recall-preserving) choice.
+        assert_eq!(res.threshold, f64::NEG_INFINITY);
+        assert_eq!(res.selected.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let truth: Vec<bool> = (0..500).map(|_| rng.gen::<f64>() < 0.5).collect();
+        let proxy: Vec<f64> = truth.iter().map(|&t| t as u8 as f64).collect();
+        let a = tune_threshold(&proxy, &mut |r| truth[r], 100, 7);
+        let b = tune_threshold(&proxy, &mut |r| truth[r], 100, 7);
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.threshold, b.threshold);
+    }
+
+    #[test]
+    fn f1_helper_edge_cases() {
+        assert_eq!(super::f1(0, 10, 10), 0.0);
+        assert!((super::f1(10, 0, 0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,221 @@
+//! Statistical machinery shared by the query-processing algorithms.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Observed range `max − min` (0 when fewer than 2 observations).
+    pub fn range(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
+/// Empirical Bernstein confidence half-width (Audibert, Munos &
+/// Szepesvári; as used by BlazeIt's EBS stopping rule):
+///
+/// `ε = σ̂·√(2·ln(3/δ)/t) + 3·R·ln(3/δ)/t`
+///
+/// where `σ̂` is the empirical standard deviation, `R` the value range, and
+/// `t` the sample count. Valid for i.i.d. samples bounded in an interval of
+/// length `R`.
+pub fn empirical_bernstein_half_width(std_dev: f64, range: f64, t: u64, delta: f64) -> f64 {
+    if t == 0 {
+        return f64::INFINITY;
+    }
+    let t = t as f64;
+    let log_term = (3.0 / delta).ln();
+    std_dev * (2.0 * log_term / t).sqrt() + 3.0 * range * log_term / t
+}
+
+/// Standard normal inverse CDF (Acklam's rational approximation, |ε| < 1.15e-9).
+pub fn normal_inverse_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_inverse_cdf requires p in (0, 1), got {p}"
+    );
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.50662827745924e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Sample Pearson covariance of two equal-length slices.
+pub fn covariance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    a.iter().zip(b).map(|(&x, &y)| (x - ma) * (y - mb)).sum::<f64>() / (n - 1) as f64
+}
+
+/// Sample variance of a slice.
+pub fn variance(a: &[f64]) -> f64 {
+    covariance(a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_closed_form() {
+        let mut m = Moments::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        // Sample variance = 32/7.
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((m.range() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_moments_are_safe() {
+        let m = Moments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.range(), 0.0);
+    }
+
+    #[test]
+    fn bernstein_width_shrinks_with_samples() {
+        let w10 = empirical_bernstein_half_width(1.0, 4.0, 10, 0.05);
+        let w1000 = empirical_bernstein_half_width(1.0, 4.0, 1000, 0.05);
+        assert!(w1000 < w10 / 5.0);
+    }
+
+    #[test]
+    fn bernstein_width_grows_with_variance_and_range() {
+        let base = empirical_bernstein_half_width(1.0, 2.0, 100, 0.05);
+        assert!(empirical_bernstein_half_width(2.0, 2.0, 100, 0.05) > base);
+        assert!(empirical_bernstein_half_width(1.0, 4.0, 100, 0.05) > base);
+    }
+
+    #[test]
+    fn bernstein_zero_samples_is_infinite() {
+        assert!(empirical_bernstein_half_width(1.0, 1.0, 0, 0.05).is_infinite());
+    }
+
+    #[test]
+    fn normal_inverse_known_quantiles() {
+        assert!(normal_inverse_cdf(0.5).abs() < 1e-9);
+        assert!((normal_inverse_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_inverse_cdf(0.95) - 1.644854).abs() < 1e-4);
+        assert!((normal_inverse_cdf(0.05) + 1.644854).abs() < 1e-4);
+        // Tail region.
+        assert!((normal_inverse_cdf(0.001) + 3.090232).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0, 1)")]
+    fn normal_inverse_rejects_out_of_range() {
+        let _ = normal_inverse_cdf(0.0);
+    }
+
+    #[test]
+    fn covariance_of_linear_relation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        let cov = covariance(&a, &b);
+        let va = variance(&a);
+        assert!((cov - 2.0 * va).abs() < 1e-12);
+    }
+}

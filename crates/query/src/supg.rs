@@ -1,0 +1,577 @@
+//! SUPG recall-target selection (Kang et al., PVLDB 2020; used in §6.3).
+//!
+//! Query: "return a set of records containing at least `recall_target` of
+//! all records matching the predicate, with probability `confidence`, using
+//! at most `budget` target-labeler invocations."
+//!
+//! The algorithm (the importance-sampling recall-target variant):
+//!
+//! 1. Normalize proxy scores to `[0, 1]` and draw `budget` samples with
+//!    probability ∝ `√proxy` (defensively mixed with uniform), *with*
+//!    replacement, recording importance weights `w_i = 1/(m·q_i)`.
+//! 2. Invoke the oracle on the sampled records. The importance-weighted
+//!    positive mass above a candidate threshold `τ`, divided by the total
+//!    weighted positive mass, estimates `recall(τ)`.
+//! 3. Pick the largest `τ` whose **lower confidence bound** on recall (a
+//!    delta-method normal bound on the ratio estimator) still clears the
+//!    target — larger `τ` means a smaller returned set and fewer false
+//!    positives.
+//! 4. Return `{records with proxy ≥ τ} ∪ {sampled true positives}`.
+//!
+//! Quality is measured by the false-positive rate of the returned set
+//! (Figure 5: lower is better); the recall target itself is met with high
+//! probability by construction.
+
+use crate::stats::normal_inverse_cdf;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// Configuration for a SUPG recall-target query.
+#[derive(Debug, Clone)]
+pub struct SupgConfig {
+    /// Recall target γ (e.g. 0.9).
+    pub recall_target: f64,
+    /// Success probability (e.g. 0.95).
+    pub confidence: f64,
+    /// Hard target-labeler budget (distinct sampled records may be fewer
+    /// since sampling is with replacement).
+    pub budget: usize,
+    /// Fraction of uniform mixing in the importance distribution
+    /// (defensive, keeps weights bounded).
+    pub uniform_mix: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SupgConfig {
+    fn default() -> Self {
+        Self { recall_target: 0.9, confidence: 0.95, budget: 500, uniform_mix: 0.1, seed: 1 }
+    }
+}
+
+/// Result of a SUPG query.
+#[derive(Debug, Clone, Serialize)]
+pub struct SupgResult {
+    /// Indices of the returned records.
+    pub returned: Vec<usize>,
+    /// Proxy-score threshold selected.
+    pub threshold: f64,
+    /// Distinct target-labeler invocations consumed (≤ budget).
+    pub oracle_calls: u64,
+    /// Importance-weighted recall estimate at the chosen threshold.
+    pub estimated_recall: f64,
+}
+
+/// Runs the SUPG recall-target selection algorithm.
+///
+/// `oracle(record)` must return whether the record matches the predicate;
+/// it is invoked at most `config.budget` times (distinct records).
+pub fn supg_recall_target(
+    proxy: &[f64],
+    oracle: &mut dyn FnMut(usize) -> bool,
+    config: &SupgConfig,
+) -> SupgResult {
+    let n = proxy.len();
+    assert!(n > 0, "cannot select over an empty dataset");
+    assert!(
+        config.recall_target > 0.0 && config.recall_target < 1.0,
+        "recall target must be in (0, 1)"
+    );
+
+    // Normalize proxies to [0, 1].
+    let (lo, hi) = proxy
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+    let span = (hi - lo).max(1e-12);
+    let norm: Vec<f64> = proxy.iter().map(|&p| (p - lo) / span).collect();
+
+    // Importance distribution q ∝ (1−u)·√p + u·(1/n)-mass.
+    let u = config.uniform_mix.clamp(0.0, 1.0);
+    let sqrt_total: f64 = norm.iter().map(|&p| p.sqrt()).sum();
+    let q: Vec<f64> = if sqrt_total > 1e-12 {
+        norm.iter().map(|&p| (1.0 - u) * p.sqrt() / sqrt_total + u / n as f64).collect()
+    } else {
+        vec![1.0 / n as f64; n]
+    };
+
+    // Cumulative distribution for sampling with replacement.
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &qi in &q {
+        acc += qi;
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let m = config.budget.min(n).max(1);
+    // Sampled draws: (record, weight, is_positive). Distinct records share
+    // one oracle call through the caller's metered labeler, but we also cap
+    // distinct records at the budget ourselves.
+    let mut draws: Vec<(usize, f64, bool)> = Vec::with_capacity(m);
+    let mut labeled: HashSet<usize> = HashSet::new();
+    let mut truth_cache: std::collections::HashMap<usize, bool> = Default::default();
+    for _ in 0..m {
+        let x: f64 = rng.gen_range(0.0..total);
+        let rec = cdf.partition_point(|&c| c < x).min(n - 1);
+        let is_pos = *truth_cache.entry(rec).or_insert_with(|| {
+            labeled.insert(rec);
+            oracle(rec)
+        });
+        let w = 1.0 / (m as f64 * q[rec]);
+        draws.push((rec, w, is_pos));
+    }
+    let oracle_calls = labeled.len() as u64;
+
+    // Candidate thresholds: the distinct proxy values of sampled positives
+    // (descending). recall(τ) is a step function changing only there.
+    let mut pos_thresholds: Vec<f64> =
+        draws.iter().filter(|d| d.2).map(|d| norm[d.0]).collect();
+    pos_thresholds.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    pos_thresholds.dedup();
+
+    let z = normal_inverse_cdf(config.confidence);
+    let total_pos_mass: f64 = draws.iter().filter(|d| d.2).map(|d| d.1).sum();
+
+    let mut chosen_tau = 0.0f64;
+    let mut chosen_recall = 1.0f64;
+    if total_pos_mass > 0.0 {
+        for &tau in &pos_thresholds {
+            // Ratio estimator R = A/B with per-draw contributions
+            // a_i = w_i·1[pos ∧ p ≥ τ], b_i = w_i·1[pos].
+            let mut a_sum = 0.0;
+            let mut b_sum = 0.0;
+            let mut a2 = 0.0;
+            let mut b2 = 0.0;
+            let mut ab = 0.0;
+            for &(rec, w, pos) in &draws {
+                let b = if pos { w } else { 0.0 };
+                let a = if pos && norm[rec] >= tau { w } else { 0.0 };
+                a_sum += a;
+                b_sum += b;
+                a2 += a * a;
+                b2 += b * b;
+                ab += a * b;
+            }
+            let mf = m as f64;
+            let r = a_sum / b_sum;
+            // Delta-method variance of the ratio of means.
+            let mean_a = a_sum / mf;
+            let mean_b = b_sum / mf;
+            let var_a = (a2 / mf - mean_a * mean_a).max(0.0);
+            let var_b = (b2 / mf - mean_b * mean_b).max(0.0);
+            let cov_ab = ab / mf - mean_a * mean_b;
+            let var_r = (var_a - 2.0 * r * cov_ab + r * r * var_b).max(0.0)
+                / (mf * mean_b * mean_b).max(1e-300);
+            let lcb = r - z * var_r.sqrt();
+            if lcb >= config.recall_target {
+                chosen_tau = tau;
+                chosen_recall = r;
+                break; // thresholds descend; the first (largest) winner is tightest
+            }
+        }
+    }
+
+    // Returned set: everything at/above τ plus all sampled positives.
+    let mut returned: Vec<usize> = (0..n).filter(|&i| norm[i] >= chosen_tau).collect();
+    let set: HashSet<usize> = returned.iter().copied().collect();
+    for &(rec, _, pos) in &draws {
+        if pos && !set.contains(&rec) {
+            returned.push(rec);
+        }
+    }
+    returned.sort_unstable();
+    returned.dedup();
+
+    SupgResult {
+        returned,
+        threshold: chosen_tau * span + lo,
+        oracle_calls,
+        estimated_recall: chosen_recall,
+    }
+}
+
+/// Result of a SUPG precision-target query.
+#[derive(Debug, Clone, Serialize)]
+pub struct SupgPrecisionResult {
+    /// Indices of the returned records.
+    pub returned: Vec<usize>,
+    /// Proxy-score threshold selected.
+    pub threshold: f64,
+    /// Distinct target-labeler invocations consumed (≤ budget).
+    pub oracle_calls: u64,
+    /// Importance-weighted precision estimate at the chosen threshold.
+    pub estimated_precision: f64,
+}
+
+/// Configuration for a SUPG *precision*-target query.
+#[derive(Debug, Clone)]
+pub struct SupgPrecisionConfig {
+    /// Precision target (e.g. 0.9): at least this fraction of the returned
+    /// set matches the predicate, with probability `confidence`.
+    pub precision_target: f64,
+    /// Success probability.
+    pub confidence: f64,
+    /// Hard oracle budget.
+    pub budget: usize,
+    /// Uniform mixing fraction in the importance distribution.
+    pub uniform_mix: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SupgPrecisionConfig {
+    fn default() -> Self {
+        Self { precision_target: 0.9, confidence: 0.95, budget: 500, uniform_mix: 0.1, seed: 1 }
+    }
+}
+
+/// Runs the SUPG precision-target selection algorithm (the other guarantee
+/// Kang et al. 2020 supports; the paper's Figure 5 evaluates the recall
+/// variant).
+///
+/// Picks the *smallest* proxy threshold whose importance-weighted precision
+/// estimate still clears the target at the configured confidence — smaller
+/// thresholds mean larger returned sets, i.e. more recall at fixed
+/// precision. Sampled true negatives above the threshold are excluded from
+/// the returned set (their labels are already paid for).
+pub fn supg_precision_target(
+    proxy: &[f64],
+    oracle: &mut dyn FnMut(usize) -> bool,
+    config: &SupgPrecisionConfig,
+) -> SupgPrecisionResult {
+    let n = proxy.len();
+    assert!(n > 0, "cannot select over an empty dataset");
+    assert!(
+        config.precision_target > 0.0 && config.precision_target < 1.0,
+        "precision target must be in (0, 1)"
+    );
+    let (lo, hi) = proxy
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+    let span = (hi - lo).max(1e-12);
+    let norm: Vec<f64> = proxy.iter().map(|&p| (p - lo) / span).collect();
+
+    // Importance distribution biased toward *high*-proxy records (where the
+    // precision boundary lives), defensively mixed with uniform.
+    let u = config.uniform_mix.clamp(0.0, 1.0);
+    let mass: f64 = norm.iter().map(|&p| p.sqrt()).sum();
+    let q: Vec<f64> = if mass > 1e-12 {
+        norm.iter().map(|&p| (1.0 - u) * p.sqrt() / mass + u / n as f64).collect()
+    } else {
+        vec![1.0 / n as f64; n]
+    };
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &qi in &q {
+        acc += qi;
+        cdf.push(acc);
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let m = config.budget.min(n).max(1);
+    let mut draws: Vec<(usize, f64, bool)> = Vec::with_capacity(m);
+    let mut labeled: HashSet<usize> = HashSet::new();
+    let mut truth_cache: std::collections::HashMap<usize, bool> = Default::default();
+    for _ in 0..m {
+        let x: f64 = rng.gen_range(0.0..acc);
+        let rec = cdf.partition_point(|&c| c < x).min(n - 1);
+        let is_pos = *truth_cache.entry(rec).or_insert_with(|| {
+            labeled.insert(rec);
+            oracle(rec)
+        });
+        draws.push((rec, 1.0 / (m as f64 * q[rec]), is_pos));
+    }
+    let oracle_calls = labeled.len() as u64;
+
+    // Candidate thresholds: distinct sampled proxy values, ascending —
+    // precision(τ) is non-decreasing in τ for well-ordered proxies, and we
+    // want the smallest certifiable τ.
+    let mut thresholds: Vec<f64> = draws.iter().map(|d| norm[d.0]).collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    thresholds.dedup();
+
+    let z = normal_inverse_cdf(config.confidence);
+    let mut chosen_tau = 1.0f64 + 1e-9; // default: empty set (vacuous precision)
+    for &tau in &thresholds {
+        // Precision ratio estimator over records at/above τ.
+        let mut a_sum = 0.0;
+        let mut b_sum = 0.0;
+        let mut a2 = 0.0;
+        let mut b2 = 0.0;
+        let mut ab = 0.0;
+        for &(rec, w, pos) in &draws {
+            let above = norm[rec] >= tau;
+            let b = if above { w } else { 0.0 };
+            let a = if above && pos { w } else { 0.0 };
+            a_sum += a;
+            b_sum += b;
+            a2 += a * a;
+            b2 += b * b;
+            ab += a * b;
+        }
+        if b_sum <= 0.0 {
+            continue;
+        }
+        let mf = m as f64;
+        let r = a_sum / b_sum;
+        let mean_a = a_sum / mf;
+        let mean_b = b_sum / mf;
+        let var_a = (a2 / mf - mean_a * mean_a).max(0.0);
+        let var_b = (b2 / mf - mean_b * mean_b).max(0.0);
+        let cov_ab = ab / mf - mean_a * mean_b;
+        let var_r = (var_a - 2.0 * r * cov_ab + r * r * var_b).max(0.0)
+            / (mf * mean_b * mean_b).max(1e-300);
+        let lcb = r - z * var_r.sqrt();
+        if lcb >= config.precision_target {
+            chosen_tau = tau;
+            break; // ascending: first certifiable τ is the smallest
+        }
+    }
+
+    // Returned set: records above τ, minus sampled known negatives, plus
+    // sampled positives (their labels are free at this point).
+    let known_neg: HashSet<usize> =
+        draws.iter().filter(|d| !d.2).map(|d| d.0).collect();
+    let known_pos: HashSet<usize> = draws.iter().filter(|d| d.2).map(|d| d.0).collect();
+    let mut returned: Vec<usize> = (0..n)
+        .filter(|&i| (norm[i] >= chosen_tau && !known_neg.contains(&i)) || known_pos.contains(&i))
+        .collect();
+    returned.sort_unstable();
+    returned.dedup();
+
+    // Estimated precision at the chosen threshold (for diagnostics).
+    let est_precision = {
+        let mut a = 0.0;
+        let mut b = 0.0;
+        for &(rec, w, pos) in &draws {
+            if norm[rec] >= chosen_tau {
+                b += w;
+                if pos {
+                    a += w;
+                }
+            }
+        }
+        if b > 0.0 {
+            a / b
+        } else {
+            1.0
+        }
+    };
+
+    SupgPrecisionResult {
+        returned,
+        threshold: chosen_tau * span + lo,
+        oracle_calls,
+        estimated_precision: est_precision,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Population where proxy ranks positives with the given AUC-ish quality.
+    fn population(n: usize, pos_rate: f64, quality: f64, seed: u64) -> (Vec<bool>, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut truth = Vec::with_capacity(n);
+        let mut proxy = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pos = rng.gen::<f64>() < pos_rate;
+            let signal = if pos { 1.0 } else { 0.0 };
+            let p = quality * signal + (1.0 - quality) * rng.gen::<f64>();
+            truth.push(pos);
+            proxy.push(p);
+        }
+        (truth, proxy)
+    }
+
+    fn recall_of(returned: &[usize], truth: &[bool]) -> f64 {
+        let pos = truth.iter().filter(|&&t| t).count();
+        if pos == 0 {
+            return 1.0;
+        }
+        let hit = returned.iter().filter(|&&i| truth[i]).count();
+        hit as f64 / pos as f64
+    }
+
+    fn fpr_of(returned: &[usize], truth: &[bool]) -> f64 {
+        let neg = truth.iter().filter(|&&t| !t).count();
+        if neg == 0 {
+            return 0.0;
+        }
+        let fp = returned.iter().filter(|&&i| !truth[i]).count();
+        fp as f64 / neg as f64
+    }
+
+    #[test]
+    fn recall_target_is_met_with_high_probability() {
+        let (truth, proxy) = population(20_000, 0.05, 0.9, 3);
+        let mut hits = 0;
+        for seed in 0..20 {
+            let cfg = SupgConfig { budget: 800, seed, ..Default::default() };
+            let mut t = truth.clone();
+            let res = supg_recall_target(&proxy, &mut |r| t[r], &cfg);
+            // keep borrowck happy: truth untouched
+            t[0] = truth[0];
+            if recall_of(&res.returned, &truth) >= cfg.recall_target {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 17, "recall target met only {hits}/20 times");
+    }
+
+    #[test]
+    fn better_proxy_gives_lower_fpr() {
+        let (truth, good) = population(20_000, 0.05, 0.95, 5);
+        let (_, bad) = population(20_000, 0.05, 0.3, 5);
+        let cfg = SupgConfig { budget: 800, seed: 2, ..Default::default() };
+        let res_good = supg_recall_target(&good, &mut |r| truth[r], &cfg);
+        let res_bad = supg_recall_target(&bad, &mut |r| truth[r], &cfg);
+        let fpr_good = fpr_of(&res_good.returned, &truth);
+        let fpr_bad = fpr_of(&res_bad.returned, &truth);
+        assert!(
+            fpr_good < fpr_bad * 0.5,
+            "good proxy FPR {fpr_good} should beat bad proxy FPR {fpr_bad}"
+        );
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let (truth, proxy) = population(10_000, 0.1, 0.8, 7);
+        let cfg = SupgConfig { budget: 300, seed: 4, ..Default::default() };
+        let mut calls = 0u64;
+        let res = supg_recall_target(
+            &proxy,
+            &mut |r| {
+                calls += 1;
+                truth[r]
+            },
+            &cfg,
+        );
+        assert!(calls <= 300, "oracle called {calls} > budget");
+        assert_eq!(res.oracle_calls, calls);
+    }
+
+    #[test]
+    fn sampled_positives_are_always_returned() {
+        let (truth, proxy) = population(5_000, 0.05, 0.7, 9);
+        let cfg = SupgConfig { budget: 400, seed: 6, ..Default::default() };
+        let mut sampled_pos: Vec<usize> = Vec::new();
+        let res = supg_recall_target(
+            &proxy,
+            &mut |r| {
+                if truth[r] {
+                    sampled_pos.push(r);
+                }
+                truth[r]
+            },
+            &cfg,
+        );
+        let set: HashSet<usize> = res.returned.iter().copied().collect();
+        for p in sampled_pos {
+            assert!(set.contains(&p), "sampled positive {p} missing from returned set");
+        }
+    }
+
+    #[test]
+    fn no_positives_returns_everything_conservatively() {
+        let truth = vec![false; 1000];
+        let proxy: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let cfg = SupgConfig { budget: 100, seed: 8, ..Default::default() };
+        let res = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
+        // With zero sampled positive mass no threshold is certifiable; the
+        // conservative answer (τ = 0 on normalized scores) returns all.
+        assert_eq!(res.returned.len(), 1000);
+        // Vacuous recall is fine: there is nothing to recall.
+        assert_eq!(recall_of(&res.returned, &truth), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (truth, proxy) = population(8_000, 0.08, 0.8, 11);
+        let cfg = SupgConfig { budget: 500, seed: 13, ..Default::default() };
+        let a = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
+        let b = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
+        assert_eq!(a.returned, b.returned);
+        assert_eq!(a.threshold, b.threshold);
+    }
+
+    fn precision_of(returned: &[usize], truth: &[bool]) -> f64 {
+        if returned.is_empty() {
+            return 1.0;
+        }
+        let tp = returned.iter().filter(|&&i| truth[i]).count();
+        tp as f64 / returned.len() as f64
+    }
+
+    #[test]
+    fn precision_target_is_met_with_high_probability() {
+        let (truth, proxy) = population(20_000, 0.1, 0.9, 21);
+        let mut hits = 0;
+        for seed in 0..20 {
+            let cfg = SupgPrecisionConfig { budget: 800, seed, ..Default::default() };
+            let res = supg_precision_target(&proxy, &mut |r| truth[r], &cfg);
+            if precision_of(&res.returned, &truth) >= cfg.precision_target {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 17, "precision target met only {hits}/20 times");
+    }
+
+    #[test]
+    fn precision_variant_returns_nonempty_set_for_good_proxies() {
+        let (truth, proxy) = population(20_000, 0.1, 0.95, 23);
+        let cfg = SupgPrecisionConfig { budget: 800, seed: 3, ..Default::default() };
+        let res = supg_precision_target(&proxy, &mut |r| truth[r], &cfg);
+        assert!(res.returned.len() > 100, "good proxies should certify a broad set");
+        // Recall should be substantial too (smallest certifiable τ).
+        let total_pos = truth.iter().filter(|&&t| t).count();
+        let tp = res.returned.iter().filter(|&&i| truth[i]).count();
+        assert!(
+            tp as f64 / total_pos as f64 > 0.5,
+            "precision-target set should capture most positives"
+        );
+    }
+
+    #[test]
+    fn precision_variant_hopeless_proxy_returns_conservative_set() {
+        // All-negative population: no threshold is certifiable; the returned
+        // set must stay (near-)empty rather than blow the precision target.
+        let truth = vec![false; 5_000];
+        let proxy: Vec<f64> = (0..5_000).map(|i| (i % 11) as f64).collect();
+        let cfg = SupgPrecisionConfig { budget: 300, seed: 5, ..Default::default() };
+        let res = supg_precision_target(&proxy, &mut |r| truth[r], &cfg);
+        assert!(res.returned.is_empty(), "nothing is certifiable: {}", res.returned.len());
+    }
+
+    #[test]
+    fn precision_variant_respects_budget_and_determinism() {
+        let (truth, proxy) = population(8_000, 0.1, 0.8, 25);
+        let cfg = SupgPrecisionConfig { budget: 200, seed: 7, ..Default::default() };
+        let mut calls = 0u64;
+        let a = supg_precision_target(
+            &proxy,
+            &mut |r| {
+                calls += 1;
+                truth[r]
+            },
+            &cfg,
+        );
+        assert!(calls <= 200);
+        let b = supg_precision_target(&proxy, &mut |r| truth[r], &cfg);
+        assert_eq!(a.returned, b.returned);
+    }
+
+    #[test]
+    fn constant_proxy_still_meets_recall() {
+        let (truth, _) = population(5_000, 0.1, 0.9, 15);
+        let proxy = vec![0.5; 5_000];
+        let cfg = SupgConfig { budget: 500, seed: 17, ..Default::default() };
+        let res = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
+        assert!(recall_of(&res.returned, &truth) >= 0.9);
+    }
+}

@@ -1,0 +1,88 @@
+//! Index persistence across sessions, and predicate-aggregation queries.
+//!
+//! Session 1 builds an index over a video and saves it to disk. Session 2
+//! loads it back — paying zero target-labeler invocations — and answers a
+//! *predicate aggregation* query ("average cars per frame, among frames
+//! containing a bus"), the query type the paper's §2.2 notes follow-up work
+//! built on TASTI.
+//!
+//! ```sh
+//! cargo run --release --example persistence_and_predicates
+//! ```
+
+use tasti::index::persist;
+use tasti::prelude::*;
+use tasti::query::{predicate_aggregate, PredicateAggConfig};
+
+fn main() {
+    let video = tasti::data::video::taipei(8_000, 55);
+    let dataset = &video.dataset;
+    let path = std::env::temp_dir().join("tasti_taipei_index.json");
+
+    // ── Session 1: build and save.
+    {
+        let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+        let config =
+            TastiConfig { n_train: 300, n_reps: 800, embedding_dim: 32, ..TastiConfig::default() };
+        let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 2);
+        let pretrained = pt.embed_all(&dataset.features);
+        let (index, report) = build_index(
+            &dataset.features,
+            &pretrained,
+            &labeler,
+            &VideoCloseness::default(),
+            &config,
+        )
+        .expect("construction within budget");
+        persist::save(&index, &path).expect("save index");
+        println!(
+            "session 1: built ({} labeler calls) and saved to {}",
+            report.total_invocations,
+            path.display()
+        );
+    }
+
+    // ── Session 2: load and query. No labeler calls to restore the index.
+    let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+    let index = persist::load(&path).expect("load index");
+    println!(
+        "session 2: loaded index with {} reps, cover radius {:.3}",
+        index.reps().len(),
+        index.cover_radius()
+    );
+
+    // Predicate aggregation: "average cars per frame, among frames with a
+    // bus". The bus-presence proxy drives importance sampling; one labeler
+    // call per sampled frame answers both the predicate and the value.
+    let bus_proxy = index.propagate(&HasClass(ObjectClass::Bus));
+    let result = predicate_aggregate(
+        &bus_proxy,
+        &mut |r| {
+            let out = labeler.label(r);
+            if out.count_class(ObjectClass::Bus) > 0 {
+                Some(out.count_class(ObjectClass::Car) as f64)
+            } else {
+                None
+            }
+        },
+        &PredicateAggConfig { budget: 600, ..Default::default() },
+    );
+    println!(
+        "avg cars/frame among bus frames ≈ {:.3} ± {:.3} ({} labeler calls, {} bus frames sampled)",
+        result.estimate, result.ci_half_width, result.oracle_calls, result.matches_sampled
+    );
+
+    // Ground truth for comparison (evaluation only).
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..dataset.len() {
+        let out = dataset.ground_truth(i);
+        if out.count_class(ObjectClass::Bus) > 0 {
+            sum += out.count_class(ObjectClass::Car) as f64;
+            count += 1;
+        }
+    }
+    println!("ground truth: {:.3} over {count} bus frames", sum / count.max(1) as f64);
+
+    std::fs::remove_file(&path).ok();
+}

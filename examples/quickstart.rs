@@ -1,0 +1,88 @@
+//! Quickstart: build one TASTI index over a video and answer all three
+//! query types from it — no per-query model training.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tasti::prelude::*;
+
+fn main() {
+    // ── A "video": 8,000 synthetic traffic-camera frames whose ground
+    // truth is hidden behind an expensive, metered target labeler
+    // (Mask R-CNN priced at 3 fps).
+    let video = tasti::data::video::night_street(8_000, 42);
+    let dataset = &video.dataset;
+    let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+    println!("dataset: {dataset:?}");
+
+    // ── Build the index (Algorithm 1): mine diverse training frames with
+    // FPF, fine-tune an embedding with the triplet loss, select cluster
+    // representatives, annotate them once.
+    let config = TastiConfig { n_train: 300, n_reps: 800, embedding_dim: 32, ..TastiConfig::default() };
+    let mut pretrained = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 7);
+    let embeddings = pretrained.embed_all(&dataset.features);
+    let (index, report) =
+        build_index(&dataset.features, &embeddings, &labeler, &VideoCloseness::default(), &config)
+            .expect("construction within budget");
+    println!(
+        "index built: {} reps, {} labeler invocations, {:.2}s wall clock",
+        index.reps().len(),
+        report.total_invocations,
+        report.total_seconds()
+    );
+
+    // ── Query 1: "average number of cars per frame" with a ±0.05 error
+    // guarantee at 95% confidence (BlazeIt-style EBS with the TASTI proxy
+    // scores as a control variate).
+    let proxy = index.propagate(&CountClass(ObjectClass::Car));
+    let agg_config = AggregationConfig {
+        error_target: 0.05,
+        stopping: StoppingRule::Clt,
+        ..Default::default()
+    };
+    let agg = ebs_aggregate(&proxy, &mut |r| labeler.label(r).count_class(ObjectClass::Car) as f64, &agg_config);
+    println!(
+        "\n[aggregation] avg cars/frame ≈ {:.3} after {} labeler calls (ρ² = {:.3})",
+        agg.estimate, agg.samples, agg.rho_squared
+    );
+
+    // ── Query 2: "return ≥90% of frames with ≥2 cars, 95% confidence,
+    // within a 400-call budget" (SUPG recall-target selection).
+    let sel_proxy = index.propagate(&HasAtLeast(ObjectClass::Car, 2));
+    let supg_config = SupgConfig { budget: 400, ..Default::default() };
+    let supg = supg_recall_target(
+        &sel_proxy,
+        &mut |r| labeler.label(r).count_class(ObjectClass::Car) >= 2,
+        &supg_config,
+    );
+    println!(
+        "[selection]  returned {} frames at threshold {:.3} using {} labeler calls",
+        supg.returned.len(),
+        supg.threshold,
+        supg.oracle_calls
+    );
+
+    // ── Query 3: "find 5 frames with at least 5 cars" (limit query, k = 1
+    // ranking with distance tie-breaks).
+    let ranking = index.limit_ranking(&CountClass(ObjectClass::Car));
+    let limit = limit_query(
+        &ranking,
+        &mut |r| labeler.label(r).count_class(ObjectClass::Car) >= 5,
+        5,
+        dataset.len(),
+    );
+    println!(
+        "[limit]      found {:?} after scanning {} frames",
+        limit.found, limit.invocations
+    );
+
+    // ── The meter shows the total oracle spend across everything above.
+    let cost = labeler.total_cost();
+    println!(
+        "\ntotal target-labeler invocations: {} (simulated {:.0}s of Mask R-CNN time; exhaustive would be {:.0}s)",
+        labeler.invocations(),
+        cost.seconds,
+        CostModel::mask_rcnn().target.times(dataset.len() as u64).seconds
+    );
+}

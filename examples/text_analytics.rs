@@ -1,0 +1,91 @@
+//! Text analytics with a *human* target labeler and a dollar budget.
+//!
+//! The WikiSQL scenario of §6.1: natural-language questions whose SQL
+//! parse must be crowd-annotated (~$0.07/label). The index is built under a
+//! hard annotation budget; queries then run against it and the example
+//! prints what the same answers would have cost with exhaustive annotation.
+//!
+//! ```sh
+//! cargo run --release --example text_analytics
+//! ```
+
+use tasti::prelude::*;
+use tasti_labeler::{Schema, SqlOp};
+
+fn main() {
+    let text = tasti::data::text::wikisql(6_000, 11);
+    let dataset = &text.dataset;
+
+    // A human labeler with a hard budget of 2,500 annotations (~$175):
+    // enough for the index plus the session's queries, a fraction of the
+    // $420 exhaustive annotation would cost.
+    let labeler = MeteredLabeler::with_budget(
+        OracleLabeler::human(dataset.truth_handle(), Schema::wikisql()),
+        2_500,
+    );
+
+    let config = TastiConfig { n_train: 500, n_reps: 500, embedding_dim: 32, ..TastiConfig::default() };
+    let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 3);
+    let pretrained = pt.embed_all(&dataset.features);
+    let (index, report) =
+        match build_index(&dataset.features, &pretrained, &labeler, &SqlCloseness, &config) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("annotation budget too small for this configuration: {e}");
+                return;
+            }
+        };
+    let index_cost = labeler.total_cost();
+    println!(
+        "index: {} reps, {} annotations, ${:.2} of crowd work",
+        index.reps().len(),
+        report.total_invocations,
+        index_cost.dollars
+    );
+
+    // ── "What is the average number of WHERE predicates per question?"
+    let proxy = index.propagate(&SqlNumPredicates);
+    let res = ebs_aggregate(
+        &proxy,
+        &mut |r| SqlNumPredicates.score(&labeler.label(r)),
+        &AggregationConfig { error_target: 0.05, stopping: StoppingRule::Clt, ..Default::default() },
+    );
+    println!(
+        "\navg predicates/question ≈ {:.3} ({} extra annotations, ρ²={:.2})",
+        res.estimate, res.samples, res.rho_squared
+    );
+
+    // ── "Return ≥90% of the plain-SELECT questions" (SUPG).
+    let proxy = index.propagate(&SqlOpIs(SqlOp::Select));
+    let supg = supg_recall_target(
+        &proxy,
+        &mut |r| SqlOpIs(SqlOp::Select).score(&labeler.label(r)) >= 0.5,
+        &SupgConfig { budget: 300, ..Default::default() },
+    );
+    println!(
+        "SELECT questions: {} returned at threshold {:.3} ({} annotations)",
+        supg.returned.len(),
+        supg.threshold,
+        supg.oracle_calls
+    );
+
+    // ── "Show me 5 four-predicate questions" (limit).
+    let ranking = index.limit_ranking(&SqlNumPredicates);
+    let limit = limit_query(
+        &ranking,
+        &mut |r| SqlNumPredicates.score(&labeler.label(r)) >= 4.0,
+        5,
+        dataset.len(),
+    );
+    println!("four-predicate questions {:?} after {} annotations", limit.found, limit.invocations);
+
+    let total = labeler.total_cost();
+    let exhaustive = CostModel::human().target.times(dataset.len() as u64);
+    println!(
+        "\ntotal crowd spend: ${:.2} (index ${:.2} + queries ${:.2}); exhaustive annotation: ${:.2}",
+        total.dollars,
+        index_cost.dollars,
+        total.dollars - index_cost.dollars,
+        exhaustive.dollars
+    );
+}

@@ -1,0 +1,104 @@
+//! Video-analytics session: many queries over one index, with cracking.
+//!
+//! Mirrors the workload the paper's introduction motivates — an analyst
+//! iteratively querying a traffic camera: counting cars, counting buses
+//! (same index, different class), selecting busy frames, hunting rare
+//! events, and asking a position query no per-query proxy system supports.
+//! Between queries the index is *cracked*: every target-labeler output a
+//! query paid for becomes a new cluster representative, so later queries
+//! get better proxy scores for free (§3.3).
+//!
+//! ```sh
+//! cargo run --release --example video_analytics
+//! ```
+
+use tasti::prelude::*;
+
+fn main() {
+    let video = tasti::data::video::taipei(10_000, 99);
+    let dataset = &video.dataset;
+    let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+
+    // One index for the whole session: the taipei dataset carries two
+    // object classes (cars common, buses rare) and the paper uses a single
+    // set of embeddings for both (§6.3).
+    let config = TastiConfig { n_train: 400, n_reps: 1000, embedding_dim: 32, ..TastiConfig::default() };
+    let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 5);
+    let pretrained = pt.embed_all(&dataset.features);
+    let (mut index, report) =
+        build_index(&dataset.features, &pretrained, &labeler, &VideoCloseness::default(), &config)
+            .expect("construction within budget");
+    println!(
+        "index: {} reps from {} labeler calls\n",
+        index.reps().len(),
+        report.total_invocations
+    );
+
+    let agg_cfg = AggregationConfig {
+        error_target: 0.05,
+        stopping: StoppingRule::Clt,
+        ..Default::default()
+    };
+
+    // ── Query 1: average cars per frame.
+    let proxy = index.propagate(&CountClass(ObjectClass::Car));
+    let res = ebs_aggregate(
+        &proxy,
+        &mut |r| labeler.label(r).count_class(ObjectClass::Car) as f64,
+        &agg_cfg,
+    );
+    println!("[1] avg cars/frame  ≈ {:.3}  ({} calls, ρ²={:.2})", res.estimate, res.samples, res.rho_squared);
+
+    // Crack: the frames query 1 labeled become representatives.
+    let added = crack_from_labeler(&mut index, &labeler);
+    println!("    cracked {added} new representatives into the index");
+
+    // ── Query 2: average buses per frame — same index, different class,
+    // and it benefits from query 1's cracked representatives.
+    let proxy = index.propagate(&CountClass(ObjectClass::Bus));
+    let res = ebs_aggregate(
+        &proxy,
+        &mut |r| labeler.label(r).count_class(ObjectClass::Bus) as f64,
+        &agg_cfg,
+    );
+    println!("[2] avg buses/frame ≈ {:.3}  ({} calls, ρ²={:.2})", res.estimate, res.samples, res.rho_squared);
+    crack_from_labeler(&mut index, &labeler);
+
+    // ── Query 3: SUPG — return ≥90% of frames containing a bus.
+    let proxy = index.propagate(&HasClass(ObjectClass::Bus));
+    let supg = supg_recall_target(
+        &proxy,
+        &mut |r| labeler.label(r).count_class(ObjectClass::Bus) > 0,
+        &SupgConfig { budget: 400, ..Default::default() },
+    );
+    println!("[3] bus frames: returned {} candidates ({} calls)", supg.returned.len(), supg.oracle_calls);
+    crack_from_labeler(&mut index, &labeler);
+
+    // ── Query 4: limit — find 5 frames with ≥6 cars (rare bursts).
+    let ranking = index.limit_ranking(&CountClass(ObjectClass::Car));
+    let limit = limit_query(
+        &ranking,
+        &mut |r| labeler.label(r).count_class(ObjectClass::Car) >= 6,
+        5,
+        dataset.len(),
+    );
+    println!("[4] burst frames {:?} after {} scans", limit.found, limit.invocations);
+    crack_from_labeler(&mut index, &labeler);
+
+    // ── Query 5: average x-position of cars — a regression query that
+    // defeats per-query proxy training (Figure 8) but is just another
+    // scoring function for TASTI.
+    let proxy = index.propagate(&MeanXPosition(ObjectClass::Car));
+    let res = ebs_aggregate(
+        &proxy,
+        &mut |r| MeanXPosition(ObjectClass::Car).score(&labeler.label(r)),
+        &AggregationConfig { error_target: 0.01, stopping: StoppingRule::Clt, ..Default::default() },
+    );
+    println!("[5] avg car x-pos   ≈ {:.3}  ({} calls)", res.estimate, res.samples);
+
+    println!(
+        "\nsession total: {} labeler invocations across 5 queries + index ({}% of exhaustive)",
+        labeler.invocations(),
+        100 * labeler.invocations() as usize / dataset.len()
+    );
+}

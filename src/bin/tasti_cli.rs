@@ -1,0 +1,482 @@
+//! `tasti` command-line interface.
+//!
+//! Builds, inspects, and queries TASTI indexes over the built-in synthetic
+//! datasets from the shell. Datasets are regenerated deterministically from
+//! `(name, n, seed)`, so pass the same dataset flags to `build` and `query`.
+//!
+//! ```sh
+//! tasti_cli build --dataset night-street --n 12000 --seed 42 --out /tmp/ns.json
+//! tasti_cli info  --index /tmp/ns.json
+//! tasti_cli query agg   --index /tmp/ns.json --dataset night-street --n 12000 --seed 42 --class car --error 0.05
+//! tasti_cli query supg  --index /tmp/ns.json --dataset night-street --n 12000 --seed 42 --class car --min-count 2 --budget 500
+//! tasti_cli query limit --index /tmp/ns.json --dataset night-street --n 12000 --seed 42 --class car --min-count 6 --matches 10
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use tasti::index::persist;
+use tasti::prelude::*;
+use tasti::query::{StoppingRule, SupgConfig};
+use tasti_labeler::Schema;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    /// Build an index and save it.
+    Build(BuildArgs),
+    /// Print index metadata.
+    Info { index: String },
+    /// Run a query against a saved index.
+    Query(QueryArgs),
+    /// Print usage.
+    Help,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct BuildArgs {
+    dataset: String,
+    n: usize,
+    seed: u64,
+    n_train: usize,
+    n_reps: usize,
+    dim: usize,
+    out: String,
+    pretrained_only: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct QueryArgs {
+    kind: String, // agg | supg | limit
+    index: String,
+    dataset: String,
+    n: usize,
+    seed: u64,
+    class: String,
+    min_count: usize,
+    error: f64,
+    budget: usize,
+    matches: usize,
+}
+
+const USAGE: &str = "tasti — trainable semantic indexes (SIGMOD 2022 reproduction)
+
+USAGE:
+  tasti_cli build --dataset <name> --n <records> [--seed S] [--train N1] [--reps N2]
+                  [--dim D] [--pretrained-only] --out <index.json>
+  tasti_cli info  --index <index.json>
+  tasti_cli query <agg|supg|limit> --index <index.json>
+                  --dataset <name> --n <records> [--seed S]
+                  [--class car|bus] [--min-count K] [--error E]
+                  [--budget B] [--matches M]
+
+DATASETS: night-street, taipei, amsterdam, wikisql, common-voice
+QUERIES over video use --class/--min-count; wikisql aggregates predicate
+counts and selects SELECT-questions; common-voice aggregates/selects male
+speakers.";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "pretrained-only" {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value =
+                    args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        } else {
+            return Err(format!("unexpected argument '{a}'"));
+        }
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: Option<T>,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        None => default.ok_or_else(|| format!("missing required flag --{key}")),
+    }
+}
+
+fn parse(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("build") => {
+            let flags = parse_flags(&args[1..])?;
+            Ok(Command::Build(BuildArgs {
+                dataset: get(&flags, "dataset", None)?,
+                n: get(&flags, "n", None)?,
+                seed: get(&flags, "seed", Some(42))?,
+                n_train: get(&flags, "train", Some(400))?,
+                n_reps: get(&flags, "reps", Some(1200))?,
+                dim: get(&flags, "dim", Some(32))?,
+                out: get(&flags, "out", None)?,
+                pretrained_only: flags.contains_key("pretrained-only"),
+            }))
+        }
+        Some("info") => {
+            let flags = parse_flags(&args[1..])?;
+            Ok(Command::Info { index: get(&flags, "index", None)? })
+        }
+        Some("query") => {
+            let kind = args.get(1).cloned().ok_or("query needs a kind: agg|supg|limit")?;
+            if !["agg", "supg", "limit"].contains(&kind.as_str()) {
+                return Err(format!("unknown query kind '{kind}' (agg|supg|limit)"));
+            }
+            let flags = parse_flags(&args[2..])?;
+            Ok(Command::Query(QueryArgs {
+                kind,
+                index: get(&flags, "index", None)?,
+                dataset: get(&flags, "dataset", None)?,
+                n: get(&flags, "n", None)?,
+                seed: get(&flags, "seed", Some(42))?,
+                class: get(&flags, "class", Some("car".to_string()))?,
+                min_count: get(&flags, "min-count", Some(1))?,
+                error: get(&flags, "error", Some(0.05))?,
+                budget: get(&flags, "budget", Some(500))?,
+                matches: get(&flags, "matches", Some(10))?,
+            }))
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Regenerates a named dataset and its oracle labeler.
+fn load_dataset(name: &str, n: usize, seed: u64) -> Result<tasti::data::Dataset, String> {
+    Ok(match name {
+        "night-street" => tasti::data::video::night_street(n, seed).dataset,
+        "taipei" => tasti::data::video::taipei(n, seed).dataset,
+        "amsterdam" => tasti::data::video::amsterdam(n, seed).dataset,
+        "wikisql" => tasti::data::text::wikisql(n, seed).dataset,
+        "common-voice" => tasti::data::speech::common_voice(n, seed),
+        other => return Err(format!("unknown dataset '{other}'")),
+    })
+}
+
+fn object_class(name: &str) -> Result<ObjectClass, String> {
+    match name {
+        "car" => Ok(ObjectClass::Car),
+        "bus" => Ok(ObjectClass::Bus),
+        other => Err(format!("unknown class '{other}' (car|bus)")),
+    }
+}
+
+/// The scoring function a CLI query uses, by dataset and query kind.
+///
+/// Aggregation and limit queries score raw counts (limit compares against
+/// `--min-count`); SUPG needs a 0/1 predicate, so `--min-count` folds into
+/// the scoring function there.
+fn scoring_for(
+    dataset: &str,
+    class: &str,
+    kind: &str,
+    min_count: usize,
+) -> Result<Box<dyn ScoringFunction>, String> {
+    Ok(match dataset {
+        "night-street" | "taipei" | "amsterdam" => {
+            let c = object_class(class)?;
+            if kind == "supg" {
+                Box::new(HasAtLeast(c, min_count.max(1)))
+            } else {
+                Box::new(CountClass(c))
+            }
+        }
+        "wikisql" => {
+            if kind == "supg" {
+                Box::new(SqlOpIs(tasti_labeler::SqlOp::Select))
+            } else {
+                Box::new(SqlNumPredicates)
+            }
+        }
+        "common-voice" => Box::new(SpeechIsMale),
+        other => return Err(format!("unknown dataset '{other}'")),
+    })
+}
+
+/// The match threshold a limit query compares scores against.
+fn limit_threshold_for(dataset: &str, min_count: usize) -> f64 {
+    match dataset {
+        "common-voice" => 1.0,
+        _ => min_count.max(1) as f64,
+    }
+}
+
+fn run_build(a: &BuildArgs) -> Result<(), String> {
+    let dataset = load_dataset(&a.dataset, a.n, a.seed)?;
+    let labeler = MeteredLabeler::new(OracleLabeler::new(
+        dataset.truth_handle(),
+        CostModel::mask_rcnn().target,
+        Schema::object_detection(),
+        "oracle",
+    ));
+    let mut config = TastiConfig {
+        n_train: a.n_train,
+        n_reps: a.n_reps,
+        embedding_dim: a.dim,
+        seed: a.seed,
+        ..TastiConfig::default()
+    };
+    if a.pretrained_only {
+        config = config.pretrained_only();
+    }
+    let closeness: Box<dyn ClosenessFn> = match a.dataset.as_str() {
+        "wikisql" => Box::new(SqlCloseness),
+        "common-voice" => Box::new(SpeechCloseness),
+        _ => Box::new(VideoCloseness::default()),
+    };
+    let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, a.seed ^ 0x50);
+    let pretrained = pt.embed_all(&dataset.features);
+    let (index, report) =
+        build_index(&dataset.features, &pretrained, &labeler, closeness.as_ref(), &config)
+            .map_err(|e| e.to_string())?;
+    persist::save(&index, &a.out).map_err(|e| e.to_string())?;
+    println!(
+        "built {}: {} records, {} reps, {} labeler calls, {:.2}s; saved to {}",
+        a.dataset,
+        index.n_records(),
+        index.reps().len(),
+        report.total_invocations,
+        report.total_seconds(),
+        a.out
+    );
+    Ok(())
+}
+
+fn run_info(path: &str) -> Result<(), String> {
+    let index = persist::load(path).map_err(|e| e.to_string())?;
+    println!("index: {path}");
+    println!("  records:        {}", index.n_records());
+    println!("  representatives: {}", index.reps().len());
+    println!("  embedding dim:  {}", index.embedding_dim());
+    println!("  propagation k:  {}", index.k());
+    println!("  metric:         {:?}", index.metric());
+    println!("  cover radius:   {:.4}", index.cover_radius());
+    println!("  trained model:  {}", if index.model().is_some() { "yes" } else { "no (TASTI-PT)" });
+    Ok(())
+}
+
+fn run_query(a: &QueryArgs) -> Result<(), String> {
+    let dataset = load_dataset(&a.dataset, a.n, a.seed)?;
+    let index = persist::load(&a.index).map_err(|e| e.to_string())?;
+    if index.n_records() != dataset.len() {
+        return Err(format!(
+            "index covers {} records but dataset has {} — pass the same --dataset/--n/--seed used at build time",
+            index.n_records(),
+            dataset.len()
+        ));
+    }
+    let labeler = MeteredLabeler::new(OracleLabeler::new(
+        dataset.truth_handle(),
+        CostModel::mask_rcnn().target,
+        Schema::object_detection(),
+        "oracle",
+    ));
+    let score = scoring_for(&a.dataset, &a.class, &a.kind, a.min_count)?;
+    match a.kind.as_str() {
+        "agg" => {
+            let proxy = index.propagate(score.as_ref());
+            let cfg = AggregationConfig {
+                error_target: a.error,
+                stopping: StoppingRule::Clt,
+                seed: a.seed,
+                ..Default::default()
+            };
+            let res = ebs_aggregate(&proxy, &mut |r| score.score(&labeler.label(r)), &cfg);
+            println!(
+                "estimate: {:.4} ± {:.4} ({} labeler calls, ρ² on sample {:.3})",
+                res.estimate, res.ci_half_width, res.samples, res.rho_squared
+            );
+        }
+        "supg" => {
+            let proxy = index.propagate(score.as_ref());
+            let cfg = SupgConfig { budget: a.budget, seed: a.seed, ..Default::default() };
+            let res = supg_recall_target(
+                &proxy,
+                &mut |r| score.score(&labeler.label(r)) >= 0.5,
+                &cfg,
+            );
+            println!(
+                "returned {} records at threshold {:.4} ({} labeler calls, est. recall {:.3})",
+                res.returned.len(),
+                res.threshold,
+                res.oracle_calls,
+                res.estimated_recall
+            );
+        }
+        "limit" => {
+            let ranking = index.limit_ranking(score.as_ref());
+            let threshold = limit_threshold_for(&a.dataset, a.min_count);
+            let res = limit_query(
+                &ranking,
+                &mut |r| score.score(&labeler.label(r)) >= threshold,
+                a.matches,
+                dataset.len(),
+            );
+            println!(
+                "found {:?} after {} labeler calls (satisfied: {})",
+                res.found, res.invocations, res.satisfied
+            );
+        }
+        _ => unreachable!("validated in parse"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Build(a) => run_build(a),
+        Command::Info { index } => run_info(index),
+        Command::Query(a) => run_query(a),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_build_with_defaults() {
+        let cmd = parse(&s(&["build", "--dataset", "night-street", "--n", "1000", "--out", "x.json"]))
+            .unwrap();
+        match cmd {
+            Command::Build(a) => {
+                assert_eq!(a.dataset, "night-street");
+                assert_eq!(a.n, 1000);
+                assert_eq!(a.seed, 42);
+                assert_eq!(a.n_train, 400);
+                assert_eq!(a.n_reps, 1200);
+                assert!(!a.pretrained_only);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_pretrained_only_flag() {
+        let cmd = parse(&s(&[
+            "build", "--dataset", "taipei", "--n", "500", "--out", "x.json", "--pretrained-only",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Build(a) => assert!(a.pretrained_only),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_kinds() {
+        for kind in ["agg", "supg", "limit"] {
+            let cmd = parse(&s(&[
+                "query", kind, "--index", "x.json", "--dataset", "amsterdam", "--n", "100",
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Query(a) => assert_eq!(a.kind, kind),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_kind() {
+        assert!(parse(&s(&["frobnicate"])).is_err());
+        assert!(parse(&s(&["query", "nope", "--index", "x"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        let err = parse(&s(&["build", "--n", "100", "--out", "x.json"])).unwrap_err();
+        assert!(err.contains("--dataset"), "{err}");
+        let err = parse(&s(&["info"])).unwrap_err();
+        assert!(err.contains("--index"), "{err}");
+    }
+
+    #[test]
+    fn invalid_values_error() {
+        let err =
+            parse(&s(&["build", "--dataset", "x", "--n", "abc", "--out", "y"])).unwrap_err();
+        assert!(err.contains("invalid value for --n"), "{err}");
+    }
+
+    #[test]
+    fn flag_without_value_errors() {
+        let err = parse(&s(&["info", "--index"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse(&s(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&s(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&s(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn scoring_dispatch() {
+        assert!(scoring_for("night-street", "car", "agg", 1).is_ok());
+        assert!(scoring_for("night-street", "tank", "agg", 1).is_err());
+        assert!(scoring_for("wikisql", "car", "supg", 1).is_ok());
+        assert!(scoring_for("unknown", "car", "agg", 1).is_err());
+    }
+
+    #[test]
+    fn supg_scoring_is_a_predicate_but_agg_is_a_count() {
+        use tasti_labeler::{Detection, LabelerOutput};
+        let frame = LabelerOutput::Detections(vec![
+            Detection { class: ObjectClass::Car, x: 0.2, y: 0.5, w: 0.1, h: 0.1 },
+            Detection { class: ObjectClass::Car, x: 0.7, y: 0.5, w: 0.1, h: 0.1 },
+        ]);
+        let agg = scoring_for("night-street", "car", "agg", 2).unwrap();
+        assert_eq!(agg.score(&frame), 2.0);
+        let supg = scoring_for("night-street", "car", "supg", 2).unwrap();
+        assert_eq!(supg.score(&frame), 1.0);
+        let supg3 = scoring_for("night-street", "car", "supg", 3).unwrap();
+        assert_eq!(supg3.score(&frame), 0.0);
+    }
+
+    #[test]
+    fn limit_thresholds() {
+        assert_eq!(limit_threshold_for("night-street", 4), 4.0);
+        assert_eq!(limit_threshold_for("night-street", 0), 1.0);
+        assert_eq!(limit_threshold_for("common-voice", 7), 1.0);
+    }
+
+    #[test]
+    fn dataset_dispatch() {
+        assert!(load_dataset("amsterdam", 50, 1).is_ok());
+        assert!(load_dataset("wikisql", 50, 1).is_ok());
+        assert!(load_dataset("bogus", 50, 1).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! # TASTI — Trainable Semantic Indexes for ML-based Queries over Unstructured Data
+//!
+//! A from-scratch Rust reproduction of *"Semantic Indexes for Machine
+//! Learning-based Queries over Unstructured Data"* (Kang, Guibas, Bailis,
+//! Hashimoto, Zaharia — SIGMOD 2022, arXiv:2009.04540).
+//!
+//! TASTI replaces the per-query proxy models of BlazeIt / NoScope / SUPG /
+//! probabilistic predicates with **one semantic index per dataset**: an
+//! embedding trained with a triplet loss over the target labeler's induced
+//! schema, a set of furthest-point-first cluster representatives annotated
+//! once by the expensive labeler, and a min-k distance table. Any query's
+//! proxy scores are derived by propagating exact representative scores —
+//! no per-query training.
+//!
+//! ## Crate map
+//!
+//! | facade module | crate | contents |
+//! |---|---|---|
+//! | [`index`] | `tasti-core` | the index: Algorithm 1, propagation, scoring API, cracking |
+//! | [`query`] | `tasti-query` | EBS aggregation, SUPG selection, limit ranking |
+//! | [`labeler`] | `tasti-labeler` | target labelers, schemas, closeness functions, cost model |
+//! | [`cluster`] | `tasti-cluster` | FPF, distance kernels, min-k tables |
+//! | [`nn`] | `tasti-nn` | MLPs, triplet loss, optimizers, metrics |
+//! | [`data`] | `tasti-data` | the five synthetic evaluation datasets |
+//! | [`baselines`] | `tasti-baselines` | per-query proxies, TMAS, no-proxy, exhaustive |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tasti::prelude::*;
+//!
+//! // 1. A dataset and its expensive target labeler.
+//! let video = tasti::data::video::night_street(2_000, 7);
+//! let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(video.dataset.truth_handle()));
+//!
+//! // 2. Build the index once (Algorithm 1).
+//! let config = TastiConfig {
+//!     n_train: 80,
+//!     n_reps: 150,
+//!     embedding_dim: 16,
+//!     ..TastiConfig::default()
+//! };
+//! let mut pretrained =
+//!     PretrainedEmbedder::new(video.dataset.feature_dim(), config.embedding_dim, 1);
+//! let embeddings = pretrained.embed_all(&video.dataset.features);
+//! let (index, report) = build_index(
+//!     &video.dataset.features,
+//!     &embeddings,
+//!     &labeler,
+//!     &VideoCloseness::default(),
+//!     &config,
+//! ).unwrap();
+//! assert!(report.total_invocations <= 230);
+//!
+//! // 3. Proxy scores for any query over the induced schema — no retraining.
+//! let cars_per_frame = index.propagate(&CountClass(ObjectClass::Car));
+//! assert_eq!(cars_per_frame.len(), 2_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tasti_baselines as baselines;
+pub use tasti_cluster as cluster;
+pub use tasti_core as index;
+pub use tasti_data as data;
+pub use tasti_labeler as labeler;
+pub use tasti_nn as nn;
+pub use tasti_query as query;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use tasti_cluster::{Metric, SelectionStrategy};
+    pub use tasti_core::{
+        build_index, crack::crack_from_labeler, CountClass, FnScore, HasAtLeast, HasClass,
+        MeanXPosition, ScoringFunction, SpeechIsMale, SqlNumPredicates, SqlOpIs, TastiConfig,
+        TastiIndex,
+    };
+    pub use tasti_data::{OracleLabeler, PretrainedEmbedder};
+    pub use tasti_labeler::{
+        ClosenessFn, CostModel, LabelerOutput, MeteredLabeler, ObjectClass, SpeechCloseness,
+        SqlCloseness, TargetLabeler, VideoCloseness,
+    };
+    pub use tasti_query::{
+        ebs_aggregate, limit_query, supg_recall_target, AggregationConfig, StoppingRule,
+        SupgConfig,
+    };
+}
