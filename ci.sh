@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, and the tier-1 test suite.
+# Run from the repo root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI OK"

@@ -14,7 +14,9 @@ pub fn exhaustive_scores<L: TargetLabeler>(
     labeler: &MeteredLabeler<L>,
     score: impl Fn(&tasti_labeler::LabelerOutput) -> f64,
 ) -> Result<Vec<f64>, BudgetExhausted> {
-    (0..n_records).map(|r| labeler.try_label(r).map(|o| score(&o))).collect()
+    (0..n_records)
+        .map(|r| labeler.try_label(r).map(|o| score(&o)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -33,7 +35,10 @@ mod tests {
         assert_eq!(scores.len(), 250);
         assert_eq!(labeler.invocations(), 250);
         for (i, s) in scores.iter().enumerate() {
-            assert_eq!(*s, p.dataset.ground_truth(i).count_class(ObjectClass::Car) as f64);
+            assert_eq!(
+                *s,
+                p.dataset.ground_truth(i).count_class(ObjectClass::Car) as f64
+            );
         }
         // Re-running costs nothing (cache).
         let _ = exhaustive_scores(250, &labeler, |o| o.count_class(ObjectClass::Car) as f64);

@@ -28,7 +28,10 @@ mod tests {
         // With constant proxies the control coefficient must be ~0.
         let truth: Vec<f64> = (0..5000).map(|i| ((i * 31) % 7) as f64).collect();
         let proxy = no_proxy_scores(5000);
-        let cfg = AggregationConfig { error_target: 0.3, ..Default::default() };
+        let cfg = AggregationConfig {
+            error_target: 0.3,
+            ..Default::default()
+        };
         let res = ebs_aggregate(&proxy, &mut |r| truth[r], &cfg);
         assert_eq!(res.control_coefficient, 0.0);
         assert_eq!(res.rho_squared, 0.0);

@@ -60,12 +60,19 @@ impl Default for ProxyModelConfig {
 impl ProxyModelConfig {
     /// Classification preset.
     pub fn classifier() -> Self {
-        Self { task: ProxyTask::Classification, ..Self::default() }
+        Self {
+            task: ProxyTask::Classification,
+            ..Self::default()
+        }
     }
 
     /// Linear (logistic-regression) preset for the WikiSQL baseline.
     pub fn linear_classifier() -> Self {
-        Self { hidden: 0, task: ProxyTask::Classification, ..Self::default() }
+        Self {
+            hidden: 0,
+            task: ProxyTask::Classification,
+            ..Self::default()
+        }
     }
 }
 
@@ -149,15 +156,18 @@ mod tests {
         let annotated: Vec<(usize, f64)> = tmas
             .iter()
             .map(|&r| {
-                (r, (d.ground_truth(r).count_class(ObjectClass::Car) > 0) as u8 as f64)
+                (
+                    r,
+                    (d.ground_truth(r).count_class(ObjectClass::Car) > 0) as u8 as f64,
+                )
             })
             .collect();
-        let proxy =
-            train_per_query_proxy(&d.features, &annotated, &ProxyModelConfig::classifier());
+        let proxy = train_per_query_proxy(&d.features, &annotated, &ProxyModelConfig::classifier());
         // Scores are probabilities.
         assert!(proxy.iter().all(|&s| (0.0..=1.0).contains(&s)));
-        let truth: Vec<bool> =
-            (0..d.len()).map(|i| d.ground_truth(i).count_class(ObjectClass::Car) > 0).collect();
+        let truth: Vec<bool> = (0..d.len())
+            .map(|i| d.ground_truth(i).count_class(ObjectClass::Car) > 0)
+            .collect();
         let auc = auc_roc(&proxy, &truth);
         assert!(auc > 0.7, "per-query classifier AUC = {auc}");
     }
@@ -165,10 +175,14 @@ mod tests {
     #[test]
     fn linear_model_trains_without_hidden_layer() {
         let features = Matrix::from_fn(200, 4, |r, c| ((r * 4 + c) as f32 * 0.1).sin());
-        let annotated: Vec<(usize, f64)> =
-            (0..100).map(|r| (r, (features.get(r, 0) > 0.0) as u8 as f64)).collect();
-        let proxy =
-            train_per_query_proxy(&features, &annotated, &ProxyModelConfig::linear_classifier());
+        let annotated: Vec<(usize, f64)> = (0..100)
+            .map(|r| (r, (features.get(r, 0) > 0.0) as u8 as f64))
+            .collect();
+        let proxy = train_per_query_proxy(
+            &features,
+            &annotated,
+            &ProxyModelConfig::linear_classifier(),
+        );
         assert_eq!(proxy.len(), 200);
     }
 
@@ -176,7 +190,10 @@ mod tests {
     fn deterministic_given_seed() {
         let features = Matrix::from_fn(100, 3, |r, c| (r + c) as f32 * 0.01);
         let annotated: Vec<(usize, f64)> = (0..50).map(|r| (r, (r % 3) as f64)).collect();
-        let cfg = ProxyModelConfig { epochs: 5, ..Default::default() };
+        let cfg = ProxyModelConfig {
+            epochs: 5,
+            ..Default::default()
+        };
         let a = train_per_query_proxy(&features, &annotated, &cfg);
         let b = train_per_query_proxy(&features, &annotated, &cfg);
         assert_eq!(a, b);

@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the blocked distance/GEMM kernel layer.
+//!
+//! These cover the three hot paths of index construction (Algorithm 1):
+//! FPF representative selection, MinKTable distance-table construction,
+//! and the dense matmul behind embedding inference. Sizes mirror the
+//! targets the kernel engine was tuned against: `n = 20k`, `dim = 32`,
+//! `reps = 512`, `k = 8`, and a 512x256x128 GEMM.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tasti_cluster::{fpf_threaded, Metric, MinKTable};
+use tasti_nn::Matrix;
+
+/// Deterministic pseudo-random data without pulling `rand` into the
+/// bench: a 64-bit LCG mapped to roughly +/-10.
+fn pseudo_data(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % 2000) as f32 / 100.0
+        })
+        .collect()
+}
+
+fn bench_fpf(c: &mut Criterion) {
+    let n = 20_000;
+    let dim = 32;
+    let data = pseudo_data(n * dim, 7);
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    group.bench_function("fpf_n20k_dim32_count128", |b| {
+        b.iter(|| fpf_threaded(black_box(&data), dim, 128, Metric::L2, 0, 0))
+    });
+    group.bench_function("fpf_n20k_dim32_count128_single_thread", |b| {
+        b.iter(|| fpf_threaded(black_box(&data), dim, 128, Metric::L2, 0, 1))
+    });
+    group.finish();
+}
+
+fn bench_mink_table(c: &mut Criterion) {
+    let n = 20_000;
+    let dim = 32;
+    let n_reps = 512;
+    let k = 8;
+    let records = pseudo_data(n * dim, 11);
+    let reps = pseudo_data(n_reps * dim, 13);
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    group.bench_function("mink_build_n20k_reps512_k8", |b| {
+        b.iter(|| {
+            MinKTable::build_parallel(black_box(&records), black_box(&reps), dim, k, Metric::L2, 0)
+        })
+    });
+    group.bench_function("mink_build_n20k_reps512_k8_single_thread", |b| {
+        b.iter(|| {
+            MinKTable::build_parallel(black_box(&records), black_box(&reps), dim, k, Metric::L2, 1)
+        })
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let m = 512;
+    let kdim = 256;
+    let n = 128;
+    let a = Matrix::from_vec(m, kdim, pseudo_data(m * kdim, 17));
+    let bmat = Matrix::from_vec(kdim, n, pseudo_data(kdim * n, 19));
+    let mut out = Matrix::zeros(m, n);
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("matmul_512x256x128", |b| {
+        b.iter(|| {
+            black_box(&a).matmul_into(black_box(&bmat), &mut out);
+            black_box(&out);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fpf, bench_mink_table, bench_matmul);
+criterion_main!(benches);

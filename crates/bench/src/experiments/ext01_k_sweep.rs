@@ -39,11 +39,20 @@ pub fn run() -> Vec<ExperimentRecord> {
         let res = ebs_aggregate(&proxy, &mut |r| truth[r], &cfg);
         println!("{k:<8}{rho2:>12.3}{:>16}", res.samples);
         records.push(ExperimentRecord::new(
-            "ext01", "night-street", "TASTI-T", "rho2", rho2, format!("k={k}"),
+            "ext01",
+            "night-street",
+            "TASTI-T",
+            "rho2",
+            rho2,
+            format!("k={k}"),
         ));
         records.push(ExperimentRecord::new(
-            "ext01", "night-street", "TASTI-T", "agg_target_calls",
-            res.samples as f64, format!("k={k}"),
+            "ext01",
+            "night-street",
+            "TASTI-T",
+            "agg_target_calls",
+            res.samples as f64,
+            format!("k={k}"),
         ));
     }
     records

@@ -20,7 +20,11 @@ pub fn run() -> Vec<ExperimentRecord> {
         let name = setting.name;
         let built = BuiltSetting::build(setting);
         let sel = built.setting.sel_score.clone();
-        let truth: Vec<bool> = built.truth(sel.as_ref()).iter().map(|&v| v >= 0.5).collect();
+        let truth: Vec<bool> = built
+            .truth(sel.as_ref())
+            .iter()
+            .map(|&v| v >= 0.5)
+            .collect();
         let mut cells = Vec::new();
         for method in [Method::PerQuery, Method::TastiPT, Method::TastiT] {
             let proxy = built.proxy_scores(method, sel.as_ref(), QueryKind::Selection);

@@ -61,9 +61,14 @@ pub fn run() -> Vec<ExperimentRecord> {
             );
             let dollars = tasti_labeler::TargetLabeler::invocation_cost(&crowd).dollars;
             let labeler = MeteredLabeler::new(crowd);
-            let (index, _) =
-                build_index(&dataset.features, &pretrained, &labeler, &SqlCloseness, &config)
-                    .expect("unbudgeted build");
+            let (index, _) = build_index(
+                &dataset.features,
+                &pretrained,
+                &labeler,
+                &SqlCloseness,
+                &config,
+            )
+            .expect("unbudgeted build");
             // Proxy quality against the *clean* truth.
             let rho2 = rho_squared(&index.propagate(&score), &truth);
             // Fraction of representative annotations the crowd got wrong.

@@ -17,7 +17,10 @@ use tasti_nn::metrics::rho_squared;
 pub fn run() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     println!("\n=== Extension 4: label-free diagnostics vs ground truth ===");
-    println!("{:<16}{:>12}{:>12}{:>12}{:>12}", "setting", "LOO (T)", "true (T)", "LOO (PT)", "true (PT)");
+    println!(
+        "{:<16}{:>12}{:>12}{:>12}{:>12}",
+        "setting", "LOO (T)", "true (T)", "LOO (PT)", "true (PT)"
+    );
     let mut rank_correct = 0usize;
     let mut rank_total = 0usize;
     for setting in all_settings() {
@@ -36,9 +39,7 @@ pub fn run() -> Vec<ExperimentRecord> {
         if (loo_t >= loo_pt) == (true_t >= true_pt) {
             rank_correct += 1;
         }
-        for (variant, loo, truth_v) in
-            [("TASTI-T", loo_t, true_t), ("TASTI-PT", loo_pt, true_pt)]
-        {
+        for (variant, loo, truth_v) in [("TASTI-T", loo_t, true_t), ("TASTI-PT", loo_pt, true_pt)] {
             records.push(ExperimentRecord::new(
                 "ext04",
                 name,

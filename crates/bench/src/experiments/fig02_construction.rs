@@ -22,12 +22,18 @@ pub fn run() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
 
     println!("\n=== Figure 2: index construction breakdown (night-street) ===");
-    println!("{:<28}{:>16}{:>16}", "component", "sim seconds", "labeler calls");
+    println!(
+        "{:<28}{:>16}{:>16}",
+        "component", "sim seconds", "labeler calls"
+    );
 
     // BlazeIt: the TMAS.
     let tmas_calls = built.tmas.len() as u64;
     let tmas_seconds = cost.target.times(tmas_calls).seconds;
-    println!("{:<28}{:>16.1}{:>16}", "BlazeIt TMAS", tmas_seconds, tmas_calls);
+    println!(
+        "{:<28}{:>16.1}{:>16}",
+        "BlazeIt TMAS", tmas_seconds, tmas_calls
+    );
     records.push(ExperimentRecord::new(
         "fig02",
         "night-street",
@@ -66,7 +72,10 @@ pub fn run() -> Vec<ExperimentRecord> {
             "TASTI-T",
             "seconds",
             sim,
-            format!("stage={} calls={} wall={:.3}s", stage.name, stage.labeler_invocations, stage.seconds),
+            format!(
+                "stage={} calls={} wall={:.3}s",
+                stage.name, stage.labeler_invocations, stage.seconds
+            ),
         ));
     }
     println!(

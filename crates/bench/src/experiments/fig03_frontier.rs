@@ -20,7 +20,10 @@ pub fn run() -> Vec<ExperimentRecord> {
     let cost = CostModel::mask_rcnn();
     let mut records = Vec::new();
     println!("\n=== Figure 3: construction cost vs aggregation performance (night-street) ===");
-    println!("{:<26}{:>18}{:>16}", "configuration", "construction (s)", "query calls");
+    println!(
+        "{:<26}{:>18}{:>16}",
+        "configuration", "construction (s)", "query calls"
+    );
 
     // TASTI sweep over (N₁, N₂).
     for (n_train, n_reps) in [(100, 200), (200, 400), (300, 800), (500, 1600), (800, 2400)] {
@@ -30,7 +33,10 @@ pub fn run() -> Vec<ExperimentRecord> {
         let built = BuiltSetting::build(setting);
         let r = &built.report_t;
         let construction = cost.target.times(r.total_invocations).seconds
-            + cost.embedding.times(r.training_forward_rows + r.n_records as u64).seconds
+            + cost
+                .embedding
+                .times(r.training_forward_rows + r.n_records as u64)
+                .seconds
             + cost.distance.times(r.distance_computations).seconds;
         let out = run_aggregation(&built, crate::runner::Method::TastiT, 1);
         println!(

@@ -28,7 +28,10 @@ pub fn run() -> Vec<ExperimentRecord> {
                 method.label(),
                 "fpr",
                 out.fpr,
-                format!("recall={:.3} calls={} returned={}", out.recall, out.calls, out.returned),
+                format!(
+                    "recall={:.3} calls={} returned={}",
+                    out.recall, out.calls, out.returned
+                ),
             ));
             cells.push((method.label().to_string(), out.fpr));
         }

@@ -19,7 +19,11 @@ pub fn run() -> Vec<ExperimentRecord> {
     let mut rows = Vec::new();
     for name in ["night-street", "taipei-car"] {
         let built = BuiltSetting::build(setting_by_name(name));
-        let panel = if name == "night-street" { "night-street" } else { "taipei" };
+        let panel = if name == "night-street" {
+            "night-street"
+        } else {
+            "taipei"
+        };
         let score = HasClassInLeftHalf(ObjectClass::Car);
         let mut cells = Vec::new();
         for method in [Method::PerQuery, Method::TastiPT, Method::TastiT] {

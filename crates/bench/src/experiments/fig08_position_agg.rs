@@ -20,7 +20,11 @@ pub fn run() -> Vec<ExperimentRecord> {
         // Position values live in [0, 1]; tighten the error target so the
         // query is non-trivial at this scale.
         setting.agg_error = 0.01;
-        let panel = if name == "night-street" { "night-street" } else { "taipei" };
+        let panel = if name == "night-street" {
+            "night-street"
+        } else {
+            "taipei"
+        };
         let built = BuiltSetting::build(setting);
         let score = MeanXPosition(ObjectClass::Car);
         let mut cells = Vec::new();

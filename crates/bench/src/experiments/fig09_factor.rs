@@ -13,10 +13,22 @@ use tasti_cluster::SelectionStrategy;
 
 /// The cumulative configurations of the factor analysis.
 pub fn factor_configs() -> Vec<(&'static str, bool, SelectionStrategy, SelectionStrategy)> {
-    let fpf_mix = SelectionStrategy::FpfWithRandomMix { random_fraction: 0.1 };
+    let fpf_mix = SelectionStrategy::FpfWithRandomMix {
+        random_fraction: 0.1,
+    };
     vec![
-        ("None", false, SelectionStrategy::Random, SelectionStrategy::Random),
-        ("+Triplet", true, SelectionStrategy::Random, SelectionStrategy::Random),
+        (
+            "None",
+            false,
+            SelectionStrategy::Random,
+            SelectionStrategy::Random,
+        ),
+        (
+            "+Triplet",
+            true,
+            SelectionStrategy::Random,
+            SelectionStrategy::Random,
+        ),
         ("+FPF cluster", true, SelectionStrategy::Random, fpf_mix),
         ("+FPF train", true, SelectionStrategy::Fpf, fpf_mix),
     ]
@@ -63,7 +75,10 @@ pub fn measure(
 pub fn run() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     println!("\n=== Figure 9: factor analysis (night-street) ===");
-    println!("{:<16}{:>16}{:>16}", "configuration", "agg calls", "limit calls");
+    println!(
+        "{:<16}{:>16}{:>16}",
+        "configuration", "agg calls", "limit calls"
+    );
     for (label, train, mining, clustering) in factor_configs() {
         let (recs, agg_calls, limit_calls) = measure(label, train, mining, clustering, "fig09");
         println!("{label:<16}{agg_calls:>16}{limit_calls:>16}");

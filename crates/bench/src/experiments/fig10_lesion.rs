@@ -10,16 +10,26 @@ use tasti_cluster::SelectionStrategy;
 
 /// Runs the experiment.
 pub fn run() -> Vec<ExperimentRecord> {
-    let fpf_mix = SelectionStrategy::FpfWithRandomMix { random_fraction: 0.1 };
+    let fpf_mix = SelectionStrategy::FpfWithRandomMix {
+        random_fraction: 0.1,
+    };
     let configs: Vec<(&'static str, bool, SelectionStrategy, SelectionStrategy)> = vec![
         ("All", true, SelectionStrategy::Fpf, fpf_mix),
         ("-Triplet", false, SelectionStrategy::Fpf, fpf_mix),
         ("-FPF train", true, SelectionStrategy::Random, fpf_mix),
-        ("-FPF cluster", true, SelectionStrategy::Fpf, SelectionStrategy::Random),
+        (
+            "-FPF cluster",
+            true,
+            SelectionStrategy::Fpf,
+            SelectionStrategy::Random,
+        ),
     ];
     let mut records = Vec::new();
     println!("\n=== Figure 10: lesion study (night-street) ===");
-    println!("{:<16}{:>16}{:>16}", "configuration", "agg calls", "limit calls");
+    println!(
+        "{:<16}{:>16}{:>16}",
+        "configuration", "agg calls", "limit calls"
+    );
     for (label, train, mining, clustering) in configs {
         let (recs, agg_calls, limit_calls) = measure(label, train, mining, clustering, "fig10");
         println!("{label:<16}{agg_calls:>16}{limit_calls:>16}");

@@ -19,20 +19,34 @@ pub const REP_COUNTS: [usize; 5] = [50, 200, 800, 2000, 4000];
 pub fn run() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     println!("\n=== Figure 11: #cluster representatives vs performance (night-street) ===");
-    println!("{:<22}{:>16}{:>16}", "configuration", "agg calls", "limit calls");
+    println!(
+        "{:<22}{:>16}{:>16}",
+        "configuration", "agg calls", "limit calls"
+    );
 
     // Baseline reference line (built once).
     let built = BuiltSetting::build(setting_by_name("night-street"));
     let base_agg = run_aggregation(&built, Method::PerQuery, 1);
     let base_limit = run_limit(&built, Method::PerQuery);
-    println!("{:<22}{:>16}{:>16}", "Per-query proxy", base_agg.calls, base_limit.calls);
+    println!(
+        "{:<22}{:>16}{:>16}",
+        "Per-query proxy", base_agg.calls, base_limit.calls
+    );
     records.push(ExperimentRecord::new(
-        "fig11", "night-street", "Per-query proxy", "agg_target_calls",
-        base_agg.calls as f64, "reference",
+        "fig11",
+        "night-street",
+        "Per-query proxy",
+        "agg_target_calls",
+        base_agg.calls as f64,
+        "reference",
     ));
     records.push(ExperimentRecord::new(
-        "fig11", "night-street", "Per-query proxy", "limit_target_calls",
-        base_limit.calls as f64, "reference",
+        "fig11",
+        "night-street",
+        "Per-query proxy",
+        "limit_target_calls",
+        base_limit.calls as f64,
+        "reference",
     ));
 
     for n_reps in REP_COUNTS {
@@ -41,14 +55,27 @@ pub fn run() -> Vec<ExperimentRecord> {
         let built = BuiltSetting::build(setting);
         let agg = run_aggregation(&built, Method::TastiT, 1);
         let limit = run_limit(&built, Method::TastiT);
-        println!("{:<22}{:>16}{:>16}", format!("TASTI-T reps={n_reps}"), agg.calls, limit.calls);
+        println!(
+            "{:<22}{:>16}{:>16}",
+            format!("TASTI-T reps={n_reps}"),
+            agg.calls,
+            limit.calls
+        );
         records.push(ExperimentRecord::new(
-            "fig11", "night-street", "TASTI-T", "agg_target_calls",
-            agg.calls as f64, format!("n_reps={n_reps}"),
+            "fig11",
+            "night-street",
+            "TASTI-T",
+            "agg_target_calls",
+            agg.calls as f64,
+            format!("n_reps={n_reps}"),
         ));
         records.push(ExperimentRecord::new(
-            "fig11", "night-street", "TASTI-T", "limit_target_calls",
-            limit.calls as f64, format!("n_reps={n_reps}"),
+            "fig11",
+            "night-street",
+            "TASTI-T",
+            "limit_target_calls",
+            limit.calls as f64,
+            format!("n_reps={n_reps}"),
         ));
     }
     records

@@ -16,19 +16,33 @@ pub const TRAIN_COUNTS: [usize; 5] = [100, 200, 300, 500, 800];
 pub fn run() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     println!("\n=== Figure 12: #training examples vs performance (night-street) ===");
-    println!("{:<22}{:>16}{:>16}", "configuration", "agg calls", "limit calls");
+    println!(
+        "{:<22}{:>16}{:>16}",
+        "configuration", "agg calls", "limit calls"
+    );
 
     let built = BuiltSetting::build(setting_by_name("night-street"));
     let base_agg = run_aggregation(&built, Method::PerQuery, 1);
     let base_limit = run_limit(&built, Method::PerQuery);
-    println!("{:<22}{:>16}{:>16}", "Per-query proxy", base_agg.calls, base_limit.calls);
+    println!(
+        "{:<22}{:>16}{:>16}",
+        "Per-query proxy", base_agg.calls, base_limit.calls
+    );
     records.push(ExperimentRecord::new(
-        "fig12", "night-street", "Per-query proxy", "agg_target_calls",
-        base_agg.calls as f64, "reference",
+        "fig12",
+        "night-street",
+        "Per-query proxy",
+        "agg_target_calls",
+        base_agg.calls as f64,
+        "reference",
     ));
     records.push(ExperimentRecord::new(
-        "fig12", "night-street", "Per-query proxy", "limit_target_calls",
-        base_limit.calls as f64, "reference",
+        "fig12",
+        "night-street",
+        "Per-query proxy",
+        "limit_target_calls",
+        base_limit.calls as f64,
+        "reference",
     ));
 
     for n_train in TRAIN_COUNTS {
@@ -37,14 +51,27 @@ pub fn run() -> Vec<ExperimentRecord> {
         let built = BuiltSetting::build(setting);
         let agg = run_aggregation(&built, Method::TastiT, 1);
         let limit = run_limit(&built, Method::TastiT);
-        println!("{:<22}{:>16}{:>16}", format!("TASTI-T train={n_train}"), agg.calls, limit.calls);
+        println!(
+            "{:<22}{:>16}{:>16}",
+            format!("TASTI-T train={n_train}"),
+            agg.calls,
+            limit.calls
+        );
         records.push(ExperimentRecord::new(
-            "fig12", "night-street", "TASTI-T", "agg_target_calls",
-            agg.calls as f64, format!("n_train={n_train}"),
+            "fig12",
+            "night-street",
+            "TASTI-T",
+            "agg_target_calls",
+            agg.calls as f64,
+            format!("n_train={n_train}"),
         ));
         records.push(ExperimentRecord::new(
-            "fig12", "night-street", "TASTI-T", "limit_target_calls",
-            limit.calls as f64, format!("n_train={n_train}"),
+            "fig12",
+            "night-street",
+            "TASTI-T",
+            "limit_target_calls",
+            limit.calls as f64,
+            format!("n_train={n_train}"),
         ));
     }
     records

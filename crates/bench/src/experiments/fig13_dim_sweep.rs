@@ -15,19 +15,33 @@ pub const DIMS: [usize; 5] = [8, 16, 32, 64, 128];
 pub fn run() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     println!("\n=== Figure 13: embedding dimension vs performance (night-street) ===");
-    println!("{:<22}{:>16}{:>16}", "configuration", "agg calls", "limit calls");
+    println!(
+        "{:<22}{:>16}{:>16}",
+        "configuration", "agg calls", "limit calls"
+    );
 
     let built = BuiltSetting::build(setting_by_name("night-street"));
     let base_agg = run_aggregation(&built, Method::PerQuery, 1);
     let base_limit = run_limit(&built, Method::PerQuery);
-    println!("{:<22}{:>16}{:>16}", "Per-query proxy", base_agg.calls, base_limit.calls);
+    println!(
+        "{:<22}{:>16}{:>16}",
+        "Per-query proxy", base_agg.calls, base_limit.calls
+    );
     records.push(ExperimentRecord::new(
-        "fig13", "night-street", "Per-query proxy", "agg_target_calls",
-        base_agg.calls as f64, "reference",
+        "fig13",
+        "night-street",
+        "Per-query proxy",
+        "agg_target_calls",
+        base_agg.calls as f64,
+        "reference",
     ));
     records.push(ExperimentRecord::new(
-        "fig13", "night-street", "Per-query proxy", "limit_target_calls",
-        base_limit.calls as f64, "reference",
+        "fig13",
+        "night-street",
+        "Per-query proxy",
+        "limit_target_calls",
+        base_limit.calls as f64,
+        "reference",
     ));
 
     for dim in DIMS {
@@ -36,14 +50,27 @@ pub fn run() -> Vec<ExperimentRecord> {
         let built = BuiltSetting::build(setting);
         let agg = run_aggregation(&built, Method::TastiT, 1);
         let limit = run_limit(&built, Method::TastiT);
-        println!("{:<22}{:>16}{:>16}", format!("TASTI-T dim={dim}"), agg.calls, limit.calls);
+        println!(
+            "{:<22}{:>16}{:>16}",
+            format!("TASTI-T dim={dim}"),
+            agg.calls,
+            limit.calls
+        );
         records.push(ExperimentRecord::new(
-            "fig13", "night-street", "TASTI-T", "agg_target_calls",
-            agg.calls as f64, format!("dim={dim}"),
+            "fig13",
+            "night-street",
+            "TASTI-T",
+            "agg_target_calls",
+            agg.calls as f64,
+            format!("dim={dim}"),
         ));
         records.push(ExperimentRecord::new(
-            "fig13", "night-street", "TASTI-T", "limit_target_calls",
-            limit.calls as f64, format!("dim={dim}"),
+            "fig13",
+            "night-street",
+            "TASTI-T",
+            "limit_target_calls",
+            limit.calls as f64,
+            format!("dim={dim}"),
         ));
     }
     records

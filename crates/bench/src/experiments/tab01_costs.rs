@@ -12,8 +12,8 @@ use crate::queries::run_aggregation;
 use crate::report::ExperimentRecord;
 use crate::runner::{BuiltSetting, Method};
 use crate::settings::setting_by_name;
-use tasti_labeler::{CostModel, LabelCost, ObjectClass};
 use tasti_data::NoisyDetector;
+use tasti_labeler::{CostModel, LabelCost, ObjectClass};
 
 /// Runs the experiment.
 pub fn run() -> Vec<ExperimentRecord> {
@@ -77,8 +77,16 @@ pub fn run() -> Vec<ExperimentRecord> {
                 "tab01",
                 &format!("night-street/{label}"),
                 method,
-                if label == "human" { "dollars" } else { "seconds" },
-                if label == "human" { c.dollars } else { c.seconds },
+                if label == "human" {
+                    "dollars"
+                } else {
+                    "seconds"
+                },
+                if label == "human" {
+                    c.dollars
+                } else {
+                    c.seconds
+                },
                 format!("query_calls={tasti_query_calls} index_calls={index_calls} n={n}"),
             ));
         }
@@ -86,7 +94,10 @@ pub fn run() -> Vec<ExperimentRecord> {
 
     // SSD accuracy: count error relative to the Mask R-CNN ground truth.
     let ssd = NoisyDetector::ssd(built.setting.dataset.truth_handle(), 99);
-    let truth = built.setting.dataset.true_scores(|o| o.count_class(ObjectClass::Car) as f64);
+    let truth = built
+        .setting
+        .dataset
+        .true_scores(|o| o.count_class(ObjectClass::Car) as f64);
     let mut abs_err = 0.0;
     let mut total = 0.0;
     for (i, &t) in truth.iter().enumerate() {
@@ -96,7 +107,10 @@ pub fn run() -> Vec<ExperimentRecord> {
         total += t;
     }
     let ssd_error = abs_err / total.max(1.0);
-    println!("SSD count error vs Mask R-CNN ground truth: {:.0}% (paper: 33%)", ssd_error * 100.0);
+    println!(
+        "SSD count error vs Mask R-CNN ground truth: {:.0}% (paper: 33%)",
+        ssd_error * 100.0
+    );
     records.push(ExperimentRecord::new(
         "tab01",
         "night-street/ssd",

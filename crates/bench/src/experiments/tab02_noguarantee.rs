@@ -19,14 +19,20 @@ pub fn run() -> Vec<ExperimentRecord> {
     let built = BuiltSetting::build(setting_by_name("night-street"));
     let mut records = Vec::new();
     println!("\n=== Table 2: queries without statistical guarantees (night-street) ===");
-    println!("{:<14}{:<12}{:>16}", "method", "query", "quality (lower=better)");
+    println!(
+        "{:<14}{:<12}{:>16}",
+        "method", "query", "quality (lower=better)"
+    );
 
     // Aggregation: percent error of the direct proxy mean.
     let agg_truth = built.truth(built.setting.agg_score.as_ref());
     let true_mean = agg_truth.iter().sum::<f64>() / agg_truth.len() as f64;
     for (label, method) in [("TASTI", Method::TastiT), ("BlazeIt", Method::PerQuery)] {
-        let proxy =
-            built.proxy_scores(method, built.setting.agg_score.as_ref(), QueryKind::Aggregation);
+        let proxy = built.proxy_scores(
+            method,
+            built.setting.agg_score.as_ref(),
+            QueryKind::Aggregation,
+        );
         let est = direct_aggregate(&proxy);
         let pct_err = (est - true_mean).abs() / true_mean.max(1e-12);
         println!("{:<14}{:<12}{:>15.1}%", label, "agg", pct_err * 100.0);
@@ -41,11 +47,17 @@ pub fn run() -> Vec<ExperimentRecord> {
     }
 
     // Selection: 100 − F1 after validation-set threshold tuning.
-    let sel_truth: Vec<bool> =
-        built.truth(built.setting.sel_score.as_ref()).iter().map(|&v| v >= 0.5).collect();
+    let sel_truth: Vec<bool> = built
+        .truth(built.setting.sel_score.as_ref())
+        .iter()
+        .map(|&v| v >= 0.5)
+        .collect();
     for (label, method) in [("TASTI", Method::TastiT), ("NoScope", Method::PerQuery)] {
-        let proxy =
-            built.proxy_scores(method, built.setting.sel_score.as_ref(), QueryKind::Selection);
+        let proxy = built.proxy_scores(
+            method,
+            built.setting.sel_score.as_ref(),
+            QueryKind::Selection,
+        );
         let res = tune_threshold(&proxy, &mut |r| sel_truth[r], 300, built.setting.seed);
         let mut predicted = vec![false; sel_truth.len()];
         for &r in &res.selected {

@@ -27,10 +27,18 @@ fn fresh_labeler(built: &BuiltSetting) -> MeteredLabeler<OracleLabeler> {
     ))
 }
 
-fn supg_fpr(built: &BuiltSetting, index: &tasti_core::TastiIndex, labeler: Option<&MeteredLabeler<OracleLabeler>>) -> f64 {
+fn supg_fpr(
+    built: &BuiltSetting,
+    index: &tasti_core::TastiIndex,
+    labeler: Option<&MeteredLabeler<OracleLabeler>>,
+) -> f64 {
     let sel = built.setting.sel_score.clone();
     let proxy = index.propagate(sel.as_ref());
-    let truth: Vec<bool> = built.truth(sel.as_ref()).iter().map(|&v| v >= 0.5).collect();
+    let truth: Vec<bool> = built
+        .truth(sel.as_ref())
+        .iter()
+        .map(|&v| v >= 0.5)
+        .collect();
     let config = SupgConfig {
         budget: built.setting.supg_budget,
         seed: built.setting.seed ^ 0xC,
@@ -51,7 +59,11 @@ fn supg_fpr(built: &BuiltSetting, index: &tasti_core::TastiIndex, labeler: Optio
     Confusion::from_predictions(&predicted, &truth).false_positive_rate()
 }
 
-fn agg_calls(built: &BuiltSetting, index: &tasti_core::TastiIndex, labeler: Option<&MeteredLabeler<OracleLabeler>>) -> u64 {
+fn agg_calls(
+    built: &BuiltSetting,
+    index: &tasti_core::TastiIndex,
+    labeler: Option<&MeteredLabeler<OracleLabeler>>,
+) -> u64 {
     let agg = built.setting.agg_score.clone();
     let proxy = index.propagate(agg.as_ref());
     let truth = built.truth(agg.as_ref());
@@ -76,7 +88,10 @@ fn agg_calls(built: &BuiltSetting, index: &tasti_core::TastiIndex, labeler: Opti
 pub fn run() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     println!("\n=== Table 3: cracking — 2nd query after vs before cracking ===");
-    println!("{:<16}{:<14}{:<14}{:>14}{:>14}", "dataset", "1st query", "2nd query", "after", "before");
+    println!(
+        "{:<16}{:<14}{:<14}{:>14}{:>14}",
+        "dataset", "1st query", "2nd query", "after", "before"
+    );
 
     for name in ["night-street", "taipei-car"] {
         let built = BuiltSetting::build(setting_by_name(name));
@@ -92,7 +107,11 @@ pub fn run() -> Vec<ExperimentRecord> {
             let after = supg_fpr(&built, &index, None);
             println!(
                 "{:<16}{:<14}{:<14}{:>13.1}%{:>13.1}%",
-                panel, "agg", "SUPG (FPR)", after * 100.0, before * 100.0
+                panel,
+                "agg",
+                "SUPG (FPR)",
+                after * 100.0,
+                before * 100.0
             );
             records.push(ExperimentRecord::new(
                 "tab03",
@@ -102,7 +121,10 @@ pub fn run() -> Vec<ExperimentRecord> {
                 after,
                 format!("before={before:.4} reps_added={added}"),
             ));
-            assert!(after <= before * 1.2, "cracking should not materially hurt SUPG");
+            assert!(
+                after <= before * 1.2,
+                "cracking should not materially hurt SUPG"
+            );
         }
 
         // Order 2: SUPG first, aggregation second.

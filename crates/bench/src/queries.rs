@@ -129,7 +129,10 @@ pub fn run_limit(built: &BuiltSetting, method: Method) -> LimitOutcome {
         built.setting.limit_k,
         truth.len(),
     );
-    LimitOutcome { calls: res.invocations, satisfied: res.satisfied }
+    LimitOutcome {
+        calls: res.invocations,
+        satisfied: res.satisfied,
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +161,11 @@ mod tests {
         let b = small_built();
         let agg = run_aggregation(&b, Method::TastiT, 1);
         assert!(agg.calls > 0);
-        assert!(agg.within_target, "estimate {} vs {}", agg.estimate, agg.true_mean);
+        assert!(
+            agg.within_target,
+            "estimate {} vs {}",
+            agg.estimate, agg.true_mean
+        );
 
         let supg = run_supg(&b, Method::TastiT, 1);
         assert!(supg.recall >= 0.85, "recall {}", supg.recall);

@@ -76,11 +76,7 @@ pub fn fmt_value(metric: &str, value: f64) -> String {
 }
 
 /// Prints an aligned table: rows = settings, columns = methods.
-pub fn print_matrix(
-    title: &str,
-    metric: &str,
-    rows: &[(String, Vec<(String, f64)>)],
-) {
+pub fn print_matrix(title: &str, metric: &str, rows: &[(String, Vec<(String, f64)>)]) {
     println!("\n=== {title} ===");
     if rows.is_empty() {
         println!("(no rows)");
@@ -116,7 +112,14 @@ mod tests {
 
     #[test]
     fn record_round_trips_through_json() {
-        let r = ExperimentRecord::new("fig04", "night-street", "TASTI-T", "target_calls", 21_200.0, "err=0.05");
+        let r = ExperimentRecord::new(
+            "fig04",
+            "night-street",
+            "TASTI-T",
+            "target_calls",
+            21_200.0,
+            "err=0.05",
+        );
         let s = serde_json::to_string(&r).unwrap();
         assert!(s.contains("night-street"));
         assert!(s.contains("21200"));

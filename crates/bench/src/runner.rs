@@ -25,7 +25,12 @@ pub enum Method {
 
 impl Method {
     /// All four methods in the paper's bar order.
-    pub const ALL: [Method; 4] = [Method::NoProxy, Method::PerQuery, Method::TastiPT, Method::TastiT];
+    pub const ALL: [Method; 4] = [
+        Method::NoProxy,
+        Method::PerQuery,
+        Method::TastiPT,
+        Method::TastiT,
+    ];
 
     /// Display label matching the paper's figures.
     pub fn label(self) -> &'static str {
@@ -78,8 +83,11 @@ impl BuiltSetting {
             Schema::object_detection(),
             "oracle",
         ));
-        let mut pt =
-            PretrainedEmbedder::new(setting.dataset.feature_dim(), setting.config.embedding_dim, setting.seed ^ 0x50);
+        let mut pt = PretrainedEmbedder::new(
+            setting.dataset.feature_dim(),
+            setting.config.embedding_dim,
+            setting.seed ^ 0x50,
+        );
         let pretrained = pt.embed_all(&setting.dataset.features);
 
         let (index_t, report_t) = build_index(
@@ -108,7 +116,15 @@ impl BuiltSetting {
         .expect("unbudgeted build");
 
         let tmas = sample_tmas(setting.dataset.len(), setting.tmas_size, setting.seed ^ 0x7);
-        Self { setting, index_t, report_t, index_pt, report_pt, pretrained, tmas }
+        Self {
+            setting,
+            index_t,
+            report_t,
+            index_pt,
+            report_pt,
+            pretrained,
+            tmas,
+        }
     }
 
     /// Ground-truth scores of every record under `score` (evaluation only).
@@ -142,7 +158,9 @@ impl BuiltSetting {
                 let proxy = self.proxy_scores(method, score, QueryKind::Limit);
                 let mut order: Vec<usize> = (0..proxy.len()).collect();
                 order.sort_by(|&a, &b| {
-                    proxy[b].partial_cmp(&proxy[a]).unwrap_or(std::cmp::Ordering::Equal)
+                    proxy[b]
+                        .partial_cmp(&proxy[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 order
             }
@@ -233,7 +251,11 @@ mod tests {
             assert_eq!(scores.len(), b.setting.dataset.len(), "{}", m.label());
             if m != Method::NoProxy {
                 let rho2 = rho_squared(&scores, &truth);
-                assert!(rho2 > 0.05, "{} produced uncorrelated scores: ρ²={rho2}", m.label());
+                assert!(
+                    rho2 > 0.05,
+                    "{} produced uncorrelated scores: ρ²={rho2}",
+                    m.label()
+                );
             }
             let ranking = b.limit_ranking(m, b.setting.limit_score.as_ref());
             assert_eq!(ranking.len(), b.setting.dataset.len());
@@ -243,6 +265,9 @@ mod tests {
         let pt = b.proxy_scores(Method::TastiPT, agg.as_ref(), QueryKind::Aggregation);
         let rho_t = rho_squared(&t, &truth);
         let rho_pt = rho_squared(&pt, &truth);
-        assert!(rho_t > rho_pt * 0.8, "TASTI-T ρ²={rho_t} vs TASTI-PT ρ²={rho_pt}");
+        assert!(
+            rho_t > rho_pt * 0.8,
+            "TASTI-T ρ²={rho_t} vs TASTI-PT ρ²={rho_pt}"
+        );
     }
 }

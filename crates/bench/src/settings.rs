@@ -7,7 +7,7 @@ use tasti_core::scoring::{
 };
 use tasti_core::TastiConfig;
 use tasti_data::video::{amsterdam, night_street, taipei};
-use tasti_data::{text, speech, Dataset};
+use tasti_data::{speech, text, Dataset};
 use tasti_labeler::{
     ClosenessFn, LabelerOutput, ObjectClass, SpeechCloseness, SqlCloseness, SqlOp, VideoCloseness,
 };
@@ -59,7 +59,12 @@ fn video_config(seed: u64) -> TastiConfig {
         n_reps: 1200,
         k: 5,
         embedding_dim: 32,
-        triplet: TripletConfig { steps: 500, batch_size: 32, margin: 0.3, ..Default::default() },
+        triplet: TripletConfig {
+            steps: 500,
+            batch_size: 32,
+            margin: 0.3,
+            ..Default::default()
+        },
         seed,
         ..TastiConfig::default()
     }
@@ -73,7 +78,12 @@ fn small_config(seed: u64) -> TastiConfig {
         n_reps: 500,
         k: 5,
         embedding_dim: 32,
-        triplet: TripletConfig { steps: 500, batch_size: 32, margin: 0.3, ..Default::default() },
+        triplet: TripletConfig {
+            steps: 500,
+            batch_size: 32,
+            margin: 0.3,
+            ..Default::default()
+        },
         seed,
         ..TastiConfig::default()
     }
@@ -109,11 +119,18 @@ pub fn setting_by_name(name: &str) -> Setting {
         "taipei-car" | "taipei-bus" => {
             // One dataset, one set of embeddings, two query classes (§6.3).
             let p = taipei(VIDEO_FRAMES, 202);
-            let class =
-                if name == "taipei-car" { ObjectClass::Car } else { ObjectClass::Bus };
+            let class = if name == "taipei-car" {
+                ObjectClass::Car
+            } else {
+                ObjectClass::Bus
+            };
             let proxy_features = tasti_data::degraded_view(&p.dataset.features, 10, 0.05, 202);
             Setting {
-                name: if name == "taipei-car" { "taipei (car)" } else { "taipei (bus)" },
+                name: if name == "taipei-car" {
+                    "taipei (car)"
+                } else {
+                    "taipei (bus)"
+                },
                 proxy_features,
                 agg_score: Arc::new(CountClass(class)),
                 sel_score: if class == ObjectClass::Car {
@@ -210,10 +227,17 @@ pub fn setting_by_name(name: &str) -> Setting {
 
 /// All six settings in the paper's panel order.
 pub fn all_settings() -> Vec<Setting> {
-    ["night-street", "taipei-car", "taipei-bus", "amsterdam", "wikisql", "common-voice"]
-        .iter()
-        .map(|n| setting_by_name(n))
-        .collect()
+    [
+        "night-street",
+        "taipei-car",
+        "taipei-bus",
+        "amsterdam",
+        "wikisql",
+        "common-voice",
+    ]
+    .iter()
+    .map(|n| setting_by_name(n))
+    .collect()
 }
 
 #[cfg(test)]
@@ -247,7 +271,11 @@ mod tests {
                 s.name,
                 s.limit_k
             );
-            assert!(rate < 0.2, "{}: limit predicate too common ({rate})", s.name);
+            assert!(
+                rate < 0.2,
+                "{}: limit predicate too common ({rate})",
+                s.name
+            );
         }
     }
 

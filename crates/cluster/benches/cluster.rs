@@ -41,12 +41,15 @@ fn bench_mink_crack(c: &mut Criterion) {
 
 fn clustered(n: usize, dim: usize, seed: u64) -> Vec<f32> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let centers: Vec<Vec<f32>> =
-        (0..8).map(|_| (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect()).collect();
+    let centers: Vec<Vec<f32>> = (0..8)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+        .collect();
     (0..n)
         .flat_map(|i| {
             let c = &centers[i % 8];
-            c.iter().map(|&x| x + rng.gen_range(-0.2f32..0.2)).collect::<Vec<f32>>()
+            c.iter()
+                .map(|&x| x + rng.gen_range(-0.2f32..0.2))
+                .collect::<Vec<f32>>()
         })
         .collect()
 }
@@ -62,5 +65,11 @@ fn bench_pruned_build(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fpf, bench_mink_build, bench_mink_crack, bench_pruned_build);
+criterion_group!(
+    benches,
+    bench_fpf,
+    bench_mink_build,
+    bench_mink_crack,
+    bench_pruned_build
+);
 criterion_main!(benches);

@@ -17,7 +17,8 @@ pub enum Metric {
     SquaredL2,
     /// Manhattan (L1) distance.
     L1,
-    /// Cosine distance `1 − cos(a, b)`; 0 for identical directions.
+    /// Cosine distance `1 − cos(a, b)`, clamped to `[0, 2]`; 0 for
+    /// identical directions.
     Cosine,
 }
 
@@ -40,7 +41,11 @@ impl Metric {
                     nb += y * y;
                 }
                 let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
-                1.0 - dot / denom
+                // fp rounding can push |dot| a hair past ‖a‖·‖b‖, which
+                // would make the distance slightly negative (or > 2) and
+                // break callers that assume non-negativity (FPF cover
+                // radii, min-k heaps). Clamp to the metric's true range.
+                (1.0 - dot / denom).clamp(0.0, 2.0)
             }
         }
     }
@@ -94,6 +99,40 @@ mod tests {
     fn cosine_opposite_direction_is_two() {
         let d = Metric::Cosine.distance(&[1.0, 0.0], &[-1.0, 0.0]);
         assert!((d - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_clamped_to_valid_range_for_near_parallel_vectors() {
+        // Near-parallel (and exactly scaled) vectors whose unclamped
+        // cosine distance lands a few ulps outside [0, 2] under f32
+        // rounding. The clamp must keep every result in range, and
+        // anti-parallel pairs must stay in range too.
+        let base = [
+            0.31f32, -0.47, 0.113, 0.9992, -0.2718, 0.5772, 0.141, -0.662,
+        ];
+        for scale in [1.0f32, 3.0, 7.77, 1e-3, 1e3] {
+            let scaled: Vec<f32> = base.iter().map(|&x| x * scale).collect();
+            let d = Metric::Cosine.distance(&base, &scaled);
+            assert!((0.0..=2.0).contains(&d), "scale {scale}: d = {d}");
+            assert!(
+                d < 1e-6,
+                "scale {scale}: parallel vectors should be ~0, got {d}"
+            );
+            let flipped: Vec<f32> = scaled.iter().map(|&x| -x).collect();
+            let d2 = Metric::Cosine.distance(&base, &flipped);
+            assert!((0.0..=2.0).contains(&d2), "scale {scale}: d = {d2}");
+            assert!(
+                (d2 - 2.0).abs() < 1e-6,
+                "scale {scale}: anti-parallel should be ~2"
+            );
+        }
+        // Tiny perturbations of a common direction: still within range.
+        for i in 0..base.len() {
+            let mut nudged = base;
+            nudged[i] += 1e-6;
+            let d = Metric::Cosine.distance(&base, &nudged);
+            assert!((0.0..=2.0).contains(&d), "nudge {i}: d = {d}");
+        }
     }
 
     #[test]

@@ -7,8 +7,16 @@
 //! (§3.1) and to pick *cluster representatives* (§3.2). §3.2 also mixes in a
 //! small fraction of uniformly random representatives to help average-case
 //! queries; [`SelectionStrategy::FpfWithRandomMix`] implements that.
+//!
+//! The inner loop — one distance from the newest representative to every
+//! record per round — runs on the [`crate::kernels::BatchDistance`] engine:
+//! norms are precomputed once, candidates are filtered by the
+//! norm-difference lower bound and the decomposed-dot estimate, and the
+//! scan is split across threads. Results (selected indices, `min_dist`,
+//! cover radius) are bit-identical to the naive scalar scan.
 
 use crate::distance::Metric;
+use crate::kernels::BatchDistance;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -39,6 +47,17 @@ pub struct FpfResult {
     pub cover_radius: f32,
 }
 
+impl FpfResult {
+    fn from_min_dist(selected: Vec<usize>, min_dist: Vec<f32>) -> Self {
+        let cover_radius = min_dist.iter().copied().fold(0.0f32, f32::max);
+        FpfResult {
+            selected,
+            min_dist,
+            cover_radius,
+        }
+    }
+}
+
 /// Runs furthest-point-first on `n_records` embeddings (`dim` columns,
 /// row-major in `data`), selecting `count` records starting from record
 /// `first`.
@@ -54,34 +73,36 @@ pub struct FpfResult {
 ///
 /// Runs in `O(n_records · count · dim)` time and `O(n_records)` extra space:
 /// after each selection only the per-record nearest-selected distance is
-/// updated, which is the standard incremental formulation.
+/// updated, which is the standard incremental formulation. The scan is
+/// multi-threaded; see [`fpf_threaded`] to control the worker count.
 pub fn fpf(data: &[f32], dim: usize, count: usize, metric: Metric, first: usize) -> FpfResult {
+    fpf_threaded(data, dim, count, metric, first, 0)
+}
+
+/// [`fpf`] with an explicit thread count (`0` = available parallelism).
+/// The result is identical at any thread count.
+pub fn fpf_threaded(
+    data: &[f32],
+    dim: usize,
+    count: usize,
+    metric: Metric,
+    first: usize,
+    threads: usize,
+) -> FpfResult {
     let n = data.len() / dim;
     assert_eq!(data.len(), n * dim, "data length not a multiple of dim");
     assert!(first < n, "first index out of range");
     let count = count.min(n);
+    let engine = BatchDistance::new(metric, data, dim);
     let mut selected = Vec::with_capacity(count);
     let mut min_dist = vec![f32::INFINITY; n];
     let mut next = first;
     for _ in 0..count {
         selected.push(next);
-        let rep_row = &data[next * dim..(next + 1) * dim];
-        let mut best = 0usize;
-        let mut best_d = f32::NEG_INFINITY;
-        for (i, row) in data.chunks_exact(dim).enumerate() {
-            let d = metric.distance(rep_row, row);
-            if d < min_dist[i] {
-                min_dist[i] = d;
-            }
-            if min_dist[i] > best_d {
-                best_d = min_dist[i];
-                best = i;
-            }
-        }
+        let (best, _) = engine.update_min_parallel(engine.row(next), &mut min_dist, threads);
         next = best;
     }
-    let cover_radius = min_dist.iter().copied().fold(0.0f32, f32::max);
-    FpfResult { selected, min_dist, cover_radius }
+    FpfResult::from_min_dist(selected, min_dist)
 }
 
 /// Like [`fpf`] but seeds the selection with an existing set of records
@@ -93,37 +114,45 @@ pub fn fpf_from(
     additional: usize,
     metric: Metric,
 ) -> FpfResult {
+    fpf_from_threaded(data, dim, seed_selected, additional, metric, 0)
+}
+
+/// [`fpf_from`] with an explicit thread count (`0` = available
+/// parallelism). The result is identical at any thread count.
+pub fn fpf_from_threaded(
+    data: &[f32],
+    dim: usize,
+    seed_selected: &[usize],
+    additional: usize,
+    metric: Metric,
+    threads: usize,
+) -> FpfResult {
     let n = data.len() / dim;
     assert_eq!(data.len(), n * dim);
+    let engine = BatchDistance::new(metric, data, dim);
     let mut selected: Vec<usize> = seed_selected.to_vec();
     let mut min_dist = vec![f32::INFINITY; n];
     for &s in seed_selected {
         assert!(s < n, "seed index out of range");
-        let rep_row = &data[s * dim..(s + 1) * dim];
-        for (i, row) in data.chunks_exact(dim).enumerate() {
-            let d = metric.distance(rep_row, row);
-            if d < min_dist[i] {
-                min_dist[i] = d;
-            }
-        }
+        engine.update_min_parallel(engine.row(s), &mut min_dist, threads);
     }
     let additional = additional.min(n.saturating_sub(selected.len()));
     for _ in 0..additional {
-        let (best, _) = min_dist
-            .iter()
-            .enumerate()
-            .fold((0usize, f32::NEG_INFINITY), |acc, (i, &d)| if d > acc.1 { (i, d) } else { acc });
+        let (best, _) =
+            min_dist
+                .iter()
+                .enumerate()
+                .fold((0usize, f32::NEG_INFINITY), |acc, (i, &d)| {
+                    if d > acc.1 {
+                        (i, d)
+                    } else {
+                        acc
+                    }
+                });
         selected.push(best);
-        let rep_row = &data[best * dim..(best + 1) * dim];
-        for (i, row) in data.chunks_exact(dim).enumerate() {
-            let d = metric.distance(rep_row, row);
-            if d < min_dist[i] {
-                min_dist[i] = d;
-            }
-        }
+        engine.update_min_parallel(engine.row(best), &mut min_dist, threads);
     }
-    let cover_radius = min_dist.iter().copied().fold(0.0f32, f32::max);
-    FpfResult { selected, min_dist, cover_radius }
+    FpfResult::from_min_dist(selected, min_dist)
 }
 
 /// Uniform random selection of `count` distinct records, with the per-record
@@ -141,7 +170,7 @@ pub fn random_selection(
     let mut indices: Vec<usize> = (0..n).collect();
     indices.shuffle(rng);
     indices.truncate(count);
-    finish_selection(data, dim, indices, metric)
+    finish_selection(data, dim, indices, metric, 0)
 }
 
 /// Dispatches on [`SelectionStrategy`]. The `first` record seeds FPF runs;
@@ -155,8 +184,24 @@ pub fn select(
     first: usize,
     rng: &mut impl Rng,
 ) -> FpfResult {
+    select_threaded(data, dim, count, metric, strategy, first, rng, 0)
+}
+
+/// [`select`] with an explicit thread count (`0` = available parallelism).
+/// Selections are identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn select_threaded(
+    data: &[f32],
+    dim: usize,
+    count: usize,
+    metric: Metric,
+    strategy: SelectionStrategy,
+    first: usize,
+    rng: &mut impl Rng,
+    threads: usize,
+) -> FpfResult {
     match strategy {
-        SelectionStrategy::Fpf => fpf(data, dim, count, metric, first),
+        SelectionStrategy::Fpf => fpf_threaded(data, dim, count, metric, first, threads),
         SelectionStrategy::Random => random_selection(data, dim, count, metric, rng),
         SelectionStrategy::FpfWithRandomMix { random_fraction } => {
             let n = data.len() / dim;
@@ -164,32 +209,32 @@ pub fn select(
             let n_random =
                 ((count as f32 * random_fraction.clamp(0.0, 1.0)).round() as usize).min(count);
             let n_fpf = count - n_random;
-            let base = fpf(data, dim, n_fpf, metric, first);
+            let base = fpf_threaded(data, dim, n_fpf, metric, first, threads);
             let mut chosen: Vec<usize> = base.selected;
             let already: std::collections::HashSet<usize> = chosen.iter().copied().collect();
             let mut pool: Vec<usize> = (0..n).filter(|i| !already.contains(i)).collect();
             pool.shuffle(rng);
             chosen.extend(pool.into_iter().take(n_random));
-            finish_selection(data, dim, chosen, metric)
+            finish_selection(data, dim, chosen, metric, threads)
         }
     }
 }
 
 /// Computes `min_dist` / `cover_radius` for an externally chosen selection.
-fn finish_selection(data: &[f32], dim: usize, selected: Vec<usize>, metric: Metric) -> FpfResult {
+fn finish_selection(
+    data: &[f32],
+    dim: usize,
+    selected: Vec<usize>,
+    metric: Metric,
+    threads: usize,
+) -> FpfResult {
     let n = data.len() / dim;
+    let engine = BatchDistance::new(metric, data, dim);
     let mut min_dist = vec![f32::INFINITY; n];
     for &s in &selected {
-        let rep_row = &data[s * dim..(s + 1) * dim];
-        for (i, row) in data.chunks_exact(dim).enumerate() {
-            let d = metric.distance(rep_row, row);
-            if d < min_dist[i] {
-                min_dist[i] = d;
-            }
-        }
+        engine.update_min_parallel(engine.row(s), &mut min_dist, threads);
     }
-    let cover_radius = min_dist.iter().copied().fold(0.0f32, f32::max);
-    FpfResult { selected, min_dist, cover_radius }
+    FpfResult::from_min_dist(selected, min_dist)
 }
 
 #[cfg(test)]
@@ -230,7 +275,10 @@ mod tests {
         let mut prev = f32::INFINITY;
         for count in [1usize, 2, 4, 8, 16, 32] {
             let r = fpf(&data, 2, count, Metric::L2, 0);
-            assert!(r.cover_radius <= prev + 1e-6, "radius grew at count {count}");
+            assert!(
+                r.cover_radius <= prev + 1e-6,
+                "radius grew at count {count}"
+            );
             prev = r.cover_radius;
         }
     }
@@ -263,7 +311,11 @@ mod tests {
                 }
             }
         }
-        assert!(fpf_r <= 2.0 * best + 1e-5, "FPF {fpf_r} vs 2·OPT {}", 2.0 * best);
+        assert!(
+            fpf_r <= 2.0 * best + 1e-5,
+            "FPF {fpf_r} vs 2·OPT {}",
+            2.0 * best
+        );
     }
 
     #[test]
@@ -304,7 +356,9 @@ mod tests {
             1,
             10,
             Metric::L2,
-            SelectionStrategy::FpfWithRandomMix { random_fraction: 0.3 },
+            SelectionStrategy::FpfWithRandomMix {
+                random_fraction: 0.3,
+            },
             0,
             &mut rng,
         );
@@ -332,6 +386,26 @@ mod tests {
         let r = fpf(&data, 3, 5, Metric::L2, 1);
         for &s in &r.selected {
             assert_eq!(r.min_dist[s], 0.0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_selection() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let data: Vec<f32> = (0..300 * 4).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        for metric in [Metric::L2, Metric::SquaredL2, Metric::L1, Metric::Cosine] {
+            let serial = fpf_threaded(&data, 4, 24, metric, 0, 1);
+            for threads in [2usize, 5, 0] {
+                let par = fpf_threaded(&data, 4, 24, metric, 0, threads);
+                assert_eq!(
+                    par.selected, serial.selected,
+                    "{metric:?} {threads} threads"
+                );
+                assert_eq!(
+                    par.min_dist, serial.min_dist,
+                    "{metric:?} {threads} threads"
+                );
+            }
         }
     }
 }

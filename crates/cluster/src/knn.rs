@@ -8,6 +8,7 @@
 //! and trivially parallelizable" (each record's update is independent).
 
 use crate::distance::Metric;
+use crate::kernels::BatchDistance;
 use serde::{Deserialize, Serialize};
 
 /// One `(representative, distance)` entry in a record's neighbor list.
@@ -49,7 +50,10 @@ impl MinKTable {
     /// Parallel variant of [`MinKTable::build`]: records are split across
     /// `threads` crossbeam-scoped workers (each record's neighbor list is
     /// independent, so the result is bit-identical to the serial build).
-    /// `threads = 0` picks the machine's available parallelism.
+    /// `threads = 0` picks the machine's available parallelism. The scan
+    /// runs on the [`BatchDistance`] kernel engine — norms precomputed
+    /// once, blocked dots, exact fallback — and matches the naive
+    /// per-pair scan bit-for-bit.
     pub fn build_parallel(
         records: &[f32],
         reps: &[f32],
@@ -65,27 +69,22 @@ impl MinKTable {
         let n_reps = reps.len() / dim;
         assert!(n_reps > 0, "need at least one representative");
         let k = k.min(n_reps).max(1);
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
-        } else {
-            threads
-        };
 
-        let mut entries = vec![Neighbor { rep: 0, dist: f32::INFINITY }; n_records * k];
-        if threads <= 1 || n_records < 2 * threads {
-            scan_chunk(records, reps, dim, k, metric, &mut entries);
-        } else {
-            let rows_per_chunk = n_records.div_ceil(threads);
-            let record_chunks = records.chunks(rows_per_chunk * dim);
-            let entry_chunks = entries.chunks_mut(rows_per_chunk * k);
-            crossbeam::thread::scope(|scope| {
-                for (rec_chunk, ent_chunk) in record_chunks.zip(entry_chunks) {
-                    scope.spawn(move |_| scan_chunk(rec_chunk, reps, dim, k, metric, ent_chunk));
-                }
-            })
-            .expect("min-k worker panicked");
+        let engine = BatchDistance::new(metric, reps, dim);
+        let mut entries = vec![
+            Neighbor {
+                rep: 0,
+                dist: f32::INFINITY
+            };
+            n_records * k
+        ];
+        engine.topk_parallel(records, k, threads, &mut entries);
+        Self {
+            k,
+            n_records,
+            n_reps,
+            entries,
         }
-        Self { k, n_records, n_reps, entries }
     }
 
     /// Assembles a table from raw parts (used by the pruned builder; the
@@ -98,7 +97,12 @@ impl MinKTable {
         entries: Vec<Neighbor>,
     ) -> Self {
         assert_eq!(entries.len(), n_records * k);
-        Self { k, n_records, n_reps, entries }
+        Self {
+            k,
+            n_records,
+            n_reps,
+            entries,
+        }
     }
 
     /// Number of neighbors kept per record.
@@ -134,7 +138,13 @@ impl MinKTable {
     /// primitive (§3.3): `O(n_records · dim)` per new representative.
     ///
     /// Returns the index assigned to the new representative.
-    pub fn add_representative(&mut self, records: &[f32], rep_embedding: &[f32], dim: usize, metric: Metric) -> u32 {
+    pub fn add_representative(
+        &mut self,
+        records: &[f32],
+        rep_embedding: &[f32],
+        dim: usize,
+        metric: Metric,
+    ) -> u32 {
         assert_eq!(records.len(), self.n_records * dim);
         assert_eq!(rep_embedding.len(), dim);
         let new_idx = self.n_reps as u32;
@@ -150,7 +160,10 @@ impl MinKTable {
                     list[pos] = list[pos - 1];
                     pos -= 1;
                 }
-                list[pos] = Neighbor { rep: new_idx, dist: d };
+                list[pos] = Neighbor {
+                    rep: new_idx,
+                    dist: d,
+                };
             }
         }
         new_idx
@@ -160,16 +173,30 @@ impl MinKTable {
     /// each new record's `k` nearest among `reps` and pushes the rows.
     /// `new_records` and `reps` are row-major with `dim` columns; `reps`
     /// must contain *all* current representatives in index order.
-    pub fn append_records(&mut self, new_records: &[f32], reps: &[f32], dim: usize, metric: Metric) {
+    pub fn append_records(
+        &mut self,
+        new_records: &[f32],
+        reps: &[f32],
+        dim: usize,
+        metric: Metric,
+    ) {
         assert_eq!(new_records.len() % dim, 0);
-        assert_eq!(reps.len(), self.n_reps * dim, "rep embeddings must match table state");
+        assert_eq!(
+            reps.len(),
+            self.n_reps * dim,
+            "rep embeddings must match table state"
+        );
         let n_new = new_records.len() / dim;
         let start = self.entries.len();
         self.entries.extend(std::iter::repeat_n(
-            Neighbor { rep: 0, dist: f32::INFINITY },
+            Neighbor {
+                rep: 0,
+                dist: f32::INFINITY,
+            },
             n_new * self.k,
         ));
-        scan_chunk(new_records, reps, dim, self.k, metric, &mut self.entries[start..]);
+        let engine = BatchDistance::new(metric, reps, dim);
+        engine.topk_parallel(new_records, self.k, 0, &mut self.entries[start..]);
         self.n_records += n_new;
     }
 
@@ -186,39 +213,10 @@ impl MinKTable {
         if self.n_records == 0 {
             return 0.0;
         }
-        (0..self.n_records).map(|i| self.nearest(i).dist).sum::<f32>() / self.n_records as f32
-    }
-}
-
-/// Inserts into a short ascending-sorted vector (k is small; linear shift
-/// beats a heap for k ≤ ~32).
-fn insert_sorted(list: &mut Vec<Neighbor>, n: Neighbor) {
-    let pos = list.partition_point(|x| x.dist <= n.dist);
-    list.insert(pos, n);
-}
-
-/// Fills `entries` (`rows · k` neighbors) for a contiguous chunk of records.
-fn scan_chunk(
-    records: &[f32],
-    reps: &[f32],
-    dim: usize,
-    k: usize,
-    metric: Metric,
-    entries: &mut [Neighbor],
-) {
-    let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
-    for (rec, out) in records.chunks_exact(dim).zip(entries.chunks_exact_mut(k)) {
-        heap.clear();
-        for (j, rep_row) in reps.chunks_exact(dim).enumerate() {
-            let d = metric.distance(rec, rep_row);
-            if heap.len() < k {
-                insert_sorted(&mut heap, Neighbor { rep: j as u32, dist: d });
-            } else if d < heap[k - 1].dist {
-                heap.pop();
-                insert_sorted(&mut heap, Neighbor { rep: j as u32, dist: d });
-            }
-        }
-        out.copy_from_slice(&heap);
+        (0..self.n_records)
+            .map(|i| self.nearest(i).dist)
+            .sum::<f32>()
+            / self.n_records as f32
     }
 }
 
@@ -349,7 +347,11 @@ mod tests {
             let par = MinKTable::build_parallel(&records, &reps, 4, 3, Metric::L2, threads);
             assert_eq!(par.n_records(), serial.n_records());
             for i in 0..serial.n_records() {
-                assert_eq!(par.neighbors(i), serial.neighbors(i), "record {i}, {threads} threads");
+                assert_eq!(
+                    par.neighbors(i),
+                    serial.neighbors(i),
+                    "record {i}, {threads} threads"
+                );
             }
         }
     }

@@ -12,6 +12,10 @@
 //!   cluster representatives and their distances. Supports incremental
 //!   extension with new representatives, which is what makes index
 //!   "cracking" (§3.3) cheap.
+//! * [`kernels`] — the blocked, multi-threaded distance kernel engine every
+//!   construction path above runs on: norms + decomposed dot products with
+//!   an exact-fallback filter, so results stay bit-identical to the naive
+//!   scalar scans.
 //! * [`pruned`] — an exact triangle-inequality-pruned min-k builder that
 //!   skips most distance computations on clustered data.
 
@@ -20,10 +24,15 @@
 
 pub mod distance;
 pub mod fpf;
+pub mod kernels;
 pub mod knn;
 pub mod pruned;
 
 pub use distance::Metric;
-pub use fpf::{fpf, fpf_from, random_selection, select, FpfResult, SelectionStrategy};
+pub use fpf::{
+    fpf, fpf_from, fpf_from_threaded, fpf_threaded, random_selection, select, select_threaded,
+    FpfResult, SelectionStrategy,
+};
+pub use kernels::{resolve_threads, BatchDistance};
 pub use knn::{MinKTable, Neighbor};
 pub use pruned::{build_pruned, PruneStats};

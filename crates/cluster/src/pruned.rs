@@ -26,6 +26,7 @@
 
 use crate::distance::Metric;
 use crate::fpf::fpf;
+use crate::kernels::BatchDistance;
 use crate::knn::{MinKTable, Neighbor};
 
 /// Statistics from a pruned build.
@@ -64,7 +65,10 @@ pub fn build_pruned(
     metric: Metric,
     n_pivots: usize,
 ) -> (MinKTable, PruneStats) {
-    assert!(metric.is_metric(), "pruned build requires a true metric (L2 or L1)");
+    assert!(
+        metric.is_metric(),
+        "pruned build requires a true metric (L2 or L1)"
+    );
     assert!(dim > 0);
     assert_eq!(records.len() % dim, 0);
     assert_eq!(reps.len() % dim, 0);
@@ -76,7 +80,10 @@ pub fn build_pruned(
     // Pivots: FPF over the representatives (diverse pivots bound best).
     let n_pivots = n_pivots.clamp(1, n_reps);
     let pivot_ids = fpf(reps, dim, n_pivots, metric, 0).selected;
-    let pivots: Vec<&[f32]> = pivot_ids.iter().map(|&p| &reps[p * dim..(p + 1) * dim]).collect();
+    let pivots: Vec<&[f32]> = pivot_ids
+        .iter()
+        .map(|&p| &reps[p * dim..(p + 1) * dim])
+        .collect();
 
     // d(pivot, rep) for every pivot × rep.
     let mut rep_pivot: Vec<f32> = vec![0.0; n_reps * n_pivots];
@@ -94,15 +101,23 @@ pub fn build_pruned(
             .partial_cmp(&rep_pivot[b as usize * n_pivots])
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    let sorted_primary: Vec<f32> =
-        order.iter().map(|&j| rep_pivot[j as usize * n_pivots]).collect();
+    let sorted_primary: Vec<f32> = order
+        .iter()
+        .map(|&j| rep_pivot[j as usize * n_pivots])
+        .collect();
 
+    // Candidates that survive the pivot bounds are evaluated through the
+    // kernel engine: the decomposed-dot estimate rejects most of them
+    // without a full exact pass, and survivors get the exact naive
+    // distance, so stored entries match the brute-force build.
+    let engine = BatchDistance::new(metric, reps, dim);
     let mut entries: Vec<Neighbor> = Vec::with_capacity(n_records * k);
     let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
     let mut rec_pivot = vec![0.0f32; n_pivots];
     let mut computed = 0u64;
 
     for rec in records.chunks_exact(dim) {
+        let ctx = engine.query_ctx(rec);
         for (p, pivot) in pivots.iter().enumerate() {
             rec_pivot[p] = metric.distance(pivot, rec);
         }
@@ -117,14 +132,21 @@ pub fn build_pruned(
         let mut hi_open = true;
         while lo_open || hi_open {
             // Pick the side with the smaller primary bound next.
-            let lo_bound =
-                if lo >= 0 { (rec_pivot[0] - sorted_primary[lo as usize]).abs() } else { f32::INFINITY };
+            let lo_bound = if lo >= 0 {
+                (rec_pivot[0] - sorted_primary[lo as usize]).abs()
+            } else {
+                f32::INFINITY
+            };
             let hi_bound = if hi < n_reps {
                 (rec_pivot[0] - sorted_primary[hi]).abs()
             } else {
                 f32::INFINITY
             };
-            let kth = if heap.len() == k { heap[k - 1].dist } else { f32::INFINITY };
+            let kth = if heap.len() == k {
+                heap[k - 1].dist
+            } else {
+                f32::INFINITY
+            };
             // Monotone stop: once a side's primary bound exceeds the k-th
             // best, every further rep on that side is prunable.
             if lo_bound >= kth {
@@ -165,19 +187,38 @@ pub fn build_pruned(
             for p in 0..n_pivots {
                 lb = lb.max((rec_pivot[p] - rep_pivot[j * n_pivots + p]).abs());
             }
-            let kth = if heap.len() == k { heap[k - 1].dist } else { f32::INFINITY };
+            let kth = if heap.len() == k {
+                heap[k - 1].dist
+            } else {
+                f32::INFINITY
+            };
             if lb >= kth {
                 continue;
             }
-            let d = metric.distance(rec, &reps[j * dim..(j + 1) * dim]);
-            computed += 1;
             if heap.len() < k {
+                let d = engine.exact(rec, j);
+                computed += 1;
                 let pos = heap.partition_point(|x| x.dist <= d);
-                heap.insert(pos, Neighbor { rep: j as u32, dist: d });
-            } else if d < heap[k - 1].dist {
-                heap.pop();
-                let pos = heap.partition_point(|x| x.dist <= d);
-                heap.insert(pos, Neighbor { rep: j as u32, dist: d });
+                heap.insert(
+                    pos,
+                    Neighbor {
+                        rep: j as u32,
+                        dist: d,
+                    },
+                );
+            } else if let Some(d) = engine.exact_if_below(rec, &ctx, j, kth) {
+                computed += 1;
+                if d < kth {
+                    heap.pop();
+                    let pos = heap.partition_point(|x| x.dist <= d);
+                    heap.insert(
+                        pos,
+                        Neighbor {
+                            rep: j as u32,
+                            dist: d,
+                        },
+                    );
+                }
             }
         }
         entries.extend_from_slice(&heap);
@@ -211,7 +252,9 @@ mod tests {
         (0..n)
             .flat_map(|i| {
                 let c = &centers[i % 8];
-                c.iter().map(|&x| x + rng.gen_range(-0.2f32..0.2)).collect::<Vec<f32>>()
+                c.iter()
+                    .map(|&x| x + rng.gen_range(-0.2f32..0.2))
+                    .collect::<Vec<f32>>()
             })
             .collect()
     }

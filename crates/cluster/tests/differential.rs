@@ -1,0 +1,246 @@
+//! Differential tests: the blocked kernel engine vs the naive scalar
+//! reference.
+//!
+//! The kernel layer promises results *bit-identical* to a naive per-pair
+//! scan (`Metric::distance`, corpus rows in index order) at any thread
+//! count. These tests keep an independent copy of the naive algorithms —
+//! the pre-kernel implementations of FPF and the min-k scan — and check
+//! the engine against them across all four metrics on random instances:
+//! identical `selected`/`rep` indices, and distances within 1e-5 (in
+//! practice they are exactly equal; the looser bound keeps the test
+//! independent of the engine's internal exact-fallback discipline).
+
+use proptest::prelude::*;
+use tasti_cluster::{fpf_from_threaded, fpf_threaded, Metric, MinKTable, Neighbor};
+
+/// Naive FPF, verbatim from the pre-kernel implementation.
+fn naive_fpf(
+    data: &[f32],
+    dim: usize,
+    count: usize,
+    metric: Metric,
+    first: usize,
+) -> (Vec<usize>, Vec<f32>) {
+    let n = data.len() / dim;
+    let count = count.min(n);
+    let mut selected = Vec::with_capacity(count);
+    let mut min_dist = vec![f32::INFINITY; n];
+    let mut next = first;
+    for _ in 0..count {
+        selected.push(next);
+        let rep_row = &data[next * dim..(next + 1) * dim];
+        let mut best = 0usize;
+        let mut best_d = f32::NEG_INFINITY;
+        for (i, row) in data.chunks_exact(dim).enumerate() {
+            let d = metric.distance(rep_row, row);
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+            if min_dist[i] > best_d {
+                best_d = min_dist[i];
+                best = i;
+            }
+        }
+        next = best;
+    }
+    (selected, min_dist)
+}
+
+/// Naive min-k scan, verbatim from the pre-kernel implementation.
+fn naive_mink(
+    records: &[f32],
+    reps: &[f32],
+    dim: usize,
+    k: usize,
+    metric: Metric,
+) -> Vec<Neighbor> {
+    let n_reps = reps.len() / dim;
+    let k = k.min(n_reps).max(1);
+    let mut entries = Vec::with_capacity(records.len() / dim * k);
+    let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    for rec in records.chunks_exact(dim) {
+        heap.clear();
+        for (j, rep_row) in reps.chunks_exact(dim).enumerate() {
+            let d = metric.distance(rec, rep_row);
+            if heap.len() < k || d < heap[k - 1].dist {
+                if heap.len() == k {
+                    heap.pop();
+                }
+                let pos = heap.partition_point(|x| x.dist <= d);
+                heap.insert(
+                    pos,
+                    Neighbor {
+                        rep: j as u32,
+                        dist: d,
+                    },
+                );
+            }
+        }
+        entries.extend_from_slice(&heap);
+    }
+    entries
+}
+
+fn arb_metric() -> impl Strategy<Value = Metric> {
+    prop_oneof![
+        Just(Metric::L2),
+        Just(Metric::SquaredL2),
+        Just(Metric::L1),
+        Just(Metric::Cosine),
+    ]
+}
+
+/// Row-major points with 1–8 dims, 2–40 rows, coordinates in ±10.
+fn arb_points() -> impl Strategy<Value = (Vec<f32>, usize)> {
+    (1usize..=8).prop_flat_map(|dim| {
+        (
+            prop::collection::vec(-10.0f32..10.0, (2 * dim)..=(40 * dim)).prop_map(move |mut v| {
+                v.truncate(v.len() / dim * dim);
+                v
+            }),
+            Just(dim),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fpf_matches_naive_reference(
+        (data, dim) in arb_points(),
+        metric in arb_metric(),
+        count_frac in 0.1f64..1.0,
+        threads in prop_oneof![Just(1usize), Just(2), Just(3), Just(0)],
+    ) {
+        let n = data.len() / dim;
+        let count = ((n as f64 * count_frac) as usize).max(1);
+        let (naive_sel, naive_md) = naive_fpf(&data, dim, count, metric, 0);
+        let fast = fpf_threaded(&data, dim, count, metric, 0, threads);
+        prop_assert_eq!(&fast.selected, &naive_sel, "selected indices diverged");
+        prop_assert_eq!(fast.min_dist.len(), naive_md.len());
+        for (i, (a, b)) in fast.min_dist.iter().zip(&naive_md).enumerate() {
+            prop_assert!((a - b).abs() <= 1e-5, "min_dist[{}]: {} vs {}", i, a, b);
+        }
+        let naive_radius = naive_md.iter().copied().fold(0.0f32, f32::max);
+        prop_assert!((fast.cover_radius - naive_radius).abs() <= 1e-5);
+    }
+
+    #[test]
+    fn fpf_extension_matches_naive_reference(
+        (data, dim) in arb_points(),
+        metric in arb_metric(),
+        threads in prop_oneof![Just(1usize), Just(3), Just(0)],
+    ) {
+        let n = data.len() / dim;
+        let seed_count = (n / 3).max(1);
+        let additional = (n / 3).max(1);
+        // Seed with a naive-FPF prefix, then extend both ways.
+        let (seed_sel, _) = naive_fpf(&data, dim, seed_count, metric, 0);
+        let mut naive_md = vec![f32::INFINITY; n];
+        let mut naive_sel = seed_sel.clone();
+        for &s in &seed_sel {
+            let rep_row = &data[s * dim..(s + 1) * dim];
+            for (i, row) in data.chunks_exact(dim).enumerate() {
+                let d = metric.distance(rep_row, row);
+                if d < naive_md[i] {
+                    naive_md[i] = d;
+                }
+            }
+        }
+        for _ in 0..additional.min(n - naive_sel.len()) {
+            let (best, _) = naive_md.iter().enumerate().fold(
+                (0usize, f32::NEG_INFINITY),
+                |acc, (i, &d)| if d > acc.1 { (i, d) } else { acc },
+            );
+            naive_sel.push(best);
+            let rep_row = &data[best * dim..(best + 1) * dim];
+            for (i, row) in data.chunks_exact(dim).enumerate() {
+                let d = metric.distance(rep_row, row);
+                if d < naive_md[i] {
+                    naive_md[i] = d;
+                }
+            }
+        }
+        let fast = fpf_from_threaded(&data, dim, &seed_sel, additional, metric, threads);
+        prop_assert_eq!(&fast.selected, &naive_sel, "extension selections diverged");
+        for (a, b) in fast.min_dist.iter().zip(&naive_md) {
+            prop_assert!((a - b).abs() <= 1e-5);
+        }
+    }
+
+    #[test]
+    fn mink_table_matches_naive_reference(
+        (records, dim) in arb_points(),
+        reps_seed in 0u64..1000,
+        metric in arb_metric(),
+        k in 1usize..6,
+        threads in prop_oneof![Just(1usize), Just(2), Just(5), Just(0)],
+    ) {
+        let n_reps = 1 + (reps_seed as usize % 20);
+        // Derive reps deterministically from the seed (cheap LCG).
+        let mut state = reps_seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493) | 1;
+        let reps: Vec<f32> = (0..n_reps * dim)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as i32 % 2000) as f32 / 100.0
+            })
+            .collect();
+        let naive = naive_mink(&records, &reps, dim, k, metric);
+        let fast = MinKTable::build_parallel(&records, &reps, dim, k, metric, threads);
+        let kk = fast.k();
+        prop_assert_eq!(naive.len(), fast.n_records() * kk);
+        for i in 0..fast.n_records() {
+            let f = fast.neighbors(i);
+            let nv = &naive[i * kk..(i + 1) * kk];
+            for (a, b) in f.iter().zip(nv) {
+                prop_assert_eq!(a.rep, b.rep, "record {} rep identity diverged", i);
+                prop_assert!((a.dist - b.dist).abs() <= 1e-5, "record {}: {} vs {}", i, a.dist, b.dist);
+            }
+        }
+    }
+}
+
+/// On fixed instances the engine must match the naive reference *bitwise*
+/// (stronger than the 1e-5 property above): same selections, identical
+/// f32 distances.
+#[test]
+fn engine_is_bitwise_equal_to_naive_on_fixed_instances() {
+    let dims = [1usize, 3, 7, 16];
+    for (case, &dim) in dims.iter().enumerate() {
+        let n = 120;
+        let mut state = 0x9E3779B97F4A7C15u64.wrapping_add(case as u64);
+        let data: Vec<f32> = (0..n * dim)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as i32 % 4000) as f32 / 200.0
+            })
+            .collect();
+        for metric in [Metric::L2, Metric::SquaredL2, Metric::L1, Metric::Cosine] {
+            let (naive_sel, naive_md) = naive_fpf(&data, dim, 30, metric, 0);
+            for threads in [1usize, 4, 0] {
+                let fast = fpf_threaded(&data, dim, 30, metric, 0, threads);
+                assert_eq!(
+                    fast.selected, naive_sel,
+                    "{metric:?} dim {dim} threads {threads}"
+                );
+                assert_eq!(
+                    fast.min_dist, naive_md,
+                    "{metric:?} dim {dim} threads {threads}"
+                );
+            }
+            let reps: Vec<f32> = data[..20 * dim].to_vec();
+            let naive = naive_mink(&data, &reps, dim, 4, metric);
+            let fast = MinKTable::build_parallel(&data, &reps, dim, 4, metric, 3);
+            for i in 0..n {
+                assert_eq!(
+                    fast.neighbors(i),
+                    &naive[i * 4..(i + 1) * 4],
+                    "{metric:?} dim {dim} record {i}"
+                );
+            }
+        }
+    }
+}

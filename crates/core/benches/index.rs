@@ -16,7 +16,12 @@ fn built_index(n: usize) -> (tasti_data::Dataset, TastiIndex) {
         n_train: 100,
         n_reps: 200,
         embedding_dim: 16,
-        triplet: TripletConfig { steps: 100, batch_size: 16, margin: 0.3, ..Default::default() },
+        triplet: TripletConfig {
+            steps: 100,
+            batch_size: 16,
+            margin: 0.3,
+            ..Default::default()
+        },
         ..TastiConfig::default()
     };
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 1);
@@ -39,15 +44,19 @@ fn bench_build(c: &mut Criterion) {
         n_train: 100,
         n_reps: 200,
         embedding_dim: 16,
-        triplet: TripletConfig { steps: 100, batch_size: 16, margin: 0.3, ..Default::default() },
+        triplet: TripletConfig {
+            steps: 100,
+            batch_size: 16,
+            margin: 0.3,
+            ..Default::default()
+        },
         ..TastiConfig::default()
     };
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 1);
     let pretrained = pt.embed_all(&dataset.features);
     c.bench_function("build_index_2k_frames", |b| {
         b.iter(|| {
-            let labeler =
-                MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+            let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
             build_index(
                 black_box(&dataset.features),
                 black_box(&pretrained),

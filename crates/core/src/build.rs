@@ -24,7 +24,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::time::Instant;
-use tasti_cluster::{select, MinKTable};
+use tasti_cluster::{kernels, select_threaded, MinKTable};
 use tasti_labeler::{BudgetExhausted, ClosenessFn, MeteredLabeler, TargetLabeler};
 use tasti_nn::train::fit_triplet;
 use tasti_nn::{Adam, Matrix, Mlp, MlpConfig};
@@ -68,43 +68,35 @@ impl BuildReport {
 
     /// Invocations of a named stage (0 if absent).
     pub fn stage_invocations(&self, name: &str) -> u64 {
-        self.stages.iter().filter(|s| s.name == name).map(|s| s.labeler_invocations).sum()
+        self.stages
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.labeler_invocations)
+            .sum()
     }
 }
 
 /// Embeds all rows of `features` through `net`, splitting the batch across
-/// threads. Deterministic: rows are processed independently and reassembled
-/// in order.
-fn parallel_embed(net: &Mlp, features: &Matrix) -> Matrix {
-    let threads =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+/// threads via the shared kernel fan-out (`threads = 0` = available
+/// parallelism). Deterministic: rows are processed independently and
+/// written back in order.
+fn parallel_embed(net: &Mlp, features: &Matrix, threads: usize) -> Matrix {
     let n = features.rows();
+    let threads = kernels::resolve_threads(threads);
     if threads <= 1 || n < 2 * threads {
         return net.forward_ref(features);
     }
-    let rows_per_chunk = n.div_ceil(threads);
     let mut out = Matrix::zeros(n, net.output_dim());
     let out_cols = out.cols();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk_idx in 0..threads {
-            let start = chunk_idx * rows_per_chunk;
-            if start >= n {
-                break;
-            }
-            let end = (start + rows_per_chunk).min(n);
-            let rows: Vec<usize> = (start..end).collect();
-            let chunk = features.select_rows(&rows);
-            handles.push((start, scope.spawn(move |_| net.forward_ref(&chunk))));
-        }
-        for (start, h) in handles {
-            let emb = h.join().expect("embedding worker panicked");
-            let flat = out.as_mut_slice();
-            flat[start * out_cols..start * out_cols + emb.as_slice().len()]
-                .copy_from_slice(emb.as_slice());
-        }
-    })
-    .expect("embedding scope failed");
+    let feat_cols = features.cols();
+    kernels::par_map_row_chunks(out.as_mut_slice(), out_cols, threads, |start, block| {
+        let rows = block.len() / out_cols;
+        let rows_idx: Vec<usize> = (start..start + rows).collect();
+        let chunk = features.select_rows(&rows_idx);
+        debug_assert_eq!(chunk.cols(), feat_cols);
+        let emb = net.forward_ref(&chunk);
+        block.copy_from_slice(emb.as_slice());
+    });
     out
 }
 
@@ -129,7 +121,11 @@ pub fn build_index<L: TargetLabeler>(
     closeness: &dyn ClosenessFn,
     config: &TastiConfig,
 ) -> Result<(TastiIndex, BuildReport), BudgetExhausted> {
-    assert_eq!(features.rows(), pretrained.rows(), "features/pretrained row mismatch");
+    assert_eq!(
+        features.rows(),
+        pretrained.rows(),
+        "features/pretrained row mismatch"
+    );
     assert!(features.rows() > 0, "cannot index an empty dataset");
     let n = features.rows();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
@@ -143,7 +139,7 @@ pub fn build_index<L: TargetLabeler>(
     let (embeddings, trained_model) = if config.train_embedding {
         let t = Instant::now();
         let inv0 = labeler.invocations();
-        let mining = select(
+        let mining = select_threaded(
             pretrained.as_slice(),
             pretrained.cols(),
             config.n_train.min(n),
@@ -151,6 +147,7 @@ pub fn build_index<L: TargetLabeler>(
             config.mining,
             0,
             &mut rng,
+            config.threads,
         );
         stages.push(BuildStage {
             name: "mining",
@@ -182,8 +179,14 @@ pub fn build_index<L: TargetLabeler>(
         let mlp_config = MlpConfig::embedding(features.cols(), config.embedding_dim);
         let mut net = Mlp::new(&mlp_config, &mut rng);
         let mut opt = Adam::new(3e-3);
-        let report =
-            fit_triplet(&mut net, &train_features, &buckets, &config.triplet, &mut opt, &mut rng);
+        let report = fit_triplet(
+            &mut net,
+            &train_features,
+            &buckets,
+            &config.triplet,
+            &mut opt,
+            &mut rng,
+        );
         triplet_loss = report.final_loss;
         training_forward_rows = (report.steps * config.triplet.batch_size * 3) as u64;
         stages.push(BuildStage {
@@ -196,7 +199,7 @@ pub fn build_index<L: TargetLabeler>(
         //    (fanned out across threads; §3.4 notes embedding all records is
         //    a first-order construction cost).
         let t = Instant::now();
-        let emb = parallel_embed(&net, features);
+        let emb = parallel_embed(&net, features, config.threads);
         stages.push(BuildStage {
             name: "embed",
             seconds: t.elapsed().as_secs_f64(),
@@ -210,7 +213,7 @@ pub fn build_index<L: TargetLabeler>(
 
     // ── Stage 5: select cluster representatives (§3.2).
     let t = Instant::now();
-    let clustering = select(
+    let clustering = select_threaded(
         embeddings.as_slice(),
         embeddings.cols(),
         config.n_reps.min(n),
@@ -218,6 +221,7 @@ pub fn build_index<L: TargetLabeler>(
         config.clustering,
         0,
         &mut rng,
+        config.threads,
     );
     stages.push(BuildStage {
         name: "cluster",
@@ -251,7 +255,7 @@ pub fn build_index<L: TargetLabeler>(
         embeddings.cols(),
         config.k,
         config.metric,
-        0, // auto parallelism; per-record work is independent and deterministic
+        config.threads, // 0 = auto; per-record work is independent and deterministic
     );
     stages.push(BuildStage {
         name: "distances",
@@ -302,14 +306,24 @@ mod tests {
             n_reps: 120,
             k: 5,
             embedding_dim: 8,
-            triplet: TripletConfig { steps: 150, batch_size: 16, margin: 0.3, ..Default::default() },
+            triplet: TripletConfig {
+                steps: 150,
+                batch_size: 16,
+                margin: 0.3,
+                ..Default::default()
+            },
             ..TastiConfig::default()
         }
     }
 
     fn build_night_street(
         config: &TastiConfig,
-    ) -> (tasti_data::Dataset, MeteredLabeler<OracleLabeler>, TastiIndex, BuildReport) {
+    ) -> (
+        tasti_data::Dataset,
+        MeteredLabeler<OracleLabeler>,
+        TastiIndex,
+        BuildReport,
+    ) {
         let preset = night_street(1200, 42);
         let dataset = preset.dataset;
         let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
@@ -358,7 +372,10 @@ mod tests {
         let proxy = index.propagate(&score_fn);
         let truth = dataset.true_scores(|o| score_fn.score(o));
         let rho2 = rho_squared(&proxy, &truth);
-        assert!(rho2 > 0.3, "trained index proxy should correlate with truth: ρ² = {rho2}");
+        assert!(
+            rho2 > 0.3,
+            "trained index proxy should correlate with truth: ρ² = {rho2}"
+        );
     }
 
     #[test]
@@ -416,9 +433,15 @@ mod tests {
         let config = small_config();
         let (_d, _l, _i, report) = build_night_street(&config);
         let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
-        for expected in
-            ["mining", "annotate-train", "triplet-train", "embed", "cluster", "annotate-reps", "distances"]
-        {
+        for expected in [
+            "mining",
+            "annotate-train",
+            "triplet-train",
+            "embed",
+            "cluster",
+            "annotate-reps",
+            "distances",
+        ] {
             assert!(names.contains(&expected), "missing stage {expected}");
         }
     }

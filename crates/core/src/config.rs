@@ -40,6 +40,12 @@ pub struct TastiConfig {
     /// Seed for all randomness in construction (weight init, triplet
     /// sampling, random representative mix).
     pub seed: u64,
+    /// Worker threads for the distance/embedding kernels during
+    /// construction (`0` = the machine's available parallelism). One knob
+    /// governs the `mining`, `embed`, `cluster`, and `distances` stages;
+    /// results are identical at any setting.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for TastiConfig {
@@ -51,10 +57,13 @@ impl Default for TastiConfig {
             embedding_dim: 32,
             train_embedding: true,
             mining: SelectionStrategy::Fpf,
-            clustering: SelectionStrategy::FpfWithRandomMix { random_fraction: 0.1 },
+            clustering: SelectionStrategy::FpfWithRandomMix {
+                random_fraction: 0.1,
+            },
             triplet: TripletConfig::default(),
             metric: Metric::L2,
             seed: 0x7A57,
+            threads: 0,
         }
     }
 }
@@ -80,7 +89,11 @@ impl TastiConfig {
     /// Total labeler budget implied by this configuration (training points
     /// plus representatives; overlap reduces the realized count).
     pub fn labeler_budget(&self) -> usize {
-        let train = if self.train_embedding { self.n_train } else { 0 };
+        let train = if self.train_embedding {
+            self.n_train
+        } else {
+            0
+        };
         train + self.n_reps
     }
 }
@@ -109,6 +122,20 @@ mod tests {
         let small = TastiConfig::scaled_to(30_000);
         assert_eq!(small.n_train, 100);
         assert!(small.n_reps >= 100);
+    }
+
+    #[test]
+    fn threads_knob_defaults_to_auto_and_tolerates_legacy_configs() {
+        let c = TastiConfig::default();
+        assert_eq!(c.threads, 0);
+        let json = serde_json::to_string(&c).unwrap();
+        // Configs serialized before the knob existed lack the field; the
+        // serde default must fill in 0 (= auto).
+        let legacy = json
+            .replace(",\"threads\":0", "")
+            .replace("\"threads\":0,", "");
+        let back: TastiConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.threads, 0);
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub fn crack_from_labeler<L: TargetLabeler>(
         if index.is_rep(rec) {
             continue;
         }
-        let output = labeler.cached(rec).expect("labeled_records returned an uncached record");
+        let output = labeler
+            .cached(rec)
+            .expect("labeled_records returned an uncached record");
         if index.crack(rec, output) {
             added += 1;
         }
@@ -47,7 +49,11 @@ mod tests {
     use tasti_nn::metrics::{mae, rho_squared};
     use tasti_nn::TripletConfig;
 
-    fn setup() -> (tasti_data::Dataset, MeteredLabeler<OracleLabeler>, TastiIndex) {
+    fn setup() -> (
+        tasti_data::Dataset,
+        MeteredLabeler<OracleLabeler>,
+        TastiIndex,
+    ) {
         let preset = night_street(1000, 17);
         let dataset = preset.dataset;
         let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
@@ -55,7 +61,12 @@ mod tests {
             n_train: 50,
             n_reps: 80,
             embedding_dim: 8,
-            triplet: TripletConfig { steps: 120, batch_size: 16, margin: 0.3, ..Default::default() },
+            triplet: TripletConfig {
+                steps: 120,
+                batch_size: 16,
+                margin: 0.3,
+                ..Default::default()
+            },
             ..TastiConfig::default()
         };
         let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 3);
@@ -119,7 +130,10 @@ mod tests {
         );
         // Cracked records now score exactly.
         for r in (0..1000).step_by(5) {
-            assert_eq!(after_scores[r], truth[r], "record {r} should be exact after cracking");
+            assert_eq!(
+                after_scores[r], truth[r],
+                "record {r} should be exact after cracking"
+            );
         }
     }
 

@@ -85,7 +85,11 @@ pub fn loo_quality(index: &TastiIndex, score_fn: &dyn ScoringFunction) -> LooQua
     let n_reps = reps.len();
     let exact = index.rep_scores(score_fn);
     if n_reps < 3 {
-        return LooQuality { rho_squared: 0.0, mae: f64::NAN, n_reps };
+        return LooQuality {
+            rho_squared: 0.0,
+            mae: f64::NAN,
+            n_reps,
+        };
     }
     // Min-k table over the representatives themselves (k+1 so each rep can
     // drop itself from its own neighbor list).
@@ -100,7 +104,13 @@ pub fn loo_quality(index: &TastiIndex, score_fn: &dyn ScoringFunction) -> LooQua
     let mut others: Vec<Neighbor> = Vec::with_capacity(k + 1);
     for i in 0..n_reps {
         others.clear();
-        others.extend(table.neighbors(i).iter().filter(|n| n.rep as usize != i).copied());
+        others.extend(
+            table
+                .neighbors(i)
+                .iter()
+                .filter(|n| n.rep as usize != i)
+                .copied(),
+        );
         predicted.push(weighted_mean(&others, &exact, k));
     }
     LooQuality {
@@ -129,7 +139,12 @@ mod tests {
             n_train: 120,
             n_reps: 220,
             embedding_dim: 16,
-            triplet: TripletConfig { steps: 150, batch_size: 24, margin: 0.3, ..Default::default() },
+            triplet: TripletConfig {
+                steps: 150,
+                batch_size: 24,
+                margin: 0.3,
+                ..Default::default()
+            },
             seed,
             ..TastiConfig::default()
         };

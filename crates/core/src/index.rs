@@ -38,11 +38,28 @@ impl TastiIndex {
         rep_outputs: Vec<LabelerOutput>,
         mink: MinKTable,
     ) -> Self {
-        assert_eq!(reps.len(), rep_outputs.len(), "one output per representative");
+        assert_eq!(
+            reps.len(),
+            rep_outputs.len(),
+            "one output per representative"
+        );
         assert_eq!(mink.n_reps(), reps.len(), "min-k table rep count mismatch");
-        assert_eq!(mink.n_records(), embeddings.rows(), "min-k table record count mismatch");
+        assert_eq!(
+            mink.n_records(),
+            embeddings.rows(),
+            "min-k table record count mismatch"
+        );
         let rep_set = reps.iter().copied().collect();
-        Self { embeddings, metric, k, reps, rep_outputs, rep_set, mink, model: None }
+        Self {
+            embeddings,
+            metric,
+            k,
+            reps,
+            rep_outputs,
+            rep_set,
+            mink,
+            model: None,
+        }
     }
 
     /// Attaches the trained embedding model (enables
@@ -153,9 +170,10 @@ impl TastiIndex {
     /// Panics if the index carries no embedding model (TASTI-PT indexes:
     /// embed externally and use [`TastiIndex::append_embedded`]).
     pub fn append_records(&mut self, new_features: &Matrix) -> std::ops::Range<RecordId> {
-        let model = self.model.as_ref().expect(
-            "append_records requires an embedding model; use append_embedded for TASTI-PT",
-        );
+        let model = self
+            .model
+            .as_ref()
+            .expect("append_records requires an embedding model; use append_embedded for TASTI-PT");
         assert_eq!(
             new_features.cols(),
             model.input_dim(),
@@ -180,7 +198,8 @@ impl TastiIndex {
             .iter()
             .flat_map(|&r| self.embeddings.row(r).iter().copied())
             .collect();
-        self.mink.append_records(new_embeddings.as_slice(), &rep_flat, dim, self.metric);
+        self.mink
+            .append_records(new_embeddings.as_slice(), &rep_flat, dim, self.metric);
         self.embeddings = Matrix::vstack(&[&self.embeddings, new_embeddings]);
         start..self.embeddings.rows()
     }
@@ -194,7 +213,8 @@ impl TastiIndex {
         }
         let dim = self.embeddings.cols();
         let emb_row = self.embeddings.row(record).to_vec();
-        self.mink.add_representative(self.embeddings.as_slice(), &emb_row, dim, self.metric);
+        self.mink
+            .add_representative(self.embeddings.as_slice(), &emb_row, dim, self.metric);
         self.reps.push(record);
         self.rep_outputs.push(output);
         true
@@ -285,10 +305,7 @@ mod tests {
     #[test]
     fn categorical_propagation_votes() {
         let idx = tiny_index();
-        let cats = idx.propagate_categorical(
-            |o| o.count_class(ObjectClass::Car) as u32,
-            1,
-        );
+        let cats = idx.propagate_categorical(|o| o.count_class(ObjectClass::Car) as u32, 1);
         assert_eq!(cats, vec![0, 0, 0, 3, 3, 3]);
     }
 

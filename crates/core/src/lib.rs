@@ -49,6 +49,6 @@ pub use build::{build_index, BuildReport, BuildStage};
 pub use config::TastiConfig;
 pub use index::TastiIndex;
 pub use scoring::{
-    CountClass, FnScore, HasAtLeast, HasClass, HasClassInLeftHalf, MeanXPosition,
-    ScoringFunction, SpeechIsMale, SqlNumPredicates, SqlOpIs,
+    CountClass, FnScore, HasAtLeast, HasClass, HasClassInLeftHalf, MeanXPosition, ScoringFunction,
+    SpeechIsMale, SqlNumPredicates, SqlOpIs,
 };

@@ -50,7 +50,10 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "index I/O error: {e}"),
             PersistError::Format(e) => write!(f, "malformed index snapshot: {e}"),
             PersistError::UnsupportedVersion(v) => {
-                write!(f, "unsupported index format version {v} (supported: {FORMAT_VERSION})")
+                write!(
+                    f,
+                    "unsupported index format version {v} (supported: {FORMAT_VERSION})"
+                )
             }
         }
     }
@@ -78,7 +81,9 @@ pub fn to_json(index: &TastiIndex) -> String {
         metric: index.metric(),
         k: index.k(),
         reps: index.reps().to_vec(),
-        rep_outputs: (0..index.reps().len()).map(|i| index.rep_output(i).clone()).collect(),
+        rep_outputs: (0..index.reps().len())
+            .map(|i| index.rep_output(i).clone())
+            .collect(),
         mink: index.mink().clone(),
         model: index.model().cloned(),
     };
@@ -192,7 +197,10 @@ mod tests {
 
     #[test]
     fn malformed_json_is_rejected() {
-        assert!(matches!(from_json("not json"), Err(PersistError::Format(_))));
+        assert!(matches!(
+            from_json("not json"),
+            Err(PersistError::Format(_))
+        ));
         assert!(matches!(from_json("{}"), Err(PersistError::Format(_))));
     }
 
@@ -200,7 +208,10 @@ mod tests {
     fn wrong_version_is_rejected() {
         let mut json = to_json(&tiny_index());
         json = json.replace("\"version\":1", "\"version\":999");
-        assert!(matches!(from_json(&json), Err(PersistError::UnsupportedVersion(999))));
+        assert!(matches!(
+            from_json(&json),
+            Err(PersistError::UnsupportedVersion(999))
+        ));
     }
 
     #[test]

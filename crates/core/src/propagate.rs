@@ -58,14 +58,26 @@ pub fn weighted_vote(neighbors: &[Neighbor], rep_categories: &[u32], k: usize) -
 
 /// Propagates numeric representative scores to every record (§4.3).
 pub fn propagate_numeric(mink: &MinKTable, rep_scores: &[f64], k: usize) -> Vec<f64> {
-    assert_eq!(rep_scores.len(), mink.n_reps(), "one score per representative required");
-    (0..mink.n_records()).map(|i| weighted_mean(mink.neighbors(i), rep_scores, k)).collect()
+    assert_eq!(
+        rep_scores.len(),
+        mink.n_reps(),
+        "one score per representative required"
+    );
+    (0..mink.n_records())
+        .map(|i| weighted_mean(mink.neighbors(i), rep_scores, k))
+        .collect()
 }
 
 /// Propagates categorical representative labels to every record.
 pub fn propagate_categorical(mink: &MinKTable, rep_categories: &[u32], k: usize) -> Vec<u32> {
-    assert_eq!(rep_categories.len(), mink.n_reps(), "one category per representative required");
-    (0..mink.n_records()).map(|i| weighted_vote(mink.neighbors(i), rep_categories, k)).collect()
+    assert_eq!(
+        rep_categories.len(),
+        mink.n_reps(),
+        "one category per representative required"
+    );
+    (0..mink.n_records())
+        .map(|i| weighted_vote(mink.neighbors(i), rep_categories, k))
+        .collect()
 }
 
 /// The limit-query scoring view (§6.3): `k = 1` score with ties broken by
@@ -91,7 +103,12 @@ pub fn limit_ranking(mink: &MinKTable, rep_scores: &[f64]) -> Vec<usize> {
             .0
             .partial_cmp(&scores[a].0)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(scores[a].1.partial_cmp(&scores[b].1).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                scores[a]
+                    .1
+                    .partial_cmp(&scores[b].1)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
     });
     order
 }
@@ -121,7 +138,10 @@ mod tests {
         let t = fixture();
         let scores = propagate_numeric(&t, &[0.0, 10.0], 2);
         for w in scores.windows(2) {
-            assert!(w[0] <= w[1] + 1e-9, "scores should rise toward the high rep: {scores:?}");
+            assert!(
+                w[0] <= w[1] + 1e-9,
+                "scores should rise toward the high rep: {scores:?}"
+            );
         }
         // Midpoint-ish record leans toward nearer rep.
         assert!(scores[1] < 5.0);
@@ -140,7 +160,10 @@ mod tests {
         let t = fixture();
         let scores = propagate_numeric(&t, &[2.0, 7.0], 2);
         for s in scores {
-            assert!((2.0..=7.0).contains(&s), "convex combination out of range: {s}");
+            assert!(
+                (2.0..=7.0).contains(&s),
+                "convex combination out of range: {s}"
+            );
         }
     }
 

@@ -76,8 +76,11 @@ impl ScoringFunction for MeanXPosition {
     fn score(&self, output: &LabelerOutput) -> f64 {
         match output {
             LabelerOutput::Detections(d) => {
-                let xs: Vec<f64> =
-                    d.iter().filter(|b| b.class == self.0).map(|b| b.x as f64).collect();
+                let xs: Vec<f64> = d
+                    .iter()
+                    .filter(|b| b.class == self.0)
+                    .map(|b| b.x as f64)
+                    .collect();
                 if xs.is_empty() {
                     0.5
                 } else {
@@ -99,8 +102,11 @@ impl ScoringFunction for HasClassInLeftHalf {
     fn score(&self, output: &LabelerOutput) -> f64 {
         match output {
             LabelerOutput::Detections(d) => {
-                let xs: Vec<f32> =
-                    d.iter().filter(|b| b.class == self.0).map(|b| b.x).collect();
+                let xs: Vec<f32> = d
+                    .iter()
+                    .filter(|b| b.class == self.0)
+                    .map(|b| b.x)
+                    .collect();
                 if xs.is_empty() {
                     return 0.0;
                 }
@@ -189,14 +195,24 @@ mod tests {
         LabelerOutput::Detections(
             boxes
                 .iter()
-                .map(|&(class, x)| Detection { class, x, y: 0.5, w: 0.1, h: 0.1 })
+                .map(|&(class, x)| Detection {
+                    class,
+                    x,
+                    y: 0.5,
+                    w: 0.1,
+                    h: 0.1,
+                })
                 .collect(),
         )
     }
 
     #[test]
     fn count_class_counts_only_matching() {
-        let f = frame(&[(ObjectClass::Car, 0.1), (ObjectClass::Bus, 0.2), (ObjectClass::Car, 0.9)]);
+        let f = frame(&[
+            (ObjectClass::Car, 0.1),
+            (ObjectClass::Bus, 0.2),
+            (ObjectClass::Car, 0.9),
+        ]);
         assert_eq!(CountClass(ObjectClass::Car).score(&f), 2.0);
         assert_eq!(CountClass(ObjectClass::Bus).score(&f), 1.0);
     }
@@ -230,7 +246,10 @@ mod tests {
 
     #[test]
     fn sql_scores() {
-        let q = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Count, num_predicates: 3 });
+        let q = LabelerOutput::Sql(SqlAnnotation {
+            op: SqlOp::Count,
+            num_predicates: 3,
+        });
         assert_eq!(SqlNumPredicates.score(&q), 3.0);
         assert_eq!(SqlOpIs(SqlOp::Count).score(&q), 1.0);
         assert_eq!(SqlOpIs(SqlOp::Select).score(&q), 0.0);
@@ -238,8 +257,14 @@ mod tests {
 
     #[test]
     fn speech_scores() {
-        let m = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Male, age_bucket: 1 });
-        let f = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Female, age_bucket: 1 });
+        let m = LabelerOutput::Speech(SpeechAnnotation {
+            gender: Gender::Male,
+            age_bucket: 1,
+        });
+        let f = LabelerOutput::Speech(SpeechAnnotation {
+            gender: Gender::Female,
+            age_bucket: 1,
+        });
         assert_eq!(SpeechIsMale.score(&m), 1.0);
         assert_eq!(SpeechIsMale.score(&f), 0.0);
     }
@@ -252,7 +277,10 @@ mod tests {
 
     #[test]
     fn cross_modality_scores_are_neutral() {
-        let q = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Avg, num_predicates: 1 });
+        let q = LabelerOutput::Sql(SqlAnnotation {
+            op: SqlOp::Avg,
+            num_predicates: 1,
+        });
         assert_eq!(CountClass(ObjectClass::Car).score(&q), 0.0);
         assert_eq!(MeanXPosition(ObjectClass::Car).score(&q), 0.5);
         assert_eq!(SpeechIsMale.score(&q), 0.0);

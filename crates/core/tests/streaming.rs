@@ -39,15 +39,25 @@ fn setup(
         n_train: 150,
         n_reps: 250,
         embedding_dim: 16,
-        triplet: TripletConfig { steps: 150, batch_size: 24, margin: 0.3, ..Default::default() },
+        triplet: TripletConfig {
+            steps: 150,
+            batch_size: 24,
+            margin: 0.3,
+            ..Default::default()
+        },
         seed,
         ..TastiConfig::default()
     };
     let mut pt = PretrainedEmbedder::new(prefix.feature_dim(), config.embedding_dim, 9);
     let pretrained = pt.embed_all(&prefix.features);
-    let (index, _) =
-        build_index(&prefix.features, &pretrained, &labeler, &VideoCloseness::default(), &config)
-            .unwrap();
+    let (index, _) = build_index(
+        &prefix.features,
+        &pretrained,
+        &labeler,
+        &VideoCloseness::default(),
+        &config,
+    )
+    .unwrap();
     let stream_rows: Vec<usize> = (n_index..n_index + n_stream).collect();
     let stream_features = full.features.select_rows(&stream_rows);
     (full, index, stream_features)
@@ -56,7 +66,10 @@ fn setup(
 #[test]
 fn appended_records_get_meaningful_proxy_scores() {
     let (full, mut index, stream_features) = setup(2_000, 800, 91);
-    assert!(index.model().is_some(), "TASTI-T build must carry its model");
+    assert!(
+        index.model().is_some(),
+        "TASTI-T build must carry its model"
+    );
 
     let range = index.append_records(&stream_features);
     assert_eq!(range, 2_000..2_800);
@@ -68,10 +81,14 @@ fn appended_records_get_meaningful_proxy_scores() {
     // The appended frames' scores must correlate with their ground truth —
     // they come from the same camera, so the index generalizes.
     let new_proxy = &proxy[2_000..];
-    let new_truth: Vec<f64> =
-        (2_000..2_800).map(|i| score.score(full.ground_truth(i))).collect();
+    let new_truth: Vec<f64> = (2_000..2_800)
+        .map(|i| score.score(full.ground_truth(i)))
+        .collect();
     let rho2 = rho_squared(new_proxy, &new_truth);
-    assert!(rho2 > 0.3, "streamed records should score meaningfully: ρ² = {rho2}");
+    assert!(
+        rho2 > 0.3,
+        "streamed records should score meaningfully: ρ² = {rho2}"
+    );
 }
 
 #[test]
@@ -85,7 +102,11 @@ fn appended_records_can_be_cracked() {
     assert!(index.crack(rec, out.clone()));
     let score = CountClass(ObjectClass::Car);
     let proxy = index.propagate(&score);
-    assert_eq!(proxy[rec], score.score(&out), "cracked streamed record scores exactly");
+    assert_eq!(
+        proxy[rec],
+        score.score(&out),
+        "cracked streamed record scores exactly"
+    );
 }
 
 #[test]
@@ -124,9 +145,14 @@ fn append_without_model_panics() {
     .pretrained_only();
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 9);
     let pretrained = pt.embed_all(&dataset.features);
-    let (mut index, _) =
-        build_index(&dataset.features, &pretrained, &labeler, &VideoCloseness::default(), &config)
-            .unwrap();
+    let (mut index, _) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &VideoCloseness::default(),
+        &config,
+    )
+    .unwrap();
     let _ = index.append_records(&dataset.features);
 }
 

@@ -31,7 +31,13 @@ impl Space {
     /// Well-separated clusters: intra-cluster diameter ≤ `diameter`,
     /// inter-cluster gap ≥ `gap`. With `diameter < M ≤ gap` the population
     /// triplet loss of a scaled-identity embedding is exactly zero.
-    fn clustered(n_clusters: usize, per_cluster: usize, diameter: f32, gap: f32, seed: u64) -> Self {
+    fn clustered(
+        n_clusters: usize,
+        per_cluster: usize,
+        diameter: f32,
+        gap: f32,
+        seed: u64,
+    ) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut points = Vec::new();
         for c in 0..n_clusters {
@@ -60,8 +66,18 @@ impl Space {
             .iter()
             .flat_map(|p| {
                 [
-                    p[0] * scale + if noise > 0.0 { rng.gen_range(-noise..noise) } else { 0.0 },
-                    p[1] * scale + if noise > 0.0 { rng.gen_range(-noise..noise) } else { 0.0 },
+                    p[0] * scale
+                        + if noise > 0.0 {
+                            rng.gen_range(-noise..noise)
+                        } else {
+                            0.0
+                        },
+                    p[1] * scale
+                        + if noise > 0.0 {
+                            rng.gen_range(-noise..noise)
+                        } else {
+                            0.0
+                        },
                 ]
             })
             .collect()
@@ -111,11 +127,17 @@ fn lipschitz_fn(space: &Space, anchor: [f32; 2]) -> Vec<f64> {
 /// Returns (per-record propagated scores, max embedding gap to the rep).
 fn propagate_k1(emb: &[f32], n_reps: usize, scores: &[f64]) -> (Vec<f64>, f32) {
     let sel = fpf(emb, 2, n_reps, Metric::L2, 0);
-    let rep_emb: Vec<f32> =
-        sel.selected.iter().flat_map(|&r| emb[r * 2..r * 2 + 2].to_vec()).collect();
+    let rep_emb: Vec<f32> = sel
+        .selected
+        .iter()
+        .flat_map(|&r| emb[r * 2..r * 2 + 2].to_vec())
+        .collect();
     let mink = MinKTable::build(emb, &rep_emb, 2, 1, Metric::L2);
     let rep_scores: Vec<f64> = sel.selected.iter().map(|&r| scores[r]).collect();
-    (propagate_numeric(&mink, &rep_scores, 1), mink.max_nearest_distance())
+    (
+        propagate_numeric(&mink, &rep_scores, 1),
+        mink.max_nearest_distance(),
+    )
 }
 
 #[test]
@@ -127,7 +149,10 @@ fn lemma1_zero_loss_embedding_recovers_neighborhoods() {
     let emb = space.embed(scale, 0.0, 0);
     let margin = 1.0;
     let loss = population_triplet_loss(&space, &emb, 1.0, margin);
-    assert_eq!(loss, 0.0, "separated clusters under scaled identity give zero triplet loss");
+    assert_eq!(
+        loss, 0.0,
+        "separated clusters under scaled identity give zero triplet loss"
+    );
 
     // Lemma 1: |φ(xi) − φ(xr)| < m ⇒ d(xi, xr) < M.
     let n = space.points.len();
@@ -161,7 +186,10 @@ fn theorem1_zero_loss_bound_holds() {
         let h = lipschitz_fn(&space, anchor);
         // One representative per cluster suffices for gap < m; 8 clusters.
         let (propagated, gap) = propagate_k1(&emb, 8, &h);
-        assert!(gap < margin, "clustering must be dense enough: gap {gap} ≥ m {margin}");
+        assert!(
+            gap < margin,
+            "clustering must be dense enough: gap {gap} ≥ m {margin}"
+        );
         let mean_loss: f64 = propagated
             .iter()
             .zip(&h)
@@ -187,9 +215,12 @@ fn theorem1_bound_is_not_vacuous() {
     let (propagated, gap) = propagate_k1(&emb, 2, &h); // 2 reps for 8 clusters
     assert!(gap > 1.0, "with 2 reps the density assumption must fail");
     let k_q = 2.0f64;
-    let mean_loss: f64 =
-        propagated.iter().zip(&h).map(|(fh, f)| (k_q / 2.0) * (fh - f).abs()).sum::<f64>()
-            / h.len() as f64;
+    let mean_loss: f64 = propagated
+        .iter()
+        .zip(&h)
+        .map(|(fh, f)| (k_q / 2.0) * (fh - f).abs())
+        .sum::<f64>()
+        / h.len() as f64;
     assert!(
         mean_loss > 1.0f64 * k_q / 4.0,
         "under-clustered index should suffer visible loss ({mean_loss})"
@@ -211,9 +242,12 @@ fn theorem2_nonzero_loss_bound_holds() {
         let alpha = population_triplet_loss(&space, &emb, big_m, margin) as f64;
         let h = lipschitz_fn(&space, [1.0, 1.0]);
         let (propagated, _gap) = propagate_k1(&emb, 8, &h);
-        let mean_loss: f64 =
-            propagated.iter().zip(&h).map(|(fh, f)| (k_q / 2.0) * (fh - f).abs()).sum::<f64>()
-                / n as f64;
+        let mean_loss: f64 = propagated
+            .iter()
+            .zip(&h)
+            .map(|(fh, f)| (k_q / 2.0) * (fh - f).abs())
+            .sum::<f64>()
+            / n as f64;
         // C = max ℓ_Q value; sup|B̄_M| ≤ n (finite-sample count).
         let c_max = propagated
             .iter()
@@ -250,7 +284,10 @@ fn loss_gap_grows_with_triplet_loss() {
         losses.push(alpha);
         gaps.push(mean_loss);
     }
-    assert!(losses[0] <= losses[1] && losses[1] <= losses[2], "α must grow with noise: {losses:?}");
+    assert!(
+        losses[0] <= losses[1] && losses[1] <= losses[2],
+        "α must grow with noise: {losses:?}"
+    );
     assert!(
         gaps[2] > gaps[0] * 1.5,
         "query loss should degrade from clean to very noisy embeddings: {gaps:?}"

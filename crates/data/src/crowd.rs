@@ -44,7 +44,14 @@ impl CrowdLabeler {
         seed: u64,
     ) -> Self {
         assert!(votes >= 1, "need at least one worker");
-        Self { truth, votes, worker_error, per_vote_cost, schema, seed }
+        Self {
+            truth,
+            votes,
+            worker_error,
+            per_vote_cost,
+            schema,
+            seed,
+        }
     }
 
     /// One worker's (possibly corrupted) answer for `record`.
@@ -183,7 +190,9 @@ mod tests {
     fn cost_scales_with_votes() {
         let (_, one) = crowd(1, 0.1, 4);
         let (_, five) = crowd(5, 0.1, 4);
-        assert!((five.invocation_cost().dollars - 5.0 * one.invocation_cost().dollars).abs() < 1e-9);
+        assert!(
+            (five.invocation_cost().dollars - 5.0 * one.invocation_cost().dollars).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -30,8 +30,17 @@ impl Dataset {
         truth: Vec<LabelerOutput>,
         schema: Schema,
     ) -> Self {
-        assert_eq!(features.rows(), truth.len(), "features/truth length mismatch");
-        Self { name: name.into(), features, schema, truth: Arc::new(truth) }
+        assert_eq!(
+            features.rows(),
+            truth.len(),
+            "features/truth length mismatch"
+        );
+        Self {
+            name: name.into(),
+            features,
+            schema,
+            truth: Arc::new(truth),
+        }
     }
 
     /// Number of records.
@@ -88,7 +97,10 @@ mod tests {
         let features = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
         let truth = (0..3)
             .map(|i| {
-                LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Select, num_predicates: i as u8 })
+                LabelerOutput::Sql(SqlAnnotation {
+                    op: SqlOp::Select,
+                    num_predicates: i as u8,
+                })
             })
             .collect();
         Dataset::new("tiny", features, truth, Schema::wikisql())
@@ -102,7 +114,10 @@ mod tests {
         assert_eq!(d.feature_dim(), 2);
         assert_eq!(
             d.ground_truth(2),
-            &LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Select, num_predicates: 2 })
+            &LabelerOutput::Sql(SqlAnnotation {
+                op: SqlOp::Select,
+                num_predicates: 2
+            })
         );
     }
 

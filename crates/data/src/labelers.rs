@@ -35,12 +35,22 @@ impl OracleLabeler {
         schema: Schema,
         name: impl Into<String>,
     ) -> Self {
-        Self { truth, cost, schema, name: name.into() }
+        Self {
+            truth,
+            cost,
+            schema,
+            name: name.into(),
+        }
     }
 
     /// Mask R-CNN-priced oracle over a video dataset's truth.
     pub fn mask_rcnn(truth: Arc<Vec<LabelerOutput>>) -> Self {
-        Self::new(truth, CostModel::mask_rcnn().target, Schema::object_detection(), "mask-rcnn")
+        Self::new(
+            truth,
+            CostModel::mask_rcnn().target,
+            Schema::object_detection(),
+            "mask-rcnn",
+        )
     }
 
     /// Human-annotator-priced oracle (text/speech datasets).
@@ -114,7 +124,14 @@ impl NoisyDetector {
         position_noise: f32,
         cost: LabelCost,
     ) -> Self {
-        Self { truth, miss_rate, false_positive_rate, position_noise, cost, seed }
+        Self {
+            truth,
+            miss_rate,
+            false_positive_rate,
+            position_noise,
+            cost,
+            seed,
+        }
     }
 }
 
@@ -126,8 +143,11 @@ impl TargetLabeler for NoisyDetector {
             other => return other.clone(),
         };
         // Deterministic per-record corruption keyed on (seed, record).
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0xD1B5_4A32).wrapping_add(record as u64));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0xD1B5_4A32)
+                .wrapping_add(record as u64),
+        );
         let mut noisy: Vec<Detection> = Vec::with_capacity(boxes.len() + 1);
         for b in boxes {
             if rng.gen::<f32>() < self.miss_rate {
@@ -231,8 +251,9 @@ mod tests {
         let p = night_street(500, 5);
         let a = NoisyDetector::ssd(p.dataset.truth_handle(), 1);
         let b = NoisyDetector::ssd(p.dataset.truth_handle(), 2);
-        let differing =
-            (0..p.dataset.len()).filter(|&i| a.label(i) != b.label(i)).count();
+        let differing = (0..p.dataset.len())
+            .filter(|&i| a.label(i) != b.label(i))
+            .count();
         assert!(differing > 0);
     }
 }

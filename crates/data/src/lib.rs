@@ -47,5 +47,5 @@ pub mod video;
 pub use crowd::CrowdLabeler;
 pub use dataset::Dataset;
 pub use labelers::{NoisyDetector, OracleLabeler};
-pub use stats::{summarize, DatasetSummary};
 pub use pretrained::{degraded_view, PretrainedEmbedder};
+pub use stats::{summarize, DatasetSummary};

@@ -26,8 +26,9 @@ pub fn degraded_view(features: &Matrix, dim: usize, noise: f32, seed: u64) -> Ma
     use rand::Rng;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let scale = (1.0 / features.cols() as f32).sqrt() * 2.0;
-    let proj: Vec<f32> =
-        (0..features.cols() * dim).map(|_| rng.gen_range(-scale..scale)).collect();
+    let proj: Vec<f32> = (0..features.cols() * dim)
+        .map(|_| rng.gen_range(-scale..scale))
+        .collect();
     let mut out = Matrix::zeros(features.rows(), dim);
     for r in 0..features.rows() {
         let row = features.row(r);
@@ -64,7 +65,10 @@ impl PretrainedEmbedder {
             activation: Activation::Tanh,
             l2_normalize_output: true,
         };
-        Self { net: Mlp::new(&config, &mut rng), dim: embedding_dim }
+        Self {
+            net: Mlp::new(&config, &mut rng),
+            dim: embedding_dim,
+        }
     }
 
     /// Embedding dimension.
@@ -100,10 +104,15 @@ mod tests {
             .collect();
         let mut best = 0.0f64;
         for c in 0..8 {
-            let col: Vec<f64> = (0..degraded.rows()).map(|r| degraded.get(r, c) as f64).collect();
+            let col: Vec<f64> = (0..degraded.rows())
+                .map(|r| degraded.get(r, c) as f64)
+                .collect();
             best = best.max(tasti_nn::metrics::pearson_r(&col, &counts).abs());
         }
-        assert!(best > 0.15, "degraded view should retain some signal: |r| = {best}");
+        assert!(
+            best > 0.15,
+            "degraded view should retain some signal: |r| = {best}"
+        );
     }
 
     #[test]
@@ -138,9 +147,14 @@ mod tests {
         let counts: Vec<usize> = (0..p.dataset.len())
             .map(|i| p.dataset.ground_truth(i).count_class(ObjectClass::Car))
             .collect();
-        let empties: Vec<usize> =
-            (0..counts.len()).filter(|&i| counts[i] == 0).take(60).collect();
-        let busy: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] >= 2).take(60).collect();
+        let empties: Vec<usize> = (0..counts.len())
+            .filter(|&i| counts[i] == 0)
+            .take(60)
+            .collect();
+        let busy: Vec<usize> = (0..counts.len())
+            .filter(|&i| counts[i] >= 2)
+            .take(60)
+            .collect();
         assert!(busy.len() >= 10, "need busy frames for this test");
         let mut d_ee = 0.0;
         let mut n_ee = 0;
@@ -158,6 +172,9 @@ mod tests {
         }
         let d_ee = d_ee / n_ee as f64;
         let d_eb = d_eb / n_eb as f64;
-        assert!(d_ee < d_eb, "empty-empty {d_ee} should be below empty-busy {d_eb}");
+        assert!(
+            d_ee < d_eb,
+            "empty-empty {d_ee} should be below empty-busy {d_eb}"
+        );
     }
 }

@@ -32,16 +32,23 @@ pub fn common_voice(n: usize, seed: u64) -> Dataset {
     for i in 0..n {
         // Latent speaker. Common Voice skews male (~3:1 in released splits);
         // we use ~65/35 to keep the minority class queryable.
-        let gender = if rng.gen::<f32>() < 0.65 { Gender::Male } else { Gender::Female };
-        let age_bucket = match rng.gen_range(0..100u32) {
-            0..=9 => 0u8,  // <20
-            10..=39 => 1,  // 20s
-            40..=64 => 2,  // 30s
-            65..=81 => 3,  // 40s
-            82..=92 => 4,  // 50s
-            _ => 5,        // 60+
+        let gender = if rng.gen::<f32>() < 0.65 {
+            Gender::Male
+        } else {
+            Gender::Female
         };
-        truth.push(LabelerOutput::Speech(SpeechAnnotation { gender, age_bucket }));
+        let age_bucket = match rng.gen_range(0..100u32) {
+            0..=9 => 0u8, // <20
+            10..=39 => 1, // 20s
+            40..=64 => 2, // 30s
+            65..=81 => 3, // 40s
+            82..=92 => 4, // 50s
+            _ => 5,       // 60+
+        };
+        truth.push(LabelerOutput::Speech(SpeechAnnotation {
+            gender,
+            age_bucket,
+        }));
         synthesize(gender, age_bucket, &mut rng, features.row_mut(i));
     }
     Dataset::new("common-voice", features, truth, Schema::common_voice())
@@ -84,7 +91,9 @@ fn synthesize(gender: Gender, age_bucket: u8, rng: &mut impl Rng, out: &mut [f32
         let envelope = (-tilt * band_center / 100.0).exp();
         let coloration = 1.0 + color_depth * (band_center / 400.0 + color_phase).sin();
         let energy = gain * coloration * envelope * (0.6 * comb + 0.8 * form);
-        *o = (energy + hum * 0.1 + rng.gen_range(-0.02f32..0.02)).max(0.0).sqrt();
+        *o = (energy + hum * 0.1 + rng.gen_range(-0.02f32..0.02))
+            .max(0.0)
+            .sqrt();
     }
     // Nuisance channels observed directly (like silence-segment statistics).
     out[N_BANDS] = gain;

@@ -45,7 +45,9 @@ pub fn summarize(dataset: &Dataset, closeness: &dyn ClosenessFn) -> DatasetSumma
     let n = dataset.len();
     let mut buckets: HashMap<u64, usize> = HashMap::new();
     for i in 0..n {
-        *buckets.entry(closeness.bucket(dataset.ground_truth(i))).or_insert(0) += 1;
+        *buckets
+            .entry(closeness.bucket(dataset.ground_truth(i)))
+            .or_insert(0) += 1;
     }
     let mut bucket_sizes: Vec<usize> = buckets.values().copied().collect();
     bucket_sizes.sort_unstable_by(|a, b| b.cmp(a));
@@ -54,7 +56,10 @@ pub fn summarize(dataset: &Dataset, closeness: &dyn ClosenessFn) -> DatasetSumma
     let largest_bucket_fraction = bucket_sizes.first().map_or(0.0, |&s| s as f64 / nf);
     let redundant_threshold = (nf * 0.01).ceil() as usize;
     let rare_threshold = (nf * 0.001).floor().max(1.0) as usize;
-    let redundant: usize = bucket_sizes.iter().filter(|&&s| s >= redundant_threshold).sum();
+    let redundant: usize = bucket_sizes
+        .iter()
+        .filter(|&&s| s >= redundant_threshold)
+        .sum();
     let rare: usize = bucket_sizes.iter().filter(|&&s| s <= rare_threshold).sum();
     let entropy = bucket_sizes
         .iter()
@@ -95,7 +100,11 @@ mod tests {
             "night-street should have a dominant bucket: {}",
             s.largest_bucket_fraction
         );
-        assert!(s.redundant_fraction > 0.4, "redundant mass {}", s.redundant_fraction);
+        assert!(
+            s.redundant_fraction > 0.4,
+            "redundant mass {}",
+            s.redundant_fraction
+        );
         assert!(s.rare_fraction > 0.0, "a rare tail must exist");
         assert!(s.bucket_entropy_bits > 1.0);
         // Sizes are sorted descending and sum to n.
@@ -109,7 +118,11 @@ mod tests {
         let s = summarize(&p.dataset, &SqlCloseness);
         // 6 ops × 5 predicate counts = 30 possible buckets.
         assert!(s.n_buckets <= 30);
-        assert!(s.n_buckets >= 15, "most op×pred combinations should occur: {}", s.n_buckets);
+        assert!(
+            s.n_buckets >= 15,
+            "most op×pred combinations should occur: {}",
+            s.n_buckets
+        );
     }
 
     #[test]

@@ -109,7 +109,8 @@ fn tokenize(ann: SqlAnnotation, rng: &mut impl Rng) -> Vec<u32> {
 
 /// Per-token embedding: deterministic in the token id and the seed.
 fn token_embedding(token: u32, seed: u64, out: &mut [f32]) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(token as u64));
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(token as u64));
     for x in out.iter_mut() {
         *x = rng.gen_range(-1.0f32..1.0);
     }
@@ -154,13 +155,17 @@ fn featurize_bert(seqs: &[Vec<u32>], seed: u64) -> Matrix {
     let pooled_dim = TOKEN_DIM * 2 + 1;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let scale = (2.0 / pooled_dim as f32).sqrt() * 2.0;
-    let w: Vec<f32> = (0..pooled_dim * BERT_DIM).map(|_| rng.gen_range(-scale..scale)).collect();
+    let w: Vec<f32> = (0..pooled_dim * BERT_DIM)
+        .map(|_| rng.gen_range(-scale..scale))
+        .collect();
     let mut out = Matrix::zeros(seqs.len(), BERT_DIM);
     let mut emb = [0.0f32; TOKEN_DIM];
     let mut pooled = vec![0.0f32; pooled_dim];
     for (i, seq) in seqs.iter().enumerate() {
         pooled.iter_mut().for_each(|x| *x = 0.0);
-        pooled[TOKEN_DIM..TOKEN_DIM * 2].iter_mut().for_each(|x| *x = f32::NEG_INFINITY);
+        pooled[TOKEN_DIM..TOKEN_DIM * 2]
+            .iter_mut()
+            .for_each(|x| *x = f32::NEG_INFINITY);
         let mut weight_sum = 0.0f32;
         for &t in seq {
             token_embedding(t, seed, &mut emb);
@@ -231,8 +236,7 @@ mod tests {
         for k in 0..=4u8 {
             assert!(anns.iter().any(|a| a.num_predicates == k), "missing k={k}");
         }
-        let mean =
-            anns.iter().map(|a| a.num_predicates as f64).sum::<f64>() / anns.len() as f64;
+        let mean = anns.iter().map(|a| a.num_predicates as f64).sum::<f64>() / anns.len() as f64;
         assert!(mean > 0.8 && mean < 2.5, "mean predicates {mean}");
     }
 
@@ -245,11 +249,15 @@ mod tests {
         let truth: Vec<f64> = anns.iter().map(|a| a.num_predicates as f64).collect();
         let mut best = 0.0f64;
         for c in 0..p.dataset.feature_dim() {
-            let col: Vec<f64> =
-                (0..p.dataset.len()).map(|i| p.dataset.features.get(i, c) as f64).collect();
+            let col: Vec<f64> = (0..p.dataset.len())
+                .map(|i| p.dataset.features.get(i, c) as f64)
+                .collect();
             best = best.max(pearson_r(&col, &truth).abs());
         }
-        assert!(best > 0.3, "no feature correlates with predicate count: best |r| = {best}");
+        assert!(
+            best > 0.3,
+            "no feature correlates with predicate count: best |r| = {best}"
+        );
     }
 
     #[test]
@@ -268,9 +276,8 @@ mod tests {
         let mut diff = (0.0f64, 0usize);
         for i in 0..200 {
             for j in (i + 1)..200 {
-                let d =
-                    tasti_nn::tensor::l2(p.dataset.features.row(i), p.dataset.features.row(j))
-                        as f64;
+                let d = tasti_nn::tensor::l2(p.dataset.features.row(i), p.dataset.features.row(j))
+                    as f64;
                 if anns[i] == anns[j] {
                     same.0 += d;
                     same.1 += 1;

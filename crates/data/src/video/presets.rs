@@ -30,7 +30,11 @@ fn build(name: &str, scene: SceneConfig, render: RenderConfig) -> VideoPreset {
     let features = render_frames(&frames, &render);
     let truth: Vec<LabelerOutput> = frames.into_iter().map(LabelerOutput::Detections).collect();
     let dataset = Dataset::new(name, features, truth, Schema::object_detection());
-    VideoPreset { dataset, scene, render }
+    VideoPreset {
+        dataset,
+        scene,
+        render,
+    }
 }
 
 /// `night-street`: cars only, heavy empty-frame redundancy, strong diurnal
@@ -48,7 +52,10 @@ pub fn night_street(n_frames: usize, seed: u64) -> VideoPreset {
         intensity_amplitude: 0.9,
         seed,
     };
-    let render = RenderConfig { seed: seed ^ 0x11, ..RenderConfig::default() };
+    let render = RenderConfig {
+        seed: seed ^ 0x11,
+        ..RenderConfig::default()
+    };
     build("night-street", scene, render)
 }
 
@@ -75,7 +82,10 @@ pub fn taipei(n_frames: usize, seed: u64) -> VideoPreset {
         intensity_amplitude: 0.5,
         seed,
     };
-    let render = RenderConfig { seed: seed ^ 0x22, ..RenderConfig::default() };
+    let render = RenderConfig {
+        seed: seed ^ 0x22,
+        ..RenderConfig::default()
+    };
     build("taipei", scene, render)
 }
 
@@ -93,7 +103,10 @@ pub fn amsterdam(n_frames: usize, seed: u64) -> VideoPreset {
         intensity_amplitude: 0.4,
         seed,
     };
-    let render = RenderConfig { seed: seed ^ 0x33, ..RenderConfig::default() };
+    let render = RenderConfig {
+        seed: seed ^ 0x33,
+        ..RenderConfig::default()
+    };
     build("amsterdam", scene, render)
 }
 
@@ -103,8 +116,9 @@ mod tests {
 
     fn count_stats(p: &VideoPreset, class: ObjectClass) -> (f64, f64, usize) {
         let n = p.dataset.len();
-        let counts: Vec<usize> =
-            (0..n).map(|i| p.dataset.ground_truth(i).count_class(class)).collect();
+        let counts: Vec<usize> = (0..n)
+            .map(|i| p.dataset.ground_truth(i).count_class(class))
+            .collect();
         let mean = counts.iter().sum::<usize>() as f64 / n as f64;
         let empty = counts.iter().filter(|&&c| c == 0).count() as f64 / n as f64;
         let max = counts.iter().copied().max().unwrap_or(0);
@@ -125,9 +139,15 @@ mod tests {
         let p = taipei(4000, 9);
         let (car_mean, _, _) = count_stats(&p, ObjectClass::Car);
         let (bus_mean, bus_empty, _) = count_stats(&p, ObjectClass::Bus);
-        assert!(car_mean > bus_mean * 5.0, "cars {car_mean} vs buses {bus_mean}");
+        assert!(
+            car_mean > bus_mean * 5.0,
+            "cars {car_mean} vs buses {bus_mean}"
+        );
         assert!(bus_mean > 0.0, "buses must occur");
-        assert!(bus_empty > 0.9, "bus frames must be rare: empty {bus_empty}");
+        assert!(
+            bus_empty > 0.9,
+            "bus frames must be rare: empty {bus_empty}"
+        );
     }
 
     #[test]
@@ -135,7 +155,10 @@ mod tests {
         let p = amsterdam(4000, 11);
         let (mean, _, _) = count_stats(&p, ObjectClass::Car);
         let night = count_stats(&night_street(4000, 11), ObjectClass::Car).0;
-        assert!(mean < night, "amsterdam {mean} should be lighter than night-street {night}");
+        assert!(
+            mean < night,
+            "amsterdam {mean} should be lighter than night-street {night}"
+        );
     }
 
     #[test]

@@ -65,8 +65,18 @@ pub fn render_frames(frames: &[Vec<Detection>], config: &RenderConfig) -> Matrix
     // Fixed random camera: signal → hidden → features, tanh nonlinearities.
     let mut cam_rng = ChaCha8Rng::seed_from_u64(config.seed);
     let hidden_dim = (config.feature_dim * 2).max(signal_dim);
-    let w1 = random_matrix(signal_dim, hidden_dim, &mut cam_rng, (2.0 / signal_dim as f32).sqrt() * 3.0);
-    let w2 = random_matrix(hidden_dim, config.feature_dim, &mut cam_rng, (2.0 / hidden_dim as f32).sqrt() * 3.0);
+    let w1 = random_matrix(
+        signal_dim,
+        hidden_dim,
+        &mut cam_rng,
+        (2.0 / signal_dim as f32).sqrt() * 3.0,
+    );
+    let w2 = random_matrix(
+        hidden_dim,
+        config.feature_dim,
+        &mut cam_rng,
+        (2.0 / hidden_dim as f32).sqrt() * 3.0,
+    );
 
     let mut noise_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5EED_F00D);
     let mut out = Matrix::zeros(frames.len(), config.feature_dim);
@@ -76,7 +86,13 @@ pub fn render_frames(frames: &[Vec<Detection>], config: &RenderConfig) -> Matrix
 
     for (t, dets) in frames.iter().enumerate() {
         signal.iter_mut().for_each(|x| *x = 0.0);
-        rasterize(dets, g, &mut signal[..g * g * n_classes], config.visibility_floor, &mut noise_rng);
+        rasterize(
+            dets,
+            g,
+            &mut signal[..g * g * n_classes],
+            config.visibility_floor,
+            &mut noise_rng,
+        );
 
         // Nuisance channels: diurnal lighting, slow drift, camera jitter.
         lighting_walk = 0.999 * lighting_walk + noise_rng.gen_range(-0.01..0.01);
@@ -111,8 +127,11 @@ fn rasterize(
     let sigma = 0.75 / g as f32;
     let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
     for d in dets {
-        let visibility =
-            if visibility_floor >= 1.0 { 1.0 } else { rng.gen_range(visibility_floor..=1.0) };
+        let visibility = if visibility_floor >= 1.0 {
+            1.0
+        } else {
+            rng.gen_range(visibility_floor..=1.0)
+        };
         let plane = d.class.id() as usize * g * g;
         for cy in 0..g {
             for cx in 0..g {
@@ -128,7 +147,9 @@ fn rasterize(
 }
 
 fn random_matrix(rows: usize, cols: usize, rng: &mut impl Rng, scale: f32) -> Vec<f32> {
-    (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect()
+    (0..rows * cols)
+        .map(|_| rng.gen_range(-scale..scale))
+        .collect()
 }
 
 /// `out = xᵀ · W` where `w` is `rows × cols` row-major and `x` has `rows` entries.
@@ -156,7 +177,13 @@ mod tests {
     use super::*;
 
     fn det(class: ObjectClass, x: f32, y: f32) -> Detection {
-        Detection { class, x, y, w: 0.1, h: 0.1 }
+        Detection {
+            class,
+            x,
+            y,
+            w: 0.1,
+            h: 0.1,
+        }
     }
 
     #[test]
@@ -171,7 +198,10 @@ mod tests {
     #[test]
     fn output_shape_matches_config() {
         let frames = vec![vec![]; 5];
-        let cfg = RenderConfig { feature_dim: 17, ..RenderConfig::default() };
+        let cfg = RenderConfig {
+            feature_dim: 17,
+            ..RenderConfig::default()
+        };
         let m = render_frames(&frames, &cfg);
         assert_eq!(m.rows(), 5);
         assert_eq!(m.cols(), 17);
@@ -206,10 +236,17 @@ mod tests {
     fn nuisance_perturbs_identical_scenes() {
         // Same scene at different times must differ when nuisance is on.
         let frames = vec![vec![det(ObjectClass::Car, 0.5, 0.5)]; 100];
-        let cfg = RenderConfig { noise: 0.0, nuisance_strength: 1.0, ..RenderConfig::default() };
+        let cfg = RenderConfig {
+            noise: 0.0,
+            nuisance_strength: 1.0,
+            ..RenderConfig::default()
+        };
         let m = render_frames(&frames, &cfg);
         let d = tasti_nn::tensor::l2(m.row(0), m.row(99));
-        assert!(d > 1e-3, "nuisance should move identical scenes apart, d={d}");
+        assert!(
+            d > 1e-3,
+            "nuisance should move identical scenes apart, d={d}"
+        );
     }
 
     #[test]
@@ -218,8 +255,20 @@ mod tests {
         let mut s_car = vec![0.0f32; g * g * ObjectClass::ALL.len()];
         let mut s_bus = vec![0.0f32; g * g * ObjectClass::ALL.len()];
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-        rasterize(&[det(ObjectClass::Car, 0.5, 0.5)], g, &mut s_car, 1.0, &mut rng);
-        rasterize(&[det(ObjectClass::Bus, 0.5, 0.5)], g, &mut s_bus, 1.0, &mut rng);
+        rasterize(
+            &[det(ObjectClass::Car, 0.5, 0.5)],
+            g,
+            &mut s_car,
+            1.0,
+            &mut rng,
+        );
+        rasterize(
+            &[det(ObjectClass::Bus, 0.5, 0.5)],
+            g,
+            &mut s_bus,
+            1.0,
+            &mut rng,
+        );
         // Car plane energy for car frame, zero for bus frame.
         let car_plane = 0..g * g;
         let car_energy: f32 = car_plane.clone().map(|i| s_car[i]).sum();
@@ -233,7 +282,13 @@ mod tests {
         let g = 4;
         let mut s = vec![0.0f32; g * g * ObjectClass::ALL.len()];
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-        rasterize(&[det(ObjectClass::Car, 0.125, 0.125)], g, &mut s, 1.0, &mut rng); // cell (0,0)
+        rasterize(
+            &[det(ObjectClass::Car, 0.125, 0.125)],
+            g,
+            &mut s,
+            1.0,
+            &mut rng,
+        ); // cell (0,0)
         let plane = &s[..g * g];
         let max_idx = plane
             .iter()

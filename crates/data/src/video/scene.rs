@@ -7,8 +7,8 @@
 //! periods) that real traffic video exhibits and TASTI exploits.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use tasti_labeler::{Detection, ObjectClass};
 
 /// Per-class spawn behaviour.
@@ -111,7 +111,13 @@ impl SceneSimulator {
                 .filter(|tr| (0.0..=1.0).contains(&tr.x))
                 .map(|tr| {
                     let c = cfg.classes[tr.class_idx];
-                    Detection { class: c.class, x: tr.x, y: tr.y, w: c.size.0, h: c.size.1 }
+                    Detection {
+                        class: c.class,
+                        x: tr.x,
+                        y: tr.y,
+                        w: c.size.0,
+                        h: c.size.1,
+                    }
                 })
                 .collect();
             frames.push(dets);
@@ -154,7 +160,10 @@ mod tests {
         let a = SceneSimulator::new(base_config(1)).run();
         let b = SceneSimulator::new(base_config(2)).run();
         let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
-        assert!(same < a.len(), "distinct seeds should produce distinct scenes");
+        assert!(
+            same < a.len(),
+            "distinct seeds should produce distinct scenes"
+        );
     }
 
     #[test]
@@ -205,9 +214,7 @@ mod tests {
         lo.classes[0].spawn_rate = 0.02;
         let mut hi = base_config(6);
         hi.classes[0].spawn_rate = 0.4;
-        let count = |frames: &[Vec<Detection>]| -> usize {
-            frames.iter().map(|f| f.len()).sum()
-        };
+        let count = |frames: &[Vec<Detection>]| -> usize { frames.iter().map(|f| f.len()).sum() };
         let lo_n = count(&SceneSimulator::new(lo).run());
         let hi_n = count(&SceneSimulator::new(hi).run());
         assert!(hi_n > lo_n * 3, "hi {hi_n} vs lo {lo_n}");
@@ -223,8 +230,14 @@ mod tests {
             size: (0.15, 0.1),
         });
         let frames = SceneSimulator::new(cfg).run();
-        let cars: usize = frames.iter().map(|f| f.iter().filter(|d| d.class == ObjectClass::Car).count()).sum();
-        let buses: usize = frames.iter().map(|f| f.iter().filter(|d| d.class == ObjectClass::Bus).count()).sum();
+        let cars: usize = frames
+            .iter()
+            .map(|f| f.iter().filter(|d| d.class == ObjectClass::Car).count())
+            .sum();
+        let buses: usize = frames
+            .iter()
+            .map(|f| f.iter().filter(|d| d.class == ObjectClass::Bus).count())
+            .sum();
         assert!(cars > 0 && buses > 0);
         assert!(cars > buses, "buses are configured rarer");
     }

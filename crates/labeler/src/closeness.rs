@@ -56,7 +56,11 @@ pub struct VideoCloseness {
 
 impl Default for VideoCloseness {
     fn default() -> Self {
-        Self { position_threshold: 0.25, grid: 4, match_class: true }
+        Self {
+            position_threshold: 0.25,
+            grid: 4,
+            match_class: true,
+        }
     }
 }
 
@@ -167,11 +171,23 @@ mod tests {
     use crate::output::{Gender, ObjectClass, SpeechAnnotation, SqlAnnotation, SqlOp};
 
     fn car(x: f32, y: f32) -> Detection {
-        Detection { class: ObjectClass::Car, x, y, w: 0.1, h: 0.1 }
+        Detection {
+            class: ObjectClass::Car,
+            x,
+            y,
+            w: 0.1,
+            h: 0.1,
+        }
     }
 
     fn bus(x: f32, y: f32) -> Detection {
-        Detection { class: ObjectClass::Bus, x, y, w: 0.2, h: 0.2 }
+        Detection {
+            class: ObjectClass::Bus,
+            x,
+            y,
+            w: 0.2,
+            h: 0.2,
+        }
     }
 
     #[test]
@@ -205,7 +221,10 @@ mod tests {
         let a = LabelerOutput::Detections(vec![car(0.5, 0.5)]);
         let b = LabelerOutput::Detections(vec![bus(0.5, 0.5)]);
         assert!(!c.is_close(&a, &b));
-        let ignore_class = VideoCloseness { match_class: false, ..VideoCloseness::default() };
+        let ignore_class = VideoCloseness {
+            match_class: false,
+            ..VideoCloseness::default()
+        };
         assert!(ignore_class.is_close(&a, &b));
     }
 
@@ -245,9 +264,18 @@ mod tests {
     #[test]
     fn sql_closeness_requires_exact_annotation_match() {
         let c = SqlCloseness;
-        let a = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Count, num_predicates: 2 });
-        let b = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Count, num_predicates: 2 });
-        let d = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Count, num_predicates: 3 });
+        let a = LabelerOutput::Sql(SqlAnnotation {
+            op: SqlOp::Count,
+            num_predicates: 2,
+        });
+        let b = LabelerOutput::Sql(SqlAnnotation {
+            op: SqlOp::Count,
+            num_predicates: 2,
+        });
+        let d = LabelerOutput::Sql(SqlAnnotation {
+            op: SqlOp::Count,
+            num_predicates: 3,
+        });
         assert!(c.is_close(&a, &b));
         assert!(!c.is_close(&a, &d));
         assert_eq!(c.bucket(&a), c.bucket(&b));
@@ -257,9 +285,18 @@ mod tests {
     #[test]
     fn speech_closeness_separates_gender_and_age() {
         let c = SpeechCloseness;
-        let m2 = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Male, age_bucket: 2 });
-        let f2 = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Female, age_bucket: 2 });
-        let m3 = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Male, age_bucket: 3 });
+        let m2 = LabelerOutput::Speech(SpeechAnnotation {
+            gender: Gender::Male,
+            age_bucket: 2,
+        });
+        let f2 = LabelerOutput::Speech(SpeechAnnotation {
+            gender: Gender::Female,
+            age_bucket: 2,
+        });
+        let m3 = LabelerOutput::Speech(SpeechAnnotation {
+            gender: Gender::Male,
+            age_bucket: 3,
+        });
         assert!(c.is_close(&m2, &m2.clone()));
         assert!(!c.is_close(&m2, &f2));
         assert!(!c.is_close(&m2, &m3));
@@ -271,7 +308,10 @@ mod tests {
     fn cross_modality_outputs_are_far() {
         let c = VideoCloseness::default();
         let a = LabelerOutput::Detections(vec![]);
-        let b = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Select, num_predicates: 0 });
+        let b = LabelerOutput::Sql(SqlAnnotation {
+            op: SqlOp::Select,
+            num_predicates: 0,
+        });
         assert!(!c.is_close(&a, &b));
     }
 }

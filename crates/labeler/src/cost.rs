@@ -35,7 +35,10 @@ impl LabelCost {
 
     /// Component-wise sum.
     pub fn plus(&self, other: LabelCost) -> LabelCost {
-        LabelCost { seconds: self.seconds + other.seconds, dollars: self.dollars + other.dollars }
+        LabelCost {
+            seconds: self.seconds + other.seconds,
+            dollars: self.dollars + other.dollars,
+        }
     }
 }
 
@@ -60,7 +63,10 @@ impl CostModel {
     pub fn mask_rcnn() -> Self {
         let sec = 1.0 / 3.0;
         CostModel {
-            target: LabelCost { seconds: sec, dollars: sec * GPU_DOLLARS_PER_SECOND },
+            target: LabelCost {
+                seconds: sec,
+                dollars: sec * GPU_DOLLARS_PER_SECOND,
+            },
             ..Self::shared_model_costs()
         }
     }
@@ -69,7 +75,10 @@ impl CostModel {
     pub fn ssd() -> Self {
         let sec = 1.0 / 150.0;
         CostModel {
-            target: LabelCost { seconds: sec, dollars: sec * GPU_DOLLARS_PER_SECOND },
+            target: LabelCost {
+                seconds: sec,
+                dollars: sec * GPU_DOLLARS_PER_SECOND,
+            },
             ..Self::shared_model_costs()
         }
     }
@@ -78,7 +87,10 @@ impl CostModel {
     /// turnaround, ~7 s effective per label).
     pub fn human() -> Self {
         CostModel {
-            target: LabelCost { seconds: 7.0, dollars: 0.07 },
+            target: LabelCost {
+                seconds: 7.0,
+                dollars: 0.07,
+            },
             ..Self::shared_model_costs()
         }
     }
@@ -90,8 +102,14 @@ impl CostModel {
         let dist_sec = 1.0e-7;
         CostModel {
             target: LabelCost::default(),
-            embedding: LabelCost { seconds: emb_sec, dollars: emb_sec * GPU_DOLLARS_PER_SECOND },
-            distance: LabelCost { seconds: dist_sec, dollars: dist_sec * 0.05 / 3600.0 },
+            embedding: LabelCost {
+                seconds: emb_sec,
+                dollars: emb_sec * GPU_DOLLARS_PER_SECOND,
+            },
+            distance: LabelCost {
+                seconds: dist_sec,
+                dollars: dist_sec * 0.05 / 3600.0,
+            },
         }
     }
 
@@ -151,8 +169,14 @@ mod tests {
 
     #[test]
     fn cost_arithmetic() {
-        let c = LabelCost { seconds: 2.0, dollars: 0.5 };
-        let t = c.times(10).plus(LabelCost { seconds: 1.0, dollars: 0.1 });
+        let c = LabelCost {
+            seconds: 2.0,
+            dollars: 0.5,
+        };
+        let t = c.times(10).plus(LabelCost {
+            seconds: 1.0,
+            dollars: 0.1,
+        });
         assert!((t.seconds - 21.0).abs() < 1e-12);
         assert!((t.dollars - 5.1).abs() < 1e-12);
     }

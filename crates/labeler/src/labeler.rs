@@ -44,7 +44,11 @@ pub struct BudgetExhausted {
 
 impl fmt::Display for BudgetExhausted {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "target labeler budget of {} invocations exhausted", self.budget)
+        write!(
+            f,
+            "target labeler budget of {} invocations exhausted",
+            self.budget
+        )
     }
 }
 
@@ -89,12 +93,20 @@ pub struct MeteredLabeler<L: TargetLabeler> {
 impl<L: TargetLabeler> MeteredLabeler<L> {
     /// Wraps a labeler with unlimited budget.
     pub fn new(inner: L) -> Self {
-        Self { inner, state: Mutex::new(MeterState::default()), budget: None }
+        Self {
+            inner,
+            state: Mutex::new(MeterState::default()),
+            budget: None,
+        }
     }
 
     /// Wraps a labeler with a hard invocation budget.
     pub fn with_budget(inner: L, budget: u64) -> Self {
-        Self { inner, state: Mutex::new(MeterState::default()), budget: Some(budget) }
+        Self {
+            inner,
+            state: Mutex::new(MeterState::default()),
+            budget: Some(budget),
+        }
     }
 
     /// Labels `record`, counting one invocation only on a cache miss.
@@ -122,7 +134,8 @@ impl<L: TargetLabeler> MeteredLabeler<L> {
     /// Labels `record`, panicking if a hard budget is exhausted. Use
     /// [`MeteredLabeler::try_label`] in budget-aware algorithms.
     pub fn label(&self, record: RecordId) -> LabelerOutput {
-        self.try_label(record).expect("target labeler budget exhausted")
+        self.try_label(record)
+            .expect("target labeler budget exhausted")
     }
 
     /// Returns the cached output for `record` without invoking the labeler.
@@ -191,7 +204,10 @@ mod tests {
             })
         }
         fn invocation_cost(&self) -> LabelCost {
-            LabelCost { seconds: 2.0, dollars: 0.1 }
+            LabelCost {
+                seconds: 2.0,
+                dollars: 0.1,
+            }
         }
         fn schema(&self) -> Schema {
             Schema::wikisql()

@@ -87,8 +87,14 @@ pub enum SqlOp {
 
 impl SqlOp {
     /// All operators, in a fixed order.
-    pub const ALL: [SqlOp; 6] =
-        [SqlOp::Select, SqlOp::Count, SqlOp::Max, SqlOp::Min, SqlOp::Sum, SqlOp::Avg];
+    pub const ALL: [SqlOp; 6] = [
+        SqlOp::Select,
+        SqlOp::Count,
+        SqlOp::Max,
+        SqlOp::Min,
+        SqlOp::Sum,
+        SqlOp::Avg,
+    ];
 
     /// Stable small integer id.
     pub fn id(self) -> u8 {
@@ -184,17 +190,47 @@ mod tests {
 
     #[test]
     fn center_distance_is_euclidean() {
-        let a = Detection { class: ObjectClass::Car, x: 0.0, y: 0.0, w: 0.1, h: 0.1 };
-        let b = Detection { class: ObjectClass::Car, x: 0.3, y: 0.4, w: 0.1, h: 0.1 };
+        let a = Detection {
+            class: ObjectClass::Car,
+            x: 0.0,
+            y: 0.0,
+            w: 0.1,
+            h: 0.1,
+        };
+        let b = Detection {
+            class: ObjectClass::Car,
+            x: 0.3,
+            y: 0.4,
+            w: 0.1,
+            h: 0.1,
+        };
         assert!((a.center_distance(&b) - 0.5).abs() < 1e-6);
     }
 
     #[test]
     fn count_class_filters_by_class() {
         let out = LabelerOutput::Detections(vec![
-            Detection { class: ObjectClass::Car, x: 0.5, y: 0.5, w: 0.1, h: 0.1 },
-            Detection { class: ObjectClass::Bus, x: 0.2, y: 0.2, w: 0.2, h: 0.2 },
-            Detection { class: ObjectClass::Car, x: 0.8, y: 0.1, w: 0.1, h: 0.1 },
+            Detection {
+                class: ObjectClass::Car,
+                x: 0.5,
+                y: 0.5,
+                w: 0.1,
+                h: 0.1,
+            },
+            Detection {
+                class: ObjectClass::Bus,
+                x: 0.2,
+                y: 0.2,
+                w: 0.2,
+                h: 0.2,
+            },
+            Detection {
+                class: ObjectClass::Car,
+                x: 0.8,
+                y: 0.1,
+                w: 0.1,
+                h: 0.1,
+            },
         ]);
         assert_eq!(out.count_class(ObjectClass::Car), 2);
         assert_eq!(out.count_class(ObjectClass::Bus), 1);
@@ -203,14 +239,20 @@ mod tests {
 
     #[test]
     fn count_class_on_non_video_output_is_zero() {
-        let out = LabelerOutput::Sql(SqlAnnotation { op: SqlOp::Count, num_predicates: 2 });
+        let out = LabelerOutput::Sql(SqlAnnotation {
+            op: SqlOp::Count,
+            num_predicates: 2,
+        });
         assert_eq!(out.count_class(ObjectClass::Car), 0);
     }
 
     #[test]
     #[should_panic(expected = "expected Detections")]
     fn detections_accessor_panics_on_wrong_variant() {
-        let out = LabelerOutput::Speech(SpeechAnnotation { gender: Gender::Male, age_bucket: 2 });
+        let out = LabelerOutput::Speech(SpeechAnnotation {
+            gender: Gender::Male,
+            age_bucket: 2,
+        });
         let _ = out.detections();
     }
 }

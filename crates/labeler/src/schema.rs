@@ -47,11 +47,26 @@ impl Schema {
             name: "object_detection".into(),
             multi_row: true,
             fields: vec![
-                SchemaField { name: "object_type".into(), ty: FieldType::Categorical(5) },
-                SchemaField { name: "x".into(), ty: FieldType::Numeric },
-                SchemaField { name: "y".into(), ty: FieldType::Numeric },
-                SchemaField { name: "w".into(), ty: FieldType::Numeric },
-                SchemaField { name: "h".into(), ty: FieldType::Numeric },
+                SchemaField {
+                    name: "object_type".into(),
+                    ty: FieldType::Categorical(5),
+                },
+                SchemaField {
+                    name: "x".into(),
+                    ty: FieldType::Numeric,
+                },
+                SchemaField {
+                    name: "y".into(),
+                    ty: FieldType::Numeric,
+                },
+                SchemaField {
+                    name: "w".into(),
+                    ty: FieldType::Numeric,
+                },
+                SchemaField {
+                    name: "h".into(),
+                    ty: FieldType::Numeric,
+                },
             ],
         }
     }
@@ -62,8 +77,14 @@ impl Schema {
             name: "wikisql".into(),
             multi_row: false,
             fields: vec![
-                SchemaField { name: "sql_op".into(), ty: FieldType::Categorical(6) },
-                SchemaField { name: "num_predicates".into(), ty: FieldType::Count },
+                SchemaField {
+                    name: "sql_op".into(),
+                    ty: FieldType::Categorical(6),
+                },
+                SchemaField {
+                    name: "num_predicates".into(),
+                    ty: FieldType::Count,
+                },
             ],
         }
     }
@@ -74,8 +95,14 @@ impl Schema {
             name: "common_voice".into(),
             multi_row: false,
             fields: vec![
-                SchemaField { name: "gender".into(), ty: FieldType::Categorical(2) },
-                SchemaField { name: "age_bucket".into(), ty: FieldType::Categorical(6) },
+                SchemaField {
+                    name: "gender".into(),
+                    ty: FieldType::Categorical(2),
+                },
+                SchemaField {
+                    name: "age_bucket".into(),
+                    ty: FieldType::Categorical(6),
+                },
             ],
         }
     }
@@ -95,7 +122,10 @@ mod tests {
         let od = Schema::object_detection();
         assert!(od.multi_row);
         assert_eq!(od.fields.len(), 5);
-        assert_eq!(od.field("object_type").unwrap().ty, FieldType::Categorical(5));
+        assert_eq!(
+            od.field("object_type").unwrap().ty,
+            FieldType::Categorical(5)
+        );
 
         let ws = Schema::wikisql();
         assert!(!ws.multi_row);

@@ -19,8 +19,12 @@ fn bench_matmul(c: &mut Criterion) {
 fn bench_dot(c: &mut Criterion) {
     let a: Vec<f32> = (0..512).map(|i| (i as f32).sin()).collect();
     let b: Vec<f32> = (0..512).map(|i| (i as f32).cos()).collect();
-    c.bench_function("dot_512", |bench| bench.iter(|| dot(black_box(&a), black_box(&b))));
-    c.bench_function("l2_512", |bench| bench.iter(|| l2(black_box(&a), black_box(&b))));
+    c.bench_function("dot_512", |bench| {
+        bench.iter(|| dot(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("l2_512", |bench| {
+        bench.iter(|| l2(black_box(&a), black_box(&b)))
+    });
 }
 
 fn bench_forward(c: &mut Criterion) {
@@ -36,7 +40,9 @@ fn bench_forward(c: &mut Criterion) {
         &mut rng,
     );
     let x = Matrix::from_fn(32, 64, |r, q| ((r * 64 + q) as f32 * 0.001).sin());
-    c.bench_function("mlp_forward_b32", |bench| bench.iter(|| net.forward(black_box(&x))));
+    c.bench_function("mlp_forward_b32", |bench| {
+        bench.iter(|| net.forward(black_box(&x)))
+    });
 }
 
 fn bench_triplet(c: &mut Criterion) {
@@ -46,5 +52,11 @@ fn bench_triplet(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_dot, bench_forward, bench_triplet);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_dot,
+    bench_forward,
+    bench_triplet
+);
 criterion_main!(benches);

@@ -67,7 +67,11 @@ pub fn triplet_example(anchor: &[f32], positive: &[f32], negative: &[f32], margi
 /// the shared network backpropagates all three roles at once). Returns the
 /// mean loss and `∂L/∂emb` with the same `3·b × d` layout.
 pub fn triplet_batch(emb: &Matrix, margin: f32) -> (f32, Matrix) {
-    assert_eq!(emb.rows() % 3, 0, "triplet batch rows must be divisible by 3");
+    assert_eq!(
+        emb.rows() % 3,
+        0,
+        "triplet batch rows must be divisible by 3"
+    );
     let b = emb.rows() / 3;
     let d = emb.cols();
     let mut grad = Matrix::zeros(emb.rows(), d);

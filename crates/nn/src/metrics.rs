@@ -41,7 +41,11 @@ pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Mean absolute error.
@@ -50,7 +54,11 @@ pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Binary confusion counts.
@@ -140,7 +148,11 @@ pub fn auc_roc(scores: &[f64], truth: &[bool]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     // Assign average ranks for ties.
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
@@ -155,15 +167,23 @@ pub fn auc_roc(scores: &[f64], truth: &[bool]) -> f64 {
         }
         i = j + 1;
     }
-    let pos_rank_sum: f64 =
-        truth.iter().zip(&ranks).filter(|(t, _)| **t).map(|(_, &r)| r).sum();
+    let pos_rank_sum: f64 = truth
+        .iter()
+        .zip(&ranks)
+        .filter(|(t, _)| **t)
+        .map(|(_, &r)| r)
+        .sum();
     (pos_rank_sum - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64)
 }
 
 /// Fractional ranks (1-based; ties get the average rank) of a series.
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < order.len() {
@@ -200,7 +220,11 @@ pub fn average_precision(scores: &[f64], truth: &[bool]) -> f64 {
         return 0.0;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut hits = 0usize;
     let mut sum = 0.0;
     for (rank0, &i) in order.iter().enumerate() {
@@ -222,7 +246,9 @@ pub fn recall_at_k(scores: &[f64], truth: &[bool], k: usize) -> f64 {
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let hit = order.iter().take(k).filter(|&&i| truth[i]).count();
     hit as f64 / total_pos as f64
@@ -257,7 +283,15 @@ mod tests {
         let pred = [true, true, false, false, true];
         let truth = [true, false, true, false, true];
         let c = Confusion::from_predictions(&pred, &truth);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);

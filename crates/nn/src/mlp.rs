@@ -260,15 +260,20 @@ impl Mlp {
     /// construction).
     pub fn forward_ref(&self, input: &Matrix) -> Matrix {
         let n_layers = self.layers.len();
-        let mut x = input.clone();
+        // The first layer reads `input` directly; no upfront batch copy.
+        let mut x = Matrix::empty();
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut z = x.matmul(&layer.w);
+            let src = if i == 0 { input } else { &x };
+            let mut z = src.matmul(&layer.w);
             z.add_row_bias(&layer.b);
             if i + 1 != n_layers {
                 let act = self.activation;
                 z.map_inplace(|v| act.apply(v));
             }
             x = z;
+        }
+        if n_layers == 0 {
+            x = input.clone();
         }
         if self.l2_normalize {
             normalize_rows(&mut x);

@@ -74,12 +74,22 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -137,7 +147,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard hyperparameters (β₁=0.9, β₂=0.999, ε=1e-8).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 }
 
@@ -167,8 +185,7 @@ impl Optimizer for Adam {
         net.visit_params(|p, g| {
             let ms = &mut m[offset..offset + p.len()];
             let vs = &mut v[offset..offset + p.len()];
-            for (((pi, &gi), mi), vi) in p.iter_mut().zip(g).zip(ms.iter_mut()).zip(vs.iter_mut())
-            {
+            for (((pi, &gi), mi), vi) in p.iter_mut().zip(g).zip(ms.iter_mut()).zip(vs.iter_mut()) {
                 *mi = b1 * *mi + (1.0 - b1) * gi;
                 *vi = b2 * *vi + (1.0 - b2) * gi * gi;
                 *pi -= step_size * *mi / (vi.sqrt() + eps);
@@ -192,7 +209,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let mut net = Mlp::new(&MlpConfig::linear(1, 1), &mut rng);
         let xs = Matrix::from_fn(16, 1, |r, _| r as f32 / 8.0 - 1.0);
-        let ys: Vec<f32> = (0..16).map(|r| 2.0 * (r as f32 / 8.0 - 1.0) - 1.0).collect();
+        let ys: Vec<f32> = (0..16)
+            .map(|r| 2.0 * (r as f32 / 8.0 - 1.0) - 1.0)
+            .collect();
         let mut last = f32::INFINITY;
         for _ in 0..500 {
             let pred = net.forward_train(&xs);
@@ -224,12 +243,18 @@ mod tests {
     fn schedules_produce_expected_rates() {
         let base = 1.0f32;
         assert_eq!(LrSchedule::Constant.lr_at(500, base), base);
-        let sd = LrSchedule::StepDecay { every: 100, factor: 0.5 };
+        let sd = LrSchedule::StepDecay {
+            every: 100,
+            factor: 0.5,
+        };
         assert_eq!(sd.lr_at(0, base), 1.0);
         assert_eq!(sd.lr_at(99, base), 1.0);
         assert_eq!(sd.lr_at(100, base), 0.5);
         assert_eq!(sd.lr_at(250, base), 0.25);
-        let cos = LrSchedule::Cosine { total: 100, min_factor: 0.1 };
+        let cos = LrSchedule::Cosine {
+            total: 100,
+            min_factor: 0.1,
+        };
         assert!((cos.lr_at(0, base) - 1.0).abs() < 1e-6);
         assert!((cos.lr_at(50, base) - 0.55).abs() < 1e-5);
         assert!((cos.lr_at(100, base) - 0.1).abs() < 1e-6);
@@ -257,11 +282,16 @@ mod tests {
     #[test]
     fn cosine_annealed_training_converges() {
         let mut opt = Adam::new(0.05);
-        let schedule = LrSchedule::Cosine { total: 500, min_factor: 0.01 };
+        let schedule = LrSchedule::Cosine {
+            total: 500,
+            min_factor: 0.01,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let mut net = Mlp::new(&MlpConfig::linear(1, 1), &mut rng);
         let xs = Matrix::from_fn(16, 1, |r, _| r as f32 / 8.0 - 1.0);
-        let ys: Vec<f32> = (0..16).map(|r| 2.0 * (r as f32 / 8.0 - 1.0) - 1.0).collect();
+        let ys: Vec<f32> = (0..16)
+            .map(|r| 2.0 * (r as f32 / 8.0 - 1.0) - 1.0)
+            .collect();
         let mut last = f32::INFINITY;
         for step in 0..500 {
             opt.set_learning_rate(schedule.lr_at(step, 0.05));
@@ -281,7 +311,12 @@ mod tests {
         let mut net = Mlp::new(&MlpConfig::linear(2, 1), &mut rng);
         let mut before = 0.0;
         net.visit_params(|p, _| before += p.iter().map(|x| x * x).sum::<f32>());
-        let mut opt = Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.5, velocity: vec![] };
+        let mut opt = Sgd {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+            velocity: vec![],
+        };
         net.zero_grad(); // zero gradients: only decay acts
         opt.step(&mut net);
         let mut after = 0.0;

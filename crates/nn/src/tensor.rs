@@ -38,12 +38,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The 0×0 matrix (placeholder for skipped serde fields and caches).
     pub fn empty() -> Self {
-        Self { rows: 0, cols: 0, data: Vec::new() }
+        Self {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -82,7 +90,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows in from_rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -156,6 +168,17 @@ impl Matrix {
         out
     }
 
+    /// Overwrites this matrix's rows with the `indices`-selected rows of
+    /// `src` — an allocation-free [`Matrix::select_rows`] into an existing
+    /// buffer (used by the training loop to reuse batch storage).
+    pub fn copy_rows_from(&mut self, src: &Matrix, indices: &[usize]) {
+        assert_eq!(self.rows, indices.len(), "row count mismatch");
+        assert_eq!(self.cols, src.cols, "column mismatch");
+        for (dst, &s) in self.data.chunks_exact_mut(self.cols).zip(indices) {
+            dst.copy_from_slice(src.row(s));
+        }
+    }
+
     /// Vertically stacks matrices that share a column count.
     pub fn vstack(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty());
@@ -171,21 +194,45 @@ impl Matrix {
 
     /// `out = self · other` where `self` is `m×k` and `other` is `k×n`.
     ///
-    /// The k-loop is the middle loop (ikj order) so the innermost loop runs
-    /// over contiguous rows of both `other` and `out`.
+    /// Blocked over four output rows at a time: each loaded row of `other`
+    /// is reused across four accumulating output rows, quartering the
+    /// dominant memory traffic, while the innermost loop still runs over
+    /// contiguous rows of both `other` and `out`. Per output element the
+    /// k-loop remains a single in-order accumulation, so results are
+    /// bit-identical to the scalar ikj triple loop.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
         assert_eq!(out.rows, self.rows, "matmul output rows mismatch");
         assert_eq!(out.cols, other.cols, "matmul output cols mismatch");
         out.fill(0.0);
         let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let kdim = self.cols;
+        let mut a_groups = self.data.chunks_exact(4 * kdim);
+        let mut o_groups = out.data.chunks_exact_mut(4 * n);
+        for (a4, o4) in (&mut a_groups).zip(&mut o_groups) {
+            let (a0, rest) = a4.split_at(kdim);
+            let (a1, rest) = rest.split_at(kdim);
+            let (a2, a3) = rest.split_at(kdim);
+            let (o0, rest) = o4.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            for kk in 0..kdim {
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                for j in 0..n {
+                    let b = b_row[j];
+                    o0[j] += c0 * b;
+                    o1[j] += c1 * b;
+                    o2[j] += c2 * b;
+                    o3[j] += c3 * b;
                 }
+            }
+        }
+        // Remainder rows (< 4) fall back to the scalar ikj loop.
+        let a_rem = a_groups.remainder();
+        let o_rem = o_groups.into_remainder();
+        for (a_row, out_row) in a_rem.chunks_exact(kdim).zip(o_rem.chunks_exact_mut(n)) {
+            for (kk, &a) in a_row.iter().enumerate() {
                 let b_row = &other.data[kk * n..(kk + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -211,14 +258,32 @@ impl Matrix {
         assert_eq!(out.cols, other.cols);
         out.fill(0.0);
         let n = other.cols;
+        // Four output rows per step share one loaded `b_row`; per output
+        // element the accumulation stays a single in-order k-loop, so the
+        // result is bit-identical to the scalar version.
         for kk in 0..self.rows {
             let a_row = self.row(kk);
             let b_row = other.row(kk);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+            let mut o_groups = out.data.chunks_exact_mut(4 * n);
+            let mut a_vals = a_row.chunks_exact(4);
+            for (a4, o4) in (&mut a_vals).zip(&mut o_groups) {
+                let (o0, rest) = o4.split_at_mut(n);
+                let (o1, rest) = rest.split_at_mut(n);
+                let (o2, o3) = rest.split_at_mut(n);
+                let (c0, c1, c2, c3) = (a4[0], a4[1], a4[2], a4[3]);
+                for j in 0..n {
+                    let b = b_row[j];
+                    o0[j] += c0 * b;
+                    o1[j] += c1 * b;
+                    o2[j] += c2 * b;
+                    o3[j] += c3 * b;
                 }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
+            }
+            for (&a, out_row) in a_vals
+                .remainder()
+                .iter()
+                .zip(o_groups.into_remainder().chunks_exact_mut(n))
+            {
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
@@ -234,12 +299,19 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt inner dimension mismatch");
         assert_eq!(out.rows, self.rows);
         assert_eq!(out.cols, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
+        // Tile over four rows of `self` so each row of `other` is loaded
+        // once per tile instead of once per output row.
+        let n_out = other.rows;
+        let mut i0 = 0;
+        while i0 < self.rows {
+            let i_end = (i0 + 4).min(self.rows);
+            for j in 0..n_out {
                 let b_row = other.row(j);
-                out.data[i * other.rows + j] = dot(a_row, b_row);
+                for i in i0..i_end {
+                    out.data[i * n_out + j] = dot(self.row(i), b_row);
+                }
             }
+            i0 = i_end;
         }
     }
 
@@ -429,6 +501,48 @@ mod tests {
         assert_eq!(l2(&a, &a), 0.0);
         assert_eq!(l2(&a, &b), l2(&b, &a));
         assert!((l2(&a, &b) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_scalar_reference_bitwise() {
+        // Ragged shapes exercise the 4-row microkernel remainders; values
+        // include exact zeros (the old implementation special-cased them).
+        for (m, k, n) in [(1, 1, 1), (5, 3, 7), (4, 8, 4), (7, 6, 2), (9, 5, 11)] {
+            let a = Matrix::from_fn(m, k, |r, c| {
+                if (r + c) % 3 == 0 {
+                    0.0
+                } else {
+                    ((r * 31 + c * 7) % 17) as f32 / 4.0 - 2.0
+                }
+            });
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 5) % 19) as f32 / 8.0 - 1.0);
+            let fast = a.matmul(&b);
+            // Scalar ikj reference with one in-order accumulation per cell.
+            let mut reference = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a.get(i, kk) * b.get(kk, j);
+                    }
+                    reference.set(i, j, acc);
+                }
+            }
+            assert_eq!(fast, reference, "m={m} k={k} n={n}");
+            // matmul_tn on the explicit transpose must agree bitwise too.
+            let mut tn = Matrix::zeros(m, n);
+            a.transpose().matmul_tn_into(&b, &mut tn);
+            assert_eq!(tn, reference, "tn m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn copy_rows_from_matches_select_rows() {
+        let m = Matrix::from_fn(6, 3, |r, c| (r * 10 + c) as f32);
+        let idx = [4usize, 0, 5, 2];
+        let mut buf = Matrix::zeros(4, 3);
+        buf.copy_rows_from(&m, &idx);
+        assert_eq!(buf, m.select_rows(&idx));
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct FitConfig {
 
 impl Default for FitConfig {
     fn default() -> Self {
-        Self { epochs: 30, batch_size: 64, loss_tolerance: 1e-6 }
+        Self {
+            epochs: 30,
+            batch_size: 64,
+            loss_tolerance: 1e-6,
+        }
     }
 }
 
@@ -86,7 +90,10 @@ impl Default for TripletConfig {
 impl TripletConfig {
     /// Enables semi-hard negative mining with sensible defaults.
     pub fn with_semi_hard_mining(mut self) -> Self {
-        self.mining = NegativeMining::SemiHard { candidates: 6, refresh_every: 25 };
+        self.mining = NegativeMining::SemiHard {
+            candidates: 6,
+            refresh_every: 25,
+        };
         self
     }
 }
@@ -117,7 +124,11 @@ fn fit_supervised(
     rng: &mut impl Rng,
     loss_kind: SupervisedLoss,
 ) -> TrainReport {
-    assert_eq!(features.rows(), targets.len(), "features/targets length mismatch");
+    assert_eq!(
+        features.rows(),
+        targets.len(),
+        "features/targets length mismatch"
+    );
     assert!(features.rows() > 0, "cannot fit on an empty dataset");
     let n = features.rows();
     let mut order: Vec<usize> = (0..n).collect();
@@ -148,7 +159,11 @@ fn fit_supervised(
             break;
         }
     }
-    TrainReport { final_loss: curve.last().copied().unwrap_or(f32::NAN), loss_curve: curve, steps }
+    TrainReport {
+        final_loss: curve.last().copied().unwrap_or(f32::NAN),
+        loss_curve: curve,
+        steps,
+    }
 }
 
 /// Fits `net` to scalar regression targets with MSE.
@@ -160,7 +175,15 @@ pub fn fit_regression(
     opt: &mut dyn Optimizer,
     rng: &mut impl Rng,
 ) -> TrainReport {
-    fit_supervised(net, features, targets, config, opt, rng, SupervisedLoss::Mse)
+    fit_supervised(
+        net,
+        features,
+        targets,
+        config,
+        opt,
+        rng,
+        SupervisedLoss::Mse,
+    )
 }
 
 /// Fits `net` as a binary classifier (logit output) with BCE.
@@ -172,7 +195,15 @@ pub fn fit_classifier(
     opt: &mut dyn Optimizer,
     rng: &mut impl Rng,
 ) -> TrainReport {
-    fit_supervised(net, features, targets, config, opt, rng, SupervisedLoss::Bce)
+    fit_supervised(
+        net,
+        features,
+        targets,
+        config,
+        opt,
+        rng,
+        SupervisedLoss::Bce,
+    )
 }
 
 /// Triplet fine-tuning over bucketed records (paper §3.1).
@@ -194,7 +225,11 @@ pub fn fit_triplet(
     opt: &mut dyn Optimizer,
     rng: &mut impl Rng,
 ) -> TrainReport {
-    assert_eq!(features.rows(), buckets.len(), "features/buckets length mismatch");
+    assert_eq!(
+        features.rows(),
+        buckets.len(),
+        "features/buckets length mismatch"
+    );
     // Group record indices by bucket id.
     let mut groups: Vec<Vec<usize>> = Vec::new();
     {
@@ -205,16 +240,26 @@ pub fn fit_triplet(
         }
         groups.retain(|g| !g.is_empty());
     }
-    let anchor_groups: Vec<usize> =
-        (0..groups.len()).filter(|&g| groups[g].len() >= 2).collect();
+    let anchor_groups: Vec<usize> = (0..groups.len())
+        .filter(|&g| groups[g].len() >= 2)
+        .collect();
     if groups.len() < 2 || anchor_groups.is_empty() {
-        return TrainReport { final_loss: f32::NAN, loss_curve: vec![], steps: 0 };
+        return TrainReport {
+            final_loss: f32::NAN,
+            loss_curve: vec![],
+            steps: 0,
+        };
     }
 
     let mut curve = Vec::with_capacity(config.steps);
     let mut idx_a = Vec::with_capacity(config.batch_size);
     let mut idx_p = Vec::with_capacity(config.batch_size);
     let mut idx_n = Vec::with_capacity(config.batch_size);
+    // One batch of triplet indices (anchors ‖ positives ‖ negatives) and a
+    // reusable batch buffer: the per-step gather overwrites it in place
+    // instead of allocating three row selections plus a vstack.
+    let mut idx_batch: Vec<usize> = Vec::with_capacity(3 * config.batch_size);
+    let mut batch = Matrix::zeros(3 * config.batch_size, features.cols());
     // Cached embeddings of all training records for semi-hard mining,
     // refreshed periodically from the in-training network.
     let mut cached_embeddings: Option<Matrix> = None;
@@ -273,9 +318,10 @@ pub fn fit_triplet(
                             hardest = Some((cand, d_an));
                         }
                     }
-                    best_semi.or(hardest).map(|(c, _)| c).unwrap_or_else(|| {
-                        groups[gn][rng.gen_range(0..groups[gn].len())]
-                    })
+                    best_semi
+                        .or(hardest)
+                        .map(|(c, _)| c)
+                        .unwrap_or_else(|| groups[gn][rng.gen_range(0..groups[gn].len())])
                 }
                 _ => groups[gn][rng.gen_range(0..groups[gn].len())],
             };
@@ -283,10 +329,11 @@ pub fn fit_triplet(
             idx_p.push(p);
             idx_n.push(n);
         }
-        let a = features.select_rows(&idx_a);
-        let p = features.select_rows(&idx_p);
-        let n = features.select_rows(&idx_n);
-        let batch = Matrix::vstack(&[&a, &p, &n]);
+        idx_batch.clear();
+        idx_batch.extend_from_slice(&idx_a);
+        idx_batch.extend_from_slice(&idx_p);
+        idx_batch.extend_from_slice(&idx_n);
+        batch.copy_rows_from(features, &idx_batch);
         let emb = net.forward_train(&batch);
         let (loss, grad) = triplet_batch(&emb, config.margin);
         net.zero_grad();
@@ -300,7 +347,11 @@ pub fn fit_triplet(
     } else {
         curve[tail..].iter().sum::<f32>() / (curve.len() - tail) as f32
     };
-    TrainReport { final_loss, loss_curve: curve, steps: config.steps }
+    TrainReport {
+        final_loss,
+        loss_curve: curve,
+        steps: config.steps,
+    }
 }
 
 #[cfg(test)]
@@ -332,7 +383,11 @@ mod tests {
             &mut net,
             &xs,
             &ys,
-            &FitConfig { epochs: 200, batch_size: 16, loss_tolerance: 1e-4 },
+            &FitConfig {
+                epochs: 200,
+                batch_size: 16,
+                loss_tolerance: 1e-4,
+            },
             &mut opt,
             &mut rng,
         );
@@ -353,16 +408,23 @@ mod tests {
             &mut net,
             &xs,
             &ys,
-            &FitConfig { epochs: 100, batch_size: 8, loss_tolerance: 1e-3 },
+            &FitConfig {
+                epochs: 100,
+                batch_size: 8,
+                loss_tolerance: 1e-3,
+            },
             &mut opt,
             &mut rng,
         );
         assert!(report.final_loss < 0.1, "loss {}", report.final_loss);
         // Predictions should order correctly.
         let preds = net.forward(&xs);
-        let neg_max =
-            (0..20).map(|i| preds.get(i, 0)).fold(f32::NEG_INFINITY, f32::max);
-        let pos_min = (20..40).map(|i| preds.get(i, 0)).fold(f32::INFINITY, f32::min);
+        let neg_max = (0..20)
+            .map(|i| preds.get(i, 0))
+            .fold(f32::NEG_INFINITY, f32::max);
+        let pos_min = (20..40)
+            .map(|i| preds.get(i, 0))
+            .fold(f32::INFINITY, f32::min);
         assert!(neg_max < pos_min);
     }
 
@@ -386,11 +448,20 @@ mod tests {
             &mut net,
             &features,
             &buckets,
-            &TripletConfig { steps: 600, batch_size: 16, margin: 0.5, ..Default::default() },
+            &TripletConfig {
+                steps: 600,
+                batch_size: 16,
+                margin: 0.5,
+                ..Default::default()
+            },
             &mut opt,
             &mut rng,
         );
-        assert!(report.final_loss < 0.2, "triplet loss {}", report.final_loss);
+        assert!(
+            report.final_loss < 0.2,
+            "triplet loss {}",
+            report.final_loss
+        );
         // After training, intra-bucket distances must be smaller than
         // inter-bucket distances on average.
         let emb = net.forward(&features);
@@ -468,7 +539,12 @@ mod tests {
             }
             (inter.0 / inter.1 as f32) / (intra.0 / intra.1 as f32).max(1e-6)
         };
-        let base = TripletConfig { steps: 300, batch_size: 16, margin: 0.5, ..Default::default() };
+        let base = TripletConfig {
+            steps: 300,
+            batch_size: 16,
+            margin: 0.5,
+            ..Default::default()
+        };
         let ratio_random = run(base.clone(), 101);
         let ratio_semi = run(base.with_semi_hard_mining(), 101);
         // Semi-hard should separate at least ~as well as random mining.
@@ -476,7 +552,10 @@ mod tests {
             ratio_semi > ratio_random * 0.9,
             "semi-hard {ratio_semi} vs random {ratio_random}"
         );
-        assert!(ratio_semi > 1.2, "semi-hard mining must separate buckets: {ratio_semi}");
+        assert!(
+            ratio_semi > 1.2,
+            "semi-hard mining must separate buckets: {ratio_semi}"
+        );
     }
 
     #[test]
@@ -486,6 +565,13 @@ mod tests {
         let mut net = Mlp::new(&MlpConfig::linear(1, 1), &mut rng);
         let xs = Matrix::zeros(3, 1);
         let mut opt = Sgd::new(0.1);
-        let _ = fit_regression(&mut net, &xs, &[0.0; 2], &FitConfig::default(), &mut opt, &mut rng);
+        let _ = fit_regression(
+            &mut net,
+            &xs,
+            &[0.0; 2],
+            &FitConfig::default(),
+            &mut opt,
+            &mut rng,
+        );
     }
 }

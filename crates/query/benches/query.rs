@@ -23,7 +23,10 @@ fn bench_ebs(c: &mut Criterion) {
     let (truth, proxy, _) = population(20_000, 1);
     c.bench_function("ebs_aggregate_20k", |b| {
         b.iter(|| {
-            let cfg = AggregationConfig { error_target: 0.05, ..Default::default() };
+            let cfg = AggregationConfig {
+                error_target: 0.05,
+                ..Default::default()
+            };
             ebs_aggregate(black_box(&proxy), &mut |r| truth[r], &cfg)
         })
     });
@@ -33,7 +36,10 @@ fn bench_supg(c: &mut Criterion) {
     let (_, proxy, matches) = population(20_000, 2);
     c.bench_function("supg_20k_budget500", |b| {
         b.iter(|| {
-            let cfg = SupgConfig { budget: 500, ..Default::default() };
+            let cfg = SupgConfig {
+                budget: 500,
+                ..Default::default()
+            };
             supg_recall_target(black_box(&proxy), &mut |r| matches[r], &cfg)
         })
     });

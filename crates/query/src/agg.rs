@@ -134,7 +134,9 @@ pub fn ebs_aggregate(
 
     loop {
         // Draw a batch.
-        let target = (ys.len() + config.batch_size).min(n).max(config.min_samples.min(n));
+        let target = (ys.len() + config.batch_size)
+            .min(n)
+            .max(config.min_samples.min(n));
         while ys.len() < target {
             let rec = order[ys.len()];
             ys.push(oracle(rec));
@@ -144,9 +146,17 @@ pub fn ebs_aggregate(
 
         // Control-variate coefficient on the current sample.
         let var_p = variance(&ps);
-        let c = if var_p > 1e-12 { covariance(&ys, &ps) / var_p } else { 0.0 };
+        let c = if var_p > 1e-12 {
+            covariance(&ys, &ps) / var_p
+        } else {
+            0.0
+        };
         // Corrected samples z_i = y_i − c (p_i − μ_p).
-        let zs: Vec<f64> = ys.iter().zip(&ps).map(|(&y, &p)| y - c * (p - proxy_mean)).collect();
+        let zs: Vec<f64> = ys
+            .iter()
+            .zip(&ps)
+            .map(|(&y, &p)| y - c * (p - proxy_mean))
+            .collect();
         let mean_z = zs.iter().sum::<f64>() / zs.len() as f64;
         let std_z = variance(&zs).sqrt();
         let range_z = zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
@@ -157,19 +167,20 @@ pub fn ebs_aggregate(
         } else {
             1.0
         };
-        let half_width = fpc * match config.stopping {
-            StoppingRule::EmpiricalBernstein => {
-                // Union-bound schedule over stopping checks:
-                // δ_k = δ / (k(k+1)), Σ_k δ_k = δ.
-                checks += 1;
-                let delta_k = delta / (checks as f64 * (checks as f64 + 1.0));
-                empirical_bernstein_half_width(std_z, range_z.max(1e-12), t, delta_k)
-            }
-            StoppingRule::Clt => {
-                let z = crate::stats::normal_inverse_cdf(1.0 - delta / 2.0);
-                z * std_z / (t as f64).sqrt()
-            }
-        };
+        let half_width = fpc
+            * match config.stopping {
+                StoppingRule::EmpiricalBernstein => {
+                    // Union-bound schedule over stopping checks:
+                    // δ_k = δ / (k(k+1)), Σ_k δ_k = δ.
+                    checks += 1;
+                    let delta_k = delta / (checks as f64 * (checks as f64 + 1.0));
+                    empirical_bernstein_half_width(std_z, range_z.max(1e-12), t, delta_k)
+                }
+                StoppingRule::Clt => {
+                    let z = crate::stats::normal_inverse_cdf(1.0 - delta / 2.0);
+                    z * std_z / (t as f64).sqrt()
+                }
+            };
 
         let rho2 = {
             let var_y = variance(&ys);
@@ -242,7 +253,11 @@ mod tests {
     fn estimate_is_within_error_target() {
         let (truth, proxy) = population(30_000, 0.9, 1);
         let mu = true_mean(&truth);
-        let config = AggregationConfig { error_target: 0.05, seed: 7, ..Default::default() };
+        let config = AggregationConfig {
+            error_target: 0.05,
+            seed: 7,
+            ..Default::default()
+        };
         let mut oracle = |r: usize| truth[r];
         let res = ebs_aggregate(&proxy, &mut oracle, &config);
         assert!(
@@ -257,9 +272,12 @@ mod tests {
     fn better_proxy_needs_fewer_samples() {
         let (truth, good_proxy) = population(30_000, 0.95, 2);
         let (_, bad_proxy) = population(30_000, 0.0, 2);
-        let config = AggregationConfig { error_target: 0.04, seed: 3, ..Default::default() };
-        let good =
-            ebs_aggregate(&good_proxy, &mut |r| truth[r], &config);
+        let config = AggregationConfig {
+            error_target: 0.04,
+            seed: 3,
+            ..Default::default()
+        };
+        let good = ebs_aggregate(&good_proxy, &mut |r| truth[r], &config);
         let bad = ebs_aggregate(&bad_proxy, &mut |r| truth[r], &config);
         assert!(
             good.samples * 2 <= bad.samples,
@@ -276,10 +294,16 @@ mod tests {
         // 25 runs to keep the test fast but meaningful.
         let (truth, proxy) = population(20_000, 0.7, 5);
         let mu = true_mean(&truth);
-        let config = AggregationConfig { error_target: 0.06, ..Default::default() };
+        let config = AggregationConfig {
+            error_target: 0.06,
+            ..Default::default()
+        };
         let mut hits = 0;
         for seed in 0..25 {
-            let cfg = AggregationConfig { seed, ..config.clone() };
+            let cfg = AggregationConfig {
+                seed,
+                ..config.clone()
+            };
             let res = ebs_aggregate(&proxy, &mut |r| truth[r], &cfg);
             if (res.estimate - mu).abs() <= cfg.error_target {
                 hits += 1;
@@ -292,7 +316,10 @@ mod tests {
     fn tiny_dataset_exhausts_and_returns_exact_mean() {
         let truth: Vec<f64> = (0..40).map(|i| i as f64).collect();
         let proxy = vec![0.0; 40];
-        let config = AggregationConfig { error_target: 1e-6, ..Default::default() };
+        let config = AggregationConfig {
+            error_target: 1e-6,
+            ..Default::default()
+        };
         let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
         assert!(res.exhausted);
         assert_eq!(res.samples, 40);
@@ -304,12 +331,19 @@ mod tests {
     fn constant_oracle_stops_at_min_samples() {
         let truth = vec![2.5f64; 10_000];
         let proxy = vec![0.0f64; 10_000];
-        let config = AggregationConfig { error_target: 0.01, ..Default::default() };
+        let config = AggregationConfig {
+            error_target: 0.01,
+            ..Default::default()
+        };
         let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
         // Zero variance → stops at the first check after min_samples... but
         // the Bernstein range term needs range > 0; with zero range clamp it
         // still shrinks as 1/t, so samples stay modest.
-        assert!(res.samples <= 1_000, "constant data should stop early: {}", res.samples);
+        assert!(
+            res.samples <= 1_000,
+            "constant data should stop early: {}",
+            res.samples
+        );
         assert!((res.estimate - 2.5).abs() < 1e-9);
     }
 
@@ -317,11 +351,17 @@ mod tests {
     fn perfect_proxy_drives_variance_to_zero() {
         let truth: Vec<f64> = (0..20_000).map(|i| ((i * 37) % 11) as f64).collect();
         let proxy = truth.clone();
-        let config = AggregationConfig { error_target: 0.02, ..Default::default() };
+        let config = AggregationConfig {
+            error_target: 0.02,
+            ..Default::default()
+        };
         let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
         assert!(res.rho_squared > 0.999);
         assert!((res.control_coefficient - 1.0).abs() < 0.05);
-        assert!(res.samples <= 1000, "perfect proxy should stop almost immediately");
+        assert!(
+            res.samples <= 1000,
+            "perfect proxy should stop almost immediately"
+        );
         assert!((res.estimate - true_mean(&truth)).abs() < 0.02);
     }
 
@@ -391,7 +431,10 @@ mod tests {
         let with_fpc = ebs_aggregate(
             &proxy,
             &mut |r| truth[r],
-            &AggregationConfig { finite_population_correction: true, ..base },
+            &AggregationConfig {
+                finite_population_correction: true,
+                ..base
+            },
         );
         assert!(
             with_fpc.samples < without.samples,
@@ -399,7 +442,11 @@ mod tests {
             with_fpc.samples,
             without.samples
         );
-        assert!((with_fpc.estimate - mu).abs() <= 0.12, "estimate {}", with_fpc.estimate);
+        assert!(
+            (with_fpc.estimate - mu).abs() <= 0.12,
+            "estimate {}",
+            with_fpc.estimate
+        );
     }
 
     #[test]
@@ -431,7 +478,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (truth, proxy) = population(10_000, 0.6, 9);
-        let config = AggregationConfig { error_target: 0.08, seed: 11, ..Default::default() };
+        let config = AggregationConfig {
+            error_target: 0.08,
+            seed: 11,
+            ..Default::default()
+        };
         let a = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
         let b = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
         assert_eq!(a.estimate, b.estimate);

@@ -35,7 +35,12 @@ pub struct PredicateAggConfig {
 
 impl Default for PredicateAggConfig {
     fn default() -> Self {
-        Self { budget: 500, confidence: 0.95, uniform_mix: 0.2, seed: 1 }
+        Self {
+            budget: 500,
+            confidence: 0.95,
+            uniform_mix: 0.2,
+            seed: 1,
+        }
     }
 }
 
@@ -69,7 +74,9 @@ pub fn predicate_aggregate(
     // Normalize the predicate proxy to a sampling distribution.
     let (lo, hi) = pred_proxy
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
+            (lo.min(p), hi.max(p))
+        });
     let span = (hi - lo).max(1e-12);
     let u = config.uniform_mix.clamp(0.0, 1.0);
     let weight_total: f64 = pred_proxy.iter().map(|&p| (p - lo) / span).sum();
@@ -131,7 +138,12 @@ pub fn predicate_aggregate(
     let mean_b = b_sum / mf;
     let var_a = a.iter().map(|&x| (x - mean_a).powi(2)).sum::<f64>() / mf;
     let var_b = b.iter().map(|&x| (x - mean_b).powi(2)).sum::<f64>() / mf;
-    let cov = a.iter().zip(&b).map(|(&x, &y)| (x - mean_a) * (y - mean_b)).sum::<f64>() / mf;
+    let cov = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| (x - mean_a) * (y - mean_b))
+        .sum::<f64>()
+        / mf;
     let var_r = ((var_a - 2.0 * r * cov + r * r * var_b) / (mf * mean_b * mean_b)).max(0.0);
     let z = normal_inverse_cdf(1.0 - (1.0 - config.confidence) / 2.0);
     PredicateAggResult {
@@ -177,7 +189,11 @@ mod tests {
     #[test]
     fn estimate_is_accurate_on_rare_predicates() {
         let (truth, proxy, true_mean) = population(20_000, 0.03, 0.9, 1);
-        let cfg = PredicateAggConfig { budget: 800, seed: 3, ..Default::default() };
+        let cfg = PredicateAggConfig {
+            budget: 800,
+            seed: 3,
+            ..Default::default()
+        };
         let res = predicate_aggregate(&proxy, &mut |r| truth[r], &cfg);
         assert!(
             (res.estimate - true_mean).abs() < 0.25,
@@ -185,14 +201,21 @@ mod tests {
             res.estimate
         );
         assert!(res.oracle_calls <= 800);
-        assert!(res.matches_sampled > 20, "importance sampling should find matches");
+        assert!(
+            res.matches_sampled > 20,
+            "importance sampling should find matches"
+        );
     }
 
     #[test]
     fn better_predicate_proxy_tightens_the_interval() {
         let (truth, good, _) = population(20_000, 0.03, 0.95, 5);
         let (_, bad, _) = population(20_000, 0.03, 0.0, 5);
-        let cfg = PredicateAggConfig { budget: 600, seed: 7, ..Default::default() };
+        let cfg = PredicateAggConfig {
+            budget: 600,
+            seed: 7,
+            ..Default::default()
+        };
         let res_good = predicate_aggregate(&good, &mut |r| truth[r], &cfg);
         let res_bad = predicate_aggregate(&bad, &mut |r| truth[r], &cfg);
         assert!(
@@ -207,7 +230,11 @@ mod tests {
     #[test]
     fn no_matches_reports_nan_with_infinite_interval() {
         let proxy: Vec<f64> = (0..500).map(|i| (i % 5) as f64).collect();
-        let cfg = PredicateAggConfig { budget: 100, seed: 9, ..Default::default() };
+        let cfg = PredicateAggConfig {
+            budget: 100,
+            seed: 9,
+            ..Default::default()
+        };
         let res = predicate_aggregate(&proxy, &mut |_| None, &cfg);
         assert!(res.estimate.is_nan());
         assert!(res.ci_half_width.is_infinite());
@@ -217,7 +244,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (truth, proxy, _) = population(5_000, 0.1, 0.7, 11);
-        let cfg = PredicateAggConfig { budget: 300, seed: 13, ..Default::default() };
+        let cfg = PredicateAggConfig {
+            budget: 300,
+            seed: 13,
+            ..Default::default()
+        };
         let a = predicate_aggregate(&proxy, &mut |r| truth[r], &cfg);
         let b = predicate_aggregate(&proxy, &mut |r| truth[r], &cfg);
         assert_eq!(a.estimate, b.estimate);
@@ -229,7 +260,11 @@ mod tests {
         let (truth, proxy, true_mean) = population(15_000, 0.05, 0.8, 15);
         let mut hits = 0;
         for seed in 0..20 {
-            let cfg = PredicateAggConfig { budget: 500, seed, ..Default::default() };
+            let cfg = PredicateAggConfig {
+                budget: 500,
+                seed,
+                ..Default::default()
+            };
             let res = predicate_aggregate(&proxy, &mut |r| truth[r], &cfg);
             if (res.estimate - true_mean).abs() <= res.ci_half_width {
                 hits += 1;
@@ -242,7 +277,11 @@ mod tests {
     fn constant_proxy_falls_back_to_uniform() {
         let (truth, _, true_mean) = population(10_000, 0.3, 0.9, 17);
         let proxy = vec![0.5f64; 10_000];
-        let cfg = PredicateAggConfig { budget: 600, seed: 19, ..Default::default() };
+        let cfg = PredicateAggConfig {
+            budget: 600,
+            seed: 19,
+            ..Default::default()
+        };
         let res = predicate_aggregate(&proxy, &mut |r| truth[r], &cfg);
         assert!((res.estimate - true_mean).abs() < 0.3);
     }

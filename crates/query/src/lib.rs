@@ -33,7 +33,9 @@ pub mod select;
 pub mod stats;
 pub mod supg;
 
-pub use agg::{direct_aggregate, ebs_aggregate, AggregationConfig, AggregationResult, StoppingRule};
+pub use agg::{
+    direct_aggregate, ebs_aggregate, AggregationConfig, AggregationResult, StoppingRule,
+};
 pub use agg_pred::{predicate_aggregate, PredicateAggConfig, PredicateAggResult};
 pub use limit::{limit_query, LimitResult};
 pub use select::{threshold_selection, tune_threshold, SelectionResult};

@@ -50,7 +50,11 @@ pub fn limit_query(
         }
     }
     let satisfied = found.len() >= k_matches;
-    LimitResult { found, invocations, satisfied }
+    LimitResult {
+        found,
+        invocations,
+        satisfied,
+    }
 }
 
 #[cfg(test)]

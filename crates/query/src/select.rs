@@ -26,7 +26,9 @@ pub struct SelectionResult {
 
 /// Selects every record whose proxy score is ≥ `threshold`.
 pub fn threshold_selection(proxy: &[f64], threshold: f64) -> Vec<usize> {
-    (0..proxy.len()).filter(|&i| proxy[i] >= threshold).collect()
+    (0..proxy.len())
+        .filter(|&i| proxy[i] >= threshold)
+        .collect()
 }
 
 /// Labels `validation_size` uniformly sampled records through the oracle and
@@ -78,7 +80,11 @@ pub fn tune_threshold(
     }
 
     let selected = threshold_selection(proxy, best_threshold);
-    SelectionResult { selected, threshold: best_threshold, oracle_calls }
+    SelectionResult {
+        selected,
+        threshold: best_threshold,
+        oracle_calls,
+    }
 }
 
 fn f1(tp: usize, fp: usize, fn_: usize) -> f64 {
@@ -111,7 +117,13 @@ mod tests {
         let truth: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < 0.2).collect();
         let proxy: Vec<f64> = truth
             .iter()
-            .map(|&t| if t { rng.gen_range(0.6..1.0) } else { rng.gen_range(0.0..0.4) })
+            .map(|&t| {
+                if t {
+                    rng.gen_range(0.6..1.0)
+                } else {
+                    rng.gen_range(0.0..0.4)
+                }
+            })
             .collect();
         let res = tune_threshold(&proxy, &mut |r| truth[r], 300, 2);
         // Selected set should match the positives almost exactly.
@@ -121,7 +133,11 @@ mod tests {
         let recall = tp as f64 / total_pos as f64;
         assert!(precision > 0.95, "precision {precision}");
         assert!(recall > 0.95, "recall {recall}");
-        assert!(res.threshold > 0.4 && res.threshold <= 0.7, "threshold {}", res.threshold);
+        assert!(
+            res.threshold > 0.4 && res.threshold <= 0.7,
+            "threshold {}",
+            res.threshold
+        );
         assert_eq!(res.oracle_calls, 300);
     }
 

@@ -13,7 +13,13 @@ pub struct Moments {
 impl Moments {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -142,7 +148,11 @@ pub fn covariance(a: &[f64], b: &[f64]) -> f64 {
     }
     let ma = a.iter().sum::<f64>() / n as f64;
     let mb = b.iter().sum::<f64>() / n as f64;
-    a.iter().zip(b).map(|(&x, &y)| (x - ma) * (y - mb)).sum::<f64>() / (n - 1) as f64
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - ma) * (y - mb))
+        .sum::<f64>()
+        / (n - 1) as f64
 }
 
 /// Sample variance of a slice.

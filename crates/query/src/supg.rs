@@ -48,7 +48,13 @@ pub struct SupgConfig {
 
 impl Default for SupgConfig {
     fn default() -> Self {
-        Self { recall_target: 0.9, confidence: 0.95, budget: 500, uniform_mix: 0.1, seed: 1 }
+        Self {
+            recall_target: 0.9,
+            confidence: 0.95,
+            budget: 500,
+            uniform_mix: 0.1,
+            seed: 1,
+        }
     }
 }
 
@@ -84,7 +90,9 @@ pub fn supg_recall_target(
     // Normalize proxies to [0, 1].
     let (lo, hi) = proxy
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
+            (lo.min(p), hi.max(p))
+        });
     let span = (hi - lo).max(1e-12);
     let norm: Vec<f64> = proxy.iter().map(|&p| (p - lo) / span).collect();
 
@@ -92,7 +100,9 @@ pub fn supg_recall_target(
     let u = config.uniform_mix.clamp(0.0, 1.0);
     let sqrt_total: f64 = norm.iter().map(|&p| p.sqrt()).sum();
     let q: Vec<f64> = if sqrt_total > 1e-12 {
-        norm.iter().map(|&p| (1.0 - u) * p.sqrt() / sqrt_total + u / n as f64).collect()
+        norm.iter()
+            .map(|&p| (1.0 - u) * p.sqrt() / sqrt_total + u / n as f64)
+            .collect()
     } else {
         vec![1.0 / n as f64; n]
     };
@@ -128,8 +138,7 @@ pub fn supg_recall_target(
 
     // Candidate thresholds: the distinct proxy values of sampled positives
     // (descending). recall(τ) is a step function changing only there.
-    let mut pos_thresholds: Vec<f64> =
-        draws.iter().filter(|d| d.2).map(|d| norm[d.0]).collect();
+    let mut pos_thresholds: Vec<f64> = draws.iter().filter(|d| d.2).map(|d| norm[d.0]).collect();
     pos_thresholds.sort_by(|a, b| b.partial_cmp(a).unwrap());
     pos_thresholds.dedup();
 
@@ -225,7 +234,13 @@ pub struct SupgPrecisionConfig {
 
 impl Default for SupgPrecisionConfig {
     fn default() -> Self {
-        Self { precision_target: 0.9, confidence: 0.95, budget: 500, uniform_mix: 0.1, seed: 1 }
+        Self {
+            precision_target: 0.9,
+            confidence: 0.95,
+            budget: 500,
+            uniform_mix: 0.1,
+            seed: 1,
+        }
     }
 }
 
@@ -251,7 +266,9 @@ pub fn supg_precision_target(
     );
     let (lo, hi) = proxy
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
+            (lo.min(p), hi.max(p))
+        });
     let span = (hi - lo).max(1e-12);
     let norm: Vec<f64> = proxy.iter().map(|&p| (p - lo) / span).collect();
 
@@ -260,7 +277,9 @@ pub fn supg_precision_target(
     let u = config.uniform_mix.clamp(0.0, 1.0);
     let mass: f64 = norm.iter().map(|&p| p.sqrt()).sum();
     let q: Vec<f64> = if mass > 1e-12 {
-        norm.iter().map(|&p| (1.0 - u) * p.sqrt() / mass + u / n as f64).collect()
+        norm.iter()
+            .map(|&p| (1.0 - u) * p.sqrt() / mass + u / n as f64)
+            .collect()
     } else {
         vec![1.0 / n as f64; n]
     };
@@ -334,8 +353,7 @@ pub fn supg_precision_target(
 
     // Returned set: records above τ, minus sampled known negatives, plus
     // sampled positives (their labels are free at this point).
-    let known_neg: HashSet<usize> =
-        draws.iter().filter(|d| !d.2).map(|d| d.0).collect();
+    let known_neg: HashSet<usize> = draws.iter().filter(|d| !d.2).map(|d| d.0).collect();
     let known_pos: HashSet<usize> = draws.iter().filter(|d| d.2).map(|d| d.0).collect();
     let mut returned: Vec<usize> = (0..n)
         .filter(|&i| (norm[i] >= chosen_tau && !known_neg.contains(&i)) || known_pos.contains(&i))
@@ -412,7 +430,11 @@ mod tests {
         let (truth, proxy) = population(20_000, 0.05, 0.9, 3);
         let mut hits = 0;
         for seed in 0..20 {
-            let cfg = SupgConfig { budget: 800, seed, ..Default::default() };
+            let cfg = SupgConfig {
+                budget: 800,
+                seed,
+                ..Default::default()
+            };
             let mut t = truth.clone();
             let res = supg_recall_target(&proxy, &mut |r| t[r], &cfg);
             // keep borrowck happy: truth untouched
@@ -428,7 +450,11 @@ mod tests {
     fn better_proxy_gives_lower_fpr() {
         let (truth, good) = population(20_000, 0.05, 0.95, 5);
         let (_, bad) = population(20_000, 0.05, 0.3, 5);
-        let cfg = SupgConfig { budget: 800, seed: 2, ..Default::default() };
+        let cfg = SupgConfig {
+            budget: 800,
+            seed: 2,
+            ..Default::default()
+        };
         let res_good = supg_recall_target(&good, &mut |r| truth[r], &cfg);
         let res_bad = supg_recall_target(&bad, &mut |r| truth[r], &cfg);
         let fpr_good = fpr_of(&res_good.returned, &truth);
@@ -442,7 +468,11 @@ mod tests {
     #[test]
     fn budget_is_respected() {
         let (truth, proxy) = population(10_000, 0.1, 0.8, 7);
-        let cfg = SupgConfig { budget: 300, seed: 4, ..Default::default() };
+        let cfg = SupgConfig {
+            budget: 300,
+            seed: 4,
+            ..Default::default()
+        };
         let mut calls = 0u64;
         let res = supg_recall_target(
             &proxy,
@@ -459,7 +489,11 @@ mod tests {
     #[test]
     fn sampled_positives_are_always_returned() {
         let (truth, proxy) = population(5_000, 0.05, 0.7, 9);
-        let cfg = SupgConfig { budget: 400, seed: 6, ..Default::default() };
+        let cfg = SupgConfig {
+            budget: 400,
+            seed: 6,
+            ..Default::default()
+        };
         let mut sampled_pos: Vec<usize> = Vec::new();
         let res = supg_recall_target(
             &proxy,
@@ -473,7 +507,10 @@ mod tests {
         );
         let set: HashSet<usize> = res.returned.iter().copied().collect();
         for p in sampled_pos {
-            assert!(set.contains(&p), "sampled positive {p} missing from returned set");
+            assert!(
+                set.contains(&p),
+                "sampled positive {p} missing from returned set"
+            );
         }
     }
 
@@ -481,7 +518,11 @@ mod tests {
     fn no_positives_returns_everything_conservatively() {
         let truth = vec![false; 1000];
         let proxy: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
-        let cfg = SupgConfig { budget: 100, seed: 8, ..Default::default() };
+        let cfg = SupgConfig {
+            budget: 100,
+            seed: 8,
+            ..Default::default()
+        };
         let res = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
         // With zero sampled positive mass no threshold is certifiable; the
         // conservative answer (τ = 0 on normalized scores) returns all.
@@ -493,7 +534,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (truth, proxy) = population(8_000, 0.08, 0.8, 11);
-        let cfg = SupgConfig { budget: 500, seed: 13, ..Default::default() };
+        let cfg = SupgConfig {
+            budget: 500,
+            seed: 13,
+            ..Default::default()
+        };
         let a = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
         let b = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
         assert_eq!(a.returned, b.returned);
@@ -513,7 +558,11 @@ mod tests {
         let (truth, proxy) = population(20_000, 0.1, 0.9, 21);
         let mut hits = 0;
         for seed in 0..20 {
-            let cfg = SupgPrecisionConfig { budget: 800, seed, ..Default::default() };
+            let cfg = SupgPrecisionConfig {
+                budget: 800,
+                seed,
+                ..Default::default()
+            };
             let res = supg_precision_target(&proxy, &mut |r| truth[r], &cfg);
             if precision_of(&res.returned, &truth) >= cfg.precision_target {
                 hits += 1;
@@ -525,9 +574,16 @@ mod tests {
     #[test]
     fn precision_variant_returns_nonempty_set_for_good_proxies() {
         let (truth, proxy) = population(20_000, 0.1, 0.95, 23);
-        let cfg = SupgPrecisionConfig { budget: 800, seed: 3, ..Default::default() };
+        let cfg = SupgPrecisionConfig {
+            budget: 800,
+            seed: 3,
+            ..Default::default()
+        };
         let res = supg_precision_target(&proxy, &mut |r| truth[r], &cfg);
-        assert!(res.returned.len() > 100, "good proxies should certify a broad set");
+        assert!(
+            res.returned.len() > 100,
+            "good proxies should certify a broad set"
+        );
         // Recall should be substantial too (smallest certifiable τ).
         let total_pos = truth.iter().filter(|&&t| t).count();
         let tp = res.returned.iter().filter(|&&i| truth[i]).count();
@@ -543,15 +599,27 @@ mod tests {
         // set must stay (near-)empty rather than blow the precision target.
         let truth = vec![false; 5_000];
         let proxy: Vec<f64> = (0..5_000).map(|i| (i % 11) as f64).collect();
-        let cfg = SupgPrecisionConfig { budget: 300, seed: 5, ..Default::default() };
+        let cfg = SupgPrecisionConfig {
+            budget: 300,
+            seed: 5,
+            ..Default::default()
+        };
         let res = supg_precision_target(&proxy, &mut |r| truth[r], &cfg);
-        assert!(res.returned.is_empty(), "nothing is certifiable: {}", res.returned.len());
+        assert!(
+            res.returned.is_empty(),
+            "nothing is certifiable: {}",
+            res.returned.len()
+        );
     }
 
     #[test]
     fn precision_variant_respects_budget_and_determinism() {
         let (truth, proxy) = population(8_000, 0.1, 0.8, 25);
-        let cfg = SupgPrecisionConfig { budget: 200, seed: 7, ..Default::default() };
+        let cfg = SupgPrecisionConfig {
+            budget: 200,
+            seed: 7,
+            ..Default::default()
+        };
         let mut calls = 0u64;
         let a = supg_precision_target(
             &proxy,
@@ -570,7 +638,11 @@ mod tests {
     fn constant_proxy_still_meets_recall() {
         let (truth, _) = population(5_000, 0.1, 0.9, 15);
         let proxy = vec![0.5; 5_000];
-        let cfg = SupgConfig { budget: 500, seed: 17, ..Default::default() };
+        let cfg = SupgConfig {
+            budget: 500,
+            seed: 17,
+            ..Default::default()
+        };
         let res = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
         assert!(recall_of(&res.returned, &truth) >= 0.9);
     }

@@ -16,23 +16,43 @@ use tasti_labeler::{Gender, Schema};
 
 fn main() {
     let dataset = tasti::data::speech::common_voice(6_000, 23);
-    let labeler = MeteredLabeler::new(OracleLabeler::human(dataset.truth_handle(), Schema::common_voice()));
+    let labeler = MeteredLabeler::new(OracleLabeler::human(
+        dataset.truth_handle(),
+        Schema::common_voice(),
+    ));
 
-    let config = TastiConfig { n_train: 500, n_reps: 500, embedding_dim: 24, ..TastiConfig::default() };
+    let config = TastiConfig {
+        n_train: 500,
+        n_reps: 500,
+        embedding_dim: 24,
+        ..TastiConfig::default()
+    };
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 9);
     let pretrained = pt.embed_all(&dataset.features);
-    let (index, _) =
-        build_index(&dataset.features, &pretrained, &labeler, &SpeechCloseness, &config)
-            .expect("construction within budget");
+    let (index, _) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &SpeechCloseness,
+        &config,
+    )
+    .expect("construction within budget");
 
     // ── Custom query 1: fraction of male speakers (built-in scoring fn).
     let proxy = index.propagate(&SpeechIsMale);
     let res = ebs_aggregate(
         &proxy,
         &mut |r| SpeechIsMale.score(&labeler.label(r)),
-        &AggregationConfig { error_target: 0.03, stopping: StoppingRule::Clt, ..Default::default() },
+        &AggregationConfig {
+            error_target: 0.03,
+            stopping: StoppingRule::Clt,
+            ..Default::default()
+        },
     );
-    println!("fraction male ≈ {:.3} ({} annotations)", res.estimate, res.samples);
+    println!(
+        "fraction male ≈ {:.3} ({} annotations)",
+        res.estimate, res.samples
+    );
 
     // ── Custom query 2: categorical age-bucket prediction for every
     // snippet via distance-weighted majority vote (§4.3's categorical
@@ -60,16 +80,17 @@ fn main() {
     // "female speaker under 30" — exactly the few-lines extension the
     // paper's API sketch describes.
     let young_female = FnScore(|o: &LabelerOutput| match o {
-        LabelerOutput::Speech(s) => {
-            (s.gender == Gender::Female && s.age_bucket <= 1) as u8 as f64
-        }
+        LabelerOutput::Speech(s) => (s.gender == Gender::Female && s.age_bucket <= 1) as u8 as f64,
         _ => 0.0,
     });
     let proxy = index.propagate(&young_female);
     let supg = supg_recall_target(
         &proxy,
         &mut |r| young_female.score(&labeler.label(r)) >= 0.5,
-        &SupgConfig { budget: 800, ..Default::default() },
+        &SupgConfig {
+            budget: 800,
+            ..Default::default()
+        },
     );
     println!(
         "young female speakers: {} candidates returned ({} annotations)",

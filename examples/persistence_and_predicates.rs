@@ -22,8 +22,12 @@ fn main() {
     // ── Session 1: build and save.
     {
         let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
-        let config =
-            TastiConfig { n_train: 300, n_reps: 800, embedding_dim: 32, ..TastiConfig::default() };
+        let config = TastiConfig {
+            n_train: 300,
+            n_reps: 800,
+            embedding_dim: 32,
+            ..TastiConfig::default()
+        };
         let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 2);
         let pretrained = pt.embed_all(&dataset.features);
         let (index, report) = build_index(
@@ -65,7 +69,10 @@ fn main() {
                 None
             }
         },
-        &PredicateAggConfig { budget: 600, ..Default::default() },
+        &PredicateAggConfig {
+            budget: 600,
+            ..Default::default()
+        },
     );
     println!(
         "avg cars/frame among bus frames ≈ {:.3} ± {:.3} ({} labeler calls, {} bus frames sampled)",
@@ -82,7 +89,10 @@ fn main() {
             count += 1;
         }
     }
-    println!("ground truth: {:.3} over {count} bus frames", sum / count.max(1) as f64);
+    println!(
+        "ground truth: {:.3} over {count} bus frames",
+        sum / count.max(1) as f64
+    );
 
     std::fs::remove_file(&path).ok();
 }

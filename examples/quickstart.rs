@@ -19,12 +19,22 @@ fn main() {
     // ── Build the index (Algorithm 1): mine diverse training frames with
     // FPF, fine-tune an embedding with the triplet loss, select cluster
     // representatives, annotate them once.
-    let config = TastiConfig { n_train: 300, n_reps: 800, embedding_dim: 32, ..TastiConfig::default() };
+    let config = TastiConfig {
+        n_train: 300,
+        n_reps: 800,
+        embedding_dim: 32,
+        ..TastiConfig::default()
+    };
     let mut pretrained = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 7);
     let embeddings = pretrained.embed_all(&dataset.features);
-    let (index, report) =
-        build_index(&dataset.features, &embeddings, &labeler, &VideoCloseness::default(), &config)
-            .expect("construction within budget");
+    let (index, report) = build_index(
+        &dataset.features,
+        &embeddings,
+        &labeler,
+        &VideoCloseness::default(),
+        &config,
+    )
+    .expect("construction within budget");
     println!(
         "index built: {} reps, {} labeler invocations, {:.2}s wall clock",
         index.reps().len(),
@@ -41,7 +51,11 @@ fn main() {
         stopping: StoppingRule::Clt,
         ..Default::default()
     };
-    let agg = ebs_aggregate(&proxy, &mut |r| labeler.label(r).count_class(ObjectClass::Car) as f64, &agg_config);
+    let agg = ebs_aggregate(
+        &proxy,
+        &mut |r| labeler.label(r).count_class(ObjectClass::Car) as f64,
+        &agg_config,
+    );
     println!(
         "\n[aggregation] avg cars/frame ≈ {:.3} after {} labeler calls (ρ² = {:.3})",
         agg.estimate, agg.samples, agg.rho_squared
@@ -50,7 +64,10 @@ fn main() {
     // ── Query 2: "return ≥90% of frames with ≥2 cars, 95% confidence,
     // within a 400-call budget" (SUPG recall-target selection).
     let sel_proxy = index.propagate(&HasAtLeast(ObjectClass::Car, 2));
-    let supg_config = SupgConfig { budget: 400, ..Default::default() };
+    let supg_config = SupgConfig {
+        budget: 400,
+        ..Default::default()
+    };
     let supg = supg_recall_target(
         &sel_proxy,
         &mut |r| labeler.label(r).count_class(ObjectClass::Car) >= 2,

@@ -24,17 +24,27 @@ fn main() {
         2_500,
     );
 
-    let config = TastiConfig { n_train: 500, n_reps: 500, embedding_dim: 32, ..TastiConfig::default() };
+    let config = TastiConfig {
+        n_train: 500,
+        n_reps: 500,
+        embedding_dim: 32,
+        ..TastiConfig::default()
+    };
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 3);
     let pretrained = pt.embed_all(&dataset.features);
-    let (index, report) =
-        match build_index(&dataset.features, &pretrained, &labeler, &SqlCloseness, &config) {
-            Ok(x) => x,
-            Err(e) => {
-                eprintln!("annotation budget too small for this configuration: {e}");
-                return;
-            }
-        };
+    let (index, report) = match build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &SqlCloseness,
+        &config,
+    ) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("annotation budget too small for this configuration: {e}");
+            return;
+        }
+    };
     let index_cost = labeler.total_cost();
     println!(
         "index: {} reps, {} annotations, ${:.2} of crowd work",
@@ -48,7 +58,11 @@ fn main() {
     let res = ebs_aggregate(
         &proxy,
         &mut |r| SqlNumPredicates.score(&labeler.label(r)),
-        &AggregationConfig { error_target: 0.05, stopping: StoppingRule::Clt, ..Default::default() },
+        &AggregationConfig {
+            error_target: 0.05,
+            stopping: StoppingRule::Clt,
+            ..Default::default()
+        },
     );
     println!(
         "\navg predicates/question ≈ {:.3} ({} extra annotations, ρ²={:.2})",
@@ -60,7 +74,10 @@ fn main() {
     let supg = supg_recall_target(
         &proxy,
         &mut |r| SqlOpIs(SqlOp::Select).score(&labeler.label(r)) >= 0.5,
-        &SupgConfig { budget: 300, ..Default::default() },
+        &SupgConfig {
+            budget: 300,
+            ..Default::default()
+        },
     );
     println!(
         "SELECT questions: {} returned at threshold {:.3} ({} annotations)",
@@ -77,7 +94,10 @@ fn main() {
         5,
         dataset.len(),
     );
-    println!("four-predicate questions {:?} after {} annotations", limit.found, limit.invocations);
+    println!(
+        "four-predicate questions {:?} after {} annotations",
+        limit.found, limit.invocations
+    );
 
     let total = labeler.total_cost();
     let exhaustive = CostModel::human().target.times(dataset.len() as u64);

@@ -22,12 +22,22 @@ fn main() {
     // One index for the whole session: the taipei dataset carries two
     // object classes (cars common, buses rare) and the paper uses a single
     // set of embeddings for both (§6.3).
-    let config = TastiConfig { n_train: 400, n_reps: 1000, embedding_dim: 32, ..TastiConfig::default() };
+    let config = TastiConfig {
+        n_train: 400,
+        n_reps: 1000,
+        embedding_dim: 32,
+        ..TastiConfig::default()
+    };
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 5);
     let pretrained = pt.embed_all(&dataset.features);
-    let (mut index, report) =
-        build_index(&dataset.features, &pretrained, &labeler, &VideoCloseness::default(), &config)
-            .expect("construction within budget");
+    let (mut index, report) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &VideoCloseness::default(),
+        &config,
+    )
+    .expect("construction within budget");
     println!(
         "index: {} reps from {} labeler calls\n",
         index.reps().len(),
@@ -47,7 +57,10 @@ fn main() {
         &mut |r| labeler.label(r).count_class(ObjectClass::Car) as f64,
         &agg_cfg,
     );
-    println!("[1] avg cars/frame  ≈ {:.3}  ({} calls, ρ²={:.2})", res.estimate, res.samples, res.rho_squared);
+    println!(
+        "[1] avg cars/frame  ≈ {:.3}  ({} calls, ρ²={:.2})",
+        res.estimate, res.samples, res.rho_squared
+    );
 
     // Crack: the frames query 1 labeled become representatives.
     let added = crack_from_labeler(&mut index, &labeler);
@@ -61,7 +74,10 @@ fn main() {
         &mut |r| labeler.label(r).count_class(ObjectClass::Bus) as f64,
         &agg_cfg,
     );
-    println!("[2] avg buses/frame ≈ {:.3}  ({} calls, ρ²={:.2})", res.estimate, res.samples, res.rho_squared);
+    println!(
+        "[2] avg buses/frame ≈ {:.3}  ({} calls, ρ²={:.2})",
+        res.estimate, res.samples, res.rho_squared
+    );
     crack_from_labeler(&mut index, &labeler);
 
     // ── Query 3: SUPG — return ≥90% of frames containing a bus.
@@ -69,9 +85,16 @@ fn main() {
     let supg = supg_recall_target(
         &proxy,
         &mut |r| labeler.label(r).count_class(ObjectClass::Bus) > 0,
-        &SupgConfig { budget: 400, ..Default::default() },
+        &SupgConfig {
+            budget: 400,
+            ..Default::default()
+        },
     );
-    println!("[3] bus frames: returned {} candidates ({} calls)", supg.returned.len(), supg.oracle_calls);
+    println!(
+        "[3] bus frames: returned {} candidates ({} calls)",
+        supg.returned.len(),
+        supg.oracle_calls
+    );
     crack_from_labeler(&mut index, &labeler);
 
     // ── Query 4: limit — find 5 frames with ≥6 cars (rare bursts).
@@ -82,7 +105,10 @@ fn main() {
         5,
         dataset.len(),
     );
-    println!("[4] burst frames {:?} after {} scans", limit.found, limit.invocations);
+    println!(
+        "[4] burst frames {:?} after {} scans",
+        limit.found, limit.invocations
+    );
     crack_from_labeler(&mut index, &labeler);
 
     // ── Query 5: average x-position of cars — a regression query that
@@ -92,9 +118,16 @@ fn main() {
     let res = ebs_aggregate(
         &proxy,
         &mut |r| MeanXPosition(ObjectClass::Car).score(&labeler.label(r)),
-        &AggregationConfig { error_target: 0.01, stopping: StoppingRule::Clt, ..Default::default() },
+        &AggregationConfig {
+            error_target: 0.01,
+            stopping: StoppingRule::Clt,
+            ..Default::default()
+        },
     );
-    println!("[5] avg car x-pos   ≈ {:.3}  ({} calls)", res.estimate, res.samples);
+    println!(
+        "[5] avg car x-pos   ≈ {:.3}  ({} calls)",
+        res.estimate, res.samples
+    );
 
     println!(
         "\nsession total: {} labeler invocations across 5 queries + index ({}% of exhaustive)",

@@ -84,8 +84,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else {
-                let value =
-                    args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
                 flags.insert(name.to_string(), value.clone());
                 i += 2;
             }
@@ -102,7 +103,9 @@ fn get<T: std::str::FromStr>(
     default: Option<T>,
 ) -> Result<T, String> {
     match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: '{v}'")),
         None => default.ok_or_else(|| format!("missing required flag --{key}")),
     }
 }
@@ -125,10 +128,15 @@ fn parse(args: &[String]) -> Result<Command, String> {
         }
         Some("info") => {
             let flags = parse_flags(&args[1..])?;
-            Ok(Command::Info { index: get(&flags, "index", None)? })
+            Ok(Command::Info {
+                index: get(&flags, "index", None)?,
+            })
         }
         Some("query") => {
-            let kind = args.get(1).cloned().ok_or("query needs a kind: agg|supg|limit")?;
+            let kind = args
+                .get(1)
+                .cloned()
+                .ok_or("query needs a kind: agg|supg|limit")?;
             if !["agg", "supg", "limit"].contains(&kind.as_str()) {
                 return Err(format!("unknown query kind '{kind}' (agg|supg|limit)"));
             }
@@ -233,11 +241,17 @@ fn run_build(a: &BuildArgs) -> Result<(), String> {
         "common-voice" => Box::new(SpeechCloseness),
         _ => Box::new(VideoCloseness::default()),
     };
-    let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, a.seed ^ 0x50);
+    let mut pt =
+        PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, a.seed ^ 0x50);
     let pretrained = pt.embed_all(&dataset.features);
-    let (index, report) =
-        build_index(&dataset.features, &pretrained, &labeler, closeness.as_ref(), &config)
-            .map_err(|e| e.to_string())?;
+    let (index, report) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        closeness.as_ref(),
+        &config,
+    )
+    .map_err(|e| e.to_string())?;
     persist::save(&index, &a.out).map_err(|e| e.to_string())?;
     println!(
         "built {}: {} records, {} reps, {} labeler calls, {:.2}s; saved to {}",
@@ -260,7 +274,14 @@ fn run_info(path: &str) -> Result<(), String> {
     println!("  propagation k:  {}", index.k());
     println!("  metric:         {:?}", index.metric());
     println!("  cover radius:   {:.4}", index.cover_radius());
-    println!("  trained model:  {}", if index.model().is_some() { "yes" } else { "no (TASTI-PT)" });
+    println!(
+        "  trained model:  {}",
+        if index.model().is_some() {
+            "yes"
+        } else {
+            "no (TASTI-PT)"
+        }
+    );
     Ok(())
 }
 
@@ -298,12 +319,13 @@ fn run_query(a: &QueryArgs) -> Result<(), String> {
         }
         "supg" => {
             let proxy = index.propagate(score.as_ref());
-            let cfg = SupgConfig { budget: a.budget, seed: a.seed, ..Default::default() };
-            let res = supg_recall_target(
-                &proxy,
-                &mut |r| score.score(&labeler.label(r)) >= 0.5,
-                &cfg,
-            );
+            let cfg = SupgConfig {
+                budget: a.budget,
+                seed: a.seed,
+                ..Default::default()
+            };
+            let res =
+                supg_recall_target(&proxy, &mut |r| score.score(&labeler.label(r)) >= 0.5, &cfg);
             println!(
                 "returned {} records at threshold {:.4} ({} labeler calls, est. recall {:.3})",
                 res.returned.len(),
@@ -368,8 +390,16 @@ mod tests {
 
     #[test]
     fn parses_build_with_defaults() {
-        let cmd = parse(&s(&["build", "--dataset", "night-street", "--n", "1000", "--out", "x.json"]))
-            .unwrap();
+        let cmd = parse(&s(&[
+            "build",
+            "--dataset",
+            "night-street",
+            "--n",
+            "1000",
+            "--out",
+            "x.json",
+        ]))
+        .unwrap();
         match cmd {
             Command::Build(a) => {
                 assert_eq!(a.dataset, "night-street");
@@ -386,7 +416,14 @@ mod tests {
     #[test]
     fn parses_pretrained_only_flag() {
         let cmd = parse(&s(&[
-            "build", "--dataset", "taipei", "--n", "500", "--out", "x.json", "--pretrained-only",
+            "build",
+            "--dataset",
+            "taipei",
+            "--n",
+            "500",
+            "--out",
+            "x.json",
+            "--pretrained-only",
         ]))
         .unwrap();
         match cmd {
@@ -399,7 +436,14 @@ mod tests {
     fn parses_query_kinds() {
         for kind in ["agg", "supg", "limit"] {
             let cmd = parse(&s(&[
-                "query", kind, "--index", "x.json", "--dataset", "amsterdam", "--n", "100",
+                "query",
+                kind,
+                "--index",
+                "x.json",
+                "--dataset",
+                "amsterdam",
+                "--n",
+                "100",
             ]))
             .unwrap();
             match cmd {
@@ -425,8 +469,7 @@ mod tests {
 
     #[test]
     fn invalid_values_error() {
-        let err =
-            parse(&s(&["build", "--dataset", "x", "--n", "abc", "--out", "y"])).unwrap_err();
+        let err = parse(&s(&["build", "--dataset", "x", "--n", "abc", "--out", "y"])).unwrap_err();
         assert!(err.contains("invalid value for --n"), "{err}");
     }
 
@@ -455,8 +498,20 @@ mod tests {
     fn supg_scoring_is_a_predicate_but_agg_is_a_count() {
         use tasti_labeler::{Detection, LabelerOutput};
         let frame = LabelerOutput::Detections(vec![
-            Detection { class: ObjectClass::Car, x: 0.2, y: 0.5, w: 0.1, h: 0.1 },
-            Detection { class: ObjectClass::Car, x: 0.7, y: 0.5, w: 0.1, h: 0.1 },
+            Detection {
+                class: ObjectClass::Car,
+                x: 0.2,
+                y: 0.5,
+                w: 0.1,
+                h: 0.1,
+            },
+            Detection {
+                class: ObjectClass::Car,
+                x: 0.7,
+                y: 0.5,
+                w: 0.1,
+                h: 0.1,
+            },
         ]);
         let agg = scoring_for("night-street", "car", "agg", 2).unwrap();
         assert_eq!(agg.score(&frame), 2.0);

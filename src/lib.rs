@@ -82,7 +82,6 @@ pub mod prelude {
         SqlCloseness, TargetLabeler, VideoCloseness,
     };
     pub use tasti_query::{
-        ebs_aggregate, limit_query, supg_recall_target, AggregationConfig, StoppingRule,
-        SupgConfig,
+        ebs_aggregate, limit_query, supg_recall_target, AggregationConfig, StoppingRule, SupgConfig,
     };
 }

@@ -7,7 +7,11 @@ use tasti_nn::TripletConfig;
 fn build_night_street(
     n: usize,
     seed: u64,
-) -> (tasti::data::Dataset, MeteredLabeler<OracleLabeler>, TastiIndex) {
+) -> (
+    tasti::data::Dataset,
+    MeteredLabeler<OracleLabeler>,
+    TastiIndex,
+) {
     let video = tasti::data::video::night_street(n, seed);
     let dataset = video.dataset;
     let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
@@ -15,15 +19,25 @@ fn build_night_street(
         n_train: 150,
         n_reps: 250,
         embedding_dim: 16,
-        triplet: TripletConfig { steps: 150, batch_size: 24, margin: 0.3, ..Default::default() },
+        triplet: TripletConfig {
+            steps: 150,
+            batch_size: 24,
+            margin: 0.3,
+            ..Default::default()
+        },
         seed,
         ..TastiConfig::default()
     };
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, seed ^ 1);
     let pretrained = pt.embed_all(&dataset.features);
-    let (index, _) =
-        build_index(&dataset.features, &pretrained, &labeler, &VideoCloseness::default(), &config)
-            .unwrap();
+    let (index, _) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &VideoCloseness::default(),
+        &config,
+    )
+    .unwrap();
     (dataset, labeler, index)
 }
 
@@ -56,7 +70,10 @@ fn query_then_crack_then_query_improves_proxies() {
     );
     // Exactness on every cracked representative.
     for &rep in index.reps() {
-        assert_eq!(proxy2[rep], truth[rep], "representative {rep} must score exactly");
+        assert_eq!(
+            proxy2[rep], truth[rep],
+            "representative {rep} must score exactly"
+        );
     }
 }
 
@@ -64,15 +81,21 @@ fn query_then_crack_then_query_improves_proxies() {
 fn cracking_across_query_types_reuses_all_labels() {
     let (dataset, labeler, mut index) = build_night_street(2_500, 82);
     let sel = HasAtLeast(ObjectClass::Car, 2);
-    let truth_sel: Vec<bool> =
-        dataset.true_scores(|o| sel.score(o)).iter().map(|&v| v >= 0.5).collect();
+    let truth_sel: Vec<bool> = dataset
+        .true_scores(|o| sel.score(o))
+        .iter()
+        .map(|&v| v >= 0.5)
+        .collect();
 
     // A SUPG query labels a few hundred records...
     let proxy = index.propagate(&sel);
     let supg = supg_recall_target(
         &proxy,
         &mut |r| sel.score(&labeler.label(r)) >= 0.5,
-        &SupgConfig { budget: 300, ..Default::default() },
+        &SupgConfig {
+            budget: 300,
+            ..Default::default()
+        },
     );
     assert!(supg.oracle_calls > 0);
 

@@ -10,7 +10,12 @@ fn small_tasti_config(n_train: usize, n_reps: usize, seed: u64) -> TastiConfig {
         n_train,
         n_reps,
         embedding_dim: 16,
-        triplet: TripletConfig { steps: 200, batch_size: 24, margin: 0.3, ..Default::default() },
+        triplet: TripletConfig {
+            steps: 200,
+            batch_size: 24,
+            margin: 0.3,
+            ..Default::default()
+        },
         seed,
         ..TastiConfig::default()
     }
@@ -24,15 +29,23 @@ fn video_pipeline_aggregation_with_guarantee() {
     let config = small_tasti_config(150, 300, 71);
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 1);
     let pretrained = pt.embed_all(&dataset.features);
-    let (index, report) =
-        build_index(&dataset.features, &pretrained, &labeler, &VideoCloseness::default(), &config)
-            .unwrap();
+    let (index, report) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &VideoCloseness::default(),
+        &config,
+    )
+    .unwrap();
     assert!(report.total_invocations <= 450);
 
     let score = CountClass(ObjectClass::Car);
     let proxy = index.propagate(&score);
     let truth = dataset.true_scores(|o| score.score(o));
-    assert!(rho_squared(&proxy, &truth) > 0.5, "video proxy quality too low");
+    assert!(
+        rho_squared(&proxy, &truth) > 0.5,
+        "video proxy quality too low"
+    );
 
     let cfg = AggregationConfig {
         error_target: 0.08,
@@ -41,30 +54,53 @@ fn video_pipeline_aggregation_with_guarantee() {
     };
     let res = ebs_aggregate(&proxy, &mut |r| truth[r], &cfg);
     let mu = truth.iter().sum::<f64>() / truth.len() as f64;
-    assert!((res.estimate - mu).abs() <= 0.08, "estimate {} vs {}", res.estimate, mu);
-    assert!(res.samples < dataset.len() as u64 / 2, "proxy should save most labeling");
+    assert!(
+        (res.estimate - mu).abs() <= 0.08,
+        "estimate {} vs {}",
+        res.estimate,
+        mu
+    );
+    assert!(
+        res.samples < dataset.len() as u64 / 2,
+        "proxy should save most labeling"
+    );
 }
 
 #[test]
 fn text_pipeline_supg_meets_recall_target() {
     let text = tasti::data::text::wikisql(3_000, 72);
     let dataset = &text.dataset;
-    let labeler =
-        MeteredLabeler::new(OracleLabeler::human(dataset.truth_handle(), Schema::wikisql()));
+    let labeler = MeteredLabeler::new(OracleLabeler::human(
+        dataset.truth_handle(),
+        Schema::wikisql(),
+    ));
     let config = small_tasti_config(300, 300, 72);
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 2);
     let pretrained = pt.embed_all(&dataset.features);
-    let (index, _) =
-        build_index(&dataset.features, &pretrained, &labeler, &SqlCloseness, &config).unwrap();
+    let (index, _) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &SqlCloseness,
+        &config,
+    )
+    .unwrap();
 
     let predicate = SqlOpIs(SqlOp::Count);
     let proxy = index.propagate(&predicate);
-    let truth: Vec<bool> =
-        dataset.true_scores(|o| predicate.score(o)).iter().map(|&v| v >= 0.5).collect();
+    let truth: Vec<bool> = dataset
+        .true_scores(|o| predicate.score(o))
+        .iter()
+        .map(|&v| v >= 0.5)
+        .collect();
     let res = supg_recall_target(
         &proxy,
         &mut |r| truth[r],
-        &SupgConfig { budget: 400, recall_target: 0.9, ..Default::default() },
+        &SupgConfig {
+            budget: 400,
+            recall_target: 0.9,
+            ..Default::default()
+        },
     );
     let mut predicted = vec![false; truth.len()];
     for &r in &res.returned {
@@ -74,19 +110,30 @@ fn text_pipeline_supg_meets_recall_target() {
     assert!(c.recall() >= 0.9, "recall target missed: {}", c.recall());
     assert!(res.oracle_calls <= 400);
     // The returned set must be meaningfully smaller than the dataset.
-    assert!(res.returned.len() < dataset.len(), "selection should exclude something");
+    assert!(
+        res.returned.len() < dataset.len(),
+        "selection should exclude something"
+    );
 }
 
 #[test]
 fn speech_pipeline_limit_query_finds_rare_speakers() {
     let dataset = tasti::data::speech::common_voice(3_000, 73);
-    let labeler =
-        MeteredLabeler::new(OracleLabeler::human(dataset.truth_handle(), Schema::common_voice()));
+    let labeler = MeteredLabeler::new(OracleLabeler::human(
+        dataset.truth_handle(),
+        Schema::common_voice(),
+    ));
     let config = small_tasti_config(300, 300, 73);
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 3);
     let pretrained = pt.embed_all(&dataset.features);
-    let (index, _) =
-        build_index(&dataset.features, &pretrained, &labeler, &SpeechCloseness, &config).unwrap();
+    let (index, _) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &SpeechCloseness,
+        &config,
+    )
+    .unwrap();
 
     // Rare event: youngest-bucket speakers (~10%).
     let target = FnScore(|o: &LabelerOutput| match o {
@@ -99,7 +146,11 @@ fn speech_pipeline_limit_query_finds_rare_speakers() {
     assert!(res.satisfied, "limit query must find 10 young speakers");
     // A good ranking finds them far faster than a linear scan would
     // (expected scan for 10 hits at 10% prevalence ≈ 100).
-    assert!(res.invocations <= 60, "ranking too weak: {} scans", res.invocations);
+    assert!(
+        res.invocations <= 60,
+        "ranking too weak: {} scans",
+        res.invocations
+    );
     for &r in &res.found {
         assert!(truth[r] >= 1.0, "returned record {r} does not match");
     }
@@ -114,9 +165,14 @@ fn one_index_many_queries_without_retraining() {
     let config = small_tasti_config(200, 300, 74);
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 4);
     let pretrained = pt.embed_all(&dataset.features);
-    let (index, _) =
-        build_index(&dataset.features, &pretrained, &labeler, &VideoCloseness::default(), &config)
-            .unwrap();
+    let (index, _) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &VideoCloseness::default(),
+        &config,
+    )
+    .unwrap();
     let after_build = labeler.invocations();
 
     // Five distinct queries, zero additional training, zero labeler calls
@@ -132,7 +188,10 @@ fn one_index_many_queries_without_retraining() {
         let proxy = index.propagate(q.as_ref());
         let truth = dataset.true_scores(|o| q.score(o));
         let rho2 = rho_squared(&proxy, &truth);
-        assert!(rho2 > 0.2, "query '{name}' got uncorrelated proxy scores: ρ² = {rho2}");
+        assert!(
+            rho2 > 0.2,
+            "query '{name}' got uncorrelated proxy scores: ρ² = {rho2}"
+        );
     }
     assert_eq!(
         labeler.invocations(),

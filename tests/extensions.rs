@@ -18,15 +18,25 @@ fn build_taipei(n: usize, seed: u64) -> (tasti::data::Dataset, TastiIndex) {
         n_train: 200,
         n_reps: 350,
         embedding_dim: 16,
-        triplet: TripletConfig { steps: 200, batch_size: 24, margin: 0.3, ..Default::default() },
+        triplet: TripletConfig {
+            steps: 200,
+            batch_size: 24,
+            margin: 0.3,
+            ..Default::default()
+        },
         seed,
         ..TastiConfig::default()
     };
     let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, seed ^ 2);
     let pretrained = pt.embed_all(&dataset.features);
-    let (index, _) =
-        build_index(&dataset.features, &pretrained, &labeler, &VideoCloseness::default(), &config)
-            .unwrap();
+    let (index, _) = build_index(
+        &dataset.features,
+        &pretrained,
+        &labeler,
+        &VideoCloseness::default(),
+        &config,
+    )
+    .unwrap();
     (dataset, index)
 }
 
@@ -54,7 +64,10 @@ fn predicate_aggregation_answers_conditional_queries() {
             (out.count_class(ObjectClass::Bus) > 0)
                 .then(|| out.count_class(ObjectClass::Car) as f64)
         },
-        &PredicateAggConfig { budget: 600, ..Default::default() },
+        &PredicateAggConfig {
+            budget: 600,
+            ..Default::default()
+        },
     );
     // Ground truth for comparison.
     let mut sum = 0.0;
@@ -67,7 +80,10 @@ fn predicate_aggregation_answers_conditional_queries() {
         }
     }
     let truth = sum / count.max(1) as f64;
-    assert!(res.matches_sampled > 20, "importance sampling should hit bus frames");
+    assert!(
+        res.matches_sampled > 20,
+        "importance sampling should hit bus frames"
+    );
     assert!(
         (res.estimate - truth).abs() <= (3.0 * res.ci_half_width).max(0.4),
         "estimate {} vs truth {truth} (ci {})",
@@ -81,12 +97,19 @@ fn precision_target_supg_controls_false_positives() {
     let (dataset, index) = build_taipei(3_000, 63);
     let predicate = HasClass(ObjectClass::Bus);
     let proxy = index.propagate(&predicate);
-    let truth: Vec<bool> =
-        dataset.true_scores(|o| predicate.score(o)).iter().map(|&v| v >= 0.5).collect();
+    let truth: Vec<bool> = dataset
+        .true_scores(|o| predicate.score(o))
+        .iter()
+        .map(|&v| v >= 0.5)
+        .collect();
     let res = supg_precision_target(
         &proxy,
         &mut |r| truth[r],
-        &SupgPrecisionConfig { precision_target: 0.8, budget: 500, ..Default::default() },
+        &SupgPrecisionConfig {
+            precision_target: 0.8,
+            budget: 500,
+            ..Default::default()
+        },
     );
     if !res.returned.is_empty() {
         let tp = res.returned.iter().filter(|&&i| truth[i]).count();
@@ -106,7 +129,11 @@ fn diagnostics_work_through_the_facade() {
     assert_eq!(stats.n_records, 2_000);
     assert!(stats.active_rep_fraction > 0.3);
     let q = diagnostics::loo_quality(&index, &CountClass(ObjectClass::Car));
-    assert!(q.rho_squared > 0.1, "LOO diagnostic uninformative: {}", q.rho_squared);
+    assert!(
+        q.rho_squared > 0.1,
+        "LOO diagnostic uninformative: {}",
+        q.rho_squared
+    );
 }
 
 #[test]
@@ -126,7 +153,11 @@ fn fpc_aggregation_works_on_index_proxies() {
             ..Default::default()
         },
     );
-    assert!((res.estimate - mu).abs() <= 0.12, "estimate {} vs {mu}", res.estimate);
+    assert!(
+        (res.estimate - mu).abs() <= 0.12,
+        "estimate {} vs {mu}",
+        res.estimate
+    );
 }
 
 #[test]
@@ -148,15 +179,25 @@ fn streaming_then_cracking_then_querying_composes() {
         n_train: 150,
         n_reps: 300,
         embedding_dim: 16,
-        triplet: TripletConfig { steps: 150, batch_size: 24, margin: 0.3, ..Default::default() },
+        triplet: TripletConfig {
+            steps: 150,
+            batch_size: 24,
+            margin: 0.3,
+            ..Default::default()
+        },
         seed: 66,
         ..TastiConfig::default()
     };
     let mut pt = PretrainedEmbedder::new(prefix.feature_dim(), config.embedding_dim, 8);
     let pretrained = pt.embed_all(&prefix.features);
-    let (mut index, _) =
-        build_index(&prefix.features, &pretrained, &labeler, &VideoCloseness::default(), &config)
-            .unwrap();
+    let (mut index, _) = build_index(
+        &prefix.features,
+        &pretrained,
+        &labeler,
+        &VideoCloseness::default(),
+        &config,
+    )
+    .unwrap();
 
     let stream_rows: Vec<usize> = (2_000..2_400).collect();
     let range = index.append_records(&full.features.select_rows(&stream_rows));

@@ -8,11 +8,10 @@ use tasti::query::{
 };
 
 fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-10.0f32..10.0, (dim * 4)..(dim * max_n))
-        .prop_map(move |mut v| {
-            v.truncate(v.len() / dim * dim);
-            v
-        })
+    prop::collection::vec(-10.0f32..10.0, (dim * 4)..(dim * max_n)).prop_map(move |mut v| {
+        v.truncate(v.len() / dim * dim);
+        v
+    })
 }
 
 proptest! {
