@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, build, and the tier-1 test suite.
 # Run from the repo root: ./ci.sh
+#
+#   ./ci.sh          full gate (fmt, clippy, allow-audit, build, tests,
+#                    full-depth property tests)
+#   ./ci.sh quick    same gate but property tests run at reduced case
+#                    counts (the `quick-proptest` feature)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+PROFILE="${1:-full}"
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -10,10 +17,33 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> audit: every #[allow(clippy::...)] carries a justification"
+# Policy: a clippy allow must be preceded by a comment explaining why the
+# lint does not apply (grep for a comment line directly above the attribute).
+# Unjustified allows fail CI.
+unjustified=0
+while IFS=: read -r file line _; do
+  prev=$((line - 1))
+  if ! sed -n "${prev}p" "$file" | grep -qE '^\s*(//|#!\[)'; then
+    echo "UNJUSTIFIED clippy allow at ${file}:${line} (add a comment above it)"
+    unjustified=1
+  fi
+done < <(grep -rn --include='*.rs' '#\[allow(clippy::' crates src 2>/dev/null || true)
+[ "$unjustified" -eq 0 ]
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+if [ "$PROFILE" = "quick" ]; then
+  echo "==> property tests (quick profile: reduced case counts)"
+  cargo test -q -p tasti-query --features quick-proptest \
+    --test degenerate --test telemetry_audit
+  cargo test -q -p tasti-core --features quick-proptest --test degenerate_ranking
+else
+  echo "==> property tests ran at full depth inside 'cargo test -q'"
+fi
 
 echo "CI OK"

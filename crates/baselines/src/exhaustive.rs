@@ -4,8 +4,12 @@
 //! TASTI's 10–46× savings are measured against.
 
 use tasti_labeler::{BudgetExhausted, MeteredLabeler, TargetLabeler};
+use tasti_obs::{QueryTelemetry, Stopwatch};
 
-/// Labels every record and returns the per-record query scores.
+/// Labels every record and returns the per-record query scores plus the
+/// uniform telemetry record. `invocations` is the labeler's *delta* across
+/// the call — records already cached cost nothing, which is exactly the
+/// amortized-cost accounting of Table 1.
 ///
 /// # Errors
 /// Propagates [`BudgetExhausted`] from the labeler.
@@ -13,10 +17,17 @@ pub fn exhaustive_scores<L: TargetLabeler>(
     n_records: usize,
     labeler: &MeteredLabeler<L>,
     score: impl Fn(&tasti_labeler::LabelerOutput) -> f64,
-) -> Result<Vec<f64>, BudgetExhausted> {
-    (0..n_records)
+) -> Result<(Vec<f64>, QueryTelemetry), BudgetExhausted> {
+    let sw = Stopwatch::start();
+    let inv0 = labeler.invocations();
+    let scores = (0..n_records)
         .map(|r| labeler.try_label(r).map(|o| score(&o)))
-        .collect()
+        .collect::<Result<Vec<f64>, _>>()?;
+    let mut telemetry = QueryTelemetry::new("exhaustive");
+    telemetry.invocations = labeler.invocations() - inv0;
+    telemetry.certified = true; // exact by construction
+    telemetry.wall_seconds = sw.elapsed_seconds();
+    Ok((scores, telemetry))
 }
 
 #[cfg(test)]
@@ -30,19 +41,23 @@ mod tests {
     fn exhaustive_labels_everything_exactly_once() {
         let p = amsterdam(250, 1);
         let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(p.dataset.truth_handle()));
-        let scores =
+        let (scores, telemetry) =
             exhaustive_scores(250, &labeler, |o| o.count_class(ObjectClass::Car) as f64).unwrap();
         assert_eq!(scores.len(), 250);
         assert_eq!(labeler.invocations(), 250);
+        assert_eq!(telemetry.invocations, 250);
+        assert!(telemetry.certified);
         for (i, s) in scores.iter().enumerate() {
             assert_eq!(
                 *s,
                 p.dataset.ground_truth(i).count_class(ObjectClass::Car) as f64
             );
         }
-        // Re-running costs nothing (cache).
-        let _ = exhaustive_scores(250, &labeler, |o| o.count_class(ObjectClass::Car) as f64);
+        // Re-running costs nothing (cache) — and the telemetry delta says so.
+        let (_, again) =
+            exhaustive_scores(250, &labeler, |o| o.count_class(ObjectClass::Car) as f64).unwrap();
         assert_eq!(labeler.invocations(), 250);
+        assert_eq!(again.invocations, 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use tasti_labeler::RecordId;
 use tasti_nn::loss::sigmoid;
 use tasti_nn::train::{fit_classifier, fit_regression};
 use tasti_nn::{Adam, FitConfig, Matrix, Mlp, MlpConfig};
+use tasti_obs::{QueryTelemetry, Stopwatch};
 
 /// Whether the proxy regresses a numeric score or classifies a predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,17 +78,22 @@ impl ProxyModelConfig {
 }
 
 /// Trains a per-query proxy on the annotated records and returns proxy
-/// scores for **all** records.
+/// scores for **all** records, plus the uniform telemetry record.
 ///
 /// * `features` — raw features of every record (the proxy's input; the
 ///   paper's baselines see pixels / FastText embeddings / spectrograms).
 /// * `annotated` — `(record, query_score)` pairs derived from the TMAS by
 ///   applying the query's scoring function to each annotation.
+///
+/// The telemetry reports zero `invocations` — training labels were paid for
+/// when the TMAS was annotated ([`crate::annotate`] accounts for them) —
+/// and `certified: false`: proxy scores carry no statistical guarantee.
 pub fn train_per_query_proxy(
     features: &Matrix,
     annotated: &[(RecordId, f64)],
     config: &ProxyModelConfig,
-) -> Vec<f64> {
+) -> (Vec<f64>, QueryTelemetry) {
+    let sw = Stopwatch::start();
     assert!(!annotated.is_empty(), "need at least one annotated record");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mlp_config = if config.hidden == 0 {
@@ -114,7 +120,7 @@ pub fn train_per_query_proxy(
         }
     }
     let out = net.forward(features);
-    (0..out.rows())
+    let scores = (0..out.rows())
         .map(|i| {
             let v = out.get(i, 0);
             match config.task {
@@ -122,7 +128,11 @@ pub fn train_per_query_proxy(
                 ProxyTask::Classification => sigmoid(v) as f64,
             }
         })
-        .collect()
+        .collect();
+    let mut telemetry = QueryTelemetry::new("per-query-proxy");
+    telemetry.certified = false; // proxy scores carry no guarantee
+    telemetry.wall_seconds = sw.elapsed_seconds();
+    (scores, telemetry)
 }
 
 #[cfg(test)]
@@ -142,7 +152,10 @@ mod tests {
             .iter()
             .map(|&r| (r, d.ground_truth(r).count_class(ObjectClass::Car) as f64))
             .collect();
-        let proxy = train_per_query_proxy(&d.features, &annotated, &ProxyModelConfig::default());
+        let (proxy, telemetry) =
+            train_per_query_proxy(&d.features, &annotated, &ProxyModelConfig::default());
+        assert_eq!(telemetry.invocations, 0, "training labels are pre-paid");
+        assert!(!telemetry.certified);
         let truth = d.true_scores(|o| o.count_class(ObjectClass::Car) as f64);
         let rho2 = rho_squared(&proxy, &truth);
         assert!(rho2 > 0.2, "per-query regression proxy ρ² = {rho2}");
@@ -162,7 +175,8 @@ mod tests {
                 )
             })
             .collect();
-        let proxy = train_per_query_proxy(&d.features, &annotated, &ProxyModelConfig::classifier());
+        let (proxy, _) =
+            train_per_query_proxy(&d.features, &annotated, &ProxyModelConfig::classifier());
         // Scores are probabilities.
         assert!(proxy.iter().all(|&s| (0.0..=1.0).contains(&s)));
         let truth: Vec<bool> = (0..d.len())
@@ -178,7 +192,7 @@ mod tests {
         let annotated: Vec<(usize, f64)> = (0..100)
             .map(|r| (r, (features.get(r, 0) > 0.0) as u8 as f64))
             .collect();
-        let proxy = train_per_query_proxy(
+        let (proxy, _) = train_per_query_proxy(
             &features,
             &annotated,
             &ProxyModelConfig::linear_classifier(),
@@ -194,8 +208,8 @@ mod tests {
             epochs: 5,
             ..Default::default()
         };
-        let a = train_per_query_proxy(&features, &annotated, &cfg);
-        let b = train_per_query_proxy(&features, &annotated, &cfg);
+        let (a, _) = train_per_query_proxy(&features, &annotated, &cfg);
+        let (b, _) = train_per_query_proxy(&features, &annotated, &cfg);
         assert_eq!(a, b);
     }
 

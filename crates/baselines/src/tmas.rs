@@ -9,6 +9,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tasti_labeler::{BudgetExhausted, LabelerOutput, MeteredLabeler, RecordId, TargetLabeler};
+use tasti_obs::{QueryTelemetry, Stopwatch};
 
 /// Uniformly samples `size` distinct records out of `n_records`.
 pub fn sample_tmas(n_records: usize, size: usize, seed: u64) -> Vec<RecordId> {
@@ -19,15 +20,27 @@ pub fn sample_tmas(n_records: usize, size: usize, seed: u64) -> Vec<RecordId> {
     order
 }
 
-/// Annotates the given records through the metered labeler.
+/// Annotates the given records through the metered labeler, returning the
+/// outputs plus the uniform telemetry record (`invocations` is the
+/// labeler's delta across the call — already-cached records cost nothing).
 ///
 /// # Errors
 /// Propagates [`BudgetExhausted`] from the labeler.
 pub fn annotate<L: TargetLabeler>(
     records: &[RecordId],
     labeler: &MeteredLabeler<L>,
-) -> Result<Vec<LabelerOutput>, BudgetExhausted> {
-    records.iter().map(|&r| labeler.try_label(r)).collect()
+) -> Result<(Vec<LabelerOutput>, QueryTelemetry), BudgetExhausted> {
+    let sw = Stopwatch::start();
+    let inv0 = labeler.invocations();
+    let outputs = records
+        .iter()
+        .map(|&r| labeler.try_label(r))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut telemetry = QueryTelemetry::new("tmas-annotate");
+    telemetry.invocations = labeler.invocations() - inv0;
+    telemetry.certified = true; // annotations are exact labels
+    telemetry.wall_seconds = sw.elapsed_seconds();
+    Ok((outputs, telemetry))
 }
 
 #[cfg(test)]
@@ -63,9 +76,10 @@ mod tests {
         let p = night_street(300, 1);
         let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(p.dataset.truth_handle()));
         let recs = sample_tmas(300, 40, 5);
-        let outs = annotate(&recs, &labeler).unwrap();
+        let (outs, telemetry) = annotate(&recs, &labeler).unwrap();
         assert_eq!(outs.len(), 40);
         assert_eq!(labeler.invocations(), 40);
+        assert_eq!(telemetry.invocations, 40);
         for (r, o) in recs.iter().zip(&outs) {
             assert_eq!(o, p.dataset.ground_truth(*r));
         }

@@ -47,7 +47,7 @@ pub fn run() -> Vec<ExperimentRecord> {
     let r = &built.report_t;
     let mut tasti_total = 0.0;
     for stage in &r.stages {
-        let sim = match stage.name {
+        let sim = match stage.name.as_str() {
             "annotate-train" | "annotate-reps" => {
                 cost.target.times(stage.labeler_invocations).seconds
             }
@@ -87,13 +87,16 @@ pub fn run() -> Vec<ExperimentRecord> {
         tmas_seconds / tasti_total.max(1e-9),
         r.total_seconds()
     );
-    records.push(ExperimentRecord::new(
-        "fig02",
-        "night-street",
-        "TASTI-T",
-        "total_seconds",
-        tasti_total,
-        format!("total_calls={}", r.total_invocations),
-    ));
+    records.push(
+        ExperimentRecord::new(
+            "fig02",
+            "night-street",
+            "TASTI-T",
+            "total_seconds",
+            tasti_total,
+            format!("total_calls={}", r.total_invocations),
+        )
+        .with_telemetry(&r.telemetry()),
+    );
     records
 }

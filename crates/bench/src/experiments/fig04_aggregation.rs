@@ -20,17 +20,20 @@ pub fn run() -> Vec<ExperimentRecord> {
         let mut cells = Vec::new();
         for method in Method::ALL {
             let out = run_aggregation(&built, method, 1);
-            records.push(ExperimentRecord::new(
-                "fig04",
-                name,
-                method.label(),
-                "target_calls",
-                out.calls as f64,
-                format!(
-                    "estimate={:.4} true={:.4} rho2={:.3} within_target={}",
-                    out.estimate, out.true_mean, out.rho2, out.within_target
-                ),
-            ));
+            records.push(
+                ExperimentRecord::new(
+                    "fig04",
+                    name,
+                    method.label(),
+                    "target_calls",
+                    out.calls as f64,
+                    format!(
+                        "estimate={:.4} true={:.4} rho2={:.3} within_target={}",
+                        out.estimate, out.true_mean, out.rho2, out.within_target
+                    ),
+                )
+                .with_telemetry(&out.telemetry),
+            );
             records.push(ExperimentRecord::new(
                 "fig04",
                 name,

@@ -22,17 +22,20 @@ pub fn run() -> Vec<ExperimentRecord> {
         let mut cells = Vec::new();
         for method in METHODS {
             let out = run_supg(&built, method, 1);
-            records.push(ExperimentRecord::new(
-                "fig05",
-                name,
-                method.label(),
-                "fpr",
-                out.fpr,
-                format!(
-                    "recall={:.3} calls={} returned={}",
-                    out.recall, out.calls, out.returned
-                ),
-            ));
+            records.push(
+                ExperimentRecord::new(
+                    "fig05",
+                    name,
+                    method.label(),
+                    "fpr",
+                    out.fpr,
+                    format!(
+                        "recall={:.3} calls={} returned={}",
+                        out.recall, out.calls, out.returned
+                    ),
+                )
+                .with_telemetry(&out.telemetry),
+            );
             cells.push((method.label().to_string(), out.fpr));
         }
         rows.push((name.to_string(), cells));

@@ -23,14 +23,17 @@ pub fn run() -> Vec<ExperimentRecord> {
         let mut cells = Vec::new();
         for method in METHODS {
             let out = run_limit(&built, method);
-            records.push(ExperimentRecord::new(
-                "fig06",
-                name,
-                method.label(),
-                "target_calls",
-                out.calls as f64,
-                format!("satisfied={} k={}", out.satisfied, built.setting.limit_k),
-            ));
+            records.push(
+                ExperimentRecord::new(
+                    "fig06",
+                    name,
+                    method.label(),
+                    "target_calls",
+                    out.calls as f64,
+                    format!("satisfied={} k={}", out.satisfied, built.setting.limit_k),
+                )
+                .with_telemetry(&out.telemetry),
+            );
             cells.push((method.label().to_string(), out.calls as f64));
         }
         rows.push((name.to_string(), cells));

@@ -4,7 +4,8 @@
 use crate::runner::{BuiltSetting, Method, QueryKind};
 use tasti_nn::metrics::{rho_squared, Confusion};
 use tasti_query::{
-    ebs_aggregate, limit_query, supg_recall_target, AggregationConfig, StoppingRule, SupgConfig,
+    ebs_aggregate, limit_query, supg_recall_target, AggregationConfig, QueryTelemetry,
+    StoppingRule, SupgConfig,
 };
 
 /// Outcome of one aggregation run (Figure 4's bars plus diagnostics).
@@ -20,6 +21,8 @@ pub struct AggOutcome {
     pub rho2: f64,
     /// Whether the error target was met.
     pub within_target: bool,
+    /// The algorithm's uniform telemetry record.
+    pub telemetry: QueryTelemetry,
 }
 
 /// Runs the BlazeIt-style EBS aggregation query for `method`.
@@ -56,6 +59,7 @@ pub fn run_aggregation_with(
         true_mean,
         rho2: rho_squared(&proxy, &truth),
         within_target: (res.estimate - true_mean).abs() <= built.setting.agg_error,
+        telemetry: res.telemetry,
     }
 }
 
@@ -70,6 +74,8 @@ pub struct SupgOutcome {
     pub calls: u64,
     /// Size of the returned set.
     pub returned: usize,
+    /// The algorithm's uniform telemetry record.
+    pub telemetry: QueryTelemetry,
 }
 
 /// Runs the SUPG recall-target selection query for `method`.
@@ -105,6 +111,7 @@ pub fn run_supg_with(
         recall: c.recall(),
         calls: res.oracle_calls,
         returned: res.returned.len(),
+        telemetry: res.telemetry,
     }
 }
 
@@ -115,6 +122,8 @@ pub struct LimitOutcome {
     pub calls: u64,
     /// Whether all `k` matches were found.
     pub satisfied: bool,
+    /// The algorithm's uniform telemetry record.
+    pub telemetry: QueryTelemetry,
 }
 
 /// Runs the BlazeIt-style limit query for `method`.
@@ -132,6 +141,7 @@ pub fn run_limit(built: &BuiltSetting, method: Method) -> LimitOutcome {
     LimitOutcome {
         calls: res.invocations,
         satisfied: res.satisfied,
+        telemetry: res.telemetry,
     }
 }
 
@@ -166,14 +176,20 @@ mod tests {
             "estimate {} vs {}",
             agg.estimate, agg.true_mean
         );
+        // Legacy per-algorithm counters mirror the uniform telemetry record.
+        assert_eq!(agg.telemetry.invocations, agg.calls);
+        assert_eq!(agg.telemetry.algorithm, "ebs_aggregate");
 
         let supg = run_supg(&b, Method::TastiT, 1);
         assert!(supg.recall >= 0.85, "recall {}", supg.recall);
         assert!(supg.calls <= 300);
+        assert_eq!(supg.telemetry.invocations, supg.calls);
 
         let limit = run_limit(&b, Method::TastiT);
         assert!(limit.satisfied);
         assert!(limit.calls > 0);
+        assert_eq!(limit.telemetry.invocations, limit.calls);
+        assert!(limit.telemetry.certified);
     }
 
     #[test]

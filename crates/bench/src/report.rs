@@ -23,6 +23,11 @@ pub struct ExperimentRecord {
     pub value: f64,
     /// Free-form context (parameters, truth values).
     pub note: String,
+    /// Optional attached telemetry (a serialized [`tasti_obs::QueryTelemetry`]
+    /// or [`tasti_obs::BuildTelemetry`]). Omitted from the JSON when absent,
+    /// so pre-existing result files keep their exact field set.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub telemetry: Option<serde_json::Value>,
 }
 
 impl ExperimentRecord {
@@ -42,7 +47,18 @@ impl ExperimentRecord {
             metric: metric.into(),
             value,
             note: note.into(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry record, serialized into the `telemetry` field.
+    /// Serialization failure is impossible for the telemetry types
+    /// (plain structs of numbers and strings), so errors degrade to `None`
+    /// rather than aborting an experiment run.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &impl serde::Serialize) -> Self {
+        self.telemetry = serde_json::to_value(telemetry).ok();
+        self
     }
 }
 
@@ -123,5 +139,26 @@ mod tests {
         let s = serde_json::to_string(&r).unwrap();
         assert!(s.contains("night-street"));
         assert!(s.contains("21200"));
+        // Without telemetry the JSON keeps its pre-telemetry field set.
+        assert!(!s.contains("telemetry"));
+    }
+
+    #[test]
+    fn telemetry_is_attached_when_present() {
+        let mut t = tasti_obs::QueryTelemetry::new("ebs_aggregate");
+        t.invocations = 321;
+        let r = ExperimentRecord::new(
+            "fig04",
+            "night-street",
+            "TASTI-T",
+            "target_calls",
+            321.0,
+            "",
+        )
+        .with_telemetry(&t);
+        let s = serde_json::to_string(&r).unwrap();
+        assert!(s.contains("\"telemetry\""));
+        assert!(s.contains("\"algorithm\":\"ebs_aggregate\""));
+        assert!(s.contains("\"invocations\":321"));
     }
 }

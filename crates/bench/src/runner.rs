@@ -157,11 +157,10 @@ impl BuiltSetting {
             Method::NoProxy | Method::PerQuery => {
                 let proxy = self.proxy_scores(method, score, QueryKind::Limit);
                 let mut order: Vec<usize> = (0..proxy.len()).collect();
-                order.sort_by(|&a, &b| {
-                    proxy[b]
-                        .partial_cmp(&proxy[a])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+                // Total order, NaN-last: a non-total comparator here makes the
+                // sort order implementation-defined (and can panic under
+                // sort_unstable's debug assertions) when a proxy score is NaN.
+                order.sort_by(|&a, &b| tasti_query::desc_nan_last(proxy[a], proxy[b]));
                 order
             }
         }
@@ -183,6 +182,9 @@ impl BuiltSetting {
 /// Trains a per-query proxy on an explicit TMAS and returns proxy scores for
 /// all records (shared by [`BuiltSetting`] and the construction-cost
 /// frontier sweep of Figure 3, which varies the TMAS size).
+// Justified: this mirrors the full experimental cross-product (features ×
+// dataset × query × TMAS × kind × threshold × seed); bundling them into a
+// one-off struct would only rename the problem at two call sites.
 #[allow(clippy::too_many_arguments)]
 pub fn per_query_proxy_scores(
     proxy_features: &Matrix,
@@ -217,7 +219,9 @@ pub fn per_query_proxy_scores(
         learning_rate: 3e-3,
         seed,
     };
-    train_per_query_proxy(proxy_features, &annotated, &config)
+    // The baseline's telemetry (zero invocations, certified: false) is
+    // dropped here: TMAS annotation cost is accounted by `annotate`.
+    train_per_query_proxy(proxy_features, &annotated, &config).0
 }
 
 #[cfg(test)]

@@ -189,6 +189,9 @@ pub fn select(
 
 /// [`select`] with an explicit thread count (`0` = available parallelism).
 /// Selections are identical at any thread count.
+// Justified: mirrors `select`'s full parameter list plus the thread count;
+// the two must stay signature-compatible and a config struct would be
+// built and unpacked at exactly one call site.
 #[allow(clippy::too_many_arguments)]
 pub fn select_threaded(
     data: &[f32],

@@ -23,24 +23,15 @@ use crate::index::TastiIndex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
-use std::time::Instant;
 use tasti_cluster::{kernels, select_threaded, MinKTable};
 use tasti_labeler::{BudgetExhausted, ClosenessFn, MeteredLabeler, TargetLabeler};
 use tasti_nn::train::fit_triplet;
 use tasti_nn::{Adam, Matrix, Mlp, MlpConfig};
+use tasti_obs::{BuildTelemetry, StageRecorder, StageTelemetry};
 
-/// One timed construction stage.
-#[derive(Debug, Clone, Serialize)]
-pub struct BuildStage {
-    /// Stage name (`mining`, `annotate-train`, `triplet-train`, `embed`,
-    /// `cluster`, `annotate-reps`, `distances`).
-    pub name: &'static str,
-    /// Wall-clock seconds spent in the stage (of *our* pipeline; labeler
-    /// execution is accounted separately through the cost model).
-    pub seconds: f64,
-    /// Target-labeler invocations incurred by the stage.
-    pub labeler_invocations: u64,
-}
+/// One timed construction stage — an alias of the shared telemetry record;
+/// the per-stage accounting convention lives in `tasti-obs`.
+pub type BuildStage = StageTelemetry;
 
 /// Construction report: the data behind Figure 2 and Figure 3's x-axis.
 #[derive(Debug, Clone, Serialize)]
@@ -73,6 +64,12 @@ impl BuildReport {
             .filter(|s| s.name == name)
             .map(|s| s.labeler_invocations)
             .sum()
+    }
+
+    /// The build's stage accounting as a shared [`BuildTelemetry`] record
+    /// (what the bench runner serializes into `results/*.json`).
+    pub fn telemetry(&self) -> BuildTelemetry {
+        BuildTelemetry::from_stages(self.stages.clone())
     }
 }
 
@@ -129,7 +126,9 @@ pub fn build_index<L: TargetLabeler>(
     assert!(features.rows() > 0, "cannot index an empty dataset");
     let n = features.rows();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let mut stages = Vec::new();
+    // Per-stage wall-clock + labeler-invocation deltas; the recorder's
+    // stage list sums exactly to the meter's total by construction.
+    let mut rec = StageRecorder::new();
     let mut triplet_loss = f32::NAN;
     let mut training_forward_rows = 0u64;
 
@@ -137,8 +136,7 @@ pub fn build_index<L: TargetLabeler>(
     //    annotate them (skipped entirely for TASTI-PT: no training → no
     //    training labels).
     let (embeddings, trained_model) = if config.train_embedding {
-        let t = Instant::now();
-        let inv0 = labeler.invocations();
+        rec.start("mining", labeler.invocations());
         let mining = select_threaded(
             pretrained.as_slice(),
             pretrained.cols(),
@@ -149,32 +147,23 @@ pub fn build_index<L: TargetLabeler>(
             &mut rng,
             config.threads,
         );
-        stages.push(BuildStage {
-            name: "mining",
-            seconds: t.elapsed().as_secs_f64(),
-            labeler_invocations: labeler.invocations() - inv0,
-        });
+        rec.finish(labeler.invocations());
 
         // Annotate and bucket the training points (§3.1).
-        let t = Instant::now();
-        let inv0 = labeler.invocations();
+        rec.start("annotate-train", labeler.invocations());
         let mut buckets = Vec::with_capacity(mining.selected.len());
         let mut bucket_ids: std::collections::HashMap<u64, usize> = Default::default();
-        for &rec in &mining.selected {
-            let out = labeler.try_label(rec)?;
+        for &rec_id in &mining.selected {
+            let out = labeler.try_label(rec_id)?;
             let key = closeness.bucket(&out);
             let next = bucket_ids.len();
             buckets.push(*bucket_ids.entry(key).or_insert(next));
         }
-        stages.push(BuildStage {
-            name: "annotate-train",
-            seconds: t.elapsed().as_secs_f64(),
-            labeler_invocations: labeler.invocations() - inv0,
-        });
+        rec.finish(labeler.invocations());
 
         // ── Stage 3: triplet fine-tuning (§3.1) over the raw features of
         //    the mined records.
-        let t = Instant::now();
+        rec.start("triplet-train", labeler.invocations());
         let train_features = features.select_rows(&mining.selected);
         let mlp_config = MlpConfig::embedding(features.cols(), config.embedding_dim);
         let mut net = Mlp::new(&mlp_config, &mut rng);
@@ -189,22 +178,14 @@ pub fn build_index<L: TargetLabeler>(
         );
         triplet_loss = report.final_loss;
         training_forward_rows = (report.steps * config.triplet.batch_size * 3) as u64;
-        stages.push(BuildStage {
-            name: "triplet-train",
-            seconds: t.elapsed().as_secs_f64(),
-            labeler_invocations: 0,
-        });
+        rec.finish(labeler.invocations());
 
         // ── Stage 4: embed every record with the fine-tuned model
         //    (fanned out across threads; §3.4 notes embedding all records is
         //    a first-order construction cost).
-        let t = Instant::now();
+        rec.start("embed", labeler.invocations());
         let emb = parallel_embed(&net, features, config.threads);
-        stages.push(BuildStage {
-            name: "embed",
-            seconds: t.elapsed().as_secs_f64(),
-            labeler_invocations: 0,
-        });
+        rec.finish(labeler.invocations());
         (emb, Some(net))
     } else {
         // TASTI-PT: the pre-trained embeddings are the index embeddings.
@@ -212,7 +193,7 @@ pub fn build_index<L: TargetLabeler>(
     };
 
     // ── Stage 5: select cluster representatives (§3.2).
-    let t = Instant::now();
+    rec.start("cluster", labeler.invocations());
     let clustering = select_threaded(
         embeddings.as_slice(),
         embeddings.cols(),
@@ -223,27 +204,18 @@ pub fn build_index<L: TargetLabeler>(
         &mut rng,
         config.threads,
     );
-    stages.push(BuildStage {
-        name: "cluster",
-        seconds: t.elapsed().as_secs_f64(),
-        labeler_invocations: 0,
-    });
+    rec.finish(labeler.invocations());
 
     // ── Stage 6: annotate the representatives.
-    let t = Instant::now();
-    let inv0 = labeler.invocations();
+    rec.start("annotate-reps", labeler.invocations());
     let mut rep_outputs = Vec::with_capacity(clustering.selected.len());
-    for &rec in &clustering.selected {
-        rep_outputs.push(labeler.try_label(rec)?);
+    for &rec_id in &clustering.selected {
+        rep_outputs.push(labeler.try_label(rec_id)?);
     }
-    stages.push(BuildStage {
-        name: "annotate-reps",
-        seconds: t.elapsed().as_secs_f64(),
-        labeler_invocations: labeler.invocations() - inv0,
-    });
+    rec.finish(labeler.invocations());
 
     // ── Stage 7: min-k distance table.
-    let t = Instant::now();
+    rec.start("distances", labeler.invocations());
     let rep_embeddings: Vec<f32> = clustering
         .selected
         .iter()
@@ -257,12 +229,9 @@ pub fn build_index<L: TargetLabeler>(
         config.metric,
         config.threads, // 0 = auto; per-record work is independent and deterministic
     );
-    stages.push(BuildStage {
-        name: "distances",
-        seconds: t.elapsed().as_secs_f64(),
-        labeler_invocations: 0,
-    });
+    rec.finish(labeler.invocations());
 
+    let stages = rec.into_stages();
     let distance_computations = (n as u64) * clustering.selected.len() as u64;
     let total_invocations = stages.iter().map(|s| s.labeler_invocations).sum();
     let report = BuildReport {
@@ -429,10 +398,31 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_totals_match_the_meter_exactly() {
+        let config = small_config();
+        let (_d, labeler, _i, report) = build_night_street(&config);
+        let t = report.telemetry();
+        assert_eq!(t.total_invocations, labeler.invocations());
+        assert_eq!(t.stages.len(), report.stages.len());
+        assert!((t.total_seconds - report.total_seconds()).abs() < 1e-12);
+        assert_eq!(
+            t.stage_invocations("annotate-reps"),
+            report.stage_invocations("annotate-reps")
+        );
+        // The dep-free serializer produces a parseable JSON object.
+        let json = t.to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(
+            parsed["total_invocations"].as_u64(),
+            Some(labeler.invocations())
+        );
+    }
+
+    #[test]
     fn stage_names_cover_algorithm_one() {
         let config = small_config();
         let (_d, _l, _i, report) = build_night_street(&config);
-        let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
         for expected in [
             "mining",
             "annotate-train",

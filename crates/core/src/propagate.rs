@@ -93,22 +93,43 @@ pub fn limit_scores(mink: &MinKTable, rep_scores: &[f64]) -> Vec<(f64, f32)> {
         .collect()
 }
 
+/// Descending on `f64` with NaN ordered last (a total order, so `sort_by`
+/// can never panic or produce an inconsistent ranking).
+fn desc_score_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
+/// Ascending on `f32` distances with NaN ordered last.
+fn asc_dist_nan_last(a: f32, b: f32) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
 /// Ranks record indices for a limit query: descending score, ascending
 /// distance tie-break (closest to a high-scoring representative first).
+///
+/// NaN keys sort **last** on both criteria: a NaN representative score (or
+/// distance) carries no ranking information, so such records must never
+/// claim a top rank — and the comparator stays a total order, where the old
+/// `partial_cmp(..).unwrap_or(Equal)` was non-transitive in the presence of
+/// NaN and could scramble the ranking arbitrarily.
 pub fn limit_ranking(mink: &MinKTable, rep_scores: &[f64]) -> Vec<usize> {
     let scores = limit_scores(mink, rep_scores);
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[b]
-            .0
-            .partial_cmp(&scores[a].0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                scores[a]
-                    .1
-                    .partial_cmp(&scores[b].1)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+        desc_score_nan_last(scores[a].0, scores[b].0)
+            .then_with(|| asc_dist_nan_last(scores[a].1, scores[b].1))
     });
     order
 }
@@ -204,6 +225,19 @@ mod tests {
         // Among high-score records, nearest to rep first: 0 (d=0), 1, 2.
         assert_eq!(&order[..3], &[0, 1, 2]);
         assert_eq!(&order[3..], &[5, 4, 3]);
+    }
+
+    #[test]
+    fn limit_ranking_sorts_nan_scores_last() {
+        // Regression: the old non-total comparator could rank a NaN-scored
+        // record anywhere (including first). NaN must always sort last.
+        let t = fixture();
+        // rep0 (records 0..2) has a NaN score, rep1 (records 3..5) scores 10.
+        let order = limit_ranking(&t, &[f64::NAN, 10.0]);
+        // High-score records first, nearest-to-rep first: 5 (d=0), 4, 3.
+        assert_eq!(&order[..3], &[5, 4, 3]);
+        // NaN-scored records last, still distance-ordered among themselves.
+        assert_eq!(&order[3..], &[0, 1, 2]);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Degenerate-input tests for score propagation and limit ranking.
+//!
+//! Representative scores come from the target labeler via an arbitrary
+//! scoring function, so nothing upstream guarantees they are finite. The
+//! contract: propagation never panics, and `limit_ranking` produces a
+//! total, deterministic permutation with NaN-scored records ranked last —
+//! a non-total comparator here used to make the order (and therefore the
+//! limit query's cost) implementation-defined.
+//!
+//! Build with `--features quick-proptest` for a reduced case count.
+
+use proptest::prelude::*;
+use tasti_cluster::{Metric, MinKTable};
+use tasti_core::propagate::{limit_ranking, limit_scores, propagate_numeric};
+
+#[cfg(feature = "quick-proptest")]
+const CASES: u32 = 16;
+#[cfg(not(feature = "quick-proptest"))]
+const CASES: u32 = 64;
+
+fn rep_score() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => -100.0..100.0f64,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+    ]
+}
+
+/// A 1-D dataset with `n_records` points and `n_reps` representatives
+/// drawn from the same range, plus one (possibly non-finite) score per rep.
+fn instance() -> impl Strategy<Value = (Vec<f32>, Vec<f32>, Vec<f64>)> {
+    (2usize..24, 1usize..6).prop_flat_map(|(n_records, n_reps)| {
+        (
+            prop::collection::vec(-50.0..50.0f32, n_records),
+            prop::collection::vec(-50.0..50.0f32, n_reps),
+            prop::collection::vec(rep_score(), n_reps),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn limit_ranking_is_a_permutation_with_nans_last(
+        (records, reps, scores) in instance()
+    ) {
+        let k = 2.min(reps.len());
+        let t = MinKTable::build(&records, &reps, 1, k, Metric::L2);
+        let order = limit_ranking(&t, &scores);
+
+        // A permutation of all records.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..records.len()).collect::<Vec<_>>());
+
+        // NaN-propagated records all rank strictly after non-NaN records.
+        let propagated = limit_scores(&t, &scores);
+        let nan_positions: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| propagated[r].0.is_nan())
+            .map(|(pos, _)| pos)
+            .collect();
+        let n_nan = nan_positions.len();
+        let n = order.len();
+        prop_assert!(
+            nan_positions.iter().all(|&pos| pos >= n - n_nan),
+            "NaN-scored records must occupy the ranking's tail: {nan_positions:?} of {n}"
+        );
+
+        // Deterministic: same inputs, same order.
+        prop_assert_eq!(limit_ranking(&t, &scores), order);
+    }
+
+    #[test]
+    fn propagation_never_panics_on_non_finite_rep_scores(
+        (records, reps, scores) in instance()
+    ) {
+        let k = 2.min(reps.len());
+        let t = MinKTable::build(&records, &reps, 1, k, Metric::L2);
+        let propagated = propagate_numeric(&t, &scores, k);
+        prop_assert_eq!(propagated.len(), records.len());
+        // Finite rep scores propagate to finite record scores.
+        if scores.iter().all(|s| s.is_finite()) {
+            prop_assert!(propagated.iter().all(|s| s.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn nan_scores_do_not_shadow_real_candidates() {
+    // Regression for the limit-query starvation mode: two reps, the nearer
+    // one carrying a NaN score. Under the old non-total comparator the NaN
+    // could float to the head of the ranking, spending the scan budget on
+    // hopeless records. With a total NaN-last order the real candidates
+    // (near the score-10 rep at position 5) lead.
+    let records: Vec<f32> = (0..6).map(|i| i as f32).collect();
+    let reps = vec![0.0f32, 5.0];
+    let t = MinKTable::build(&records, &reps, 1, 2, Metric::L2);
+    let order = limit_ranking(&t, &[f64::NAN, 10.0]);
+    assert_eq!(&order[..3], &[5, 4, 3], "clean records first: {order:?}");
+}

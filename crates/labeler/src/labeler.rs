@@ -15,6 +15,7 @@ use crate::RecordId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use tasti_obs::{Histogram, HistogramSummary, Stopwatch};
 
 /// An expensive oracle mapping records to structured outputs (§2.1).
 ///
@@ -59,6 +60,8 @@ struct MeterState {
     cache: HashMap<RecordId, LabelerOutput>,
     invocations: u64,
     cache_hits: u64,
+    /// Wall-clock latency of cache-miss inner-labeler calls, in microseconds.
+    latency_micros: Histogram,
 }
 
 /// Caching, metering, optionally budgeted wrapper around a [`TargetLabeler`].
@@ -125,7 +128,9 @@ impl<L: TargetLabeler> MeteredLabeler<L> {
                 return Err(BudgetExhausted { budget: b });
             }
         }
+        let sw = Stopwatch::start();
         let out = self.inner.label(record);
+        state.latency_micros.record(sw.elapsed_micros());
         state.invocations += 1;
         state.cache.insert(record, out.clone());
         Ok(out)
@@ -158,6 +163,13 @@ impl<L: TargetLabeler> MeteredLabeler<L> {
         self.state.lock().cache_hits
     }
 
+    /// Latency distribution of cache-miss inner-labeler calls (count, min,
+    /// max, mean, p50/p90/p99 — all in microseconds). Covers the same calls
+    /// the invocation meter counts; cache hits are excluded.
+    pub fn latency_summary(&self) -> HistogramSummary {
+        self.state.lock().latency_micros.summary()
+    }
+
     /// Total cost of the invocations so far under the labeler's cost model.
     pub fn total_cost(&self) -> LabelCost {
         self.inner.invocation_cost().times(self.invocations())
@@ -170,6 +182,8 @@ impl<L: TargetLabeler> MeteredLabeler<L> {
         let mut state = self.state.lock();
         state.invocations = 0;
         state.cache_hits = 0;
+        // The latency histogram covers the same calls the meter counts.
+        state.latency_micros = Histogram::new();
     }
 
     /// Clears both the cache and the meter.
@@ -295,5 +309,19 @@ mod tests {
         let m = MeteredLabeler::with_budget(FakeLabeler, 1);
         let _ = m.label(0);
         let _ = m.label(1);
+    }
+
+    #[test]
+    fn latency_histogram_counts_only_cache_misses() {
+        let m = MeteredLabeler::new(FakeLabeler);
+        for _ in 0..3 {
+            let _ = m.label(7); // one miss, two hits
+        }
+        let _ = m.label(8);
+        let s = m.latency_summary();
+        assert_eq!(s.count, m.invocations());
+        assert_eq!(s.count, 2);
+        m.reset_meter();
+        assert_eq!(m.latency_summary().count, 0);
     }
 }

@@ -1,0 +1,102 @@
+//! Atomic event counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shareable monotonic event counter.
+///
+/// Relaxed ordering is sufficient: counters are statistics, not
+/// synchronization primitives; readers only need an eventually-consistent
+/// total, and every test reads after the counted work has joined.
+///
+/// ```
+/// use tasti_obs::Counter;
+/// let c = Counter::new();
+/// c.incr();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// assert_eq!(c.delta_since(2), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Increments by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Difference against an earlier reading (saturating, so a caller
+    /// racing a concurrent `reset` reports 0 instead of wrapping).
+    pub fn delta_since(&self, earlier: u64) -> u64 {
+        self.get().saturating_sub(earlier)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Self(AtomicU64::new(self.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_deltas() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.delta_since(4), 6);
+        assert_eq!(c.delta_since(11), 0, "saturating, never wraps");
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn clone_snapshots_value() {
+        let c = Counter::new();
+        c.add(7);
+        let d = c.clone();
+        c.incr();
+        assert_eq!(d.get(), 7);
+        assert_eq!(c.get(), 8);
+    }
+}

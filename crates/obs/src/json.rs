@@ -1,0 +1,62 @@
+//! A minimal JSON writer so telemetry serializes without external
+//! dependencies. Only what the telemetry records need: escaped strings and
+//! floats with `null` for non-finite values (serde_json's convention).
+
+/// Appends `s` to `out` with JSON string escaping.
+pub(crate) fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON number, or `null` when non-finite.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal
+        // point or exponent, so the output parses back as a float.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        push_escaped(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(escaped("a\"b"), "a\\\"b");
+        assert_eq!(escaped("a\\b"), "a\\\\b");
+        assert_eq!(escaped("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escaped("\u{1}"), "\\u0001");
+        assert_eq!(escaped("plain"), "plain");
+    }
+
+    #[test]
+    fn floats_round_trip_or_null() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(0.0), "0.0");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "null");
+        let v = 0.1 + 0.2;
+        assert_eq!(fmt_f64(v).parse::<f64>().unwrap(), v);
+    }
+}

@@ -1,0 +1,40 @@
+//! # tasti-obs
+//!
+//! Lightweight, dependency-free observability for the TASTI reproduction.
+//!
+//! The paper's single cost metric is *target-labeler invocations* (§3.4,
+//! Table 1, Figures 4–6). Before this crate existed each query algorithm
+//! counted them its own way (`oracle_calls`, `samples`, `invocations`) with
+//! no cross-check against the metered labeler; this crate is the one
+//! audited convention every layer now reports through:
+//!
+//! * [`Counter`] — a shareable atomic event counter.
+//! * [`Histogram`] — a log₂-bucketed value histogram (latencies in µs).
+//! * [`Stopwatch`] / [`StageRecorder`] — wall-clock span timers; the
+//!   recorder produces the per-stage build telemetry of Algorithm 1.
+//! * [`QueryTelemetry`] — the uniform record every query algorithm and
+//!   baseline emits: algorithm name, exact labeler-invocation count (tested
+//!   equal to the `MeteredLabeler` delta), wall-clock, whether the result
+//!   is statistically *certified*, and how many degenerate proxy inputs
+//!   were sanitized on entry.
+//! * [`BuildTelemetry`] — per-stage wall-clock + invocation spans for index
+//!   construction (mine → embed → FPF → min-k).
+//!
+//! Every record serializes to JSON through a built-in writer (no serde
+//! required); enabling the `serde` feature additionally derives
+//! `serde::Serialize` so the bench harness can embed records in its own
+//! result files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod histogram;
+pub mod json;
+pub mod telemetry;
+pub mod timer;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, HistogramSummary};
+pub use telemetry::{BuildTelemetry, QueryTelemetry, StageTelemetry};
+pub use timer::{StageRecorder, Stopwatch};

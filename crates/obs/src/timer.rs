@@ -1,0 +1,158 @@
+//! Wall-clock span timers.
+
+use crate::telemetry::{BuildTelemetry, StageTelemetry};
+use std::time::Instant;
+
+/// A started wall-clock timer.
+///
+/// ```
+/// use tasti_obs::Stopwatch;
+/// let sw = Stopwatch::start();
+/// let seconds = sw.elapsed_seconds();
+/// assert!(seconds >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts a timer now.
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+
+    /// Microseconds elapsed, saturating at `u64::MAX` (for [`crate::Histogram`]).
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Records a sequence of named pipeline stages, each with a wall-clock span
+/// and a labeler-invocation delta — the per-stage accounting behind the
+/// paper's Figure 2 construction breakdown.
+///
+/// The caller supplies the current invocation total (from the metered
+/// labeler) at `start` and `finish`; the recorder stores the delta so the
+/// stage list sums exactly to the meter's total.
+///
+/// ```
+/// use tasti_obs::StageRecorder;
+/// let mut rec = StageRecorder::new();
+/// rec.start("mining", 0);
+/// rec.finish(0);
+/// rec.start("annotate", 0);
+/// rec.finish(60);
+/// let build = rec.into_telemetry();
+/// assert_eq!(build.total_invocations, 60);
+/// assert_eq!(build.stages[1].labeler_invocations, 60);
+/// ```
+#[derive(Debug, Default)]
+pub struct StageRecorder {
+    stages: Vec<StageTelemetry>,
+    open: Option<(String, Instant, u64)>,
+}
+
+impl StageRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a stage. Panics if the previous stage was never finished —
+    /// overlapping stages would double-count both time and invocations.
+    pub fn start(&mut self, name: impl Into<String>, invocations_now: u64) {
+        assert!(
+            self.open.is_none(),
+            "StageRecorder::start before finishing the previous stage"
+        );
+        self.open = Some((name.into(), Instant::now(), invocations_now));
+    }
+
+    /// Closes the open stage, recording its wall-clock span and the labeler
+    /// invocations incurred since `start`. Panics if no stage is open.
+    pub fn finish(&mut self, invocations_now: u64) {
+        let (name, started, inv0) = self
+            .open
+            .take()
+            .expect("StageRecorder::finish without an open stage");
+        self.stages.push(StageTelemetry {
+            name,
+            seconds: started.elapsed().as_secs_f64(),
+            labeler_invocations: invocations_now.saturating_sub(inv0),
+        });
+    }
+
+    /// Stages recorded so far.
+    pub fn stages(&self) -> &[StageTelemetry] {
+        &self.stages
+    }
+
+    /// Consumes the recorder into the stage list.
+    pub fn into_stages(self) -> Vec<StageTelemetry> {
+        assert!(self.open.is_none(), "unfinished stage at into_stages");
+        self.stages
+    }
+
+    /// Consumes the recorder into a [`BuildTelemetry`] with totals.
+    pub fn into_telemetry(self) -> BuildTelemetry {
+        BuildTelemetry::from_stages(self.into_stages())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let sw = Stopwatch::start();
+        std::hint::black_box(0u64);
+        assert!(sw.elapsed_seconds() >= 0.0);
+        assert!(sw.elapsed_micros() < 60_000_000, "sanity: under a minute");
+    }
+
+    #[test]
+    fn recorder_tracks_deltas_per_stage() {
+        let mut rec = StageRecorder::new();
+        rec.start("a", 10);
+        rec.finish(14);
+        rec.start("b", 14);
+        rec.finish(14);
+        let stages = rec.into_stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "a");
+        assert_eq!(stages[0].labeler_invocations, 4);
+        assert_eq!(stages[1].labeler_invocations, 0);
+        assert!(stages.iter().all(|s| s.seconds >= 0.0));
+    }
+
+    #[test]
+    fn telemetry_totals_sum_over_stages() {
+        let mut rec = StageRecorder::new();
+        rec.start("x", 0);
+        rec.finish(3);
+        rec.start("y", 3);
+        rec.finish(8);
+        let t = rec.into_telemetry();
+        assert_eq!(t.total_invocations, 8);
+        assert!((t.total_seconds - t.stages.iter().map(|s| s.seconds).sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "before finishing")]
+    fn overlapping_stages_panic() {
+        let mut rec = StageRecorder::new();
+        rec.start("a", 0);
+        rec.start("b", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an open stage")]
+    fn finish_without_start_panics() {
+        StageRecorder::new().finish(0);
+    }
+}

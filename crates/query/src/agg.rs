@@ -17,11 +17,13 @@
 //! (EBS / EBGStop of Mnih, Szepesvári & Audibert, the rule BlazeIt adopts).
 //! If the sampler exhausts the dataset the exact mean is returned.
 
+use crate::sanitize::sanitize_proxies;
 use crate::stats::{covariance, empirical_bernstein_half_width, variance};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
+use tasti_obs::{QueryTelemetry, Stopwatch};
 
 /// Which confidence interval drives the stopping decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,6 +97,10 @@ pub struct AggregationResult {
     /// Squared correlation between oracle scores and proxy scores on the
     /// sample (the paper's proxy-quality metric ρ²).
     pub rho_squared: f64,
+    /// Uniform execution record. `certified` is `true` both when the CI
+    /// target was met and when the dataset was exhausted (the answer is
+    /// then exact).
+    pub telemetry: QueryTelemetry,
 }
 
 /// Runs EBS aggregation with the proxy score as a control variate.
@@ -117,10 +123,19 @@ pub fn ebs_aggregate(
     oracle: &mut dyn FnMut(usize) -> f64,
     config: &AggregationConfig,
 ) -> AggregationResult {
+    let sw = Stopwatch::start();
+    let mut telemetry = QueryTelemetry::new("ebs_aggregate");
     let n = proxy.len();
     assert!(n > 0, "cannot aggregate an empty dataset");
     let delta = 1.0 - config.confidence;
     assert!(delta > 0.0 && delta < 1.0, "confidence must be in (0, 1)");
+    // Sanitize non-finite proxies per the crate-wide policy: a single NaN
+    // proxy score used to make the control-variate coefficient NaN, which
+    // made every half-width NaN — the sampler then silently labeled the
+    // whole dataset before terminating.
+    let sanitized = sanitize_proxies(proxy);
+    telemetry.sanitized_inputs = sanitized.replaced;
+    let proxy: &[f64] = &sanitized.scores;
     let proxy_mean = proxy.iter().sum::<f64>() / n as f64;
 
     // Uniform sampling without replacement via a shuffled record order.
@@ -144,18 +159,32 @@ pub fn ebs_aggregate(
         }
         let t = ys.len() as u64;
 
-        // Control-variate coefficient on the current sample.
+        // Control-variate coefficient on the current sample. A non-finite
+        // coefficient (extreme-magnitude scores overflowing the variance)
+        // carries no information — fall back to the plain estimator.
         let var_p = variance(&ps);
         let c = if var_p > 1e-12 {
-            covariance(&ys, &ps) / var_p
+            let c = covariance(&ys, &ps) / var_p;
+            if c.is_finite() {
+                c
+            } else {
+                0.0
+            }
         } else {
             0.0
         };
-        // Corrected samples z_i = y_i − c (p_i − μ_p).
+        // Corrected samples z_i = y_i − c (p_i − μ_p). With c = 0 use y
+        // directly: 0·(p − μ_p) is NaN when μ_p overflowed to ∞.
         let zs: Vec<f64> = ys
             .iter()
             .zip(&ps)
-            .map(|(&y, &p)| y - c * (p - proxy_mean))
+            .map(|(&y, &p)| {
+                if c == 0.0 {
+                    y
+                } else {
+                    y - c * (p - proxy_mean)
+                }
+            })
             .collect();
         let mean_z = zs.iter().sum::<f64>() / zs.len() as f64;
         let std_z = variance(&zs).sqrt();
@@ -195,6 +224,9 @@ pub fn ebs_aggregate(
         if ys.len() >= n {
             // Exhausted: exact mean over all records.
             let exact = ys.iter().sum::<f64>() / n as f64;
+            telemetry.invocations = t;
+            telemetry.certified = true; // the answer is exact
+            telemetry.wall_seconds = sw.elapsed_seconds();
             return AggregationResult {
                 estimate: exact,
                 samples: t,
@@ -202,9 +234,13 @@ pub fn ebs_aggregate(
                 exhausted: true,
                 control_coefficient: c,
                 rho_squared: rho2,
+                telemetry,
             };
         }
         if half_width <= config.error_target && ys.len() >= config.min_samples {
+            telemetry.invocations = t;
+            telemetry.certified = true;
+            telemetry.wall_seconds = sw.elapsed_seconds();
             return AggregationResult {
                 estimate: mean_z,
                 samples: t,
@@ -212,6 +248,7 @@ pub fn ebs_aggregate(
                 exhausted: false,
                 control_coefficient: c,
                 rho_squared: rho2,
+                telemetry,
             };
         }
     }
@@ -487,5 +524,39 @@ mod tests {
         let b = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
         assert_eq!(a.estimate, b.estimate);
         assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn nan_proxies_do_not_force_exhaustion() {
+        // Regression: a single NaN proxy made c (and every half-width) NaN,
+        // so the sampler silently labeled all N records before stopping.
+        let (truth, mut proxy) = population(20_000, 0.9, 51);
+        proxy[3] = f64::NAN;
+        proxy[100] = f64::INFINITY;
+        let config = AggregationConfig {
+            error_target: 0.05,
+            seed: 13,
+            ..Default::default()
+        };
+        let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
+        assert_eq!(res.telemetry.sanitized_inputs, 2);
+        assert!(!res.exhausted, "NaN proxies must not label everything");
+        assert!(res.samples < 20_000);
+        assert!((res.estimate - true_mean(&truth)).abs() <= 0.1);
+    }
+
+    #[test]
+    fn telemetry_mirrors_samples_and_certifies() {
+        let (truth, proxy) = population(10_000, 0.8, 53);
+        let config = AggregationConfig {
+            error_target: 0.06,
+            seed: 17,
+            ..Default::default()
+        };
+        let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
+        assert_eq!(res.telemetry.invocations, res.samples);
+        assert_eq!(res.telemetry.algorithm, "ebs_aggregate");
+        assert!(res.telemetry.certified);
+        assert!(res.telemetry.wall_seconds >= 0.0);
     }
 }

@@ -13,12 +13,14 @@
 //! `Σ wᵢ·fᵢ·1[Pᵢ] / Σ wᵢ·1[Pᵢ]` with a delta-method normal confidence
 //! interval, under a fixed oracle budget (matching ABae's budgeted setting).
 
+use crate::sanitize::{sanitize_proxies, UnitScale};
 use crate::stats::normal_inverse_cdf;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::HashMap;
+use tasti_obs::{QueryTelemetry, Stopwatch};
 
 /// Configuration for predicate aggregation.
 #[derive(Debug, Clone)]
@@ -52,10 +54,15 @@ pub struct PredicateAggResult {
     pub estimate: f64,
     /// Normal-approximation CI half-width at the configured confidence.
     pub ci_half_width: f64,
-    /// Distinct oracle invocations consumed.
+    /// Distinct oracle invocations consumed. Mirrors
+    /// `telemetry.invocations` (kept for backward compatibility).
     pub oracle_calls: u64,
     /// Sampled records that matched the predicate.
     pub matches_sampled: usize,
+    /// Uniform execution record. `certified` is `false` when no sampled
+    /// record matched the predicate — the NaN estimate and infinite
+    /// interval describe that failure, not a valid answer.
+    pub telemetry: QueryTelemetry,
 }
 
 /// Estimates the mean of a value over records matching a predicate.
@@ -69,21 +76,21 @@ pub fn predicate_aggregate(
     oracle: &mut dyn FnMut(usize) -> Option<f64>,
     config: &PredicateAggConfig,
 ) -> PredicateAggResult {
+    let sw = Stopwatch::start();
+    let mut telemetry = QueryTelemetry::new("predicate_aggregate");
     let n = pred_proxy.len();
     assert!(n > 0, "cannot aggregate an empty dataset");
-    // Normalize the predicate proxy to a sampling distribution.
-    let (lo, hi) = pred_proxy
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
-            (lo.min(p), hi.max(p))
-        });
-    let span = (hi - lo).max(1e-12);
+    // Sanitize non-finite proxies per the crate-wide policy, then
+    // normalize to a sampling distribution (overflow-safe).
+    let sanitized = sanitize_proxies(pred_proxy);
+    telemetry.sanitized_inputs = sanitized.replaced;
+    let scale = UnitScale::new(&sanitized.scores);
+    let norm: &[f64] = &scale.norm;
     let u = config.uniform_mix.clamp(0.0, 1.0);
-    let weight_total: f64 = pred_proxy.iter().map(|&p| (p - lo) / span).sum();
+    let weight_total: f64 = norm.iter().sum();
     let q: Vec<f64> = if weight_total > 1e-12 {
-        pred_proxy
-            .iter()
-            .map(|&p| (1.0 - u) * ((p - lo) / span) / weight_total + u / n as f64)
+        norm.iter()
+            .map(|&p| (1.0 - u) * p / weight_total + u / n as f64)
             .collect()
     } else {
         vec![1.0 / n as f64; n]
@@ -124,11 +131,15 @@ pub fn predicate_aggregate(
     let mf = m as f64;
     let b_sum: f64 = b.iter().sum();
     if b_sum <= 0.0 {
+        telemetry.invocations = oracle_calls;
+        telemetry.certified = false; // no match sampled: nothing to estimate
+        telemetry.wall_seconds = sw.elapsed_seconds();
         return PredicateAggResult {
             estimate: f64::NAN,
             ci_half_width: f64::INFINITY,
             oracle_calls,
             matches_sampled: 0,
+            telemetry,
         };
     }
     let a_sum: f64 = a.iter().sum();
@@ -146,11 +157,15 @@ pub fn predicate_aggregate(
         / mf;
     let var_r = ((var_a - 2.0 * r * cov + r * r * var_b) / (mf * mean_b * mean_b)).max(0.0);
     let z = normal_inverse_cdf(1.0 - (1.0 - config.confidence) / 2.0);
+    telemetry.invocations = oracle_calls;
+    telemetry.certified = true;
+    telemetry.wall_seconds = sw.elapsed_seconds();
     PredicateAggResult {
         estimate: r,
         ci_half_width: z * var_r.sqrt(),
         oracle_calls,
         matches_sampled: matches_sampled_set.len(),
+        telemetry,
     }
 }
 
@@ -239,6 +254,23 @@ mod tests {
         assert!(res.estimate.is_nan());
         assert!(res.ci_half_width.is_infinite());
         assert_eq!(res.matches_sampled, 0);
+        assert!(!res.telemetry.certified);
+    }
+
+    #[test]
+    fn nan_proxies_are_sanitized_and_counted() {
+        let (truth, mut proxy, true_mean) = population(10_000, 0.1, 0.8, 21);
+        proxy[0] = f64::NAN;
+        proxy[1] = f64::NEG_INFINITY;
+        let cfg = PredicateAggConfig {
+            budget: 600,
+            seed: 23,
+            ..Default::default()
+        };
+        let res = predicate_aggregate(&proxy, &mut |r| truth[r], &cfg);
+        assert_eq!(res.telemetry.sanitized_inputs, 2);
+        assert_eq!(res.telemetry.invocations, res.oracle_calls);
+        assert!((res.estimate - true_mean).abs() < 0.3);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod agg;
 pub mod agg_pred;
 pub mod limit;
+pub mod sanitize;
 pub mod select;
 pub mod stats;
 pub mod supg;
@@ -38,8 +39,10 @@ pub use agg::{
 };
 pub use agg_pred::{predicate_aggregate, PredicateAggConfig, PredicateAggResult};
 pub use limit::{limit_query, LimitResult};
+pub use sanitize::{desc_nan_last, sanitize_proxies, Sanitized, UnitScale};
 pub use select::{threshold_selection, tune_threshold, SelectionResult};
 pub use supg::{
     supg_precision_target, supg_recall_target, SupgConfig, SupgPrecisionConfig,
     SupgPrecisionResult, SupgResult,
 };
+pub use tasti_obs::QueryTelemetry;

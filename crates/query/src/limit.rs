@@ -7,17 +7,22 @@
 //! (Figure 6); proxy scores with high recall at the top ranks win.
 
 use serde::Serialize;
+use tasti_obs::{QueryTelemetry, Stopwatch};
 
 /// Result of a limit query.
 #[derive(Debug, Clone, Serialize)]
 pub struct LimitResult {
     /// Records found matching the predicate, in scan order.
     pub found: Vec<usize>,
-    /// Target-labeler invocations consumed.
+    /// Target-labeler invocations consumed. Mirrors
+    /// `telemetry.invocations` (kept for backward compatibility).
     pub invocations: u64,
     /// Whether the requested number of matches was reached before the scan
     /// budget (or the ranking) was exhausted.
     pub satisfied: bool,
+    /// Uniform execution record. `certified` equals `satisfied`: an
+    /// unsatisfied limit query returned fewer matches than requested.
+    pub telemetry: QueryTelemetry,
 }
 
 /// Scans `ranking` (record indices, best first), invoking
@@ -38,6 +43,7 @@ pub fn limit_query(
     k_matches: usize,
     max_scan: usize,
 ) -> LimitResult {
+    let sw = Stopwatch::start();
     let mut found = Vec::with_capacity(k_matches);
     let mut invocations = 0u64;
     for &rec in ranking.iter().take(max_scan) {
@@ -50,10 +56,15 @@ pub fn limit_query(
         }
     }
     let satisfied = found.len() >= k_matches;
+    let mut telemetry = QueryTelemetry::new("limit_query");
+    telemetry.invocations = invocations;
+    telemetry.certified = satisfied;
+    telemetry.wall_seconds = sw.elapsed_seconds();
     LimitResult {
         found,
         invocations,
         satisfied,
+        telemetry,
     }
 }
 
@@ -98,6 +109,8 @@ mod tests {
         assert!(!res.satisfied);
         assert!(res.found.is_empty());
         assert_eq!(res.invocations, 50);
+        assert!(!res.telemetry.certified);
+        assert_eq!(res.telemetry.invocations, 50);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Proxy-score sanitization — the crate-wide degenerate-input policy.
+//!
+//! Proxy scores arrive from outside the statistical machinery (index
+//! propagation, per-query models, user code) and can contain NaN or ±∞:
+//! a single NaN used to panic both SUPG variants (`partial_cmp().unwrap()`
+//! on threshold lists), hang `tune_threshold` (NaN never equals itself, so
+//! its tie-advancing scan stopped making progress), and silently poison the
+//! EBS control variate (NaN half-widths never certify, so the sampler
+//! labels the whole dataset).
+//!
+//! **The policy**, applied at the entry of every query algorithm:
+//!
+//! * finite scores pass through untouched (zero-copy on the common path);
+//! * `NaN` carries no ranking information and is mapped to the *minimum
+//!   finite score* — a NaN-scored record is treated as least promising,
+//!   never dropped (statistical guarantees quantify over all records);
+//! * `−∞` maps to the minimum finite score, `+∞` to the maximum (the
+//!   nearest representable "extremely small/large" value);
+//! * a vector with **no finite score at all** becomes all-zero, degrading
+//!   to the uniform no-proxy baseline.
+//!
+//! The number of replaced entries is reported in every result's
+//! [`QueryTelemetry::sanitized_inputs`](tasti_obs::QueryTelemetry) so a
+//! polluted proxy model is visible in accounting rather than silent.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+
+/// Proxy scores with every non-finite entry replaced per the module policy.
+#[derive(Debug)]
+pub struct Sanitized<'a> {
+    /// The sanitized scores (borrowed when the input was already clean).
+    pub scores: Cow<'a, [f64]>,
+    /// How many entries were replaced.
+    pub replaced: u64,
+}
+
+/// Applies the module's sanitization policy to a proxy-score slice.
+///
+/// ```
+/// use tasti_query::sanitize_proxies;
+/// let s = sanitize_proxies(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+/// assert_eq!(&*s.scores, &[1.0, 1.0, 3.0, 3.0]);
+/// assert_eq!(s.replaced, 2);
+/// // Clean inputs are borrowed, not copied.
+/// assert_eq!(sanitize_proxies(&[0.5, 0.25]).replaced, 0);
+/// ```
+pub fn sanitize_proxies(proxy: &[f64]) -> Sanitized<'_> {
+    let replaced = proxy.iter().filter(|p| !p.is_finite()).count() as u64;
+    if replaced == 0 {
+        return Sanitized {
+            scores: Cow::Borrowed(proxy),
+            replaced: 0,
+        };
+    }
+    let (lo, hi) = proxy
+        .iter()
+        .filter(|p| p.is_finite())
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
+            (lo.min(p), hi.max(p))
+        });
+    if lo > hi {
+        // No finite score anywhere: uniform no-proxy fallback.
+        return Sanitized {
+            scores: Cow::Owned(vec![0.0; proxy.len()]),
+            replaced,
+        };
+    }
+    let scores = proxy
+        .iter()
+        .map(|&p| {
+            if p.is_finite() {
+                p
+            } else if p == f64::INFINITY {
+                hi
+            } else {
+                lo // NaN and −∞: least promising
+            }
+        })
+        .collect();
+    Sanitized {
+        scores: Cow::Owned(scores),
+        replaced,
+    }
+}
+
+/// Normalizes sanitized scores to `[0, 1]`, overflow-safe.
+///
+/// `(p − lo) / (hi − lo)` can overflow to ∞ (and then produce `∞/∞ = NaN`)
+/// when `hi − lo` exceeds `f64::MAX`, e.g. scores spanning ±`f64::MAX`.
+/// Pre-scaling everything by 0.5 — exact in binary floating point — keeps
+/// every intermediate finite and leaves the result bit-identical to the
+/// direct formula whenever that formula doesn't overflow.
+#[derive(Debug, Clone)]
+pub struct UnitScale {
+    /// The normalized scores, all in `[0, 1]` and finite.
+    pub norm: Vec<f64>,
+    lo: f64,
+    hi: f64,
+}
+
+impl UnitScale {
+    /// Normalizes `scores` (which must already be finite — run
+    /// [`sanitize_proxies`] first; debug-asserted).
+    pub fn new(scores: &[f64]) -> Self {
+        debug_assert!(scores.iter().all(|p| p.is_finite()));
+        let (lo, hi) = scores
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
+                (lo.min(p), hi.max(p))
+            });
+        let (lo, hi) = if lo > hi { (0.0, 0.0) } else { (lo, hi) };
+        // Halving is exact, so span2 is finite even for hi − lo > f64::MAX.
+        let span2 = (hi * 0.5 - lo * 0.5).max(0.5e-12);
+        let norm = scores
+            .iter()
+            .map(|&p| (p * 0.5 - lo * 0.5) / span2)
+            .collect();
+        Self { norm, lo, hi }
+    }
+
+    /// Maps a normalized threshold back to the original score scale as the
+    /// convex combination `lo·(1−τ) + hi·τ` (finite for τ ∈ [0, 1] even
+    /// when `hi − lo` overflows).
+    pub fn denormalize(&self, tau: f64) -> f64 {
+        self.lo * (1.0 - tau) + self.hi * tau
+    }
+}
+
+/// Descending order with NaN sorted last — the total-order comparator for
+/// "best proxy first" rankings. NaN never panics `sort_by` (the closure is
+/// a total order) and never wins a top rank.
+pub fn desc_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_input_is_borrowed() {
+        let p = [0.1, 0.2, 0.3];
+        let s = sanitize_proxies(&p);
+        assert!(matches!(s.scores, Cow::Borrowed(_)));
+        assert_eq!(s.replaced, 0);
+    }
+
+    #[test]
+    fn nan_and_neg_inf_map_to_min_pos_inf_to_max() {
+        let p = [2.0, f64::NAN, -1.0, f64::NEG_INFINITY, f64::INFINITY];
+        let s = sanitize_proxies(&p);
+        assert_eq!(&*s.scores, &[2.0, -1.0, -1.0, -1.0, 2.0]);
+        assert_eq!(s.replaced, 3);
+    }
+
+    #[test]
+    fn all_non_finite_degrades_to_uniform() {
+        let p = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        let s = sanitize_proxies(&p);
+        assert_eq!(&*s.scores, &[0.0, 0.0, 0.0]);
+        assert_eq!(s.replaced, 3);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let s = sanitize_proxies(&[]);
+        assert!(s.scores.is_empty());
+        assert_eq!(s.replaced, 0);
+    }
+
+    #[test]
+    fn unit_scale_matches_direct_formula_on_normal_ranges() {
+        let scores = [3.0, 5.0, 4.0, 3.0];
+        let u = UnitScale::new(&scores);
+        for (n, &p) in u.norm.iter().zip(&scores) {
+            let direct = (p - 3.0) / 2.0f64;
+            assert_eq!(*n, direct, "bit-identical on non-overflowing spans");
+        }
+        assert_eq!(u.denormalize(0.0), 3.0);
+        assert_eq!(u.denormalize(1.0), 5.0);
+    }
+
+    #[test]
+    fn unit_scale_survives_overflowing_spans() {
+        let scores = [f64::MAX, -f64::MAX, 0.0];
+        let u = UnitScale::new(&scores);
+        assert!(u.norm.iter().all(|n| n.is_finite()));
+        assert_eq!(u.norm[0], 1.0);
+        assert_eq!(u.norm[1], 0.0);
+        assert!((u.norm[2] - 0.5).abs() < 1e-12);
+        assert!(u.denormalize(0.5).is_finite());
+    }
+
+    #[test]
+    fn constant_scores_normalize_to_zero() {
+        let u = UnitScale::new(&[7.0; 5]);
+        assert!(u.norm.iter().all(|&n| n == 0.0));
+    }
+
+    #[test]
+    fn desc_nan_last_is_a_total_order_with_nan_at_the_end() {
+        let mut v = vec![1.0, f64::NAN, 3.0, 2.0, f64::NAN];
+        v.sort_by(|a, b| desc_nan_last(*a, *b));
+        assert_eq!(&v[..3], &[3.0, 2.0, 1.0]);
+        assert!(v[3].is_nan() && v[4].is_nan());
+    }
+}

@@ -8,10 +8,12 @@
 //! the whole dataset. Quality is reported as `100 − F1` (Table 2, lower is
 //! better).
 
+use crate::sanitize::{desc_nan_last, sanitize_proxies};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
+use tasti_obs::{QueryTelemetry, Stopwatch};
 
 /// Result of a threshold selection.
 #[derive(Debug, Clone, Serialize)]
@@ -20,8 +22,12 @@ pub struct SelectionResult {
     pub selected: Vec<usize>,
     /// Threshold applied to the proxy scores.
     pub threshold: f64,
-    /// Oracle invocations spent tuning (0 for ad-hoc thresholds).
+    /// Oracle invocations spent tuning (0 for ad-hoc thresholds). Mirrors
+    /// `telemetry.invocations` (kept for backward compatibility).
     pub oracle_calls: u64,
+    /// Uniform execution record. `certified` is always `false`: validation-
+    /// set threshold tuning carries no statistical guarantee (§6.5).
+    pub telemetry: QueryTelemetry,
 }
 
 /// Selects every record whose proxy score is ≥ `threshold`.
@@ -40,8 +46,17 @@ pub fn tune_threshold(
     validation_size: usize,
     seed: u64,
 ) -> SelectionResult {
+    let sw = Stopwatch::start();
+    let mut telemetry = QueryTelemetry::new("tune_threshold");
+    telemetry.certified = false; // no statistical guarantee by design
     let n = proxy.len();
     assert!(n > 0, "cannot select over an empty dataset");
+    // Sanitize non-finite proxies per the crate-wide policy. Regression:
+    // a NaN score in the validation sample made the tie-advancing sweep
+    // below loop forever (NaN != NaN, so `i` never advanced).
+    let sanitized = sanitize_proxies(proxy);
+    telemetry.sanitized_inputs = sanitized.replaced;
+    let proxy: &[f64] = &sanitized.scores;
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     order.shuffle(&mut rng);
@@ -54,7 +69,7 @@ pub fn tune_threshold(
     // Candidate thresholds: the distinct proxy values in the sample,
     // descending, plus −∞ (select all). Evaluate F1 at each by sweeping.
     let mut by_score = sample.clone();
-    by_score.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    by_score.sort_by(|a, b| desc_nan_last(a.0, b.0));
     let mut best_threshold = f64::NEG_INFINITY;
     let mut best_f1 = f1(total_pos, sample.len() - total_pos, 0); // select-all F1
     let mut tp = 0usize;
@@ -80,10 +95,13 @@ pub fn tune_threshold(
     }
 
     let selected = threshold_selection(proxy, best_threshold);
+    telemetry.invocations = oracle_calls;
+    telemetry.wall_seconds = sw.elapsed_seconds();
     SelectionResult {
         selected,
         threshold: best_threshold,
         oracle_calls,
+        telemetry,
     }
 }
 
@@ -183,5 +201,21 @@ mod tests {
     fn f1_helper_edge_cases() {
         assert_eq!(super::f1(0, 10, 10), 0.0);
         assert!((super::f1(10, 0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_proxies_terminate_and_are_counted() {
+        // Regression: a NaN validation score hung the tie-advancing F1
+        // sweep forever. Sanitization must both terminate and be visible.
+        let mut proxy: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        proxy[10] = f64::NAN;
+        proxy[20] = f64::INFINITY;
+        let res = tune_threshold(&proxy, &mut |r| r >= 100, 200, 5);
+        assert_eq!(res.telemetry.sanitized_inputs, 2);
+        assert!(!res.telemetry.certified);
+        assert_eq!(res.telemetry.invocations, res.oracle_calls);
+        // The tuned threshold still separates the clean bulk of the data.
+        let tp = res.selected.iter().filter(|&&i| i >= 100).count();
+        assert!(tp >= 95, "tp {tp}");
     }
 }

@@ -22,14 +22,26 @@
 //! (Figure 5: lower is better); the recall target itself is met with high
 //! probability by construction.
 
+use crate::sanitize::{sanitize_proxies, UnitScale};
 use crate::stats::normal_inverse_cdf;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::HashSet;
+use tasti_obs::{QueryTelemetry, Stopwatch};
 
 /// Configuration for a SUPG recall-target query.
+///
+/// # Degenerate-input policy
+///
+/// Proxy scores are sanitized on entry per the crate-wide policy
+/// ([`crate::sanitize`]): `NaN` and `−∞` map to the minimum finite score,
+/// `+∞` to the maximum, and an all-non-finite vector degrades to the
+/// uniform no-proxy baseline. The number of replaced scores is reported in
+/// the result's [`QueryTelemetry::sanitized_inputs`]. The recall guarantee
+/// is unaffected — it holds for *any* fixed proxy ordering; a polluted
+/// proxy only costs false positives.
 #[derive(Debug, Clone)]
 pub struct SupgConfig {
     /// Recall target γ (e.g. 0.9).
@@ -65,10 +77,18 @@ pub struct SupgResult {
     pub returned: Vec<usize>,
     /// Proxy-score threshold selected.
     pub threshold: f64,
-    /// Distinct target-labeler invocations consumed (≤ budget).
+    /// Distinct target-labeler invocations consumed (≤ budget). Mirrors
+    /// `telemetry.invocations` (kept for backward compatibility).
     pub oracle_calls: u64,
-    /// Importance-weighted recall estimate at the chosen threshold.
+    /// Importance-weighted recall estimate at the threshold actually used —
+    /// including the conservative τ = 0 fallback. `NaN` when no positive
+    /// was sampled (there is nothing to estimate; check
+    /// `telemetry.certified`).
     pub estimated_recall: f64,
+    /// Uniform execution record. `certified` is `false` when no threshold
+    /// cleared the recall lower confidence bound and the conservative
+    /// return-everything fallback (τ = 0) was used.
+    pub telemetry: QueryTelemetry,
 }
 
 /// Runs the SUPG recall-target selection algorithm.
@@ -80,6 +100,8 @@ pub fn supg_recall_target(
     oracle: &mut dyn FnMut(usize) -> bool,
     config: &SupgConfig,
 ) -> SupgResult {
+    let sw = Stopwatch::start();
+    let mut telemetry = QueryTelemetry::new("supg_recall_target");
     let n = proxy.len();
     assert!(n > 0, "cannot select over an empty dataset");
     assert!(
@@ -87,14 +109,11 @@ pub fn supg_recall_target(
         "recall target must be in (0, 1)"
     );
 
-    // Normalize proxies to [0, 1].
-    let (lo, hi) = proxy
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
-            (lo.min(p), hi.max(p))
-        });
-    let span = (hi - lo).max(1e-12);
-    let norm: Vec<f64> = proxy.iter().map(|&p| (p - lo) / span).collect();
+    // Sanitize non-finite proxies, then normalize to [0, 1] (overflow-safe).
+    let sanitized = sanitize_proxies(proxy);
+    telemetry.sanitized_inputs = sanitized.replaced;
+    let scale = UnitScale::new(&sanitized.scores);
+    let norm: &[f64] = &scale.norm;
 
     // Importance distribution q ∝ (1−u)·√p + u·(1/n)-mass.
     let u = config.uniform_mix.clamp(0.0, 1.0);
@@ -138,15 +157,17 @@ pub fn supg_recall_target(
 
     // Candidate thresholds: the distinct proxy values of sampled positives
     // (descending). recall(τ) is a step function changing only there.
+    // total_cmp is a total order, so the sort cannot panic even if a
+    // non-finite score ever slipped past sanitization.
     let mut pos_thresholds: Vec<f64> = draws.iter().filter(|d| d.2).map(|d| norm[d.0]).collect();
-    pos_thresholds.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    pos_thresholds.sort_by(|a, b| b.total_cmp(a));
     pos_thresholds.dedup();
 
     let z = normal_inverse_cdf(config.confidence);
     let total_pos_mass: f64 = draws.iter().filter(|d| d.2).map(|d| d.1).sum();
 
     let mut chosen_tau = 0.0f64;
-    let mut chosen_recall = 1.0f64;
+    let mut certified = false;
     if total_pos_mass > 0.0 {
         for &tau in &pos_thresholds {
             // Ratio estimator R = A/B with per-draw contributions
@@ -178,11 +199,25 @@ pub fn supg_recall_target(
             let lcb = r - z * var_r.sqrt();
             if lcb >= config.recall_target {
                 chosen_tau = tau;
-                chosen_recall = r;
+                certified = true;
                 break; // thresholds descend; the first (largest) winner is tightest
             }
         }
     }
+
+    // Honest recall estimate at the τ actually used — certified or the
+    // conservative τ = 0 fallback. NaN when no positive was sampled: there
+    // is nothing to estimate, and pretending 1.0 would hide the fallback.
+    let estimated_recall = if total_pos_mass > 0.0 {
+        let above: f64 = draws
+            .iter()
+            .filter(|d| d.2 && norm[d.0] >= chosen_tau)
+            .map(|d| d.1)
+            .sum();
+        above / total_pos_mass
+    } else {
+        f64::NAN
+    };
 
     // Returned set: everything at/above τ plus all sampled positives.
     let mut returned: Vec<usize> = (0..n).filter(|&i| norm[i] >= chosen_tau).collect();
@@ -195,11 +230,15 @@ pub fn supg_recall_target(
     returned.sort_unstable();
     returned.dedup();
 
+    telemetry.invocations = oracle_calls;
+    telemetry.certified = certified;
+    telemetry.wall_seconds = sw.elapsed_seconds();
     SupgResult {
         returned,
-        threshold: chosen_tau * span + lo,
+        threshold: scale.denormalize(chosen_tau),
         oracle_calls,
-        estimated_recall: chosen_recall,
+        estimated_recall,
+        telemetry,
     }
 }
 
@@ -210,10 +249,18 @@ pub struct SupgPrecisionResult {
     pub returned: Vec<usize>,
     /// Proxy-score threshold selected.
     pub threshold: f64,
-    /// Distinct target-labeler invocations consumed (≤ budget).
+    /// Distinct target-labeler invocations consumed (≤ budget). Mirrors
+    /// `telemetry.invocations` (kept for backward compatibility).
     pub oracle_calls: u64,
-    /// Importance-weighted precision estimate at the chosen threshold.
+    /// Importance-weighted precision estimate at the threshold actually
+    /// used. `NaN` when no sampled record lies at/above it (an empty
+    /// returned set has no precision to report; check
+    /// `telemetry.certified`).
     pub estimated_precision: f64,
+    /// Uniform execution record. `certified` is `false` when no threshold
+    /// cleared the precision lower confidence bound and the conservative
+    /// empty-set fallback was used.
+    pub telemetry: QueryTelemetry,
 }
 
 /// Configuration for a SUPG *precision*-target query.
@@ -258,19 +305,19 @@ pub fn supg_precision_target(
     oracle: &mut dyn FnMut(usize) -> bool,
     config: &SupgPrecisionConfig,
 ) -> SupgPrecisionResult {
+    let sw = Stopwatch::start();
+    let mut telemetry = QueryTelemetry::new("supg_precision_target");
     let n = proxy.len();
     assert!(n > 0, "cannot select over an empty dataset");
     assert!(
         config.precision_target > 0.0 && config.precision_target < 1.0,
         "precision target must be in (0, 1)"
     );
-    let (lo, hi) = proxy
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
-            (lo.min(p), hi.max(p))
-        });
-    let span = (hi - lo).max(1e-12);
-    let norm: Vec<f64> = proxy.iter().map(|&p| (p - lo) / span).collect();
+    // Same degenerate-input policy as the recall variant (see [`SupgConfig`]).
+    let sanitized = sanitize_proxies(proxy);
+    telemetry.sanitized_inputs = sanitized.replaced;
+    let scale = UnitScale::new(&sanitized.scores);
+    let norm: &[f64] = &scale.norm;
 
     // Importance distribution biased toward *high*-proxy records (where the
     // precision boundary lives), defensively mixed with uniform.
@@ -310,11 +357,12 @@ pub fn supg_precision_target(
     // precision(τ) is non-decreasing in τ for well-ordered proxies, and we
     // want the smallest certifiable τ.
     let mut thresholds: Vec<f64> = draws.iter().map(|d| norm[d.0]).collect();
-    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    thresholds.sort_by(|a, b| a.total_cmp(b)); // total order: NaN-proof
     thresholds.dedup();
 
     let z = normal_inverse_cdf(config.confidence);
     let mut chosen_tau = 1.0f64 + 1e-9; // default: empty set (vacuous precision)
+    let mut certified = false;
     for &tau in &thresholds {
         // Precision ratio estimator over records at/above τ.
         let mut a_sum = 0.0;
@@ -347,6 +395,7 @@ pub fn supg_precision_target(
         let lcb = r - z * var_r.sqrt();
         if lcb >= config.precision_target {
             chosen_tau = tau;
+            certified = true;
             break; // ascending: first certifiable τ is the smallest
         }
     }
@@ -376,15 +425,21 @@ pub fn supg_precision_target(
         if b > 0.0 {
             a / b
         } else {
-            1.0
+            // No sampled mass at/above τ (the empty-set fallback): there is
+            // no precision to estimate. NaN, not a fabricated 1.0.
+            f64::NAN
         }
     };
 
+    telemetry.invocations = oracle_calls;
+    telemetry.certified = certified;
+    telemetry.wall_seconds = sw.elapsed_seconds();
     SupgPrecisionResult {
         returned,
-        threshold: chosen_tau * span + lo,
+        threshold: scale.denormalize(chosen_tau),
         oracle_calls,
         estimated_precision: est_precision,
+        telemetry,
     }
 }
 
@@ -645,5 +700,89 @@ mod tests {
         };
         let res = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
         assert!(recall_of(&res.returned, &truth) >= 0.9);
+    }
+
+    #[test]
+    fn nan_proxies_are_sanitized_not_fatal() {
+        // Regression: partial_cmp().unwrap() on the threshold sort used to
+        // panic on the first NaN proxy score.
+        let (truth, mut proxy) = population(5_000, 0.1, 0.9, 31);
+        proxy[7] = f64::NAN;
+        proxy[19] = f64::INFINITY;
+        proxy[23] = f64::NEG_INFINITY;
+        let cfg = SupgConfig {
+            budget: 400,
+            seed: 19,
+            ..Default::default()
+        };
+        let res = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
+        assert_eq!(res.telemetry.sanitized_inputs, 3);
+        assert!(res.threshold.is_finite());
+        assert!(recall_of(&res.returned, &truth) >= 0.9);
+
+        let pcfg = SupgPrecisionConfig {
+            budget: 400,
+            seed: 19,
+            ..Default::default()
+        };
+        let pres = supg_precision_target(&proxy, &mut |r| truth[r], &pcfg);
+        assert_eq!(pres.telemetry.sanitized_inputs, 3);
+        assert!(pres.threshold.is_finite());
+    }
+
+    #[test]
+    fn uncertifiable_recall_query_is_flagged_not_inflated() {
+        // All-negative population: no positive mass, no certifiable τ. The
+        // old code reported estimated_recall = 1.0 here; now the fallback is
+        // explicit: certified = false and the estimate is NaN.
+        let truth = vec![false; 1000];
+        let proxy: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let cfg = SupgConfig {
+            budget: 100,
+            seed: 8,
+            ..Default::default()
+        };
+        let res = supg_recall_target(&proxy, &mut |r| truth[r], &cfg);
+        assert!(!res.telemetry.certified);
+        assert!(res.estimated_recall.is_nan());
+    }
+
+    #[test]
+    fn uncertifiable_precision_query_is_flagged_not_inflated() {
+        let truth = vec![false; 5_000];
+        let proxy: Vec<f64> = (0..5_000).map(|i| (i % 11) as f64).collect();
+        let cfg = SupgPrecisionConfig {
+            budget: 300,
+            seed: 5,
+            ..Default::default()
+        };
+        let res = supg_precision_target(&proxy, &mut |r| truth[r], &cfg);
+        assert!(!res.telemetry.certified);
+        assert!(res.estimated_precision.is_nan());
+        assert!(res.returned.is_empty());
+    }
+
+    #[test]
+    fn certified_queries_report_certified_true_and_oracle_calls_match() {
+        let (truth, proxy) = population(20_000, 0.1, 0.95, 41);
+        let cfg = SupgConfig {
+            budget: 800,
+            seed: 23,
+            ..Default::default()
+        };
+        let mut distinct = HashSet::new();
+        let res = supg_recall_target(
+            &proxy,
+            &mut |r| {
+                distinct.insert(r);
+                truth[r]
+            },
+            &cfg,
+        );
+        assert!(res.telemetry.certified);
+        assert_eq!(res.telemetry.invocations, distinct.len() as u64);
+        assert_eq!(res.oracle_calls, res.telemetry.invocations);
+        assert_eq!(res.telemetry.sanitized_inputs, 0);
+        assert!((0.0..=1.0 + 1e-9).contains(&res.estimated_recall));
     }
 }

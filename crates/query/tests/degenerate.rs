@@ -1,0 +1,246 @@
+//! Degenerate-input property tests: NaN, ±∞, extreme-magnitude, constant,
+//! and single-record proxy vectors through every query algorithm.
+//!
+//! The contract under test is the crate-wide sanitization policy
+//! (`tasti_query::sanitize`): no proxy vector containing at least one
+//! record may panic, hang, or corrupt the invocation accounting. Empty
+//! inputs are the one documented exception — they panic with an explicit
+//! message, asserted at the bottom of this file.
+//!
+//! Build with `--features quick-proptest` for a reduced case count (CI's
+//! quick profile, see `ci.sh`).
+
+use proptest::prelude::*;
+use tasti_query::{
+    ebs_aggregate, limit_query, predicate_aggregate, supg_precision_target, supg_recall_target,
+    tune_threshold, AggregationConfig, PredicateAggConfig, SupgConfig, SupgPrecisionConfig,
+};
+
+#[cfg(feature = "quick-proptest")]
+const CASES: u32 = 16;
+#[cfg(not(feature = "quick-proptest"))]
+const CASES: u32 = 96;
+
+/// One proxy score: mostly moderate finite values, with non-finite and
+/// extreme-magnitude specials mixed in at high probability so nearly every
+/// generated vector exercises the sanitizer.
+fn score() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        4 => -1e3..1e3f64,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(f64::MAX),
+        1 => Just(-f64::MAX),
+        1 => Just(0.0),
+    ]
+}
+
+/// Non-empty proxy vectors, including length 1.
+fn proxies() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(score(), 1..48)
+}
+
+fn non_finite(proxy: &[f64]) -> u64 {
+    proxy.iter().filter(|v| !v.is_finite()).count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn ebs_aggregate_never_panics(proxy in proxies(), seed in 0u64..1000) {
+        let config = AggregationConfig {
+            error_target: 0.5,
+            batch_size: 4,
+            min_samples: 2,
+            seed,
+            ..Default::default()
+        };
+        let res = ebs_aggregate(&proxy, &mut |r| (r % 5) as f64, &config);
+        // Oracle values are bounded, so the answer must be too.
+        prop_assert!(res.estimate.is_finite());
+        prop_assert_eq!(res.telemetry.invocations, res.samples);
+        prop_assert_eq!(res.telemetry.sanitized_inputs, non_finite(&proxy));
+        prop_assert!(res.telemetry.certified);
+    }
+
+    #[test]
+    fn supg_recall_never_panics(proxy in proxies(), seed in 0u64..1000) {
+        let n = proxy.len();
+        let config = SupgConfig {
+            budget: 16.min(n).max(1),
+            seed,
+            ..Default::default()
+        };
+        let res = supg_recall_target(&proxy, &mut |r| r % 3 == 0, &config);
+        prop_assert!(!res.threshold.is_nan());
+        prop_assert!(res.returned.iter().all(|&r| r < n));
+        prop_assert_eq!(res.telemetry.invocations, res.oracle_calls);
+        prop_assert!(res.oracle_calls <= config.budget as u64);
+        prop_assert_eq!(res.telemetry.sanitized_inputs, non_finite(&proxy));
+    }
+
+    #[test]
+    fn supg_precision_never_panics(proxy in proxies(), seed in 0u64..1000) {
+        let n = proxy.len();
+        let config = SupgPrecisionConfig {
+            budget: 16.min(n).max(1),
+            seed,
+            ..Default::default()
+        };
+        let res = supg_precision_target(&proxy, &mut |r| r % 3 == 0, &config);
+        prop_assert!(!res.threshold.is_nan());
+        prop_assert!(res.returned.iter().all(|&r| r < n));
+        prop_assert_eq!(res.telemetry.invocations, res.oracle_calls);
+        prop_assert_eq!(res.telemetry.sanitized_inputs, non_finite(&proxy));
+    }
+
+    #[test]
+    fn limit_query_never_panics(proxy in proxies(), k in 1usize..8) {
+        let n = proxy.len();
+        // Rank by proxy score through the crate's total NaN-last order, the
+        // same path callers use on raw (possibly NaN) scores.
+        let mut ranking: Vec<usize> = (0..n).collect();
+        ranking.sort_by(|&a, &b| tasti_query::desc_nan_last(proxy[a], proxy[b]));
+        let res = limit_query(&ranking, &mut |r| r % 4 == 0, k, n);
+        prop_assert!(res.found.iter().all(|&r| r < n));
+        prop_assert!(res.invocations <= n as u64);
+        prop_assert_eq!(res.telemetry.invocations, res.invocations);
+        prop_assert_eq!(res.telemetry.certified, res.satisfied);
+    }
+
+    #[test]
+    fn tune_threshold_terminates(proxy in proxies(), seed in 0u64..1000) {
+        // Regression: a NaN in the validation sample used to hang the
+        // tie-advancing threshold sweep (NaN != NaN never advanced it).
+        let n = proxy.len();
+        let res = tune_threshold(&proxy, &mut |r| r % 2 == 0, 16.min(n), seed);
+        prop_assert!(res.selected.iter().all(|&r| r < n));
+        prop_assert!(!res.telemetry.certified);
+        prop_assert_eq!(res.telemetry.invocations, res.oracle_calls);
+        prop_assert_eq!(res.telemetry.sanitized_inputs, non_finite(&proxy));
+    }
+
+    #[test]
+    fn predicate_aggregate_never_panics(proxy in proxies(), seed in 0u64..1000) {
+        let config = PredicateAggConfig {
+            budget: 16,
+            seed,
+            ..Default::default()
+        };
+        let res =
+            predicate_aggregate(&proxy, &mut |r| (r % 3 == 0).then_some(2.0), &config);
+        prop_assert_eq!(res.telemetry.invocations, res.oracle_calls);
+        prop_assert_eq!(res.telemetry.sanitized_inputs, non_finite(&proxy));
+        // certified iff a match was sampled; the NaN estimate is flagged.
+        prop_assert_eq!(res.telemetry.certified, res.matches_sampled > 0);
+        if res.matches_sampled > 0 {
+            prop_assert!(res.estimate.is_finite());
+        } else {
+            prop_assert!(res.estimate.is_nan());
+        }
+    }
+}
+
+#[test]
+fn all_nan_vector_uses_the_uniform_fallback() {
+    let proxy = vec![f64::NAN; 24];
+    let res = ebs_aggregate(
+        &proxy,
+        &mut |r| (r % 5) as f64,
+        &AggregationConfig {
+            error_target: 0.5,
+            batch_size: 4,
+            min_samples: 2,
+            ..Default::default()
+        },
+    );
+    assert!(res.estimate.is_finite());
+    assert_eq!(res.telemetry.sanitized_inputs, 24);
+
+    let res = supg_recall_target(
+        &proxy,
+        &mut |r| r % 3 == 0,
+        &SupgConfig {
+            budget: 12,
+            ..Default::default()
+        },
+    );
+    assert_eq!(res.telemetry.sanitized_inputs, 24);
+    assert!(!res.threshold.is_nan());
+}
+
+#[test]
+fn single_record_dataset_runs_every_algorithm() {
+    let proxy = [1.5f64];
+    let agg = ebs_aggregate(&proxy, &mut |_| 7.0, &AggregationConfig::default());
+    assert_eq!(agg.estimate, 7.0);
+    assert!(agg.exhausted);
+
+    let supg = supg_recall_target(
+        &proxy,
+        &mut |_| true,
+        &SupgConfig {
+            budget: 1,
+            ..Default::default()
+        },
+    );
+    assert!(supg.returned.contains(&0));
+
+    let lim = limit_query(&[0], &mut |_| true, 1, 1);
+    assert!(lim.satisfied);
+
+    let sel = tune_threshold(&proxy, &mut |_| true, 1, 1);
+    assert_eq!(sel.telemetry.invocations, 1);
+}
+
+#[test]
+fn constant_scores_are_handled_by_every_algorithm() {
+    let proxy = vec![3.25f64; 40];
+    let agg = ebs_aggregate(
+        &proxy,
+        &mut |r| (r % 5) as f64,
+        &AggregationConfig {
+            error_target: 0.5,
+            batch_size: 4,
+            min_samples: 4,
+            ..Default::default()
+        },
+    );
+    assert!(agg.estimate.is_finite());
+    // Constant proxy carries no signal: the control variate must deactivate.
+    assert_eq!(agg.control_coefficient, 0.0);
+
+    let supg = supg_recall_target(
+        &proxy,
+        &mut |r| r % 4 == 0,
+        &SupgConfig {
+            budget: 20,
+            ..Default::default()
+        },
+    );
+    assert!(supg.returned.iter().all(|&r| r < 40));
+
+    let pred = predicate_aggregate(
+        &proxy,
+        &mut |r| (r % 4 == 0).then_some(1.0),
+        &PredicateAggConfig {
+            budget: 30,
+            ..Default::default()
+        },
+    );
+    assert_eq!(pred.telemetry.certified, pred.matches_sampled > 0);
+}
+
+#[test]
+#[should_panic(expected = "empty dataset")]
+fn empty_aggregation_panics_with_documented_message() {
+    let _ = ebs_aggregate(&[], &mut |_| 0.0, &AggregationConfig::default());
+}
+
+#[test]
+#[should_panic(expected = "empty dataset")]
+fn empty_selection_panics_with_documented_message() {
+    let _ = supg_recall_target(&[], &mut |_| false, &SupgConfig::default());
+}

@@ -1,0 +1,176 @@
+//! Telemetry audit: every query algorithm's reported `invocations` must
+//! equal the `MeteredLabeler` delta across the call — **exactly**.
+//!
+//! This is the invariant the unified accounting layer exists to enforce
+//! (DESIGN.md §6): the paper's cost metric is distinct target-labeler
+//! invocations, so an algorithm that over- or under-reports by even one
+//! call corrupts every cost figure downstream. Each test routes the oracle
+//! closure through a real `MeteredLabeler` (cache + distinct-record meter)
+//! and compares the meter's before/after delta against the telemetry.
+
+use tasti_labeler::{
+    LabelCost, LabelerOutput, MeteredLabeler, RecordId, Schema, SqlAnnotation, SqlOp, TargetLabeler,
+};
+use tasti_query::{
+    ebs_aggregate, limit_query, predicate_aggregate, supg_precision_target, supg_recall_target,
+    tune_threshold, AggregationConfig, PredicateAggConfig, SupgConfig, SupgPrecisionConfig,
+};
+
+/// Deterministic stand-in oracle: record `r` gets `r % 4` predicates.
+struct FakeLabeler;
+
+impl TargetLabeler for FakeLabeler {
+    fn label(&self, record: RecordId) -> LabelerOutput {
+        LabelerOutput::Sql(SqlAnnotation {
+            op: SqlOp::Select,
+            num_predicates: (record % 4) as u8,
+        })
+    }
+    fn invocation_cost(&self) -> LabelCost {
+        LabelCost {
+            seconds: 1.0,
+            dollars: 0.01,
+        }
+    }
+    fn schema(&self) -> Schema {
+        Schema::wikisql()
+    }
+    fn name(&self) -> &str {
+        "fake"
+    }
+}
+
+fn value_of(out: &LabelerOutput) -> f64 {
+    match out {
+        LabelerOutput::Sql(a) => a.num_predicates as f64,
+        _ => unreachable!("FakeLabeler only emits Sql"),
+    }
+}
+
+/// Proxy scores loosely correlated with the oracle, with a few non-finite
+/// entries so the audit also covers the sanitized path.
+fn proxy(n: usize) -> Vec<f64> {
+    let mut p: Vec<f64> = (0..n)
+        .map(|r| (r % 4) as f64 + ((r * 2654435761) % 97) as f64 / 97.0)
+        .collect();
+    p[1] = f64::NAN;
+    p[5] = f64::INFINITY;
+    p
+}
+
+#[test]
+fn ebs_aggregate_matches_the_meter() {
+    let m = MeteredLabeler::new(FakeLabeler);
+    let p = proxy(400);
+    let before = m.invocations();
+    let res = ebs_aggregate(
+        &p,
+        &mut |r| value_of(&m.label(r)),
+        &AggregationConfig {
+            error_target: 0.3,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    assert_eq!(res.telemetry.invocations, m.invocations() - before);
+    assert_eq!(res.samples, res.telemetry.invocations);
+}
+
+#[test]
+fn supg_recall_matches_the_meter() {
+    let m = MeteredLabeler::new(FakeLabeler);
+    let p = proxy(400);
+    let before = m.invocations();
+    let res = supg_recall_target(
+        &p,
+        &mut |r| value_of(&m.label(r)) >= 2.0,
+        &SupgConfig {
+            budget: 120,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    assert_eq!(res.telemetry.invocations, m.invocations() - before);
+    assert_eq!(res.oracle_calls, res.telemetry.invocations);
+}
+
+#[test]
+fn supg_precision_matches_the_meter() {
+    let m = MeteredLabeler::new(FakeLabeler);
+    let p = proxy(400);
+    let before = m.invocations();
+    let res = supg_precision_target(
+        &p,
+        &mut |r| value_of(&m.label(r)) >= 2.0,
+        &SupgPrecisionConfig {
+            budget: 120,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    assert_eq!(res.telemetry.invocations, m.invocations() - before);
+    assert_eq!(res.oracle_calls, res.telemetry.invocations);
+}
+
+#[test]
+fn limit_query_matches_the_meter() {
+    let m = MeteredLabeler::new(FakeLabeler);
+    let p = proxy(400);
+    let mut ranking: Vec<usize> = (0..p.len()).collect();
+    ranking.sort_by(|&a, &b| tasti_query::desc_nan_last(p[a], p[b]));
+    let before = m.invocations();
+    let res = limit_query(&ranking, &mut |r| value_of(&m.label(r)) == 3.0, 10, 400);
+    assert_eq!(res.telemetry.invocations, m.invocations() - before);
+    assert!(res.satisfied);
+}
+
+#[test]
+fn tune_threshold_matches_the_meter() {
+    let m = MeteredLabeler::new(FakeLabeler);
+    let p = proxy(400);
+    let before = m.invocations();
+    let res = tune_threshold(&p, &mut |r| value_of(&m.label(r)) >= 2.0, 100, 7);
+    assert_eq!(res.telemetry.invocations, m.invocations() - before);
+    assert_eq!(res.oracle_calls, res.telemetry.invocations);
+}
+
+#[test]
+fn predicate_aggregate_matches_the_meter() {
+    let m = MeteredLabeler::new(FakeLabeler);
+    let p = proxy(400);
+    let before = m.invocations();
+    let res = predicate_aggregate(
+        &p,
+        &mut |r| {
+            let v = value_of(&m.label(r));
+            (v >= 2.0).then_some(v)
+        },
+        &PredicateAggConfig {
+            budget: 150,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    assert_eq!(res.telemetry.invocations, m.invocations() - before);
+    assert_eq!(res.oracle_calls, res.telemetry.invocations);
+}
+
+#[test]
+fn warm_cache_makes_the_meter_the_authoritative_ledger() {
+    // The algorithms see only an oracle closure, so their telemetry counts
+    // distinct records *consulted* — on a cold cache (every test above)
+    // that equals the meter delta exactly. On a warm cache the records are
+    // already paid for: the meter delta drops to zero while the telemetry
+    // still reports the consultation count. Cost accounting must therefore
+    // read the meter, never sum telemetry across queries — the amortized
+    // convention of Table 1.
+    let m = MeteredLabeler::new(FakeLabeler);
+    let p = proxy(200);
+    let mut run = || tune_threshold(&p, &mut |r| value_of(&m.label(r)) >= 2.0, 80, 3);
+    let first = run();
+    assert_eq!(first.telemetry.invocations, 80);
+    assert_eq!(m.invocations(), 80); // cold cache: ledgers agree
+    let second = run();
+    assert_eq!(second.telemetry.invocations, 80);
+    assert_eq!(m.invocations(), 80); // warm cache: the meter did not move
+}
