@@ -37,6 +37,12 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> tier-1: cargo test --doc"
+cargo test -q --doc
+
+echo "==> concurrency: MeteredLabeler stress suite (exactly-once, budget)"
+cargo test -q -p tasti-labeler --test concurrency_stress
+
 if [ "$PROFILE" = "quick" ]; then
   echo "==> property tests (quick profile: reduced case counts)"
   cargo test -q -p tasti-query --features quick-proptest \

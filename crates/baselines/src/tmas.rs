@@ -8,7 +8,7 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use tasti_labeler::{BudgetExhausted, LabelerOutput, MeteredLabeler, RecordId, TargetLabeler};
+use tasti_labeler::{BatchTargetLabeler, BudgetExhausted, LabelerOutput, MeteredLabeler, RecordId};
 use tasti_obs::{QueryTelemetry, Stopwatch};
 
 /// Uniformly samples `size` distinct records out of `n_records`.
@@ -20,22 +20,20 @@ pub fn sample_tmas(n_records: usize, size: usize, seed: u64) -> Vec<RecordId> {
     order
 }
 
-/// Annotates the given records through the metered labeler, returning the
-/// outputs plus the uniform telemetry record (`invocations` is the
-/// labeler's delta across the call — already-cached records cost nothing).
+/// Annotates the given records through the metered labeler in **one**
+/// batched inner call, returning the outputs plus the uniform telemetry
+/// record (`invocations` is the labeler's delta across the call —
+/// already-cached records cost nothing).
 ///
 /// # Errors
 /// Propagates [`BudgetExhausted`] from the labeler.
-pub fn annotate<L: TargetLabeler>(
+pub fn annotate<L: BatchTargetLabeler>(
     records: &[RecordId],
     labeler: &MeteredLabeler<L>,
 ) -> Result<(Vec<LabelerOutput>, QueryTelemetry), BudgetExhausted> {
     let sw = Stopwatch::start();
     let inv0 = labeler.invocations();
-    let outputs = records
-        .iter()
-        .map(|&r| labeler.try_label(r))
-        .collect::<Result<Vec<_>, _>>()?;
+    let outputs = labeler.try_label_batch(records)?;
     let mut telemetry = QueryTelemetry::new("tmas-annotate");
     telemetry.invocations = labeler.invocations() - inv0;
     telemetry.certified = true; // annotations are exact labels

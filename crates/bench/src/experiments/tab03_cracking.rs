@@ -16,7 +16,9 @@ use tasti_core::crack::crack_from_labeler;
 use tasti_data::OracleLabeler;
 use tasti_labeler::{CostModel, MeteredLabeler, Schema};
 use tasti_nn::metrics::Confusion;
-use tasti_query::{ebs_aggregate, supg_recall_target, AggregationConfig, StoppingRule, SupgConfig};
+use tasti_query::{
+    ebs_aggregate_batch, supg_recall_target_batch, AggregationConfig, StoppingRule, SupgConfig,
+};
 
 fn fresh_labeler(built: &BuiltSetting) -> MeteredLabeler<OracleLabeler> {
     MeteredLabeler::new(OracleLabeler::new(
@@ -44,11 +46,17 @@ fn supg_fpr(
         seed: built.setting.seed ^ 0xC,
         ..Default::default()
     };
-    let res = supg_recall_target(
+    // Batched stage-2 labeling: with a live labeler the whole sample is one
+    // metered batch call (whose cache then feeds cracking).
+    let res = supg_recall_target_batch(
         &proxy,
-        &mut |r| match labeler {
-            Some(l) => sel.score(&l.label(r)) >= 0.5,
-            None => truth[r],
+        &mut |recs| match labeler {
+            Some(l) => l
+                .label_batch(recs)
+                .iter()
+                .map(|o| sel.score(o) >= 0.5)
+                .collect(),
+            None => recs.iter().map(|&r| truth[r]).collect(),
         },
         &config,
     );
@@ -73,11 +81,11 @@ fn agg_calls(
         seed: built.setting.seed ^ 0xA,
         ..Default::default()
     };
-    let res = ebs_aggregate(
+    let res = ebs_aggregate_batch(
         &proxy,
-        &mut |r| match labeler {
-            Some(l) => agg.score(&l.label(r)),
-            None => truth[r],
+        &mut |recs| match labeler {
+            Some(l) => l.label_batch(recs).iter().map(|o| agg.score(o)).collect(),
+            None => recs.iter().map(|&r| truth[r]).collect(),
         },
         &config,
     );

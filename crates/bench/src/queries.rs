@@ -4,8 +4,8 @@
 use crate::runner::{BuiltSetting, Method, QueryKind};
 use tasti_nn::metrics::{rho_squared, Confusion};
 use tasti_query::{
-    ebs_aggregate, limit_query, supg_recall_target, AggregationConfig, QueryTelemetry,
-    StoppingRule, SupgConfig,
+    ebs_aggregate_batch, limit_query_batch, supg_recall_target_batch, AggregationConfig,
+    QueryTelemetry, StoppingRule, SupgConfig,
 };
 
 /// Outcome of one aggregation run (Figure 4's bars plus diagnostics).
@@ -51,7 +51,14 @@ pub fn run_aggregation_with(
         seed: seed ^ built.setting.seed,
         ..Default::default()
     };
-    let res = ebs_aggregate(&proxy, &mut |r| truth[r], &config);
+    // Batch entry point: each sampling round is one oracle round-trip, the
+    // shape a batched target labeler is driven at (meter-identical to the
+    // sequential adapter).
+    let res = ebs_aggregate_batch(
+        &proxy,
+        &mut |recs| recs.iter().map(|&r| truth[r]).collect(),
+        &config,
+    );
     let true_mean = truth.iter().sum::<f64>() / truth.len() as f64;
     AggOutcome {
         calls: res.samples,
@@ -100,7 +107,12 @@ pub fn run_supg_with(
         seed: seed ^ built.setting.seed,
         ..Default::default()
     };
-    let res = supg_recall_target(&proxy, &mut |r| truth[r], &config);
+    // Batch entry point: the whole stage-2 sample is one oracle round-trip.
+    let res = supg_recall_target_batch(
+        &proxy,
+        &mut |recs| recs.iter().map(|&r| truth[r]).collect(),
+        &config,
+    );
     let mut predicted = vec![false; truth.len()];
     for &r in &res.returned {
         predicted[r] = true;
@@ -132,11 +144,15 @@ pub fn run_limit(built: &BuiltSetting, method: Method) -> LimitOutcome {
     let ranking = built.limit_ranking(method, score.as_ref());
     let truth = built.truth(score.as_ref());
     let threshold = built.setting.limit_threshold;
-    let res = limit_query(
+    // probe_batch = 1 keeps Figure 6's invocation counts bit-identical to
+    // the sequential scan; larger probe batches trade bounded overshoot for
+    // oracle throughput (see `limit_query_batch`).
+    let res = limit_query_batch(
         &ranking,
-        &mut |r| truth[r] >= threshold,
+        &mut |recs| recs.iter().map(|&r| truth[r] >= threshold).collect(),
         built.setting.limit_k,
         truth.len(),
+        1,
     );
     LimitOutcome {
         calls: res.invocations,

@@ -24,7 +24,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use tasti_cluster::{kernels, select_threaded, MinKTable};
-use tasti_labeler::{BudgetExhausted, ClosenessFn, MeteredLabeler, TargetLabeler};
+use tasti_labeler::{BatchTargetLabeler, BudgetExhausted, ClosenessFn, MeteredLabeler};
 use tasti_nn::train::fit_triplet;
 use tasti_nn::{Adam, Matrix, Mlp, MlpConfig};
 use tasti_obs::{BuildTelemetry, StageRecorder, StageTelemetry};
@@ -103,15 +103,16 @@ fn parallel_embed(net: &Mlp, features: &Matrix, threads: usize) -> Matrix {
 /// * `pretrained` — pre-computed pre-trained embeddings (Algorithm 1 line 1;
 ///   also the final embeddings for TASTI-PT).
 /// * `labeler` — the metered target labeler; training points and cluster
-///   representatives are annotated through it, so its meter reflects
-///   construction cost afterwards.
+///   representatives are annotated through it (each annotation stage is one
+///   batched inner call), so its meter reflects construction cost
+///   afterwards.
 /// * `closeness` — the user's closeness function, used to bucket training
 ///   annotations for triplet construction (§3.1).
 ///
 /// # Errors
 /// Propagates [`BudgetExhausted`] if the labeler's hard budget cannot cover
 /// the configured `N₁ + N₂` annotations.
-pub fn build_index<L: TargetLabeler>(
+pub fn build_index<L: BatchTargetLabeler>(
     features: &Matrix,
     pretrained: &Matrix,
     labeler: &MeteredLabeler<L>,
@@ -149,13 +150,15 @@ pub fn build_index<L: TargetLabeler>(
         );
         rec.finish(labeler.invocations());
 
-        // Annotate and bucket the training points (§3.1).
+        // Annotate and bucket the training points (§3.1). FPF-selected
+        // records are distinct, so the whole stage is one batched inner
+        // call — meter-identical to labeling them one by one.
         rec.start("annotate-train", labeler.invocations());
+        let outputs = labeler.try_label_batch(&mining.selected)?;
         let mut buckets = Vec::with_capacity(mining.selected.len());
         let mut bucket_ids: std::collections::HashMap<u64, usize> = Default::default();
-        for &rec_id in &mining.selected {
-            let out = labeler.try_label(rec_id)?;
-            let key = closeness.bucket(&out);
+        for out in &outputs {
+            let key = closeness.bucket(out);
             let next = bucket_ids.len();
             buckets.push(*bucket_ids.entry(key).or_insert(next));
         }
@@ -206,12 +209,10 @@ pub fn build_index<L: TargetLabeler>(
     );
     rec.finish(labeler.invocations());
 
-    // ── Stage 6: annotate the representatives.
+    // ── Stage 6: annotate the representatives — one batched inner call
+    //    (training-point overlap is served from the labeler's cache).
     rec.start("annotate-reps", labeler.invocations());
-    let mut rep_outputs = Vec::with_capacity(clustering.selected.len());
-    for &rec_id in &clustering.selected {
-        rep_outputs.push(labeler.try_label(rec_id)?);
-    }
+    let rep_outputs = labeler.try_label_batch(&clustering.selected)?;
     rec.finish(labeler.invocations());
 
     // ── Stage 7: min-k distance table.

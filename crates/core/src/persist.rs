@@ -113,12 +113,36 @@ pub fn from_json(json: &str) -> Result<TastiIndex, PersistError> {
     Ok(index)
 }
 
-/// Writes the index to `path` as JSON.
+/// Writes the index to `path` as JSON, atomically.
+///
+/// The snapshot is first written to a sibling temporary file in the same
+/// directory and then renamed over `path`, so a crash mid-write can never
+/// leave a truncated snapshot at `path`: readers see either the old index
+/// or the complete new one. (The rename is atomic only within a
+/// filesystem, which the sibling placement guarantees.)
 ///
 /// # Errors
-/// Propagates I/O failures.
+/// Propagates I/O failures. On failure the temporary file is removed and
+/// any previous snapshot at `path` is left untouched.
 pub fn save(index: &TastiIndex, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    fs::write(path, to_json(index))?;
+    let path = path.as_ref();
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("index path has no file name: {}", path.display()),
+        )
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let write_then_rename = (|| {
+        fs::write(&tmp, to_json(index))?;
+        fs::rename(&tmp, path)
+    })();
+    if let Err(e) = write_then_rename {
+        fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
     Ok(())
 }
 
@@ -193,6 +217,62 @@ mod tests {
         let restored = load(&path).unwrap();
         assert_eq!(restored.reps(), index.reps());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_snapshot_is_a_format_error() {
+        // A snapshot cut off mid-document (what a non-atomic writer could
+        // leave behind after a crash) must surface as `Format`, not a panic
+        // or a silently-wrong index.
+        let json = to_json(&tiny_index());
+        for cut in [1, json.len() / 4, json.len() / 2, json.len() - 1] {
+            assert!(
+                matches!(from_json(&json[..cut]), Err(PersistError::Format(_))),
+                "truncation at {cut} bytes not rejected"
+            );
+        }
+        // And through the file path too.
+        let dir = std::env::temp_dir().join("tasti-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        assert!(matches!(load(&path), Err(PersistError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let index = tiny_index();
+        let dir = std::env::temp_dir().join("tasti-persist-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.json");
+        // Seed the destination with garbage; a successful save must fully
+        // replace it.
+        std::fs::write(&path, "garbage from a previous crash").unwrap();
+        save(&index, &path).unwrap();
+        // Byte-compare rather than deserialize: the snapshot at `path` must
+        // be exactly the complete document, never a partial write.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), to_json(&index));
+        // No temporary sibling survives a successful save.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_to_unwritable_path_fails_without_touching_destination() {
+        let index = tiny_index();
+        assert!(matches!(
+            save(&index, "/nonexistent-dir/index.json"),
+            Err(PersistError::Io(_))
+        ));
     }
 
     #[test]

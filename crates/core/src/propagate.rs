@@ -28,9 +28,19 @@ pub fn weighted_mean(neighbors: &[Neighbor], rep_scores: &[f64], k: usize) -> f6
     let mut num = 0.0f64;
     let mut den = 0.0f64;
     for n in nearest {
+        // A NaN or infinite distance carries no weighting information (a
+        // NaN weight would poison the whole mean); skip the neighbor.
+        if !n.dist.is_finite() {
+            continue;
+        }
         let w = 1.0 / (n.dist as f64 + WEIGHT_EPS);
         num += w * rep_scores[n.rep as usize];
         den += w;
+    }
+    if den == 0.0 {
+        // Every neighbor distance was non-finite: no usable weights, so
+        // fall back to the nominal nearest representative's exact score.
+        return rep_scores[nearest[0].rep as usize];
     }
     num / den
 }
@@ -45,15 +55,21 @@ pub fn weighted_vote(neighbors: &[Neighbor], rep_categories: &[u32], k: usize) -
     }
     let mut tally: HashMap<u32, f64> = HashMap::new();
     for n in nearest {
+        if !n.dist.is_finite() {
+            continue;
+        }
         let w = 1.0 / (n.dist as f64 + WEIGHT_EPS);
         *tally.entry(rep_categories[n.rep as usize]).or_insert(0.0) += w;
     }
     // Deterministic tie-break: highest weight, then smallest category id.
+    // `total_cmp` keeps this a total order — the old
+    // `partial_cmp(..).unwrap()` panicked the moment a NaN distance slipped
+    // a NaN weight into the tally.
     tally
         .into_iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
         .map(|(c, _)| c)
-        .expect("at least one neighbor")
+        .unwrap_or_else(|| rep_categories[nearest[0].rep as usize])
 }
 
 /// Propagates numeric representative scores to every record (§4.3).
@@ -238,6 +254,75 @@ mod tests {
         assert_eq!(&order[..3], &[5, 4, 3]);
         // NaN-scored records last, still distance-ordered among themselves.
         assert_eq!(&order[3..], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn weighted_vote_survives_nan_distances() {
+        // Regression: a NaN neighbor distance made the tally comparator's
+        // `partial_cmp(..).unwrap()` panic. NaN neighbors are now skipped.
+        let neighbors = vec![
+            Neighbor {
+                rep: 0,
+                dist: f32::NAN,
+            },
+            Neighbor { rep: 1, dist: 1.0 },
+            Neighbor { rep: 2, dist: 2.0 },
+        ];
+        let vote = weighted_vote(&neighbors, &[7, 4, 9], 3);
+        // The NaN neighbor contributes nothing; rep 1 (closest finite) wins.
+        assert_eq!(vote, 4);
+    }
+
+    #[test]
+    fn weighted_vote_all_nan_falls_back_to_nearest_rep() {
+        let neighbors = vec![
+            Neighbor {
+                rep: 1,
+                dist: f32::NAN,
+            },
+            Neighbor {
+                rep: 0,
+                dist: f32::INFINITY,
+            },
+        ];
+        // No finite weights at all: deterministic fallback to the nominal
+        // nearest representative's category, never a panic.
+        assert_eq!(weighted_vote(&neighbors, &[7, 4], 2), 4);
+    }
+
+    #[test]
+    fn weighted_mean_skips_non_finite_distances() {
+        let neighbors = vec![
+            Neighbor {
+                rep: 0,
+                dist: f32::NAN,
+            },
+            Neighbor { rep: 1, dist: 1.0 },
+            Neighbor {
+                rep: 2,
+                dist: f32::INFINITY,
+            },
+        ];
+        let mean = weighted_mean(&neighbors, &[100.0, 5.0, 200.0], 3);
+        // Only the finite neighbor contributes, so the mean is exactly its
+        // score (and in particular finite — previously it was NaN).
+        assert!((mean - 5.0).abs() < 1e-9, "got {mean}");
+    }
+
+    #[test]
+    fn weighted_mean_all_non_finite_falls_back_to_nearest_rep() {
+        let neighbors = vec![
+            Neighbor {
+                rep: 1,
+                dist: f32::INFINITY,
+            },
+            Neighbor {
+                rep: 0,
+                dist: f32::NAN,
+            },
+        ];
+        let mean = weighted_mean(&neighbors, &[3.0, 8.0], 2);
+        assert_eq!(mean, 8.0);
     }
 
     #[test]

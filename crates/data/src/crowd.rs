@@ -14,8 +14,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 use tasti_labeler::{
-    Gender, LabelCost, LabelerOutput, RecordId, Schema, SpeechAnnotation, SqlAnnotation, SqlOp,
-    TargetLabeler,
+    BatchTargetLabeler, Gender, LabelCost, LabelerOutput, RecordId, Schema, SpeechAnnotation,
+    SqlAnnotation, SqlOp, TargetLabeler,
 };
 
 /// A simulated crowd: majority vote of `votes` workers with per-worker
@@ -132,6 +132,11 @@ impl TargetLabeler for CrowdLabeler {
         "crowd"
     }
 }
+
+/// One batched crowd posting: worker votes are keyed on `(seed, record,
+/// vote)` with no cross-record state, so the default looped batch body is
+/// already exact — a single "task batch" posted to the simulated crowd.
+impl BatchTargetLabeler for CrowdLabeler {}
 
 #[cfg(test)]
 mod tests {

@@ -15,7 +15,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 use tasti_labeler::{
-    CostModel, Detection, LabelCost, LabelerOutput, ObjectClass, RecordId, Schema, TargetLabeler,
+    BatchTargetLabeler, CostModel, Detection, LabelCost, LabelerOutput, ObjectClass, RecordId,
+    Schema, TargetLabeler,
 };
 
 /// Replays stored ground-truth outputs at a configurable cost.
@@ -84,6 +85,14 @@ impl TargetLabeler for OracleLabeler {
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+impl BatchTargetLabeler for OracleLabeler {
+    /// True batch path: one gather over the stored truth — the analogue of a
+    /// single batched DNN forward pass over all requested frames.
+    fn label_batch(&self, records: &[RecordId]) -> Vec<LabelerOutput> {
+        records.iter().map(|&r| self.truth[r].clone()).collect()
     }
 }
 
@@ -183,6 +192,15 @@ impl TargetLabeler for NoisyDetector {
 
     fn name(&self) -> &str {
         "ssd"
+    }
+}
+
+impl BatchTargetLabeler for NoisyDetector {
+    /// Per-record corruption is keyed on `(seed, record)`, so the batch path
+    /// is a single pass with no cross-record state — output-identical to the
+    /// looped default, one inner invocation.
+    fn label_batch(&self, records: &[RecordId]) -> Vec<LabelerOutput> {
+        records.iter().map(|&r| self.label(r)).collect()
     }
 }
 

@@ -12,9 +12,10 @@
 //!   paper's evaluation: object detections (video), SQL annotations
 //!   (WikiSQL), and speaker attributes (Common Voice).
 //! * [`schema`] — descriptors for the induced schemas themselves.
-//! * [`labeler`] — the [`TargetLabeler`] trait plus [`MeteredLabeler`], which
-//!   caches outputs and meters invocations (the paper's primary cost metric),
-//!   with optional hard budgets.
+//! * [`labeler`] — the [`TargetLabeler`] / [`BatchTargetLabeler`] traits plus
+//!   [`MeteredLabeler`], the concurrency-safe batched front door that caches
+//!   outputs and meters invocations (the paper's primary cost metric), with
+//!   optional hard budgets and an exactly-once guarantee under concurrency.
 //! * [`closeness`] — user-provided closeness functions over labeler outputs
 //!   (§2.3, §3.1): pairwise `is_close` plus the bucketing view used for
 //!   triplet mining.
@@ -33,7 +34,7 @@ pub mod schema;
 
 pub use closeness::{ClosenessFn, SpeechCloseness, SqlCloseness, VideoCloseness};
 pub use cost::{CostModel, LabelCost};
-pub use labeler::{BudgetExhausted, MeteredLabeler, TargetLabeler};
+pub use labeler::{BatchTargetLabeler, BudgetExhausted, MeteredLabeler, TargetLabeler};
 pub use output::{
     Detection, Gender, LabelerOutput, ObjectClass, SpeechAnnotation, SqlAnnotation, SqlOp,
 };

@@ -1,0 +1,265 @@
+//! Multi-threaded stress tests for the `MeteredLabeler` exactly-once
+//! concurrency contract: many threads hammering one labeler over
+//! overlapping record sets must (1) never double-invoke or double-bill a
+//! record and (2) never overshoot a hard budget — while actually
+//! overlapping their inner calls instead of serializing behind the meter's
+//! mutex (the bug this suite pins down).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use tasti_labeler::{
+    BatchTargetLabeler, LabelCost, LabelerOutput, MeteredLabeler, RecordId, Schema, SqlAnnotation,
+    SqlOp, TargetLabeler,
+};
+
+/// Deterministic labeler that counts every inner call per record and tracks
+/// how many inner calls are in flight simultaneously.
+struct InstrumentedLabeler {
+    /// Inner invocations per record id (indexes 0..N).
+    per_record: Vec<AtomicU64>,
+    /// Currently executing inner calls.
+    in_calls: AtomicU64,
+    /// High-water mark of simultaneously executing inner calls.
+    max_concurrency: AtomicU64,
+}
+
+impl InstrumentedLabeler {
+    fn new(n: usize) -> Self {
+        Self {
+            per_record: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            in_calls: AtomicU64::new(0),
+            max_concurrency: AtomicU64::new(0),
+        }
+    }
+
+    fn enter(&self) {
+        let now = self.in_calls.fetch_add(1, Ordering::SeqCst) + 1;
+        self.max_concurrency.fetch_max(now, Ordering::SeqCst);
+        // Hold the call open long enough for other threads to pile in; a
+        // lock held across this sleep would force max_concurrency == 1.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        self.in_calls.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn output(record: RecordId) -> LabelerOutput {
+        LabelerOutput::Sql(SqlAnnotation {
+            op: SqlOp::Select,
+            num_predicates: (record % 4) as u8,
+        })
+    }
+}
+
+impl TargetLabeler for InstrumentedLabeler {
+    fn label(&self, record: RecordId) -> LabelerOutput {
+        self.per_record[record].fetch_add(1, Ordering::SeqCst);
+        self.enter();
+        Self::output(record)
+    }
+    fn invocation_cost(&self) -> LabelCost {
+        LabelCost {
+            seconds: 1.0,
+            dollars: 0.07,
+        }
+    }
+    fn schema(&self) -> Schema {
+        Schema::wikisql()
+    }
+    fn name(&self) -> &str {
+        "instrumented"
+    }
+}
+
+impl BatchTargetLabeler for InstrumentedLabeler {
+    fn label_batch(&self, records: &[RecordId]) -> Vec<LabelerOutput> {
+        for &r in records {
+            self.per_record[r].fetch_add(1, Ordering::SeqCst);
+        }
+        self.enter();
+        records.iter().map(|&r| Self::output(r)).collect()
+    }
+}
+
+/// Overlapping per-thread record sets: thread t covers a window of the
+/// record space shifted by half a window, so every record is requested by
+/// at least two threads.
+fn overlapping_sets(n_records: usize, threads: usize, window: usize) -> Vec<Vec<RecordId>> {
+    (0..threads)
+        .map(|t| {
+            let start = (t * window / 2) % n_records;
+            (0..window).map(|i| (start + i) % n_records).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_callers_invoke_each_record_exactly_once() {
+    const THREADS: usize = 8;
+    const N: usize = 96;
+    let m = MeteredLabeler::new(InstrumentedLabeler::new(N));
+    let sets = overlapping_sets(N, THREADS, N / 2);
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for set in &sets {
+            let (m, barrier) = (&m, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                for &r in set {
+                    let out = m.label(r);
+                    assert_eq!(out, InstrumentedLabeler::output(r));
+                }
+            });
+        }
+    });
+
+    let requested: HashSet<RecordId> = sets.iter().flatten().copied().collect();
+    // Exactly-once: every requested record saw exactly one inner call...
+    for &r in &requested {
+        assert_eq!(
+            m.inner().per_record[r].load(Ordering::SeqCst),
+            1,
+            "record {r} invoked more than once"
+        );
+    }
+    // ...and exactly one billed invocation (no double-billing).
+    assert_eq!(m.invocations(), requested.len() as u64);
+    // Total requests minus distinct records were served as cache hits (or
+    // in-flight waits, which are billed as hits to the waiting thread).
+    let total_requests: u64 = sets.iter().map(|s| s.len() as u64).sum();
+    assert_eq!(m.cache_hits(), total_requests - requested.len() as u64);
+    // The latency histogram stays in lockstep with the meter.
+    assert_eq!(m.latency_summary().count, m.invocations());
+}
+
+#[test]
+fn concurrent_batched_callers_stay_exactly_once_and_overlap() {
+    const THREADS: usize = 8;
+    const N: usize = 128;
+    let m = MeteredLabeler::new(InstrumentedLabeler::new(N));
+    let sets = overlapping_sets(N, THREADS, N / 2);
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for set in &sets {
+            let (m, barrier) = (&m, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                for chunk in set.chunks(16) {
+                    let outs = m.label_batch(chunk);
+                    for (&r, out) in chunk.iter().zip(&outs) {
+                        assert_eq!(*out, InstrumentedLabeler::output(r));
+                    }
+                }
+            });
+        }
+    });
+
+    let requested: HashSet<RecordId> = sets.iter().flatten().copied().collect();
+    for &r in &requested {
+        assert_eq!(
+            m.inner().per_record[r].load(Ordering::SeqCst),
+            1,
+            "record {r} invoked more than once"
+        );
+    }
+    assert_eq!(m.invocations(), requested.len() as u64);
+    // The lock is not held across inner calls: with 8 threads sleeping
+    // 2 ms inside each call, at least two must have overlapped.
+    assert!(
+        m.inner().max_concurrency.load(Ordering::SeqCst) >= 2,
+        "inner calls never overlapped — oracle calls are serialized"
+    );
+}
+
+#[test]
+fn hard_budget_is_never_overshot_under_contention() {
+    const THREADS: usize = 10;
+    const N: usize = 200;
+    const BUDGET: u64 = 60;
+    let m = MeteredLabeler::with_budget(InstrumentedLabeler::new(N), BUDGET);
+    let sets = overlapping_sets(N, THREADS, N / 2);
+    let barrier = Barrier::new(THREADS);
+    let successes = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for (t, set) in sets.iter().enumerate() {
+            let (m, barrier, successes) = (&m, &barrier, &successes);
+            s.spawn(move || {
+                barrier.wait();
+                for chunk in set.chunks(7) {
+                    // Mix batched and single-record traffic.
+                    if t % 2 == 0 {
+                        if m.try_label_batch(chunk).is_ok() {
+                            successes.fetch_add(chunk.len() as u64, Ordering::SeqCst);
+                        }
+                    } else {
+                        for &r in chunk {
+                            if m.try_label(r).is_ok() {
+                                successes.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // The hard cap: billed invocations never exceed the budget, and the
+    // inner labeler was never driven past it either (reservations count).
+    assert!(
+        m.invocations() <= BUDGET,
+        "billed {} > budget {BUDGET}",
+        m.invocations()
+    );
+    let total_inner: u64 = m
+        .inner()
+        .per_record
+        .iter()
+        .map(|c| c.load(Ordering::SeqCst))
+        .sum();
+    assert!(
+        total_inner <= BUDGET,
+        "inner calls {total_inner} > budget {BUDGET}"
+    );
+    // No record was ever labeled twice, even across the budget boundary.
+    for (r, c) in m.inner().per_record.iter().enumerate() {
+        assert!(
+            c.load(Ordering::SeqCst) <= 1,
+            "record {r} invoked {} times",
+            c.load(Ordering::SeqCst)
+        );
+    }
+    // Under contention the budget is actually consumed (not deadlocked).
+    assert_eq!(m.invocations(), BUDGET);
+    assert!(successes.load(Ordering::SeqCst) >= BUDGET);
+}
+
+#[test]
+fn waiters_are_served_the_committing_threads_result() {
+    // Two threads race for the same single record many times; the loser
+    // must block on the in-flight entry and be served from the cache, never
+    // re-invoking the oracle.
+    const ROUNDS: usize = 50;
+    for round in 0..ROUNDS {
+        let m = MeteredLabeler::new(InstrumentedLabeler::new(1));
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (m, barrier) = (&m, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let out = m.label(0);
+                    assert_eq!(out, InstrumentedLabeler::output(0));
+                });
+            }
+        });
+        assert_eq!(
+            m.inner().per_record[0].load(Ordering::SeqCst),
+            1,
+            "round {round}: record double-invoked"
+        );
+        assert_eq!(m.invocations(), 1, "round {round}");
+        assert_eq!(m.cache_hits(), 1, "round {round}");
+    }
+}

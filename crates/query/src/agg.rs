@@ -108,6 +108,10 @@ pub struct AggregationResult {
 /// `proxy` holds one score per record; `oracle(record)` invokes the target
 /// labeler and returns the query score of that record.
 ///
+/// This is a thin adapter over [`ebs_aggregate_batch`] — both entry points
+/// draw the same records in the same order, so their invocation counts are
+/// identical.
+///
 /// ```
 /// use tasti_query::{ebs_aggregate, AggregationConfig};
 /// // Perfect proxy scores: the control variate removes all variance and
@@ -121,6 +125,29 @@ pub struct AggregationResult {
 pub fn ebs_aggregate(
     proxy: &[f64],
     oracle: &mut dyn FnMut(usize) -> f64,
+    config: &AggregationConfig,
+) -> AggregationResult {
+    ebs_aggregate_batch(
+        proxy,
+        &mut |recs| recs.iter().map(|&r| oracle(r)).collect(),
+        config,
+    )
+}
+
+/// Batched EBS aggregation: each sampling round requests its whole draw
+/// batch from `batch_oracle` in one call, so a batched target labeler (e.g.
+/// [`MeteredLabeler::try_label_batch`]) answers it with a single inner
+/// invocation instead of `batch_size` serialized ones.
+///
+/// `batch_oracle(records)` must return one score per requested record, in
+/// order. Sampling is without replacement, so every requested record is
+/// fresh — on a cold cache the invocation meter advances exactly as the
+/// sequential [`ebs_aggregate`] loop would.
+///
+/// [`MeteredLabeler::try_label_batch`]: tasti_labeler::MeteredLabeler::try_label_batch
+pub fn ebs_aggregate_batch(
+    proxy: &[f64],
+    batch_oracle: &mut dyn FnMut(&[usize]) -> Vec<f64>,
     config: &AggregationConfig,
 ) -> AggregationResult {
     let sw = Stopwatch::start();
@@ -152,9 +179,15 @@ pub fn ebs_aggregate(
         let target = (ys.len() + config.batch_size)
             .min(n)
             .max(config.min_samples.min(n));
-        while ys.len() < target {
-            let rec = order[ys.len()];
-            ys.push(oracle(rec));
+        let batch = &order[ys.len()..target];
+        let scores = batch_oracle(batch);
+        assert_eq!(
+            scores.len(),
+            batch.len(),
+            "batch oracle must return one score per record"
+        );
+        for (&rec, score) in batch.iter().zip(scores) {
+            ys.push(score);
             ps.push(proxy[rec]);
         }
         let t = ys.len() as u64;

@@ -76,6 +76,23 @@ pub fn predicate_aggregate(
     oracle: &mut dyn FnMut(usize) -> Option<f64>,
     config: &PredicateAggConfig,
 ) -> PredicateAggResult {
+    predicate_aggregate_batch(
+        pred_proxy,
+        &mut |recs| recs.iter().map(|&r| oracle(r)).collect(),
+        config,
+    )
+}
+
+/// Batched predicate aggregation: the importance draw set is
+/// label-independent, so all draws are made up front and the distinct
+/// sampled records are labeled through `batch_oracle` in **one** call,
+/// meter-identical to the sequential [`predicate_aggregate`] loop (distinct
+/// records, first-occurrence order).
+pub fn predicate_aggregate_batch(
+    pred_proxy: &[f64],
+    batch_oracle: &mut dyn FnMut(&[usize]) -> Vec<Option<f64>>,
+    config: &PredicateAggConfig,
+) -> PredicateAggResult {
     let sw = Stopwatch::start();
     let mut telemetry = QueryTelemetry::new("predicate_aggregate");
     let n = pred_proxy.len();
@@ -104,17 +121,35 @@ pub fn predicate_aggregate(
 
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let m = config.budget.min(n).max(1);
-    let mut cache: HashMap<usize, Option<f64>> = HashMap::new();
+    // Label-independent draw set: draw first, then label the distinct
+    // records (first-occurrence order) in one batch oracle call.
+    let sampled: Vec<usize> = (0..m)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..acc);
+            cdf.partition_point(|&c| c < x).min(n - 1)
+        })
+        .collect();
+    let mut distinct: Vec<usize> = Vec::new();
+    let mut seen: std::collections::HashSet<usize> = Default::default();
+    for &rec in &sampled {
+        if seen.insert(rec) {
+            distinct.push(rec);
+        }
+    }
+    let answers = batch_oracle(&distinct);
+    assert_eq!(
+        answers.len(),
+        distinct.len(),
+        "batch oracle must return one answer per record"
+    );
+    let truth: HashMap<usize, Option<f64>> = distinct.iter().copied().zip(answers).collect();
     // Per-draw contributions a_i = w·f·1[P], b_i = w·1[P].
     let mut a = Vec::with_capacity(m);
     let mut b = Vec::with_capacity(m);
     let mut matches_sampled_set: std::collections::HashSet<usize> = Default::default();
-    for _ in 0..m {
-        let x: f64 = rng.gen_range(0.0..acc);
-        let rec = cdf.partition_point(|&c| c < x).min(n - 1);
-        let out = *cache.entry(rec).or_insert_with(|| oracle(rec));
+    for &rec in &sampled {
         let w = 1.0 / (m as f64 * q[rec]);
-        match out {
+        match truth[&rec] {
             Some(v) => {
                 a.push(w * v);
                 b.push(w);
@@ -126,7 +161,7 @@ pub fn predicate_aggregate(
             }
         }
     }
-    let oracle_calls = cache.len() as u64;
+    let oracle_calls = distinct.len() as u64;
 
     let mf = m as f64;
     let b_sum: f64 = b.iter().sum();

@@ -22,6 +22,14 @@
 //! plain proxy-score slices and an oracle closure, so they run identically
 //! over TASTI proxy scores, per-query proxy-model scores, or constant
 //! scores (the "no proxy" baseline). All randomness is seeded.
+//!
+//! Each algorithm's core is its `*_batch` entry point, which takes a
+//! **batch** oracle closure (`FnMut(&[usize]) -> Vec<T>`) so a batched
+//! target labeler ([`tasti_labeler::MeteredLabeler::try_label_batch`]) can
+//! answer a whole sampling round in one inner invocation; the single-record
+//! entry points are thin adapters kept for convenience. Both paths request
+//! the same records in the same order, so invocation counts are identical
+//! on a cold cache (asserted in `tests/telemetry_audit.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,14 +43,17 @@ pub mod stats;
 pub mod supg;
 
 pub use agg::{
-    direct_aggregate, ebs_aggregate, AggregationConfig, AggregationResult, StoppingRule,
+    direct_aggregate, ebs_aggregate, ebs_aggregate_batch, AggregationConfig, AggregationResult,
+    StoppingRule,
 };
-pub use agg_pred::{predicate_aggregate, PredicateAggConfig, PredicateAggResult};
-pub use limit::{limit_query, LimitResult};
+pub use agg_pred::{
+    predicate_aggregate, predicate_aggregate_batch, PredicateAggConfig, PredicateAggResult,
+};
+pub use limit::{limit_query, limit_query_batch, LimitResult};
 pub use sanitize::{desc_nan_last, sanitize_proxies, Sanitized, UnitScale};
-pub use select::{threshold_selection, tune_threshold, SelectionResult};
+pub use select::{threshold_selection, tune_threshold, tune_threshold_batch, SelectionResult};
 pub use supg::{
-    supg_precision_target, supg_recall_target, SupgConfig, SupgPrecisionConfig,
-    SupgPrecisionResult, SupgResult,
+    supg_precision_target, supg_precision_target_batch, supg_recall_target,
+    supg_recall_target_batch, SupgConfig, SupgPrecisionConfig, SupgPrecisionResult, SupgResult,
 };
 pub use tasti_obs::QueryTelemetry;

@@ -43,16 +43,62 @@ pub fn limit_query(
     k_matches: usize,
     max_scan: usize,
 ) -> LimitResult {
+    limit_query_batch(
+        ranking,
+        &mut |recs| recs.iter().map(|&r| oracle_match(r)).collect(),
+        k_matches,
+        max_scan,
+        1,
+    )
+}
+
+/// Batched limit query: probes the ranking in chunks of `probe_batch`
+/// records per `batch_oracle` call, stopping at the first chunk that
+/// completes the requested `k_matches`.
+///
+/// The limit query's stopping rule is *label-dependent* (it cannot know
+/// where the k-th match lies without labeling), so batching trades a
+/// bounded overshoot for batch throughput: at most `probe_batch − 1`
+/// invocations past the point where the sequential scan would have stopped.
+/// With `probe_batch == 1` the scan is bit-identical to [`limit_query`] —
+/// the identity the telemetry audit asserts; larger probe batches match how
+/// a deployed system drives a batch DNN (BlazeIt's `max_scan`-windowed
+/// scans do the same).
+///
+/// `batch_oracle(records)` must return one match flag per requested record,
+/// in order. Found records past `k_matches` within the final chunk are
+/// discarded, so the result set is identical for every `probe_batch`
+/// whenever the ranking prefix is.
+///
+/// # Panics
+/// Panics if `probe_batch == 0`.
+pub fn limit_query_batch(
+    ranking: &[usize],
+    batch_oracle: &mut dyn FnMut(&[usize]) -> Vec<bool>,
+    k_matches: usize,
+    max_scan: usize,
+    probe_batch: usize,
+) -> LimitResult {
+    assert!(probe_batch > 0, "probe_batch must be at least 1");
     let sw = Stopwatch::start();
     let mut found = Vec::with_capacity(k_matches);
     let mut invocations = 0u64;
-    for &rec in ranking.iter().take(max_scan) {
+    let scan = &ranking[..ranking.len().min(max_scan)];
+    for chunk in scan.chunks(probe_batch) {
         if found.len() >= k_matches {
             break;
         }
-        invocations += 1;
-        if oracle_match(rec) {
-            found.push(rec);
+        let flags = batch_oracle(chunk);
+        assert_eq!(
+            flags.len(),
+            chunk.len(),
+            "batch oracle must return one flag per record"
+        );
+        invocations += chunk.len() as u64;
+        for (&rec, is_match) in chunk.iter().zip(flags) {
+            if is_match && found.len() < k_matches {
+                found.push(rec);
+            }
         }
     }
     let satisfied = found.len() >= k_matches;
@@ -127,5 +173,75 @@ mod tests {
         let res = limit_query(&ranking, &mut |_| true, 0, 10);
         assert!(res.satisfied);
         assert_eq!(res.invocations, 0);
+    }
+
+    #[test]
+    fn probe_batch_one_is_bit_identical_to_sequential() {
+        let ranking: Vec<usize> = (0..200).rev().collect();
+        let is_match = |r: usize| r % 7 == 0;
+        let seq = limit_query(&ranking, &mut |r| is_match(r), 8, 150);
+        let bat = limit_query_batch(
+            &ranking,
+            &mut |recs| recs.iter().map(|&r| is_match(r)).collect(),
+            8,
+            150,
+            1,
+        );
+        assert_eq!(bat.found, seq.found);
+        assert_eq!(bat.invocations, seq.invocations);
+        assert_eq!(bat.satisfied, seq.satisfied);
+    }
+
+    #[test]
+    fn probe_batch_overshoot_is_bounded_and_result_identical() {
+        let ranking: Vec<usize> = (0..500).collect();
+        let is_match = |r: usize| r % 3 == 0;
+        let seq = limit_query(&ranking, &mut |r| is_match(r), 10, 500);
+        for probe_batch in [4usize, 16, 64] {
+            let bat = limit_query_batch(
+                &ranking,
+                &mut |recs| recs.iter().map(|&r| is_match(r)).collect(),
+                10,
+                500,
+                probe_batch,
+            );
+            assert_eq!(bat.found, seq.found, "probe_batch {probe_batch}");
+            assert!(bat.satisfied);
+            assert!(
+                bat.invocations >= seq.invocations
+                    && bat.invocations < seq.invocations + probe_batch as u64,
+                "probe_batch {probe_batch}: {} vs sequential {}",
+                bat.invocations,
+                seq.invocations
+            );
+        }
+    }
+
+    #[test]
+    fn batched_scan_counts_every_probed_record() {
+        // Each batch oracle call probes its whole chunk; the meter must
+        // reflect that even when the k-th match lands mid-chunk.
+        let ranking: Vec<usize> = (0..100).collect();
+        let mut calls = 0u64;
+        let res = limit_query_batch(
+            &ranking,
+            &mut |recs| {
+                calls += recs.len() as u64;
+                recs.iter().map(|&r| r == 2).collect()
+            },
+            1,
+            100,
+            10,
+        );
+        assert_eq!(res.found, vec![2]);
+        assert_eq!(res.invocations, 10); // one full chunk
+        assert_eq!(res.invocations, calls);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe_batch")]
+    fn zero_probe_batch_panics() {
+        let ranking: Vec<usize> = (0..10).collect();
+        let _ = limit_query_batch(&ranking, &mut |recs| vec![false; recs.len()], 1, 10, 0);
     }
 }

@@ -40,9 +40,32 @@ pub fn threshold_selection(proxy: &[f64], threshold: f64) -> Vec<usize> {
 /// Labels `validation_size` uniformly sampled records through the oracle and
 /// returns the proxy threshold maximizing F1 on that sample, applied to the
 /// full dataset.
+///
+/// Thin adapter over [`tune_threshold_batch`]; both entry points label the
+/// same validation sample and consume identical invocation counts.
 pub fn tune_threshold(
     proxy: &[f64],
     oracle: &mut dyn FnMut(usize) -> bool,
+    validation_size: usize,
+    seed: u64,
+) -> SelectionResult {
+    tune_threshold_batch(
+        proxy,
+        &mut |recs| recs.iter().map(|&r| oracle(r)).collect(),
+        validation_size,
+        seed,
+    )
+}
+
+/// Batched threshold tuning: the uniformly drawn validation sample is
+/// label-independent, so the whole sample is labeled in **one**
+/// `batch_oracle` call — a batched target labeler answers it with a single
+/// inner invocation. Records are distinct (sampling is without
+/// replacement), keeping the invocation meter identical to the sequential
+/// [`tune_threshold`] loop on a cold cache.
+pub fn tune_threshold_batch(
+    proxy: &[f64],
+    batch_oracle: &mut dyn FnMut(&[usize]) -> Vec<bool>,
     validation_size: usize,
     seed: u64,
 ) -> SelectionResult {
@@ -62,7 +85,17 @@ pub fn tune_threshold(
     order.shuffle(&mut rng);
     order.truncate(validation_size.min(n));
 
-    let sample: Vec<(f64, bool)> = order.iter().map(|&r| (proxy[r], oracle(r))).collect();
+    let answers = batch_oracle(&order);
+    assert_eq!(
+        answers.len(),
+        order.len(),
+        "batch oracle must return one answer per record"
+    );
+    let sample: Vec<(f64, bool)> = order
+        .iter()
+        .zip(answers)
+        .map(|(&r, pos)| (proxy[r], pos))
+        .collect();
     let oracle_calls = sample.len() as u64;
     let total_pos = sample.iter().filter(|s| s.1).count();
 

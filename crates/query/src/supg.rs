@@ -95,9 +95,35 @@ pub struct SupgResult {
 ///
 /// `oracle(record)` must return whether the record matches the predicate;
 /// it is invoked at most `config.budget` times (distinct records).
+///
+/// Thin adapter over [`supg_recall_target_batch`]: the batch core requests
+/// the distinct sampled records in first-occurrence order, so both entry
+/// points consume identical invocation counts.
 pub fn supg_recall_target(
     proxy: &[f64],
     oracle: &mut dyn FnMut(usize) -> bool,
+    config: &SupgConfig,
+) -> SupgResult {
+    supg_recall_target_batch(
+        proxy,
+        &mut |recs| recs.iter().map(|&r| oracle(r)).collect(),
+        config,
+    )
+}
+
+/// Batched SUPG recall-target selection: all `budget` importance draws are
+/// made up front (the draw set is label-independent), and the distinct
+/// sampled records are labeled through `batch_oracle` in **one** call — a
+/// batched target labeler answers the whole stage-2 sample with a single
+/// inner invocation.
+///
+/// `batch_oracle(records)` must return one predicate answer per requested
+/// record, in order. Requested records are distinct and listed in
+/// first-occurrence draw order, so on a cold cache the invocation meter
+/// advances exactly as the sequential [`supg_recall_target`] loop would.
+pub fn supg_recall_target_batch(
+    proxy: &[f64],
+    batch_oracle: &mut dyn FnMut(&[usize]) -> Vec<bool>,
     config: &SupgConfig,
 ) -> SupgResult {
     let sw = Stopwatch::start();
@@ -137,23 +163,36 @@ pub fn supg_recall_target(
 
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let m = config.budget.min(n).max(1);
-    // Sampled draws: (record, weight, is_positive). Distinct records share
-    // one oracle call through the caller's metered labeler, but we also cap
-    // distinct records at the budget ourselves.
-    let mut draws: Vec<(usize, f64, bool)> = Vec::with_capacity(m);
-    let mut labeled: HashSet<usize> = HashSet::new();
-    let mut truth_cache: std::collections::HashMap<usize, bool> = Default::default();
-    for _ in 0..m {
-        let x: f64 = rng.gen_range(0.0..total);
-        let rec = cdf.partition_point(|&c| c < x).min(n - 1);
-        let is_pos = *truth_cache.entry(rec).or_insert_with(|| {
-            labeled.insert(rec);
-            oracle(rec)
-        });
-        let w = 1.0 / (m as f64 * q[rec]);
-        draws.push((rec, w, is_pos));
+    // The draw set is label-independent: make every importance draw first,
+    // then label the distinct records (first-occurrence order) in one batch
+    // oracle call. Distinct records are capped at the budget by m ≤ budget.
+    let sampled: Vec<usize> = (0..m)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..total);
+            cdf.partition_point(|&c| c < x).min(n - 1)
+        })
+        .collect();
+    let mut distinct: Vec<usize> = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    for &rec in &sampled {
+        if seen.insert(rec) {
+            distinct.push(rec);
+        }
     }
-    let oracle_calls = labeled.len() as u64;
+    let answers = batch_oracle(&distinct);
+    assert_eq!(
+        answers.len(),
+        distinct.len(),
+        "batch oracle must return one answer per record"
+    );
+    let truth: std::collections::HashMap<usize, bool> =
+        distinct.iter().copied().zip(answers).collect();
+    // Sampled draws: (record, weight, is_positive).
+    let draws: Vec<(usize, f64, bool)> = sampled
+        .iter()
+        .map(|&rec| (rec, 1.0 / (m as f64 * q[rec]), truth[&rec]))
+        .collect();
+    let oracle_calls = distinct.len() as u64;
 
     // Candidate thresholds: the distinct proxy values of sampled positives
     // (descending). recall(τ) is a step function changing only there.
@@ -305,6 +344,22 @@ pub fn supg_precision_target(
     oracle: &mut dyn FnMut(usize) -> bool,
     config: &SupgPrecisionConfig,
 ) -> SupgPrecisionResult {
+    supg_precision_target_batch(
+        proxy,
+        &mut |recs| recs.iter().map(|&r| oracle(r)).collect(),
+        config,
+    )
+}
+
+/// Batched SUPG precision-target selection — the precision-side analogue of
+/// [`supg_recall_target_batch`]: draws are made up front and the distinct
+/// sampled records are labeled in one `batch_oracle` call, meter-identical
+/// to the sequential [`supg_precision_target`] loop.
+pub fn supg_precision_target_batch(
+    proxy: &[f64],
+    batch_oracle: &mut dyn FnMut(&[usize]) -> Vec<bool>,
+    config: &SupgPrecisionConfig,
+) -> SupgPrecisionResult {
     let sw = Stopwatch::start();
     let mut telemetry = QueryTelemetry::new("supg_precision_target");
     let n = proxy.len();
@@ -339,19 +394,35 @@ pub fn supg_precision_target(
 
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let m = config.budget.min(n).max(1);
-    let mut draws: Vec<(usize, f64, bool)> = Vec::with_capacity(m);
-    let mut labeled: HashSet<usize> = HashSet::new();
-    let mut truth_cache: std::collections::HashMap<usize, bool> = Default::default();
-    for _ in 0..m {
-        let x: f64 = rng.gen_range(0.0..acc);
-        let rec = cdf.partition_point(|&c| c < x).min(n - 1);
-        let is_pos = *truth_cache.entry(rec).or_insert_with(|| {
-            labeled.insert(rec);
-            oracle(rec)
-        });
-        draws.push((rec, 1.0 / (m as f64 * q[rec]), is_pos));
+    // Label-independent draw set: draw first, label the distinct records in
+    // one batch oracle call (first-occurrence order — meter-identical to
+    // the sequential loop).
+    let sampled: Vec<usize> = (0..m)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..acc);
+            cdf.partition_point(|&c| c < x).min(n - 1)
+        })
+        .collect();
+    let mut distinct: Vec<usize> = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    for &rec in &sampled {
+        if seen.insert(rec) {
+            distinct.push(rec);
+        }
     }
-    let oracle_calls = labeled.len() as u64;
+    let answers = batch_oracle(&distinct);
+    assert_eq!(
+        answers.len(),
+        distinct.len(),
+        "batch oracle must return one answer per record"
+    );
+    let truth: std::collections::HashMap<usize, bool> =
+        distinct.iter().copied().zip(answers).collect();
+    let draws: Vec<(usize, f64, bool)> = sampled
+        .iter()
+        .map(|&rec| (rec, 1.0 / (m as f64 * q[rec]), truth[&rec]))
+        .collect();
+    let oracle_calls = distinct.len() as u64;
 
     // Candidate thresholds: distinct sampled proxy values, ascending —
     // precision(τ) is non-decreasing in τ for well-ordered proxies, and we

@@ -9,11 +9,14 @@
 //! and compares the meter's before/after delta against the telemetry.
 
 use tasti_labeler::{
-    LabelCost, LabelerOutput, MeteredLabeler, RecordId, Schema, SqlAnnotation, SqlOp, TargetLabeler,
+    BatchTargetLabeler, LabelCost, LabelerOutput, MeteredLabeler, RecordId, Schema, SqlAnnotation,
+    SqlOp, TargetLabeler,
 };
 use tasti_query::{
-    ebs_aggregate, limit_query, predicate_aggregate, supg_precision_target, supg_recall_target,
-    tune_threshold, AggregationConfig, PredicateAggConfig, SupgConfig, SupgPrecisionConfig,
+    ebs_aggregate, ebs_aggregate_batch, limit_query, limit_query_batch, predicate_aggregate,
+    predicate_aggregate_batch, supg_precision_target, supg_precision_target_batch,
+    supg_recall_target, supg_recall_target_batch, tune_threshold, tune_threshold_batch,
+    AggregationConfig, PredicateAggConfig, SupgConfig, SupgPrecisionConfig,
 };
 
 /// Deterministic stand-in oracle: record `r` gets `r % 4` predicates.
@@ -39,6 +42,11 @@ impl TargetLabeler for FakeLabeler {
         "fake"
     }
 }
+
+// Opt in to the (default, loop-based) batch interface so the batched audit
+// below can route each algorithm's batch closure through
+// `MeteredLabeler::label_batch`.
+impl BatchTargetLabeler for FakeLabeler {}
 
 fn value_of(out: &LabelerOutput) -> f64 {
     match out {
@@ -153,6 +161,224 @@ fn predicate_aggregate_matches_the_meter() {
     );
     assert_eq!(res.telemetry.invocations, m.invocations() - before);
     assert_eq!(res.oracle_calls, res.telemetry.invocations);
+}
+
+// ---------------------------------------------------------------------------
+// Batched vs sequential meter identity (acceptance criterion of the batched
+// labeler front door): for every query algorithm, routing the oracle through
+// `MeteredLabeler::label_batch` on a cold cache must produce an invocation
+// count **bit-identical** to the sequential single-record loop — same
+// records, same order, same bill. Each test runs the sequential and batched
+// entry points against two fresh metered labelers with identical configs and
+// compares both the meters and the results.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn batched_ebs_aggregate_is_meter_identical_to_sequential() {
+    let p = proxy(400);
+    let cfg = AggregationConfig {
+        error_target: 0.3,
+        seed: 7,
+        ..Default::default()
+    };
+    let seq = MeteredLabeler::new(FakeLabeler);
+    let seq_res = ebs_aggregate(&p, &mut |r| value_of(&seq.label(r)), &cfg);
+    let bat = MeteredLabeler::new(FakeLabeler);
+    let bat_res = ebs_aggregate_batch(
+        &p,
+        &mut |recs| bat.label_batch(recs).iter().map(value_of).collect(),
+        &cfg,
+    );
+    assert_eq!(bat.invocations(), seq.invocations());
+    assert_eq!(bat.cache_hits(), seq.cache_hits());
+    assert_eq!(bat_res.samples, seq_res.samples);
+    assert_eq!(bat_res.estimate, seq_res.estimate);
+    assert_eq!(bat_res.telemetry.invocations, seq_res.telemetry.invocations);
+}
+
+#[test]
+fn batched_supg_recall_is_meter_identical_to_sequential() {
+    let p = proxy(400);
+    let cfg = SupgConfig {
+        budget: 120,
+        seed: 7,
+        ..Default::default()
+    };
+    let seq = MeteredLabeler::new(FakeLabeler);
+    let seq_res = supg_recall_target(&p, &mut |r| value_of(&seq.label(r)) >= 2.0, &cfg);
+    let bat = MeteredLabeler::new(FakeLabeler);
+    let bat_res = supg_recall_target_batch(
+        &p,
+        &mut |recs| {
+            bat.label_batch(recs)
+                .iter()
+                .map(|o| value_of(o) >= 2.0)
+                .collect()
+        },
+        &cfg,
+    );
+    assert_eq!(bat.invocations(), seq.invocations());
+    assert_eq!(bat_res.oracle_calls, seq_res.oracle_calls);
+    assert_eq!(bat_res.returned, seq_res.returned);
+    assert_eq!(bat_res.threshold, seq_res.threshold);
+    assert_eq!(bat_res.telemetry.invocations, seq_res.telemetry.invocations);
+}
+
+#[test]
+fn batched_supg_precision_is_meter_identical_to_sequential() {
+    let p = proxy(400);
+    let cfg = SupgPrecisionConfig {
+        budget: 120,
+        seed: 7,
+        ..Default::default()
+    };
+    let seq = MeteredLabeler::new(FakeLabeler);
+    let seq_res = supg_precision_target(&p, &mut |r| value_of(&seq.label(r)) >= 2.0, &cfg);
+    let bat = MeteredLabeler::new(FakeLabeler);
+    let bat_res = supg_precision_target_batch(
+        &p,
+        &mut |recs| {
+            bat.label_batch(recs)
+                .iter()
+                .map(|o| value_of(o) >= 2.0)
+                .collect()
+        },
+        &cfg,
+    );
+    assert_eq!(bat.invocations(), seq.invocations());
+    assert_eq!(bat_res.oracle_calls, seq_res.oracle_calls);
+    assert_eq!(bat_res.returned, seq_res.returned);
+    assert_eq!(bat_res.telemetry.invocations, seq_res.telemetry.invocations);
+}
+
+#[test]
+fn batched_limit_query_with_unit_probe_is_meter_identical_to_sequential() {
+    let p = proxy(400);
+    let mut ranking: Vec<usize> = (0..p.len()).collect();
+    ranking.sort_by(|&a, &b| tasti_query::desc_nan_last(p[a], p[b]));
+    let seq = MeteredLabeler::new(FakeLabeler);
+    let seq_res = limit_query(&ranking, &mut |r| value_of(&seq.label(r)) == 3.0, 10, 400);
+    let bat = MeteredLabeler::new(FakeLabeler);
+    let bat_res = limit_query_batch(
+        &ranking,
+        &mut |recs| {
+            bat.label_batch(recs)
+                .iter()
+                .map(|o| value_of(o) == 3.0)
+                .collect()
+        },
+        10,
+        400,
+        1,
+    );
+    assert_eq!(bat.invocations(), seq.invocations());
+    assert_eq!(bat_res.invocations, seq_res.invocations);
+    assert_eq!(bat_res.found, seq_res.found);
+    assert_eq!(bat_res.telemetry.invocations, seq_res.telemetry.invocations);
+}
+
+#[test]
+fn batched_limit_query_overshoot_is_bounded_by_probe_batch() {
+    // Larger probe batches may overshoot — but by strictly less than one
+    // batch, and the answer itself must not change.
+    let p = proxy(400);
+    let mut ranking: Vec<usize> = (0..p.len()).collect();
+    ranking.sort_by(|&a, &b| tasti_query::desc_nan_last(p[a], p[b]));
+    let seq = MeteredLabeler::new(FakeLabeler);
+    let seq_res = limit_query(&ranking, &mut |r| value_of(&seq.label(r)) == 3.0, 10, 400);
+    for probe_batch in [4u64, 16, 64] {
+        let bat = MeteredLabeler::new(FakeLabeler);
+        let bat_res = limit_query_batch(
+            &ranking,
+            &mut |recs| {
+                bat.label_batch(recs)
+                    .iter()
+                    .map(|o| value_of(o) == 3.0)
+                    .collect()
+            },
+            10,
+            400,
+            probe_batch as usize,
+        );
+        assert_eq!(bat_res.found, seq_res.found);
+        assert!(bat.invocations() >= seq.invocations());
+        assert!(bat.invocations() < seq.invocations() + probe_batch);
+    }
+}
+
+#[test]
+fn batched_tune_threshold_is_meter_identical_to_sequential() {
+    let p = proxy(400);
+    let seq = MeteredLabeler::new(FakeLabeler);
+    let seq_res = tune_threshold(&p, &mut |r| value_of(&seq.label(r)) >= 2.0, 100, 7);
+    let bat = MeteredLabeler::new(FakeLabeler);
+    let bat_res = tune_threshold_batch(
+        &p,
+        &mut |recs| {
+            bat.label_batch(recs)
+                .iter()
+                .map(|o| value_of(o) >= 2.0)
+                .collect()
+        },
+        100,
+        7,
+    );
+    assert_eq!(bat.invocations(), seq.invocations());
+    assert_eq!(bat_res.oracle_calls, seq_res.oracle_calls);
+    assert_eq!(bat_res.selected, seq_res.selected);
+    assert_eq!(bat_res.threshold, seq_res.threshold);
+    assert_eq!(bat_res.telemetry.invocations, seq_res.telemetry.invocations);
+}
+
+#[test]
+fn batched_predicate_aggregate_is_meter_identical_to_sequential() {
+    let p = proxy(400);
+    let cfg = PredicateAggConfig {
+        budget: 150,
+        seed: 7,
+        ..Default::default()
+    };
+    let seq = MeteredLabeler::new(FakeLabeler);
+    let seq_res = predicate_aggregate(
+        &p,
+        &mut |r| {
+            let v = value_of(&seq.label(r));
+            (v >= 2.0).then_some(v)
+        },
+        &cfg,
+    );
+    let bat = MeteredLabeler::new(FakeLabeler);
+    let bat_res = predicate_aggregate_batch(
+        &p,
+        &mut |recs| {
+            bat.label_batch(recs)
+                .iter()
+                .map(|o| {
+                    let v = value_of(o);
+                    (v >= 2.0).then_some(v)
+                })
+                .collect()
+        },
+        &cfg,
+    );
+    assert_eq!(bat.invocations(), seq.invocations());
+    assert_eq!(bat_res.oracle_calls, seq_res.oracle_calls);
+    assert_eq!(bat_res.estimate, seq_res.estimate);
+    assert_eq!(bat_res.telemetry.invocations, seq_res.telemetry.invocations);
+}
+
+#[test]
+fn batched_paths_bill_distinct_records_once_through_the_meter() {
+    // The batch front door's own accounting: duplicates inside one request
+    // are cache hits, not extra invocations — matching what the sequential
+    // loop would have billed.
+    let m = MeteredLabeler::new(FakeLabeler);
+    let outputs = m.label_batch(&[3, 1, 3, 2, 1, 3]);
+    assert_eq!(outputs.len(), 6);
+    assert_eq!(m.invocations(), 3);
+    assert_eq!(m.cache_hits(), 3);
+    assert_eq!(outputs[0], outputs[2]);
+    assert_eq!(outputs[1], outputs[4]);
 }
 
 #[test]

@@ -311,7 +311,18 @@ fn run_query(a: &QueryArgs) -> Result<(), String> {
                 seed: a.seed,
                 ..Default::default()
             };
-            let res = ebs_aggregate(&proxy, &mut |r| score.score(&labeler.label(r)), &cfg);
+            // Each sampling round is one batched labeler call.
+            let res = ebs_aggregate_batch(
+                &proxy,
+                &mut |recs| {
+                    labeler
+                        .label_batch(recs)
+                        .iter()
+                        .map(|o| score.score(o))
+                        .collect()
+                },
+                &cfg,
+            );
             println!(
                 "estimate: {:.4} ± {:.4} ({} labeler calls, ρ² on sample {:.3})",
                 res.estimate, res.ci_half_width, res.samples, res.rho_squared
@@ -324,8 +335,18 @@ fn run_query(a: &QueryArgs) -> Result<(), String> {
                 seed: a.seed,
                 ..Default::default()
             };
-            let res =
-                supg_recall_target(&proxy, &mut |r| score.score(&labeler.label(r)) >= 0.5, &cfg);
+            // Stage-2 labeling is one batched labeler call.
+            let res = supg_recall_target_batch(
+                &proxy,
+                &mut |recs| {
+                    labeler
+                        .label_batch(recs)
+                        .iter()
+                        .map(|o| score.score(o) >= 0.5)
+                        .collect()
+                },
+                &cfg,
+            );
             println!(
                 "returned {} records at threshold {:.4} ({} labeler calls, est. recall {:.3})",
                 res.returned.len(),
@@ -337,11 +358,20 @@ fn run_query(a: &QueryArgs) -> Result<(), String> {
         "limit" => {
             let ranking = index.limit_ranking(score.as_ref());
             let threshold = limit_threshold_for(&a.dataset, a.min_count);
-            let res = limit_query(
+            // probe_batch = 1: invocation counts stay bit-identical to the
+            // sequential scan (the CLI reports them as the query's cost).
+            let res = limit_query_batch(
                 &ranking,
-                &mut |r| score.score(&labeler.label(r)) >= threshold,
+                &mut |recs| {
+                    labeler
+                        .label_batch(recs)
+                        .iter()
+                        .map(|o| score.score(o) >= threshold)
+                        .collect()
+                },
                 a.matches,
                 dataset.len(),
+                1,
             );
             println!(
                 "found {:?} after {} labeler calls (satisfied: {})",

@@ -78,10 +78,11 @@ pub mod prelude {
     };
     pub use tasti_data::{OracleLabeler, PretrainedEmbedder};
     pub use tasti_labeler::{
-        ClosenessFn, CostModel, LabelerOutput, MeteredLabeler, ObjectClass, SpeechCloseness,
-        SqlCloseness, TargetLabeler, VideoCloseness,
+        BatchTargetLabeler, ClosenessFn, CostModel, LabelerOutput, MeteredLabeler, ObjectClass,
+        SpeechCloseness, SqlCloseness, TargetLabeler, VideoCloseness,
     };
     pub use tasti_query::{
-        ebs_aggregate, limit_query, supg_recall_target, AggregationConfig, StoppingRule, SupgConfig,
+        ebs_aggregate, ebs_aggregate_batch, limit_query, limit_query_batch, supg_recall_target,
+        supg_recall_target_batch, AggregationConfig, StoppingRule, SupgConfig,
     };
 }
