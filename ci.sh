@@ -52,4 +52,38 @@ else
   echo "==> property tests ran at full depth inside 'cargo test -q'"
 fi
 
+echo "==> serve smoke: build index → serve on an ephemeral port → probe every op → drain"
+SMOKE=$(mktemp -d)
+cleanup_smoke() {
+  [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$SMOKE"
+}
+trap cleanup_smoke EXIT
+CLI=target/release/tasti_cli
+"$CLI" build --dataset night-street --n 2000 --seed 7 \
+  --train 100 --reps 200 --out "$SMOKE/idx.json"
+"$CLI" serve --index "$SMOKE/idx.json" --dataset night-street --n 2000 --seed 7 \
+  --addr 127.0.0.1:0 --workers 4 --snapshot "$SMOKE/snap.json" \
+  > "$SMOKE/serve.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE '127\.0\.0\.1:[0-9]+' "$SMOKE/serve.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+  echo "serve smoke: server never printed its address"; cat "$SMOKE/serve.log"; exit 1
+fi
+# One query of each type, then the admin surface. probe exits non-zero on
+# any error reply, so set -e turns a failed op into a failed gate.
+for op in agg supg supg-precision limit predicate stats metrics snapshot; do
+  "$CLI" probe "$op" --addr "$ADDR" --class car --seed 7
+done
+"$CLI" probe shutdown --addr "$ADDR"
+wait "$SERVE_PID" # graceful drain must exit 0 (set -e enforces)
+[ -s "$SMOKE/snap.json" ] || { echo "serve smoke: snapshot missing"; exit 1; }
+SERVE_PID=""
+echo "serve smoke OK (drained cleanly, snapshot written)"
+
 echo "CI OK"

@@ -1,0 +1,333 @@
+//! Meter-authoritative cost ledger over persisted experiment results.
+//!
+//! Every experiment binary records call-count cells (`target_calls`,
+//! `agg_target_calls`, …) and, where the algorithm returns one, an attached
+//! [`tasti_obs::QueryTelemetry`]. The *cell value* is what the experiment
+//! chose to report; the *telemetry* is what the invocation meter actually
+//! counted. This module collates `results/*.json` into one per-setting,
+//! per-method table where the meter is authoritative: whenever telemetry is
+//! present its `invocations` field is the number that counts, and a cell
+//! whose reported value disagrees with its own meter is surfaced as a
+//! mismatch instead of silently averaged away.
+//!
+//! The table lands in `results/cost_ledger.md` (written by
+//! `all_experiments`) and is pasted into EXPERIMENTS.md's "Cost ledger"
+//! section.
+//!
+//! Parsing uses [`tasti_obs::JsonValue`] — the same std-only parser the
+//! wire protocol uses — so the ledger reads result files written by any
+//! past run without a serde round-trip.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use tasti_obs::JsonValue;
+
+use crate::report::ExperimentRecord;
+
+/// One result cell reduced to what the ledger needs.
+#[derive(Debug, Clone)]
+pub struct LedgerCell {
+    /// Dataset / panel name.
+    pub setting: String,
+    /// Method name.
+    pub method: String,
+    /// Metric name (decides whether the cell counts invocations).
+    pub metric: String,
+    /// The reported cell value.
+    pub value: f64,
+    /// Meter reading attached to the cell, when the experiment kept one.
+    pub meter_invocations: Option<u64>,
+    /// Algorithm wall-clock seconds from the attached telemetry.
+    pub wall_seconds: Option<f64>,
+}
+
+/// Collated invocation totals for one (setting, method) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRow {
+    /// Dataset / panel name.
+    pub setting: String,
+    /// Method name.
+    pub method: String,
+    /// Call-count cells contributing to `reported_calls`.
+    pub call_cells: usize,
+    /// Sum of the reported call-count cell values.
+    pub reported_calls: f64,
+    /// Cells (of any metric) carrying an invocation meter reading.
+    pub metered_cells: usize,
+    /// Sum of meter readings — the authoritative total where available.
+    pub metered_calls: u64,
+    /// Call-count cells whose reported value disagrees with their own
+    /// attached meter reading.
+    pub meter_mismatches: usize,
+    /// Total algorithm wall-clock seconds from attached telemetry.
+    pub wall_seconds: f64,
+}
+
+/// Is this metric a target-labeler call count? Matches the experiment
+/// suite's naming convention (`target_calls`, `agg_target_calls`,
+/// `limit_target_calls`, `agg_calls_after_cracking`, …).
+pub fn is_call_metric(metric: &str) -> bool {
+    metric == "invocations" || metric.contains("calls")
+}
+
+/// Collates cells into per-(setting, method) rows, sorted by setting then
+/// method. Call-count cells contribute to `reported_calls`; any cell with
+/// telemetry contributes its meter reading; a call-count cell whose value
+/// differs from its own meter reading counts as a mismatch.
+pub fn collate(cells: &[LedgerCell]) -> Vec<LedgerRow> {
+    let mut rows: BTreeMap<(String, String), LedgerRow> = BTreeMap::new();
+    for cell in cells {
+        let row = rows
+            .entry((cell.setting.clone(), cell.method.clone()))
+            .or_insert_with(|| LedgerRow {
+                setting: cell.setting.clone(),
+                method: cell.method.clone(),
+                call_cells: 0,
+                reported_calls: 0.0,
+                metered_cells: 0,
+                metered_calls: 0,
+                meter_mismatches: 0,
+                wall_seconds: 0.0,
+            });
+        let is_calls = is_call_metric(&cell.metric);
+        if is_calls && cell.value.is_finite() {
+            row.call_cells += 1;
+            row.reported_calls += cell.value;
+        }
+        if let Some(meter) = cell.meter_invocations {
+            row.metered_cells += 1;
+            row.metered_calls += meter;
+            if is_calls && cell.value.is_finite() && cell.value != meter as f64 {
+                row.meter_mismatches += 1;
+            }
+        }
+        if let Some(w) = cell.wall_seconds {
+            row.wall_seconds += w;
+        }
+    }
+    rows.into_values().collect()
+}
+
+/// Reduces in-memory experiment records to ledger cells (the path
+/// `all_experiments` uses on the records it just produced).
+pub fn cells_from_records(records: &[ExperimentRecord]) -> Vec<LedgerCell> {
+    records
+        .iter()
+        .map(|r| LedgerCell {
+            setting: r.setting.clone(),
+            method: r.method.clone(),
+            metric: r.metric.clone(),
+            value: r.value,
+            meter_invocations: r
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.get("invocations"))
+                .and_then(|v| v.as_u64()),
+            wall_seconds: r
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.get("wall_seconds"))
+                .and_then(|v| v.as_f64()),
+        })
+        .collect()
+}
+
+/// Parses one persisted results file (a JSON array of experiment records)
+/// into ledger cells. Cells missing a required field are skipped rather
+/// than failing the whole file — the ledger is a summary, not a validator.
+pub fn cells_from_json(json: &str) -> Result<Vec<LedgerCell>, String> {
+    let value = JsonValue::parse(json).map_err(|e| e.to_string())?;
+    let records = match value {
+        JsonValue::Array(a) => a,
+        _ => return Err("expected a JSON array of records".to_string()),
+    };
+    let mut cells = Vec::new();
+    for rec in &records {
+        let (Some(setting), Some(method), Some(metric), Some(value)) = (
+            rec.get("setting").and_then(JsonValue::as_str),
+            rec.get("method").and_then(JsonValue::as_str),
+            rec.get("metric").and_then(JsonValue::as_str),
+            rec.get("value").and_then(JsonValue::as_f64),
+        ) else {
+            continue;
+        };
+        let telemetry = rec.get("telemetry");
+        cells.push(LedgerCell {
+            setting: setting.to_string(),
+            method: method.to_string(),
+            metric: metric.to_string(),
+            value,
+            meter_invocations: telemetry
+                .and_then(|t| t.get("invocations"))
+                .and_then(JsonValue::as_u64),
+            wall_seconds: telemetry
+                .and_then(|t| t.get("wall_seconds"))
+                .and_then(JsonValue::as_f64),
+        });
+    }
+    Ok(cells)
+}
+
+/// Collates a whole results directory. When `all_experiments.json` is
+/// present it is the sole source (it holds the full suite's records;
+/// adding the per-experiment files again would double-count); otherwise
+/// every `*.json` file contributes. Unparsable files are skipped.
+pub fn collate_dir(dir: &Path) -> io::Result<Vec<LedgerRow>> {
+    let combined = dir.join("all_experiments.json");
+    let mut cells = Vec::new();
+    if combined.is_file() {
+        let json = fs::read_to_string(&combined)?;
+        cells = cells_from_json(&json).map_err(io::Error::other)?;
+    } else {
+        let mut paths: Vec<_> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Ok(json) = fs::read_to_string(&path) else {
+                continue;
+            };
+            if let Ok(mut file_cells) = cells_from_json(&json) {
+                cells.append(&mut file_cells);
+            }
+        }
+    }
+    Ok(collate(&cells))
+}
+
+/// Renders rows as a GitHub-flavored markdown table (the EXPERIMENTS.md
+/// "Cost ledger" section). Methods with no call cells and no meter
+/// readings are omitted — they contributed only quality metrics.
+pub fn render_markdown(rows: &[LedgerRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| setting | method | reported calls (cells) | metered calls (cells) | \
+         mismatches | telemetry wall s |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|\n");
+    for row in rows {
+        if row.call_cells == 0 && row.metered_cells == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "| {} | {} | {} ({}) | {} ({}) | {} | {:.4} |\n",
+            row.setting,
+            row.method,
+            row.reported_calls,
+            row.call_cells,
+            row.metered_calls,
+            row.metered_cells,
+            row.meter_mismatches,
+            row.wall_seconds,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(
+        setting: &str,
+        method: &str,
+        metric: &str,
+        value: f64,
+        meter: Option<u64>,
+    ) -> LedgerCell {
+        LedgerCell {
+            setting: setting.to_string(),
+            method: method.to_string(),
+            metric: metric.to_string(),
+            value,
+            meter_invocations: meter,
+            wall_seconds: meter.map(|_| 0.5),
+        }
+    }
+
+    #[test]
+    fn call_metric_convention() {
+        assert!(is_call_metric("target_calls"));
+        assert!(is_call_metric("agg_target_calls"));
+        assert!(is_call_metric("agg_calls_after_cracking"));
+        assert!(is_call_metric("invocations"));
+        assert!(!is_call_metric("rho2"));
+        assert!(!is_call_metric("seconds"));
+    }
+
+    #[test]
+    fn collates_per_setting_method_with_meter_authority() {
+        let cells = vec![
+            cell("night-street", "TASTI-T", "target_calls", 450.0, Some(450)),
+            cell("night-street", "TASTI-T", "limit_target_calls", 50.0, None),
+            cell("night-street", "TASTI-T", "rho2", 0.86, None),
+            // Reported 600 but the meter saw 650: a mismatch.
+            cell("night-street", "No proxy", "target_calls", 600.0, Some(650)),
+            cell("taipei", "TASTI-T", "target_calls", 300.0, None),
+        ];
+        let rows = collate(&cells);
+        assert_eq!(rows.len(), 3);
+
+        let t = rows
+            .iter()
+            .find(|r| r.setting == "night-street" && r.method == "TASTI-T")
+            .unwrap();
+        assert_eq!(t.call_cells, 2);
+        assert_eq!(t.reported_calls, 500.0);
+        assert_eq!(t.metered_cells, 1);
+        assert_eq!(t.metered_calls, 450);
+        assert_eq!(t.meter_mismatches, 0);
+        assert!((t.wall_seconds - 0.5).abs() < 1e-12);
+
+        let noproxy = rows
+            .iter()
+            .find(|r| r.setting == "night-street" && r.method == "No proxy")
+            .unwrap();
+        assert_eq!(noproxy.meter_mismatches, 1);
+        assert_eq!(noproxy.metered_calls, 650);
+    }
+
+    #[test]
+    fn parses_persisted_records_and_skips_malformed_ones() {
+        let json = r#"[
+            {"experiment":"fig04","setting":"night-street","method":"TASTI-T",
+             "metric":"target_calls","value":450.0,"note":"",
+             "telemetry":{"algorithm":"ebs_aggregate","invocations":450,
+                          "wall_seconds":0.25,"certified":true}},
+            {"experiment":"fig04","setting":"night-street","method":"TASTI-T",
+             "metric":"rho2","value":0.86,"note":""},
+            {"experiment":"broken","metric":"target_calls"}
+        ]"#;
+        let cells = cells_from_json(json).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].meter_invocations, Some(450));
+        assert_eq!(cells[0].wall_seconds, Some(0.25));
+        assert_eq!(cells[1].meter_invocations, None);
+
+        let rows = collate(&cells);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].metered_calls, 450);
+        assert_eq!(rows[0].reported_calls, 450.0);
+    }
+
+    #[test]
+    fn markdown_omits_quality_only_methods() {
+        let rows = collate(&[
+            cell("a", "counted", "target_calls", 10.0, Some(10)),
+            cell("a", "quality-only", "rho2", 0.9, None),
+        ]);
+        let md = render_markdown(&rows);
+        assert!(md.contains("| a | counted | 10 (1) | 10 (1) | 0 | 0.5000 |"));
+        assert!(!md.contains("quality-only"));
+    }
+
+    #[test]
+    fn rejects_non_array_roots() {
+        assert!(cells_from_json("{\"not\":\"an array\"}").is_err());
+        assert!(cells_from_json("not json").is_err());
+    }
+}

@@ -120,8 +120,41 @@ impl TastiIndex {
     }
 
     /// Executes `score_fn` exactly on the representatives' cached outputs.
+    ///
+    /// Rep scores are **sanitized at this boundary** (the ROADMAP's
+    /// "sanitization at the index boundary" decision): a scoring function
+    /// that returns NaN/±∞ for some cached output — a user `FnScore`
+    /// dividing by a zero count, a position score over an empty detection
+    /// list — would otherwise poison every propagated proxy score derived
+    /// from that representative. The policy matches `tasti_query`'s
+    /// entry-point sanitization: NaN and −∞ become the *minimum finite*
+    /// rep score (least promising, never dropped), +∞ the maximum, and an
+    /// all-non-finite score vector degrades to all-zero. Downstream,
+    /// propagation therefore never sees a non-finite rep score (the
+    /// per-query `tasti_query::sanitize` pass remains as
+    /// defense-in-depth for proxies from other sources, and this
+    /// invariant is debug-asserted in [`TastiIndex::propagate_with_k`]).
     pub fn rep_scores(&self, score_fn: &dyn ScoringFunction) -> Vec<f64> {
-        self.rep_outputs.iter().map(|o| score_fn.score(o)).collect()
+        let mut scores: Vec<f64> = self.rep_outputs.iter().map(|o| score_fn.score(o)).collect();
+        if scores.iter().all(|s| s.is_finite()) {
+            return scores;
+        }
+        let (lo, hi) = scores
+            .iter()
+            .filter(|s| s.is_finite())
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| {
+                (lo.min(s), hi.max(s))
+            });
+        if lo > hi {
+            // No finite score at all: uniform fallback.
+            return vec![0.0; scores.len()];
+        }
+        for s in &mut scores {
+            if !s.is_finite() {
+                *s = if *s == f64::INFINITY { hi } else { lo };
+            }
+        }
+        scores
     }
 
     /// Produces query-specific proxy scores for every record (§4.3) with the
@@ -133,6 +166,10 @@ impl TastiIndex {
     /// Propagation with an explicit `k` (the sensitivity analyses vary it).
     pub fn propagate_with_k(&self, score_fn: &dyn ScoringFunction, k: usize) -> Vec<f64> {
         let rep_scores = self.rep_scores(score_fn);
+        debug_assert!(
+            rep_scores.iter().all(|s| s.is_finite()),
+            "rep_scores must sanitize at the index boundary"
+        );
         propagate::propagate_numeric(&self.mink, &rep_scores, k)
     }
 
@@ -151,6 +188,10 @@ impl TastiIndex {
     /// proxy score, ties broken by ascending distance to the representative.
     pub fn limit_ranking(&self, score_fn: &dyn ScoringFunction) -> Vec<RecordId> {
         let rep_scores = self.rep_scores(score_fn);
+        debug_assert!(
+            rep_scores.iter().all(|s| s.is_finite()),
+            "rep_scores must sanitize at the index boundary"
+        );
         propagate::limit_ranking(&self.mink, &rep_scores)
     }
 
@@ -258,6 +299,51 @@ mod tests {
         assert_eq!(scores[0], 0.0);
         assert_eq!(scores[5], 3.0);
         assert!(scores[1] < scores[4]);
+    }
+
+    #[test]
+    fn nan_rep_score_never_reaches_propagate() {
+        // Regression for the ROADMAP "sanitization at the index boundary"
+        // item: a scoring function that emits NaN for one representative
+        // (here: rep 0, whose frame has no cars → 0/0) must be sanitized in
+        // `rep_scores` — no NaN may leak into propagation or the ranking.
+        use crate::scoring::FnScore;
+        let idx = tiny_index();
+        let nan_for_empty = FnScore(|o: &LabelerOutput| {
+            let cars = o.count_class(ObjectClass::Car) as f64;
+            cars / cars // NaN when the frame is empty
+        });
+        let reps = idx.rep_scores(&nan_for_empty);
+        assert!(
+            reps.iter().all(|s| s.is_finite()),
+            "rep scores must be sanitized: {reps:?}"
+        );
+        // NaN maps to the minimum finite score (1.0 here, from rep 1).
+        assert_eq!(reps, vec![1.0, 1.0]);
+        let proxies = idx.propagate(&nan_for_empty);
+        assert!(proxies.iter().all(|s| s.is_finite()));
+        let ranking = idx.limit_ranking(&nan_for_empty);
+        assert_eq!(ranking.len(), idx.n_records());
+    }
+
+    #[test]
+    fn infinite_rep_scores_clamp_to_finite_extremes() {
+        use crate::scoring::FnScore;
+        let idx = tiny_index();
+        let weird = FnScore(|o: &LabelerOutput| match o.count_class(ObjectClass::Car) {
+            0 => f64::NEG_INFINITY,
+            3 => f64::INFINITY,
+            c => c as f64,
+        });
+        // Both reps are non-finite → no finite score at all → uniform zero.
+        assert_eq!(idx.rep_scores(&weird), vec![0.0, 0.0]);
+        assert!(idx.propagate(&weird).iter().all(|s| *s == 0.0));
+
+        // With one finite rep present, ±∞ clamp to the finite extremes.
+        let mut idx2 = tiny_index();
+        idx2.crack(2, frame(1));
+        let reps = idx2.rep_scores(&weird); // [-inf→1, +inf→1, 1.0]
+        assert_eq!(reps, vec![1.0, 1.0, 1.0]);
     }
 
     #[test]

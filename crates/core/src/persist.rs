@@ -40,8 +40,12 @@ pub enum PersistError {
     Io(io::Error),
     /// The document is not a valid index snapshot.
     Format(serde_json::Error),
-    /// The snapshot's version is not supported by this build.
-    UnsupportedVersion(u32),
+    /// The snapshot's format version is not supported by this build. Raised
+    /// from a cheap header probe *before* the full typed parse, so a
+    /// snapshot written by a newer build whose body no longer matches this
+    /// build's schema is still reported as a version mismatch — the
+    /// actionable error — rather than a generic format failure.
+    Version(u32),
 }
 
 impl std::fmt::Display for PersistError {
@@ -49,10 +53,11 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "index I/O error: {e}"),
             PersistError::Format(e) => write!(f, "malformed index snapshot: {e}"),
-            PersistError::UnsupportedVersion(v) => {
+            PersistError::Version(v) => {
                 write!(
                     f,
-                    "unsupported index format version {v} (supported: {FORMAT_VERSION})"
+                    "unsupported index format version {v} (supported: {FORMAT_VERSION}); \
+                     rebuild the index or load it with a matching build"
                 )
             }
         }
@@ -90,14 +95,39 @@ pub fn to_json(index: &TastiIndex) -> String {
     serde_json::to_string(&snapshot).expect("index serialization cannot fail")
 }
 
+/// Header probe: only the `version` field, every other field ignored. A
+/// snapshot from any format revision deserializes into this as long as it
+/// is a well-formed JSON object, which is what lets [`from_json`] report a
+/// version mismatch instead of whatever body field happens to differ.
+#[derive(Deserialize)]
+struct VersionProbe {
+    version: Option<u32>,
+}
+
 /// Deserializes an index from a JSON string.
+///
+/// The format version is checked **before** the body is parsed: a
+/// well-formed snapshot carrying a different `version` is rejected with
+/// [`PersistError::Version`] even if its body layout is incompatible with
+/// this build's schema (a truncated or otherwise corrupt document is still
+/// [`PersistError::Format`]).
 ///
 /// # Errors
 /// Returns [`PersistError`] on malformed input or version mismatch.
 pub fn from_json(json: &str) -> Result<TastiIndex, PersistError> {
+    let probe: VersionProbe = serde_json::from_str(json)?;
+    match probe.version {
+        Some(v) if v != FORMAT_VERSION => return Err(PersistError::Version(v)),
+        Some(_) => {}
+        None => {
+            // A JSON document with no version field is not a snapshot of
+            // any revision — fall through to the typed parse for the
+            // field-level error message.
+        }
+    }
     let snapshot: IndexSnapshot = serde_json::from_str(json)?;
     if snapshot.version != FORMAT_VERSION {
-        return Err(PersistError::UnsupportedVersion(snapshot.version));
+        return Err(PersistError::Version(snapshot.version));
     }
     let mut index = TastiIndex::new(
         snapshot.embeddings,
@@ -288,9 +318,44 @@ mod tests {
     fn wrong_version_is_rejected() {
         let mut json = to_json(&tiny_index());
         json = json.replace("\"version\":1", "\"version\":999");
+        assert!(matches!(from_json(&json), Err(PersistError::Version(999))));
+    }
+
+    #[test]
+    fn wrong_version_wins_over_incompatible_body() {
+        // A snapshot from a hypothetical future format revision: the header
+        // says version 2 and the body no longer matches this build's schema
+        // (fields renamed/removed). The version probe must fire *first* so
+        // the user sees the actionable "version mismatch" error, not a
+        // generic missing-field format error.
+        let json = r#"{"version":2,"embeddings_v2":"opaque-blob","reps":[0]}"#;
+        match from_json(json) {
+            Err(PersistError::Version(2)) => {}
+            other => panic!("expected Version(2), got {other:?}"),
+        }
+        // The display message names both versions.
+        let msg = from_json(json).unwrap_err().to_string();
+        assert!(msg.contains('2') && msg.contains('1'), "message: {msg}");
+    }
+
+    #[test]
+    fn hand_mangled_header_is_a_version_error_through_the_file_path() {
+        let index = tiny_index();
+        let dir = std::env::temp_dir().join("tasti-persist-version-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mangled.json");
+        let mangled = to_json(&index).replace("\"version\":1", "\"version\":7");
+        std::fs::write(&path, mangled).unwrap();
+        assert!(matches!(load(&path), Err(PersistError::Version(7))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_field_absent_is_a_format_error() {
+        // No version field at all: not a snapshot of any revision.
         assert!(matches!(
-            from_json(&json),
-            Err(PersistError::UnsupportedVersion(999))
+            from_json(r#"{"reps":[0,5]}"#),
+            Err(PersistError::Format(_))
         ));
     }
 

@@ -1,9 +1,23 @@
-//! A minimal JSON writer so telemetry serializes without external
-//! dependencies. Only what the telemetry records need: escaped strings and
-//! floats with `null` for non-finite values (serde_json's convention).
+//! A minimal JSON layer so telemetry and the serving wire protocol work
+//! without external dependencies.
+//!
+//! Two halves:
+//!
+//! * **Writer helpers** ([`push_escaped`], [`fmt_f64`]) — what the telemetry
+//!   records have always used to serialize themselves.
+//! * **[`JsonValue`]** — a small dynamically-typed JSON document with a
+//!   recursive-descent parser, used by `tasti-serve` to parse wire requests
+//!   and by its loopback client to parse responses. The parser is meant for
+//!   *trusted-ish* line-delimited protocol messages: it is strict (no
+//!   trailing garbage, no comments), rejects documents nested deeper than
+//!   [`MAX_DEPTH`] (a network-facing parser must not be stack-overflowable),
+//!   and keeps object keys in document order (no hashing, deterministic
+//!   re-serialization).
+
+use std::fmt;
 
 /// Appends `s` to `out` with JSON string escaping.
-pub(crate) fn push_escaped(out: &mut String, s: &str) {
+pub fn push_escaped(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -20,13 +34,400 @@ pub(crate) fn push_escaped(out: &mut String, s: &str) {
 }
 
 /// Formats an `f64` as a JSON number, or `null` when non-finite.
-pub(crate) fn fmt_f64(v: f64) -> String {
+pub fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         // `{:?}` round-trips f64 exactly and always includes a decimal
         // point or exponent, so the output parses back as a float.
         format!("{v:?}")
     } else {
         "null".to_string()
+    }
+}
+
+/// Maximum nesting depth [`JsonValue::parse`] accepts.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON document.
+///
+/// Numbers are kept as `f64` (every JSON number the protocol uses — ids,
+/// budgets, thresholds — fits exactly); object keys keep document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, keys in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Error from [`JsonValue::parse`]: a message and the byte offset it refers
+/// to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{lit}'"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return self.err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.eat_literal("null", JsonValue::Null),
+            Some(b't') => self.eat_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.eat_literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => self.err(format!("unexpected byte 0x{b:02x}")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a following \uXXXX low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return self.err("invalid low surrogate");
+                                    }
+                                    let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(cp)
+                                } else {
+                                    return self.err("unpaired surrogate");
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                            // hex4 advanced past the digits; compensate for
+                            // the shared `pos += 1` below.
+                            self.pos -= 1;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return self.err("raw control character in string"),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input was a valid &str");
+                    let c = s.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|_| JsonError {
+            message: "invalid \\u escape".into(),
+            offset: self.pos,
+        })?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| JsonError {
+            message: "invalid \\u escape".into(),
+            offset: self.pos,
+        })?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(JsonValue::Number(v)),
+            _ => self.err(format!("invalid number '{text}'")),
+        }
+    }
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (rejects trailing non-whitespace).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing characters after document");
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes back to compact JSON (deterministic: keys keep document
+    /// order, floats round-trip via the writer helpers).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Number(v) => {
+                // Integral values print without a trailing `.0` so counters
+                // and ids look like integers on the wire.
+                if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&fmt_f64(*v));
+                }
+            }
+            JsonValue::String(s) => {
+                out.push('"');
+                push_escaped(out, s);
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    push_escaped(out, k);
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
     }
 }
 
@@ -58,5 +459,114 @@ mod tests {
         assert_eq!(fmt_f64(f64::NEG_INFINITY), "null");
         let v = 0.1 + 0.2;
         assert_eq!(fmt_f64(v).parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(
+            JsonValue::parse("-1.25e2").unwrap(),
+            JsonValue::Number(-125.0)
+        );
+        assert_eq!(
+            JsonValue::parse("\"hi\"").unwrap(),
+            JsonValue::String("hi".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures_and_preserves_key_order() {
+        let v = JsonValue::parse(r#"{"b":[1,2,{"x":null}],"a":{"k":"v"}}"#).unwrap();
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().get("k").unwrap().as_str().unwrap(), "v");
+        match &v {
+            JsonValue::Object(fields) => {
+                assert_eq!(fields[0].0, "b");
+                assert_eq!(fields[1].0, "a");
+            }
+            _ => panic!("expected object"),
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\nquote\" tab\t back\\slash unicode é 🚗";
+        let mut doc = String::from("\"");
+        push_escaped(&mut doc, original);
+        doc.push('"');
+        assert_eq!(
+            JsonValue::parse(&doc).unwrap(),
+            JsonValue::String(original.into())
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_including_surrogate_pairs() {
+        assert_eq!(
+            JsonValue::parse(r#""Aé""#).unwrap(),
+            JsonValue::String("Aé".into())
+        );
+        // 🚗 is U+1F697 = surrogate pair d83d/de97.
+        assert_eq!(
+            JsonValue::parse(r#""🚗""#).unwrap(),
+            JsonValue::String("🚗".into())
+        );
+        assert!(JsonValue::parse(r#""\ud83d""#).is_err());
+        assert!(JsonValue::parse(r#""\ud83dx""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "nul",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\":1,}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting_without_overflow() {
+        let deep = "[".repeat(MAX_DEPTH + 10) + &"]".repeat(MAX_DEPTH + 10);
+        let err = JsonValue::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"));
+        // At the limit it still parses.
+        let ok = "[".repeat(MAX_DEPTH - 1) + "1" + &"]".repeat(MAX_DEPTH - 1);
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn write_round_trips_through_parse() {
+        let doc = r#"{"op":"ebs_aggregate","id":7,"params":{"error":0.05,"flags":[true,false,null]},"name":"night\nstreet"}"#;
+        let v = JsonValue::parse(doc).unwrap();
+        let rewritten = v.to_json();
+        assert_eq!(JsonValue::parse(&rewritten).unwrap(), v);
+        // Integral numbers keep an integer wire shape.
+        assert!(rewritten.contains("\"id\":7"));
+        assert!(rewritten.contains("0.05"));
+    }
+
+    #[test]
+    fn accessor_type_mismatches_are_none() {
+        let v = JsonValue::parse(r#"{"n":1.5,"s":"x"}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), None);
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("s").unwrap().as_f64(), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Null.get("k"), None);
+        assert_eq!(JsonValue::parse("3").unwrap().as_u64(), Some(3));
     }
 }

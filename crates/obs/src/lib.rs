@@ -23,7 +23,9 @@
 //! Every record serializes to JSON through a built-in writer (no serde
 //! required); enabling the `serde` feature additionally derives
 //! `serde::Serialize` so the bench harness can embed records in its own
-//! result files.
+//! result files. The [`json`] module also exposes [`JsonValue`], a small
+//! dependency-free parsed-JSON document used by the `tasti-serve` wire
+//! protocol (requests in, responses out) and its loopback client.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,5 +38,6 @@ pub mod timer;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSummary};
+pub use json::{JsonError, JsonValue};
 pub use telemetry::{BuildTelemetry, QueryTelemetry, StageTelemetry};
 pub use timer::{StageRecorder, Stopwatch};

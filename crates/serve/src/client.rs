@@ -1,0 +1,125 @@
+//! A small blocking loopback client for the wire protocol.
+//!
+//! Used by the integration tests, `examples/serving.rs`, the ci.sh smoke
+//! stage, and `tasti_cli probe`. One connection, synchronous call/response.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{Op, Reply, Request};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the server closing the connection).
+    Io(io::Error),
+    /// The server sent something that is not a valid response line.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request (assigning it a fresh id) and waits for the
+    /// response. Connection-level errors (`overloaded`, `shutting_down`)
+    /// arrive as replies with `id: null` and `ok: false` — they are
+    /// returned as `Ok(reply)` so callers can branch on the typed kind.
+    pub fn call(&mut self, req: Request) -> Result<Reply, ClientError> {
+        let (line, id) = self.call_raw(req)?;
+        let reply = Reply::parse(&line).map_err(ClientError::Protocol)?;
+        if let Some(reply_id) = reply.id {
+            if reply_id != id {
+                return Err(ClientError::Protocol(format!(
+                    "response id {reply_id} does not match request id {id}"
+                )));
+            }
+        }
+        Ok(reply)
+    }
+
+    /// Like [`Client::call`], but returns the raw response line (plus the
+    /// id assigned to the request) without parsing it — for tools that
+    /// re-emit the wire format verbatim, like `tasti_cli probe`.
+    pub fn call_raw(&mut self, mut req: Request) -> Result<(String, u64), ClientError> {
+        req.id = self.next_id;
+        self.next_id += 1;
+        let line = req.to_json();
+        // A rejected connection (overloaded / shutting_down) may already
+        // hold the server's parting error line with the socket closed for
+        // writing — attempt the read even when the write fails, so callers
+        // see the typed error instead of a broken pipe.
+        let wrote = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush());
+        let mut response = String::new();
+        let n = match self.reader.read_line(&mut response) {
+            Ok(n) => n,
+            Err(e) => return Err(ClientError::Io(wrote.err().unwrap_or(e))),
+        };
+        if n == 0 {
+            wrote?;
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok((response.trim_end().to_string(), req.id))
+    }
+
+    /// `index_stats` convenience.
+    pub fn index_stats(&mut self) -> Result<Reply, ClientError> {
+        self.call(Request::new(Op::IndexStats))
+    }
+
+    /// `metrics` convenience.
+    pub fn metrics(&mut self) -> Result<Reply, ClientError> {
+        self.call(Request::new(Op::Metrics))
+    }
+
+    /// `snapshot` convenience.
+    pub fn snapshot(&mut self) -> Result<Reply, ClientError> {
+        self.call(Request::new(Op::Snapshot))
+    }
+
+    /// `shutdown` convenience: asks the server to drain.
+    pub fn shutdown(&mut self) -> Result<Reply, ClientError> {
+        self.call(Request::new(Op::Shutdown))
+    }
+}

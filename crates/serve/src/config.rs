@@ -1,0 +1,64 @@
+//! Service configuration.
+
+use std::path::PathBuf;
+
+/// Configuration for a [`crate::Server`] / [`crate::TastiService`].
+///
+/// The defaults suit a local deployment: loopback-only on an ephemeral
+/// port, a small worker pool, cracking enabled. Every knob maps to a
+/// `tasti_cli serve` flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address. Port `0` asks the OS for an ephemeral port (read the
+    /// actual one from [`crate::Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads. Each worker serves one client connection at a time,
+    /// so this is also the concurrent-connection limit.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a free worker. A connection
+    /// arriving with the queue full is rejected immediately with a typed
+    /// `overloaded` error (admission control: fail fast instead of
+    /// accumulating unbounded latency).
+    pub queue_depth: usize,
+    /// Where `snapshot` requests (and the shutdown snapshot) persist the
+    /// index. `None` disables both.
+    pub snapshot_path: Option<PathBuf>,
+    /// Persist a final snapshot during graceful shutdown, after the last
+    /// crack fold-in (requires `snapshot_path`).
+    pub snapshot_on_shutdown: bool,
+    /// Hard target-labeler budget for the service lifetime (`None` =
+    /// unlimited). A query that would exceed it gets a typed
+    /// `budget_exhausted` error.
+    pub label_budget: Option<u64>,
+    /// Fold query-paid labels back into the index (cracking, §3.3) after
+    /// each query. Disable to serve a frozen index.
+    pub crack_after_queries: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 16,
+            snapshot_path: None,
+            snapshot_on_shutdown: false,
+            label_budget: None,
+            crack_after_queries: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_loopback_ephemeral() {
+        let c = ServeConfig::default();
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert!(c.workers >= 1);
+        assert!(c.crack_after_queries);
+        assert!(c.snapshot_path.is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! # tasti-serve
+//!
+//! A long-lived, concurrent query service over a persisted TASTI index —
+//! the "index once, query forever" deployment shape the paper's §3.3
+//! cracking loop implies: load a snapshot, answer ML-powered queries, fold
+//! every query-paid oracle label back into the index so later queries get
+//! a sharper proxy for free.
+//!
+//! Dependency-free by construction (std networking and threads only):
+//!
+//! * [`Server`] — `TcpListener` + fixed worker pool + bounded accept queue
+//!   with fail-fast `overloaded` admission control and graceful
+//!   drain-and-shutdown.
+//! * [`TastiService`] — the transport-agnostic core: one shared index
+//!   behind `RwLock<Arc<_>>` (readers clone the `Arc`, cracking swaps it),
+//!   one shared [`MeteredLabeler`](tasti_labeler::MeteredLabeler) whose
+//!   in-flight set gives exactly-once oracle accounting across concurrent
+//!   queries, per-op latency histograms and counters.
+//! * [`proto`] — the line-delimited JSON wire protocol (requests for all
+//!   five query algorithms plus `index_stats`, `metrics`, `snapshot`,
+//!   `shutdown`), built on `tasti-obs`'s dependency-free JSON.
+//! * [`Client`] — a small blocking client used by tests, the example, the
+//!   CI smoke stage, and `tasti_cli probe`.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tasti_serve::{Client, Op, Request, ServeConfig, Server, TastiService};
+//! # fn demo<L: tasti_labeler::BatchTargetLabeler + 'static>(
+//! #     index: tasti_core::index::TastiIndex,
+//! #     labeler: tasti_labeler::MeteredLabeler<L>,
+//! # ) -> Result<(), Box<dyn std::error::Error>> {
+//! let service = Arc::new(TastiService::new(index, labeler, ServeConfig::default()));
+//! let server = Server::start(service)?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let stats = client.call(Request::new(Op::IndexStats))?;
+//! assert!(stats.ok);
+//! client.shutdown()?;
+//! server.join();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use client::{Client, ClientError};
+pub use config::ServeConfig;
+pub use metrics::ServeMetrics;
+pub use proto::{ErrorKind, Op, Reply, Request, ScoreSpec};
+pub use server::Server;
+pub use service::TastiService;

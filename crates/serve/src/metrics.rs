@@ -1,0 +1,217 @@
+//! Operational metrics of the service.
+//!
+//! Wraps `tasti-obs` counters and histograms behind one struct the server,
+//! service, and the `/metrics` admin request all share. Counters are
+//! lock-free; per-operation latency histograms sit behind tiny mutexes
+//! (recording is O(1), so the critical section is nanoseconds).
+
+use std::sync::Mutex;
+use tasti_obs::json::fmt_f64;
+use tasti_obs::{Counter, Histogram, HistogramSummary};
+
+use crate::proto::Op;
+
+/// Latency + outcome statistics for one protocol operation.
+#[derive(Debug, Default)]
+struct OpStats {
+    ok: Counter,
+    err: Counter,
+    latency_micros: Mutex<Histogram>,
+}
+
+/// Shared operational metrics, dumped verbatim by the `metrics` request.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Connections handed to the worker pool.
+    pub connections_accepted: Counter,
+    /// Connections rejected by admission control (queue full).
+    pub connections_rejected_overloaded: Counter,
+    /// Connections refused because the server was draining.
+    pub connections_rejected_shutdown: Counter,
+    /// Requests parsed off the wire (well-formed or not).
+    pub requests_total: Counter,
+    /// Success responses written.
+    pub responses_ok: Counter,
+    /// Error responses written (any kind).
+    pub responses_error: Counter,
+    /// Requests that failed to parse.
+    pub bad_requests: Counter,
+    /// Representatives added by crack maintenance since startup.
+    pub cracked_reps: Counter,
+    /// Crack maintenance passes that folded in at least one label.
+    pub crack_passes: Counter,
+    /// Snapshots persisted (admin `snapshot` requests + shutdown snapshot).
+    pub snapshots: Counter,
+    per_op: [OpStats; Op::ALL.len()],
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self {
+            connections_accepted: Counter::new(),
+            connections_rejected_overloaded: Counter::new(),
+            connections_rejected_shutdown: Counter::new(),
+            requests_total: Counter::new(),
+            responses_ok: Counter::new(),
+            responses_error: Counter::new(),
+            bad_requests: Counter::new(),
+            cracked_reps: Counter::new(),
+            crack_passes: Counter::new(),
+            snapshots: Counter::new(),
+            per_op: Default::default(),
+        }
+    }
+
+    fn stats(&self, op: Op) -> &OpStats {
+        let idx = Op::ALL.iter().position(|&o| o == op).expect("op in ALL");
+        &self.per_op[idx]
+    }
+
+    /// Records one handled request for `op`.
+    pub fn record(&self, op: Op, micros: u64, ok: bool) {
+        let stats = self.stats(op);
+        if ok {
+            stats.ok.incr();
+            self.responses_ok.incr();
+        } else {
+            stats.err.incr();
+            self.responses_error.incr();
+        }
+        stats
+            .latency_micros
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(micros);
+    }
+
+    /// Latency summary for one operation.
+    pub fn latency_summary(&self, op: Op) -> HistogramSummary {
+        self.stats(op)
+            .latency_micros
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .summary()
+    }
+
+    /// Success/error response counts for one operation.
+    pub fn op_counts(&self, op: Op) -> (u64, u64) {
+        let stats = self.stats(op);
+        (stats.ok.get(), stats.err.get())
+    }
+
+    /// The inner JSON body of the `metrics` result object (no braces).
+    pub fn to_json_body(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |key: &str, c: &Counter, out: &mut String| {
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":");
+            out.push_str(&c.get().to_string());
+            out.push(',');
+        };
+        counter("connections_accepted", &self.connections_accepted, &mut out);
+        counter(
+            "connections_rejected_overloaded",
+            &self.connections_rejected_overloaded,
+            &mut out,
+        );
+        counter(
+            "connections_rejected_shutdown",
+            &self.connections_rejected_shutdown,
+            &mut out,
+        );
+        counter("requests_total", &self.requests_total, &mut out);
+        counter("responses_ok", &self.responses_ok, &mut out);
+        counter("responses_error", &self.responses_error, &mut out);
+        counter("bad_requests", &self.bad_requests, &mut out);
+        counter("cracked_reps", &self.cracked_reps, &mut out);
+        counter("crack_passes", &self.crack_passes, &mut out);
+        counter("snapshots", &self.snapshots, &mut out);
+        out.push_str("\"ops\":{");
+        let mut first = true;
+        for op in Op::ALL {
+            let (ok, err) = self.op_counts(op);
+            let s = self.latency_summary(op);
+            if s.count == 0 && ok == 0 && err == 0 {
+                continue; // keep the dump small: only ops that saw traffic
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            out.push_str(op.name());
+            out.push_str("\":{\"ok\":");
+            out.push_str(&ok.to_string());
+            out.push_str(",\"err\":");
+            out.push_str(&err.to_string());
+            out.push_str(",\"latency_micros\":{\"count\":");
+            out.push_str(&s.count.to_string());
+            out.push_str(",\"min\":");
+            out.push_str(&s.min.to_string());
+            out.push_str(",\"max\":");
+            out.push_str(&s.max.to_string());
+            out.push_str(",\"mean\":");
+            out.push_str(&fmt_f64(s.mean));
+            out.push_str(",\"p50\":");
+            out.push_str(&s.p50.to_string());
+            out.push_str(",\"p90\":");
+            out.push_str(&s.p90.to_string());
+            out.push_str(",\"p99\":");
+            out.push_str(&s.p99.to_string());
+            out.push_str("}}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasti_obs::JsonValue;
+
+    #[test]
+    fn record_updates_totals_and_per_op() {
+        let m = ServeMetrics::new();
+        m.record(Op::EbsAggregate, 120, true);
+        m.record(Op::EbsAggregate, 80, true);
+        m.record(Op::LimitQuery, 50, false);
+        assert_eq!(m.responses_ok.get(), 2);
+        assert_eq!(m.responses_error.get(), 1);
+        assert_eq!(m.op_counts(Op::EbsAggregate), (2, 0));
+        assert_eq!(m.op_counts(Op::LimitQuery), (0, 1));
+        let s = m.latency_summary(Op::EbsAggregate);
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_body_parses_and_omits_idle_ops() {
+        let m = ServeMetrics::new();
+        m.connections_accepted.add(3);
+        m.record(Op::IndexStats, 10, true);
+        let doc = JsonValue::parse(&format!("{{{}}}", m.to_json_body())).unwrap();
+        assert_eq!(doc.get("connections_accepted").unwrap().as_u64(), Some(3));
+        let ops = doc.get("ops").unwrap();
+        assert!(ops.get("index_stats").is_some());
+        assert!(ops.get("ebs_aggregate").is_none(), "idle ops omitted");
+        assert_eq!(
+            ops.get("index_stats")
+                .unwrap()
+                .get("latency_micros")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+}

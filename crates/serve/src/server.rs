@@ -1,0 +1,295 @@
+//! The TCP front end: acceptor thread, bounded connection queue, fixed
+//! worker pool, graceful drain.
+//!
+//! Topology: one acceptor thread owns the listener. Accepted connections
+//! go into a bounded queue (`Mutex<VecDeque>` + `Condvar`); a connection
+//! arriving with the queue full is rejected *immediately* with a typed
+//! `overloaded` error — admission control fails fast instead of letting
+//! latency grow without bound. Each of the `workers` threads pops a
+//! connection and serves it to completion (line in, line out, until EOF),
+//! so `workers` is also the concurrent-connection limit.
+//!
+//! Shutdown (admin `shutdown` request or [`Server::shutdown`]): a flag
+//! flips, the acceptor is unblocked by a self-connection and stops
+//! accepting, workers finish their current connection, then drain the
+//! queue by answering every waiting connection with a `shutting_down`
+//! error. [`Server::join`] runs one final crack fold-in and, when
+//! configured, persists a shutdown snapshot.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use tasti_labeler::BatchTargetLabeler;
+
+use crate::proto::{err_response, ErrorKind, Op, Request};
+use crate::service::TastiService;
+
+/// Shared accept-queue state.
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutting_down: AtomicBool,
+    /// The listener's bound address, for the shutdown self-connection.
+    addr: SocketAddr,
+}
+
+/// A running server. Dropping it does *not* stop the threads — call
+/// [`Server::shutdown_and_join`] (or send the `shutdown` request).
+pub struct Server<L: BatchTargetLabeler + 'static> {
+    service: Arc<TastiService<L>>,
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<L: BatchTargetLabeler + 'static> Server<L> {
+    /// Binds the configured address and spawns the acceptor and worker
+    /// threads. The service's [`crate::ServeConfig`] supplies the bind
+    /// address, pool size, and queue depth.
+    pub fn start(service: Arc<TastiService<L>>) -> io::Result<Server<L>> {
+        let config = service.config().clone();
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            addr,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let service = Arc::clone(&service);
+            let queue_depth = config.queue_depth;
+            std::thread::Builder::new()
+                .name("tasti-serve-acceptor".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shared.shutting_down.load(Ordering::SeqCst) {
+                            // The self-connection that woke us (or a late
+                            // client) — refuse politely and stop.
+                            if let Ok(mut conn) = conn {
+                                let _ = writeln!(
+                                    conn,
+                                    "{}",
+                                    err_response(
+                                        None,
+                                        ErrorKind::ShuttingDown,
+                                        "server is draining"
+                                    )
+                                );
+                            }
+                            break;
+                        }
+                        let conn = match conn {
+                            Ok(c) => c,
+                            Err(_) => continue,
+                        };
+                        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                        if queue.len() >= queue_depth {
+                            drop(queue);
+                            service.metrics().connections_rejected_overloaded.incr();
+                            let mut conn = conn;
+                            let _ = writeln!(
+                                conn,
+                                "{}",
+                                err_response(
+                                    None,
+                                    ErrorKind::Overloaded,
+                                    &format!(
+                                        "connection queue full (depth {queue_depth}); retry later"
+                                    ),
+                                )
+                            );
+                            continue;
+                        }
+                        service.metrics().connections_accepted.incr();
+                        queue.push_back(conn);
+                        drop(queue);
+                        shared.available.notify_one();
+                    }
+                })?
+        };
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let service = Arc::clone(&service);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tasti-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &service))?,
+            );
+        }
+
+        Ok(Server {
+            service,
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service.
+    pub fn service(&self) -> &Arc<TastiService<L>> {
+        &self.service
+    }
+
+    /// Initiates a graceful drain: stop accepting, let in-flight
+    /// connections finish, answer queued ones with `shutting_down`.
+    /// Idempotent; returns immediately. Follow with [`Server::join`].
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Waits for every thread to exit, then runs the final crack fold-in
+    /// and (when configured) the shutdown snapshot. Returns the number of
+    /// reps the final fold-in added.
+    pub fn join(mut self) -> usize {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let added = self.service.crack_pending();
+        let config = self.service.config();
+        if config.snapshot_on_shutdown {
+            if let Some(path) = config.snapshot_path.clone() {
+                let _ = self.service.snapshot_to(&path);
+            }
+        }
+        added
+    }
+
+    /// [`Server::shutdown`] followed by [`Server::join`].
+    pub fn shutdown_and_join(self) -> usize {
+        self.shutdown();
+        self.join()
+    }
+}
+
+/// Flips the drain flag, wakes every parked worker, and unblocks the
+/// acceptor's `accept()` with a throwaway self-connection.
+fn begin_shutdown(shared: &Shared) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    shared.available.notify_all();
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn worker_loop<L: BatchTargetLabeler>(shared: &Shared, service: &TastiService<L>) {
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(conn) = conn else { return };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // Drain path: this connection was queued before the flag
+            // flipped but never got a worker. Tell it so, then keep
+            // draining until the queue is empty.
+            let mut conn = conn;
+            let _ = writeln!(
+                conn,
+                "{}",
+                err_response(None, ErrorKind::ShuttingDown, "server is draining")
+            );
+            continue;
+        }
+        serve_connection(shared, service, conn);
+    }
+}
+
+/// How often an idle worker re-checks the drain flag while waiting for the
+/// next request line.
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Serves one connection to completion: one request line in, one response
+/// line out, until EOF or a `shutdown` request. Reads poll with a short
+/// timeout so an idle keep-alive connection cannot pin a worker past a
+/// drain — on shutdown the client gets a `shutting_down` notice and the
+/// connection closes.
+fn serve_connection<L: BatchTargetLabeler>(
+    shared: &Shared,
+    service: &TastiService<L>,
+    conn: TcpStream,
+) {
+    let _ = conn.set_read_timeout(Some(IDLE_POLL));
+    let mut writer = match conn.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(conn);
+    // One persistent buffer: a timed-out read keeps its partial line and
+    // the retry appends to it.
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF (a trailing partial line is discarded)
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        err_response(None, ErrorKind::ShuttingDown, "server is draining")
+                    );
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // peer vanished mid-line
+        }
+        if line.trim().is_empty() {
+            line.clear();
+            continue;
+        }
+        let response = match Request::parse_line(line.trim()) {
+            Ok(req) => {
+                let response = service.handle(&req);
+                if req.op == Op::Shutdown {
+                    let _ = writeln!(writer, "{response}");
+                    let _ = writer.flush();
+                    begin_shutdown(shared);
+                    return;
+                }
+                response
+            }
+            Err(e) => {
+                service.metrics().requests_total.incr();
+                service.metrics().bad_requests.incr();
+                err_response(e.id, ErrorKind::BadRequest, &e.message)
+            }
+        };
+        line.clear();
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}

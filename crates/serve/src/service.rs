@@ -1,0 +1,480 @@
+//! The query service: one shared index + one shared metered labeler.
+//!
+//! [`TastiService`] is transport-agnostic — [`crate::Server`] feeds it
+//! requests parsed off TCP connections, tests call [`TastiService::handle`]
+//! directly. All concurrency lives here:
+//!
+//! * The index sits behind `RwLock<Arc<TastiIndex>>`. Readers hold the
+//!   lock only long enough to clone the `Arc`, then query a consistent
+//!   snapshot with no lock held.
+//! * Oracle labels go through one [`MeteredLabeler`], whose in-flight set
+//!   gives exactly-once semantics across concurrent queries for free.
+//! * Cracking (§3.3) runs on a maintenance path: after a query, one thread
+//!   at a time clones the current index, folds the labeler's cache in via
+//!   [`crack_from_labeler`] *off-lock*, and swaps the `Arc` under a brief
+//!   write lock. Readers never wait on a crack.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
+
+use tasti_core::crack::crack_from_labeler;
+use tasti_core::index::TastiIndex;
+use tasti_core::persist;
+use tasti_core::scoring::ScoringFunction;
+use tasti_labeler::{BatchTargetLabeler, MeteredLabeler, RecordId};
+use tasti_obs::json::{fmt_f64, push_escaped};
+use tasti_obs::{QueryTelemetry, Stopwatch};
+use tasti_query::{
+    ebs_aggregate_batch, limit_query_batch, predicate_aggregate_batch, supg_precision_target_batch,
+    supg_recall_target_batch, AggregationConfig, PredicateAggConfig, SupgConfig,
+    SupgPrecisionConfig,
+};
+
+use crate::config::ServeConfig;
+use crate::metrics::ServeMetrics;
+use crate::proto::{err_response, ok_response, ErrorKind, Op, Request};
+
+/// Default oracle match threshold: a record matches when its oracle score
+/// is ≥ this. Right for the 0/1 predicate scores (`HasClass`, …).
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// The shared state of a running service.
+pub struct TastiService<L: BatchTargetLabeler> {
+    index: RwLock<Arc<TastiIndex>>,
+    labeler: MeteredLabeler<L>,
+    metrics: ServeMetrics,
+    /// Serializes crack maintenance; queries never wait on it
+    /// (`try_lock`, losers skip the pass — the winner folds their labels
+    /// in anyway, since the labeler cache is shared).
+    maintenance: Mutex<()>,
+    config: ServeConfig,
+}
+
+impl<L: BatchTargetLabeler> TastiService<L> {
+    /// Wraps an index and a labeler into a service. A `label_budget` in the
+    /// config overrides the labeler's own budget.
+    pub fn new(index: TastiIndex, mut labeler: MeteredLabeler<L>, config: ServeConfig) -> Self {
+        if config.label_budget.is_some() {
+            labeler.set_budget(config.label_budget);
+        }
+        Self {
+            index: RwLock::new(Arc::new(index)),
+            labeler,
+            metrics: ServeMetrics::new(),
+            maintenance: Mutex::new(()),
+            config,
+        }
+    }
+
+    /// A consistent snapshot of the current index (brief read lock, then
+    /// lock-free).
+    pub fn index(&self) -> Arc<TastiIndex> {
+        Arc::clone(&self.index.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The shared metered labeler.
+    pub fn labeler(&self) -> &MeteredLabeler<L> {
+        &self.labeler
+    }
+
+    /// The operational metrics.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Handles one request, returning the complete response line (no
+    /// trailing newline). Never panics: query panics are caught and mapped
+    /// to `internal` errors so a poisoned request cannot take a worker
+    /// down.
+    pub fn handle(&self, req: &Request) -> String {
+        self.metrics.requests_total.incr();
+        let sw = Stopwatch::start();
+        let line = match req.op {
+            Op::IndexStats => self.index_stats(req),
+            Op::Metrics => Ok(ok_response(req.id, &self.metrics.to_json_body(), None)),
+            Op::Snapshot => self.snapshot(req),
+            Op::Shutdown => Ok(ok_response(req.id, "\"draining\":true", None)),
+            _ => self.run_query(req),
+        };
+        let (line, ok) = match line {
+            Ok(line) => (line, true),
+            Err((kind, message)) => (err_response(Some(req.id), kind, &message), false),
+        };
+        self.metrics.record(req.op, sw.elapsed_micros(), ok);
+        if ok && req.op.is_query() && self.config.crack_after_queries {
+            self.crack_pending();
+        }
+        line
+    }
+
+    /// Runs one query op end to end. `Err` carries the typed error.
+    fn run_query(&self, req: &Request) -> Result<String, (ErrorKind, String)> {
+        let idx = self.index();
+        if idx.n_records() == 0 {
+            return Err((ErrorKind::Internal, "index has no records".to_string()));
+        }
+        let score = req
+            .score
+            .as_ref()
+            .ok_or_else(|| {
+                (
+                    ErrorKind::BadRequest,
+                    format!("op '{}' needs a 'score' spec", req.op.name()),
+                )
+            })?
+            .to_scoring();
+        let threshold = req.threshold.unwrap_or(DEFAULT_THRESHOLD);
+        // `predicate_aggregate` gates records on a second scoring function;
+        // validate it up front so the failure is a clean `bad_request`.
+        let pred = match req.op {
+            Op::PredicateAggregate => Some(
+                req.predicate
+                    .as_ref()
+                    .ok_or_else(|| {
+                        (
+                            ErrorKind::BadRequest,
+                            "predicate_aggregate needs a 'predicate' spec".to_string(),
+                        )
+                    })?
+                    .to_scoring(),
+            ),
+            _ => None,
+        };
+        // The algorithms never call the oracle past their own budgets, but
+        // the *service-lifetime* label budget can run out mid-query. The
+        // batch front door labels the affordable prefix and errors; we
+        // record the hit, feed the algorithm neutral values so it
+        // terminates normally, and discard its result in favor of a typed
+        // `budget_exhausted` error.
+        let budget_hit = std::sync::atomic::AtomicBool::new(false);
+        let label_scores = |recs: &[RecordId]| -> Vec<f64> {
+            match self.labeler.try_label_batch(recs) {
+                Ok(outputs) => outputs.iter().map(|o| score.score(o)).collect(),
+                Err(_) => {
+                    budget_hit.store(true, std::sync::atomic::Ordering::Relaxed);
+                    vec![0.0; recs.len()]
+                }
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| match req.op {
+            Op::EbsAggregate => {
+                let proxy = self.proxy(&idx, score.as_ref(), req.k);
+                let mut config = AggregationConfig::default();
+                if let Some(v) = req.error_target {
+                    config.error_target = v;
+                }
+                if let Some(v) = req.confidence {
+                    config.confidence = v;
+                }
+                if let Some(v) = req.seed {
+                    config.seed = v;
+                }
+                let r = ebs_aggregate_batch(&proxy, &mut |recs| label_scores(recs), &config);
+                let mut body = String::new();
+                push_num(&mut body, "estimate", r.estimate);
+                push_num(&mut body, "ci_half_width", r.ci_half_width);
+                push_int(&mut body, "samples", r.samples);
+                push_bool(&mut body, "exhausted", r.exhausted);
+                push_num(&mut body, "control_coefficient", r.control_coefficient);
+                push_num(&mut body, "rho_squared", r.rho_squared);
+                body.pop();
+                (body, r.telemetry)
+            }
+            Op::SupgRecallTarget => {
+                let proxy = self.proxy(&idx, score.as_ref(), req.k);
+                let mut config = SupgConfig::default();
+                if let Some(v) = req.recall_target {
+                    config.recall_target = v;
+                }
+                if let Some(v) = req.confidence {
+                    config.confidence = v;
+                }
+                if let Some(v) = req.budget {
+                    config.budget = v;
+                }
+                if let Some(v) = req.uniform_mix {
+                    config.uniform_mix = v;
+                }
+                if let Some(v) = req.seed {
+                    config.seed = v;
+                }
+                let r = supg_recall_target_batch(
+                    &proxy,
+                    &mut |recs| label_scores(recs).iter().map(|&s| s >= threshold).collect(),
+                    &config,
+                );
+                let mut body = String::new();
+                push_int(&mut body, "returned_count", r.returned.len() as u64);
+                push_records(&mut body, "returned", &r.returned);
+                push_num(&mut body, "threshold", r.threshold);
+                push_num(&mut body, "estimated_recall", r.estimated_recall);
+                body.pop();
+                (body, r.telemetry)
+            }
+            Op::SupgPrecisionTarget => {
+                let proxy = self.proxy(&idx, score.as_ref(), req.k);
+                let mut config = SupgPrecisionConfig::default();
+                if let Some(v) = req.precision_target {
+                    config.precision_target = v;
+                }
+                if let Some(v) = req.confidence {
+                    config.confidence = v;
+                }
+                if let Some(v) = req.budget {
+                    config.budget = v;
+                }
+                if let Some(v) = req.uniform_mix {
+                    config.uniform_mix = v;
+                }
+                if let Some(v) = req.seed {
+                    config.seed = v;
+                }
+                let r = supg_precision_target_batch(
+                    &proxy,
+                    &mut |recs| label_scores(recs).iter().map(|&s| s >= threshold).collect(),
+                    &config,
+                );
+                let mut body = String::new();
+                push_int(&mut body, "returned_count", r.returned.len() as u64);
+                push_records(&mut body, "returned", &r.returned);
+                push_num(&mut body, "threshold", r.threshold);
+                push_num(&mut body, "estimated_precision", r.estimated_precision);
+                body.pop();
+                (body, r.telemetry)
+            }
+            Op::LimitQuery => {
+                let ranking = idx.limit_ranking(score.as_ref());
+                let k_matches = req.k_matches.unwrap_or(10);
+                let max_scan = req.max_scan.unwrap_or(ranking.len());
+                let probe_batch = req.probe_batch.unwrap_or(1).max(1);
+                let r = limit_query_batch(
+                    &ranking,
+                    &mut |recs| label_scores(recs).iter().map(|&s| s >= threshold).collect(),
+                    k_matches,
+                    max_scan,
+                    probe_batch,
+                );
+                let mut body = String::new();
+                push_records(&mut body, "found", &r.found);
+                push_bool(&mut body, "satisfied", r.satisfied);
+                body.pop();
+                (body, r.telemetry)
+            }
+            Op::PredicateAggregate => {
+                // `score` plays the value role; `predicate` gates which
+                // records count. A single labeler output answers both.
+                let pred = pred.as_ref().expect("validated above");
+                let pred_proxy = self.proxy(&idx, pred.as_ref(), req.k);
+                let mut config = PredicateAggConfig::default();
+                if let Some(v) = req.budget {
+                    config.budget = v;
+                }
+                if let Some(v) = req.confidence {
+                    config.confidence = v;
+                }
+                if let Some(v) = req.uniform_mix {
+                    config.uniform_mix = v;
+                }
+                if let Some(v) = req.seed {
+                    config.seed = v;
+                }
+                let r = predicate_aggregate_batch(
+                    &pred_proxy,
+                    &mut |recs| match self.labeler.try_label_batch(recs) {
+                        Ok(outputs) => outputs
+                            .iter()
+                            .map(|o| (pred.score(o) >= threshold).then(|| score.score(o)))
+                            .collect(),
+                        Err(_) => {
+                            budget_hit.store(true, std::sync::atomic::Ordering::Relaxed);
+                            vec![None; recs.len()]
+                        }
+                    },
+                    &config,
+                );
+                let mut body = String::new();
+                push_num(&mut body, "estimate", r.estimate);
+                push_num(&mut body, "ci_half_width", r.ci_half_width);
+                push_int(&mut body, "matches_sampled", r.matches_sampled as u64);
+                body.pop();
+                (body, r.telemetry)
+            }
+            _ => unreachable!("non-query ops are dispatched in handle()"),
+        }))
+        .map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "query panicked".to_string());
+            (ErrorKind::Internal, format!("query failed: {msg}"))
+        })?;
+        if budget_hit.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err((
+                ErrorKind::BudgetExhausted,
+                "service label budget exhausted mid-query; partial labels were cached but the \
+                 result is not statistically valid"
+                    .to_string(),
+            ));
+        }
+        let (body, telemetry): (String, QueryTelemetry) = result;
+        Ok(ok_response(req.id, &body, Some(&telemetry)))
+    }
+
+    /// Proxy scores via rep propagation, honoring a per-request `k`.
+    fn proxy(&self, idx: &TastiIndex, score: &dyn ScoringFunction, k: Option<usize>) -> Vec<f64> {
+        match k {
+            Some(k) => idx.propagate_with_k(score, k.clamp(1, idx.k())),
+            None => idx.propagate(score),
+        }
+    }
+
+    fn index_stats(&self, req: &Request) -> Result<String, (ErrorKind, String)> {
+        let idx = self.index();
+        let mut body = String::new();
+        push_int(&mut body, "records", idx.n_records() as u64);
+        push_int(&mut body, "reps", idx.reps().len() as u64);
+        push_int(&mut body, "k", idx.k() as u64);
+        push_int(&mut body, "embedding_dim", idx.embedding_dim() as u64);
+        body.push_str("\"metric\":\"");
+        push_escaped(&mut body, &format!("{:?}", idx.metric()));
+        body.push_str("\",");
+        push_num(&mut body, "cover_radius", idx.cover_radius() as f64);
+        push_bool(&mut body, "has_model", idx.model().is_some());
+        body.push_str("\"labeler\":{");
+        push_int(&mut body, "invocations", self.labeler.invocations());
+        push_int(&mut body, "cache_hits", self.labeler.cache_hits());
+        match self.config.label_budget {
+            Some(b) => push_int(&mut body, "budget", b),
+            None => body.push_str("\"budget\":null,"),
+        }
+        body.pop();
+        body.push('}');
+        Ok(ok_response(req.id, &body, None))
+    }
+
+    fn snapshot(&self, req: &Request) -> Result<String, (ErrorKind, String)> {
+        let path = self.config.snapshot_path.as_ref().ok_or_else(|| {
+            (
+                ErrorKind::BadRequest,
+                "no snapshot path configured (start the server with --snapshot)".to_string(),
+            )
+        })?;
+        self.snapshot_to(path).map(|(records, reps)| {
+            let mut body = String::new();
+            body.push_str("\"path\":\"");
+            push_escaped(&mut body, &path.display().to_string());
+            body.push_str("\",");
+            push_int(&mut body, "records", records as u64);
+            push_int(&mut body, "reps", reps as u64);
+            body.pop();
+            ok_response(req.id, &body, None)
+        })
+    }
+
+    /// Persists the current index to `path` (atomic temp-file + rename via
+    /// `persist::save`). Returns `(records, reps)` of the saved snapshot.
+    pub fn snapshot_to(
+        &self,
+        path: &std::path::Path,
+    ) -> Result<(usize, usize), (ErrorKind, String)> {
+        let idx = self.index();
+        persist::save(&idx, path)
+            .map_err(|e| (ErrorKind::Internal, format!("snapshot failed: {e}")))?;
+        self.metrics.snapshots.incr();
+        Ok((idx.n_records(), idx.reps().len()))
+    }
+
+    /// Folds query-paid labels back into the index (§3.3 cracking) without
+    /// blocking readers: clone the current index, crack the clone off-lock,
+    /// swap the `Arc` under a brief write lock. One pass at a time; callers
+    /// that lose the `try_lock` race skip — the winner folds the shared
+    /// labeler cache in anyway. Returns the number of reps added.
+    pub fn crack_pending(&self) -> usize {
+        let _guard = match self.maintenance.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => return 0,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        };
+        let snapshot = self.index();
+        // Cheap pre-check: anything new to fold in?
+        if !self
+            .labeler
+            .labeled_records()
+            .iter()
+            .any(|&r| r < snapshot.n_records() && !snapshot.is_rep(r))
+        {
+            return 0;
+        }
+        let mut working = (*snapshot).clone();
+        let added = crack_from_labeler(&mut working, &self.labeler);
+        if added > 0 {
+            let next = Arc::new(working);
+            *self.index.write().unwrap_or_else(|e| e.into_inner()) = next;
+            self.metrics.cracked_reps.add(added as u64);
+            self.metrics.crack_passes.incr();
+        }
+        added
+    }
+}
+
+impl<L: BatchTargetLabeler> std::fmt::Debug for TastiService<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let idx = self.index();
+        f.debug_struct("TastiService")
+            .field("records", &idx.n_records())
+            .field("reps", &idx.reps().len())
+            .field("labeler_invocations", &self.labeler.invocations())
+            .finish()
+    }
+}
+
+/// How many record ids a response array carries before truncating (the
+/// count field is always exact).
+const MAX_RECORDS_IN_RESPONSE: usize = 1000;
+
+fn push_num(out: &mut String, key: &str, v: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&fmt_f64(v));
+    out.push(',');
+}
+
+fn push_int(out: &mut String, key: &str, v: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&v.to_string());
+    out.push(',');
+}
+
+fn push_bool(out: &mut String, key: &str, v: bool) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if v { "true" } else { "false" });
+    out.push(',');
+}
+
+fn push_records(out: &mut String, key: &str, records: &[usize]) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":[");
+    for (i, r) in records.iter().take(MAX_RECORDS_IN_RESPONSE).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.to_string());
+    }
+    out.push(']');
+    out.push(',');
+    if records.len() > MAX_RECORDS_IN_RESPONSE {
+        push_bool(out, "truncated", true);
+    }
+}

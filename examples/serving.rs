@@ -1,0 +1,132 @@
+//! Serving a persisted index: build once, answer many queries concurrently.
+//!
+//! Session 1 builds an index over a video and saves it. Session 2 is a
+//! *server process*: it loads the index (zero labeler calls), starts
+//! `tasti-serve` on an ephemeral loopback port, and four concurrent
+//! clients each run a different query type against it over TCP. The
+//! labels those queries pay for are folded back into the index between
+//! requests (cracking), and a final snapshot persists the enriched index.
+//!
+//! The same server is reachable from outside the process:
+//!
+//! ```sh
+//! cargo run --release -- serve --index idx.json --dataset night-street
+//! cargo run --release -- probe agg --addr 127.0.0.1:PORT --class car
+//! ```
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+
+use std::sync::Arc;
+
+use tasti::index::persist;
+use tasti::prelude::*;
+use tasti::serve::{Client, Op, Request, ScoreSpec, ServeConfig, Server, TastiService};
+
+fn main() {
+    let video = tasti::data::video::night_street(4_000, 11);
+    let dataset = &video.dataset;
+    let path = std::env::temp_dir().join("tasti_serving_example.json");
+
+    // ── Session 1: build and persist the index.
+    {
+        let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+        let config = TastiConfig {
+            n_train: 200,
+            n_reps: 400,
+            embedding_dim: 24,
+            ..TastiConfig::default()
+        };
+        let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 3);
+        let pretrained = pt.embed_all(&dataset.features);
+        let (index, report) = build_index(
+            &dataset.features,
+            &pretrained,
+            &labeler,
+            &VideoCloseness::default(),
+            &config,
+        )
+        .expect("construction within budget");
+        persist::save(&index, &path).expect("save index");
+        println!(
+            "built index ({} labeler calls), saved to {}",
+            report.total_invocations,
+            path.display()
+        );
+    }
+
+    // ── Session 2: the server. Loading pays zero labeler invocations.
+    let index = persist::load(&path).expect("load index");
+    let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
+    let config = ServeConfig {
+        workers: 4,
+        snapshot_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(TastiService::new(index, labeler, config));
+    let server = Server::start(service).expect("bind loopback");
+    let addr = server.local_addr();
+    println!(
+        "serving on {addr} with {} reps",
+        server.service().index().reps().len()
+    );
+
+    // ── Four concurrent clients, one query type each.
+    let mut requests = Vec::new();
+
+    let mut agg = Request::new(Op::EbsAggregate);
+    agg.score = Some(ScoreSpec::CountClass(ObjectClass::Car));
+    agg.error_target = Some(0.2);
+    agg.seed = Some(1);
+    requests.push(("avg cars/frame (EBS)", agg));
+
+    let mut supg = Request::new(Op::SupgRecallTarget);
+    supg.score = Some(ScoreSpec::HasAtLeast(ObjectClass::Car, 2));
+    supg.recall_target = Some(0.9);
+    supg.budget = Some(400);
+    supg.seed = Some(2);
+    requests.push(("frames with ≥2 cars (SUPG recall)", supg));
+
+    let mut limit = Request::new(Op::LimitQuery);
+    limit.score = Some(ScoreSpec::HasClass(ObjectClass::Bus));
+    limit.k_matches = Some(5);
+    requests.push(("5 bus frames (limit)", limit));
+
+    let mut pred = Request::new(Op::PredicateAggregate);
+    pred.predicate = Some(ScoreSpec::HasClass(ObjectClass::Bus));
+    pred.score = Some(ScoreSpec::CountClass(ObjectClass::Car));
+    pred.budget = Some(300);
+    pred.seed = Some(3);
+    requests.push(("avg cars among bus frames (predicate agg)", pred));
+
+    let handles: Vec<_> = requests
+        .into_iter()
+        .map(|(what, req)| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let reply = client.call(req).expect("round trip");
+                (what, reply)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (what, reply) = h.join().expect("client thread");
+        assert!(reply.ok, "{what}: {:?}", reply.error_message);
+        println!("{what}: {}", reply.result.to_json());
+    }
+
+    // ── Admin surface: metrics, snapshot of the cracked index, drain.
+    let mut admin = Client::connect(addr).expect("connect admin");
+    let stats = admin.index_stats().expect("stats");
+    println!("index after cracking: {}", stats.result.to_json());
+    let snap = admin.snapshot().expect("snapshot");
+    println!("snapshot: {}", snap.result.to_json());
+    admin.shutdown().expect("shutdown request");
+    let folded = server.join();
+    println!("drained; final fold-in added {folded} reps");
+
+    let reloaded = persist::load(&path).expect("reload snapshot");
+    println!("snapshot reloads with {} reps", reloaded.reps().len());
+    std::fs::remove_file(&path).ok();
+}

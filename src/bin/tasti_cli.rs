@@ -13,10 +13,16 @@
 //! ```
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use tasti::index::persist;
 use tasti::prelude::*;
 use tasti::query::{StoppingRule, SupgConfig};
+use tasti::serve::{
+    Client, Op as ServeOp, Reply, Request as ServeRequest, ScoreSpec, ServeConfig, Server,
+    TastiService,
+};
 use tasti_labeler::Schema;
 
 /// Parsed command line.
@@ -28,6 +34,10 @@ enum Command {
     Info { index: String },
     /// Run a query against a saved index.
     Query(QueryArgs),
+    /// Serve a saved index over TCP until an admin `shutdown` request.
+    Serve(ServeArgs),
+    /// Send one wire-protocol request to a running server.
+    Probe(ProbeArgs),
     /// Print usage.
     Help,
 }
@@ -42,6 +52,35 @@ struct BuildArgs {
     dim: usize,
     out: String,
     pretrained_only: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ServeArgs {
+    index: String,
+    dataset: String,
+    n: usize,
+    seed: u64,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    snapshot: Option<String>,
+    snapshot_on_shutdown: bool,
+    label_budget: Option<u64>,
+    no_crack: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ProbeArgs {
+    /// agg | supg | supg-precision | limit | predicate | stats | metrics
+    /// | snapshot | shutdown
+    op: String,
+    addr: String,
+    class: String,
+    min_count: usize,
+    error: f64,
+    budget: usize,
+    matches: usize,
+    seed: u64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -68,11 +107,22 @@ USAGE:
                   --dataset <name> --n <records> [--seed S]
                   [--class car|bus] [--min-count K] [--error E]
                   [--budget B] [--matches M]
+  tasti_cli serve --index <index.json> --dataset <name> --n <records> [--seed S]
+                  [--addr 127.0.0.1:0] [--workers W] [--queue-depth Q]
+                  [--snapshot <path>] [--snapshot-on-shutdown]
+                  [--label-budget B] [--no-crack]
+  tasti_cli probe <agg|supg|supg-precision|limit|predicate|stats|metrics|snapshot|shutdown>
+                  --addr HOST:PORT [--class car|bus] [--min-count K]
+                  [--error E] [--budget B] [--matches M] [--seed S]
 
 DATASETS: night-street, taipei, amsterdam, wikisql, common-voice
 QUERIES over video use --class/--min-count; wikisql aggregates predicate
 counts and selects SELECT-questions; common-voice aggregates/selects male
-speakers.";
+speakers.
+
+serve answers the line-delimited JSON wire protocol (see tasti-serve) and
+drains gracefully on an admin shutdown request: `tasti_cli probe shutdown
+--addr HOST:PORT`. probe prints the raw response line.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -80,7 +130,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "pretrained-only" {
+            if ["pretrained-only", "snapshot-on-shutdown", "no-crack"].contains(&name) {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else {
@@ -154,8 +204,66 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 matches: get(&flags, "matches", Some(10))?,
             }))
         }
+        Some("serve") => {
+            let flags = parse_flags(&args[1..])?;
+            Ok(Command::Serve(ServeArgs {
+                index: get(&flags, "index", None)?,
+                dataset: get(&flags, "dataset", None)?,
+                n: get(&flags, "n", None)?,
+                seed: get(&flags, "seed", Some(42))?,
+                addr: get(&flags, "addr", Some("127.0.0.1:0".to_string()))?,
+                workers: get(&flags, "workers", Some(4))?,
+                queue_depth: get(&flags, "queue-depth", Some(16))?,
+                snapshot: flags.get("snapshot").cloned(),
+                snapshot_on_shutdown: flags.contains_key("snapshot-on-shutdown"),
+                label_budget: match flags.get("label-budget") {
+                    Some(v) => Some(
+                        v.parse()
+                            .map_err(|_| format!("invalid value for --label-budget: '{v}'"))?,
+                    ),
+                    None => None,
+                },
+                no_crack: flags.contains_key("no-crack"),
+            }))
+        }
+        Some("probe") => {
+            let op = args
+                .get(1)
+                .cloned()
+                .ok_or("probe needs an op: agg|supg|supg-precision|limit|predicate|stats|metrics|snapshot|shutdown")?;
+            if probe_op(&op).is_none() {
+                return Err(format!("unknown probe op '{op}'"));
+            }
+            let flags = parse_flags(&args[2..])?;
+            Ok(Command::Probe(ProbeArgs {
+                op,
+                addr: get(&flags, "addr", None)?,
+                class: get(&flags, "class", Some("car".to_string()))?,
+                min_count: get(&flags, "min-count", Some(1))?,
+                error: get(&flags, "error", Some(0.05))?,
+                budget: get(&flags, "budget", Some(500))?,
+                matches: get(&flags, "matches", Some(10))?,
+                seed: get(&flags, "seed", Some(42))?,
+            }))
+        }
         Some(other) => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// Maps a `probe` op name to the wire protocol operation.
+fn probe_op(name: &str) -> Option<ServeOp> {
+    Some(match name {
+        "agg" => ServeOp::EbsAggregate,
+        "supg" => ServeOp::SupgRecallTarget,
+        "supg-precision" => ServeOp::SupgPrecisionTarget,
+        "limit" => ServeOp::LimitQuery,
+        "predicate" => ServeOp::PredicateAggregate,
+        "stats" => ServeOp::IndexStats,
+        "metrics" => ServeOp::Metrics,
+        "snapshot" => ServeOp::Snapshot,
+        "shutdown" => ServeOp::Shutdown,
+        _ => return None,
+    })
 }
 
 /// Regenerates a named dataset and its oracle labeler.
@@ -383,6 +491,91 @@ fn run_query(a: &QueryArgs) -> Result<(), String> {
     Ok(())
 }
 
+fn run_serve(a: &ServeArgs) -> Result<(), String> {
+    let dataset = load_dataset(&a.dataset, a.n, a.seed)?;
+    let index = persist::load(&a.index).map_err(|e| e.to_string())?;
+    if index.n_records() != dataset.len() {
+        return Err(format!(
+            "index covers {} records but dataset has {} — pass the same --dataset/--n/--seed used at build time",
+            index.n_records(),
+            dataset.len()
+        ));
+    }
+    let labeler = MeteredLabeler::new(OracleLabeler::new(
+        dataset.truth_handle(),
+        CostModel::mask_rcnn().target,
+        Schema::object_detection(),
+        "oracle",
+    ));
+    let config = ServeConfig {
+        addr: a.addr.clone(),
+        workers: a.workers.max(1),
+        queue_depth: a.queue_depth,
+        snapshot_path: a.snapshot.as_ref().map(std::path::PathBuf::from),
+        snapshot_on_shutdown: a.snapshot_on_shutdown,
+        label_budget: a.label_budget,
+        crack_after_queries: !a.no_crack,
+    };
+    let n_reps = index.reps().len();
+    let service = Arc::new(TastiService::new(index, labeler, config));
+    let server = Server::start(service).map_err(|e| e.to_string())?;
+    println!(
+        "serving {} records ({} reps) on {} — {} workers, queue depth {}; \
+         drain with: tasti_cli probe shutdown --addr {}",
+        a.n,
+        n_reps,
+        server.local_addr(),
+        a.workers.max(1),
+        a.queue_depth,
+        server.local_addr(),
+    );
+    // The address line is what scripts (and the CI smoke stage) wait for —
+    // force it out even when stdout is a pipe.
+    std::io::stdout().flush().ok();
+    let added = server.join();
+    println!("drained; final crack fold-in added {added} representatives");
+    Ok(())
+}
+
+fn run_probe(a: &ProbeArgs) -> Result<(), String> {
+    let op = probe_op(&a.op).expect("validated in parse");
+    let mut req = ServeRequest::new(op);
+    req.seed = Some(a.seed);
+    let class = object_class(&a.class)?;
+    match op {
+        ServeOp::EbsAggregate => {
+            req.score = Some(ScoreSpec::CountClass(class));
+            req.error_target = Some(a.error);
+        }
+        ServeOp::SupgRecallTarget | ServeOp::SupgPrecisionTarget => {
+            req.score = Some(ScoreSpec::HasAtLeast(class, a.min_count.max(1)));
+            req.budget = Some(a.budget);
+        }
+        ServeOp::LimitQuery => {
+            req.score = Some(ScoreSpec::HasAtLeast(class, a.min_count.max(1)));
+            req.k_matches = Some(a.matches);
+        }
+        ServeOp::PredicateAggregate => {
+            req.predicate = Some(ScoreSpec::HasAtLeast(class, a.min_count.max(1)));
+            req.score = Some(ScoreSpec::CountClass(class));
+            req.budget = Some(a.budget);
+        }
+        ServeOp::IndexStats | ServeOp::Metrics | ServeOp::Snapshot | ServeOp::Shutdown => {}
+    }
+    let mut client = Client::connect(&a.addr).map_err(|e| e.to_string())?;
+    let (line, _id) = client.call_raw(req).map_err(|e| e.to_string())?;
+    println!("{line}");
+    let reply = Reply::parse(&line).map_err(|e| e.to_string())?;
+    if !reply.ok {
+        return Err(format!(
+            "server returned {}: {}",
+            reply.error_kind.as_deref().unwrap_or("error"),
+            reply.error_message.as_deref().unwrap_or("")
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match parse(&args) {
@@ -400,6 +593,8 @@ fn main() -> ExitCode {
         Command::Build(a) => run_build(a),
         Command::Info { index } => run_info(index),
         Command::Query(a) => run_query(a),
+        Command::Serve(a) => run_serve(a),
+        Command::Probe(a) => run_probe(a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -556,6 +751,61 @@ mod tests {
         assert_eq!(limit_threshold_for("night-street", 4), 4.0);
         assert_eq!(limit_threshold_for("night-street", 0), 1.0);
         assert_eq!(limit_threshold_for("common-voice", 7), 1.0);
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_flags() {
+        let cmd = parse(&s(&[
+            "serve",
+            "--index",
+            "x.json",
+            "--dataset",
+            "night-street",
+            "--n",
+            "500",
+            "--snapshot",
+            "/tmp/snap.json",
+            "--snapshot-on-shutdown",
+            "--label-budget",
+            "250",
+            "--no-crack",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.addr, "127.0.0.1:0");
+                assert_eq!(a.workers, 4);
+                assert_eq!(a.queue_depth, 16);
+                assert_eq!(a.snapshot.as_deref(), Some("/tmp/snap.json"));
+                assert!(a.snapshot_on_shutdown);
+                assert_eq!(a.label_budget, Some(250));
+                assert!(a.no_crack);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_probe_ops() {
+        for op in [
+            "agg",
+            "supg",
+            "supg-precision",
+            "limit",
+            "predicate",
+            "stats",
+            "metrics",
+            "snapshot",
+            "shutdown",
+        ] {
+            let cmd = parse(&s(&["probe", op, "--addr", "127.0.0.1:9"])).unwrap();
+            match cmd {
+                Command::Probe(a) => assert_eq!(a.op, op),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        assert!(parse(&s(&["probe", "nope", "--addr", "x"])).is_err());
+        assert!(parse(&s(&["probe", "stats"])).is_err(), "addr is required");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`nn`] | `tasti-nn` | MLPs, triplet loss, optimizers, metrics |
 //! | [`data`] | `tasti-data` | the five synthetic evaluation datasets |
 //! | [`baselines`] | `tasti-baselines` | per-query proxies, TMAS, no-proxy, exhaustive |
+//! | [`serve`] | `tasti-serve` | concurrent TCP query service over a persisted index |
 //!
 //! ## Quickstart
 //!
@@ -67,6 +68,7 @@ pub use tasti_data as data;
 pub use tasti_labeler as labeler;
 pub use tasti_nn as nn;
 pub use tasti_query as query;
+pub use tasti_serve as serve;
 
 /// The most common imports, bundled.
 pub mod prelude {
