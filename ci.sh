@@ -86,4 +86,40 @@ wait "$SERVE_PID" # graceful drain must exit 0 (set -e enforces)
 SERVE_PID=""
 echo "serve smoke OK (drained cleanly, snapshot written)"
 
+echo "==> chaos: fault-injected suite + serve smoke under injected faults"
+# The dedicated suite: 8-client storm, breaker lifecycle, degraded replies.
+cargo test -q -p tasti-serve --test chaos
+# A serve smoke with live fault injection behind the resilience stack:
+# queries may answer degraded (probe still exits 0 on ok replies), health
+# must answer, and the drain must still exit 0.
+"$CLI" serve --index "$SMOKE/idx.json" --dataset night-street --n 2000 --seed 7 \
+  --addr 127.0.0.1:0 --workers 4 \
+  --fault-transient 0.3 --fault-fatal 0.1 --fault-seed 99 \
+  > "$SMOKE/chaos.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE '127\.0\.0\.1:[0-9]+' "$SMOKE/chaos.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+  echo "chaos smoke: server never printed its address"; cat "$SMOKE/chaos.log"; exit 1
+fi
+# Query ops may answer degraded (ok) or, if the breaker is open, a typed
+# labeler_unavailable error — both are acceptable under injected faults;
+# what must never happen is a hang or an untyped failure.
+for op in agg limit; do
+  "$CLI" probe "$op" --addr "$ADDR" --class car --seed 7 \
+    || echo "chaos smoke: $op answered with a typed error (acceptable under faults)"
+done
+# The admin surface must stay up regardless of oracle health.
+for op in health metrics; do
+  "$CLI" probe "$op" --addr "$ADDR" --class car --seed 7
+done
+"$CLI" probe shutdown --addr "$ADDR"
+wait "$SERVE_PID" # drain under faults must still exit 0
+SERVE_PID=""
+echo "chaos smoke OK (faulted server answered and drained cleanly)"
+
 echo "CI OK"

@@ -42,6 +42,12 @@ pub struct LedgerCell {
     pub meter_invocations: Option<u64>,
     /// Algorithm wall-clock seconds from the attached telemetry.
     pub wall_seconds: Option<f64>,
+    /// Oracle faults the attached telemetry observed (0 when absent —
+    /// fault-free telemetry elides the field).
+    pub oracle_faults: u64,
+    /// Whether the attached telemetry was marked degraded (proxy-only
+    /// partial answer after an unrecoverable oracle fault).
+    pub degraded: bool,
 }
 
 /// Collated invocation totals for one (setting, method) pair.
@@ -64,6 +70,10 @@ pub struct LedgerRow {
     pub meter_mismatches: usize,
     /// Total algorithm wall-clock seconds from attached telemetry.
     pub wall_seconds: f64,
+    /// Total oracle faults observed across the pair's telemetry.
+    pub oracle_faults: u64,
+    /// Cells answered degraded (proxy-only after an unrecoverable fault).
+    pub degraded_cells: usize,
 }
 
 /// Is this metric a target-labeler call count? Matches the experiment
@@ -91,6 +101,8 @@ pub fn collate(cells: &[LedgerCell]) -> Vec<LedgerRow> {
                 metered_calls: 0,
                 meter_mismatches: 0,
                 wall_seconds: 0.0,
+                oracle_faults: 0,
+                degraded_cells: 0,
             });
         let is_calls = is_call_metric(&cell.metric);
         if is_calls && cell.value.is_finite() {
@@ -106,6 +118,10 @@ pub fn collate(cells: &[LedgerCell]) -> Vec<LedgerRow> {
         }
         if let Some(w) = cell.wall_seconds {
             row.wall_seconds += w;
+        }
+        row.oracle_faults += cell.oracle_faults;
+        if cell.degraded {
+            row.degraded_cells += 1;
         }
     }
     rows.into_values().collect()
@@ -131,6 +147,18 @@ pub fn cells_from_records(records: &[ExperimentRecord]) -> Vec<LedgerCell> {
                 .as_ref()
                 .and_then(|t| t.get("wall_seconds"))
                 .and_then(|v| v.as_f64()),
+            oracle_faults: r
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.get("oracle_faults"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+            degraded: r
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.get("degraded"))
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
         })
         .collect()
 }
@@ -166,6 +194,14 @@ pub fn cells_from_json(json: &str) -> Result<Vec<LedgerCell>, String> {
             wall_seconds: telemetry
                 .and_then(|t| t.get("wall_seconds"))
                 .and_then(JsonValue::as_f64),
+            oracle_faults: telemetry
+                .and_then(|t| t.get("oracle_faults"))
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            degraded: telemetry
+                .and_then(|t| t.get("degraded"))
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
         });
     }
     Ok(cells)
@@ -201,20 +237,34 @@ pub fn collate_dir(dir: &Path) -> io::Result<Vec<LedgerRow>> {
 
 /// Renders rows as a GitHub-flavored markdown table (the EXPERIMENTS.md
 /// "Cost ledger" section). Methods with no call cells and no meter
-/// readings are omitted — they contributed only quality metrics.
+/// readings are omitted — they contributed only quality metrics. A
+/// `faults (degraded cells)` column appears only when some run observed an
+/// oracle fault, so fault-free ledgers render identically to before the
+/// fault model existed.
 pub fn render_markdown(rows: &[LedgerRow]) -> String {
+    let with_faults = rows
+        .iter()
+        .any(|r| r.oracle_faults > 0 || r.degraded_cells > 0);
     let mut out = String::new();
     out.push_str(
         "| setting | method | reported calls (cells) | metered calls (cells) | \
-         mismatches | telemetry wall s |\n",
+         mismatches | telemetry wall s |",
     );
-    out.push_str("|---|---|---|---|---|---|\n");
+    if with_faults {
+        out.push_str(" faults (degraded cells) |");
+    }
+    out.push('\n');
+    out.push_str("|---|---|---|---|---|---|");
+    if with_faults {
+        out.push_str("---|");
+    }
+    out.push('\n');
     for row in rows {
         if row.call_cells == 0 && row.metered_cells == 0 {
             continue;
         }
         out.push_str(&format!(
-            "| {} | {} | {} ({}) | {} ({}) | {} | {:.4} |\n",
+            "| {} | {} | {} ({}) | {} ({}) | {} | {:.4} |",
             row.setting,
             row.method,
             row.reported_calls,
@@ -224,6 +274,13 @@ pub fn render_markdown(rows: &[LedgerRow]) -> String {
             row.meter_mismatches,
             row.wall_seconds,
         ));
+        if with_faults {
+            out.push_str(&format!(
+                " {} ({}) |",
+                row.oracle_faults, row.degraded_cells
+            ));
+        }
+        out.push('\n');
     }
     out
 }
@@ -246,6 +303,8 @@ mod tests {
             value,
             meter_invocations: meter,
             wall_seconds: meter.map(|_| 0.5),
+            oracle_faults: 0,
+            degraded: false,
         }
     }
 
@@ -329,5 +388,42 @@ mod tests {
     fn rejects_non_array_roots() {
         assert!(cells_from_json("{\"not\":\"an array\"}").is_err());
         assert!(cells_from_json("not json").is_err());
+    }
+
+    #[test]
+    fn fault_counters_flow_from_telemetry_into_the_ledger() {
+        let json = r#"[
+            {"setting":"night-street","method":"TASTI-T",
+             "metric":"target_calls","value":120.0,
+             "telemetry":{"algorithm":"ebs_aggregate","invocations":120,
+                          "wall_seconds":0.1,"certified":false,
+                          "oracle_faults":1,"degraded":true}},
+            {"setting":"night-street","method":"No proxy",
+             "metric":"target_calls","value":600.0,
+             "telemetry":{"algorithm":"ebs_aggregate","invocations":600,
+                          "wall_seconds":0.2,"certified":true}}
+        ]"#;
+        let cells = cells_from_json(json).unwrap();
+        assert_eq!(cells[0].oracle_faults, 1);
+        assert!(cells[0].degraded);
+        assert_eq!(cells[1].oracle_faults, 0, "elided field reads as zero");
+        assert!(!cells[1].degraded);
+
+        let rows = collate(&cells);
+        let t = rows.iter().find(|r| r.method == "TASTI-T").unwrap();
+        assert_eq!(t.oracle_faults, 1);
+        assert_eq!(t.degraded_cells, 1);
+
+        let md = render_markdown(&rows);
+        assert!(md.contains("faults (degraded cells)"));
+        assert!(md.contains("| 1 (1) |"), "degraded run visible: {md}");
+    }
+
+    #[test]
+    fn fault_free_ledger_renders_without_the_fault_column() {
+        let rows = collate(&[cell("a", "m", "target_calls", 10.0, Some(10))]);
+        let md = render_markdown(&rows);
+        assert!(!md.contains("faults"), "fault-free output unchanged: {md}");
+        assert!(md.contains("| a | m | 10 (1) | 10 (1) | 0 | 0.5000 |\n"));
     }
 }

@@ -24,7 +24,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use tasti_cluster::{kernels, select_threaded, MinKTable};
-use tasti_labeler::{BatchTargetLabeler, BudgetExhausted, ClosenessFn, MeteredLabeler};
+use tasti_labeler::{
+    BatchTargetLabeler, BudgetExhausted, ClosenessFn, FallibleTargetLabeler, LabelerError,
+    LabelerFault, MeteredLabeler,
+};
 use tasti_nn::train::fit_triplet;
 use tasti_nn::{Adam, Matrix, Mlp, MlpConfig};
 use tasti_obs::{BuildTelemetry, StageRecorder, StageTelemetry};
@@ -32,6 +35,46 @@ use tasti_obs::{BuildTelemetry, StageRecorder, StageTelemetry};
 /// One timed construction stage — an alias of the shared telemetry record;
 /// the per-stage accounting convention lives in `tasti-obs`.
 pub type BuildStage = StageTelemetry;
+
+/// Why a build could not complete: the labeler's hard budget ran out, or a
+/// live oracle faulted unrecoverably mid-annotation. Index construction has
+/// no meaningful partial answer (a half-annotated representative set is not
+/// an index), so faults abort the build rather than degrade it — callers
+/// retry once the oracle recovers, and the meter's cache makes the retry
+/// resume where the failed build stopped paying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The configured annotation budget cannot cover `N₁ + N₂` labels.
+    Budget(BudgetExhausted),
+    /// The oracle faulted after retries (or fatally) during an annotation
+    /// stage. The named stage had completed `labels_completed` labels —
+    /// all of which remain cached and billed exactly once.
+    Fault {
+        /// The construction stage that was annotating when the fault hit.
+        stage: &'static str,
+        /// The unrecoverable fault, as surfaced below the meter.
+        fault: LabelerFault,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Budget(b) => write!(f, "index build aborted: {b}"),
+            BuildError::Fault { stage, fault } => {
+                write!(f, "index build aborted during `{stage}`: {fault}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<BudgetExhausted> for BuildError {
+    fn from(b: BudgetExhausted) -> Self {
+        BuildError::Budget(b)
+    }
+}
 
 /// Construction report: the data behind Figure 2 and Figure 3's x-axis.
 #[derive(Debug, Clone, Serialize)]
@@ -119,6 +162,31 @@ pub fn build_index<L: BatchTargetLabeler>(
     closeness: &dyn ClosenessFn,
     config: &TastiConfig,
 ) -> Result<(TastiIndex, BuildReport), BudgetExhausted> {
+    match try_build_index(features, pretrained, labeler, closeness, config) {
+        Ok(built) => Ok(built),
+        Err(BuildError::Budget(b)) => Err(b),
+        // The blanket fallible impl over infallible labelers never faults.
+        Err(BuildError::Fault { stage, fault }) => {
+            panic!("infallible labeler faulted during `{stage}`: {fault}")
+        }
+    }
+}
+
+/// Fault-aware [`build_index`]: accepts any [`FallibleTargetLabeler`]
+/// (a [`tasti_labeler::ResilientLabeler`] over a live oracle, a
+/// [`tasti_labeler::FaultInjectingLabeler`] in chaos tests) and surfaces
+/// unrecoverable faults as a typed [`BuildError`] instead of panicking.
+///
+/// Labels completed before the fault stay cached and billed exactly once
+/// (the meter releases the faulted call's reservation), so retrying the
+/// build after recovery pays only for what is still missing.
+pub fn try_build_index<L: FallibleTargetLabeler>(
+    features: &Matrix,
+    pretrained: &Matrix,
+    labeler: &MeteredLabeler<L>,
+    closeness: &dyn ClosenessFn,
+    config: &TastiConfig,
+) -> Result<(TastiIndex, BuildReport), BuildError> {
     assert_eq!(
         features.rows(),
         pretrained.rows(),
@@ -154,7 +222,15 @@ pub fn build_index<L: BatchTargetLabeler>(
         // records are distinct, so the whole stage is one batched inner
         // call — meter-identical to labeling them one by one.
         rec.start("annotate-train", labeler.invocations());
-        let outputs = labeler.try_label_batch(&mining.selected)?;
+        let outputs = labeler
+            .try_label_batch_fallible(&mining.selected)
+            .map_err(|e| match e {
+                LabelerError::Budget(b) => BuildError::Budget(b),
+                LabelerError::Fault(fault) => BuildError::Fault {
+                    stage: "annotate-train",
+                    fault,
+                },
+            })?;
         let mut buckets = Vec::with_capacity(mining.selected.len());
         let mut bucket_ids: std::collections::HashMap<u64, usize> = Default::default();
         for out in &outputs {
@@ -212,7 +288,15 @@ pub fn build_index<L: BatchTargetLabeler>(
     // ── Stage 6: annotate the representatives — one batched inner call
     //    (training-point overlap is served from the labeler's cache).
     rec.start("annotate-reps", labeler.invocations());
-    let rep_outputs = labeler.try_label_batch(&clustering.selected)?;
+    let rep_outputs = labeler
+        .try_label_batch_fallible(&clustering.selected)
+        .map_err(|e| match e {
+            LabelerError::Budget(b) => BuildError::Budget(b),
+            LabelerError::Fault(fault) => BuildError::Fault {
+                stage: "annotate-reps",
+                fault,
+            },
+        })?;
     rec.finish(labeler.invocations());
 
     // ── Stage 7: min-k distance table.
@@ -266,7 +350,7 @@ mod tests {
     use tasti_cluster::SelectionStrategy;
     use tasti_data::video::night_street;
     use tasti_data::{OracleLabeler, PretrainedEmbedder};
-    use tasti_labeler::{ObjectClass, VideoCloseness};
+    use tasti_labeler::{FaultInjectingLabeler, FaultKind, FaultPlan, ObjectClass, VideoCloseness};
     use tasti_nn::metrics::rho_squared;
     use tasti_nn::TripletConfig;
 
@@ -417,6 +501,109 @@ mod tests {
             parsed["total_invocations"].as_u64(),
             Some(labeler.invocations())
         );
+    }
+
+    #[test]
+    fn oracle_fault_aborts_the_build_with_stage_context() {
+        // Pretrained-only build: the sole annotation stage is annotate-reps,
+        // and the scripted fault hits its one batched call.
+        let preset = night_street(400, 7);
+        let dataset = preset.dataset;
+        let inner = FaultInjectingLabeler::with_script(
+            OracleLabeler::mask_rcnn(dataset.truth_handle()),
+            FaultPlan::default(),
+            [Some(FaultKind::Fatal)],
+        );
+        let labeler = MeteredLabeler::new(inner);
+        let config = small_config().pretrained_only();
+        let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 3);
+        let pretrained = pt.embed_all(&dataset.features);
+        let err = try_build_index(
+            &dataset.features,
+            &pretrained,
+            &labeler,
+            &VideoCloseness::default(),
+            &config,
+        )
+        .expect_err("scripted fatal fault must abort the build");
+        match err {
+            BuildError::Fault { stage, .. } => assert_eq!(stage, "annotate-reps"),
+            other => panic!("expected an oracle fault, got {other:?}"),
+        }
+        // The faulted batch billed nothing and left no reservation behind.
+        assert_eq!(labeler.invocations(), 0);
+        assert_eq!(labeler.reserved(), 0);
+    }
+
+    #[test]
+    fn retrying_after_a_fault_resumes_from_the_cache() {
+        // Trained build: annotate-train (call 1) succeeds, annotate-reps
+        // (call 2) faults. The retry re-derives the same training points
+        // (seeded build) and pays for them from the cache.
+        let preset = night_street(400, 7);
+        let dataset = preset.dataset;
+        let inner = FaultInjectingLabeler::with_script(
+            OracleLabeler::mask_rcnn(dataset.truth_handle()),
+            FaultPlan::default(),
+            [None, Some(FaultKind::Transient)],
+        );
+        let labeler = MeteredLabeler::new(inner);
+        let config = small_config();
+        let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 3);
+        let pretrained = pt.embed_all(&dataset.features);
+        let err = try_build_index(
+            &dataset.features,
+            &pretrained,
+            &labeler,
+            &VideoCloseness::default(),
+            &config,
+        )
+        .expect_err("scripted transient fault must abort the build");
+        assert!(matches!(err, BuildError::Fault { stage, .. } if stage == "annotate-reps"));
+        let paid_before_fault = labeler.invocations();
+        assert_eq!(paid_before_fault, config.n_train as u64);
+        assert_eq!(labeler.reserved(), 0);
+
+        // Script exhausted → the oracle has recovered; the retry completes.
+        let (index, report) = try_build_index(
+            &dataset.features,
+            &pretrained,
+            &labeler,
+            &VideoCloseness::default(),
+            &config,
+        )
+        .expect("retry after recovery must succeed");
+        assert_eq!(index.reps().len(), config.n_reps);
+        // Exactly-once billing across the failed attempt and the retry:
+        // nothing paid before the fault is paid again.
+        assert!(labeler.invocations() <= (config.n_train + config.n_reps) as u64);
+        assert!(labeler.cache_hits() >= config.n_train as u64);
+        assert!(report.total_invocations <= labeler.invocations());
+    }
+
+    #[test]
+    fn fault_aware_build_is_identical_to_classic_without_faults() {
+        let config = small_config();
+        let (dataset, classic_labeler, classic_index, classic_report) = build_night_street(&config);
+        let inner = FaultInjectingLabeler::new(
+            OracleLabeler::mask_rcnn(dataset.truth_handle()),
+            FaultPlan::default(),
+        );
+        let labeler = MeteredLabeler::new(inner);
+        let mut pt = PretrainedEmbedder::new(dataset.feature_dim(), config.embedding_dim, 3);
+        let pretrained = pt.embed_all(&dataset.features);
+        let (index, report) = try_build_index(
+            &dataset.features,
+            &pretrained,
+            &labeler,
+            &VideoCloseness::default(),
+            &config,
+        )
+        .expect("fault-free fallible build must succeed");
+        assert_eq!(index.reps(), classic_index.reps());
+        assert_eq!(index.embeddings(), classic_index.embeddings());
+        assert_eq!(labeler.invocations(), classic_labeler.invocations());
+        assert_eq!(report.total_invocations, classic_report.total_invocations);
     }
 
     #[test]

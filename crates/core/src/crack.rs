@@ -11,15 +11,16 @@
 //! parallelizable").
 
 use crate::index::TastiIndex;
-use tasti_labeler::{MeteredLabeler, TargetLabeler};
+use tasti_labeler::MeteredLabeler;
 
 /// Adds every record the labeler has annotated (typically during a query)
 /// that is not yet a representative. Returns how many representatives were
 /// added.
-pub fn crack_from_labeler<L: TargetLabeler>(
-    index: &mut TastiIndex,
-    labeler: &MeteredLabeler<L>,
-) -> usize {
+///
+/// Only the meter's bookkeeping (cache sweep) is touched, so any wrapped
+/// labeler qualifies — including fallible ones mid-incident: cracking after
+/// a degraded query absorbs exactly the labels that were actually paid for.
+pub fn crack_from_labeler<L>(index: &mut TastiIndex, labeler: &MeteredLabeler<L>) -> usize {
     let mut added = 0;
     let mut records = labeler.labeled_records();
     records.sort_unstable(); // deterministic insertion order

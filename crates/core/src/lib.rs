@@ -45,7 +45,7 @@ pub mod persist;
 pub mod propagate;
 pub mod scoring;
 
-pub use build::{build_index, BuildReport, BuildStage};
+pub use build::{build_index, try_build_index, BuildError, BuildReport, BuildStage};
 pub use config::TastiConfig;
 pub use index::TastiIndex;
 pub use scoring::{

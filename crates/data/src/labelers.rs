@@ -274,4 +274,58 @@ mod tests {
             .count();
         assert!(differing > 0);
     }
+
+    fn boxed(x: f32, w: f32) -> LabelerOutput {
+        LabelerOutput::Detections(vec![Detection {
+            class: ObjectClass::Car,
+            x,
+            y: 0.5,
+            w,
+            h: 0.1,
+        }])
+    }
+
+    /// Structurally invalid detections (NaN / out-of-range boxes) must be
+    /// rejected as `Corrupt` at the fallible boundary instead of flowing
+    /// into scoring functions — the same contract the rep-score
+    /// sanitization enforces downstream.
+    #[test]
+    fn corrupt_oracle_outputs_are_rejected_at_the_fallible_boundary() {
+        use tasti_labeler::{FallibleTargetLabeler, LabelerFault};
+        let truth = Arc::new(vec![
+            boxed(0.5, 0.1),      // valid
+            boxed(f32::NAN, 0.1), // non-finite coordinate
+            boxed(0.5, 3.0),      // extent outside normalized [0, 1]
+        ]);
+        let oracle = OracleLabeler::mask_rcnn(truth);
+        assert!(oracle.try_label(0).is_ok());
+        match oracle.try_label(1) {
+            Err(LabelerFault::Corrupt(m)) => assert!(m.contains("non-finite"), "got: {m}"),
+            other => panic!("NaN box must be Corrupt, got {other:?}"),
+        }
+        match oracle.try_label(2) {
+            Err(LabelerFault::Corrupt(m)) => assert!(m.contains("[0, 1]"), "got: {m}"),
+            other => panic!("out-of-range box must be Corrupt, got {other:?}"),
+        }
+        // One corrupt record poisons its whole batch: all-or-nothing, so a
+        // degraded query never scores half-validated outputs.
+        assert!(matches!(
+            oracle.try_label_batch(&[0, 1]),
+            Err(LabelerFault::Corrupt(_))
+        ));
+        assert!(oracle.try_label_batch(&[0]).is_ok());
+    }
+
+    /// `NoisyDetector` corrupts *semantics* (counts, positions), never
+    /// *structure*: its position noise is clamped into the normalized
+    /// range, so the fallible boundary accepts every output.
+    #[test]
+    fn noisy_detector_outputs_always_validate() {
+        use tasti_labeler::FallibleTargetLabeler;
+        let p = night_street(1000, 6);
+        let ssd = NoisyDetector::ssd(p.dataset.truth_handle(), 11);
+        for i in 0..p.dataset.len() {
+            assert!(ssd.try_label(i).is_ok(), "record {i} failed validation");
+        }
+    }
 }

@@ -16,6 +16,7 @@
 //! exactly-once contract on [`MeteredLabeler`]).
 
 use crate::cost::LabelCost;
+use crate::fault::{FallibleTargetLabeler, LabelerFault, OracleHealth};
 use crate::output::LabelerOutput;
 use crate::schema::Schema;
 use crate::RecordId;
@@ -83,6 +84,54 @@ impl fmt::Display for BudgetExhausted {
 
 impl std::error::Error for BudgetExhausted {}
 
+/// Why a metered, fallible labeling call could not complete: either the hard
+/// invocation budget is spent, or the oracle faulted unrecoverably.
+///
+/// Budget exhaustion and oracle faults are deliberately distinct: the former
+/// is the *caller's* resource decision (and the affordable prefix was still
+/// labeled), the latter is an *oracle* failure (and released its budget
+/// reservation, so nothing was billed for the failed attempt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelerError {
+    /// The hard invocation budget would be exceeded.
+    Budget(BudgetExhausted),
+    /// The oracle failed and resilience (if any) could not recover.
+    Fault(LabelerFault),
+}
+
+impl LabelerError {
+    /// The fault, if this error is one.
+    pub fn fault(&self) -> Option<&LabelerFault> {
+        match self {
+            LabelerError::Fault(f) => Some(f),
+            LabelerError::Budget(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for LabelerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelerError::Budget(b) => b.fmt(f),
+            LabelerError::Fault(fault) => fault.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LabelerError {}
+
+impl From<BudgetExhausted> for LabelerError {
+    fn from(b: BudgetExhausted) -> Self {
+        LabelerError::Budget(b)
+    }
+}
+
+impl From<LabelerFault> for LabelerError {
+    fn from(f: LabelerFault) -> Self {
+        LabelerError::Fault(f)
+    }
+}
+
 #[derive(Default)]
 struct MeterState {
     cache: HashMap<RecordId, LabelerOutput>,
@@ -113,9 +162,19 @@ struct MeterState {
 /// on a condvar and is served from the cache when the first caller commits.
 /// Every distinct record therefore triggers **at most one** inner
 /// invocation and is billed **at most once**, no matter how many threads
-/// race for it. If the inner labeler panics, the reservation is released
-/// and the record's waiters retry (one of them re-invokes), so a hard
-/// budget is never overshot and never leaks.
+/// race for it. If the inner labeler panics — or, on the fallible path,
+/// returns a [`LabelerFault`] — the reservation is released and the
+/// record's waiters retry (one of them re-invokes), so a hard budget is
+/// never overshot and never leaks, and a failed attempt is never billed.
+///
+/// # Fallible oracles
+///
+/// The wrapped labeler may be any [`FallibleTargetLabeler`] (every
+/// [`BatchTargetLabeler`] is one for free, and resilience middleware such
+/// as `ResilientLabeler` plugs in here). Budget-aware, fault-aware callers
+/// use [`try_label_fallible`] / [`try_label_batch_fallible`]; the classic
+/// infallible entry points remain for plain batch labelers and treat an
+/// unrecoverable fault (e.g. corrupt output) as a panic.
 ///
 /// ```
 /// use tasti_labeler::*;
@@ -128,13 +187,17 @@ struct MeterState {
 ///     fn schema(&self) -> Schema { Schema::wikisql() }
 ///     fn name(&self) -> &str { "fake" }
 /// }
+/// impl BatchTargetLabeler for Fake {}
 /// let m = MeteredLabeler::new(Fake);
 /// let _ = m.label(3);
 /// let _ = m.label(3); // cache hit — not billed again
 /// assert_eq!(m.invocations(), 1);
 /// assert_eq!(m.total_cost().dollars, 0.07);
 /// ```
-pub struct MeteredLabeler<L: TargetLabeler> {
+///
+/// [`try_label_fallible`]: MeteredLabeler::try_label_fallible
+/// [`try_label_batch_fallible`]: MeteredLabeler::try_label_batch_fallible
+pub struct MeteredLabeler<L> {
     inner: L,
     state: Mutex<MeterState>,
     /// Signalled whenever an in-flight record commits (or its reservation is
@@ -143,16 +206,16 @@ pub struct MeteredLabeler<L: TargetLabeler> {
     budget: Option<u64>,
 }
 
-/// Releases in-flight reservations if the inner labeler panics, so waiters
-/// unblock (and retry) instead of deadlocking, and the budget units flow
-/// back instead of leaking. Disarmed on the normal commit path.
-struct Reservation<'a, L: TargetLabeler> {
+/// Releases in-flight reservations if the inner labeler panics or faults,
+/// so waiters unblock (and retry) instead of deadlocking, and the budget
+/// units flow back instead of leaking. Disarmed on the normal commit path.
+struct Reservation<'a, L> {
     labeler: &'a MeteredLabeler<L>,
     records: &'a [RecordId],
     armed: bool,
 }
 
-impl<L: TargetLabeler> Drop for Reservation<'_, L> {
+impl<L> Drop for Reservation<'_, L> {
     fn drop(&mut self) {
         if !self.armed {
             return;
@@ -167,7 +230,7 @@ impl<L: TargetLabeler> Drop for Reservation<'_, L> {
     }
 }
 
-impl<L: TargetLabeler> MeteredLabeler<L> {
+impl<L> MeteredLabeler<L> {
     /// Wraps a labeler with unlimited budget.
     pub fn new(inner: L) -> Self {
         Self {
@@ -212,16 +275,92 @@ impl<L: TargetLabeler> MeteredLabeler<L> {
         self.committed.notify_all();
     }
 
-    /// Labels `record`, counting one invocation only on a cache miss.
+    /// Returns the cached output for `record` without invoking the labeler.
+    pub fn cached(&self, record: RecordId) -> Option<LabelerOutput> {
+        self.lock_state().cache.get(&record).cloned()
+    }
+
+    /// All records labeled so far, in unspecified order.
+    pub fn labeled_records(&self) -> Vec<RecordId> {
+        self.lock_state().cache.keys().copied().collect()
+    }
+
+    /// Number of distinct inner-labeler invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.lock_state().invocations
+    }
+
+    /// Number of cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.lock_state().cache_hits
+    }
+
+    /// Budget units currently reserved by in-flight inner calls. Zero
+    /// whenever no labeling call is executing — a failed or panicked call
+    /// must release its reservations (chaos tests assert this).
+    pub fn reserved(&self) -> u64 {
+        self.lock_state().reserved
+    }
+
+    /// Latency distribution of cache-miss inner-labeler calls (count, min,
+    /// max, mean, p50/p90/p99 — all in microseconds). Covers the same calls
+    /// the invocation meter counts; cache hits are excluded. Batched inner
+    /// calls are attributed evenly across their records.
+    pub fn latency_summary(&self) -> HistogramSummary {
+        self.lock_state().latency_micros.summary()
+    }
+
+    /// Resets the invocation meter (the cache is preserved — cached labels
+    /// were already paid for; this mirrors amortizing index-construction cost
+    /// across queries in Table 1).
+    pub fn reset_meter(&self) {
+        let mut state = self.lock_state();
+        state.invocations = 0;
+        state.cache_hits = 0;
+        // The latency histogram covers the same calls the meter counts.
+        state.latency_micros = Histogram::new();
+    }
+
+    /// Clears both the cache and the meter.
+    pub fn reset_all(&self) {
+        let mut state = self.lock_state();
+        // In-flight reservations belong to live callers — clearing them
+        // would double-release when those calls commit. Reset everything
+        // else.
+        state.cache.clear();
+        state.invocations = 0;
+        state.cache_hits = 0;
+        state.latency_micros = Histogram::new();
+    }
+
+    /// Replaces the hard budget.
+    pub fn set_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    /// Access to the wrapped labeler.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+impl<L: FallibleTargetLabeler> MeteredLabeler<L> {
+    /// Labels `record` through the fallible oracle path, counting one
+    /// invocation only on a successfully committed cache miss.
     ///
     /// If another thread is already labeling `record`, this call waits for
     /// that result instead of re-invoking the oracle (counted as a cache
     /// hit: the invocation is billed to the thread that performed it).
     ///
     /// # Errors
-    /// Returns [`BudgetExhausted`] when the record is uncached and the
-    /// budget (including in-flight reservations) is spent.
-    pub fn try_label(&self, record: RecordId) -> Result<LabelerOutput, BudgetExhausted> {
+    /// Returns [`LabelerError::Budget`] when the record is uncached and the
+    /// budget (including in-flight reservations) is spent, and
+    /// [`LabelerError::Fault`] when the oracle fails unrecoverably (after
+    /// whatever retrying the wrapped labeler performs). A faulted attempt
+    /// releases its budget reservation through the same drop guard as the
+    /// panic path — nothing is billed — and wakes waiters so one of them
+    /// can retry.
+    pub fn try_label_fallible(&self, record: RecordId) -> Result<LabelerOutput, LabelerError> {
         let mut state = self.lock_state();
         loop {
             if let Some(out) = state.cache.get(&record).cloned() {
@@ -241,7 +380,7 @@ impl<L: TargetLabeler> MeteredLabeler<L> {
         }
         if let Some(b) = self.budget {
             if state.invocations + state.reserved >= b {
-                return Err(BudgetExhausted { budget: b });
+                return Err(BudgetExhausted { budget: b }.into());
             }
         }
         state.reserved += 1;
@@ -257,50 +396,48 @@ impl<L: TargetLabeler> MeteredLabeler<L> {
             armed: true,
         };
         let sw = Stopwatch::start();
-        let out = self.inner.label(record);
+        // On a fault, `?` returns with the reservation still armed: its drop
+        // releases the budget unit and in-flight mark, exactly like the
+        // panic path.
+        let out = self.inner.try_label(record)?;
         let elapsed = sw.elapsed_micros();
         reservation.armed = false;
         self.commit(&records, vec![out.clone()], elapsed);
         Ok(out)
     }
 
-    /// Labels `record`, panicking if a hard budget is exhausted. Use
-    /// [`MeteredLabeler::try_label`] in budget-aware algorithms.
-    pub fn label(&self, record: RecordId) -> LabelerOutput {
-        self.try_label(record)
-            .expect("target labeler budget exhausted")
-    }
-
-    /// Labels a batch of records, invoking the inner labeler **once** for
-    /// all uncached records and serving the rest from the cache.
+    /// Labels a batch through the fallible oracle path, invoking the inner
+    /// labeler **once** for all uncached records and serving the rest from
+    /// the cache.
     ///
     /// Under the lock the request is partitioned into cache hits, records
     /// some other thread is already labeling, and this call's misses
     /// (distinct, first-occurrence order). The misses are then labeled in a
-    /// single [`BatchTargetLabeler::label_batch`] call *outside* the lock;
-    /// duplicate occurrences and records labeled elsewhere count as cache
-    /// hits, exactly as the equivalent sequential [`try_label`] loop would
-    /// count them. On a cold cache the invocation meter advances by the
-    /// number of distinct records — bit-identical to the sequential loop.
+    /// single [`FallibleTargetLabeler::try_label_batch`] call *outside* the
+    /// lock; duplicate occurrences and records labeled elsewhere count as
+    /// cache hits, exactly as the equivalent sequential [`try_label`] loop
+    /// would count them. On a cold cache the invocation meter advances by
+    /// the number of distinct records — bit-identical to the sequential
+    /// loop.
     ///
     /// Per-record latency is recorded as the batch wall-clock divided by the
     /// batch size, so the latency histogram's count stays equal to the
     /// invocation meter.
     ///
     /// # Errors
-    /// Returns [`BudgetExhausted`] when the budget cannot cover every miss.
-    /// Mirroring the sequential loop, the affordable prefix of misses is
-    /// still labeled (and billed, and cached) before the error is returned;
-    /// reservations for the unaffordable remainder are never taken.
+    /// Returns [`LabelerError::Budget`] when the budget cannot cover every
+    /// miss. Mirroring the sequential loop, the affordable prefix of misses
+    /// is still labeled (and billed, and cached) before the error is
+    /// returned; reservations for the unaffordable remainder are never
+    /// taken. On [`LabelerError::Fault`] the whole inner attempt failed:
+    /// none of this call's misses were billed or cached, and every
+    /// reservation was released.
     ///
     /// [`try_label`]: MeteredLabeler::try_label
-    pub fn try_label_batch(
+    pub fn try_label_batch_fallible(
         &self,
         records: &[RecordId],
-    ) -> Result<Vec<LabelerOutput>, BudgetExhausted>
-    where
-        L: BatchTargetLabeler,
-    {
+    ) -> Result<Vec<LabelerOutput>, LabelerError> {
         // ── Partition under the lock (no oracle work here).
         let mut state = self.lock_state();
         let mut mine: Vec<RecordId> = Vec::new();
@@ -351,7 +488,10 @@ impl<L: TargetLabeler> MeteredLabeler<L> {
                 armed: true,
             };
             let sw = Stopwatch::start();
-            let outputs = self.inner.label_batch(&mine);
+            // On a fault, `?` returns with the reservation still armed: its
+            // drop releases every budget unit and in-flight mark this call
+            // took, exactly like the panic path.
+            let outputs = self.inner.try_label_batch(&mine)?;
             let elapsed = sw.elapsed_micros();
             assert_eq!(
                 outputs.len(),
@@ -365,11 +505,11 @@ impl<L: TargetLabeler> MeteredLabeler<L> {
         // ── Wait for records other threads were labeling (their commit
         // serves us from the cache; if their call failed we label here).
         for r in theirs {
-            self.try_label(r)?;
+            self.try_label_fallible(r)?;
         }
 
         if let Some(err) = exhausted {
-            return Err(err);
+            return Err(err.into());
         }
 
         // ── Assemble outputs in input order from the cache (hits were
@@ -387,80 +527,80 @@ impl<L: TargetLabeler> MeteredLabeler<L> {
             .collect())
     }
 
-    /// Labels a batch of records, panicking if a hard budget is exhausted.
-    /// Use [`MeteredLabeler::try_label_batch`] in budget-aware algorithms.
-    pub fn label_batch(&self, records: &[RecordId]) -> Vec<LabelerOutput>
-    where
-        L: BatchTargetLabeler,
-    {
-        self.try_label_batch(records)
-            .expect("target labeler budget exhausted")
-    }
-
-    /// Returns the cached output for `record` without invoking the labeler.
-    pub fn cached(&self, record: RecordId) -> Option<LabelerOutput> {
-        self.lock_state().cache.get(&record).cloned()
-    }
-
-    /// All records labeled so far, in unspecified order.
-    pub fn labeled_records(&self) -> Vec<RecordId> {
-        self.lock_state().cache.keys().copied().collect()
-    }
-
-    /// Number of distinct inner-labeler invocations so far.
-    pub fn invocations(&self) -> u64 {
-        self.lock_state().invocations
-    }
-
-    /// Number of cache hits so far.
-    pub fn cache_hits(&self) -> u64 {
-        self.lock_state().cache_hits
-    }
-
-    /// Latency distribution of cache-miss inner-labeler calls (count, min,
-    /// max, mean, p50/p90/p99 — all in microseconds). Covers the same calls
-    /// the invocation meter counts; cache hits are excluded. Batched inner
-    /// calls are attributed evenly across their records.
-    pub fn latency_summary(&self) -> HistogramSummary {
-        self.lock_state().latency_micros.summary()
-    }
-
     /// Total cost of the invocations so far under the labeler's cost model.
     pub fn total_cost(&self) -> LabelCost {
         self.inner.invocation_cost().times(self.invocations())
     }
 
-    /// Resets the invocation meter (the cache is preserved — cached labels
-    /// were already paid for; this mirrors amortizing index-construction cost
-    /// across queries in Table 1).
-    pub fn reset_meter(&self) {
-        let mut state = self.lock_state();
-        state.invocations = 0;
-        state.cache_hits = 0;
-        // The latency histogram covers the same calls the meter counts.
-        state.latency_micros = Histogram::new();
+    /// Resilience health of the wrapped oracle — breaker state, fault and
+    /// retry counters, backoff histogram — when the wrapped labeler reports
+    /// one (e.g. a `ResilientLabeler`). `None` for plain labelers.
+    pub fn oracle_health(&self) -> Option<OracleHealth> {
+        self.inner.health()
+    }
+}
+
+/// The classic infallible entry points, available whenever the wrapped
+/// labeler is a plain [`BatchTargetLabeler`]. These delegate to the fallible
+/// core (so metering behavior is identical by construction) and treat an
+/// oracle fault as a panic — for a plain labeler the only possible fault is
+/// corrupt output, which previously flowed silently into scoring.
+impl<L: BatchTargetLabeler> MeteredLabeler<L> {
+    /// Labels `record`, counting one invocation only on a cache miss.
+    ///
+    /// See [`MeteredLabeler::try_label_fallible`] for the waiting and
+    /// billing semantics.
+    ///
+    /// # Errors
+    /// Returns [`BudgetExhausted`] when the record is uncached and the
+    /// budget (including in-flight reservations) is spent.
+    ///
+    /// # Panics
+    /// Panics if the labeler emits output that fails boundary validation
+    /// (non-finite or out-of-range box coordinates).
+    pub fn try_label(&self, record: RecordId) -> Result<LabelerOutput, BudgetExhausted> {
+        match self.try_label_fallible(record) {
+            Ok(out) => Ok(out),
+            Err(LabelerError::Budget(b)) => Err(b),
+            Err(LabelerError::Fault(fault)) => panic!("infallible labeler faulted: {fault}"),
+        }
     }
 
-    /// Clears both the cache and the meter.
-    pub fn reset_all(&self) {
-        let mut state = self.lock_state();
-        // In-flight reservations belong to live callers — clearing them
-        // would double-release when those calls commit. Reset everything
-        // else.
-        state.cache.clear();
-        state.invocations = 0;
-        state.cache_hits = 0;
-        state.latency_micros = Histogram::new();
+    /// Labels `record`, panicking if a hard budget is exhausted. Use
+    /// [`MeteredLabeler::try_label`] in budget-aware algorithms.
+    pub fn label(&self, record: RecordId) -> LabelerOutput {
+        self.try_label(record)
+            .expect("target labeler budget exhausted")
     }
 
-    /// Replaces the hard budget.
-    pub fn set_budget(&mut self, budget: Option<u64>) {
-        self.budget = budget;
+    /// Labels a batch of records, invoking the inner labeler **once** for
+    /// all uncached records and serving the rest from the cache.
+    ///
+    /// See [`MeteredLabeler::try_label_batch_fallible`] for the
+    /// partitioning, affordable-prefix, and billing semantics.
+    ///
+    /// # Errors
+    /// Returns [`BudgetExhausted`] when the budget cannot cover every miss;
+    /// the affordable prefix of misses is still labeled, billed, and cached.
+    ///
+    /// # Panics
+    /// Panics if the labeler emits output that fails boundary validation.
+    pub fn try_label_batch(
+        &self,
+        records: &[RecordId],
+    ) -> Result<Vec<LabelerOutput>, BudgetExhausted> {
+        match self.try_label_batch_fallible(records) {
+            Ok(outs) => Ok(outs),
+            Err(LabelerError::Budget(b)) => Err(b),
+            Err(LabelerError::Fault(fault)) => panic!("infallible labeler faulted: {fault}"),
+        }
     }
 
-    /// Access to the wrapped labeler.
-    pub fn inner(&self) -> &L {
-        &self.inner
+    /// Labels a batch of records, panicking if a hard budget is exhausted.
+    /// Use [`MeteredLabeler::try_label_batch`] in budget-aware algorithms.
+    pub fn label_batch(&self, records: &[RecordId]) -> Vec<LabelerOutput> {
+        self.try_label_batch(records)
+            .expect("target labeler budget exhausted")
     }
 }
 
@@ -507,7 +647,7 @@ mod tests {
             FakeLabeler.label(record)
         }
         fn invocation_cost(&self) -> LabelCost {
-            FakeLabeler.invocation_cost()
+            TargetLabeler::invocation_cost(&FakeLabeler)
         }
         fn schema(&self) -> Schema {
             Schema::wikisql()
@@ -714,7 +854,7 @@ mod tests {
                 FakeLabeler.label(record)
             }
             fn invocation_cost(&self) -> LabelCost {
-                FakeLabeler.invocation_cost()
+                TargetLabeler::invocation_cost(&FakeLabeler)
             }
             fn schema(&self) -> Schema {
                 Schema::wikisql()
@@ -736,5 +876,78 @@ mod tests {
         assert!(m.try_label(2).is_ok());
         assert_eq!(m.invocations(), 2);
         assert_eq!(m.try_label(3), Err(BudgetExhausted { budget: 2 }));
+    }
+
+    #[test]
+    fn faulted_inner_call_releases_its_reservation_and_bills_nothing() {
+        use crate::fault::{FaultInjectingLabeler, FaultKind, FaultPlan};
+        let faulty = FaultInjectingLabeler::with_script(
+            FakeLabeler,
+            FaultPlan::default(),
+            [Some(FaultKind::Transient), None],
+        );
+        let m = MeteredLabeler::with_budget(faulty, 1);
+        let err = m.try_label_fallible(7).unwrap_err();
+        assert!(matches!(err, LabelerError::Fault(_)), "{err}");
+        assert_eq!(m.invocations(), 0, "failed attempt must not be billed");
+        assert_eq!(m.reserved(), 0, "failed attempt must release its unit");
+        assert!(m.cached(7).is_none());
+        // The budget unit flowed back: the sole unit is still spendable.
+        assert_eq!(m.try_label_fallible(7).unwrap(), FakeLabeler.label(7));
+        assert_eq!(m.invocations(), 1);
+    }
+
+    #[test]
+    fn faulted_batch_call_releases_every_reservation() {
+        use crate::fault::{FaultInjectingLabeler, FaultKind, FaultPlan};
+        let faulty = FaultInjectingLabeler::with_script(
+            FakeLabeler,
+            FaultPlan::default(),
+            [Some(FaultKind::Timeout), None],
+        );
+        let m = MeteredLabeler::with_budget(faulty, 3);
+        let err = m.try_label_batch_fallible(&[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, LabelerError::Fault(_)), "{err}");
+        assert_eq!(m.invocations(), 0);
+        assert_eq!(m.reserved(), 0);
+        assert!(m.labeled_records().is_empty());
+        // All three units flow back and the retry succeeds in one inner call.
+        let outs = m.try_label_batch_fallible(&[1, 2, 3]).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(m.invocations(), 3);
+    }
+
+    #[test]
+    fn fallible_and_infallible_paths_are_meter_identical_on_cold_cache() {
+        let records = [9usize, 2, 9, 7, 2, 0, 7, 7];
+        let infallible = MeteredLabeler::new(FakeLabeler);
+        let a = infallible.try_label_batch(&records).unwrap();
+        let fallible = MeteredLabeler::new(FakeLabeler);
+        let b = fallible.try_label_batch_fallible(&records).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(infallible.invocations(), fallible.invocations());
+        assert_eq!(infallible.cache_hits(), fallible.cache_hits());
+        assert_eq!(
+            infallible.latency_summary().count,
+            fallible.latency_summary().count
+        );
+    }
+
+    #[test]
+    fn labeler_error_wraps_both_causes() {
+        let budget: LabelerError = BudgetExhausted { budget: 4 }.into();
+        assert_eq!(budget.fault(), None);
+        assert!(budget.to_string().contains("budget of 4"));
+        let fault: LabelerError = LabelerFault::Timeout("slow oracle".into()).into();
+        assert!(fault.fault().is_some());
+        assert!(fault.to_string().contains("timeout oracle fault"));
+    }
+
+    #[test]
+    fn oracle_health_passes_through_from_the_wrapped_labeler() {
+        // Plain labelers report no health; resilient middleware does (its
+        // own tests cover the counters).
+        let m = MeteredLabeler::new(FakeLabeler);
+        assert!(m.oracle_health().is_none());
     }
 }

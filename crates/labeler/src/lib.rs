@@ -16,6 +16,13 @@
 //!   [`MeteredLabeler`], the concurrency-safe batched front door that caches
 //!   outputs and meters invocations (the paper's primary cost metric), with
 //!   optional hard budgets and an exactly-once guarantee under concurrency.
+//! * [`fault`] — the fault model: the [`LabelerFault`] taxonomy, the
+//!   [`FallibleTargetLabeler`] trait (every batch labeler is fallible for
+//!   free, with output validation at the boundary), and the deterministic
+//!   [`FaultInjectingLabeler`] chaos wrapper.
+//! * [`resilient`] — [`ResilientLabeler`], retry/backoff + circuit-breaker
+//!   middleware over any fallible oracle, with an injected [`Clock`] so
+//!   tests run on virtual time.
 //! * [`closeness`] — user-provided closeness functions over labeler outputs
 //!   (§2.3, §3.1): pairwise `is_close` plus the bucketing view used for
 //!   triplet mining.
@@ -28,16 +35,25 @@
 
 pub mod closeness;
 pub mod cost;
+pub mod fault;
 pub mod labeler;
 pub mod output;
+pub mod resilient;
 pub mod schema;
 
 pub use closeness::{ClosenessFn, SpeechCloseness, SqlCloseness, VideoCloseness};
 pub use cost::{CostModel, LabelCost};
-pub use labeler::{BatchTargetLabeler, BudgetExhausted, MeteredLabeler, TargetLabeler};
+pub use fault::{
+    validate_output, BreakerState, FallibleTargetLabeler, FaultInjectingLabeler, FaultKind,
+    FaultPlan, LabelerFault, OracleHealth,
+};
+pub use labeler::{
+    BatchTargetLabeler, BudgetExhausted, LabelerError, MeteredLabeler, TargetLabeler,
+};
 pub use output::{
     Detection, Gender, LabelerOutput, ObjectClass, SpeechAnnotation, SqlAnnotation, SqlOp,
 };
+pub use resilient::{BreakerConfig, Clock, ResilientLabeler, RetryPolicy, SystemClock, TestClock};
 pub use schema::{FieldType, Schema, SchemaField};
 
 /// Identifier of a data record within a dataset (its position).

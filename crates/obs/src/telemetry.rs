@@ -113,6 +113,13 @@ pub struct QueryTelemetry {
     /// Non-finite proxy scores sanitized on entry (see the query crate's
     /// documented NaN policy). Zero on clean inputs.
     pub sanitized_inputs: u64,
+    /// Unrecoverable oracle faults observed during the query (after any
+    /// retrying below the algorithm). Zero on the fault-free path.
+    pub oracle_faults: u64,
+    /// True when the algorithm abandoned its oracle-backed plan because of
+    /// an oracle fault and returned a proxy-only (degraded) answer. A
+    /// degraded answer is never certified.
+    pub degraded: bool,
 }
 
 impl QueryTelemetry {
@@ -125,11 +132,15 @@ impl QueryTelemetry {
             wall_seconds: 0.0,
             certified: true,
             sanitized_inputs: 0,
+            oracle_faults: 0,
+            degraded: false,
         }
     }
 
     /// Serializes to a JSON object (no external dependencies). Non-finite
-    /// floats become `null`, matching serde_json's behaviour.
+    /// floats become `null`, matching serde_json's behaviour. The fault
+    /// fields are emitted only when set, so fault-free output is
+    /// byte-identical to what pre-fault-model versions produced.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"algorithm\":\"");
         push_escaped(&mut out, &self.algorithm);
@@ -141,6 +152,13 @@ impl QueryTelemetry {
         out.push_str(if self.certified { "true" } else { "false" });
         out.push_str(",\"sanitized_inputs\":");
         out.push_str(&self.sanitized_inputs.to_string());
+        if self.oracle_faults > 0 {
+            out.push_str(",\"oracle_faults\":");
+            out.push_str(&self.oracle_faults.to_string());
+        }
+        if self.degraded {
+            out.push_str(",\"degraded\":true");
+        }
         out.push('}');
         out
     }
@@ -178,6 +196,8 @@ mod tests {
             wall_seconds: 0.25,
             certified: false,
             sanitized_inputs: 3,
+            oracle_faults: 0,
+            degraded: false,
         };
         let j = t.to_json();
         assert!(j.contains("\"algorithm\":\"supg_recall_target\""));
@@ -185,6 +205,20 @@ mod tests {
         assert!(j.contains("\"certified\":false"));
         assert!(j.contains("\"sanitized_inputs\":3"));
         assert!(j.starts_with('{') && j.ends_with('}'));
+        // Fault fields are elided on the fault-free path so the wire shape
+        // is unchanged from pre-fault-model output.
+        assert!(!j.contains("oracle_faults"));
+        assert!(!j.contains("degraded"));
+    }
+
+    #[test]
+    fn fault_fields_are_emitted_only_when_set() {
+        let mut t = QueryTelemetry::new("ebs_aggregate");
+        t.oracle_faults = 2;
+        t.degraded = true;
+        let j = t.to_json();
+        assert!(j.contains("\"oracle_faults\":2"));
+        assert!(j.contains("\"degraded\":true"));
     }
 
     #[test]

@@ -30,12 +30,19 @@
 //! entry points are thin adapters kept for convenience. Both paths request
 //! the same records in the same order, so invocation counts are identical
 //! on a cold cache (asserted in `tests/telemetry_audit.rs`).
+//!
+//! When the oracle can *fail* (a live labeler rather than a replay cache),
+//! the [`degrade`] module provides fault-aware `try_*` variants of every
+//! entry point: they accept fallible oracle closures and return a typed
+//! [`QueryOutcome`] that degrades to a proxy-only partial answer on an
+//! unrecoverable [`tasti_labeler::LabelerFault`] instead of panicking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agg;
 pub mod agg_pred;
+pub mod degrade;
 pub mod limit;
 pub mod sanitize;
 pub mod select;
@@ -48,6 +55,12 @@ pub use agg::{
 };
 pub use agg_pred::{
     predicate_aggregate, predicate_aggregate_batch, PredicateAggConfig, PredicateAggResult,
+};
+pub use degrade::{
+    try_ebs_aggregate, try_ebs_aggregate_batch, try_limit_query, try_limit_query_batch,
+    try_predicate_aggregate, try_predicate_aggregate_batch, try_supg_precision_target,
+    try_supg_precision_target_batch, try_supg_recall_target, try_supg_recall_target_batch,
+    DegradedResult, QueryOutcome,
 };
 pub use limit::{limit_query, limit_query_batch, LimitResult};
 pub use sanitize::{desc_nan_last, sanitize_proxies, Sanitized, UnitScale};

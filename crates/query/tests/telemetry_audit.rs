@@ -9,14 +9,16 @@
 //! and compares the meter's before/after delta against the telemetry.
 
 use tasti_labeler::{
-    BatchTargetLabeler, LabelCost, LabelerOutput, MeteredLabeler, RecordId, Schema, SqlAnnotation,
-    SqlOp, TargetLabeler,
+    BatchTargetLabeler, LabelCost, LabelerError, LabelerFault, LabelerOutput, MeteredLabeler,
+    RecordId, Schema, SqlAnnotation, SqlOp, TargetLabeler,
 };
 use tasti_query::{
     ebs_aggregate, ebs_aggregate_batch, limit_query, limit_query_batch, predicate_aggregate,
     predicate_aggregate_batch, supg_precision_target, supg_precision_target_batch,
-    supg_recall_target, supg_recall_target_batch, tune_threshold, tune_threshold_batch,
-    AggregationConfig, PredicateAggConfig, SupgConfig, SupgPrecisionConfig,
+    supg_recall_target, supg_recall_target_batch, try_ebs_aggregate_batch, try_limit_query_batch,
+    try_predicate_aggregate_batch, try_supg_precision_target_batch, try_supg_recall_target_batch,
+    tune_threshold, tune_threshold_batch, AggregationConfig, PredicateAggConfig, SupgConfig,
+    SupgPrecisionConfig,
 };
 
 /// Deterministic stand-in oracle: record `r` gets `r % 4` predicates.
@@ -365,6 +367,253 @@ fn batched_predicate_aggregate_is_meter_identical_to_sequential() {
     assert_eq!(bat_res.oracle_calls, seq_res.oracle_calls);
     assert_eq!(bat_res.estimate, seq_res.estimate);
     assert_eq!(bat_res.telemetry.invocations, seq_res.telemetry.invocations);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-aware vs classic identity (acceptance criterion of the fault-tolerant
+// oracle path): with fault injection disabled, every `try_*` entry point must
+// be bit-identical in its result and meter-identical on a cold cache to the
+// classic infallible entry point. The fallible closures route through
+// `MeteredLabeler::try_label_batch_fallible`, the exact wiring the serving
+// layer uses.
+// ---------------------------------------------------------------------------
+
+/// Batch closure body shared by the fault-path audits: label through the
+/// fallible metered front door, surfacing faults (a budget error cannot
+/// occur — these meters are unbudgeted).
+fn fallible_outputs(
+    m: &MeteredLabeler<FakeLabeler>,
+    recs: &[usize],
+) -> Result<Vec<LabelerOutput>, LabelerFault> {
+    m.try_label_batch_fallible(recs).map_err(|e| match e {
+        LabelerError::Fault(f) => f,
+        LabelerError::Budget(b) => panic!("unbudgeted meter reported {b}"),
+    })
+}
+
+/// Wire form with the (run-dependent) wall-clock zeroed, so two executions
+/// of the same deterministic algorithm serialize byte-identically.
+fn json_sans_walltime(t: &tasti_query::QueryTelemetry) -> String {
+    let mut t = t.clone();
+    t.wall_seconds = 0.0;
+    t.to_json()
+}
+
+#[test]
+fn fault_aware_ebs_is_identical_to_classic_without_faults() {
+    let p = proxy(400);
+    let cfg = AggregationConfig {
+        error_target: 0.3,
+        seed: 7,
+        ..Default::default()
+    };
+    let plain = MeteredLabeler::new(FakeLabeler);
+    let plain_res = ebs_aggregate_batch(
+        &p,
+        &mut |recs| plain.label_batch(recs).iter().map(value_of).collect(),
+        &cfg,
+    );
+    let faultable = MeteredLabeler::new(FakeLabeler);
+    let outcome = try_ebs_aggregate_batch(
+        &p,
+        &mut |recs| {
+            Ok(fallible_outputs(&faultable, recs)?
+                .iter()
+                .map(value_of)
+                .collect())
+        },
+        &cfg,
+    );
+    assert!(!outcome.is_degraded());
+    let res = outcome.into_result();
+    assert_eq!(faultable.invocations(), plain.invocations());
+    assert_eq!(faultable.cache_hits(), plain.cache_hits());
+    assert_eq!(res.estimate.to_bits(), plain_res.estimate.to_bits());
+    assert_eq!(res.samples, plain_res.samples);
+    assert_eq!(res.telemetry.invocations, plain_res.telemetry.invocations);
+    assert_eq!(res.telemetry.oracle_faults, 0);
+    assert!(!res.telemetry.degraded);
+    // The wire form is also byte-identical: fault fields are elided.
+    assert_eq!(
+        json_sans_walltime(&res.telemetry),
+        json_sans_walltime(&plain_res.telemetry)
+    );
+}
+
+#[test]
+fn fault_aware_supg_recall_is_identical_to_classic_without_faults() {
+    let p = proxy(400);
+    let cfg = SupgConfig {
+        budget: 120,
+        seed: 7,
+        ..Default::default()
+    };
+    let plain = MeteredLabeler::new(FakeLabeler);
+    let plain_res = supg_recall_target_batch(
+        &p,
+        &mut |recs| {
+            plain
+                .label_batch(recs)
+                .iter()
+                .map(|o| value_of(o) >= 2.0)
+                .collect()
+        },
+        &cfg,
+    );
+    let faultable = MeteredLabeler::new(FakeLabeler);
+    let outcome = try_supg_recall_target_batch(
+        &p,
+        &mut |recs| {
+            Ok(fallible_outputs(&faultable, recs)?
+                .iter()
+                .map(|o| value_of(o) >= 2.0)
+                .collect())
+        },
+        &cfg,
+    );
+    assert!(!outcome.is_degraded());
+    let res = outcome.into_result();
+    assert_eq!(faultable.invocations(), plain.invocations());
+    assert_eq!(res.returned, plain_res.returned);
+    assert_eq!(res.threshold.to_bits(), plain_res.threshold.to_bits());
+    assert_eq!(res.oracle_calls, plain_res.oracle_calls);
+    assert_eq!(
+        json_sans_walltime(&res.telemetry),
+        json_sans_walltime(&plain_res.telemetry)
+    );
+}
+
+#[test]
+fn fault_aware_supg_precision_is_identical_to_classic_without_faults() {
+    let p = proxy(400);
+    let cfg = SupgPrecisionConfig {
+        budget: 120,
+        seed: 7,
+        ..Default::default()
+    };
+    let plain = MeteredLabeler::new(FakeLabeler);
+    let plain_res = supg_precision_target_batch(
+        &p,
+        &mut |recs| {
+            plain
+                .label_batch(recs)
+                .iter()
+                .map(|o| value_of(o) >= 2.0)
+                .collect()
+        },
+        &cfg,
+    );
+    let faultable = MeteredLabeler::new(FakeLabeler);
+    let outcome = try_supg_precision_target_batch(
+        &p,
+        &mut |recs| {
+            Ok(fallible_outputs(&faultable, recs)?
+                .iter()
+                .map(|o| value_of(o) >= 2.0)
+                .collect())
+        },
+        &cfg,
+    );
+    assert!(!outcome.is_degraded());
+    let res = outcome.into_result();
+    assert_eq!(faultable.invocations(), plain.invocations());
+    assert_eq!(res.returned, plain_res.returned);
+    assert_eq!(res.threshold.to_bits(), plain_res.threshold.to_bits());
+    assert_eq!(
+        json_sans_walltime(&res.telemetry),
+        json_sans_walltime(&plain_res.telemetry)
+    );
+}
+
+#[test]
+fn fault_aware_limit_query_is_identical_to_classic_without_faults() {
+    let p = proxy(400);
+    let mut ranking: Vec<usize> = (0..p.len()).collect();
+    ranking.sort_by(|&a, &b| tasti_query::desc_nan_last(p[a], p[b]));
+    let plain = MeteredLabeler::new(FakeLabeler);
+    let plain_res = limit_query_batch(
+        &ranking,
+        &mut |recs| {
+            plain
+                .label_batch(recs)
+                .iter()
+                .map(|o| value_of(o) == 3.0)
+                .collect()
+        },
+        10,
+        400,
+        16,
+    );
+    let faultable = MeteredLabeler::new(FakeLabeler);
+    let outcome = try_limit_query_batch(
+        &ranking,
+        &mut |recs| {
+            Ok(fallible_outputs(&faultable, recs)?
+                .iter()
+                .map(|o| value_of(o) == 3.0)
+                .collect())
+        },
+        10,
+        400,
+        16,
+    );
+    assert!(!outcome.is_degraded());
+    let res = outcome.into_result();
+    assert_eq!(faultable.invocations(), plain.invocations());
+    assert_eq!(res.found, plain_res.found);
+    assert_eq!(res.satisfied, plain_res.satisfied);
+    assert_eq!(
+        json_sans_walltime(&res.telemetry),
+        json_sans_walltime(&plain_res.telemetry)
+    );
+}
+
+#[test]
+fn fault_aware_predicate_aggregate_is_identical_to_classic_without_faults() {
+    let p = proxy(400);
+    let cfg = PredicateAggConfig {
+        budget: 150,
+        seed: 7,
+        ..Default::default()
+    };
+    let plain = MeteredLabeler::new(FakeLabeler);
+    let plain_res = predicate_aggregate_batch(
+        &p,
+        &mut |recs| {
+            plain
+                .label_batch(recs)
+                .iter()
+                .map(|o| {
+                    let v = value_of(o);
+                    (v >= 2.0).then_some(v)
+                })
+                .collect()
+        },
+        &cfg,
+    );
+    let faultable = MeteredLabeler::new(FakeLabeler);
+    let outcome = try_predicate_aggregate_batch(
+        &p,
+        &mut |recs| {
+            Ok(fallible_outputs(&faultable, recs)?
+                .iter()
+                .map(|o| {
+                    let v = value_of(o);
+                    (v >= 2.0).then_some(v)
+                })
+                .collect())
+        },
+        &cfg,
+    );
+    assert!(!outcome.is_degraded());
+    let res = outcome.into_result();
+    assert_eq!(faultable.invocations(), plain.invocations());
+    assert_eq!(res.estimate.to_bits(), plain_res.estimate.to_bits());
+    assert_eq!(res.oracle_calls, plain_res.oracle_calls);
+    assert_eq!(
+        json_sans_walltime(&res.telemetry),
+        json_sans_walltime(&plain_res.telemetry)
+    );
 }
 
 #[test]

@@ -6,6 +6,7 @@
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::proto::{Op, Reply, Request};
 
@@ -14,6 +15,10 @@ use crate::proto::{Op, Reply, Request};
 pub enum ClientError {
     /// Socket-level failure (includes the server closing the connection).
     Io(io::Error),
+    /// A configured deadline expired: connecting took longer than the
+    /// connect timeout, or the server did not answer within the read
+    /// timeout (only with [`Client::connect_with_timeouts`]).
+    Timeout(String),
     /// The server sent something that is not a valid response line.
     Protocol(String),
 }
@@ -22,6 +27,7 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Timeout(m) => write!(f, "timed out: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -35,23 +41,90 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Whether an i/o error is one of the two kinds the platforms use for an
+/// expired socket deadline.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// A blocking protocol client over one TCP connection.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Set when a read deadline is configured; turns `WouldBlock`/`TimedOut`
+    /// read errors into the typed [`ClientError::Timeout`].
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server (no deadlines: blocks as long as the
+    /// OS lets it).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, None)
+    }
+
+    /// Connects with deadlines: `connect_timeout` bounds the TCP
+    /// handshake, `read_timeout` bounds each wait for a response line.
+    /// Either deadline expiring yields [`ClientError::Timeout`], so callers
+    /// can tell a slow or wedged server from a broken one.
+    pub fn connect_with_timeouts(
+        addr: impl ToSocketAddrs,
+        connect_timeout: Option<Duration>,
+        read_timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        let stream = match connect_timeout {
+            None => TcpStream::connect(&addr)?,
+            Some(limit) => {
+                let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+                let mut last_err: Option<io::Error> = None;
+                let mut stream = None;
+                for a in &addrs {
+                    match TcpStream::connect_timeout(a, limit) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        let e = last_err.unwrap_or_else(|| {
+                            io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect")
+                        });
+                        return Err(if is_timeout(&e) {
+                            ClientError::Timeout(format!(
+                                "connect exceeded {}ms: {e}",
+                                limit.as_millis()
+                            ))
+                        } else {
+                            ClientError::Io(e)
+                        });
+                    }
+                }
+            }
+        };
+        Self::from_stream(stream, read_timeout)
+    }
+
+    fn from_stream(
+        stream: TcpStream,
+        read_timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        stream.set_read_timeout(read_timeout)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
             next_id: 1,
+            read_timeout,
         })
     }
 
@@ -91,6 +164,15 @@ impl Client {
         let mut response = String::new();
         let n = match self.reader.read_line(&mut response) {
             Ok(n) => n,
+            Err(e) if is_timeout(&e) => {
+                let limit = self
+                    .read_timeout
+                    .map(|d| format!("{}ms", d.as_millis()))
+                    .unwrap_or_else(|| "the configured read timeout".to_string());
+                return Err(ClientError::Timeout(format!(
+                    "no response line within {limit}"
+                )));
+            }
             Err(e) => return Err(ClientError::Io(wrote.err().unwrap_or(e))),
         };
         if n == 0 {
@@ -111,6 +193,11 @@ impl Client {
     /// `metrics` convenience.
     pub fn metrics(&mut self) -> Result<Reply, ClientError> {
         self.call(Request::new(Op::Metrics))
+    }
+
+    /// `health` convenience: oracle-path breaker/fault status.
+    pub fn health(&mut self) -> Result<Reply, ClientError> {
+        self.call(Request::new(Op::Health))
     }
 
     /// `snapshot` convenience.

@@ -33,6 +33,11 @@ pub struct ServeConfig {
     /// Fold query-paid labels back into the index (cracking, §3.3) after
     /// each query. Disable to serve a frozen index.
     pub crack_after_queries: bool,
+    /// When the oracle faults unrecoverably mid-query, answer with an `ok`
+    /// reply carrying the proxy-only partial result (marked `degraded`,
+    /// never certified) instead of an error. Disable to turn every such
+    /// fault into a typed `labeler_unavailable` error.
+    pub degraded_replies: bool,
 }
 
 impl Default for ServeConfig {
@@ -45,6 +50,7 @@ impl Default for ServeConfig {
             snapshot_on_shutdown: false,
             label_budget: None,
             crack_after_queries: true,
+            degraded_replies: true,
         }
     }
 }

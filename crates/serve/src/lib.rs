@@ -17,10 +17,21 @@
 //!   in-flight set gives exactly-once oracle accounting across concurrent
 //!   queries, per-op latency histograms and counters.
 //! * [`proto`] — the line-delimited JSON wire protocol (requests for all
-//!   five query algorithms plus `index_stats`, `metrics`, `snapshot`,
-//!   `shutdown`), built on `tasti-obs`'s dependency-free JSON.
+//!   five query algorithms plus `index_stats`, `metrics`, `health`,
+//!   `snapshot`, `shutdown`), built on `tasti-obs`'s dependency-free JSON.
 //! * [`Client`] — a small blocking client used by tests, the example, the
-//!   CI smoke stage, and `tasti_cli probe`.
+//!   CI smoke stage, and `tasti_cli probe`; optional connect/read deadlines
+//!   yield a typed timeout error.
+//!
+//! The service accepts any [`tasti_labeler::FallibleTargetLabeler`], so a
+//! live oracle can sit behind a [`tasti_labeler::ResilientLabeler`]
+//! (retry/backoff + circuit breaking). Operating under failure: while the
+//! breaker is open, queries fail fast with a typed `labeler_unavailable`
+//! error carrying `retry_after_micros`; an unrecoverable mid-query fault
+//! produces an `ok` reply with the proxy-only partial result, marked
+//! `degraded` and never certified (disable with
+//! [`ServeConfig::degraded_replies`]). The `health` admin op reports
+//! breaker state, fault counters, and the meter's reservation status.
 //!
 //! ```no_run
 //! use std::sync::Arc;

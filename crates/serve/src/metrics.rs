@@ -42,6 +42,14 @@ pub struct ServeMetrics {
     pub crack_passes: Counter,
     /// Snapshots persisted (admin `snapshot` requests + shutdown snapshot).
     pub snapshots: Counter,
+    /// Queries that observed an unrecoverable oracle fault (whether they
+    /// were answered degraded or rejected).
+    pub oracle_fault_queries: Counter,
+    /// `ok` replies that carried a degraded (proxy-only) partial result.
+    pub degraded_replies: Counter,
+    /// Requests rejected with `labeler_unavailable` (breaker open on entry,
+    /// or a mid-query fault with degraded replies disabled).
+    pub labeler_unavailable: Counter,
     per_op: [OpStats; Op::ALL.len()],
 }
 
@@ -65,6 +73,9 @@ impl ServeMetrics {
             cracked_reps: Counter::new(),
             crack_passes: Counter::new(),
             snapshots: Counter::new(),
+            oracle_fault_queries: Counter::new(),
+            degraded_replies: Counter::new(),
+            labeler_unavailable: Counter::new(),
             per_op: Default::default(),
         }
     }
@@ -134,6 +145,18 @@ impl ServeMetrics {
         counter("cracked_reps", &self.cracked_reps, &mut out);
         counter("crack_passes", &self.crack_passes, &mut out);
         counter("snapshots", &self.snapshots, &mut out);
+        // Fault-path counters are emitted only once they fire, so the
+        // fault-free metrics dump is byte-identical to pre-fault-model
+        // output.
+        for (key, c) in [
+            ("oracle_fault_queries", &self.oracle_fault_queries),
+            ("degraded_replies", &self.degraded_replies),
+            ("labeler_unavailable", &self.labeler_unavailable),
+        ] {
+            if c.get() > 0 {
+                counter(key, c, &mut out);
+            }
+        }
         out.push_str("\"ops\":{");
         let mut first = true;
         for op in Op::ALL {
@@ -191,6 +214,21 @@ mod tests {
         let s = m.latency_summary(Op::EbsAggregate);
         assert_eq!(s.count, 2);
         assert!((s.mean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_counters_are_emitted_only_once_they_fire() {
+        let m = ServeMetrics::new();
+        let clean = m.to_json_body();
+        assert!(!clean.contains("oracle_fault_queries"));
+        assert!(!clean.contains("degraded_replies"));
+        assert!(!clean.contains("labeler_unavailable"));
+        m.oracle_fault_queries.incr();
+        m.degraded_replies.incr();
+        let doc = JsonValue::parse(&format!("{{{}}}", m.to_json_body())).unwrap();
+        assert_eq!(doc.get("oracle_fault_queries").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("degraded_replies").unwrap().as_u64(), Some(1));
+        assert!(doc.get("labeler_unavailable").is_none());
     }
 
     #[test]

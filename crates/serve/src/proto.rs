@@ -8,7 +8,7 @@
 //! request  := { "id": u64, "op": op, [params…] } "\n"
 //! op       := "ebs_aggregate" | "supg_recall_target" | "supg_precision_target"
 //!           | "limit_query" | "predicate_aggregate"
-//!           | "index_stats" | "metrics" | "snapshot" | "shutdown"
+//!           | "index_stats" | "metrics" | "health" | "snapshot" | "shutdown"
 //! score    := { "fn": "count_class" | "has_class" | "has_at_least"
 //!                   | "mean_x_position", "class": class, ["count": u64] }
 //!           | { "fn": "sql_num_predicates" } | { "fn": "sql_op_is", "op": sqlop }
@@ -18,9 +18,10 @@
 //! response := { "id": u64|null, "ok": true,  "result": {…},
 //!               ["telemetry": {…QueryTelemetry…}] } "\n"
 //!           | { "id": u64|null, "ok": false,
-//!               "error": { "kind": kind, "message": string } } "\n"
+//!               "error": { "kind": kind, "message": string,
+//!                          ["retry_after_micros": u64] } } "\n"
 //! kind     := "bad_request" | "overloaded" | "shutting_down"
-//!           | "budget_exhausted" | "internal"
+//!           | "budget_exhausted" | "labeler_unavailable" | "internal"
 //! ```
 //!
 //! Query operations take a `score` (the scoring function executed on
@@ -56,6 +57,9 @@ pub enum Op {
     IndexStats,
     /// Full operational-metrics dump (admin).
     Metrics,
+    /// Oracle-path health: breaker state, fault counters, meter reservation
+    /// status (admin).
+    Health,
     /// Persist the current (possibly cracked) index atomically (admin).
     Snapshot,
     /// Graceful drain-and-shutdown (admin).
@@ -64,7 +68,7 @@ pub enum Op {
 
 impl Op {
     /// Every operation, in protocol order.
-    pub const ALL: [Op; 9] = [
+    pub const ALL: [Op; 10] = [
         Op::EbsAggregate,
         Op::SupgRecallTarget,
         Op::SupgPrecisionTarget,
@@ -72,6 +76,7 @@ impl Op {
         Op::PredicateAggregate,
         Op::IndexStats,
         Op::Metrics,
+        Op::Health,
         Op::Snapshot,
         Op::Shutdown,
     ];
@@ -86,6 +91,7 @@ impl Op {
             Op::PredicateAggregate => "predicate_aggregate",
             Op::IndexStats => "index_stats",
             Op::Metrics => "metrics",
+            Op::Health => "health",
             Op::Snapshot => "snapshot",
             Op::Shutdown => "shutdown",
         }
@@ -453,6 +459,10 @@ pub enum ErrorKind {
     ShuttingDown,
     /// The service-lifetime labeler budget would be exceeded.
     BudgetExhausted,
+    /// The oracle path is down: the circuit breaker is open (the error
+    /// carries `retry_after_micros`), or degraded replies are disabled and
+    /// the oracle faulted mid-query.
+    LabelerUnavailable,
     /// The query panicked or another internal failure occurred.
     Internal,
 }
@@ -465,6 +475,7 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::BudgetExhausted => "budget_exhausted",
+            ErrorKind::LabelerUnavailable => "labeler_unavailable",
             ErrorKind::Internal => "internal",
         }
     }
@@ -488,6 +499,19 @@ pub fn ok_response(id: u64, result_body: &str, telemetry: Option<&QueryTelemetry
 
 /// Builds an error response line.
 pub fn err_response(id: Option<u64>, kind: ErrorKind, message: &str) -> String {
+    err_response_with_retry(id, kind, message, None)
+}
+
+/// Builds an error response line carrying a retry hint: clients seeing a
+/// `labeler_unavailable` error should back off `retry_after_micros` before
+/// retrying (the server's circuit-breaker window). Omitted when `None`, so
+/// hint-free errors stay byte-identical to the pre-fault-model wire form.
+pub fn err_response_with_retry(
+    id: Option<u64>,
+    kind: ErrorKind,
+    message: &str,
+    retry_after_micros: Option<u64>,
+) -> String {
     let mut out = String::from("{\"id\":");
     match id {
         Some(id) => out.push_str(&id.to_string()),
@@ -497,7 +521,12 @@ pub fn err_response(id: Option<u64>, kind: ErrorKind, message: &str) -> String {
     out.push_str(kind.name());
     out.push_str("\",\"message\":\"");
     push_escaped(&mut out, message);
-    out.push_str("\"}}");
+    out.push('"');
+    if let Some(micros) = retry_after_micros {
+        out.push_str(",\"retry_after_micros\":");
+        out.push_str(&micros.to_string());
+    }
+    out.push_str("}}");
     out
 }
 
@@ -517,6 +546,9 @@ pub struct Reply {
     pub error_kind: Option<String>,
     /// Error message (`ok == false`).
     pub error_message: Option<String>,
+    /// Server backoff hint (`labeler_unavailable` errors): microseconds
+    /// until the breaker allows its next probe.
+    pub retry_after_micros: Option<u64>,
 }
 
 impl Reply {
@@ -542,6 +574,10 @@ impl Reply {
                 .and_then(|e| e.get("message"))
                 .and_then(JsonValue::as_str)
                 .map(str::to_string),
+            retry_after_micros: v
+                .get("error")
+                .and_then(|e| e.get("retry_after_micros"))
+                .and_then(JsonValue::as_u64),
         })
     }
 }
@@ -633,6 +669,24 @@ mod tests {
         assert!(!reply.ok);
         assert_eq!(reply.error_kind.as_deref(), Some("overloaded"));
         assert!(reply.error_message.unwrap().contains("queue full"));
+    }
+
+    #[test]
+    fn retry_after_hint_round_trips_and_is_elided_when_absent() {
+        let line = err_response_with_retry(
+            Some(8),
+            ErrorKind::LabelerUnavailable,
+            "circuit breaker open",
+            Some(750_000),
+        );
+        let reply = Reply::parse(&line).unwrap();
+        assert!(!reply.ok);
+        assert_eq!(reply.error_kind.as_deref(), Some("labeler_unavailable"));
+        assert_eq!(reply.retry_after_micros, Some(750_000));
+
+        let bare = err_response(Some(8), ErrorKind::Internal, "boom");
+        assert!(!bare.contains("retry_after_micros"));
+        assert_eq!(Reply::parse(&bare).unwrap().retry_after_micros, None);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use tasti_labeler::BatchTargetLabeler;
+use tasti_labeler::FallibleTargetLabeler;
 
 use crate::proto::{err_response, ErrorKind, Op, Request};
 use crate::service::TastiService;
@@ -39,7 +39,7 @@ struct Shared {
 
 /// A running server. Dropping it does *not* stop the threads — call
 /// [`Server::shutdown_and_join`] (or send the `shutdown` request).
-pub struct Server<L: BatchTargetLabeler + 'static> {
+pub struct Server<L: FallibleTargetLabeler + 'static> {
     service: Arc<TastiService<L>>,
     shared: Arc<Shared>,
     addr: SocketAddr,
@@ -47,7 +47,7 @@ pub struct Server<L: BatchTargetLabeler + 'static> {
     workers: Vec<JoinHandle<()>>,
 }
 
-impl<L: BatchTargetLabeler + 'static> Server<L> {
+impl<L: FallibleTargetLabeler + 'static> Server<L> {
     /// Binds the configured address and spawns the acceptor and worker
     /// threads. The service's [`crate::ServeConfig`] supplies the bind
     /// address, pool size, and queue depth.
@@ -190,7 +190,7 @@ fn begin_shutdown(shared: &Shared) {
     let _ = TcpStream::connect(shared.addr);
 }
 
-fn worker_loop<L: BatchTargetLabeler>(shared: &Shared, service: &TastiService<L>) {
+fn worker_loop<L: FallibleTargetLabeler>(shared: &Shared, service: &TastiService<L>) {
     loop {
         let conn = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -233,7 +233,7 @@ const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(200);
 /// timeout so an idle keep-alive connection cannot pin a worker past a
 /// drain — on shutdown the client gets a `shutting_down` notice and the
 /// connection closes.
-fn serve_connection<L: BatchTargetLabeler>(
+fn serve_connection<L: FallibleTargetLabeler>(
     shared: &Shared,
     service: &TastiService<L>,
     conn: TcpStream,

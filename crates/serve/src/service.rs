@@ -21,25 +21,60 @@ use tasti_core::crack::crack_from_labeler;
 use tasti_core::index::TastiIndex;
 use tasti_core::persist;
 use tasti_core::scoring::ScoringFunction;
-use tasti_labeler::{BatchTargetLabeler, MeteredLabeler, RecordId};
+use tasti_labeler::{
+    BreakerState, FallibleTargetLabeler, FaultKind, LabelerError, LabelerFault, MeteredLabeler,
+    RecordId,
+};
 use tasti_obs::json::{fmt_f64, push_escaped};
 use tasti_obs::{QueryTelemetry, Stopwatch};
 use tasti_query::{
-    ebs_aggregate_batch, limit_query_batch, predicate_aggregate_batch, supg_precision_target_batch,
-    supg_recall_target_batch, AggregationConfig, PredicateAggConfig, SupgConfig,
-    SupgPrecisionConfig,
+    try_ebs_aggregate_batch, try_limit_query_batch, try_predicate_aggregate_batch,
+    try_supg_precision_target_batch, try_supg_recall_target_batch, AggregationConfig,
+    PredicateAggConfig, QueryOutcome, SupgConfig, SupgPrecisionConfig,
 };
 
 use crate::config::ServeConfig;
 use crate::metrics::ServeMetrics;
-use crate::proto::{err_response, ok_response, ErrorKind, Op, Request};
+use crate::proto::{err_response_with_retry, ok_response, ErrorKind, Op, Request};
 
 /// Default oracle match threshold: a record matches when its oracle score
 /// is ≥ this. Right for the 0/1 predicate scores (`HasClass`, …).
 pub const DEFAULT_THRESHOLD: f64 = 0.5;
 
+/// A typed request failure: the wire error kind, its message, and (for
+/// `labeler_unavailable`) the breaker's backoff hint.
+struct QueryError {
+    kind: ErrorKind,
+    message: String,
+    retry_after_micros: Option<u64>,
+}
+
+impl QueryError {
+    fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+            retry_after_micros: None,
+        }
+    }
+
+    fn with_retry(mut self, retry_after_micros: Option<u64>) -> Self {
+        self.retry_after_micros = retry_after_micros;
+        self
+    }
+}
+
+/// Unpacks a fault-aware query outcome into the result plus the fault that
+/// degraded it (if any).
+fn split_outcome<R>(out: QueryOutcome<R>) -> (R, Option<LabelerFault>) {
+    match out {
+        QueryOutcome::Complete(r) => (r, None),
+        QueryOutcome::Degraded(d) => (d.result, Some(d.fault)),
+    }
+}
+
 /// The shared state of a running service.
-pub struct TastiService<L: BatchTargetLabeler> {
+pub struct TastiService<L: FallibleTargetLabeler> {
     index: RwLock<Arc<TastiIndex>>,
     labeler: MeteredLabeler<L>,
     metrics: ServeMetrics,
@@ -50,7 +85,7 @@ pub struct TastiService<L: BatchTargetLabeler> {
     config: ServeConfig,
 }
 
-impl<L: BatchTargetLabeler> TastiService<L> {
+impl<L: FallibleTargetLabeler> TastiService<L> {
     /// Wraps an index and a labeler into a service. A `label_budget` in the
     /// config overrides the labeler's own budget.
     pub fn new(index: TastiIndex, mut labeler: MeteredLabeler<L>, config: ServeConfig) -> Self {
@@ -97,13 +132,17 @@ impl<L: BatchTargetLabeler> TastiService<L> {
         let line = match req.op {
             Op::IndexStats => self.index_stats(req),
             Op::Metrics => Ok(ok_response(req.id, &self.metrics.to_json_body(), None)),
+            Op::Health => Ok(self.health_response(req)),
             Op::Snapshot => self.snapshot(req),
             Op::Shutdown => Ok(ok_response(req.id, "\"draining\":true", None)),
             _ => self.run_query(req),
         };
         let (line, ok) = match line {
             Ok(line) => (line, true),
-            Err((kind, message)) => (err_response(Some(req.id), kind, &message), false),
+            Err(e) => (
+                err_response_with_retry(Some(req.id), e.kind, &e.message, e.retry_after_micros),
+                false,
+            ),
         };
         self.metrics.record(req.op, sw.elapsed_micros(), ok);
         if ok && req.op.is_query() && self.config.crack_after_queries {
@@ -113,16 +152,35 @@ impl<L: BatchTargetLabeler> TastiService<L> {
     }
 
     /// Runs one query op end to end. `Err` carries the typed error.
-    fn run_query(&self, req: &Request) -> Result<String, (ErrorKind, String)> {
+    fn run_query(&self, req: &Request) -> Result<String, QueryError> {
+        // Fail fast while the oracle's circuit breaker is open: don't burn
+        // a sampling plan on an oracle known to be down — tell the client
+        // when to come back instead. Once the open window has elapsed
+        // (`retry_after` hits zero) the query is admitted so its first
+        // oracle call becomes the breaker's half-open probe.
+        if let Some(h) = self.labeler.oracle_health() {
+            let still_cooling = h.retry_after_micros.is_some_and(|m| m > 0);
+            if h.breaker == BreakerState::Open && still_cooling {
+                self.metrics.labeler_unavailable.incr();
+                return Err(QueryError::new(
+                    ErrorKind::LabelerUnavailable,
+                    format!(
+                        "oracle circuit breaker is open after {} consecutive faults",
+                        h.consecutive_faults
+                    ),
+                )
+                .with_retry(h.retry_after_micros));
+            }
+        }
         let idx = self.index();
         if idx.n_records() == 0 {
-            return Err((ErrorKind::Internal, "index has no records".to_string()));
+            return Err(QueryError::new(ErrorKind::Internal, "index has no records"));
         }
         let score = req
             .score
             .as_ref()
             .ok_or_else(|| {
-                (
+                QueryError::new(
                     ErrorKind::BadRequest,
                     format!("op '{}' needs a 'score' spec", req.op.name()),
                 )
@@ -136,9 +194,9 @@ impl<L: BatchTargetLabeler> TastiService<L> {
                 req.predicate
                     .as_ref()
                     .ok_or_else(|| {
-                        (
+                        QueryError::new(
                             ErrorKind::BadRequest,
-                            "predicate_aggregate needs a 'predicate' spec".to_string(),
+                            "predicate_aggregate needs a 'predicate' spec",
                         )
                     })?
                     .to_scoring(),
@@ -150,15 +208,18 @@ impl<L: BatchTargetLabeler> TastiService<L> {
         // batch front door labels the affordable prefix and errors; we
         // record the hit, feed the algorithm neutral values so it
         // terminates normally, and discard its result in favor of a typed
-        // `budget_exhausted` error.
+        // `budget_exhausted` error. Oracle faults propagate as
+        // `LabelerFault` into the fault-aware `try_*` entry points, which
+        // degrade the query to a proxy-only partial answer.
         let budget_hit = std::sync::atomic::AtomicBool::new(false);
-        let label_scores = |recs: &[RecordId]| -> Vec<f64> {
-            match self.labeler.try_label_batch(recs) {
-                Ok(outputs) => outputs.iter().map(|o| score.score(o)).collect(),
-                Err(_) => {
+        let label_scores = |recs: &[RecordId]| -> Result<Vec<f64>, LabelerFault> {
+            match self.labeler.try_label_batch_fallible(recs) {
+                Ok(outputs) => Ok(outputs.iter().map(|o| score.score(o)).collect()),
+                Err(LabelerError::Budget(_)) => {
                     budget_hit.store(true, std::sync::atomic::Ordering::Relaxed);
-                    vec![0.0; recs.len()]
+                    Ok(vec![0.0; recs.len()])
                 }
+                Err(LabelerError::Fault(f)) => Err(f),
             }
         };
         let result = catch_unwind(AssertUnwindSafe(|| match req.op {
@@ -174,7 +235,8 @@ impl<L: BatchTargetLabeler> TastiService<L> {
                 if let Some(v) = req.seed {
                     config.seed = v;
                 }
-                let r = ebs_aggregate_batch(&proxy, &mut |recs| label_scores(recs), &config);
+                let out = try_ebs_aggregate_batch(&proxy, &mut |recs| label_scores(recs), &config);
+                let (r, fault) = split_outcome(out);
                 let mut body = String::new();
                 push_num(&mut body, "estimate", r.estimate);
                 push_num(&mut body, "ci_half_width", r.ci_half_width);
@@ -183,7 +245,7 @@ impl<L: BatchTargetLabeler> TastiService<L> {
                 push_num(&mut body, "control_coefficient", r.control_coefficient);
                 push_num(&mut body, "rho_squared", r.rho_squared);
                 body.pop();
-                (body, r.telemetry)
+                (body, r.telemetry, fault)
             }
             Op::SupgRecallTarget => {
                 let proxy = self.proxy(&idx, score.as_ref(), req.k);
@@ -203,18 +265,21 @@ impl<L: BatchTargetLabeler> TastiService<L> {
                 if let Some(v) = req.seed {
                     config.seed = v;
                 }
-                let r = supg_recall_target_batch(
+                let out = try_supg_recall_target_batch(
                     &proxy,
-                    &mut |recs| label_scores(recs).iter().map(|&s| s >= threshold).collect(),
+                    &mut |recs| {
+                        label_scores(recs).map(|v| v.iter().map(|&s| s >= threshold).collect())
+                    },
                     &config,
                 );
+                let (r, fault) = split_outcome(out);
                 let mut body = String::new();
                 push_int(&mut body, "returned_count", r.returned.len() as u64);
                 push_records(&mut body, "returned", &r.returned);
                 push_num(&mut body, "threshold", r.threshold);
                 push_num(&mut body, "estimated_recall", r.estimated_recall);
                 body.pop();
-                (body, r.telemetry)
+                (body, r.telemetry, fault)
             }
             Op::SupgPrecisionTarget => {
                 let proxy = self.proxy(&idx, score.as_ref(), req.k);
@@ -234,36 +299,42 @@ impl<L: BatchTargetLabeler> TastiService<L> {
                 if let Some(v) = req.seed {
                     config.seed = v;
                 }
-                let r = supg_precision_target_batch(
+                let out = try_supg_precision_target_batch(
                     &proxy,
-                    &mut |recs| label_scores(recs).iter().map(|&s| s >= threshold).collect(),
+                    &mut |recs| {
+                        label_scores(recs).map(|v| v.iter().map(|&s| s >= threshold).collect())
+                    },
                     &config,
                 );
+                let (r, fault) = split_outcome(out);
                 let mut body = String::new();
                 push_int(&mut body, "returned_count", r.returned.len() as u64);
                 push_records(&mut body, "returned", &r.returned);
                 push_num(&mut body, "threshold", r.threshold);
                 push_num(&mut body, "estimated_precision", r.estimated_precision);
                 body.pop();
-                (body, r.telemetry)
+                (body, r.telemetry, fault)
             }
             Op::LimitQuery => {
                 let ranking = idx.limit_ranking(score.as_ref());
                 let k_matches = req.k_matches.unwrap_or(10);
                 let max_scan = req.max_scan.unwrap_or(ranking.len());
                 let probe_batch = req.probe_batch.unwrap_or(1).max(1);
-                let r = limit_query_batch(
+                let out = try_limit_query_batch(
                     &ranking,
-                    &mut |recs| label_scores(recs).iter().map(|&s| s >= threshold).collect(),
+                    &mut |recs| {
+                        label_scores(recs).map(|v| v.iter().map(|&s| s >= threshold).collect())
+                    },
                     k_matches,
                     max_scan,
                     probe_batch,
                 );
+                let (r, fault) = split_outcome(out);
                 let mut body = String::new();
                 push_records(&mut body, "found", &r.found);
                 push_bool(&mut body, "satisfied", r.satisfied);
                 body.pop();
-                (body, r.telemetry)
+                (body, r.telemetry, fault)
             }
             Op::PredicateAggregate => {
                 // `score` plays the value role; `predicate` gates which
@@ -283,26 +354,28 @@ impl<L: BatchTargetLabeler> TastiService<L> {
                 if let Some(v) = req.seed {
                     config.seed = v;
                 }
-                let r = predicate_aggregate_batch(
+                let out = try_predicate_aggregate_batch(
                     &pred_proxy,
-                    &mut |recs| match self.labeler.try_label_batch(recs) {
-                        Ok(outputs) => outputs
+                    &mut |recs| match self.labeler.try_label_batch_fallible(recs) {
+                        Ok(outputs) => Ok(outputs
                             .iter()
                             .map(|o| (pred.score(o) >= threshold).then(|| score.score(o)))
-                            .collect(),
-                        Err(_) => {
+                            .collect()),
+                        Err(LabelerError::Budget(_)) => {
                             budget_hit.store(true, std::sync::atomic::Ordering::Relaxed);
-                            vec![None; recs.len()]
+                            Ok(vec![None; recs.len()])
                         }
+                        Err(LabelerError::Fault(f)) => Err(f),
                     },
                     &config,
                 );
+                let (r, fault) = split_outcome(out);
                 let mut body = String::new();
                 push_num(&mut body, "estimate", r.estimate);
                 push_num(&mut body, "ci_half_width", r.ci_half_width);
                 push_int(&mut body, "matches_sampled", r.matches_sampled as u64);
                 body.pop();
-                (body, r.telemetry)
+                (body, r.telemetry, fault)
             }
             _ => unreachable!("non-query ops are dispatched in handle()"),
         }))
@@ -312,18 +385,81 @@ impl<L: BatchTargetLabeler> TastiService<L> {
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "query panicked".to_string());
-            (ErrorKind::Internal, format!("query failed: {msg}"))
+            QueryError::new(ErrorKind::Internal, format!("query failed: {msg}"))
         })?;
         if budget_hit.load(std::sync::atomic::Ordering::Relaxed) {
-            return Err((
+            return Err(QueryError::new(
                 ErrorKind::BudgetExhausted,
                 "service label budget exhausted mid-query; partial labels were cached but the \
-                 result is not statistically valid"
-                    .to_string(),
+                 result is not statistically valid",
             ));
         }
-        let (body, telemetry): (String, QueryTelemetry) = result;
+        let (mut body, telemetry, fault): (String, QueryTelemetry, Option<LabelerFault>) = result;
+        if let Some(fault) = fault {
+            self.metrics.oracle_fault_queries.incr();
+            if !self.config.degraded_replies {
+                self.metrics.labeler_unavailable.incr();
+                let retry_after = self
+                    .labeler
+                    .oracle_health()
+                    .and_then(|h| h.retry_after_micros);
+                return Err(QueryError::new(
+                    ErrorKind::LabelerUnavailable,
+                    format!("oracle fault mid-query ({fault}); degraded replies are disabled"),
+                )
+                .with_retry(retry_after));
+            }
+            // Degraded reply: the partial, proxy-only answer ships with the
+            // fault spelled out; its telemetry already carries
+            // `certified: false`, `degraded: true`.
+            self.metrics.degraded_replies.incr();
+            body.push_str(",\"degraded\":true,\"fault\":\"");
+            push_escaped(&mut body, &fault.to_string());
+            body.push('"');
+        }
         Ok(ok_response(req.id, &body, Some(&telemetry)))
+    }
+
+    /// The `health` admin response: meter status plus the oracle path's
+    /// breaker/fault/retry counters when the wrapped labeler reports them
+    /// (a [`tasti_labeler::ResilientLabeler`] does; a plain labeler yields
+    /// `"oracle": null`).
+    fn health_response(&self, req: &Request) -> String {
+        let mut body = String::new();
+        push_int(&mut body, "invocations", self.labeler.invocations());
+        push_int(&mut body, "cache_hits", self.labeler.cache_hits());
+        push_int(&mut body, "reserved", self.labeler.reserved());
+        match self.labeler.oracle_health() {
+            None => body.push_str("\"oracle\":null"),
+            Some(h) => {
+                body.push_str("\"oracle\":{\"breaker\":\"");
+                body.push_str(h.breaker.name());
+                body.push_str("\",");
+                match h.retry_after_micros {
+                    Some(m) => push_int(&mut body, "retry_after_micros", m),
+                    None => body.push_str("\"retry_after_micros\":null,"),
+                }
+                push_int(&mut body, "consecutive_faults", h.consecutive_faults as u64);
+                push_int(&mut body, "total_faults", h.total_faults());
+                body.push_str("\"faults_by_kind\":{");
+                for (i, kind) in FaultKind::ALL.into_iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push('"');
+                    body.push_str(kind.name());
+                    body.push_str("\":");
+                    body.push_str(&h.faults_by_kind[kind.index()].to_string());
+                }
+                body.push_str("},");
+                push_int(&mut body, "retries", h.retries);
+                push_int(&mut body, "breaker_opens", h.breaker_opens);
+                push_int(&mut body, "breaker_transitions", h.breaker_transitions);
+                body.pop();
+                body.push('}');
+            }
+        }
+        ok_response(req.id, &body, None)
     }
 
     /// Proxy scores via rep propagation, honoring a per-request `k`.
@@ -334,7 +470,7 @@ impl<L: BatchTargetLabeler> TastiService<L> {
         }
     }
 
-    fn index_stats(&self, req: &Request) -> Result<String, (ErrorKind, String)> {
+    fn index_stats(&self, req: &Request) -> Result<String, QueryError> {
         let idx = self.index();
         let mut body = String::new();
         push_int(&mut body, "records", idx.n_records() as u64);
@@ -358,23 +494,25 @@ impl<L: BatchTargetLabeler> TastiService<L> {
         Ok(ok_response(req.id, &body, None))
     }
 
-    fn snapshot(&self, req: &Request) -> Result<String, (ErrorKind, String)> {
+    fn snapshot(&self, req: &Request) -> Result<String, QueryError> {
         let path = self.config.snapshot_path.as_ref().ok_or_else(|| {
-            (
+            QueryError::new(
                 ErrorKind::BadRequest,
-                "no snapshot path configured (start the server with --snapshot)".to_string(),
+                "no snapshot path configured (start the server with --snapshot)",
             )
         })?;
-        self.snapshot_to(path).map(|(records, reps)| {
-            let mut body = String::new();
-            body.push_str("\"path\":\"");
-            push_escaped(&mut body, &path.display().to_string());
-            body.push_str("\",");
-            push_int(&mut body, "records", records as u64);
-            push_int(&mut body, "reps", reps as u64);
-            body.pop();
-            ok_response(req.id, &body, None)
-        })
+        self.snapshot_to(path)
+            .map(|(records, reps)| {
+                let mut body = String::new();
+                body.push_str("\"path\":\"");
+                push_escaped(&mut body, &path.display().to_string());
+                body.push_str("\",");
+                push_int(&mut body, "records", records as u64);
+                push_int(&mut body, "reps", reps as u64);
+                body.pop();
+                ok_response(req.id, &body, None)
+            })
+            .map_err(|(kind, message)| QueryError::new(kind, message))
     }
 
     /// Persists the current index to `path` (atomic temp-file + rename via
@@ -423,7 +561,7 @@ impl<L: BatchTargetLabeler> TastiService<L> {
     }
 }
 
-impl<L: BatchTargetLabeler> std::fmt::Debug for TastiService<L> {
+impl<L: FallibleTargetLabeler> std::fmt::Debug for TastiService<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let idx = self.index();
         f.debug_struct("TastiService")

@@ -342,6 +342,59 @@ fn snapshot_persists_a_loadable_cracked_index() {
 }
 
 #[test]
+fn client_read_deadline_yields_typed_timeout() {
+    let server = start_server(ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Occupy the only worker (a round-trip guarantees ownership), then a
+    // second connection sits in the queue where no response can arrive.
+    let mut held = Client::connect(addr).expect("connect");
+    assert!(held.index_stats().expect("stats").ok);
+
+    let mut waiting = Client::connect_with_timeouts(
+        addr,
+        Some(std::time::Duration::from_secs(5)),
+        Some(std::time::Duration::from_millis(50)),
+    )
+    .expect("connect with deadlines");
+    match waiting.index_stats() {
+        Err(ClientError::Timeout(msg)) => assert!(msg.contains("50"), "got: {msg}"),
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+
+    drop(held);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn health_reports_meter_state_and_null_oracle_for_plain_labelers() {
+    let server = start_server(ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Pay for some labels first so the meter state is non-trivial.
+    let mut req = Request::new(Op::LimitQuery);
+    req.score = Some(has_car());
+    req.k_matches = Some(3);
+    assert!(client.call(req).expect("limit").ok);
+
+    let reply = client.health().expect("health");
+    assert!(reply.ok);
+    let paid = reply.result.get("invocations").unwrap().as_u64().unwrap();
+    assert!(paid > 0);
+    assert_eq!(reply.result.get("reserved").unwrap().as_u64(), Some(0));
+    // CountingLabeler has no resilience middleware: no oracle health.
+    assert!(matches!(
+        reply.result.get("oracle"),
+        Some(tasti_obs::JsonValue::Null)
+    ));
+    server.shutdown_and_join();
+}
+
+#[test]
 fn shutdown_drains_and_refuses_new_work() {
     let server = start_server(ServeConfig::default());
     let addr = server.local_addr();

@@ -67,12 +67,23 @@ struct ServeArgs {
     snapshot_on_shutdown: bool,
     label_budget: Option<u64>,
     no_crack: bool,
+    /// Reject fault-degraded queries with `labeler_unavailable` instead of
+    /// answering with the proxy-only partial result.
+    no_degraded: bool,
+    /// Injected fault rates (chaos testing; 0 = off). When any rate is
+    /// positive the oracle is wrapped in `FaultInjectingLabeler` +
+    /// `ResilientLabeler`, so retries and the circuit breaker are live.
+    fault_transient: f64,
+    fault_timeout: f64,
+    fault_corrupt: f64,
+    fault_fatal: f64,
+    fault_seed: u64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
 struct ProbeArgs {
     /// agg | supg | supg-precision | limit | predicate | stats | metrics
-    /// | snapshot | shutdown
+    /// | health | snapshot | shutdown
     op: String,
     addr: String,
     class: String,
@@ -110,8 +121,10 @@ USAGE:
   tasti_cli serve --index <index.json> --dataset <name> --n <records> [--seed S]
                   [--addr 127.0.0.1:0] [--workers W] [--queue-depth Q]
                   [--snapshot <path>] [--snapshot-on-shutdown]
-                  [--label-budget B] [--no-crack]
-  tasti_cli probe <agg|supg|supg-precision|limit|predicate|stats|metrics|snapshot|shutdown>
+                  [--label-budget B] [--no-crack] [--no-degraded]
+                  [--fault-transient R] [--fault-timeout R]
+                  [--fault-corrupt R] [--fault-fatal R] [--fault-seed S]
+  tasti_cli probe <agg|supg|supg-precision|limit|predicate|stats|metrics|health|snapshot|shutdown>
                   --addr HOST:PORT [--class car|bus] [--min-count K]
                   [--error E] [--budget B] [--matches M] [--seed S]
 
@@ -122,7 +135,13 @@ speakers.
 
 serve answers the line-delimited JSON wire protocol (see tasti-serve) and
 drains gracefully on an admin shutdown request: `tasti_cli probe shutdown
---addr HOST:PORT`. probe prints the raw response line.";
+--addr HOST:PORT`. probe prints the raw response line.
+
+serve --fault-* rates inject deterministic oracle faults behind the full
+resilience stack (retry/backoff + circuit breaker): transient and timeout
+faults are retried, corrupt and fatal faults degrade their query to the
+proxy-only answer (or a typed labeler_unavailable error with
+--no-degraded). `probe health` reports breaker state and fault counters.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -130,7 +149,14 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if ["pretrained-only", "snapshot-on-shutdown", "no-crack"].contains(&name) {
+            if [
+                "pretrained-only",
+                "snapshot-on-shutdown",
+                "no-crack",
+                "no-degraded",
+            ]
+            .contains(&name)
+            {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else {
@@ -224,13 +250,19 @@ fn parse(args: &[String]) -> Result<Command, String> {
                     None => None,
                 },
                 no_crack: flags.contains_key("no-crack"),
+                no_degraded: flags.contains_key("no-degraded"),
+                fault_transient: get(&flags, "fault-transient", Some(0.0))?,
+                fault_timeout: get(&flags, "fault-timeout", Some(0.0))?,
+                fault_corrupt: get(&flags, "fault-corrupt", Some(0.0))?,
+                fault_fatal: get(&flags, "fault-fatal", Some(0.0))?,
+                fault_seed: get(&flags, "fault-seed", Some(0x5EED))?,
             }))
         }
         Some("probe") => {
             let op = args
                 .get(1)
                 .cloned()
-                .ok_or("probe needs an op: agg|supg|supg-precision|limit|predicate|stats|metrics|snapshot|shutdown")?;
+                .ok_or("probe needs an op: agg|supg|supg-precision|limit|predicate|stats|metrics|health|snapshot|shutdown")?;
             if probe_op(&op).is_none() {
                 return Err(format!("unknown probe op '{op}'"));
             }
@@ -260,6 +292,7 @@ fn probe_op(name: &str) -> Option<ServeOp> {
         "predicate" => ServeOp::PredicateAggregate,
         "stats" => ServeOp::IndexStats,
         "metrics" => ServeOp::Metrics,
+        "health" => ServeOp::Health,
         "snapshot" => ServeOp::Snapshot,
         "shutdown" => ServeOp::Shutdown,
         _ => return None,
@@ -501,12 +534,12 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
             dataset.len()
         ));
     }
-    let labeler = MeteredLabeler::new(OracleLabeler::new(
+    let oracle = OracleLabeler::new(
         dataset.truth_handle(),
         CostModel::mask_rcnn().target,
         Schema::object_detection(),
         "oracle",
-    ));
+    );
     let config = ServeConfig {
         addr: a.addr.clone(),
         workers: a.workers.max(1),
@@ -515,7 +548,40 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
         snapshot_on_shutdown: a.snapshot_on_shutdown,
         label_budget: a.label_budget,
         crack_after_queries: !a.no_crack,
+        degraded_replies: !a.no_degraded,
     };
+    let any_fault = [
+        a.fault_transient,
+        a.fault_timeout,
+        a.fault_corrupt,
+        a.fault_fatal,
+    ]
+    .iter()
+    .any(|&r| r > 0.0);
+    if any_fault {
+        let plan = FaultPlan {
+            transient_rate: a.fault_transient,
+            timeout_rate: a.fault_timeout,
+            corrupt_rate: a.fault_corrupt,
+            fatal_rate: a.fault_fatal,
+            seed: a.fault_seed,
+            ..FaultPlan::default()
+        };
+        let stack = ResilientLabeler::new(FaultInjectingLabeler::new(oracle, plan));
+        serve_until_drained(index, MeteredLabeler::new(stack), config, a)
+    } else {
+        serve_until_drained(index, MeteredLabeler::new(oracle), config, a)
+    }
+}
+
+/// Starts the server over any (fallible) oracle stack and blocks until the
+/// admin shutdown drain completes.
+fn serve_until_drained<L: FallibleTargetLabeler + 'static>(
+    index: TastiIndex,
+    labeler: MeteredLabeler<L>,
+    config: ServeConfig,
+    a: &ServeArgs,
+) -> Result<(), String> {
     let n_reps = index.reps().len();
     let service = Arc::new(TastiService::new(index, labeler, config));
     let server = Server::start(service).map_err(|e| e.to_string())?;
@@ -560,7 +626,11 @@ fn run_probe(a: &ProbeArgs) -> Result<(), String> {
             req.score = Some(ScoreSpec::CountClass(class));
             req.budget = Some(a.budget);
         }
-        ServeOp::IndexStats | ServeOp::Metrics | ServeOp::Snapshot | ServeOp::Shutdown => {}
+        ServeOp::IndexStats
+        | ServeOp::Metrics
+        | ServeOp::Health
+        | ServeOp::Snapshot
+        | ServeOp::Shutdown => {}
     }
     let mut client = Client::connect(&a.addr).map_err(|e| e.to_string())?;
     let (line, _id) = client.call_raw(req).map_err(|e| e.to_string())?;
@@ -780,6 +850,40 @@ mod tests {
                 assert!(a.snapshot_on_shutdown);
                 assert_eq!(a.label_budget, Some(250));
                 assert!(a.no_crack);
+                assert!(!a.no_degraded, "degraded replies default on");
+                assert_eq!(a.fault_transient, 0.0, "fault injection defaults off");
+                assert_eq!(a.fault_fatal, 0.0);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_fault_flags() {
+        let cmd = parse(&s(&[
+            "serve",
+            "--index",
+            "x.json",
+            "--dataset",
+            "night-street",
+            "--n",
+            "500",
+            "--no-degraded",
+            "--fault-transient",
+            "0.2",
+            "--fault-fatal",
+            "0.05",
+            "--fault-seed",
+            "7",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert!(a.no_degraded);
+                assert_eq!(a.fault_transient, 0.2);
+                assert_eq!(a.fault_timeout, 0.0);
+                assert_eq!(a.fault_fatal, 0.05);
+                assert_eq!(a.fault_seed, 7);
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -795,6 +899,7 @@ mod tests {
             "predicate",
             "stats",
             "metrics",
+            "health",
             "snapshot",
             "shutdown",
         ] {

@@ -74,17 +74,19 @@ pub use tasti_serve as serve;
 pub mod prelude {
     pub use tasti_cluster::{Metric, SelectionStrategy};
     pub use tasti_core::{
-        build_index, crack::crack_from_labeler, CountClass, FnScore, HasAtLeast, HasClass,
-        MeanXPosition, ScoringFunction, SpeechIsMale, SqlNumPredicates, SqlOpIs, TastiConfig,
-        TastiIndex,
+        build_index, crack::crack_from_labeler, try_build_index, BuildError, CountClass, FnScore,
+        HasAtLeast, HasClass, MeanXPosition, ScoringFunction, SpeechIsMale, SqlNumPredicates,
+        SqlOpIs, TastiConfig, TastiIndex,
     };
     pub use tasti_data::{OracleLabeler, PretrainedEmbedder};
     pub use tasti_labeler::{
-        BatchTargetLabeler, ClosenessFn, CostModel, LabelerOutput, MeteredLabeler, ObjectClass,
-        SpeechCloseness, SqlCloseness, TargetLabeler, VideoCloseness,
+        BatchTargetLabeler, ClosenessFn, CostModel, FallibleTargetLabeler, FaultInjectingLabeler,
+        FaultKind, FaultPlan, LabelerFault, LabelerOutput, MeteredLabeler, ObjectClass,
+        ResilientLabeler, SpeechCloseness, SqlCloseness, TargetLabeler, VideoCloseness,
     };
     pub use tasti_query::{
         ebs_aggregate, ebs_aggregate_batch, limit_query, limit_query_batch, supg_recall_target,
-        supg_recall_target_batch, AggregationConfig, StoppingRule, SupgConfig,
+        supg_recall_target_batch, try_ebs_aggregate_batch, try_limit_query_batch,
+        try_supg_recall_target_batch, AggregationConfig, QueryOutcome, StoppingRule, SupgConfig,
     };
 }
