@@ -52,6 +52,13 @@ else
   echo "==> property tests ran at full depth inside 'cargo test -q'"
 fi
 
+echo "==> ann-audit: IVF assignment recall bound + bit-identity differential"
+# Always runs at the quick profile: the full-depth version already ran
+# inside 'cargo test -q' on the full profile; this stage is the named gate
+# that must pass even when someone only runs a targeted CI slice.
+cargo test -q -p tasti-cluster --features quick-proptest \
+  --test ann_recall --test differential
+
 echo "==> serve smoke: build index → serve on an ephemeral port → probe every op → drain"
 SMOKE=$(mktemp -d)
 cleanup_smoke() {

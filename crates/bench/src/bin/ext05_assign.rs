@@ -1,0 +1,6 @@
+//! Extension experiment — see `tasti_bench::experiments::ext05_assign`.
+fn main() {
+    let records = tasti_bench::experiments::ext05_assign::run();
+    let path = tasti_bench::write_json("ext05_assign", &records).expect("write results");
+    println!("\n{} records written to {path}", records.len());
+}

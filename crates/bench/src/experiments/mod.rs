@@ -8,6 +8,7 @@ pub mod ext01_k_sweep;
 pub mod ext02_precision_supg;
 pub mod ext03_crowd_noise;
 pub mod ext04_diagnostics;
+pub mod ext05_assign;
 pub mod fig02_construction;
 pub mod fig03_frontier;
 pub mod fig04_aggregation;
@@ -49,5 +50,6 @@ pub fn run_all() -> Vec<ExperimentRecord> {
     all.extend(ext02_precision_supg::run());
     all.extend(ext03_crowd_noise::run());
     all.extend(ext04_diagnostics::run());
+    all.extend(ext05_assign::run());
     all
 }

@@ -18,21 +18,36 @@
 //!   scalar scans.
 //! * [`pruned`] — an exact triangle-inequality-pruned min-k builder that
 //!   skips most distance computations on clustered data.
+//! * [`ann`] — the approximate candidate stage for rep assignment: IVF
+//!   coarse routing over the representatives with layered recall
+//!   safeguards (minimum pool, probe widening, geometric completeness,
+//!   audited recall with exact fallback), feeding the exact kernel for
+//!   refinement.
+//! * [`quant`] — the compact rep-table layouts (f16, symmetric int8) the
+//!   routing loop reads, with per-row metric-space error bounds so
+//!   quantization can never drop an in-pool winner.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ann;
 pub mod distance;
 pub mod fpf;
 pub mod kernels;
 pub mod knn;
 pub mod pruned;
+pub mod quant;
 
+pub use ann::{
+    planned_cells, AssignStats, AssignStrategy, IvfParams, RepRouter, AUTO_MIN_RECORDS,
+    AUTO_MIN_REPS,
+};
 pub use distance::Metric;
 pub use fpf::{
     fpf, fpf_from, fpf_from_threaded, fpf_threaded, random_selection, select, select_threaded,
     FpfResult, SelectionStrategy,
 };
 pub use kernels::{resolve_threads, BatchDistance};
-pub use knn::{MinKTable, Neighbor};
-pub use pruned::{build_pruned, PruneStats};
+pub use knn::{KnnError, MinKTable, Neighbor};
+pub use pruned::{build_pruned, build_pruned_with_strategy, PruneStats};
+pub use quant::{f16_bits_to_f32, f32_to_f16_bits, QuantCodec, QuantizedReps};

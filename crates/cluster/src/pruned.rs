@@ -232,6 +232,52 @@ pub fn build_pruned(
     (table, stats)
 }
 
+/// Strategy-aware variant of [`build_pruned`]: when `strategy` resolves to
+/// IVF at this instance size, the [`crate::ann`] candidate stage supersedes
+/// pivot pruning (both attack the same candidate-set reduction; IVF's
+/// probed-pool scan is strictly cheaper and keeps its recall safeguards),
+/// and `PruneStats` reports the candidate pool actually scanned. Exact
+/// resolutions run the classic triangle-inequality sweep unchanged.
+pub fn build_pruned_with_strategy(
+    records: &[f32],
+    reps: &[f32],
+    dim: usize,
+    k: usize,
+    metric: Metric,
+    n_pivots: usize,
+    strategy: &crate::ann::AssignStrategy,
+) -> (MinKTable, PruneStats) {
+    let n_records = if dim == 0 { 0 } else { records.len() / dim };
+    let n_reps = if dim == 0 { 0 } else { reps.len() / dim };
+    match strategy.resolve(n_records, n_reps) {
+        None => build_pruned(records, reps, dim, k, metric, n_pivots),
+        Some(params) => {
+            let (table, stats) = MinKTable::build_with_strategy(
+                records,
+                reps,
+                dim,
+                k,
+                metric,
+                0,
+                &crate::ann::AssignStrategy::Ivf(params),
+            );
+            let brute = (n_records as u64) * (n_reps as u64);
+            let computed = if stats.exact_fallback {
+                brute
+            } else {
+                stats.candidate_total
+            };
+            (
+                table,
+                PruneStats {
+                    distances_computed: computed,
+                    distances_brute_force: brute,
+                },
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

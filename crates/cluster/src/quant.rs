@@ -1,0 +1,516 @@
+//! Compact quantized representative tables for the ANN candidate stage.
+//!
+//! The IVF candidate stage ([`crate::ann`]) scores every representative in
+//! each probed cell. At the paper's scale those reads dominate the routing
+//! loop, so the rows it touches are stored quantized — IEEE binary16
+//! (`f16`, 2 bytes/element) or symmetric int8 with a per-row scale
+//! (1 byte/element + one `f32` scale) — cutting the bytes per candidate
+//! 2–4× (à la Thistle's compact vector layout). The *refinement* stage
+//! never reads these rows: every distance the index stores comes from the
+//! exact `f32` kernel over the original embeddings.
+//!
+//! # Error model
+//!
+//! Quantization is a per-row perturbation `r → r̃`. For each row the table
+//! stores a metric-space bound `e_j ≥ |d(q, r) − d(q, r̃)|` valid for *any*
+//! query `q`:
+//!
+//! * L2 / L1: `e_j = d(r, r̃)` (triangle inequality).
+//! * SquaredL2: compared in L2 space by the caller using the L2 bound.
+//! * Cosine: `e_j = ‖r/‖r‖ − r̃/‖r̃‖‖₂`, since
+//!   `|⟨q̂, û⟩ − ⟨q̂, v̂⟩| = |⟨q̂, û − v̂⟩| ≤ ‖û − v̂‖`.
+//!
+//! The candidate stage treats a quantized score as a *filter*: a candidate
+//! is handed to the exact kernel whenever its quantized distance could be
+//! within `e_j` (plus an fp slack) of beating the current k-th best, so
+//! quantization can cost extra exact evaluations but never drops a
+//! candidate that would have won *within the probed pool*.
+
+use crate::distance::Metric;
+use crate::kernels::{vec_norms, VecNorms};
+use serde::{Deserialize, Serialize};
+
+/// Storage codec for the quantized representative table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum QuantCodec {
+    /// No compression: candidate scoring reads the original `f32` rows
+    /// (decomposed norms-plus-dot scoring, zero quantization error).
+    F32,
+    /// IEEE binary16 (half precision), round-to-nearest-even.
+    F16,
+    /// Symmetric int8 with one `f32` scale per row (`x ≈ code · scale`,
+    /// `scale = max|x| / 127`).
+    #[default]
+    Int8,
+}
+
+impl QuantCodec {
+    /// Human-readable codec name (telemetry).
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantCodec::F32 => "f32",
+            QuantCodec::F16 => "f16",
+            QuantCodec::Int8 => "int8",
+        }
+    }
+
+    /// Bytes one quantized element occupies (excluding per-row scales).
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            QuantCodec::F32 => 4,
+            QuantCodec::F16 => 2,
+            QuantCodec::Int8 => 1,
+        }
+    }
+}
+
+/// Converts an `f32` to IEEE binary16 bits, round-to-nearest-even.
+#[inline]
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN: preserve the class (quiet any NaN payload).
+        return sign | 0x7c00 | if man != 0 { 0x0200 } else { 0 };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if unbiased >= -14 {
+        // Normal half.
+        let half = (((unbiased + 15) as u32) << 10) | (man >> 13);
+        let round_bit = man & 0x1000;
+        let sticky = man & 0x0fff;
+        let half = if round_bit != 0 && (sticky != 0 || (half & 1) != 0) {
+            half + 1 // carry into the exponent saturates to inf correctly
+        } else {
+            half
+        };
+        return sign | half as u16;
+    }
+    if unbiased < -25 {
+        return sign; // underflow → ±0
+    }
+    // Subnormal half: shift the (implicit-bit-restored) mantissa down.
+    let man = man | 0x0080_0000;
+    let shift = (-unbiased - 1) as u32; // 13 (at −14) ..= 24 (at −25)
+    let half = man >> shift;
+    let round_bit = man & (1u32 << (shift - 1));
+    let sticky = man & ((1u32 << (shift - 1)) - 1);
+    let half = if round_bit != 0 && (sticky != 0 || (half & 1) != 0) {
+        half + 1
+    } else {
+        half
+    };
+    sign | half as u16
+}
+
+/// Converts IEEE binary16 bits back to `f32` (exact — every half value is
+/// representable in single precision).
+#[inline]
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let man = (h & 0x3ff) as u32;
+    if exp == 0x1f {
+        return f32::from_bits(sign | 0x7f80_0000 | (man << 13));
+    }
+    if exp != 0 {
+        return f32::from_bits(sign | ((exp + 112) << 23) | (man << 13));
+    }
+    if man == 0 {
+        return f32::from_bits(sign);
+    }
+    // Subnormal: value = man · 2⁻²⁴ (exact in f32).
+    let v = man as f32 * f32::from_bits(0x3380_0000);
+    if sign != 0 {
+        -v
+    } else {
+        v
+    }
+}
+
+/// A row-major corpus quantized under one [`QuantCodec`], with the
+/// dequantized-row norms and per-row error bounds the candidate stage
+/// needs. Rows can be appended incrementally (index cracking).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedReps {
+    codec: QuantCodec,
+    metric: Metric,
+    dim: usize,
+    n: usize,
+    /// F16 storage (empty for other codecs).
+    half: Vec<u16>,
+    /// Int8 storage (empty for other codecs).
+    bytes: Vec<i8>,
+    /// Per-row int8 scales (empty for other codecs).
+    scales: Vec<f32>,
+    /// Squared L2 norms of the *dequantized* rows.
+    sq: Vec<f32>,
+    /// L2 norms of the dequantized rows.
+    l2: Vec<f32>,
+    /// L1 norms of the dequantized rows.
+    l1: Vec<f32>,
+    /// Per-row metric-space error bound (see module docs). Zero for F32.
+    err: Vec<f32>,
+}
+
+impl QuantizedReps {
+    /// Quantizes a row-major corpus (`dim` columns) under `codec`, with
+    /// error bounds appropriate for `metric`.
+    pub fn build(rows: &[f32], dim: usize, metric: Metric, codec: QuantCodec) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(rows.len() % dim, 0, "corpus length not a multiple of dim");
+        let n = rows.len() / dim;
+        let mut q = Self {
+            codec,
+            metric,
+            dim,
+            n: 0,
+            half: Vec::new(),
+            bytes: Vec::new(),
+            scales: Vec::new(),
+            sq: Vec::with_capacity(n),
+            l2: Vec::with_capacity(n),
+            l1: Vec::with_capacity(n),
+            err: Vec::with_capacity(n),
+        };
+        match codec {
+            QuantCodec::F16 => q.half.reserve(n * dim),
+            QuantCodec::Int8 => {
+                q.bytes.reserve(n * dim);
+                q.scales.reserve(n);
+            }
+            QuantCodec::F32 => {}
+        }
+        for row in rows.chunks_exact(dim) {
+            q.push_row(row);
+        }
+        q
+    }
+
+    /// Appends one row (the cracking path). `O(dim)`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "row dimension mismatch");
+        let mut deq = vec![0.0f32; self.dim];
+        match self.codec {
+            QuantCodec::F32 => deq.copy_from_slice(row),
+            QuantCodec::F16 => {
+                for (d, &x) in deq.iter_mut().zip(row) {
+                    let h = f32_to_f16_bits(x);
+                    self.half.push(h);
+                    *d = f16_bits_to_f32(h);
+                }
+            }
+            QuantCodec::Int8 => {
+                let maxabs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                let scale = if maxabs > 0.0 { maxabs / 127.0 } else { 0.0 };
+                self.scales.push(scale);
+                for (d, &x) in deq.iter_mut().zip(row) {
+                    let code = if scale > 0.0 {
+                        (x / scale).round().clamp(-127.0, 127.0) as i8
+                    } else {
+                        0
+                    };
+                    self.bytes.push(code);
+                    *d = code as f32 * scale;
+                }
+            }
+        }
+        let nm = vec_norms(&deq);
+        self.sq.push(nm.sq);
+        self.l2.push(nm.l2);
+        self.l1.push(nm.l1);
+        self.err.push(self.error_bound(row, &deq));
+        self.n += 1;
+    }
+
+    fn error_bound(&self, orig: &[f32], deq: &[f32]) -> f32 {
+        let e = match self.metric {
+            Metric::L2 | Metric::SquaredL2 => Metric::L2.distance(orig, deq),
+            Metric::L1 => Metric::L1.distance(orig, deq),
+            Metric::Cosine => {
+                let no = vec_norms(orig).l2;
+                let nd = vec_norms(deq).l2;
+                if no <= 1e-12 || nd <= 1e-12 {
+                    // A zero (or fully-quantized-away) row has no direction:
+                    // the cosine error is unbounded, so use the metric's
+                    // full range — the filter then never skips this row.
+                    2.0
+                } else {
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in orig.iter().zip(deq) {
+                        let d = a / no - b / nd;
+                        acc += d * d;
+                    }
+                    acc.max(0.0).sqrt()
+                }
+            }
+        };
+        // Generous fp padding: the bound itself was computed in f32.
+        e * (1.0 + 1e-5) + 1e-7
+    }
+
+    /// Number of rows.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Codec in use.
+    pub fn codec(&self) -> QuantCodec {
+        self.codec
+    }
+
+    /// Metric the error bounds were computed for.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Per-row metric-space quantization error bound.
+    #[inline]
+    pub fn err(&self, j: usize) -> f32 {
+        self.err[j]
+    }
+
+    /// Squared L2 norm of dequantized row `j`.
+    #[inline]
+    pub fn sq_norm(&self, j: usize) -> f32 {
+        self.sq[j]
+    }
+
+    /// L1 norm of dequantized row `j`.
+    #[inline]
+    pub fn l1_norm(&self, j: usize) -> f32 {
+        self.l1[j]
+    }
+
+    /// Inner product `⟨query, r̃_j⟩` over the quantized row.
+    #[inline]
+    fn dot(&self, query: &[f32], reps_f32: &[f32], j: usize) -> f32 {
+        match self.codec {
+            QuantCodec::F32 => {
+                crate::kernels::dot(query, &reps_f32[j * self.dim..(j + 1) * self.dim])
+            }
+            QuantCodec::F16 => {
+                let row = &self.half[j * self.dim..(j + 1) * self.dim];
+                let mut acc = [0.0f32; 4];
+                let chunks = self.dim / 4;
+                for i in 0..chunks {
+                    let q = &query[i * 4..i * 4 + 4];
+                    let r = &row[i * 4..i * 4 + 4];
+                    acc[0] += q[0] * f16_bits_to_f32(r[0]);
+                    acc[1] += q[1] * f16_bits_to_f32(r[1]);
+                    acc[2] += q[2] * f16_bits_to_f32(r[2]);
+                    acc[3] += q[3] * f16_bits_to_f32(r[3]);
+                }
+                let mut tail = 0.0f32;
+                for i in chunks * 4..self.dim {
+                    tail += query[i] * f16_bits_to_f32(row[i]);
+                }
+                (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+            }
+            QuantCodec::Int8 => {
+                let row = &self.bytes[j * self.dim..(j + 1) * self.dim];
+                let mut acc = [0.0f32; 4];
+                let chunks = self.dim / 4;
+                for i in 0..chunks {
+                    let q = &query[i * 4..i * 4 + 4];
+                    let r = &row[i * 4..i * 4 + 4];
+                    acc[0] += q[0] * r[0] as f32;
+                    acc[1] += q[1] * r[1] as f32;
+                    acc[2] += q[2] * r[2] as f32;
+                    acc[3] += q[3] * r[3] as f32;
+                }
+                let mut tail = 0.0f32;
+                for i in chunks * 4..self.dim {
+                    tail += query[i] * row[i] as f32;
+                }
+                ((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail) * self.scales[j]
+            }
+        }
+    }
+
+    /// Decomposed-space candidate score of row `j` against `query` — the
+    /// same convention as the kernel engine's `scores_block`: *squared*
+    /// distance for L2/SquaredL2, plain distance for L1, cosine distance
+    /// for Cosine. Cheap (one pass over the quantized row), approximate
+    /// (within [`QuantizedReps::err`] of the true score in metric space).
+    #[inline]
+    pub fn score(&self, query: &[f32], qn: &VecNorms, reps_f32: &[f32], j: usize) -> f32 {
+        match self.metric {
+            Metric::L2 | Metric::SquaredL2 => {
+                qn.sq + self.sq[j] - 2.0 * self.dot(query, reps_f32, j)
+            }
+            Metric::L1 => {
+                // No useful decomposition for L1: direct pass over the
+                // dequantized elements.
+                match self.codec {
+                    QuantCodec::F32 => {
+                        let row = &reps_f32[j * self.dim..(j + 1) * self.dim];
+                        Metric::L1.distance(query, row)
+                    }
+                    QuantCodec::F16 => {
+                        let row = &self.half[j * self.dim..(j + 1) * self.dim];
+                        let mut acc = 0.0f32;
+                        for (&q, &h) in query.iter().zip(row) {
+                            acc += (q - f16_bits_to_f32(h)).abs();
+                        }
+                        acc
+                    }
+                    QuantCodec::Int8 => {
+                        let row = &self.bytes[j * self.dim..(j + 1) * self.dim];
+                        let s = self.scales[j];
+                        let mut acc = 0.0f32;
+                        for (&q, &c) in query.iter().zip(row) {
+                            acc += (q - c as f32 * s).abs();
+                        }
+                        acc
+                    }
+                }
+            }
+            Metric::Cosine => {
+                let denom = (qn.l2 * self.l2[j]).max(1e-12);
+                1.0 - self.dot(query, reps_f32, j) / denom
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_round_trips_representable_values() {
+        for x in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0] {
+            assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)), x, "{x}");
+        }
+        // 2⁻²⁴ is the smallest subnormal half.
+        let tiny = f32::from_bits(0x3380_0000);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(tiny)), tiny);
+    }
+
+    #[test]
+    fn f16_conversion_error_is_within_half_ulp() {
+        // Relative error of round-to-nearest binary16 is ≤ 2⁻¹¹ for
+        // normal halves.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = ((state >> 33) as i32 % 100_000) as f32 / 1000.0;
+            let back = f16_bits_to_f32(f32_to_f16_bits(x));
+            let tol = x.abs().max(6.1e-5) * 4.9e-4;
+            assert!((back - x).abs() <= tol, "{x} → {back}");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_and_underflow_saturate() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e9)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e9)), f32::NEG_INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e-10)), 0.0);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    fn pseudo_rows(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..n * dim)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as i32 % 2000) as f32 / 500.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn error_bound_is_sound_for_all_metrics_and_codecs() {
+        let dim = 9;
+        let rows = pseudo_rows(40, dim, 7);
+        let queries = pseudo_rows(25, dim, 11);
+        for metric in [Metric::L2, Metric::SquaredL2, Metric::L1, Metric::Cosine] {
+            for codec in [QuantCodec::F32, QuantCodec::F16, QuantCodec::Int8] {
+                let q = QuantizedReps::build(&rows, dim, metric, codec);
+                for query in queries.chunks_exact(dim) {
+                    let qn = vec_norms(query);
+                    for j in 0..q.n() {
+                        let approx = q.score(query, &qn, &rows, j);
+                        let exact = metric.distance(query, &rows[j * dim..(j + 1) * dim]);
+                        // Compare in the metric's own distance space.
+                        let (a, e) = match metric {
+                            Metric::L2 => (approx.max(0.0).sqrt(), exact),
+                            Metric::SquaredL2 => (approx.max(0.0).sqrt(), exact.sqrt()),
+                            _ => (approx, exact),
+                        };
+                        assert!(
+                            (a - e).abs() <= q.err(j) + 1e-4,
+                            "{metric:?}/{codec:?} row {j}: approx {a} exact {e} err {}",
+                            q.err(j)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_codec_has_zero_error_bound() {
+        let rows = pseudo_rows(10, 5, 3);
+        let q = QuantizedReps::build(&rows, 5, Metric::L2, QuantCodec::F32);
+        for j in 0..10 {
+            assert!(q.err(j) <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn int8_zero_row_quantizes_to_zero() {
+        let rows = vec![0.0f32; 6];
+        let q = QuantizedReps::build(&rows, 3, Metric::L2, QuantCodec::Int8);
+        assert_eq!(q.n(), 2);
+        assert_eq!(q.sq_norm(0), 0.0);
+        let qn = vec_norms(&[1.0, 2.0, 3.0]);
+        let s = q.score(&[1.0, 2.0, 3.0], &qn, &rows, 0);
+        assert!((s - qn.sq).abs() < 1e-5);
+    }
+
+    #[test]
+    fn push_row_matches_bulk_build() {
+        let dim = 4;
+        let rows = pseudo_rows(12, dim, 17);
+        for codec in [QuantCodec::F32, QuantCodec::F16, QuantCodec::Int8] {
+            let bulk = QuantizedReps::build(&rows, dim, Metric::L2, codec);
+            let mut inc = QuantizedReps::build(&rows[..4 * dim], dim, Metric::L2, codec);
+            for row in rows[4 * dim..].chunks_exact(dim) {
+                inc.push_row(row);
+            }
+            assert_eq!(inc.n(), bulk.n());
+            let qn = vec_norms(&rows[..dim]);
+            for j in 0..bulk.n() {
+                assert_eq!(inc.err(j), bulk.err(j), "{codec:?} row {j}");
+                assert_eq!(
+                    inc.score(&rows[..dim], &qn, &rows, j),
+                    bulk.score(&rows[..dim], &qn, &rows, j),
+                    "{codec:?} row {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_metadata() {
+        assert_eq!(QuantCodec::F16.bytes_per_element(), 2);
+        assert_eq!(QuantCodec::Int8.name(), "int8");
+        assert_eq!(QuantCodec::default(), QuantCodec::Int8);
+    }
+}

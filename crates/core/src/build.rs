@@ -23,14 +23,35 @@ use crate::index::TastiIndex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
-use tasti_cluster::{kernels, select_threaded, MinKTable};
+use tasti_cluster::{kernels, select_threaded, AssignStats, MinKTable};
 use tasti_labeler::{
     BatchTargetLabeler, BudgetExhausted, ClosenessFn, FallibleTargetLabeler, LabelerError,
     LabelerFault, MeteredLabeler,
 };
 use tasti_nn::train::fit_triplet;
 use tasti_nn::{Adam, Matrix, Mlp, MlpConfig};
-use tasti_obs::{BuildTelemetry, StageRecorder, StageTelemetry};
+use tasti_obs::{AssignTelemetry, BuildTelemetry, StageRecorder, StageTelemetry};
+
+/// Bridges the cluster crate's assignment stats into the dependency-free
+/// telemetry record the bench runner serializes.
+fn assign_telemetry(stats: &AssignStats) -> AssignTelemetry {
+    AssignTelemetry {
+        strategy: stats.strategy.to_string(),
+        n_records: stats.n_records as u64,
+        n_reps: stats.n_reps as u64,
+        n_cells: stats.n_cells as u64,
+        nprobe: stats.nprobe as u64,
+        quant: stats.quant.to_string(),
+        candidate_mean: stats.candidate_mean(),
+        candidate_min: stats.candidate_min as u64,
+        candidate_max: stats.candidate_max as u64,
+        probe_widenings: stats.probe_widenings,
+        exact_fallback: stats.exact_fallback,
+        audited_records: stats.audited_records as u64,
+        audited_recall: stats.audited_recall,
+        seconds: stats.seconds,
+    }
+}
 
 /// One timed construction stage — an alias of the shared telemetry record;
 /// the per-stage accounting convention lives in `tasti-obs`.
@@ -91,7 +112,13 @@ pub struct BuildReport {
     /// (`L` in the §3.4 cost model).
     pub training_forward_rows: u64,
     /// Record-to-representative distance computations (`N·C` term of §3.4).
+    /// With an IVF assignment this is the realized candidate total, not the
+    /// brute-force product.
     pub distance_computations: u64,
+    /// Rep-assignment accounting for the `distances` stage (strategy,
+    /// candidate-pool sizes, audited recall).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub assign: Option<AssignTelemetry>,
 }
 
 impl BuildReport {
@@ -112,7 +139,11 @@ impl BuildReport {
     /// The build's stage accounting as a shared [`BuildTelemetry`] record
     /// (what the bench runner serializes into `results/*.json`).
     pub fn telemetry(&self) -> BuildTelemetry {
-        BuildTelemetry::from_stages(self.stages.clone())
+        let t = BuildTelemetry::from_stages(self.stages.clone());
+        match &self.assign {
+            Some(a) => t.with_assign(a.clone()),
+            None => t,
+        }
     }
 }
 
@@ -306,18 +337,19 @@ pub fn try_build_index<L: FallibleTargetLabeler>(
         .iter()
         .flat_map(|&r| embeddings.row(r).iter().copied())
         .collect();
-    let mink = MinKTable::build_parallel(
+    let (mink, assign_stats) = MinKTable::build_with_strategy(
         embeddings.as_slice(),
         &rep_embeddings,
         embeddings.cols(),
         config.k,
         config.metric,
         config.threads, // 0 = auto; per-record work is independent and deterministic
+        &config.assign_strategy,
     );
     rec.finish(labeler.invocations());
 
     let stages = rec.into_stages();
-    let distance_computations = (n as u64) * clustering.selected.len() as u64;
+    let distance_computations = assign_stats.candidate_total;
     let total_invocations = stages.iter().map(|s| s.labeler_invocations).sum();
     let report = BuildReport {
         stages,
@@ -326,6 +358,7 @@ pub fn try_build_index<L: FallibleTargetLabeler>(
         n_records: n,
         training_forward_rows,
         distance_computations,
+        assign: Some(assign_telemetry(&assign_stats)),
     };
     let mut index = TastiIndex::new(
         embeddings,
@@ -334,7 +367,8 @@ pub fn try_build_index<L: FallibleTargetLabeler>(
         clustering.selected,
         rep_outputs,
         mink,
-    );
+    )
+    .with_assign_strategy(config.assign_strategy);
     if let Some(net) = trained_model {
         // Carrying the trained model enables streaming ingest of new
         // records (TastiIndex::append_records).

@@ -1,7 +1,7 @@
 //! Index construction configuration (the inputs of §2.2 and Algorithm 1).
 
 use serde::{Deserialize, Serialize};
-use tasti_cluster::{Metric, SelectionStrategy};
+use tasti_cluster::{AssignStrategy, Metric, SelectionStrategy};
 use tasti_nn::TripletConfig;
 
 /// Configuration for building a [`crate::TastiIndex`].
@@ -46,6 +46,13 @@ pub struct TastiConfig {
     /// results are identical at any setting.
     #[serde(default)]
     pub threads: usize,
+    /// How the `distances` stage assigns records to their `k` nearest
+    /// representatives: exact blocked scan, IVF candidate stage with exact
+    /// refinement, or size-based auto selection (the default; small builds
+    /// stay bit-identical to exact). Configs serialized before the knob
+    /// existed deserialize to `Auto`.
+    #[serde(default)]
+    pub assign_strategy: AssignStrategy,
 }
 
 impl Default for TastiConfig {
@@ -64,6 +71,7 @@ impl Default for TastiConfig {
             metric: Metric::L2,
             seed: 0x7A57,
             threads: 0,
+            assign_strategy: AssignStrategy::Auto,
         }
     }
 }
@@ -136,6 +144,20 @@ mod tests {
             .replace("\"threads\":0,", "");
         let back: TastiConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.threads, 0);
+    }
+
+    #[test]
+    fn assign_strategy_defaults_to_auto_and_tolerates_legacy_configs() {
+        let c = TastiConfig::default();
+        assert_eq!(c.assign_strategy, AssignStrategy::Auto);
+        let json = serde_json::to_string(&c).unwrap();
+        // Configs serialized before the knob existed lack the field.
+        let legacy = json
+            .replace(",\"assign_strategy\":\"Auto\"", "")
+            .replace("\"assign_strategy\":\"Auto\",", "");
+        assert!(!legacy.contains("assign_strategy"));
+        let back: TastiConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.assign_strategy, AssignStrategy::Auto);
     }
 
     #[test]

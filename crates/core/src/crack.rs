@@ -21,21 +21,22 @@ use tasti_labeler::MeteredLabeler;
 /// labeler qualifies — including fallible ones mid-incident: cracking after
 /// a degraded query absorbs exactly the labels that were actually paid for.
 pub fn crack_from_labeler<L>(index: &mut TastiIndex, labeler: &MeteredLabeler<L>) -> usize {
-    let mut added = 0;
     let mut records = labeler.labeled_records();
     records.sort_unstable(); // deterministic insertion order
-    for rec in records {
-        if index.is_rep(rec) {
-            continue;
-        }
-        let output = labeler
-            .cached(rec)
-            .expect("labeled_records returned an uncached record");
-        if index.crack(rec, output) {
-            added += 1;
-        }
-    }
-    added
+    let items = records
+        .into_iter()
+        .filter(|&rec| !index.is_rep(rec))
+        .map(|rec| {
+            let output = labeler
+                .cached(rec)
+                .expect("labeled_records returned an uncached record");
+            (rec, output)
+        });
+    // One batched maintenance step: large indexes whose ANN router was
+    // invalidated by the rep-set growth get it rebuilt once at the end
+    // instead of degrading to exact appends (see TastiIndex::crack_batch).
+    let items: Vec<_> = items.collect();
+    index.crack_batch(items)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 use crate::propagate;
 use crate::scoring::ScoringFunction;
 use std::collections::HashSet;
-use tasti_cluster::{Metric, MinKTable};
+use tasti_cluster::{AssignStrategy, Metric, MinKTable};
 use tasti_labeler::{LabelerOutput, RecordId};
 use tasti_nn::{Matrix, Mlp};
 
@@ -25,6 +25,9 @@ pub struct TastiIndex {
     /// The triplet-trained embedding model, when available (TASTI-T).
     /// Required for streaming ingest of new records.
     model: Option<Mlp>,
+    /// Rep-assignment strategy for maintenance rebuilds (bulk cracking).
+    /// Mirrors the build-time `TastiConfig::assign_strategy`.
+    assign_strategy: AssignStrategy,
 }
 
 impl TastiIndex {
@@ -59,6 +62,7 @@ impl TastiIndex {
             rep_set,
             mink,
             model: None,
+            assign_strategy: AssignStrategy::Auto,
         }
     }
 
@@ -67,6 +71,18 @@ impl TastiIndex {
     pub fn with_model(mut self, model: Mlp) -> Self {
         self.model = Some(model);
         self
+    }
+
+    /// Sets the rep-assignment strategy used for maintenance rebuilds
+    /// (normally copied from the build's `TastiConfig::assign_strategy`).
+    pub fn with_assign_strategy(mut self, strategy: AssignStrategy) -> Self {
+        self.assign_strategy = strategy;
+        self
+    }
+
+    /// The rep-assignment strategy maintenance rebuilds use.
+    pub fn assign_strategy(&self) -> AssignStrategy {
+        self.assign_strategy
     }
 
     /// The trained embedding model, if the index carries one.
@@ -259,6 +275,59 @@ impl TastiIndex {
         self.reps.push(record);
         self.rep_outputs.push(output);
         true
+    }
+
+    /// Cracks a batch of labeled records in one maintenance step. Each
+    /// record goes through [`TastiIndex::crack`]; when the batch grew the
+    /// representative set enough that the incremental router maintenance
+    /// has given up (the min-k table drops a drifted router rather than
+    /// let it degrade recall), the rep assignment is re-run under the
+    /// index's strategy so large indexes get a fresh router instead of
+    /// falling back to exact appends forever. Small indexes (where the
+    /// strategy resolves to exact) never rebuild — the incremental path
+    /// is already exact there. Returns how many representatives were
+    /// added.
+    pub fn crack_batch(
+        &mut self,
+        items: impl IntoIterator<Item = (RecordId, LabelerOutput)>,
+    ) -> usize {
+        let mut added = 0;
+        for (record, output) in items {
+            if self.crack(record, output) {
+                added += 1;
+            }
+        }
+        let needs_router = self
+            .assign_strategy
+            .resolve(self.n_records(), self.reps.len())
+            .is_some();
+        if needs_router && added * 8 > self.reps.len() {
+            self.rebuild_assignment();
+        }
+        added
+    }
+
+    /// Re-runs rep assignment from scratch under the configured strategy
+    /// (fresh router, fresh telemetry-free table). The exact strategy
+    /// reproduces the incremental result bit-for-bit; IVF strategies are
+    /// guarded by their build-time recall audit.
+    fn rebuild_assignment(&mut self) {
+        let dim = self.embeddings.cols();
+        let rep_flat: Vec<f32> = self
+            .reps
+            .iter()
+            .flat_map(|&r| self.embeddings.row(r).iter().copied())
+            .collect();
+        let (mink, _stats) = MinKTable::build_with_strategy(
+            self.embeddings.as_slice(),
+            &rep_flat,
+            dim,
+            self.k,
+            self.metric,
+            0,
+            &self.assign_strategy,
+        );
+        self.mink = mink;
     }
 }
 

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::path::Path;
-use tasti_cluster::{Metric, MinKTable};
+use tasti_cluster::{AssignStrategy, Metric, MinKTable};
 use tasti_labeler::{LabelerOutput, RecordId};
 use tasti_nn::{Matrix, Mlp};
 
@@ -31,6 +31,11 @@ struct IndexSnapshot {
     mink: MinKTable,
     /// Trained embedding model (None for TASTI-PT indexes).
     model: Option<Mlp>,
+    /// Rep-assignment strategy for maintenance rebuilds. Defaulted so
+    /// snapshots written before the field existed still load (as `Auto`,
+    /// which is what those builds effectively ran).
+    #[serde(default)]
+    assign_strategy: AssignStrategy,
 }
 
 /// Errors raised when loading an index.
@@ -91,6 +96,7 @@ pub fn to_json(index: &TastiIndex) -> String {
             .collect(),
         mink: index.mink().clone(),
         model: index.model().cloned(),
+        assign_strategy: index.assign_strategy(),
     };
     serde_json::to_string(&snapshot).expect("index serialization cannot fail")
 }
@@ -136,7 +142,8 @@ pub fn from_json(json: &str) -> Result<TastiIndex, PersistError> {
         snapshot.reps,
         snapshot.rep_outputs,
         snapshot.mink,
-    );
+    )
+    .with_assign_strategy(snapshot.assign_strategy);
     if let Some(model) = snapshot.model {
         index = index.with_model(model);
     }
@@ -212,6 +219,27 @@ mod tests {
         let rep_emb: Vec<f32> = [embeddings.row(0), embeddings.row(5)].concat();
         let mink = MinKTable::build(embeddings.as_slice(), &rep_emb, 2, 2, Metric::L2);
         TastiIndex::new(embeddings, Metric::L2, 2, reps, rep_outputs, mink)
+    }
+
+    #[test]
+    fn assign_strategy_round_trips_and_defaults_for_legacy_snapshots() {
+        use tasti_cluster::IvfParams;
+        let index = tiny_index().with_assign_strategy(AssignStrategy::Ivf(IvfParams {
+            nprobe: 3,
+            ..IvfParams::default()
+        }));
+        let json = to_json(&index);
+        let restored = from_json(&json).unwrap();
+        assert_eq!(restored.assign_strategy(), index.assign_strategy());
+
+        // A snapshot written before the field existed loads as Auto.
+        // `assign_strategy` is the last snapshot field, so strip it with
+        // its leading comma.
+        let encoded = serde_json::to_string(&index.assign_strategy()).unwrap();
+        let legacy = json.replace(&format!(",\"assign_strategy\":{encoded}"), "");
+        assert!(!legacy.contains("assign_strategy"), "field not stripped");
+        let restored = from_json(&legacy).unwrap();
+        assert_eq!(restored.assign_strategy(), AssignStrategy::Auto);
     }
 
     #[test]

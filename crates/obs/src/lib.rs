@@ -39,5 +39,5 @@ pub mod timer;
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSummary};
 pub use json::{JsonError, JsonValue};
-pub use telemetry::{BuildTelemetry, QueryTelemetry, StageTelemetry};
+pub use telemetry::{AssignTelemetry, BuildTelemetry, QueryTelemetry, StageTelemetry};
 pub use timer::{StageRecorder, Stopwatch};

@@ -40,6 +40,79 @@ impl StageTelemetry {
     }
 }
 
+/// Accounting for the rep-assignment (`distances`) stage: which strategy
+/// ran, how big the candidate pools were, and what the recall audit saw.
+/// Mirrors the cluster crate's `AssignStats` without depending on it —
+/// obs stays dependency-free and the bridge lives in the core crate.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct AssignTelemetry {
+    /// Resolved strategy label (`exact`, `ivf`, `ivf-full-probe`,
+    /// `ivf-exact-fallback`).
+    pub strategy: String,
+    /// Records assigned.
+    pub n_records: u64,
+    /// Representatives assigned against.
+    pub n_reps: u64,
+    /// Coarse cells in the router (0 on the exact path).
+    pub n_cells: u64,
+    /// Effective base probe count (0 on the exact path).
+    pub nprobe: u64,
+    /// Quantization codec used for candidate scoring (`none` on exact).
+    pub quant: String,
+    /// Mean per-record candidate-pool size (equals `n_reps` on exact).
+    pub candidate_mean: f64,
+    /// Smallest per-record candidate pool.
+    pub candidate_min: u64,
+    /// Largest per-record candidate pool.
+    pub candidate_max: u64,
+    /// Probe-widening events across all records.
+    pub probe_widenings: u64,
+    /// True when the recall audit failed and the build fell back to exact.
+    pub exact_fallback: bool,
+    /// Records in the recall-audit sample (0 on the exact path).
+    pub audited_records: u64,
+    /// Measured recall@k over the audit sample before any fallback.
+    pub audited_recall: f64,
+    /// Wall-clock seconds in the assignment stage.
+    pub seconds: f64,
+}
+
+impl AssignTelemetry {
+    /// Writes the record as a JSON object into `out`.
+    pub(crate) fn write_json(&self, out: &mut String) {
+        out.push_str("{\"strategy\":\"");
+        push_escaped(out, &self.strategy);
+        out.push_str("\",\"n_records\":");
+        out.push_str(&self.n_records.to_string());
+        out.push_str(",\"n_reps\":");
+        out.push_str(&self.n_reps.to_string());
+        out.push_str(",\"n_cells\":");
+        out.push_str(&self.n_cells.to_string());
+        out.push_str(",\"nprobe\":");
+        out.push_str(&self.nprobe.to_string());
+        out.push_str(",\"quant\":\"");
+        push_escaped(out, &self.quant);
+        out.push_str("\",\"candidate_mean\":");
+        out.push_str(&fmt_f64(self.candidate_mean));
+        out.push_str(",\"candidate_min\":");
+        out.push_str(&self.candidate_min.to_string());
+        out.push_str(",\"candidate_max\":");
+        out.push_str(&self.candidate_max.to_string());
+        out.push_str(",\"probe_widenings\":");
+        out.push_str(&self.probe_widenings.to_string());
+        out.push_str(",\"exact_fallback\":");
+        out.push_str(if self.exact_fallback { "true" } else { "false" });
+        out.push_str(",\"audited_records\":");
+        out.push_str(&self.audited_records.to_string());
+        out.push_str(",\"audited_recall\":");
+        out.push_str(&fmt_f64(self.audited_recall));
+        out.push_str(",\"seconds\":");
+        out.push_str(&fmt_f64(self.seconds));
+        out.push('}');
+    }
+}
+
 /// Per-stage wall-clock and invocation accounting for one index build.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
@@ -50,6 +123,10 @@ pub struct BuildTelemetry {
     pub total_seconds: f64,
     /// Sum of stage labeler invocations.
     pub total_invocations: u64,
+    /// Rep-assignment accounting, when the build recorded it. Elided from
+    /// JSON when absent so pre-ANN output is byte-identical.
+    #[cfg_attr(feature = "serde", serde(skip_serializing_if = "Option::is_none"))]
+    pub assign: Option<AssignTelemetry>,
 }
 
 impl BuildTelemetry {
@@ -61,7 +138,14 @@ impl BuildTelemetry {
             stages,
             total_seconds,
             total_invocations,
+            assign: None,
         }
+    }
+
+    /// Attaches rep-assignment accounting.
+    pub fn with_assign(mut self, assign: AssignTelemetry) -> Self {
+        self.assign = Some(assign);
+        self
     }
 
     /// Invocations of a named stage (0 if absent).
@@ -86,6 +170,10 @@ impl BuildTelemetry {
         out.push_str(&fmt_f64(self.total_seconds));
         out.push_str(",\"total_invocations\":");
         out.push_str(&self.total_invocations.to_string());
+        if let Some(a) = &self.assign {
+            out.push_str(",\"assign\":");
+            a.write_json(&mut out);
+        }
         out.push('}');
         out
     }
@@ -231,6 +319,36 @@ mod tests {
         let j = b.to_json();
         assert!(j.contains("\"stages\":[{\"name\":\"embed\""));
         assert!(j.contains("\"total_invocations\":0"));
+    }
+
+    #[test]
+    fn assign_telemetry_is_elided_when_absent() {
+        let b = BuildTelemetry::from_stages(vec![]);
+        assert!(!b.to_json().contains("assign"));
+
+        let j = b
+            .with_assign(AssignTelemetry {
+                strategy: "ivf".into(),
+                n_records: 1000,
+                n_reps: 64,
+                n_cells: 8,
+                nprobe: 2,
+                quant: "int8".into(),
+                candidate_mean: 17.5,
+                candidate_min: 12,
+                candidate_max: 40,
+                probe_widenings: 3,
+                exact_fallback: false,
+                audited_records: 128,
+                audited_recall: 0.9975,
+                seconds: 0.02,
+            })
+            .to_json();
+        assert!(j.contains("\"assign\":{\"strategy\":\"ivf\""));
+        assert!(j.contains("\"quant\":\"int8\""));
+        assert!(j.contains("\"probe_widenings\":3"));
+        assert!(j.contains("\"exact_fallback\":false"));
+        assert!(j.contains("\"audited_recall\":0.9975"));
     }
 
     #[test]

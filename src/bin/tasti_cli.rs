@@ -52,6 +52,10 @@ struct BuildArgs {
     dim: usize,
     out: String,
     pretrained_only: bool,
+    /// Rep-assignment strategy: `exact`, `ivf`, or `auto`.
+    assign: String,
+    /// IVF probe width (0 = auto); only meaningful with `--assign ivf`.
+    nprobe: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -112,7 +116,8 @@ const USAGE: &str = "tasti — trainable semantic indexes (SIGMOD 2022 reproduct
 
 USAGE:
   tasti_cli build --dataset <name> --n <records> [--seed S] [--train N1] [--reps N2]
-                  [--dim D] [--pretrained-only] --out <index.json>
+                  [--dim D] [--pretrained-only] [--assign exact|ivf|auto]
+                  [--nprobe P] --out <index.json>
   tasti_cli info  --index <index.json>
   tasti_cli query <agg|supg|limit> --index <index.json>
                   --dataset <name> --n <records> [--seed S]
@@ -200,6 +205,16 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 dim: get(&flags, "dim", Some(32))?,
                 out: get(&flags, "out", None)?,
                 pretrained_only: flags.contains_key("pretrained-only"),
+                assign: {
+                    let v = get(&flags, "assign", Some("auto".to_string()))?;
+                    if !["exact", "ivf", "auto"].contains(&v.as_str()) {
+                        return Err(format!(
+                            "invalid value for --assign: '{v}' (exact|ivf|auto)"
+                        ));
+                    }
+                    v
+                },
+                nprobe: get(&flags, "nprobe", Some(0))?,
             }))
         }
         Some("info") => {
@@ -367,11 +382,20 @@ fn run_build(a: &BuildArgs) -> Result<(), String> {
         Schema::object_detection(),
         "oracle",
     ));
+    let assign_strategy = match a.assign.as_str() {
+        "exact" => AssignStrategy::Exact,
+        "ivf" => AssignStrategy::Ivf(IvfParams {
+            nprobe: a.nprobe,
+            ..IvfParams::default()
+        }),
+        _ => AssignStrategy::Auto,
+    };
     let mut config = TastiConfig {
         n_train: a.n_train,
         n_reps: a.n_reps,
         embedding_dim: a.dim,
         seed: a.seed,
+        assign_strategy,
         ..TastiConfig::default()
     };
     if a.pretrained_only {
@@ -703,9 +727,49 @@ mod tests {
                 assert_eq!(a.n_train, 400);
                 assert_eq!(a.n_reps, 1200);
                 assert!(!a.pretrained_only);
+                assert_eq!(a.assign, "auto");
+                assert_eq!(a.nprobe, 0);
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_assign_strategy_knobs() {
+        let cmd = parse(&s(&[
+            "build",
+            "--dataset",
+            "night-street",
+            "--n",
+            "1000",
+            "--out",
+            "x.json",
+            "--assign",
+            "ivf",
+            "--nprobe",
+            "3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Build(a) => {
+                assert_eq!(a.assign, "ivf");
+                assert_eq!(a.nprobe, 3);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let err = parse(&s(&[
+            "build",
+            "--dataset",
+            "night-street",
+            "--n",
+            "1000",
+            "--out",
+            "x.json",
+            "--assign",
+            "fancy",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--assign"), "{err}");
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub use tasti_serve as serve;
 
 /// The most common imports, bundled.
 pub mod prelude {
-    pub use tasti_cluster::{Metric, SelectionStrategy};
+    pub use tasti_cluster::{AssignStrategy, IvfParams, Metric, SelectionStrategy};
     pub use tasti_core::{
         build_index, crack::crack_from_labeler, try_build_index, BuildError, CountClass, FnScore,
         HasAtLeast, HasClass, MeanXPosition, ScoringFunction, SpeechIsMale, SqlNumPredicates,
