@@ -59,7 +59,7 @@ echo "==> ann-audit: IVF assignment recall bound + bit-identity differential"
 cargo test -q -p tasti-cluster --features quick-proptest \
   --test ann_recall --test differential
 
-echo "==> serve smoke: build index → serve on an ephemeral port → probe every op → drain"
+echo "==> serve smoke: build two indexes → one server, two tenants → probe every op → drain"
 SMOKE=$(mktemp -d)
 cleanup_smoke() {
   [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null || true
@@ -69,7 +69,12 @@ trap cleanup_smoke EXIT
 CLI=target/release/tasti_cli
 "$CLI" build --dataset night-street --n 2000 --seed 7 \
   --train 100 --reps 200 --out "$SMOKE/idx.json"
-"$CLI" serve --index "$SMOKE/idx.json" --dataset night-street --n 2000 --seed 7 \
+# A second, cheaper index over the same dataset (TASTI-PT: no training)
+# exercises the multi-index registry as a named co-tenant.
+"$CLI" build --dataset night-street --n 2000 --seed 7 \
+  --reps 150 --pretrained-only --out "$SMOKE/idx2.json"
+"$CLI" serve --index "$SMOKE/idx.json" --index "alt=$SMOKE/idx2.json" \
+  --dataset night-street --n 2000 --seed 7 \
   --addr 127.0.0.1:0 --workers 4 --snapshot "$SMOKE/snap.json" \
   > "$SMOKE/serve.log" 2>&1 &
 SERVE_PID=$!
@@ -82,16 +87,24 @@ done
 if [ -z "$ADDR" ]; then
   echo "serve smoke: server never printed its address"; cat "$SMOKE/serve.log"; exit 1
 fi
-# One query of each type, then the admin surface. probe exits non-zero on
-# any error reply, so set -e turns a failed op into a failed gate.
+# One query of each type against the default route, then the admin
+# surface. probe exits non-zero on any error reply, so set -e turns a
+# failed op into a failed gate.
 for op in agg supg supg-precision limit predicate stats metrics snapshot; do
   "$CLI" probe "$op" --addr "$ADDR" --class car --seed 7
 done
+# The same query ops routed to the named co-tenant, plus the registry
+# listing — one server answering for two indexes.
+for op in agg limit stats; do
+  "$CLI" probe "$op" --addr "$ADDR" --class car --seed 7 --index alt
+done
+"$CLI" probe index-list --addr "$ADDR" | grep -q '"name":"alt"' \
+  || { echo "serve smoke: index-list is missing the named index"; exit 1; }
 "$CLI" probe shutdown --addr "$ADDR"
 wait "$SERVE_PID" # graceful drain must exit 0 (set -e enforces)
 [ -s "$SMOKE/snap.json" ] || { echo "serve smoke: snapshot missing"; exit 1; }
 SERVE_PID=""
-echo "serve smoke OK (drained cleanly, snapshot written)"
+echo "serve smoke OK (two indexes served, drained cleanly, snapshot written)"
 
 echo "==> chaos: fault-injected suite + serve smoke under injected faults"
 # The dedicated suite: 8-client storm, breaker lifecycle, degraded replies.

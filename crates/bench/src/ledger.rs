@@ -36,6 +36,10 @@ pub struct LedgerCell {
     pub method: String,
     /// Metric name (decides whether the cell counts invocations).
     pub metric: String,
+    /// Served index the cell's telemetry was routed to (`tasti-serve`
+    /// splices the registry name into routed telemetry). `None` for
+    /// unrouted / non-serve runs.
+    pub index: Option<String>,
     /// The reported cell value.
     pub value: f64,
     /// Meter reading attached to the cell, when the experiment kept one.
@@ -57,6 +61,9 @@ pub struct LedgerRow {
     pub setting: String,
     /// Method name.
     pub method: String,
+    /// Served index the row's cells were routed to (empty for unrouted
+    /// cells, so single-index ledgers collate exactly as before).
+    pub index: String,
     /// Call-count cells contributing to `reported_calls`.
     pub call_cells: usize,
     /// Sum of the reported call-count cell values.
@@ -83,18 +90,22 @@ pub fn is_call_metric(metric: &str) -> bool {
     metric == "invocations" || metric.contains("calls")
 }
 
-/// Collates cells into per-(setting, method) rows, sorted by setting then
-/// method. Call-count cells contribute to `reported_calls`; any cell with
-/// telemetry contributes its meter reading; a call-count cell whose value
-/// differs from its own meter reading counts as a mismatch.
+/// Collates cells into per-(setting, method, index) rows, sorted by
+/// setting, then method, then index. Call-count cells contribute to
+/// `reported_calls`; any cell with telemetry contributes its meter
+/// reading; a call-count cell whose value differs from its own meter
+/// reading counts as a mismatch. Unrouted cells (no served index) share
+/// one row per (setting, method), exactly as before multi-index serving.
 pub fn collate(cells: &[LedgerCell]) -> Vec<LedgerRow> {
-    let mut rows: BTreeMap<(String, String), LedgerRow> = BTreeMap::new();
+    let mut rows: BTreeMap<(String, String, String), LedgerRow> = BTreeMap::new();
     for cell in cells {
+        let index = cell.index.clone().unwrap_or_default();
         let row = rows
-            .entry((cell.setting.clone(), cell.method.clone()))
+            .entry((cell.setting.clone(), cell.method.clone(), index.clone()))
             .or_insert_with(|| LedgerRow {
                 setting: cell.setting.clone(),
                 method: cell.method.clone(),
+                index,
                 call_cells: 0,
                 reported_calls: 0.0,
                 metered_cells: 0,
@@ -136,6 +147,12 @@ pub fn cells_from_records(records: &[ExperimentRecord]) -> Vec<LedgerCell> {
             setting: r.setting.clone(),
             method: r.method.clone(),
             metric: r.metric.clone(),
+            index: r
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.get("index"))
+                .and_then(|v| v.as_str())
+                .map(str::to_string),
             value: r.value,
             meter_invocations: r
                 .telemetry
@@ -187,6 +204,10 @@ pub fn cells_from_json(json: &str) -> Result<Vec<LedgerCell>, String> {
             setting: setting.to_string(),
             method: method.to_string(),
             metric: metric.to_string(),
+            index: telemetry
+                .and_then(|t| t.get("index"))
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
             value,
             meter_invocations: telemetry
                 .and_then(|t| t.get("invocations"))
@@ -239,15 +260,21 @@ pub fn collate_dir(dir: &Path) -> io::Result<Vec<LedgerRow>> {
 /// "Cost ledger" section). Methods with no call cells and no meter
 /// readings are omitted — they contributed only quality metrics. A
 /// `faults (degraded cells)` column appears only when some run observed an
-/// oracle fault, so fault-free ledgers render identically to before the
-/// fault model existed.
+/// oracle fault, and an `index` column only when some cell was routed to a
+/// named served index — so pre-existing ledgers render identically to
+/// before those features existed.
 pub fn render_markdown(rows: &[LedgerRow]) -> String {
     let with_faults = rows
         .iter()
         .any(|r| r.oracle_faults > 0 || r.degraded_cells > 0);
+    let with_index = rows.iter().any(|r| !r.index.is_empty());
     let mut out = String::new();
+    out.push_str("| setting | method |");
+    if with_index {
+        out.push_str(" index |");
+    }
     out.push_str(
-        "| setting | method | reported calls (cells) | metered calls (cells) | \
+        " reported calls (cells) | metered calls (cells) | \
          mismatches | telemetry wall s |",
     );
     if with_faults {
@@ -255,6 +282,9 @@ pub fn render_markdown(rows: &[LedgerRow]) -> String {
     }
     out.push('\n');
     out.push_str("|---|---|---|---|---|---|");
+    if with_index {
+        out.push_str("---|");
+    }
     if with_faults {
         out.push_str("---|");
     }
@@ -263,10 +293,12 @@ pub fn render_markdown(rows: &[LedgerRow]) -> String {
         if row.call_cells == 0 && row.metered_cells == 0 {
             continue;
         }
+        out.push_str(&format!("| {} | {} |", row.setting, row.method));
+        if with_index {
+            out.push_str(&format!(" {} |", row.index));
+        }
         out.push_str(&format!(
-            "| {} | {} | {} ({}) | {} ({}) | {} | {:.4} |",
-            row.setting,
-            row.method,
+            " {} ({}) | {} ({}) | {} | {:.4} |",
             row.reported_calls,
             row.call_cells,
             row.metered_calls,
@@ -300,6 +332,7 @@ mod tests {
             setting: setting.to_string(),
             method: method.to_string(),
             metric: metric.to_string(),
+            index: None,
             value,
             meter_invocations: meter,
             wall_seconds: meter.map(|_| 0.5),
@@ -424,6 +457,46 @@ mod tests {
         let rows = collate(&[cell("a", "m", "target_calls", 10.0, Some(10))]);
         let md = render_markdown(&rows);
         assert!(!md.contains("faults"), "fault-free output unchanged: {md}");
+        assert!(!md.contains("index"), "unrouted output unchanged: {md}");
         assert!(md.contains("| a | m | 10 (1) | 10 (1) | 0 | 0.5000 |\n"));
+    }
+
+    #[test]
+    fn routed_telemetry_collates_and_renders_per_index() {
+        // Same (setting, method) served from two registry indexes plus one
+        // unrouted run: three distinct rows, index column only then.
+        let json = r#"[
+            {"setting":"serve","method":"TASTI-T",
+             "metric":"target_calls","value":100.0,
+             "telemetry":{"algorithm":"ebs_aggregate","invocations":100,
+                          "wall_seconds":0.1,"certified":true,
+                          "index":"night"}},
+            {"setting":"serve","method":"TASTI-T",
+             "metric":"target_calls","value":40.0,
+             "telemetry":{"algorithm":"ebs_aggregate","invocations":40,
+                          "wall_seconds":0.1,"certified":true,
+                          "index":"taipei"}},
+            {"setting":"serve","method":"TASTI-T",
+             "metric":"target_calls","value":7.0,
+             "telemetry":{"algorithm":"ebs_aggregate","invocations":7,
+                          "wall_seconds":0.1,"certified":true}}
+        ]"#;
+        let cells = cells_from_json(json).unwrap();
+        assert_eq!(cells[0].index.as_deref(), Some("night"));
+        assert_eq!(cells[2].index, None);
+        let rows = collate(&cells);
+        assert_eq!(rows.len(), 3, "one row per routed index plus unrouted");
+        let night = rows.iter().find(|r| r.index == "night").unwrap();
+        assert_eq!(night.metered_calls, 100);
+        let taipei = rows.iter().find(|r| r.index == "taipei").unwrap();
+        assert_eq!(taipei.metered_calls, 40);
+        let unrouted = rows.iter().find(|r| r.index.is_empty()).unwrap();
+        assert_eq!(unrouted.metered_calls, 7);
+
+        let md = render_markdown(&rows);
+        assert!(md.contains("| index |"), "index column present: {md}");
+        assert!(md.contains("| serve | TASTI-T | night | 100 (1) |"));
+        assert!(md.contains("| serve | TASTI-T | taipei | 40 (1) |"));
+        assert!(md.contains("| serve | TASTI-T |  | 7 (1) |"));
     }
 }

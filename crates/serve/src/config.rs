@@ -38,6 +38,11 @@ pub struct ServeConfig {
     /// never certified) instead of an error. Disable to turn every such
     /// fault into a typed `labeler_unavailable` error.
     pub degraded_replies: bool,
+    /// Named indexes to load into the registry at startup, as
+    /// `(name, snapshot_path)` pairs, alongside the default index the
+    /// service is constructed with. Loading uses the service's labeler
+    /// factory, so `TastiService::with_factory` is required when non-empty.
+    pub preload: Vec<(String, PathBuf)>,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +56,7 @@ impl Default for ServeConfig {
             label_budget: None,
             crack_after_queries: true,
             degraded_replies: true,
+            preload: Vec::new(),
         }
     }
 }

@@ -11,14 +11,19 @@
 //! * [`Server`] — `TcpListener` + fixed worker pool + bounded accept queue
 //!   with fail-fast `overloaded` admission control and graceful
 //!   drain-and-shutdown.
-//! * [`TastiService`] — the transport-agnostic core: one shared index
-//!   behind `RwLock<Arc<_>>` (readers clone the `Arc`, cracking swaps it),
-//!   one shared [`MeteredLabeler`](tasti_labeler::MeteredLabeler) whose
-//!   in-flight set gives exactly-once oracle accounting across concurrent
-//!   queries, per-op latency histograms and counters.
+//! * [`TastiService`] — the transport-agnostic core, routing requests over
+//!   an [`IndexRegistry`] of named indexes: each [`IndexEntry`] pairs an
+//!   index behind `RwLock<Arc<_>>` (readers clone the `Arc`, cracking
+//!   swaps it) with its own
+//!   [`MeteredLabeler`](tasti_labeler::MeteredLabeler) — whose in-flight
+//!   set gives exactly-once oracle accounting across concurrent queries —
+//!   plus a per-index label budget and per-op latency histograms and
+//!   counters. Requests without an `"index"` field route to the default
+//!   entry, keeping single-index wire traffic byte-compatible.
 //! * [`proto`] — the line-delimited JSON wire protocol (requests for all
 //!   five query algorithms plus `index_stats`, `metrics`, `health`,
-//!   `snapshot`, `shutdown`), built on `tasti-obs`'s dependency-free JSON.
+//!   `index_load`/`index_unload`/`index_list`, `snapshot`, `shutdown`),
+//!   built on `tasti-obs`'s dependency-free JSON.
 //! * [`Client`] — a small blocking client used by tests, the example, the
 //!   CI smoke stage, and `tasti_cli probe`; optional connect/read deadlines
 //!   yield a typed timeout error.
@@ -58,6 +63,7 @@ pub mod client;
 pub mod config;
 pub mod metrics;
 pub mod proto;
+pub mod registry;
 pub mod server;
 pub mod service;
 
@@ -65,5 +71,6 @@ pub use client::{Client, ClientError};
 pub use config::ServeConfig;
 pub use metrics::ServeMetrics;
 pub use proto::{ErrorKind, Op, Reply, Request, ScoreSpec};
-pub use server::Server;
-pub use service::TastiService;
+pub use registry::{IndexEntry, IndexRegistry};
+pub use server::{JoinReport, Server};
+pub use service::{LabelerFactory, TastiService, DEFAULT_INDEX_NAME};

@@ -50,6 +50,14 @@ pub struct ServeMetrics {
     /// Requests rejected with `labeler_unavailable` (breaker open on entry,
     /// or a mid-query fault with degraded replies disabled).
     pub labeler_unavailable: Counter,
+    /// Rejection replies (`overloaded`/`shutting_down`) dropped because the
+    /// peer would not accept the write within the rejection write timeout.
+    /// The connection is closed either way — this only tracks that the
+    /// courtesy error line was lost.
+    pub rejection_write_drops: Counter,
+    /// Snapshot attempts (admin `snapshot` requests + shutdown snapshot)
+    /// that failed to persist (bad path, full disk, …).
+    pub snapshot_failures: Counter,
     per_op: [OpStats; Op::ALL.len()],
 }
 
@@ -76,6 +84,8 @@ impl ServeMetrics {
             oracle_fault_queries: Counter::new(),
             degraded_replies: Counter::new(),
             labeler_unavailable: Counter::new(),
+            rejection_write_drops: Counter::new(),
+            snapshot_failures: Counter::new(),
             per_op: Default::default(),
         }
     }
@@ -120,7 +130,7 @@ impl ServeMetrics {
     /// The inner JSON body of the `metrics` result object (no braces).
     pub fn to_json_body(&self) -> String {
         let mut out = String::new();
-        let mut counter = |key: &str, c: &Counter, out: &mut String| {
+        let counter = |key: &str, c: &Counter, out: &mut String| {
             out.push('"');
             out.push_str(key);
             out.push_str("\":");
@@ -152,6 +162,8 @@ impl ServeMetrics {
             ("oracle_fault_queries", &self.oracle_fault_queries),
             ("degraded_replies", &self.degraded_replies),
             ("labeler_unavailable", &self.labeler_unavailable),
+            ("rejection_write_drops", &self.rejection_write_drops),
+            ("snapshot_failures", &self.snapshot_failures),
         ] {
             if c.get() > 0 {
                 counter(key, c, &mut out);
@@ -223,12 +235,18 @@ mod tests {
         assert!(!clean.contains("oracle_fault_queries"));
         assert!(!clean.contains("degraded_replies"));
         assert!(!clean.contains("labeler_unavailable"));
+        assert!(!clean.contains("rejection_write_drops"));
+        assert!(!clean.contains("snapshot_failures"));
         m.oracle_fault_queries.incr();
         m.degraded_replies.incr();
+        m.rejection_write_drops.incr();
+        m.snapshot_failures.incr();
         let doc = JsonValue::parse(&format!("{{{}}}", m.to_json_body())).unwrap();
         assert_eq!(doc.get("oracle_fault_queries").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("degraded_replies").unwrap().as_u64(), Some(1));
         assert!(doc.get("labeler_unavailable").is_none());
+        assert_eq!(doc.get("rejection_write_drops").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("snapshot_failures").unwrap().as_u64(), Some(1));
     }
 
     #[test]

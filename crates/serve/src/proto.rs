@@ -5,10 +5,12 @@
 //! old servers tolerate newer clients):
 //!
 //! ```text
-//! request  := { "id": u64, "op": op, [params…] } "\n"
+//! request  := { "id": u64, "op": op, ["index": string], [params…] } "\n"
 //! op       := "ebs_aggregate" | "supg_recall_target" | "supg_precision_target"
 //!           | "limit_query" | "predicate_aggregate"
-//!           | "index_stats" | "metrics" | "health" | "snapshot" | "shutdown"
+//!           | "index_stats" | "metrics" | "health"
+//!           | "index_load" | "index_unload" | "index_list"
+//!           | "snapshot" | "shutdown"
 //! score    := { "fn": "count_class" | "has_class" | "has_at_least"
 //!                   | "mean_x_position", "class": class, ["count": u64] }
 //!           | { "fn": "sql_num_predicates" } | { "fn": "sql_op_is", "op": sqlop }
@@ -30,6 +32,16 @@
 //! algorithm knobs of the matching `tasti-query` config (defaults apply
 //! when absent). `predicate_aggregate` additionally takes a `predicate`
 //! score spec; `score` then plays the value role.
+//!
+//! **Multi-index routing:** every query/admin op accepts an optional
+//! `"index": "<name>"` field naming a registry entry; absent routes to the
+//! default index, and replies to unrouted requests are byte-identical to
+//! the single-index protocol. Routed success replies echo the name as a
+//! top-level `"index"` field and inside `telemetry` (so cost ledgers can
+//! collate per index). `index_load` takes `"index"` (the new name),
+//! `"path"` (an index snapshot file) and optionally `"budget"` (a
+//! per-index label budget); `index_unload` takes `"index"`; `index_list`
+//! takes nothing and reports every loaded entry.
 
 use std::fmt;
 use tasti_core::scoring::{
@@ -60,6 +72,12 @@ pub enum Op {
     /// Oracle-path health: breaker state, fault counters, meter reservation
     /// status (admin).
     Health,
+    /// Load an index snapshot under a registry name (admin).
+    IndexLoad,
+    /// Unload a named index from the registry (admin).
+    IndexUnload,
+    /// List every loaded index with its routing/meter summary (admin).
+    IndexList,
     /// Persist the current (possibly cracked) index atomically (admin).
     Snapshot,
     /// Graceful drain-and-shutdown (admin).
@@ -68,7 +86,7 @@ pub enum Op {
 
 impl Op {
     /// Every operation, in protocol order.
-    pub const ALL: [Op; 10] = [
+    pub const ALL: [Op; 13] = [
         Op::EbsAggregate,
         Op::SupgRecallTarget,
         Op::SupgPrecisionTarget,
@@ -77,6 +95,9 @@ impl Op {
         Op::IndexStats,
         Op::Metrics,
         Op::Health,
+        Op::IndexLoad,
+        Op::IndexUnload,
+        Op::IndexList,
         Op::Snapshot,
         Op::Shutdown,
     ];
@@ -92,6 +113,9 @@ impl Op {
             Op::IndexStats => "index_stats",
             Op::Metrics => "metrics",
             Op::Health => "health",
+            Op::IndexLoad => "index_load",
+            Op::IndexUnload => "index_unload",
+            Op::IndexList => "index_list",
             Op::Snapshot => "snapshot",
             Op::Shutdown => "shutdown",
         }
@@ -266,6 +290,11 @@ pub struct Request {
     pub id: u64,
     /// The operation.
     pub op: Op,
+    /// Registry index to route to (absent → the default index). For
+    /// `index_load`/`index_unload` this is the registry name operated on.
+    pub index: Option<String>,
+    /// Index snapshot file to load (`index_load` only).
+    pub path: Option<String>,
     /// Scoring function (query ops; the *value* score for
     /// `predicate_aggregate`).
     pub score: Option<ScoreSpec>,
@@ -305,6 +334,8 @@ impl Request {
         Self {
             id: 0,
             op,
+            index: None,
+            path: None,
             score: None,
             predicate: None,
             threshold: None,
@@ -329,6 +360,16 @@ impl Request {
         out.push_str(",\"op\":\"");
         out.push_str(self.op.name());
         out.push('"');
+        if let Some(name) = &self.index {
+            out.push_str(",\"index\":\"");
+            push_escaped(&mut out, name);
+            out.push('"');
+        }
+        if let Some(path) = &self.path {
+            out.push_str(",\"path\":\"");
+            push_escaped(&mut out, path);
+            out.push('"');
+        }
         if let Some(s) = &self.score {
             out.push_str(",\"score\":");
             s.write(&mut out);
@@ -337,7 +378,7 @@ impl Request {
             out.push_str(",\"predicate\":");
             p.write(&mut out);
         }
-        let mut num = |key: &str, v: Option<f64>, out: &mut String| {
+        let num = |key: &str, v: Option<f64>, out: &mut String| {
             if let Some(v) = v {
                 out.push_str(",\"");
                 out.push_str(key);
@@ -351,7 +392,7 @@ impl Request {
         num("recall_target", self.recall_target, &mut out);
         num("precision_target", self.precision_target, &mut out);
         num("uniform_mix", self.uniform_mix, &mut out);
-        let mut int = |key: &str, v: Option<u64>, out: &mut String| {
+        let int = |key: &str, v: Option<u64>, out: &mut String| {
             if let Some(v) = v {
                 out.push_str(",\"");
                 out.push_str(key);
@@ -409,9 +450,23 @@ impl Request {
                 }),
             }
         };
+        let s = |key: &str| -> Result<Option<String>, ProtoError> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(x) => x
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| ProtoError {
+                        id,
+                        message: format!("field '{key}' must be a string"),
+                    }),
+            }
+        };
         Ok(Request {
             id: id.unwrap_or(0),
             op,
+            index: s("index")?,
+            path: s("path")?,
             score,
             predicate,
             threshold: f("threshold")?,
@@ -484,14 +539,44 @@ impl ErrorKind {
 /// Builds a success response line: `result_body` must be the inner JSON of
 /// the result object (without braces — e.g. `"estimate":1.5,"samples":100`).
 pub fn ok_response(id: u64, result_body: &str, telemetry: Option<&QueryTelemetry>) -> String {
+    ok_response_routed(id, result_body, telemetry, None)
+}
+
+/// [`ok_response`] for a request that named its index: echoes the name as
+/// a top-level `"index"` field and splices it into the telemetry object so
+/// downstream cost ledgers can collate per index. With `index == None` the
+/// output is byte-identical to [`ok_response`] — the back-compat contract
+/// for unrouted (pre-registry) request lines.
+pub fn ok_response_routed(
+    id: u64,
+    result_body: &str,
+    telemetry: Option<&QueryTelemetry>,
+    index: Option<&str>,
+) -> String {
     let mut out = String::from("{\"id\":");
     out.push_str(&id.to_string());
     out.push_str(",\"ok\":true,\"result\":{");
     out.push_str(result_body);
     out.push('}');
+    if let Some(name) = index {
+        out.push_str(",\"index\":\"");
+        push_escaped(&mut out, name);
+        out.push('"');
+    }
     if let Some(t) = telemetry {
         out.push_str(",\"telemetry\":");
-        out.push_str(&t.to_json());
+        let json = t.to_json();
+        match index {
+            // Splice `"index"` in before the closing brace; QueryTelemetry
+            // stays index-agnostic (routing is a serve-layer concept).
+            Some(name) => {
+                out.push_str(&json[..json.len() - 1]);
+                out.push_str(",\"index\":\"");
+                push_escaped(&mut out, name);
+                out.push_str("\"}");
+            }
+            None => out.push_str(&json),
+        }
     }
     out.push('}');
     out
@@ -540,6 +625,9 @@ pub struct Reply {
     pub ok: bool,
     /// The result object (`Null` on errors).
     pub result: JsonValue,
+    /// The registry index the request was routed to (echoed only when the
+    /// request named one).
+    pub index: Option<String>,
     /// The echoed per-request `QueryTelemetry`, when the op produced one.
     pub telemetry: Option<JsonValue>,
     /// Error kind (`ok == false`).
@@ -563,6 +651,10 @@ impl Reply {
             id: v.get("id").and_then(JsonValue::as_u64),
             ok,
             result: v.get("result").cloned().unwrap_or(JsonValue::Null),
+            index: v
+                .get("index")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
             telemetry: v.get("telemetry").cloned(),
             error_kind: v
                 .get("error")
@@ -687,6 +779,57 @@ mod tests {
         let bare = err_response(Some(8), ErrorKind::Internal, "boom");
         assert!(!bare.contains("retry_after_micros"));
         assert_eq!(Reply::parse(&bare).unwrap().retry_after_micros, None);
+    }
+
+    #[test]
+    fn routed_requests_round_trip_and_reject_non_strings() {
+        let mut req = Request::new(Op::LimitQuery);
+        req.id = 11;
+        req.index = Some("night_street".into());
+        req.k_matches = Some(3);
+        let parsed = Request::parse_line(&req.to_json()).unwrap();
+        assert_eq!(parsed, req);
+
+        let mut load = Request::new(Op::IndexLoad);
+        load.index = Some("alt".into());
+        load.path = Some("/tmp/idx \"quoted\".json".into());
+        let parsed = Request::parse_line(&load.to_json()).unwrap();
+        assert_eq!(parsed, load);
+
+        let err = Request::parse_line(r#"{"id":4,"op":"index_stats","index":7}"#).unwrap_err();
+        assert_eq!(err.id, Some(4));
+        assert!(err.message.contains("'index' must be a string"));
+        let err = Request::parse_line(r#"{"id":5,"op":"index_load","path":[]}"#).unwrap_err();
+        assert!(err.message.contains("'path' must be a string"));
+    }
+
+    #[test]
+    fn routed_responses_carry_the_index_everywhere_unrouted_stay_identical() {
+        let mut t = QueryTelemetry::new("limit_query");
+        t.invocations = 3;
+        // No index → byte-identical to the plain builder (back-compat).
+        assert_eq!(
+            ok_response_routed(7, "\"x\":1", Some(&t), None),
+            ok_response(7, "\"x\":1", Some(&t))
+        );
+        let line = ok_response_routed(7, "\"x\":1", Some(&t), Some("alt"));
+        let reply = Reply::parse(&line).unwrap();
+        assert_eq!(reply.index.as_deref(), Some("alt"));
+        // …and spliced into the telemetry object for the cost ledger.
+        assert_eq!(
+            reply
+                .telemetry
+                .as_ref()
+                .unwrap()
+                .get("index")
+                .and_then(JsonValue::as_str),
+            Some("alt")
+        );
+        // Telemetry-free admin replies still echo the top-level field.
+        let line = ok_response_routed(8, "\"records\":10", None, Some("alt"));
+        let reply = Reply::parse(&line).unwrap();
+        assert_eq!(reply.index.as_deref(), Some("alt"));
+        assert!(reply.telemetry.is_none());
     }
 
     #[test]

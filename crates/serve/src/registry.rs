@@ -1,0 +1,258 @@
+//! The named-index registry: one server, many datasets, many tenants.
+//!
+//! PR 4's service held exactly one `TastiIndex`, so serving the paper's
+//! five workloads needed five deployments. The registry makes indexes a
+//! *routed* resource: every entry is a named bundle of
+//!
+//! * the index itself behind `RwLock<Arc<TastiIndex>>` (readers clone the
+//!   `Arc` under a brief read lock, cracking swaps it),
+//! * its own [`MeteredLabeler`] — exactly-once oracle accounting is
+//!   **per index**, because the oracle answers for one dataset and its
+//!   label-cost ledger must not be polluted by a co-tenant's traffic,
+//! * its own label budget (tenant cost isolation),
+//! * its own [`ServeMetrics`] (per-index sections in the `metrics` op),
+//! * its own maintenance mutex (cracking one index never serializes
+//!   another's fold-ins), and
+//! * an optional snapshot path (where the `snapshot` op persists it).
+//!
+//! Requests carry an optional `"index"` field; absent means the **default
+//! entry**, so every pre-registry wire line keeps working unchanged. The
+//! default entry can never be unloaded — `Server` teardown and the
+//! back-compat accessors on [`crate::TastiService`] rely on it.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
+
+use tasti_core::crack::crack_from_labeler;
+use tasti_core::index::TastiIndex;
+use tasti_core::persist;
+use tasti_labeler::{FallibleTargetLabeler, MeteredLabeler};
+
+use crate::metrics::ServeMetrics;
+
+/// One named index with everything that must travel with it: labeler,
+/// budget, metrics, maintenance lock, snapshot target.
+pub struct IndexEntry<L: FallibleTargetLabeler> {
+    /// The registry name this entry answers to.
+    pub name: String,
+    index: RwLock<Arc<TastiIndex>>,
+    /// The entry's own metered labeler: exactly-once accounting and the
+    /// label-cost ledger are per index, never shared across tenants.
+    pub labeler: MeteredLabeler<L>,
+    /// Hard target-labeler budget for this entry's lifetime (`None` =
+    /// unlimited). Applied to the labeler at construction.
+    pub label_budget: Option<u64>,
+    /// Per-index operational metrics (the `metrics` op emits one section
+    /// per entry plus the service-wide aggregate).
+    pub metrics: ServeMetrics,
+    /// Serializes this entry's crack maintenance; queries never wait on it.
+    maintenance: Mutex<()>,
+    /// Where the `snapshot` op persists this entry. For loaded entries this
+    /// defaults to the path the snapshot came from.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl<L: FallibleTargetLabeler> IndexEntry<L> {
+    /// Bundles an index and a labeler into a named entry. A `label_budget`
+    /// overrides the labeler's own budget (same contract the single-index
+    /// service had).
+    pub fn new(
+        name: impl Into<String>,
+        index: TastiIndex,
+        mut labeler: MeteredLabeler<L>,
+        label_budget: Option<u64>,
+        snapshot_path: Option<PathBuf>,
+    ) -> Self {
+        if label_budget.is_some() {
+            labeler.set_budget(label_budget);
+        }
+        Self {
+            name: name.into(),
+            index: RwLock::new(Arc::new(index)),
+            labeler,
+            label_budget,
+            metrics: ServeMetrics::new(),
+            maintenance: Mutex::new(()),
+            snapshot_path,
+        }
+    }
+
+    /// A consistent snapshot of this entry's index (brief read lock, then
+    /// lock-free).
+    pub fn index(&self) -> Arc<TastiIndex> {
+        Arc::clone(&self.index.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Folds query-paid labels back into this entry's index (§3.3
+    /// cracking) without blocking readers: clone the current index, crack
+    /// the clone off-lock, swap the `Arc` under a brief write lock. One
+    /// pass at a time per entry; callers that lose the `try_lock` race
+    /// skip — the winner folds the shared labeler cache in anyway. Returns
+    /// the number of reps added.
+    pub fn crack_pending(&self) -> usize {
+        let _guard = match self.maintenance.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => return 0,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        };
+        let snapshot = self.index();
+        // Cheap pre-check: anything new to fold in?
+        if !self
+            .labeler
+            .labeled_records()
+            .iter()
+            .any(|&r| r < snapshot.n_records() && !snapshot.is_rep(r))
+        {
+            return 0;
+        }
+        let mut working = (*snapshot).clone();
+        let added = crack_from_labeler(&mut working, &self.labeler);
+        if added > 0 {
+            let next = Arc::new(working);
+            *self.index.write().unwrap_or_else(|e| e.into_inner()) = next;
+            self.metrics.cracked_reps.add(added as u64);
+            self.metrics.crack_passes.incr();
+        }
+        added
+    }
+
+    /// Persists this entry's current index to `path` (atomic temp-file +
+    /// rename via `persist::save`). Returns `(records, reps)` of the saved
+    /// snapshot; bumps this entry's snapshot counters either way.
+    pub fn snapshot_to(&self, path: &std::path::Path) -> Result<(usize, usize), String> {
+        let idx = self.index();
+        match persist::save(&idx, path) {
+            Ok(()) => {
+                self.metrics.snapshots.incr();
+                Ok((idx.n_records(), idx.reps().len()))
+            }
+            Err(e) => {
+                self.metrics.snapshot_failures.incr();
+                Err(format!("snapshot failed: {e}"))
+            }
+        }
+    }
+}
+
+impl<L: FallibleTargetLabeler> std::fmt::Debug for IndexEntry<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let idx = self.index();
+        f.debug_struct("IndexEntry")
+            .field("name", &self.name)
+            .field("records", &idx.n_records())
+            .field("reps", &idx.reps().len())
+            .field("label_budget", &self.label_budget)
+            .finish()
+    }
+}
+
+/// The name → entry map plus the name unnamed requests route to.
+///
+/// Entries are `Arc`ed so a request can keep serving against an entry that
+/// is concurrently unloaded: the unload removes the *route*, the entry
+/// itself lives until its last in-flight query drops it.
+pub struct IndexRegistry<L: FallibleTargetLabeler> {
+    entries: RwLock<BTreeMap<String, Arc<IndexEntry<L>>>>,
+    /// The entry unnamed requests route to; protected from unloading.
+    default_name: String,
+    /// Held separately so back-compat accessors can hand out references
+    /// with the service's lifetime.
+    default: Arc<IndexEntry<L>>,
+}
+
+impl<L: FallibleTargetLabeler> IndexRegistry<L> {
+    /// A registry holding only the default entry.
+    pub fn new(default: IndexEntry<L>) -> Self {
+        let default_name = default.name.clone();
+        let default = Arc::new(default);
+        let mut entries = BTreeMap::new();
+        entries.insert(default_name.clone(), Arc::clone(&default));
+        Self {
+            entries: RwLock::new(entries),
+            default_name,
+            default,
+        }
+    }
+
+    /// The name unnamed requests route to.
+    pub fn default_name(&self) -> &str {
+        &self.default_name
+    }
+
+    /// The default entry (always present).
+    pub fn default_entry(&self) -> &Arc<IndexEntry<L>> {
+        &self.default
+    }
+
+    /// Resolves a request's routing: `None` → the default entry, `Some` →
+    /// the named entry (or `None` if no such index is loaded).
+    pub fn get(&self, name: Option<&str>) -> Option<Arc<IndexEntry<L>>> {
+        match name {
+            None => Some(Arc::clone(&self.default)),
+            Some(n) => self
+                .entries
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(n)
+                .cloned(),
+        }
+    }
+
+    /// Registers a new named entry. Rejects duplicates — unload first to
+    /// replace, so a tenant's meter can never be silently reset.
+    pub fn insert(&self, entry: IndexEntry<L>) -> Result<(), String> {
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        if entries.contains_key(&entry.name) {
+            return Err(format!("index '{}' is already loaded", entry.name));
+        }
+        entries.insert(entry.name.clone(), Arc::new(entry));
+        Ok(())
+    }
+
+    /// Removes a named entry from routing (in-flight queries against it
+    /// finish on their own `Arc`). The default entry cannot be unloaded.
+    pub fn remove(&self, name: &str) -> Result<Arc<IndexEntry<L>>, String> {
+        if name == self.default_name {
+            return Err(format!(
+                "index '{name}' is the default index and cannot be unloaded"
+            ));
+        }
+        self.entries
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name)
+            .ok_or_else(|| format!("no index named '{name}' is loaded"))
+    }
+
+    /// Every loaded entry, sorted by name.
+    pub fn entries(&self) -> Vec<Arc<IndexEntry<L>>> {
+        self.entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of loaded entries (≥ 1: the default is always present).
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Never true — the default entry is always present. Provided because
+    /// clippy insists a `len` has an `is_empty`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl<L: FallibleTargetLabeler> std::fmt::Debug for IndexRegistry<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.entries().iter().map(|e| e.name.clone()).collect();
+        f.debug_struct("IndexRegistry")
+            .field("default", &self.default_name)
+            .field("entries", &names)
+            .finish()
+    }
+}

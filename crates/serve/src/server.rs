@@ -5,16 +5,21 @@
 //! go into a bounded queue (`Mutex<VecDeque>` + `Condvar`); a connection
 //! arriving with the queue full is rejected *immediately* with a typed
 //! `overloaded` error — admission control fails fast instead of letting
-//! latency grow without bound. Each of the `workers` threads pops a
-//! connection and serves it to completion (line in, line out, until EOF),
-//! so `workers` is also the concurrent-connection limit.
+//! latency grow without bound. Rejection writes carry a short write
+//! timeout so a stalled peer can never freeze the acceptor; a dropped
+//! courtesy line is counted in `rejection_write_drops`. Each of the
+//! `workers` threads pops a connection and serves it to completion (line
+//! in, line out, until EOF), so `workers` is also the
+//! concurrent-connection limit.
 //!
 //! Shutdown (admin `shutdown` request or [`Server::shutdown`]): a flag
-//! flips, the acceptor is unblocked by a self-connection and stops
+//! flips, the acceptor is unblocked by a self-connection (to the loopback
+//! rewrite of the bound address, so wildcard binds drain too) and stops
 //! accepting, workers finish their current connection, then drain the
 //! queue by answering every waiting connection with a `shutting_down`
-//! error. [`Server::join`] runs one final crack fold-in and, when
-//! configured, persists a shutdown snapshot.
+//! error. [`Server::join_report`] runs one final crack fold-in and, when
+//! configured, persists a shutdown snapshot — surfacing (not swallowing)
+//! a snapshot failure.
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
@@ -25,6 +30,7 @@ use std::thread::JoinHandle;
 
 use tasti_labeler::FallibleTargetLabeler;
 
+use crate::metrics::ServeMetrics;
 use crate::proto::{err_response, ErrorKind, Op, Request};
 use crate::service::TastiService;
 
@@ -33,8 +39,20 @@ struct Shared {
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
     shutting_down: AtomicBool,
-    /// The listener's bound address, for the shutdown self-connection.
-    addr: SocketAddr,
+    /// Where the shutdown self-connection goes: the bound address with
+    /// wildcard IPs rewritten to the matching loopback.
+    wake_addr: SocketAddr,
+}
+
+/// The outcome of [`Server::join_report`].
+#[derive(Debug)]
+pub struct JoinReport {
+    /// Reps the final crack fold-in added.
+    pub reps_added: usize,
+    /// Why the shutdown snapshot failed, when one was configured and did
+    /// (also logged to stderr and counted in the `snapshot_failures`
+    /// metric). `None` when it succeeded or none was configured.
+    pub snapshot_error: Option<String>,
 }
 
 /// A running server. Dropping it does *not* stop the threads — call
@@ -59,7 +77,7 @@ impl<L: FallibleTargetLabeler + 'static> Server<L> {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutting_down: AtomicBool::new(false),
-            addr,
+            wake_addr: wake_addr(addr),
         });
 
         let acceptor = {
@@ -73,15 +91,16 @@ impl<L: FallibleTargetLabeler + 'static> Server<L> {
                         if shared.shutting_down.load(Ordering::SeqCst) {
                             // The self-connection that woke us (or a late
                             // client) — refuse politely and stop.
-                            if let Ok(mut conn) = conn {
-                                let _ = writeln!(
-                                    conn,
-                                    "{}",
-                                    err_response(
+                            if let Ok(conn) = conn {
+                                service.metrics().connections_rejected_shutdown.incr();
+                                write_rejection(
+                                    service.metrics(),
+                                    &conn,
+                                    &err_response(
                                         None,
                                         ErrorKind::ShuttingDown,
-                                        "server is draining"
-                                    )
+                                        "server is draining",
+                                    ),
                                 );
                             }
                             break;
@@ -94,17 +113,16 @@ impl<L: FallibleTargetLabeler + 'static> Server<L> {
                         if queue.len() >= queue_depth {
                             drop(queue);
                             service.metrics().connections_rejected_overloaded.incr();
-                            let mut conn = conn;
-                            let _ = writeln!(
-                                conn,
-                                "{}",
-                                err_response(
+                            write_rejection(
+                                service.metrics(),
+                                &conn,
+                                &err_response(
                                     None,
                                     ErrorKind::Overloaded,
                                     &format!(
                                         "connection queue full (depth {queue_depth}); retry later"
                                     ),
-                                )
+                                ),
                             );
                             continue;
                         }
@@ -155,22 +173,42 @@ impl<L: FallibleTargetLabeler + 'static> Server<L> {
 
     /// Waits for every thread to exit, then runs the final crack fold-in
     /// and (when configured) the shutdown snapshot. Returns the number of
-    /// reps the final fold-in added.
-    pub fn join(mut self) -> usize {
+    /// reps the final fold-in added; a snapshot failure is logged and
+    /// counted but not returned — use [`Server::join_report`] to act on it.
+    pub fn join(self) -> usize {
+        self.join_report().reps_added
+    }
+
+    /// [`Server::join`], but reporting the shutdown snapshot's outcome so
+    /// callers (the CLI exit path) can surface a persistence failure
+    /// instead of silently losing the cracked index.
+    pub fn join_report(mut self) -> JoinReport {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        let added = self.service.crack_pending();
+        let reps_added = self.service.crack_pending();
         let config = self.service.config();
+        let mut snapshot_error = None;
         if config.snapshot_on_shutdown {
             if let Some(path) = config.snapshot_path.clone() {
-                let _ = self.service.snapshot_to(&path);
+                // `snapshot_to` already bumps the `snapshot_failures`
+                // metric; this path makes the failure *loud*.
+                if let Err((_, message)) = self.service.snapshot_to(&path) {
+                    eprintln!(
+                        "tasti-serve: shutdown snapshot to {} failed: {message}",
+                        path.display()
+                    );
+                    snapshot_error = Some(message);
+                }
             }
         }
-        added
+        JoinReport {
+            reps_added,
+            snapshot_error,
+        }
     }
 
     /// [`Server::shutdown`] followed by [`Server::join`].
@@ -180,14 +218,44 @@ impl<L: FallibleTargetLabeler + 'static> Server<L> {
     }
 }
 
+/// Rewrites a wildcard bind (`0.0.0.0` / `[::]`) to the matching loopback
+/// address so the shutdown self-connection has a real destination —
+/// connecting *to* a wildcard address is platform-dependent and can fail,
+/// which would leave the acceptor blocked in `accept()` forever.
+fn wake_addr(mut addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        match addr {
+            SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+            SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+        }
+    }
+    addr
+}
+
+/// How long a rejection/drain-notice write may block before the courtesy
+/// error line is dropped. The connection closes either way; without this
+/// bound a peer that never reads would park the acceptor (or a draining
+/// worker) indefinitely.
+const REJECT_WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// Writes a rejection line with [`REJECT_WRITE_TIMEOUT`] applied, counting
+/// a drop (instead of blocking or erroring) when the peer won't take it.
+fn write_rejection(metrics: &ServeMetrics, mut conn: &TcpStream, line: &str) {
+    let _ = conn.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
+    if writeln!(conn, "{line}").is_err() {
+        metrics.rejection_write_drops.incr();
+    }
+}
+
 /// Flips the drain flag, wakes every parked worker, and unblocks the
-/// acceptor's `accept()` with a throwaway self-connection.
+/// acceptor's `accept()` with a throwaway self-connection to the loopback
+/// rewrite of the bound address.
 fn begin_shutdown(shared: &Shared) {
     if shared.shutting_down.swap(true, Ordering::SeqCst) {
         return; // already draining
     }
     shared.available.notify_all();
-    let _ = TcpStream::connect(shared.addr);
+    let _ = TcpStream::connect(shared.wake_addr);
 }
 
 fn worker_loop<L: FallibleTargetLabeler>(shared: &Shared, service: &TastiService<L>) {
@@ -212,11 +280,11 @@ fn worker_loop<L: FallibleTargetLabeler>(shared: &Shared, service: &TastiService
             // Drain path: this connection was queued before the flag
             // flipped but never got a worker. Tell it so, then keep
             // draining until the queue is empty.
-            let mut conn = conn;
-            let _ = writeln!(
-                conn,
-                "{}",
-                err_response(None, ErrorKind::ShuttingDown, "server is draining")
+            service.metrics().connections_rejected_shutdown.incr();
+            write_rejection(
+                service.metrics(),
+                &conn,
+                &err_response(None, ErrorKind::ShuttingDown, "server is draining"),
             );
             continue;
         }
@@ -255,10 +323,13 @@ fn serve_connection<L: FallibleTargetLabeler>(
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if shared.shutting_down.load(Ordering::SeqCst) {
-                    let _ = writeln!(
-                        writer,
-                        "{}",
-                        err_response(None, ErrorKind::ShuttingDown, "server is draining")
+                    // Farewell to an idle keep-alive connection: bounded
+                    // like any rejection write, so a stalled peer cannot
+                    // pin a worker past the drain.
+                    write_rejection(
+                        service.metrics(),
+                        &writer,
+                        &err_response(None, ErrorKind::ShuttingDown, "server is draining"),
                     );
                     return;
                 }

@@ -1,23 +1,29 @@
-//! The query service: one shared index + one shared metered labeler.
+//! The query service: a registry of named indexes behind one front door.
 //!
 //! [`TastiService`] is transport-agnostic — [`crate::Server`] feeds it
 //! requests parsed off TCP connections, tests call [`TastiService::handle`]
-//! directly. All concurrency lives here:
+//! directly. Since the multi-index registry, the service owns an
+//! [`IndexRegistry`]: every request optionally names an index (absent →
+//! the default entry, keeping the single-index wire protocol
+//! byte-compatible), and each entry carries its own labeler, budget,
+//! metrics, and maintenance lock. All concurrency lives in the entries:
 //!
-//! * The index sits behind `RwLock<Arc<TastiIndex>>`. Readers hold the
+//! * Each index sits behind `RwLock<Arc<TastiIndex>>`. Readers hold the
 //!   lock only long enough to clone the `Arc`, then query a consistent
 //!   snapshot with no lock held.
-//! * Oracle labels go through one [`MeteredLabeler`], whose in-flight set
-//!   gives exactly-once semantics across concurrent queries for free.
-//! * Cracking (§3.3) runs on a maintenance path: after a query, one thread
-//!   at a time clones the current index, folds the labeler's cache in via
-//!   [`crack_from_labeler`] *off-lock*, and swaps the `Arc` under a brief
-//!   write lock. Readers never wait on a crack.
+//! * Oracle labels go through the entry's [`MeteredLabeler`], whose
+//!   in-flight set gives exactly-once semantics across concurrent queries
+//!   for free — and whose accounting never mixes tenants.
+//! * Cracking (§3.3) runs on a per-entry maintenance path: after a query,
+//!   one thread at a time clones that index, folds the labeler's cache in
+//!   via `crack_from_labeler` *off-lock*, and swaps the `Arc` under a
+//!   brief write lock. Readers never wait on a crack, and cracking one
+//!   index never serializes another's.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex, RwLock, TryLockError};
+use std::path::Path;
+use std::sync::Arc;
 
-use tasti_core::crack::crack_from_labeler;
 use tasti_core::index::TastiIndex;
 use tasti_core::persist;
 use tasti_core::scoring::ScoringFunction;
@@ -35,11 +41,22 @@ use tasti_query::{
 
 use crate::config::ServeConfig;
 use crate::metrics::ServeMetrics;
-use crate::proto::{err_response_with_retry, ok_response, ErrorKind, Op, Request};
+use crate::proto::{
+    err_response_with_retry, ok_response, ok_response_routed, ErrorKind, Op, Request,
+};
+use crate::registry::{IndexEntry, IndexRegistry};
 
 /// Default oracle match threshold: a record matches when its oracle score
 /// is ≥ this. Right for the 0/1 predicate scores (`HasClass`, …).
 pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// The registry name of the index the service is constructed with — the
+/// entry requests without an `"index"` field route to.
+pub const DEFAULT_INDEX_NAME: &str = "default";
+
+/// Builds a fresh [`MeteredLabeler`] for an index loaded at runtime
+/// (`index_load` or `ServeConfig::preload`), given its registry name.
+pub type LabelerFactory<L> = Box<dyn Fn(&str) -> MeteredLabeler<L> + Send + Sync>;
 
 /// A typed request failure: the wire error kind, its message, and (for
 /// `labeler_unavailable`) the breaker's backoff hint.
@@ -73,46 +90,134 @@ fn split_outcome<R>(out: QueryOutcome<R>) -> (R, Option<LabelerFault>) {
     }
 }
 
-/// The shared state of a running service.
+/// The shared state of a running service: the index registry, the
+/// service-wide aggregate metrics, and (optionally) a labeler factory for
+/// loading further indexes at runtime.
 pub struct TastiService<L: FallibleTargetLabeler> {
-    index: RwLock<Arc<TastiIndex>>,
-    labeler: MeteredLabeler<L>,
+    registry: IndexRegistry<L>,
+    /// Service-wide aggregate; each entry additionally records into its own
+    /// [`ServeMetrics`].
     metrics: ServeMetrics,
-    /// Serializes crack maintenance; queries never wait on it
-    /// (`try_lock`, losers skip the pass — the winner folds their labels
-    /// in anyway, since the labeler cache is shared).
-    maintenance: Mutex<()>,
     config: ServeConfig,
+    factory: Option<LabelerFactory<L>>,
 }
 
 impl<L: FallibleTargetLabeler> TastiService<L> {
-    /// Wraps an index and a labeler into a service. A `label_budget` in the
+    /// Wraps an index and a labeler into a single-index service (the index
+    /// becomes the registry's default entry). A `label_budget` in the
     /// config overrides the labeler's own budget.
-    pub fn new(index: TastiIndex, mut labeler: MeteredLabeler<L>, config: ServeConfig) -> Self {
-        if config.label_budget.is_some() {
-            labeler.set_budget(config.label_budget);
+    ///
+    /// # Panics
+    ///
+    /// When `config.preload` is non-empty — loading further indexes needs a
+    /// labeler factory; use [`TastiService::with_factory`].
+    pub fn new(index: TastiIndex, labeler: MeteredLabeler<L>, config: ServeConfig) -> Self {
+        assert!(
+            config.preload.is_empty(),
+            "ServeConfig::preload needs a labeler factory; construct with \
+             TastiService::with_factory"
+        );
+        Self::build(index, labeler, config, None)
+    }
+
+    /// [`TastiService::new`] plus a labeler factory, enabling `index_load`
+    /// over the wire and `config.preload` at startup (each preload pair is
+    /// loaded before this returns; a failed load fails construction).
+    pub fn with_factory(
+        index: TastiIndex,
+        labeler: MeteredLabeler<L>,
+        config: ServeConfig,
+        factory: LabelerFactory<L>,
+    ) -> Result<Self, String> {
+        let service = Self::build(index, labeler, config, Some(factory));
+        for (name, path) in service.config.preload.clone() {
+            service.load_index_from(&name, &path, None)?;
         }
-        Self {
-            index: RwLock::new(Arc::new(index)),
+        Ok(service)
+    }
+
+    fn build(
+        index: TastiIndex,
+        labeler: MeteredLabeler<L>,
+        config: ServeConfig,
+        factory: Option<LabelerFactory<L>>,
+    ) -> Self {
+        let default = IndexEntry::new(
+            DEFAULT_INDEX_NAME,
+            index,
             labeler,
+            config.label_budget,
+            config.snapshot_path.clone(),
+        );
+        Self {
+            registry: IndexRegistry::new(default),
             metrics: ServeMetrics::new(),
-            maintenance: Mutex::new(()),
             config,
+            factory,
         }
     }
 
-    /// A consistent snapshot of the current index (brief read lock, then
-    /// lock-free).
+    /// Registers a pre-built index under a registry name — the programmatic
+    /// face of `index_load`, for embedding the service without snapshot
+    /// files or a factory. Rejects duplicate names.
+    pub fn insert_index(
+        &self,
+        name: impl Into<String>,
+        index: TastiIndex,
+        labeler: MeteredLabeler<L>,
+        label_budget: Option<u64>,
+        snapshot_path: Option<std::path::PathBuf>,
+    ) -> Result<(), String> {
+        self.registry.insert(IndexEntry::new(
+            name.into(),
+            index,
+            labeler,
+            label_budget,
+            snapshot_path,
+        ))
+    }
+
+    /// Loads an index snapshot from disk into the registry via the labeler
+    /// factory. Returns `(records, reps)` of the loaded index.
+    fn load_index_from(
+        &self,
+        name: &str,
+        path: &Path,
+        label_budget: Option<u64>,
+    ) -> Result<(usize, usize), String> {
+        let factory = self.factory.as_ref().ok_or_else(|| {
+            "this server cannot load indexes at runtime (no labeler factory configured)".to_string()
+        })?;
+        let index = persist::load(path)
+            .map_err(|e| format!("failed to load index '{name}' from {}: {e}", path.display()))?;
+        let shape = (index.n_records(), index.reps().len());
+        self.registry.insert(IndexEntry::new(
+            name,
+            index,
+            factory(name),
+            label_budget,
+            Some(path.to_path_buf()),
+        ))?;
+        Ok(shape)
+    }
+
+    /// The index registry.
+    pub fn registry(&self) -> &IndexRegistry<L> {
+        &self.registry
+    }
+
+    /// A consistent snapshot of the **default** index (brief read lock,
+    /// then lock-free).
     pub fn index(&self) -> Arc<TastiIndex> {
-        Arc::clone(&self.index.read().unwrap_or_else(|e| e.into_inner()))
+        self.registry.default_entry().index()
     }
 
-    /// The shared metered labeler.
+    /// The **default** index's metered labeler.
     pub fn labeler(&self) -> &MeteredLabeler<L> {
-        &self.labeler
+        &self.registry.default_entry().labeler
     }
 
-    /// The operational metrics.
+    /// The service-wide aggregate metrics.
     pub fn metrics(&self) -> &ServeMetrics {
         &self.metrics
     }
@@ -129,39 +234,84 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
     pub fn handle(&self, req: &Request) -> String {
         self.metrics.requests_total.incr();
         let sw = Stopwatch::start();
-        let line = match req.op {
-            Op::IndexStats => self.index_stats(req),
-            Op::Metrics => Ok(ok_response(req.id, &self.metrics.to_json_body(), None)),
-            Op::Health => Ok(self.health_response(req)),
-            Op::Snapshot => self.snapshot(req),
-            Op::Shutdown => Ok(ok_response(req.id, "\"draining\":true", None)),
-            _ => self.run_query(req),
+        // Resolve routing first. Registry-level ops (load/unload/list) and
+        // shutdown are not *about* a loaded entry; `metrics` without an
+        // index reports the aggregate. Everything else needs an entry, and
+        // an unknown name is a typed `bad_request`.
+        let routed: Result<Option<Arc<IndexEntry<L>>>, QueryError> = match req.op {
+            Op::IndexLoad | Op::IndexUnload | Op::IndexList | Op::Shutdown => Ok(None),
+            Op::Metrics if req.index.is_none() => Ok(None),
+            _ => self
+                .registry
+                .get(req.index.as_deref())
+                .map(Some)
+                .ok_or_else(|| {
+                    QueryError::new(
+                        ErrorKind::BadRequest,
+                        format!(
+                            "unknown index '{}' (see index_list)",
+                            req.index.as_deref().unwrap_or("")
+                        ),
+                    )
+                }),
         };
-        let (line, ok) = match line {
+        let (entry, outcome) = match routed {
+            Ok(entry) => {
+                if let Some(e) = &entry {
+                    e.metrics.requests_total.incr();
+                }
+                let outcome = match req.op {
+                    Op::IndexStats => self.index_stats(req, entry.as_deref().expect("routed")),
+                    Op::Metrics => self.metrics_response(req, entry.as_deref()),
+                    Op::Health => Ok(self.health_response(req, entry.as_deref().expect("routed"))),
+                    Op::IndexLoad => self.index_load(req),
+                    Op::IndexUnload => self.index_unload(req),
+                    Op::IndexList => Ok(self.index_list(req)),
+                    Op::Snapshot => self.snapshot(req, entry.as_deref().expect("routed")),
+                    Op::Shutdown => Ok(ok_response(req.id, "\"draining\":true", None)),
+                    _ => self.run_query(req, entry.as_deref().expect("routed")),
+                };
+                (entry, outcome)
+            }
+            Err(e) => (None, Err(e)),
+        };
+        let (line, ok) = match outcome {
             Ok(line) => (line, true),
             Err(e) => (
                 err_response_with_retry(Some(req.id), e.kind, &e.message, e.retry_after_micros),
                 false,
             ),
         };
-        self.metrics.record(req.op, sw.elapsed_micros(), ok);
+        let micros = sw.elapsed_micros();
+        self.metrics.record(req.op, micros, ok);
+        if let Some(e) = &entry {
+            e.metrics.record(req.op, micros, ok);
+        }
         if ok && req.op.is_query() && self.config.crack_after_queries {
-            self.crack_pending();
+            if let Some(e) = &entry {
+                let added = e.crack_pending();
+                if added > 0 {
+                    self.metrics.cracked_reps.add(added as u64);
+                    self.metrics.crack_passes.incr();
+                }
+            }
         }
         line
     }
 
-    /// Runs one query op end to end. `Err` carries the typed error.
-    fn run_query(&self, req: &Request) -> Result<String, QueryError> {
+    /// Runs one query op end to end against `entry`. `Err` carries the
+    /// typed error.
+    fn run_query(&self, req: &Request, entry: &IndexEntry<L>) -> Result<String, QueryError> {
         // Fail fast while the oracle's circuit breaker is open: don't burn
         // a sampling plan on an oracle known to be down — tell the client
         // when to come back instead. Once the open window has elapsed
         // (`retry_after` hits zero) the query is admitted so its first
         // oracle call becomes the breaker's half-open probe.
-        if let Some(h) = self.labeler.oracle_health() {
+        if let Some(h) = entry.labeler.oracle_health() {
             let still_cooling = h.retry_after_micros.is_some_and(|m| m > 0);
             if h.breaker == BreakerState::Open && still_cooling {
                 self.metrics.labeler_unavailable.incr();
+                entry.metrics.labeler_unavailable.incr();
                 return Err(QueryError::new(
                     ErrorKind::LabelerUnavailable,
                     format!(
@@ -172,7 +322,7 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
                 .with_retry(h.retry_after_micros));
             }
         }
-        let idx = self.index();
+        let idx = entry.index();
         if idx.n_records() == 0 {
             return Err(QueryError::new(ErrorKind::Internal, "index has no records"));
         }
@@ -204,7 +354,7 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
             _ => None,
         };
         // The algorithms never call the oracle past their own budgets, but
-        // the *service-lifetime* label budget can run out mid-query. The
+        // the *entry-lifetime* label budget can run out mid-query. The
         // batch front door labels the affordable prefix and errors; we
         // record the hit, feed the algorithm neutral values so it
         // terminates normally, and discard its result in favor of a typed
@@ -213,7 +363,7 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         // degrade the query to a proxy-only partial answer.
         let budget_hit = std::sync::atomic::AtomicBool::new(false);
         let label_scores = |recs: &[RecordId]| -> Result<Vec<f64>, LabelerFault> {
-            match self.labeler.try_label_batch_fallible(recs) {
+            match entry.labeler.try_label_batch_fallible(recs) {
                 Ok(outputs) => Ok(outputs.iter().map(|o| score.score(o)).collect()),
                 Err(LabelerError::Budget(_)) => {
                     budget_hit.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -356,7 +506,7 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
                 }
                 let out = try_predicate_aggregate_batch(
                     &pred_proxy,
-                    &mut |recs| match self.labeler.try_label_batch_fallible(recs) {
+                    &mut |recs| match entry.labeler.try_label_batch_fallible(recs) {
                         Ok(outputs) => Ok(outputs
                             .iter()
                             .map(|o| (pred.score(o) >= threshold).then(|| score.score(o)))
@@ -397,9 +547,11 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         let (mut body, telemetry, fault): (String, QueryTelemetry, Option<LabelerFault>) = result;
         if let Some(fault) = fault {
             self.metrics.oracle_fault_queries.incr();
+            entry.metrics.oracle_fault_queries.incr();
             if !self.config.degraded_replies {
                 self.metrics.labeler_unavailable.incr();
-                let retry_after = self
+                entry.metrics.labeler_unavailable.incr();
+                let retry_after = entry
                     .labeler
                     .oracle_health()
                     .and_then(|h| h.retry_after_micros);
@@ -413,23 +565,29 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
             // fault spelled out; its telemetry already carries
             // `certified: false`, `degraded: true`.
             self.metrics.degraded_replies.incr();
+            entry.metrics.degraded_replies.incr();
             body.push_str(",\"degraded\":true,\"fault\":\"");
             push_escaped(&mut body, &fault.to_string());
             body.push('"');
         }
-        Ok(ok_response(req.id, &body, Some(&telemetry)))
+        Ok(ok_response_routed(
+            req.id,
+            &body,
+            Some(&telemetry),
+            req.index.as_deref(),
+        ))
     }
 
     /// The `health` admin response: meter status plus the oracle path's
     /// breaker/fault/retry counters when the wrapped labeler reports them
     /// (a [`tasti_labeler::ResilientLabeler`] does; a plain labeler yields
     /// `"oracle": null`).
-    fn health_response(&self, req: &Request) -> String {
+    fn health_response(&self, req: &Request, entry: &IndexEntry<L>) -> String {
         let mut body = String::new();
-        push_int(&mut body, "invocations", self.labeler.invocations());
-        push_int(&mut body, "cache_hits", self.labeler.cache_hits());
-        push_int(&mut body, "reserved", self.labeler.reserved());
-        match self.labeler.oracle_health() {
+        push_int(&mut body, "invocations", entry.labeler.invocations());
+        push_int(&mut body, "cache_hits", entry.labeler.cache_hits());
+        push_int(&mut body, "reserved", entry.labeler.reserved());
+        match entry.labeler.oracle_health() {
             None => body.push_str("\"oracle\":null"),
             Some(h) => {
                 body.push_str("\"oracle\":{\"breaker\":\"");
@@ -459,7 +617,7 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
                 body.push('}');
             }
         }
-        ok_response(req.id, &body, None)
+        ok_response_routed(req.id, &body, None, req.index.as_deref())
     }
 
     /// Proxy scores via rep propagation, honoring a per-request `k`.
@@ -470,8 +628,8 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         }
     }
 
-    fn index_stats(&self, req: &Request) -> Result<String, QueryError> {
-        let idx = self.index();
+    fn index_stats(&self, req: &Request, entry: &IndexEntry<L>) -> Result<String, QueryError> {
+        let idx = entry.index();
         let mut body = String::new();
         push_int(&mut body, "records", idx.n_records() as u64);
         push_int(&mut body, "reps", idx.reps().len() as u64);
@@ -483,26 +641,145 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         push_num(&mut body, "cover_radius", idx.cover_radius() as f64);
         push_bool(&mut body, "has_model", idx.model().is_some());
         body.push_str("\"labeler\":{");
-        push_int(&mut body, "invocations", self.labeler.invocations());
-        push_int(&mut body, "cache_hits", self.labeler.cache_hits());
-        match self.config.label_budget {
+        push_int(&mut body, "invocations", entry.labeler.invocations());
+        push_int(&mut body, "cache_hits", entry.labeler.cache_hits());
+        match entry.label_budget {
             Some(b) => push_int(&mut body, "budget", b),
             None => body.push_str("\"budget\":null,"),
         }
         body.pop();
         body.push('}');
+        Ok(ok_response_routed(
+            req.id,
+            &body,
+            None,
+            req.index.as_deref(),
+        ))
+    }
+
+    /// The `metrics` admin response. Routed (`"index"` present): that
+    /// entry's metrics alone. Unrouted: the service-wide aggregate — plus,
+    /// in multi-index deployments, an `"indexes"` object with one section
+    /// per entry. Single-index deployments emit the aggregate only, so the
+    /// output stays byte-identical to the pre-registry protocol.
+    fn metrics_response(
+        &self,
+        req: &Request,
+        entry: Option<&IndexEntry<L>>,
+    ) -> Result<String, QueryError> {
+        match entry {
+            Some(e) => Ok(ok_response_routed(
+                req.id,
+                &e.metrics.to_json_body(),
+                None,
+                req.index.as_deref(),
+            )),
+            None => {
+                let mut body = self.metrics.to_json_body();
+                if self.registry.len() > 1 {
+                    body.push_str(",\"indexes\":{");
+                    for (i, e) in self.registry.entries().iter().enumerate() {
+                        if i > 0 {
+                            body.push(',');
+                        }
+                        body.push('"');
+                        push_escaped(&mut body, &e.name);
+                        body.push_str("\":{");
+                        body.push_str(&e.metrics.to_json_body());
+                        body.push('}');
+                    }
+                    body.push('}');
+                }
+                Ok(ok_response(req.id, &body, None))
+            }
+        }
+    }
+
+    fn index_load(&self, req: &Request) -> Result<String, QueryError> {
+        let name = req.index.as_deref().ok_or_else(|| {
+            QueryError::new(
+                ErrorKind::BadRequest,
+                "index_load needs an 'index' field naming the new index",
+            )
+        })?;
+        let path = req.path.as_deref().ok_or_else(|| {
+            QueryError::new(
+                ErrorKind::BadRequest,
+                "index_load needs a 'path' field with an index snapshot file",
+            )
+        })?;
+        // `budget` doubles as the new entry's label budget (its query-op
+        // meaning — an oracle sampling budget — doesn't apply here).
+        let budget = req.budget.map(|b| b as u64);
+        let (records, reps) = self
+            .load_index_from(name, Path::new(path), budget)
+            .map_err(|m| QueryError::new(ErrorKind::BadRequest, m))?;
+        let mut body = String::new();
+        body.push_str("\"loaded\":\"");
+        push_escaped(&mut body, name);
+        body.push_str("\",");
+        push_int(&mut body, "records", records as u64);
+        push_int(&mut body, "reps", reps as u64);
+        body.pop();
         Ok(ok_response(req.id, &body, None))
     }
 
-    fn snapshot(&self, req: &Request) -> Result<String, QueryError> {
-        let path = self.config.snapshot_path.as_ref().ok_or_else(|| {
+    fn index_unload(&self, req: &Request) -> Result<String, QueryError> {
+        let name = req.index.as_deref().ok_or_else(|| {
+            QueryError::new(
+                ErrorKind::BadRequest,
+                "index_unload needs an 'index' field naming the index to unload",
+            )
+        })?;
+        self.registry
+            .remove(name)
+            .map_err(|m| QueryError::new(ErrorKind::BadRequest, m))?;
+        let mut body = String::new();
+        body.push_str("\"unloaded\":\"");
+        push_escaped(&mut body, name);
+        body.push('"');
+        Ok(ok_response(req.id, &body, None))
+    }
+
+    fn index_list(&self, req: &Request) -> String {
+        let mut body = String::new();
+        body.push_str("\"default\":\"");
+        push_escaped(&mut body, self.registry.default_name());
+        body.push_str("\",\"indexes\":[");
+        for (i, e) in self.registry.entries().iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let idx = e.index();
+            body.push_str("{\"name\":\"");
+            push_escaped(&mut body, &e.name);
+            body.push_str("\",");
+            push_int(&mut body, "records", idx.n_records() as u64);
+            push_int(&mut body, "reps", idx.reps().len() as u64);
+            push_bool(&mut body, "default", e.name == self.registry.default_name());
+            push_int(&mut body, "invocations", e.labeler.invocations());
+            push_int(&mut body, "cache_hits", e.labeler.cache_hits());
+            match e.label_budget {
+                Some(b) => push_int(&mut body, "budget", b),
+                None => body.push_str("\"budget\":null,"),
+            }
+            body.pop();
+            body.push('}');
+        }
+        body.push(']');
+        ok_response(req.id, &body, None)
+    }
+
+    fn snapshot(&self, req: &Request, entry: &IndexEntry<L>) -> Result<String, QueryError> {
+        let path = entry.snapshot_path.as_ref().ok_or_else(|| {
             QueryError::new(
                 ErrorKind::BadRequest,
                 "no snapshot path configured (start the server with --snapshot)",
             )
         })?;
-        self.snapshot_to(path)
-            .map(|(records, reps)| {
+        match entry.snapshot_to(path) {
+            Ok((records, reps)) => {
+                self.metrics.snapshots.incr();
                 let mut body = String::new();
                 body.push_str("\"path\":\"");
                 push_escaped(&mut body, &path.display().to_string());
@@ -510,54 +787,53 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
                 push_int(&mut body, "records", records as u64);
                 push_int(&mut body, "reps", reps as u64);
                 body.pop();
-                ok_response(req.id, &body, None)
-            })
-            .map_err(|(kind, message)| QueryError::new(kind, message))
+                Ok(ok_response_routed(
+                    req.id,
+                    &body,
+                    None,
+                    req.index.as_deref(),
+                ))
+            }
+            Err(message) => {
+                self.metrics.snapshot_failures.incr();
+                Err(QueryError::new(ErrorKind::Internal, message))
+            }
+        }
     }
 
-    /// Persists the current index to `path` (atomic temp-file + rename via
-    /// `persist::save`). Returns `(records, reps)` of the saved snapshot.
+    /// Persists the **default** index to `path` (atomic temp-file + rename
+    /// via `persist::save`). Returns `(records, reps)` of the saved
+    /// snapshot.
     pub fn snapshot_to(
         &self,
         path: &std::path::Path,
     ) -> Result<(usize, usize), (ErrorKind, String)> {
-        let idx = self.index();
-        persist::save(&idx, path)
-            .map_err(|e| (ErrorKind::Internal, format!("snapshot failed: {e}")))?;
-        self.metrics.snapshots.incr();
-        Ok((idx.n_records(), idx.reps().len()))
+        match self.registry.default_entry().snapshot_to(path) {
+            Ok(shape) => {
+                self.metrics.snapshots.incr();
+                Ok(shape)
+            }
+            Err(message) => {
+                self.metrics.snapshot_failures.incr();
+                Err((ErrorKind::Internal, message))
+            }
+        }
     }
 
-    /// Folds query-paid labels back into the index (§3.3 cracking) without
-    /// blocking readers: clone the current index, crack the clone off-lock,
-    /// swap the `Arc` under a brief write lock. One pass at a time; callers
-    /// that lose the `try_lock` race skip — the winner folds the shared
-    /// labeler cache in anyway. Returns the number of reps added.
+    /// Folds query-paid labels back into **every** loaded index (§3.3
+    /// cracking); see [`IndexEntry::crack_pending`] for the per-entry
+    /// mechanics. Returns the total number of reps added.
     pub fn crack_pending(&self) -> usize {
-        let _guard = match self.maintenance.try_lock() {
-            Ok(g) => g,
-            Err(TryLockError::WouldBlock) => return 0,
-            Err(TryLockError::Poisoned(e)) => e.into_inner(),
-        };
-        let snapshot = self.index();
-        // Cheap pre-check: anything new to fold in?
-        if !self
-            .labeler
-            .labeled_records()
-            .iter()
-            .any(|&r| r < snapshot.n_records() && !snapshot.is_rep(r))
-        {
-            return 0;
+        let mut total = 0;
+        for entry in self.registry.entries() {
+            let added = entry.crack_pending();
+            if added > 0 {
+                self.metrics.cracked_reps.add(added as u64);
+                self.metrics.crack_passes.incr();
+            }
+            total += added;
         }
-        let mut working = (*snapshot).clone();
-        let added = crack_from_labeler(&mut working, &self.labeler);
-        if added > 0 {
-            let next = Arc::new(working);
-            *self.index.write().unwrap_or_else(|e| e.into_inner()) = next;
-            self.metrics.cracked_reps.add(added as u64);
-            self.metrics.crack_passes.incr();
-        }
-        added
+        total
     }
 }
 
@@ -565,9 +841,10 @@ impl<L: FallibleTargetLabeler> std::fmt::Debug for TastiService<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let idx = self.index();
         f.debug_struct("TastiService")
+            .field("indexes", &self.registry.len())
             .field("records", &idx.n_records())
             .field("reps", &idx.reps().len())
-            .field("labeler_invocations", &self.labeler.invocations())
+            .field("labeler_invocations", &self.labeler().invocations())
             .finish()
     }
 }

@@ -1,17 +1,23 @@
-//! Serving a persisted index: build once, answer many queries concurrently.
+//! Serving persisted indexes: build once, answer many queries concurrently.
 //!
-//! Session 1 builds an index over a video and saves it. Session 2 is a
-//! *server process*: it loads the index (zero labeler calls), starts
-//! `tasti-serve` on an ephemeral loopback port, and four concurrent
-//! clients each run a different query type against it over TCP. The
-//! labels those queries pay for are folded back into the index between
-//! requests (cracking), and a final snapshot persists the enriched index.
+//! Session 1 builds two indexes over a video — the trained TASTI and a
+//! cheaper pretrained-only variant — and saves them. Session 2 is a
+//! *server process*: it loads the trained index as the default, registers
+//! the variant as a named co-tenant (`pretrained`), starts `tasti-serve`
+//! on an ephemeral loopback port, and four concurrent clients each run a
+//! different query type against the default while a fifth routes to the
+//! named index via the request's `"index"` field. The labels those queries
+//! pay for are folded back into each index between requests (cracking,
+//! metered per index), and a final snapshot persists the enriched default.
 //!
-//! The same server is reachable from outside the process:
+//! The same shape is reachable from outside the process:
 //!
 //! ```sh
-//! cargo run --release -- serve --index idx.json --dataset night-street
+//! cargo run --release -- serve --index idx.json --index pt=idx2.json \
+//!     --dataset night-street
 //! cargo run --release -- probe agg --addr 127.0.0.1:PORT --class car
+//! cargo run --release -- probe agg --addr 127.0.0.1:PORT --class car --index pt
+//! cargo run --release -- probe index-list --addr 127.0.0.1:PORT
 //! ```
 //!
 //! ```sh
@@ -28,8 +34,9 @@ fn main() {
     let video = tasti::data::video::night_street(4_000, 11);
     let dataset = &video.dataset;
     let path = std::env::temp_dir().join("tasti_serving_example.json");
+    let pt_path = std::env::temp_dir().join("tasti_serving_example_pt.json");
 
-    // ── Session 1: build and persist the index.
+    // ── Session 1: build and persist both indexes.
     {
         let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
         let config = TastiConfig {
@@ -50,13 +57,30 @@ fn main() {
         .expect("construction within budget");
         persist::save(&index, &path).expect("save index");
         println!(
-            "built index ({} labeler calls), saved to {}",
+            "built trained index ({} labeler calls), saved to {}",
             report.total_invocations,
             path.display()
+        );
+        // The co-tenant: same dataset, no embedding training (TASTI-PT).
+        let (pt_index, pt_report) = build_index(
+            &dataset.features,
+            &pretrained,
+            &labeler,
+            &VideoCloseness::default(),
+            &config.clone().pretrained_only(),
+        )
+        .expect("construction within budget");
+        persist::save(&pt_index, &pt_path).expect("save pt index");
+        println!(
+            "built pretrained-only index ({} labeler calls), saved to {}",
+            pt_report.total_invocations,
+            pt_path.display()
         );
     }
 
     // ── Session 2: the server. Loading pays zero labeler invocations.
+    // The trained index is the default route; the pretrained-only variant
+    // serves as the named co-tenant "pretrained" with its own meter.
     let index = persist::load(&path).expect("load index");
     let labeler = MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle()));
     let config = ServeConfig {
@@ -65,10 +89,19 @@ fn main() {
         ..ServeConfig::default()
     };
     let service = Arc::new(TastiService::new(index, labeler, config));
+    service
+        .insert_index(
+            "pretrained",
+            persist::load(&pt_path).expect("load pt index"),
+            MeteredLabeler::new(OracleLabeler::mask_rcnn(dataset.truth_handle())),
+            None,
+            Some(pt_path.clone()),
+        )
+        .expect("register co-tenant");
     let server = Server::start(service).expect("bind loopback");
     let addr = server.local_addr();
     println!(
-        "serving on {addr} with {} reps",
+        "serving on {addr} with {} reps (default) + co-tenant 'pretrained'",
         server.service().index().reps().len()
     );
 
@@ -100,6 +133,15 @@ fn main() {
     pred.seed = Some(3);
     requests.push(("avg cars among bus frames (predicate agg)", pred));
 
+    // The fifth client routes to the named co-tenant: same wire protocol,
+    // plus an "index" field; its oracle labels are metered separately.
+    let mut routed = Request::new(Op::EbsAggregate);
+    routed.score = Some(ScoreSpec::CountClass(ObjectClass::Car));
+    routed.error_target = Some(0.2);
+    routed.seed = Some(4);
+    routed.index = Some("pretrained".to_string());
+    requests.push(("avg cars/frame on 'pretrained' (EBS)", routed));
+
     let handles: Vec<_> = requests
         .into_iter()
         .map(|(what, req)| {
@@ -116,10 +158,13 @@ fn main() {
         println!("{what}: {}", reply.result.to_json());
     }
 
-    // ── Admin surface: metrics, snapshot of the cracked index, drain.
+    // ── Admin surface: registry listing, metrics, snapshot of the cracked
+    // default index, drain.
     let mut admin = Client::connect(addr).expect("connect admin");
+    let listing = admin.call(Request::new(Op::IndexList)).expect("index_list");
+    println!("registry: {}", listing.result.to_json());
     let stats = admin.index_stats().expect("stats");
-    println!("index after cracking: {}", stats.result.to_json());
+    println!("default index after cracking: {}", stats.result.to_json());
     let snap = admin.snapshot().expect("snapshot");
     println!("snapshot: {}", snap.result.to_json());
     admin.shutdown().expect("shutdown request");
@@ -129,4 +174,5 @@ fn main() {
     let reloaded = persist::load(&path).expect("reload snapshot");
     println!("snapshot reloads with {} reps", reloaded.reps().len());
     std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&pt_path).ok();
 }

@@ -20,8 +20,8 @@ use tasti::index::persist;
 use tasti::prelude::*;
 use tasti::query::{StoppingRule, SupgConfig};
 use tasti::serve::{
-    Client, Op as ServeOp, Reply, Request as ServeRequest, ScoreSpec, ServeConfig, Server,
-    TastiService,
+    Client, LabelerFactory, Op as ServeOp, Reply, Request as ServeRequest, ScoreSpec, ServeConfig,
+    Server, TastiService, DEFAULT_INDEX_NAME,
 };
 use tasti_labeler::Schema;
 
@@ -60,7 +60,11 @@ struct BuildArgs {
 
 #[derive(Debug, Clone, PartialEq)]
 struct ServeArgs {
+    /// Path of the default index (the unnamed `--index` value).
     index: String,
+    /// Extra named indexes to preload: `--index name=path`, repeatable.
+    /// All of them answer against the same `--dataset` oracle.
+    preload: Vec<(String, String)>,
     dataset: String,
     n: usize,
     seed: u64,
@@ -87,7 +91,8 @@ struct ServeArgs {
 #[derive(Debug, Clone, PartialEq)]
 struct ProbeArgs {
     /// agg | supg | supg-precision | limit | predicate | stats | metrics
-    /// | health | snapshot | shutdown
+    /// | health | index-list | index-load | index-unload | snapshot
+    /// | shutdown
     op: String,
     addr: String,
     class: String,
@@ -96,6 +101,13 @@ struct ProbeArgs {
     budget: usize,
     matches: usize,
     seed: u64,
+    /// Route the request to a named index (`index-load`/`index-unload`
+    /// name the index to add or drop); absent → the default index.
+    index: Option<String>,
+    /// Snapshot file for `index-load`.
+    path: Option<String>,
+    /// Per-index label budget for `index-load`.
+    label_budget: Option<usize>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -123,14 +135,16 @@ USAGE:
                   --dataset <name> --n <records> [--seed S]
                   [--class car|bus] [--min-count K] [--error E]
                   [--budget B] [--matches M]
-  tasti_cli serve --index <index.json> --dataset <name> --n <records> [--seed S]
+  tasti_cli serve --index [name=]<index.json> [--index name=path]...
+                  --dataset <name> --n <records> [--seed S]
                   [--addr 127.0.0.1:0] [--workers W] [--queue-depth Q]
                   [--snapshot <path>] [--snapshot-on-shutdown]
                   [--label-budget B] [--no-crack] [--no-degraded]
                   [--fault-transient R] [--fault-timeout R]
                   [--fault-corrupt R] [--fault-fatal R] [--fault-seed S]
-  tasti_cli probe <agg|supg|supg-precision|limit|predicate|stats|metrics|health|snapshot|shutdown>
-                  --addr HOST:PORT [--class car|bus] [--min-count K]
+  tasti_cli probe <agg|supg|supg-precision|limit|predicate|stats|metrics|health|index-list|index-load|index-unload|snapshot|shutdown>
+                  --addr HOST:PORT [--index NAME] [--path FILE]
+                  [--label-budget B] [--class car|bus] [--min-count K]
                   [--error E] [--budget B] [--matches M] [--seed S]
 
 DATASETS: night-street, taipei, amsterdam, wikisql, common-voice
@@ -142,14 +156,21 @@ serve answers the line-delimited JSON wire protocol (see tasti-serve) and
 drains gracefully on an admin shutdown request: `tasti_cli probe shutdown
 --addr HOST:PORT`. probe prints the raw response line.
 
+serve hosts one default index plus any number of named indexes (repeat
+--index name=path); each gets its own oracle meter and label budget. probe
+--index NAME routes a request to a named index, and index-list /
+index-load / index-unload manage the registry at runtime (index-load needs
+--index NAME --path FILE and takes an optional --label-budget). All hosted
+indexes answer against the same --dataset oracle.
+
 serve --fault-* rates inject deterministic oracle faults behind the full
 resilience stack (retry/backoff + circuit breaker): transient and timeout
 faults are retried, corrupt and fatal faults degrade their query to the
 proxy-only answer (or a typed labeler_unavailable error with
 --no-degraded). `probe health` reports breaker state and fault counters.";
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
+fn parse_flags(args: &[String]) -> Result<HashMap<String, Vec<String>>, String> {
+    let mut flags: HashMap<String, Vec<String>> = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -162,13 +183,19 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             ]
             .contains(&name)
             {
-                flags.insert(name.to_string(), "true".to_string());
+                flags
+                    .entry(name.to_string())
+                    .or_default()
+                    .push("true".to_string());
                 i += 1;
             } else {
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| format!("flag --{name} needs a value"))?;
-                flags.insert(name.to_string(), value.clone());
+                flags
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(value.clone());
                 i += 2;
             }
         } else {
@@ -178,17 +205,75 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
+/// Scalar flag lookup; a repeated flag takes its last value.
 fn get<T: std::str::FromStr>(
-    flags: &HashMap<String, String>,
+    flags: &HashMap<String, Vec<String>>,
     key: &str,
     default: Option<T>,
 ) -> Result<T, String> {
-    match flags.get(key) {
+    match flags.get(key).and_then(|values| values.last()) {
         Some(v) => v
             .parse()
             .map_err(|_| format!("invalid value for --{key}: '{v}'")),
         None => default.ok_or_else(|| format!("missing required flag --{key}")),
     }
+}
+
+/// Optional scalar flag lookup (last value wins, `None` when absent).
+fn get_opt<T: std::str::FromStr>(
+    flags: &HashMap<String, Vec<String>>,
+    key: &str,
+) -> Result<Option<T>, String> {
+    match flags.get(key).and_then(|values| values.last()) {
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        None => Ok(None),
+    }
+}
+
+/// Splits the repeatable `serve --index [name=]path` values into the
+/// default index path plus the named preload list.
+///
+/// Exactly one value must designate the default index — a bare path or the
+/// explicit `default=path` spelling. Every other value must be `name=path`
+/// with a unique name; those indexes are preloaded into the registry and
+/// reachable via the wire protocol's `"index"` field.
+fn parse_serve_indexes(values: &[String]) -> Result<(String, Vec<(String, String)>), String> {
+    if values.is_empty() {
+        return Err("missing required flag --index".to_string());
+    }
+    let mut default_path: Option<String> = None;
+    let mut preload: Vec<(String, String)> = Vec::new();
+    for value in values {
+        let (name, path) = match value.split_once('=') {
+            Some(pair) => pair,
+            None => ("default", value.as_str()),
+        };
+        if name.is_empty() || path.is_empty() {
+            return Err(format!(
+                "invalid --index value '{value}' (expected [name=]path)"
+            ));
+        }
+        if name == "default" {
+            if default_path.is_some() {
+                return Err(
+                    "only one --index may be the default (a bare path or default=path)".to_string(),
+                );
+            }
+            default_path = Some(path.to_string());
+        } else {
+            if preload.iter().any(|(n, _)| n == name) {
+                return Err(format!("duplicate --index name '{name}'"));
+            }
+            preload.push((name.to_string(), path.to_string()));
+        }
+    }
+    let default_path = default_path.ok_or_else(|| {
+        "one --index must be the default index (a bare path or default=path)".to_string()
+    })?;
+    Ok((default_path, preload))
 }
 
 fn parse(args: &[String]) -> Result<Command, String> {
@@ -247,23 +332,20 @@ fn parse(args: &[String]) -> Result<Command, String> {
         }
         Some("serve") => {
             let flags = parse_flags(&args[1..])?;
+            let (index, preload) =
+                parse_serve_indexes(flags.get("index").map(Vec::as_slice).unwrap_or(&[]))?;
             Ok(Command::Serve(ServeArgs {
-                index: get(&flags, "index", None)?,
+                index,
+                preload,
                 dataset: get(&flags, "dataset", None)?,
                 n: get(&flags, "n", None)?,
                 seed: get(&flags, "seed", Some(42))?,
                 addr: get(&flags, "addr", Some("127.0.0.1:0".to_string()))?,
                 workers: get(&flags, "workers", Some(4))?,
                 queue_depth: get(&flags, "queue-depth", Some(16))?,
-                snapshot: flags.get("snapshot").cloned(),
+                snapshot: get_opt(&flags, "snapshot")?,
                 snapshot_on_shutdown: flags.contains_key("snapshot-on-shutdown"),
-                label_budget: match flags.get("label-budget") {
-                    Some(v) => Some(
-                        v.parse()
-                            .map_err(|_| format!("invalid value for --label-budget: '{v}'"))?,
-                    ),
-                    None => None,
-                },
+                label_budget: get_opt(&flags, "label-budget")?,
                 no_crack: flags.contains_key("no-crack"),
                 no_degraded: flags.contains_key("no-degraded"),
                 fault_transient: get(&flags, "fault-transient", Some(0.0))?,
@@ -277,7 +359,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
             let op = args
                 .get(1)
                 .cloned()
-                .ok_or("probe needs an op: agg|supg|supg-precision|limit|predicate|stats|metrics|health|snapshot|shutdown")?;
+                .ok_or("probe needs an op: agg|supg|supg-precision|limit|predicate|stats|metrics|health|index-list|index-load|index-unload|snapshot|shutdown")?;
             if probe_op(&op).is_none() {
                 return Err(format!("unknown probe op '{op}'"));
             }
@@ -291,6 +373,9 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 budget: get(&flags, "budget", Some(500))?,
                 matches: get(&flags, "matches", Some(10))?,
                 seed: get(&flags, "seed", Some(42))?,
+                index: get_opt(&flags, "index")?,
+                path: get_opt(&flags, "path")?,
+                label_budget: get_opt(&flags, "label-budget")?,
             }))
         }
         Some(other) => Err(format!("unknown command '{other}'")),
@@ -308,6 +393,9 @@ fn probe_op(name: &str) -> Option<ServeOp> {
         "stats" => ServeOp::IndexStats,
         "metrics" => ServeOp::Metrics,
         "health" => ServeOp::Health,
+        "index-list" | "index_list" => ServeOp::IndexList,
+        "index-load" | "index_load" => ServeOp::IndexLoad,
+        "index-unload" | "index_unload" => ServeOp::IndexUnload,
         "snapshot" => ServeOp::Snapshot,
         "shutdown" => ServeOp::Shutdown,
         _ => return None,
@@ -558,12 +646,7 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
             dataset.len()
         ));
     }
-    let oracle = OracleLabeler::new(
-        dataset.truth_handle(),
-        CostModel::mask_rcnn().target,
-        Schema::object_detection(),
-        "oracle",
-    );
+    let truth = dataset.truth_handle();
     let config = ServeConfig {
         addr: a.addr.clone(),
         workers: a.workers.max(1),
@@ -573,6 +656,11 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
         label_budget: a.label_budget,
         crack_after_queries: !a.no_crack,
         degraded_replies: !a.no_degraded,
+        preload: a
+            .preload
+            .iter()
+            .map(|(name, path)| (name.clone(), std::path::PathBuf::from(path)))
+            .collect(),
     };
     let any_fault = [
         a.fault_transient,
@@ -582,6 +670,9 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
     ]
     .iter()
     .any(|&r| r > 0.0);
+    // Every index entry (default, preloaded, or loaded at runtime via
+    // `index_load`) gets its own copy of the oracle stack from the factory,
+    // so per-index metering and budgets stay isolated.
     if any_fault {
         let plan = FaultPlan {
             transient_rate: a.fault_transient,
@@ -591,10 +682,29 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
             seed: a.fault_seed,
             ..FaultPlan::default()
         };
-        let stack = ResilientLabeler::new(FaultInjectingLabeler::new(oracle, plan));
-        serve_until_drained(index, MeteredLabeler::new(stack), config, a)
+        let factory: LabelerFactory<_> = Box::new(move |_name: &str| {
+            let oracle = OracleLabeler::new(
+                truth.clone(),
+                CostModel::mask_rcnn().target,
+                Schema::object_detection(),
+                "oracle",
+            );
+            MeteredLabeler::new(ResilientLabeler::new(FaultInjectingLabeler::new(
+                oracle,
+                plan.clone(),
+            )))
+        });
+        serve_until_drained(index, factory, config, a)
     } else {
-        serve_until_drained(index, MeteredLabeler::new(oracle), config, a)
+        let factory: LabelerFactory<_> = Box::new(move |_name: &str| {
+            MeteredLabeler::new(OracleLabeler::new(
+                truth.clone(),
+                CostModel::mask_rcnn().target,
+                Schema::object_detection(),
+                "oracle",
+            ))
+        });
+        serve_until_drained(index, factory, config, a)
     }
 }
 
@@ -602,15 +712,22 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
 /// admin shutdown drain completes.
 fn serve_until_drained<L: FallibleTargetLabeler + 'static>(
     index: TastiIndex,
-    labeler: MeteredLabeler<L>,
+    factory: LabelerFactory<L>,
     config: ServeConfig,
     a: &ServeArgs,
 ) -> Result<(), String> {
     let n_reps = index.reps().len();
-    let service = Arc::new(TastiService::new(index, labeler, config));
+    let n_named = config.preload.len();
+    let labeler = factory(DEFAULT_INDEX_NAME);
+    let service = Arc::new(TastiService::with_factory(index, labeler, config, factory)?);
     let server = Server::start(service).map_err(|e| e.to_string())?;
+    let named = if n_named > 0 {
+        format!(", {n_named} named index(es) preloaded")
+    } else {
+        String::new()
+    };
     println!(
-        "serving {} records ({} reps) on {} — {} workers, queue depth {}; \
+        "serving {} records ({} reps{named}) on {} — {} workers, queue depth {}; \
          drain with: tasti_cli probe shutdown --addr {}",
         a.n,
         n_reps,
@@ -622,8 +739,14 @@ fn serve_until_drained<L: FallibleTargetLabeler + 'static>(
     // The address line is what scripts (and the CI smoke stage) wait for —
     // force it out even when stdout is a pipe.
     std::io::stdout().flush().ok();
-    let added = server.join();
-    println!("drained; final crack fold-in added {added} representatives");
+    let report = server.join_report();
+    println!(
+        "drained; final crack fold-in added {} representatives",
+        report.reps_added
+    );
+    if let Some(message) = report.snapshot_error {
+        return Err(format!("shutdown snapshot failed: {message}"));
+    }
     Ok(())
 }
 
@@ -631,6 +754,7 @@ fn run_probe(a: &ProbeArgs) -> Result<(), String> {
     let op = probe_op(&a.op).expect("validated in parse");
     let mut req = ServeRequest::new(op);
     req.seed = Some(a.seed);
+    req.index = a.index.clone();
     let class = object_class(&a.class)?;
     match op {
         ServeOp::EbsAggregate => {
@@ -650,9 +774,22 @@ fn run_probe(a: &ProbeArgs) -> Result<(), String> {
             req.score = Some(ScoreSpec::CountClass(class));
             req.budget = Some(a.budget);
         }
+        ServeOp::IndexLoad => {
+            if a.index.is_none() || a.path.is_none() {
+                return Err("probe index-load needs --index NAME and --path FILE".to_string());
+            }
+            req.path = a.path.clone();
+            req.budget = a.label_budget;
+        }
+        ServeOp::IndexUnload => {
+            if a.index.is_none() {
+                return Err("probe index-unload needs --index NAME".to_string());
+            }
+        }
         ServeOp::IndexStats
         | ServeOp::Metrics
         | ServeOp::Health
+        | ServeOp::IndexList
         | ServeOp::Snapshot
         | ServeOp::Shutdown => {}
     }
@@ -964,6 +1101,12 @@ mod tests {
             "stats",
             "metrics",
             "health",
+            "index-list",
+            "index_list",
+            "index-load",
+            "index_load",
+            "index-unload",
+            "index_unload",
             "snapshot",
             "shutdown",
         ] {
@@ -975,6 +1118,127 @@ mod tests {
         }
         assert!(parse(&s(&["probe", "nope", "--addr", "x"])).is_err());
         assert!(parse(&s(&["probe", "stats"])).is_err(), "addr is required");
+    }
+
+    #[test]
+    fn parses_serve_with_multiple_indexes() {
+        let cmd = parse(&s(&[
+            "serve",
+            "--index",
+            "main.json",
+            "--dataset",
+            "night-street",
+            "--n",
+            "500",
+            "--index",
+            "alt=extra.json",
+            "--index",
+            "third=t.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.index, "main.json");
+                assert_eq!(
+                    a.preload,
+                    vec![
+                        ("alt".to_string(), "extra.json".to_string()),
+                        ("third".to_string(), "t.json".to_string()),
+                    ]
+                );
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // The explicit default=path spelling works in any position.
+        let cmd = parse(&s(&[
+            "serve",
+            "--index",
+            "alt=x.json",
+            "--index",
+            "default=main.json",
+            "--dataset",
+            "night-street",
+            "--n",
+            "5",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.index, "main.json");
+                assert_eq!(a.preload, vec![("alt".to_string(), "x.json".to_string())]);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_index_lists() {
+        let base = ["serve", "--dataset", "night-street", "--n", "5"];
+        let with = |extra: &[&str]| {
+            let mut v = base.to_vec();
+            v.extend_from_slice(extra);
+            parse(&s(&v)).unwrap_err()
+        };
+        let err = with(&["--index", "a.json", "--index", "b.json"]);
+        assert!(err.contains("default"), "{err}");
+        let err = with(&["--index", "a.json", "--index", "alt=x", "--index", "alt=y"]);
+        assert!(err.contains("duplicate"), "{err}");
+        let err = with(&["--index", "alt=x.json"]);
+        assert!(err.contains("default"), "{err}");
+        let err = with(&["--index", "=x.json"]);
+        assert!(err.contains("invalid --index"), "{err}");
+        let err = with(&[]);
+        assert!(err.contains("--index"), "{err}");
+    }
+
+    #[test]
+    fn parses_probe_index_routing() {
+        let cmd = parse(&s(&["probe", "stats", "--addr", "x:1", "--index", "alt"])).unwrap();
+        match cmd {
+            Command::Probe(a) => assert_eq!(a.index.as_deref(), Some("alt")),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&s(&[
+            "probe",
+            "index-load",
+            "--addr",
+            "x:1",
+            "--index",
+            "alt",
+            "--path",
+            "/tmp/i.json",
+            "--label-budget",
+            "40",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Probe(a) => {
+                assert_eq!(a.index.as_deref(), Some("alt"));
+                assert_eq!(a.path.as_deref(), Some("/tmp/i.json"));
+                assert_eq!(a.label_budget, Some(40));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_scalar_flags_take_the_last_value() {
+        let cmd = parse(&s(&[
+            "build",
+            "--dataset",
+            "taipei",
+            "--dataset",
+            "night-street",
+            "--n",
+            "10",
+            "--out",
+            "x",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Build(a) => assert_eq!(a.dataset, "night-street"),
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 
     #[test]
