@@ -237,6 +237,16 @@ pub trait FallibleTargetLabeler: Send + Sync {
     fn health(&self) -> Option<OracleHealth> {
         None
     }
+
+    /// Offers a replacement backoff timer to resilience middleware in the
+    /// stack (see [`crate::RetryTimer`]): an evented serving core calls
+    /// this to turn `thread::sleep` backoff into scheduled reactor
+    /// deadlines. Returns whether any layer installed it; plain labelers
+    /// ignore the offer.
+    fn install_retry_timer(&self, timer: &std::sync::Arc<dyn crate::RetryTimer>) -> bool {
+        let _ = timer;
+        false
+    }
 }
 
 /// Validates a labeler output at the boundary: detection boxes must have

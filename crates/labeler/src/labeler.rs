@@ -538,6 +538,14 @@ impl<L: FallibleTargetLabeler> MeteredLabeler<L> {
     pub fn oracle_health(&self) -> Option<OracleHealth> {
         self.inner.health()
     }
+
+    /// Offers a replacement backoff timer to resilience middleware in the
+    /// wrapped stack (see [`crate::RetryTimer`]); returns whether any layer
+    /// installed it. Stacks without a [`crate::ResilientLabeler`] ignore
+    /// the offer.
+    pub fn install_retry_timer(&self, timer: &std::sync::Arc<dyn crate::RetryTimer>) -> bool {
+        self.inner.install_retry_timer(timer)
+    }
 }
 
 /// The classic infallible entry points, available whenever the wrapped

@@ -53,7 +53,10 @@ pub use labeler::{
 pub use output::{
     Detection, Gender, LabelerOutput, ObjectClass, SpeechAnnotation, SqlAnnotation, SqlOp,
 };
-pub use resilient::{BreakerConfig, Clock, ResilientLabeler, RetryPolicy, SystemClock, TestClock};
+pub use resilient::{
+    BreakerConfig, Clock, ResilientLabeler, RetryPolicy, RetryTimer, SleepTimer, SystemClock,
+    TestClock,
+};
 pub use schema::{FieldType, Schema, SchemaField};
 
 /// Identifier of a data record within a dataset (its position).

@@ -39,6 +39,14 @@ pub trait Clock: Send + Sync {
 
     /// Sleeps for `micros` (virtual clocks advance instead).
     fn sleep_micros(&self, micros: u64);
+
+    /// Whether time only moves when someone calls [`Clock::sleep_micros`]
+    /// (or an equivalent virtual advance). Schedulers that would otherwise
+    /// park a real thread on a deadline — e.g. a reactor timer wheel — use
+    /// this to fall back to a virtual sleep so tests stay instant.
+    fn is_virtual(&self) -> bool {
+        false
+    }
 }
 
 /// Wall-clock [`Clock`] backed by [`std::time::Instant`].
@@ -101,6 +109,40 @@ impl Clock for TestClock {
 
     fn sleep_micros(&self, micros: u64) {
         self.advance(micros);
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+/// How a [`ResilientLabeler`] waits out one backoff delay — the seam that
+/// gives the retry path an async face.
+///
+/// The default [`SleepTimer`] parks the calling thread on the injected
+/// [`Clock`], which is the classic blocking behavior. An evented serving
+/// core installs its own implementation (via
+/// [`FallibleTargetLabeler::install_retry_timer`]) that turns each delay
+/// into a scheduled deadline in a reactor-owned timer wheel, so a graceful
+/// drain can cut a multi-second backoff short instead of waiting it out.
+///
+/// Contract: `wait` returns no *later* than `micros` after it was called
+/// (by `clock`'s reckoning), and may return early only when the process is
+/// draining — an early retry attempt is always safe, a late one only slows
+/// the caller.
+pub trait RetryTimer: Send + Sync {
+    /// Waits out one backoff delay of `micros`, measured on `clock`.
+    fn wait(&self, clock: &dyn Clock, micros: u64);
+}
+
+/// The default [`RetryTimer`]: parks the thread via [`Clock::sleep_micros`]
+/// (virtual clocks advance instantly).
+#[derive(Debug, Default)]
+pub struct SleepTimer;
+
+impl RetryTimer for SleepTimer {
+    fn wait(&self, clock: &dyn Clock, micros: u64) {
+        clock.sleep_micros(micros);
     }
 }
 
@@ -178,6 +220,11 @@ pub struct ResilientLabeler<F> {
     policy: RetryPolicy,
     breaker_cfg: BreakerConfig,
     clock: Arc<dyn Clock>,
+    /// Behind a mutex (not a builder-only field) so a serving core can
+    /// install its reactor timer through shared references after the
+    /// middleware stack is assembled — see
+    /// [`FallibleTargetLabeler::install_retry_timer`].
+    timer: Mutex<Arc<dyn RetryTimer>>,
     name: String,
     state: Mutex<ResilientState>,
 }
@@ -208,6 +255,7 @@ impl<F: FallibleTargetLabeler> ResilientLabeler<F> {
             policy,
             breaker_cfg: BreakerConfig::default(),
             clock,
+            timer: Mutex::new(Arc::new(SleepTimer)),
             name,
         }
     }
@@ -227,6 +275,18 @@ impl<F: FallibleTargetLabeler> ResilientLabeler<F> {
     pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker_cfg = breaker;
         self
+    }
+
+    /// Replaces the backoff timer (builder-style). Serving cores normally
+    /// use [`FallibleTargetLabeler::install_retry_timer`] instead, which
+    /// works through shared references on an assembled stack.
+    pub fn with_timer(self, timer: Arc<dyn RetryTimer>) -> Self {
+        *self.timer.lock().unwrap_or_else(|e| e.into_inner()) = timer;
+        self
+    }
+
+    fn timer(&self) -> Arc<dyn RetryTimer> {
+        Arc::clone(&self.timer.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Access to the wrapped labeler.
@@ -336,7 +396,11 @@ impl<F: FallibleTargetLabeler> ResilientLabeler<F> {
                             )));
                         }
                     }
-                    self.clock.sleep_micros(delay);
+                    // Through the timer seam instead of a raw sleep: the
+                    // default parks on the clock, an evented serving core
+                    // schedules a reactor deadline it can cut short on
+                    // drain.
+                    self.timer().wait(&*self.clock, delay);
                 }
             }
         }
@@ -362,6 +426,13 @@ impl<F: FallibleTargetLabeler> FallibleTargetLabeler for ResilientLabeler<F> {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn install_retry_timer(&self, timer: &Arc<dyn RetryTimer>) -> bool {
+        *self.timer.lock().unwrap_or_else(|e| e.into_inner()) = Arc::clone(timer);
+        // Deeper resilience layers (stacked middleware) get it too.
+        self.inner.install_retry_timer(timer);
+        true
     }
 
     fn health(&self) -> Option<OracleHealth> {

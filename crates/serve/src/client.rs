@@ -50,6 +50,39 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// Tries each resolved address under **one shared deadline**: every attempt
+/// is given only what is left of `limit`, and once it is spent the
+/// remaining addresses are not tried at all. (The old loop handed each
+/// address the full `limit`, so a name resolving to `n` slow hosts took up
+/// to `n ×` the configured timeout.) `attempt` is injected so the deadline
+/// arithmetic is testable without real unreachable hosts.
+fn connect_with_deadline(
+    addrs: &[std::net::SocketAddr],
+    limit: Duration,
+    attempt: &mut dyn FnMut(&std::net::SocketAddr, Duration) -> io::Result<TcpStream>,
+) -> Result<TcpStream, ClientError> {
+    let start = std::time::Instant::now();
+    let mut last_err: Option<io::Error> = None;
+    for a in addrs {
+        let remaining = limit.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            break;
+        }
+        match attempt(a, remaining) {
+            Ok(s) => return Ok(s),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let deadline_spent = start.elapsed() >= limit;
+    let e = last_err
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect"));
+    Err(if deadline_spent || is_timeout(&e) {
+        ClientError::Timeout(format!("connect exceeded {}ms: {e}", limit.as_millis()))
+    } else {
+        ClientError::Io(e)
+    })
+}
+
 /// A blocking protocol client over one TCP connection.
 #[derive(Debug)]
 pub struct Client {
@@ -69,10 +102,13 @@ impl Client {
         Self::from_stream(stream, None)
     }
 
-    /// Connects with deadlines: `connect_timeout` bounds the TCP
-    /// handshake, `read_timeout` bounds each wait for a response line.
-    /// Either deadline expiring yields [`ClientError::Timeout`], so callers
-    /// can tell a slow or wedged server from a broken one.
+    /// Connects with deadlines: `connect_timeout` bounds the *whole*
+    /// connect — one overall deadline shared across every address the name
+    /// resolves to, not a per-address allowance (a name resolving to `n`
+    /// addresses must not take `n ×` the limit). `read_timeout` bounds
+    /// each wait for a response line. Either deadline expiring yields
+    /// [`ClientError::Timeout`], so callers can tell a slow or wedged
+    /// server from a broken one.
     pub fn connect_with_timeouts(
         addr: impl ToSocketAddrs,
         connect_timeout: Option<Duration>,
@@ -82,33 +118,9 @@ impl Client {
             None => TcpStream::connect(&addr)?,
             Some(limit) => {
                 let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
-                let mut last_err: Option<io::Error> = None;
-                let mut stream = None;
-                for a in &addrs {
-                    match TcpStream::connect_timeout(a, limit) {
-                        Ok(s) => {
-                            stream = Some(s);
-                            break;
-                        }
-                        Err(e) => last_err = Some(e),
-                    }
-                }
-                match stream {
-                    Some(s) => s,
-                    None => {
-                        let e = last_err.unwrap_or_else(|| {
-                            io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect")
-                        });
-                        return Err(if is_timeout(&e) {
-                            ClientError::Timeout(format!(
-                                "connect exceeded {}ms: {e}",
-                                limit.as_millis()
-                            ))
-                        } else {
-                            ClientError::Io(e)
-                        });
-                    }
-                }
+                connect_with_deadline(&addrs, limit, &mut |a, remaining| {
+                    TcpStream::connect_timeout(a, remaining)
+                })?
             }
         };
         Self::from_stream(stream, read_timeout)
@@ -208,5 +220,58 @@ impl Client {
     /// `shutdown` convenience: asks the server to drain.
     pub fn shutdown(&mut self) -> Result<Reply, ClientError> {
         self.call(Request::new(Op::Shutdown))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+    use std::time::Instant;
+
+    #[test]
+    fn connect_deadline_is_shared_across_resolved_addresses() {
+        // Four addresses standing in for a name that resolves to several
+        // slow hosts; the injected attempt consumes up to 30 ms of whatever
+        // budget it is handed, like a host that never answers the SYN. The
+        // old loop granted each address the full `connect_timeout` (4 ×
+        // limit in the worst case); the fix shares one overall deadline, so
+        // only the attempts that fit inside it run at all.
+        let addrs: Vec<SocketAddr> = (1..=4u8)
+            .map(|i| SocketAddr::from(([192, 0, 2, i], 9)))
+            .collect();
+        let limit = Duration::from_millis(60);
+        let mut attempts: Vec<Duration> = Vec::new();
+        let start = Instant::now();
+        let result = connect_with_deadline(&addrs, limit, &mut |_a, remaining| {
+            attempts.push(remaining);
+            std::thread::sleep(remaining.min(Duration::from_millis(30)));
+            Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "synthetic slow host",
+            ))
+        });
+        let elapsed = start.elapsed();
+        match result {
+            Err(ClientError::Timeout(msg)) => assert!(msg.contains("60"), "got: {msg}"),
+            other => panic!("expected a typed timeout, got {other:?}"),
+        }
+        assert!(
+            attempts.len() < addrs.len(),
+            "all {} addresses were attempted — each got its own deadline",
+            addrs.len()
+        );
+        // Every attempt was handed only the *remaining* budget…
+        for pair in attempts.windows(2) {
+            assert!(
+                pair[1] < pair[0],
+                "remaining budget must shrink: {attempts:?}"
+            );
+        }
+        // …so the whole connect stayed near one limit, not addrs × limit.
+        assert!(
+            elapsed < limit * 2,
+            "connect took {elapsed:?}; the deadline must cover all addresses together"
+        );
     }
 }

@@ -8,9 +8,18 @@
 //!
 //! Dependency-free by construction (std networking and threads only):
 //!
-//! * [`Server`] — `TcpListener` + fixed worker pool + bounded accept queue
-//!   with fail-fast `overloaded` admission control and graceful
-//!   drain-and-shutdown.
+//! * [`Server`] — the TCP front end, in two interchangeable cores selected
+//!   by [`config::ServeCore`]. The default **evented core** is a
+//!   readiness-driven reactor (epoll behind a tiny `std`-only poller): one
+//!   event-loop thread owns every socket, per-connection state machines
+//!   accumulate bytes / parse / dispatch / write-drain, and a small fixed
+//!   compute pool behind a bounded channel runs the actual queries — so an
+//!   idle keep-alive connection costs a file descriptor, not a thread, and
+//!   `ResilientLabeler` retry backoff parks on a reactor timer wheel
+//!   instead of `thread::sleep`. The **threaded core** (worker pool +
+//!   bounded accept queue with fail-fast `overloaded` admission control)
+//!   remains as a one-release escape hatch; both cores drain gracefully
+//!   and speak byte-identical wire protocol.
 //! * [`TastiService`] — the transport-agnostic core, routing requests over
 //!   an [`IndexRegistry`] of named indexes: each [`IndexEntry`] pairs an
 //!   index behind `RwLock<Arc<_>>` (readers clone the `Arc`, cracking
@@ -56,19 +65,29 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the readiness poller (`poll`) carries the
+// crate's single justified `#[allow(unsafe_code)]` for its epoll/eventfd
+// FFI; every other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod config;
+#[cfg(target_os = "linux")]
+pub(crate) mod evented;
+pub(crate) mod linebuf;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub(crate) mod poll;
 pub mod proto;
 pub mod registry;
 pub mod server;
 pub mod service;
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+pub(crate) mod timer;
 
 pub use client::{Client, ClientError};
-pub use config::ServeConfig;
+pub use config::{ServeConfig, ServeCore};
 pub use metrics::ServeMetrics;
 pub use proto::{ErrorKind, Op, Reply, Request, ScoreSpec};
 pub use registry::{IndexEntry, IndexRegistry};

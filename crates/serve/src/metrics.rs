@@ -58,6 +58,20 @@ pub struct ServeMetrics {
     /// Snapshot attempts (admin `snapshot` requests + shutdown snapshot)
     /// that failed to persist (bad path, full disk, …).
     pub snapshot_failures: Counter,
+    /// Requests answered `overloaded` because the evented core's compute
+    /// channel was full (request-level backpressure; the connection stays
+    /// open). Zero under the threaded core, which rejects at admission.
+    pub requests_rejected_overloaded: Counter,
+    /// Reactor loop iterations (readiness wakeups + timer/completion
+    /// wakeups). Zero under the threaded core.
+    pub reactor_wakeups: Counter,
+    /// Timer-wheel entries fired (scheduled labeler backoffs, drain
+    /// deadlines — including those fired early by a drain).
+    pub reactor_timer_fires: Counter,
+    /// Time the reactor spent processing one wakeup (not waiting).
+    reactor_loop_micros: Mutex<Histogram>,
+    /// Readiness events delivered per wakeup (ready-queue depth).
+    reactor_ready_events: Mutex<Histogram>,
     per_op: [OpStats; Op::ALL.len()],
 }
 
@@ -86,8 +100,42 @@ impl ServeMetrics {
             labeler_unavailable: Counter::new(),
             rejection_write_drops: Counter::new(),
             snapshot_failures: Counter::new(),
+            requests_rejected_overloaded: Counter::new(),
+            reactor_wakeups: Counter::new(),
+            reactor_timer_fires: Counter::new(),
+            reactor_loop_micros: Mutex::new(Histogram::default()),
+            reactor_ready_events: Mutex::new(Histogram::default()),
             per_op: Default::default(),
         }
+    }
+
+    /// Records one reactor loop iteration: processing time and the number
+    /// of readiness events it handled.
+    pub fn record_reactor_loop(&self, micros: u64, ready_events: u64) {
+        self.reactor_loop_micros
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(micros);
+        self.reactor_ready_events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(ready_events);
+    }
+
+    /// Latency summary of reactor loop processing time.
+    pub fn reactor_loop_summary(&self) -> HistogramSummary {
+        self.reactor_loop_micros
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .summary()
+    }
+
+    /// Summary of readiness events per reactor wakeup.
+    pub fn reactor_ready_summary(&self) -> HistogramSummary {
+        self.reactor_ready_events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .summary()
     }
 
     fn stats(&self, op: Op) -> &OpStats {
@@ -164,10 +212,48 @@ impl ServeMetrics {
             ("labeler_unavailable", &self.labeler_unavailable),
             ("rejection_write_drops", &self.rejection_write_drops),
             ("snapshot_failures", &self.snapshot_failures),
+            (
+                "requests_rejected_overloaded",
+                &self.requests_rejected_overloaded,
+            ),
         ] {
             if c.get() > 0 {
                 counter(key, c, &mut out);
             }
+        }
+        // The reactor section appears only once the evented core has run a
+        // loop iteration, so threaded-core dumps stay byte-identical to the
+        // pre-reactor output.
+        if self.reactor_wakeups.get() > 0 {
+            let summary = |key: &str, s: &HistogramSummary, out: &mut String| {
+                out.push('"');
+                out.push_str(key);
+                out.push_str("\":{\"count\":");
+                out.push_str(&s.count.to_string());
+                out.push_str(",\"min\":");
+                out.push_str(&s.min.to_string());
+                out.push_str(",\"max\":");
+                out.push_str(&s.max.to_string());
+                out.push_str(",\"mean\":");
+                out.push_str(&fmt_f64(s.mean));
+                out.push_str(",\"p50\":");
+                out.push_str(&s.p50.to_string());
+                out.push_str(",\"p90\":");
+                out.push_str(&s.p90.to_string());
+                out.push_str(",\"p99\":");
+                out.push_str(&s.p99.to_string());
+                out.push('}');
+            };
+            out.push_str("\"reactor\":{");
+            out.push_str("\"wakeups\":");
+            out.push_str(&self.reactor_wakeups.get().to_string());
+            out.push_str(",\"timer_fires\":");
+            out.push_str(&self.reactor_timer_fires.get().to_string());
+            out.push(',');
+            summary("loop_micros", &self.reactor_loop_summary(), &mut out);
+            out.push(',');
+            summary("ready_events", &self.reactor_ready_summary(), &mut out);
+            out.push_str("},");
         }
         out.push_str("\"ops\":{");
         let mut first = true;
@@ -247,6 +333,29 @@ mod tests {
         assert!(doc.get("labeler_unavailable").is_none());
         assert_eq!(doc.get("rejection_write_drops").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("snapshot_failures").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn reactor_section_appears_only_once_the_reactor_runs() {
+        let m = ServeMetrics::new();
+        assert!(!m.to_json_body().contains("\"reactor\""));
+        assert!(!m.to_json_body().contains("requests_rejected_overloaded"));
+        m.reactor_wakeups.incr();
+        m.reactor_timer_fires.add(2);
+        m.record_reactor_loop(75, 3);
+        m.requests_rejected_overloaded.incr();
+        let doc = JsonValue::parse(&format!("{{{}}}", m.to_json_body())).unwrap();
+        assert_eq!(
+            doc.get("requests_rejected_overloaded").unwrap().as_u64(),
+            Some(1)
+        );
+        let reactor = doc.get("reactor").unwrap();
+        assert_eq!(reactor.get("wakeups").unwrap().as_u64(), Some(1));
+        assert_eq!(reactor.get("timer_fires").unwrap().as_u64(), Some(2));
+        let loop_micros = reactor.get("loop_micros").unwrap();
+        assert_eq!(loop_micros.get("count").unwrap().as_u64(), Some(1));
+        let ready = reactor.get("ready_events").unwrap();
+        assert_eq!(ready.get("count").unwrap().as_u64(), Some(1));
     }
 
     #[test]

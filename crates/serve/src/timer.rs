@@ -1,0 +1,273 @@
+//! The reactor-owned timer wheel.
+//!
+//! A classic hashed timer wheel: 256 slots of 4 ms each (one ~1 s
+//! rotation), with an overflow list for deadlines beyond the horizon that
+//! is re-slotted as the wheel turns. The reactor schedules its own
+//! deadlines here (drain grace) and — the async labeler face — the backoff
+//! deadlines of `ResilientLabeler` retries, which park on a
+//! [`TimerEntry`]'s condvar instead of `thread::sleep` and so can be fired
+//! early when the server drains.
+//!
+//! All mutation happens under one mutex owned by the shared reactor state;
+//! the reactor thread advances the wheel, worker threads only insert.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Milliseconds per wheel slot.
+const SLOT_MS: u64 = 4;
+/// Slots per rotation.
+const SLOTS: usize = 256;
+
+/// One scheduled deadline. Waiters park on [`TimerEntry::wait_fired`]; the
+/// reactor fires it at (or after) the deadline, or early during a drain.
+#[derive(Debug)]
+pub(crate) struct TimerEntry {
+    deadline: Instant,
+    fired: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl TimerEntry {
+    /// An unfired entry due at `deadline`.
+    pub fn at(deadline: Instant) -> Arc<TimerEntry> {
+        Arc::new(TimerEntry {
+            deadline,
+            fired: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The deadline this entry is due at.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    /// Marks the entry fired and wakes every parked waiter.
+    pub fn fire(&self) {
+        let mut fired = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+        *fired = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether the entry has fired.
+    pub fn is_fired(&self) -> bool {
+        *self.fired.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Parks until the entry fires. `backstop` bounds the park against a
+    /// reactor that died without firing its wheel — slightly past the
+    /// deadline, never before it.
+    pub fn wait_fired(&self, backstop: Duration) {
+        let mut fired = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+        let parked_at = Instant::now();
+        while !*fired {
+            let waited = parked_at.elapsed();
+            if waited >= backstop {
+                return;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(fired, backstop - waited)
+                .unwrap_or_else(|e| e.into_inner());
+            fired = guard;
+        }
+    }
+}
+
+/// The wheel itself. See the module docs for the layout.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    slots: Vec<VecDeque<Arc<TimerEntry>>>,
+    /// Entries due beyond one rotation; re-slotted as the wheel advances.
+    overflow: Vec<Arc<TimerEntry>>,
+    /// The instant slot `cursor` begins at.
+    cursor_time: Instant,
+    cursor: usize,
+    /// Scheduled entries not yet fired (cancellation-free design: an entry
+    /// fires exactly once).
+    len: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel anchored at `now`.
+    pub fn new(now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..SLOTS).map(|_| VecDeque::new()).collect(),
+            overflow: Vec::new(),
+            cursor_time: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Pending (unfired) entries.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Schedules `entry`; it will fire on the [`TimerWheel::advance`] call
+    /// whose `now` reaches the deadline (quantized up to the 4 ms slot).
+    pub fn schedule(&mut self, entry: Arc<TimerEntry>) {
+        self.len += 1;
+        self.place(entry);
+    }
+
+    fn place(&mut self, entry: Arc<TimerEntry>) {
+        let delay_ms = entry
+            .deadline()
+            .saturating_duration_since(self.cursor_time)
+            .as_millis() as u64;
+        let ticks = (delay_ms / SLOT_MS) as usize;
+        if ticks >= SLOTS {
+            self.overflow.push(entry);
+        } else {
+            let slot = (self.cursor + ticks) % SLOTS;
+            self.slots[slot].push_back(entry);
+        }
+    }
+
+    /// The earliest pending deadline, for sizing the poller timeout.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.slots
+            .iter()
+            .flatten()
+            .chain(self.overflow.iter())
+            .map(|e| e.deadline())
+            .min()
+    }
+
+    /// Advances the wheel to `now`, firing every entry whose deadline has
+    /// passed. Returns the number fired.
+    pub fn advance(&mut self, now: Instant) -> usize {
+        let mut fired = 0;
+        while self.cursor_time + Duration::from_millis(SLOT_MS) <= now {
+            // Fire the slot under the cursor, then turn.
+            while let Some(entry) = self.slots[self.cursor].pop_front() {
+                if entry.deadline() <= now {
+                    entry.fire();
+                    fired += 1;
+                    self.len -= 1;
+                } else {
+                    // A later rotation's entry sharing the slot: re-slot it
+                    // relative to the advanced cursor afterwards.
+                    self.overflow.push(entry);
+                }
+            }
+            self.cursor = (self.cursor + 1) % SLOTS;
+            self.cursor_time += Duration::from_millis(SLOT_MS);
+            if self.cursor == 0 {
+                // Full rotation: overflow entries may now be in range.
+                let overflow = std::mem::take(&mut self.overflow);
+                for entry in overflow {
+                    self.place(entry);
+                }
+            }
+        }
+        // Entries parked in overflow (either beyond the horizon or
+        // re-slotted above) whose deadline already passed.
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if self.overflow[i].deadline() <= now {
+                let entry = self.overflow.swap_remove(i);
+                entry.fire();
+                fired += 1;
+                self.len -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        fired
+    }
+
+    /// Fires everything immediately (drain path: parked backoff waiters
+    /// must not hold the shutdown hostage for their full delay). Returns
+    /// the number fired.
+    pub fn fire_all(&mut self) -> usize {
+        let mut fired = 0;
+        for slot in &mut self.slots {
+            while let Some(entry) = slot.pop_front() {
+                entry.fire();
+                fired += 1;
+            }
+        }
+        for entry in self.overflow.drain(..) {
+            entry.fire();
+            fired += 1;
+        }
+        self.len = 0;
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_fire_in_deadline_order_as_the_wheel_advances() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        let near = TimerEntry::at(t0 + Duration::from_millis(10));
+        let far = TimerEntry::at(t0 + Duration::from_millis(50));
+        wheel.schedule(Arc::clone(&near));
+        wheel.schedule(Arc::clone(&far));
+        assert_eq!(wheel.len(), 2);
+        assert_eq!(wheel.next_deadline(), Some(near.deadline()));
+
+        assert_eq!(wheel.advance(t0 + Duration::from_millis(5)), 0);
+        assert!(!near.is_fired());
+        assert_eq!(wheel.advance(t0 + Duration::from_millis(12)), 1);
+        assert!(near.is_fired());
+        assert!(!far.is_fired());
+        assert_eq!(wheel.advance(t0 + Duration::from_millis(60)), 1);
+        assert!(far.is_fired());
+        assert_eq!(wheel.len(), 0);
+        assert_eq!(wheel.next_deadline(), None);
+    }
+
+    #[test]
+    fn overflow_entries_survive_rotations_and_fire_late() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        // Far beyond one 256 × 4 ms rotation.
+        let e = TimerEntry::at(t0 + Duration::from_millis(3_000));
+        wheel.schedule(Arc::clone(&e));
+        assert_eq!(wheel.advance(t0 + Duration::from_millis(1_500)), 0);
+        assert!(!e.is_fired());
+        assert_eq!(wheel.advance(t0 + Duration::from_millis(3_010)), 1);
+        assert!(e.is_fired());
+    }
+
+    #[test]
+    fn fire_all_wakes_everything_for_drain() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        let entries: Vec<_> = (0..5)
+            .map(|i| {
+                let e = TimerEntry::at(t0 + Duration::from_millis(100 * (i + 1)));
+                wheel.schedule(Arc::clone(&e));
+                e
+            })
+            .collect();
+        assert_eq!(wheel.fire_all(), 5);
+        assert!(entries.iter().all(|e| e.is_fired()));
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn parked_waiter_is_released_by_fire() {
+        let e = TimerEntry::at(Instant::now() + Duration::from_secs(60));
+        let waiter = {
+            let e = Arc::clone(&e);
+            std::thread::spawn(move || e.wait_fired(Duration::from_secs(120)))
+        };
+        // Give the waiter a moment to park, then fire.
+        std::thread::sleep(Duration::from_millis(20));
+        e.fire();
+        waiter.join().unwrap();
+        assert!(e.is_fired());
+    }
+}

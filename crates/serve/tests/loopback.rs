@@ -18,7 +18,9 @@ use tasti_labeler::{
     Schema, TargetLabeler,
 };
 use tasti_nn::Matrix;
-use tasti_serve::{Client, ClientError, Op, Request, ScoreSpec, ServeConfig, Server, TastiService};
+use tasti_serve::{
+    Client, ClientError, Op, Request, ScoreSpec, ServeConfig, ServeCore, Server, TastiService,
+};
 
 const N_RECORDS: usize = 120;
 
@@ -112,8 +114,18 @@ fn has_car() -> ScoreSpec {
 }
 
 #[test]
-fn concurrent_mixed_queries_are_exactly_once() {
+fn concurrent_mixed_queries_are_exactly_once_evented() {
+    concurrent_mixed_queries_are_exactly_once(ServeCore::Evented);
+}
+
+#[test]
+fn concurrent_mixed_queries_are_exactly_once_threaded() {
+    concurrent_mixed_queries_are_exactly_once(ServeCore::Threaded);
+}
+
+fn concurrent_mixed_queries_are_exactly_once(core: ServeCore) {
     let server = start_server(ServeConfig {
+        core,
         workers: 8,
         queue_depth: 32,
         ..ServeConfig::default()
@@ -215,7 +227,12 @@ fn concurrent_mixed_queries_are_exactly_once() {
 
 #[test]
 fn overloaded_connections_get_a_typed_error() {
+    // Pinned to the threaded core: this test's admission mechanics (one
+    // worker owns one connection until EOF, extras queue then overflow)
+    // are specific to the worker-pool architecture. The evented core's
+    // request-level backpressure is covered in tests/evented.rs.
     let server = start_server(ServeConfig {
+        core: ServeCore::Threaded,
         workers: 1,
         queue_depth: 1,
         ..ServeConfig::default()
@@ -276,8 +293,20 @@ fn service_label_budget_yields_typed_budget_exhausted() {
 }
 
 #[test]
-fn malformed_and_invalid_requests_get_bad_request() {
-    let server = start_server(ServeConfig::default());
+fn malformed_and_invalid_requests_get_bad_request_evented() {
+    malformed_and_invalid_requests_get_bad_request(ServeCore::Evented);
+}
+
+#[test]
+fn malformed_and_invalid_requests_get_bad_request_threaded() {
+    malformed_and_invalid_requests_get_bad_request(ServeCore::Threaded);
+}
+
+fn malformed_and_invalid_requests_get_bad_request(core: ServeCore) {
+    let server = start_server(ServeConfig {
+        core,
+        ..ServeConfig::default()
+    });
     let addr = server.local_addr();
 
     // Raw garbage on the socket.
@@ -343,7 +372,12 @@ fn snapshot_persists_a_loadable_cracked_index() {
 
 #[test]
 fn client_read_deadline_yields_typed_timeout() {
+    // Pinned to the threaded core: the silence this test relies on (a
+    // queued connection that never gets a worker) only exists in the
+    // worker-pool architecture — the reactor answers every connection
+    // promptly.
     let server = start_server(ServeConfig {
+        core: ServeCore::Threaded,
         workers: 1,
         queue_depth: 4,
         ..ServeConfig::default()
@@ -395,8 +429,20 @@ fn health_reports_meter_state_and_null_oracle_for_plain_labelers() {
 }
 
 #[test]
-fn shutdown_drains_and_refuses_new_work() {
-    let server = start_server(ServeConfig::default());
+fn shutdown_drains_and_refuses_new_work_evented() {
+    shutdown_drains_and_refuses_new_work(ServeCore::Evented);
+}
+
+#[test]
+fn shutdown_drains_and_refuses_new_work_threaded() {
+    shutdown_drains_and_refuses_new_work(ServeCore::Threaded);
+}
+
+fn shutdown_drains_and_refuses_new_work(core: ServeCore) {
+    let server = start_server(ServeConfig {
+        core,
+        ..ServeConfig::default()
+    });
     let addr = server.local_addr();
 
     let mut client = Client::connect(addr).expect("connect");

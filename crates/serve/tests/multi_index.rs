@@ -18,7 +18,8 @@ use tasti_labeler::{
 };
 use tasti_nn::Matrix;
 use tasti_serve::{
-    Client, LabelerFactory, Op, Reply, Request, ScoreSpec, ServeConfig, Server, TastiService,
+    Client, LabelerFactory, Op, Reply, Request, ScoreSpec, ServeConfig, ServeCore, Server,
+    TastiService,
 };
 
 const N_RECORDS: usize = 120;
@@ -428,8 +429,11 @@ fn services_without_a_factory_refuse_wire_loads() {
 fn stalled_rejection_peers_do_not_block_the_acceptor() {
     // Regression: rejection writes used to block without a timeout, so a
     // peer that never read could park the acceptor and freeze admission
-    // control for everyone.
+    // control for everyone. Pinned to the threaded core — the occupancy
+    // mechanics (one worker holds one connection, extras queue then
+    // overflow) are specific to the worker-pool architecture.
     let server = start_multi_server(ServeConfig {
+        core: ServeCore::Threaded,
         workers: 1,
         queue_depth: 1,
         ..ServeConfig::default()
@@ -476,11 +480,23 @@ fn stalled_rejection_peers_do_not_block_the_acceptor() {
 }
 
 #[test]
-fn wildcard_bind_server_drains_without_hanging() {
-    // Regression: begin_shutdown used to self-connect to the *bound*
-    // address — for a wildcard bind (0.0.0.0) that connect can fail, which
-    // left the acceptor blocked in accept() forever.
+fn wildcard_bind_server_drains_without_hanging_evented() {
+    wildcard_bind_server_drains_without_hanging(ServeCore::Evented);
+}
+
+#[test]
+fn wildcard_bind_server_drains_without_hanging_threaded() {
+    wildcard_bind_server_drains_without_hanging(ServeCore::Threaded);
+}
+
+fn wildcard_bind_server_drains_without_hanging(core: ServeCore) {
+    // Regression (threaded): begin_shutdown used to self-connect to the
+    // *bound* address — for a wildcard bind (0.0.0.0) that connect can
+    // fail, which left the acceptor blocked in accept() forever. The
+    // evented core needs no self-connection at all (eventfd wakeup), which
+    // this test also pins down.
     let server = start_multi_server(ServeConfig {
+        core,
         addr: "0.0.0.0:0".to_string(),
         ..ServeConfig::default()
     });

@@ -21,7 +21,7 @@ use tasti::prelude::*;
 use tasti::query::{StoppingRule, SupgConfig};
 use tasti::serve::{
     Client, LabelerFactory, Op as ServeOp, Reply, Request as ServeRequest, ScoreSpec, ServeConfig,
-    Server, TastiService, DEFAULT_INDEX_NAME,
+    ServeCore, Server, TastiService, DEFAULT_INDEX_NAME,
 };
 use tasti_labeler::Schema;
 
@@ -69,6 +69,10 @@ struct ServeArgs {
     n: usize,
     seed: u64,
     addr: String,
+    /// Front-end architecture: the evented reactor (default) or the
+    /// worker-pool escape hatch (`--serve-core threaded`, kept for one
+    /// release while the reactor beds in).
+    core: ServeCore,
     workers: usize,
     queue_depth: usize,
     snapshot: Option<String>,
@@ -137,7 +141,8 @@ USAGE:
                   [--budget B] [--matches M]
   tasti_cli serve --index [name=]<index.json> [--index name=path]...
                   --dataset <name> --n <records> [--seed S]
-                  [--addr 127.0.0.1:0] [--workers W] [--queue-depth Q]
+                  [--addr 127.0.0.1:0] [--serve-core evented|threaded]
+                  [--workers W] [--queue-depth Q]
                   [--snapshot <path>] [--snapshot-on-shutdown]
                   [--label-budget B] [--no-crack] [--no-degraded]
                   [--fault-transient R] [--fault-timeout R]
@@ -341,6 +346,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 n: get(&flags, "n", None)?,
                 seed: get(&flags, "seed", Some(42))?,
                 addr: get(&flags, "addr", Some("127.0.0.1:0".to_string()))?,
+                core: get(&flags, "serve-core", Some(ServeCore::default()))?,
                 workers: get(&flags, "workers", Some(4))?,
                 queue_depth: get(&flags, "queue-depth", Some(16))?,
                 snapshot: get_opt(&flags, "snapshot")?,
@@ -649,6 +655,7 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
     let truth = dataset.truth_handle();
     let config = ServeConfig {
         addr: a.addr.clone(),
+        core: a.core,
         workers: a.workers.max(1),
         queue_depth: a.queue_depth,
         snapshot_path: a.snapshot.as_ref().map(std::path::PathBuf::from),
@@ -661,6 +668,7 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
             .iter()
             .map(|(name, path)| (name.clone(), std::path::PathBuf::from(path)))
             .collect(),
+        ..ServeConfig::default()
     };
     let any_fault = [
         a.fault_transient,
@@ -727,11 +735,12 @@ fn serve_until_drained<L: FallibleTargetLabeler + 'static>(
         String::new()
     };
     println!(
-        "serving {} records ({} reps{named}) on {} — {} workers, queue depth {}; \
+        "serving {} records ({} reps{named}) on {} — {} core, {} workers, queue depth {}; \
          drain with: tasti_cli probe shutdown --addr {}",
         a.n,
         n_reps,
         server.local_addr(),
+        a.core.name(),
         a.workers.max(1),
         a.queue_depth,
         server.local_addr(),
@@ -1045,6 +1054,7 @@ mod tests {
         match cmd {
             Command::Serve(a) => {
                 assert_eq!(a.addr, "127.0.0.1:0");
+                assert_eq!(a.core, ServeCore::Evented, "reactor is the default core");
                 assert_eq!(a.workers, 4);
                 assert_eq!(a.queue_depth, 16);
                 assert_eq!(a.snapshot.as_deref(), Some("/tmp/snap.json"));
@@ -1057,6 +1067,29 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_serve_core_flag() {
+        let base = [
+            "serve",
+            "--index",
+            "x.json",
+            "--dataset",
+            "night-street",
+            "--n",
+            "5",
+        ];
+        let mut args = s(&base);
+        args.extend(s(&["--serve-core", "threaded"]));
+        match parse(&args).unwrap() {
+            Command::Serve(a) => assert_eq!(a.core, ServeCore::Threaded),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let mut bad = s(&base);
+        bad.extend(s(&["--serve-core", "green-threads"]));
+        let err = parse(&bad).unwrap_err();
+        assert!(err.contains("serve-core"), "got: {err}");
     }
 
     #[test]
