@@ -48,6 +48,7 @@ if [ "$PROFILE" = "quick" ]; then
   cargo test -q -p tasti-query --features quick-proptest \
     --test degenerate --test telemetry_audit
   cargo test -q -p tasti-core --features quick-proptest --test degenerate_ranking
+  cargo test -q -p tasti-ingest --features quick-proptest --test recovery
 else
   echo "==> property tests ran at full depth inside 'cargo test -q'"
 fi
@@ -117,6 +118,10 @@ echo "$SLOW_REPLY" | grep -q '"ok":true' \
 "$CLI" probe shutdown --addr "$ADDR"
 wait "$SERVE_PID" # graceful drain must exit 0 (set -e enforces)
 [ -s "$SMOKE/snap.json" ] || { echo "serve smoke: snapshot missing"; exit 1; }
+# Back-compat: a server that never ingested must write a format-version-1
+# snapshot, byte-loadable by pre-ingest builds.
+grep -q '"version":1' "$SMOKE/snap.json" \
+  || { echo "serve smoke: ingest-free snapshot must stay format version 1"; exit 1; }
 SERVE_PID=""
 echo "serve smoke OK (evented core: two indexes + slow writer served, drained cleanly, snapshot written)"
 
@@ -141,6 +146,56 @@ done
 wait "$SERVE_PID"
 SERVE_PID=""
 echo "threaded smoke OK (escape hatch answered and drained cleanly)"
+
+echo "==> ingest smoke: stream rows, kill -9, restart replays every acknowledged record"
+# The server runs over a --n 2100 dataset slice but serves the 2000-record
+# index: rows 2000..2039 are the ingest payload (and the oracle's ground
+# truth for them once applied). The first server is SIGKILLed — no drain,
+# no snapshot — so the segment log is the only copy of the ingested rows;
+# the durability promise is that the restart replays all 40.
+"$CLI" serve --index "$SMOKE/idx.json" --dataset night-street --n 2100 --seed 7 \
+  --addr 127.0.0.1:0 --workers 4 --ingest-dir "$SMOKE/ingest-log" \
+  > "$SMOKE/ingest1.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE '127\.0\.0\.1:[0-9]+' "$SMOKE/ingest1.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+  echo "ingest smoke: server never printed its address"; cat "$SMOKE/ingest1.log"; exit 1
+fi
+"$CLI" probe ingest --addr "$ADDR" --dataset night-street --n 2100 --seed 7 \
+  --offset 2000 --count 40
+"$CLI" probe stats --addr "$ADDR" | grep -q '"records":2040' \
+  || { echo "ingest smoke: live server does not report 2040 records"; exit 1; }
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+"$CLI" serve --index "$SMOKE/idx.json" --dataset night-street --n 2100 --seed 7 \
+  --addr 127.0.0.1:0 --workers 4 --ingest-dir "$SMOKE/ingest-log" \
+  > "$SMOKE/ingest2.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE '127\.0\.0\.1:[0-9]+' "$SMOKE/ingest2.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+  echo "ingest smoke: restarted server never printed its address"; cat "$SMOKE/ingest2.log"; exit 1
+fi
+grep -q 'ingest log: replayed' "$SMOKE/ingest2.log" \
+  || { echo "ingest smoke: restart did not replay the log"; cat "$SMOKE/ingest2.log"; exit 1; }
+"$CLI" probe stats --addr "$ADDR" | grep -q '"records":2040' \
+  || { echo "ingest smoke: replay lost acknowledged records"; exit 1; }
+# The replayed records answer queries like any indexed record.
+"$CLI" probe limit --addr "$ADDR" --class car --seed 7
+"$CLI" probe shutdown --addr "$ADDR"
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "ingest smoke OK (40 streamed records survived kill -9 via log replay)"
 
 echo "==> chaos: fault-injected suite + serve smoke under injected faults"
 # The dedicated suite: 8-client storm, breaker lifecycle, degraded replies.

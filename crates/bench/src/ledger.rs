@@ -52,6 +52,11 @@ pub struct LedgerCell {
     /// Whether the attached telemetry was marked degraded (proxy-only
     /// partial answer after an unrecoverable oracle fault).
     pub degraded: bool,
+    /// Records streamed into the served index per the telemetry's
+    /// `ingest` section (0 when absent — ingest-free serving elides it).
+    pub ingested_records: u64,
+    /// Drift-triggered full-refresh escalations from the same section.
+    pub ingest_escalations: u64,
 }
 
 /// Collated invocation totals for one (setting, method) pair.
@@ -81,6 +86,11 @@ pub struct LedgerRow {
     pub oracle_faults: u64,
     /// Cells answered degraded (proxy-only after an unrecoverable fault).
     pub degraded_cells: usize,
+    /// Records streamed into the pair's served index (max over cells —
+    /// the ingest section is a cumulative gauge, not a per-query delta).
+    pub ingested_records: u64,
+    /// Drift-triggered escalations (max over cells, same reasoning).
+    pub ingest_escalations: u64,
 }
 
 /// Is this metric a target-labeler call count? Matches the experiment
@@ -114,6 +124,8 @@ pub fn collate(cells: &[LedgerCell]) -> Vec<LedgerRow> {
                 wall_seconds: 0.0,
                 oracle_faults: 0,
                 degraded_cells: 0,
+                ingested_records: 0,
+                ingest_escalations: 0,
             });
         let is_calls = is_call_metric(&cell.metric);
         if is_calls && cell.value.is_finite() {
@@ -134,6 +146,8 @@ pub fn collate(cells: &[LedgerCell]) -> Vec<LedgerRow> {
         if cell.degraded {
             row.degraded_cells += 1;
         }
+        row.ingested_records = row.ingested_records.max(cell.ingested_records);
+        row.ingest_escalations = row.ingest_escalations.max(cell.ingest_escalations);
     }
     rows.into_values().collect()
 }
@@ -176,6 +190,20 @@ pub fn cells_from_records(records: &[ExperimentRecord]) -> Vec<LedgerCell> {
                 .and_then(|t| t.get("degraded"))
                 .and_then(|v| v.as_bool())
                 .unwrap_or(false),
+            ingested_records: r
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.get("ingest"))
+                .and_then(|i| i.get("records_ingested"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+            ingest_escalations: r
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.get("ingest"))
+                .and_then(|i| i.get("escalations"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
         })
         .collect()
 }
@@ -223,6 +251,16 @@ pub fn cells_from_json(json: &str) -> Result<Vec<LedgerCell>, String> {
                 .and_then(|t| t.get("degraded"))
                 .and_then(JsonValue::as_bool)
                 .unwrap_or(false),
+            ingested_records: telemetry
+                .and_then(|t| t.get("ingest"))
+                .and_then(|i| i.get("records_ingested"))
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            ingest_escalations: telemetry
+                .and_then(|t| t.get("ingest"))
+                .and_then(|i| i.get("escalations"))
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
         });
     }
     Ok(cells)
@@ -260,14 +298,18 @@ pub fn collate_dir(dir: &Path) -> io::Result<Vec<LedgerRow>> {
 /// "Cost ledger" section). Methods with no call cells and no meter
 /// readings are omitted — they contributed only quality metrics. A
 /// `faults (degraded cells)` column appears only when some run observed an
-/// oracle fault, and an `index` column only when some cell was routed to a
-/// named served index — so pre-existing ledgers render identically to
-/// before those features existed.
+/// oracle fault, an `index` column only when some cell was routed to a
+/// named served index, and an `ingested (escalations)` column only when
+/// some run streamed records into its index — so pre-existing ledgers
+/// render identically to before those features existed.
 pub fn render_markdown(rows: &[LedgerRow]) -> String {
     let with_faults = rows
         .iter()
         .any(|r| r.oracle_faults > 0 || r.degraded_cells > 0);
     let with_index = rows.iter().any(|r| !r.index.is_empty());
+    let with_ingest = rows
+        .iter()
+        .any(|r| r.ingested_records > 0 || r.ingest_escalations > 0);
     let mut out = String::new();
     out.push_str("| setting | method |");
     if with_index {
@@ -280,12 +322,18 @@ pub fn render_markdown(rows: &[LedgerRow]) -> String {
     if with_faults {
         out.push_str(" faults (degraded cells) |");
     }
+    if with_ingest {
+        out.push_str(" ingested (escalations) |");
+    }
     out.push('\n');
     out.push_str("|---|---|---|---|---|---|");
     if with_index {
         out.push_str("---|");
     }
     if with_faults {
+        out.push_str("---|");
+    }
+    if with_ingest {
         out.push_str("---|");
     }
     out.push('\n');
@@ -310,6 +358,12 @@ pub fn render_markdown(rows: &[LedgerRow]) -> String {
             out.push_str(&format!(
                 " {} ({}) |",
                 row.oracle_faults, row.degraded_cells
+            ));
+        }
+        if with_ingest {
+            out.push_str(&format!(
+                " {} ({}) |",
+                row.ingested_records, row.ingest_escalations
             ));
         }
         out.push('\n');
@@ -338,6 +392,8 @@ mod tests {
             wall_seconds: meter.map(|_| 0.5),
             oracle_faults: 0,
             degraded: false,
+            ingested_records: 0,
+            ingest_escalations: 0,
         }
     }
 
@@ -459,6 +515,70 @@ mod tests {
         assert!(!md.contains("faults"), "fault-free output unchanged: {md}");
         assert!(!md.contains("index"), "unrouted output unchanged: {md}");
         assert!(md.contains("| a | m | 10 (1) | 10 (1) | 0 | 0.5000 |\n"));
+    }
+
+    #[test]
+    fn ingest_free_ledger_is_byte_identical_to_the_pre_ingest_renderer() {
+        // Not just "no ingest column": the whole table, byte for byte,
+        // must match what the renderer produced before streaming ingest
+        // existed, so checked-in cost ledgers never churn.
+        let rows = collate(&[cell("a", "m", "target_calls", 10.0, Some(10))]);
+        let md = render_markdown(&rows);
+        assert_eq!(
+            md,
+            "| setting | method | reported calls (cells) | \
+             metered calls (cells) | mismatches | telemetry wall s |\n\
+             |---|---|---|---|---|---|\n\
+             | a | m | 10 (1) | 10 (1) | 0 | 0.5000 |\n"
+        );
+    }
+
+    #[test]
+    fn ingest_counters_flow_from_telemetry_into_the_ledger() {
+        // The serve-side `ingest` section is a cumulative gauge attached
+        // to every routed metrics/telemetry dump, so two cells from the
+        // same pair report overlapping totals: the row keeps the max, not
+        // the sum.
+        let json = r#"[
+            {"setting":"drift","method":"TASTI-T",
+             "metric":"target_calls","value":100.0,
+             "telemetry":{"algorithm":"ebs_aggregate","invocations":100,
+                          "wall_seconds":0.1,"certified":true,
+                          "ingest":{"records_ingested":40,"batches":2,
+                                    "drift":0.125,"escalations":1}}},
+            {"setting":"drift","method":"TASTI-T",
+             "metric":"limit_target_calls","value":20.0,
+             "telemetry":{"algorithm":"limit","invocations":20,
+                          "wall_seconds":0.1,"certified":true,
+                          "ingest":{"records_ingested":60,"batches":3,
+                                    "drift":0.2,"escalations":1}}},
+            {"setting":"drift","method":"No proxy",
+             "metric":"target_calls","value":600.0,
+             "telemetry":{"algorithm":"ebs_aggregate","invocations":600,
+                          "wall_seconds":0.2,"certified":true}}
+        ]"#;
+        let cells = cells_from_json(json).unwrap();
+        assert_eq!(cells[0].ingested_records, 40);
+        assert_eq!(cells[0].ingest_escalations, 1);
+        assert_eq!(cells[2].ingested_records, 0, "elided section reads zero");
+
+        let rows = collate(&cells);
+        let t = rows.iter().find(|r| r.method == "TASTI-T").unwrap();
+        assert_eq!(t.ingested_records, 60, "cumulative gauge: max, not sum");
+        assert_eq!(t.ingest_escalations, 1);
+        let noproxy = rows.iter().find(|r| r.method == "No proxy").unwrap();
+        assert_eq!(noproxy.ingested_records, 0);
+
+        let md = render_markdown(&rows);
+        assert!(
+            md.contains("ingested (escalations)"),
+            "column appears: {md}"
+        );
+        assert!(md.contains("| 60 (1) |"), "ingesting run visible: {md}");
+        assert!(
+            md.contains("| 600 (1) | 0 | 0.2000 | 0 (0) |\n"),
+            "ingest-free row renders zeros in the shared column: {md}"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! representative — "computationally efficient and trivially
 //! parallelizable").
 
-use crate::index::TastiIndex;
+use crate::index::{CrackReport, TastiIndex};
 use tasti_labeler::MeteredLabeler;
 
 /// Adds every record the labeler has annotated (typically during a query)
@@ -21,6 +21,17 @@ use tasti_labeler::MeteredLabeler;
 /// labeler qualifies — including fallible ones mid-incident: cracking after
 /// a degraded query absorbs exactly the labels that were actually paid for.
 pub fn crack_from_labeler<L>(index: &mut TastiIndex, labeler: &MeteredLabeler<L>) -> usize {
+    crack_from_labeler_audited(index, labeler).added
+}
+
+/// [`crack_from_labeler`] with the maintenance decision made visible: the
+/// returned [`CrackReport`] says whether the batch escalated from
+/// incremental min-k appends to a full assignment rebuild (serving
+/// metrics surface the split as `crack_incremental` / `crack_rebuilds`).
+pub fn crack_from_labeler_audited<L>(
+    index: &mut TastiIndex,
+    labeler: &MeteredLabeler<L>,
+) -> CrackReport {
     let mut records = labeler.labeled_records();
     records.sort_unstable(); // deterministic insertion order
     let items = records
@@ -36,7 +47,7 @@ pub fn crack_from_labeler<L>(index: &mut TastiIndex, labeler: &MeteredLabeler<L>
     // invalidated by the rep-set growth get it rebuilt once at the end
     // instead of degrading to exact appends (see TastiIndex::crack_batch).
     let items: Vec<_> = items.collect();
-    index.crack_batch(items)
+    index.crack_batch_audited(items)
 }
 
 #[cfg(test)]

@@ -8,9 +8,66 @@
 use crate::propagate;
 use crate::scoring::ScoringFunction;
 use std::collections::HashSet;
-use tasti_cluster::{AssignStrategy, Metric, MinKTable};
+use std::fmt;
+use tasti_cluster::{AssignStats, AssignStrategy, Metric, MinKTable};
 use tasti_labeler::{LabelerOutput, RecordId};
 use tasti_nn::{Matrix, Mlp};
+
+/// Typed failure surface of the streaming append path.
+///
+/// The wire `ingest` op routes through [`TastiIndex::try_append_records`]
+/// so a misconfigured index (e.g. a TASTI-PT index asked to embed raw
+/// features) surfaces as a client error, never a server panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendError {
+    /// Raw features were offered but the index carries no embedding model
+    /// (TASTI-PT: embed externally and ingest pre-embedded rows).
+    NoModel,
+    /// Row width does not match what the index expects.
+    DimMismatch {
+        /// Columns per offered row.
+        got: usize,
+        /// Columns the model input (raw path) or the embedding table
+        /// (pre-embedded path) requires.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for AppendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppendError::NoModel => write!(
+                f,
+                "index has no embedding model; ingest pre-embedded rows \
+                 (embedded=true) for TASTI-PT indexes"
+            ),
+            AppendError::DimMismatch { got, expected } => {
+                write!(
+                    f,
+                    "ingest rows have {got} columns, index expects {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+/// What one [`TastiIndex::crack_batch_audited`] maintenance step did:
+/// how many representatives were added, and whether the rep-grown-by-⅛
+/// heuristic escalated to a full assignment rebuild (with the rebuild's
+/// [`AssignStats`] when it did). Makes the previously silent
+/// incremental-vs-rebuild decision auditable by callers and metrics.
+#[derive(Debug, Clone)]
+pub struct CrackReport {
+    /// Representatives added by this batch.
+    pub added: usize,
+    /// Whether the batch triggered a from-scratch assignment rebuild.
+    pub rebuilt: bool,
+    /// Telemetry of the rebuild (realized candidate counts, recall
+    /// audit, strategy) — `None` on the incremental path.
+    pub assign: Option<AssignStats>,
+}
 
 /// The TASTI semantic index over one dataset.
 #[derive(Debug, Clone)]
@@ -28,6 +85,11 @@ pub struct TastiIndex {
     /// Rep-assignment strategy for maintenance rebuilds (bulk cracking).
     /// Mirrors the build-time `TastiConfig::assign_strategy`.
     assign_strategy: AssignStrategy,
+    /// Highest ingest-log sequence number folded into this index (0 when
+    /// the index has never seen streamed records). Replay applies only
+    /// frames above this mark; snapshots persist it so base + segment
+    /// deltas reconstruct the same state.
+    ingest_watermark: u64,
 }
 
 impl TastiIndex {
@@ -63,6 +125,7 @@ impl TastiIndex {
             mink,
             model: None,
             assign_strategy: AssignStrategy::Auto,
+            ingest_watermark: 0,
         }
     }
 
@@ -83,6 +146,19 @@ impl TastiIndex {
     /// The rep-assignment strategy maintenance rebuilds use.
     pub fn assign_strategy(&self) -> AssignStrategy {
         self.assign_strategy
+    }
+
+    /// Highest ingest-log sequence number folded into this index
+    /// (0 = never ingested).
+    pub fn ingest_watermark(&self) -> u64 {
+        self.ingest_watermark
+    }
+
+    /// Records that every log frame up to `seq` is reflected in the
+    /// index. Monotone: a lower mark than the current one is ignored
+    /// (replay may revisit already-applied frames).
+    pub fn set_ingest_watermark(&mut self, seq: u64) {
+        self.ingest_watermark = self.ingest_watermark.max(seq);
     }
 
     /// The trained embedding model, if the index carries one.
@@ -225,29 +301,65 @@ impl TastiIndex {
     ///
     /// # Panics
     /// Panics if the index carries no embedding model (TASTI-PT indexes:
-    /// embed externally and use [`TastiIndex::append_embedded`]).
+    /// embed externally and use [`TastiIndex::append_embedded`]). Server
+    /// paths must use [`TastiIndex::try_append_records`] instead.
     pub fn append_records(&mut self, new_features: &Matrix) -> std::ops::Range<RecordId> {
-        let model = self
-            .model
-            .as_ref()
-            .expect("append_records requires an embedding model; use append_embedded for TASTI-PT");
-        assert_eq!(
-            new_features.cols(),
-            model.input_dim(),
-            "new record feature dimension mismatch"
-        );
+        match self.try_append_records(new_features) {
+            Ok(range) => range,
+            Err(AppendError::NoModel) => panic!(
+                "append_records requires an embedding model; use append_embedded for TASTI-PT"
+            ),
+            Err(e @ AppendError::DimMismatch { .. }) => {
+                panic!("new record feature dimension mismatch: {e}")
+            }
+        }
+    }
+
+    /// Fallible form of [`TastiIndex::append_records`]: a missing
+    /// embedding model or a feature-width mismatch comes back as a typed
+    /// [`AppendError`] (the wire ingest path maps it to `bad_request`)
+    /// instead of a panic. On error the index is unchanged.
+    pub fn try_append_records(
+        &mut self,
+        new_features: &Matrix,
+    ) -> Result<std::ops::Range<RecordId>, AppendError> {
+        let model = self.model.as_ref().ok_or(AppendError::NoModel)?;
+        if new_features.cols() != model.input_dim() {
+            return Err(AppendError::DimMismatch {
+                got: new_features.cols(),
+                expected: model.input_dim(),
+            });
+        }
         let new_embeddings = model.forward_ref(new_features);
-        self.append_embedded(&new_embeddings)
+        self.try_append_embedded(&new_embeddings)
     }
 
     /// Streams new *pre-embedded* records into the index (the TASTI-PT
     /// ingest path). Returns the id range assigned.
+    ///
+    /// # Panics
+    /// Panics on an embedding-width mismatch; server paths must use
+    /// [`TastiIndex::try_append_embedded`].
     pub fn append_embedded(&mut self, new_embeddings: &Matrix) -> std::ops::Range<RecordId> {
-        assert_eq!(
-            new_embeddings.cols(),
-            self.embeddings.cols(),
-            "embedding dimension mismatch"
-        );
+        match self.try_append_embedded(new_embeddings) {
+            Ok(range) => range,
+            Err(e) => panic!("embedding dimension mismatch: {e}"),
+        }
+    }
+
+    /// Fallible form of [`TastiIndex::append_embedded`]: a width mismatch
+    /// is a typed [`AppendError::DimMismatch`]; on error the index is
+    /// unchanged.
+    pub fn try_append_embedded(
+        &mut self,
+        new_embeddings: &Matrix,
+    ) -> Result<std::ops::Range<RecordId>, AppendError> {
+        if new_embeddings.cols() != self.embeddings.cols() {
+            return Err(AppendError::DimMismatch {
+                got: new_embeddings.cols(),
+                expected: self.embeddings.cols(),
+            });
+        }
         let start = self.embeddings.rows();
         let dim = self.embeddings.cols();
         let rep_flat: Vec<f32> = self
@@ -258,7 +370,43 @@ impl TastiIndex {
         self.mink
             .append_records(new_embeddings.as_slice(), &rep_flat, dim, self.metric);
         self.embeddings = Matrix::vstack(&[&self.embeddings, new_embeddings]);
-        start..self.embeddings.rows()
+        Ok(start..self.embeddings.rows())
+    }
+
+    /// Wire-friendly ingest front door: appends one feature (or, with
+    /// `embedded`, embedding) vector per record, validating every row's
+    /// width *before* touching the index so a bad batch is rejected whole.
+    /// An empty batch is a no-op returning the empty range at the current
+    /// record count. On error the index is unchanged.
+    pub fn try_append_rows(
+        &mut self,
+        rows: &[Vec<f32>],
+        embedded: bool,
+    ) -> Result<std::ops::Range<RecordId>, AppendError> {
+        let expected = if embedded {
+            self.embeddings.cols()
+        } else {
+            self.model.as_ref().ok_or(AppendError::NoModel)?.input_dim()
+        };
+        for row in rows {
+            if row.len() != expected {
+                return Err(AppendError::DimMismatch {
+                    got: row.len(),
+                    expected,
+                });
+            }
+        }
+        if rows.is_empty() {
+            let n = self.n_records();
+            return Ok(n..n);
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        let m = Matrix::from_rows(&refs);
+        if embedded {
+            self.try_append_embedded(&m)
+        } else {
+            self.try_append_records(&m)
+        }
     }
 
     /// Registers a query-time target-labeler result as a new representative
@@ -291,6 +439,18 @@ impl TastiIndex {
         &mut self,
         items: impl IntoIterator<Item = (RecordId, LabelerOutput)>,
     ) -> usize {
+        self.crack_batch_audited(items).added
+    }
+
+    /// [`TastiIndex::crack_batch`] with the maintenance decision made
+    /// visible: the returned [`CrackReport`] says whether the batch took
+    /// the incremental path or escalated to a full assignment rebuild,
+    /// and carries the rebuild's [`AssignStats`] (realized candidate
+    /// counts, recall audit) when it did.
+    pub fn crack_batch_audited(
+        &mut self,
+        items: impl IntoIterator<Item = (RecordId, LabelerOutput)>,
+    ) -> CrackReport {
         let mut added = 0;
         for (record, output) in items {
             if self.crack(record, output) {
@@ -302,23 +462,36 @@ impl TastiIndex {
             .resolve(self.n_records(), self.reps.len())
             .is_some();
         if needs_router && added * 8 > self.reps.len() {
-            self.rebuild_assignment();
+            let stats = self.refresh_assignment();
+            CrackReport {
+                added,
+                rebuilt: true,
+                assign: Some(stats),
+            }
+        } else {
+            CrackReport {
+                added,
+                rebuilt: false,
+                assign: None,
+            }
         }
-        added
     }
 
     /// Re-runs rep assignment from scratch under the configured strategy
-    /// (fresh router, fresh telemetry-free table). The exact strategy
-    /// reproduces the incremental result bit-for-bit; IVF strategies are
-    /// guarded by their build-time recall audit.
-    fn rebuild_assignment(&mut self) {
+    /// (fresh router, fresh table) and returns the rebuild's telemetry.
+    /// The exact strategy reproduces the incremental result bit-for-bit;
+    /// IVF strategies are guarded by their build-time recall audit. This
+    /// is also the drift-escalation hook: when ingest drift gauges cross
+    /// their threshold, the maintenance path calls this to re-anchor
+    /// every record on the current representative set.
+    pub fn refresh_assignment(&mut self) -> AssignStats {
         let dim = self.embeddings.cols();
         let rep_flat: Vec<f32> = self
             .reps
             .iter()
             .flat_map(|&r| self.embeddings.row(r).iter().copied())
             .collect();
-        let (mink, _stats) = MinKTable::build_with_strategy(
+        let (mink, stats) = MinKTable::build_with_strategy(
             self.embeddings.as_slice(),
             &rep_flat,
             dim,
@@ -328,6 +501,7 @@ impl TastiIndex {
             &self.assign_strategy,
         );
         self.mink = mink;
+        stats
     }
 }
 
@@ -462,6 +636,116 @@ mod tests {
         let idx = tiny_index();
         let cats = idx.propagate_categorical(|o| o.count_class(ObjectClass::Car) as u32, 1);
         assert_eq!(cats, vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn try_append_records_without_model_is_a_typed_error() {
+        let mut idx = tiny_index();
+        let features = Matrix::from_fn(2, 1, |_, _| 0.5);
+        let err = idx.try_append_records(&features).unwrap_err();
+        assert_eq!(err, AppendError::NoModel);
+        assert_eq!(idx.n_records(), 6, "failed append must not mutate");
+    }
+
+    #[test]
+    fn try_append_embedded_rejects_wrong_width() {
+        let mut idx = tiny_index();
+        let wrong = Matrix::from_fn(3, 4, |_, _| 0.0);
+        let err = idx.try_append_embedded(&wrong).unwrap_err();
+        assert_eq!(
+            err,
+            AppendError::DimMismatch {
+                got: 4,
+                expected: 1
+            }
+        );
+        assert_eq!(idx.n_records(), 6, "failed append must not mutate");
+        assert_eq!(idx.mink().n_records(), 6);
+    }
+
+    #[test]
+    fn try_append_rows_validates_whole_batch_before_mutating() {
+        let mut idx = tiny_index();
+        // One good row, one ragged row: the whole batch is rejected.
+        let err = idx
+            .try_append_rows(&[vec![6.5], vec![7.0, 7.5]], true)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AppendError::DimMismatch {
+                got: 2,
+                expected: 1
+            }
+        );
+        assert_eq!(idx.n_records(), 6, "failed append must not mutate");
+        // Raw rows need a model; TASTI-PT indexes reject them typed.
+        assert_eq!(
+            idx.try_append_rows(&[vec![6.5]], false).unwrap_err(),
+            AppendError::NoModel
+        );
+        // Empty batches are validated no-ops.
+        assert_eq!(idx.try_append_rows(&[], true).unwrap(), 6..6);
+        // A clean embedded batch lands.
+        assert_eq!(
+            idx.try_append_rows(&[vec![6.5], vec![7.0]], true).unwrap(),
+            6..8
+        );
+        assert_eq!(idx.n_records(), 8);
+        assert_eq!(idx.mink().n_records(), 8);
+    }
+
+    #[test]
+    fn try_append_embedded_extends_index_and_scores() {
+        let mut idx = tiny_index();
+        let new = Matrix::from_fn(2, 1, |r, _| 6.0 + r as f32);
+        let range = idx.try_append_embedded(&new).unwrap();
+        assert_eq!(range, 6..8);
+        assert_eq!(idx.n_records(), 8);
+        let scores = idx.propagate(&CountClass(ObjectClass::Car));
+        assert_eq!(scores.len(), 8);
+        // Appended records sit beyond the 3-car rep at 5: their k=2
+        // inverse-distance mix is dominated by that rep.
+        assert!(
+            scores[6] > 2.0 && scores[6] <= 3.0,
+            "appended record score: {}",
+            scores[6]
+        );
+    }
+
+    #[test]
+    fn crack_batch_audited_reports_the_incremental_path() {
+        let mut idx = tiny_index();
+        let report = idx.crack_batch_audited(vec![(2, frame(1)), (0, frame(9))]);
+        assert_eq!(report.added, 1, "rep 0 already exists");
+        assert!(
+            !report.rebuilt,
+            "tiny index resolves to the exact strategy: never rebuilds"
+        );
+        assert!(report.assign.is_none());
+        // The plain entry point still reports the count.
+        let mut idx2 = tiny_index();
+        assert_eq!(idx2.crack_batch(vec![(2, frame(1))]), 1);
+    }
+
+    #[test]
+    fn refresh_assignment_is_noop_on_exact_small_indexes() {
+        let mut idx = tiny_index();
+        let before = idx.propagate(&CountClass(ObjectClass::Car));
+        let stats = idx.refresh_assignment();
+        assert_eq!(stats.strategy, "exact");
+        assert_eq!(idx.propagate(&CountClass(ObjectClass::Car)), before);
+    }
+
+    #[test]
+    fn ingest_watermark_is_monotone() {
+        let mut idx = tiny_index();
+        assert_eq!(idx.ingest_watermark(), 0);
+        idx.set_ingest_watermark(7);
+        assert_eq!(idx.ingest_watermark(), 7);
+        idx.set_ingest_watermark(3); // replay revisiting old frames
+        assert_eq!(idx.ingest_watermark(), 7);
+        idx.set_ingest_watermark(11);
+        assert_eq!(idx.ingest_watermark(), 11);
     }
 
     #[test]

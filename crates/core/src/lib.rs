@@ -47,8 +47,10 @@ pub mod scoring;
 
 pub use build::{build_index, try_build_index, BuildError, BuildReport, BuildStage};
 pub use config::TastiConfig;
-pub use index::TastiIndex;
+pub use index::{AppendError, CrackReport, TastiIndex};
+// Part of this crate's public API via `CrackReport::assign`.
 pub use scoring::{
     CountClass, FnScore, HasAtLeast, HasClass, HasClassInLeftHalf, MeanXPosition, ScoringFunction,
     SpeechIsMale, SqlNumPredicates, SqlOpIs,
 };
+pub use tasti_cluster::AssignStats;

@@ -16,8 +16,20 @@ use tasti_cluster::{AssignStrategy, Metric, MinKTable};
 use tasti_labeler::{LabelerOutput, RecordId};
 use tasti_nn::{Matrix, Mlp};
 
-/// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current (maximum) on-disk format version. Version 2 adds the ingest
+/// watermark for streamed indexes; [`to_json`] still writes version 1 —
+/// byte-identical to pre-ingest builds — whenever the index has never
+/// ingested, and [`from_json`] accepts both.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest on-disk format version this build can load.
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
+/// `skip_serializing_if` helper: elide the watermark when the index has
+/// never ingested, keeping ingest-free snapshots on format version 1.
+fn watermark_is_zero(v: &u64) -> bool {
+    *v == 0
+}
 
 /// Serializable snapshot of a [`TastiIndex`].
 #[derive(Serialize, Deserialize)]
@@ -36,6 +48,12 @@ struct IndexSnapshot {
     /// which is what those builds effectively ran).
     #[serde(default)]
     assign_strategy: AssignStrategy,
+    /// Highest ingest-log sequence number folded into the snapshot
+    /// (format version 2). A snapshot is the *base* of base + segment
+    /// deltas: on restart the serving layer replays only log frames above
+    /// this mark. Elided (and the snapshot stays version 1) when zero.
+    #[serde(default, skip_serializing_if = "watermark_is_zero")]
+    ingest_watermark: u64,
 }
 
 /// Errors raised when loading an index.
@@ -61,7 +79,8 @@ impl std::fmt::Display for PersistError {
             PersistError::Version(v) => {
                 write!(
                     f,
-                    "unsupported index format version {v} (supported: {FORMAT_VERSION}); \
+                    "unsupported index format version {v} (supported: \
+                     {MIN_FORMAT_VERSION}..={FORMAT_VERSION}); \
                      rebuild the index or load it with a matching build"
                 )
             }
@@ -84,9 +103,19 @@ impl From<serde_json::Error> for PersistError {
 }
 
 /// Serializes the index to a JSON string.
+///
+/// An index that has never ingested streamed records (watermark 0) is
+/// written as format version 1, byte-identical to pre-ingest builds — so
+/// existing snapshot diffing, caching, and older readers keep working
+/// until streaming is actually used.
 pub fn to_json(index: &TastiIndex) -> String {
+    let version = if index.ingest_watermark() == 0 {
+        MIN_FORMAT_VERSION
+    } else {
+        FORMAT_VERSION
+    };
     let snapshot = IndexSnapshot {
-        version: FORMAT_VERSION,
+        version,
         embeddings: index.embeddings().clone(),
         metric: index.metric(),
         k: index.k(),
@@ -97,6 +126,7 @@ pub fn to_json(index: &TastiIndex) -> String {
         mink: index.mink().clone(),
         model: index.model().cloned(),
         assign_strategy: index.assign_strategy(),
+        ingest_watermark: index.ingest_watermark(),
     };
     serde_json::to_string(&snapshot).expect("index serialization cannot fail")
 }
@@ -121,9 +151,10 @@ struct VersionProbe {
 /// # Errors
 /// Returns [`PersistError`] on malformed input or version mismatch.
 pub fn from_json(json: &str) -> Result<TastiIndex, PersistError> {
+    let supported = MIN_FORMAT_VERSION..=FORMAT_VERSION;
     let probe: VersionProbe = serde_json::from_str(json)?;
     match probe.version {
-        Some(v) if v != FORMAT_VERSION => return Err(PersistError::Version(v)),
+        Some(v) if !supported.contains(&v) => return Err(PersistError::Version(v)),
         Some(_) => {}
         None => {
             // A JSON document with no version field is not a snapshot of
@@ -132,7 +163,7 @@ pub fn from_json(json: &str) -> Result<TastiIndex, PersistError> {
         }
     }
     let snapshot: IndexSnapshot = serde_json::from_str(json)?;
-    if snapshot.version != FORMAT_VERSION {
+    if !supported.contains(&snapshot.version) {
         return Err(PersistError::Version(snapshot.version));
     }
     let mut index = TastiIndex::new(
@@ -147,6 +178,7 @@ pub fn from_json(json: &str) -> Result<TastiIndex, PersistError> {
     if let Some(model) = snapshot.model {
         index = index.with_model(model);
     }
+    index.set_ingest_watermark(snapshot.ingest_watermark);
     Ok(index)
 }
 
@@ -352,18 +384,54 @@ mod tests {
     #[test]
     fn wrong_version_wins_over_incompatible_body() {
         // A snapshot from a hypothetical future format revision: the header
-        // says version 2 and the body no longer matches this build's schema
+        // says version 3 and the body no longer matches this build's schema
         // (fields renamed/removed). The version probe must fire *first* so
         // the user sees the actionable "version mismatch" error, not a
         // generic missing-field format error.
-        let json = r#"{"version":2,"embeddings_v2":"opaque-blob","reps":[0]}"#;
+        let json = r#"{"version":3,"embeddings_v3":"opaque-blob","reps":[0]}"#;
         match from_json(json) {
-            Err(PersistError::Version(2)) => {}
-            other => panic!("expected Version(2), got {other:?}"),
+            Err(PersistError::Version(3)) => {}
+            other => panic!("expected Version(3), got {other:?}"),
         }
-        // The display message names both versions.
+        // The display message names the offending and supported versions.
         let msg = from_json(json).unwrap_err().to_string();
-        assert!(msg.contains('2') && msg.contains('1'), "message: {msg}");
+        assert!(
+            msg.contains('3') && msg.contains('1') && msg.contains('2'),
+            "message: {msg}"
+        );
+    }
+
+    #[test]
+    fn ingest_free_snapshot_stays_version_1() {
+        // Byte-compat contract: until an index actually ingests, its
+        // snapshot is indistinguishable from a pre-ingest build's.
+        let json = to_json(&tiny_index());
+        assert!(json.contains("\"version\":1"), "{json}");
+        assert!(!json.contains("ingest_watermark"), "{json}");
+    }
+
+    #[test]
+    fn ingest_watermark_bumps_to_version_2_and_round_trips() {
+        let mut index = tiny_index();
+        index.set_ingest_watermark(42);
+        let json = to_json(&index);
+        assert!(json.contains("\"version\":2"), "{json}");
+        assert!(json.contains("\"ingest_watermark\":42"), "{json}");
+        let restored = from_json(&json).unwrap();
+        assert_eq!(restored.ingest_watermark(), 42);
+        // Query behavior is untouched by the version bump.
+        let score = CountClass(ObjectClass::Car);
+        assert_eq!(restored.propagate(&score), index.propagate(&score));
+    }
+
+    #[test]
+    fn version_2_snapshot_without_watermark_loads() {
+        // A hand-rolled v2 header over a v1 body (e.g. a tool that bumped
+        // the version without writing the optional field) still loads,
+        // defaulting the watermark to zero.
+        let json = to_json(&tiny_index()).replace("\"version\":1", "\"version\":2");
+        let restored = from_json(&json).unwrap();
+        assert_eq!(restored.ingest_watermark(), 0);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial), table-driven.
+//!
+//! Hand-rolled because this crate is deliberately dependency-free and the
+//! workspace bans new crates. The table is built at compile time; the
+//! per-byte loop is the classic reflected algorithm (polynomial
+//! 0xEDB88320), so checksums match `crc32` as computed by zlib, Python's
+//! `binascii.crc32`, and `cksum -o 3` — handy when inspecting segment
+//! files with external tools.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `data` (IEEE reflected, initial value all-ones, final xor).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"hello world");
+        let mut data = *b"hello world";
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                data[i] ^= 1 << bit;
+                assert_ne!(crc32(&data), base, "flip at byte {i} bit {bit} undetected");
+                data[i] ^= 1 << bit;
+            }
+        }
+    }
+}

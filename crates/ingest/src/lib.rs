@@ -1,0 +1,39 @@
+//! Crash-safe streaming ingest: the append-only segment log.
+//!
+//! TASTI's original lifecycle was load → query → whole-index crack; real
+//! deployments (video streams, live logs) append forever. This crate is
+//! the durability layer under the serving stack's `ingest` operation: a
+//! record batch is written as one checksummed frame, fsync'd, and only
+//! then acknowledged — so a `kill -9` at any instant never loses an
+//! acknowledged batch, and replay-on-startup reconstructs exactly the
+//! acknowledged prefix.
+//!
+//! # Durability contract
+//!
+//! * **ack ⇒ replayable.** [`SegmentLog::append`] returns only after the
+//!   frame bytes are on disk (`fsync` before ack). Whatever the caller
+//!   acknowledged to its client is recoverable by [`SegmentLog::open`].
+//! * **Torn tails truncate, corruption errors.** A crash can leave a
+//!   partially written frame at the end of the *final* segment; replay
+//!   detects it (the frame is shorter than its own header claims) and
+//!   truncates it away — it was never acknowledged. A *complete* frame
+//!   whose checksum does not match, anywhere in the log, is not a torn
+//!   write — it is data damage, reported as a typed
+//!   [`IngestError::Corrupt`], never a panic and never silent loss.
+//! * **Sequence numbers are stable.** Frames are numbered 1, 2, 3, …
+//!   across segment rotations; segment files are named by their first
+//!   frame's sequence number. Compaction ([`SegmentLog::compact`]) drops
+//!   whole segments whose frames are all at or below a caller-supplied
+//!   watermark, but always keeps the final segment so the sequence
+//!   counter survives restarts.
+//!
+//! The payload is opaque bytes; the serving layer stores one JSON ingest
+//! batch per frame and routes it by the index name inside.
+
+pub mod crc32;
+pub mod segment;
+
+pub use crc32::crc32;
+pub use segment::{
+    Frame, IngestError, LogConfig, ReplayReport, SegmentLog, DEFAULT_SEGMENT_BYTES, MAX_FRAME_LEN,
+};

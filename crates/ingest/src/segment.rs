@@ -1,0 +1,673 @@
+//! The append-only segment log: fixed-size segments of checksummed frames.
+//!
+//! On-disk layout: a log directory holds segment files named
+//! `seg-{first_seq:020}.log` (zero-padded decimal, so lexicographic order
+//! is sequence order). Each segment is a concatenation of frames:
+//!
+//! ```text
+//! [u32 LE payload_len][u32 LE crc32(payload)][payload bytes]
+//! ```
+//!
+//! Frames carry implicit sequence numbers: the segment's file name gives
+//! its first frame's number, subsequent frames count up by one. A new
+//! segment is started when the current one would exceed the configured
+//! size (a single frame larger than a whole segment still gets its own
+//! segment — frames are never split).
+//!
+//! Recovery rules (see the crate docs for the contract they implement):
+//!
+//! * Segment base numbers must be contiguous: each segment starts where
+//!   the previous one ended. A gap or overlap is [`IngestError::Corrupt`].
+//! * In any segment **except the last**, every frame must be complete and
+//!   checksum-clean; anything else is `Corrupt` (a crash can only tear
+//!   the tail of the final segment — damage elsewhere is not a crash).
+//! * In the **last** segment, a trailing frame that is shorter than its
+//!   own header claims (or a header shorter than 8 bytes) is a torn
+//!   write: it is physically truncated away and replay succeeds. A
+//!   *complete* trailing frame with a checksum mismatch is `Corrupt`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+
+/// Frame header: 4-byte length + 4-byte checksum.
+const HEADER_LEN: usize = 8;
+
+/// Hard ceiling on a single frame's payload (32 MiB). A length field
+/// above this is treated as corruption rather than an allocation request.
+pub const MAX_FRAME_LEN: usize = 32 * 1024 * 1024;
+
+/// Default segment size (4 MiB) — small enough that compaction reclaims
+/// space promptly, large enough that rotation is rare per batch.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Tuning knobs for [`SegmentLog::open`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogConfig {
+    /// Rotate to a new segment once the current file reaches this size.
+    pub segment_bytes: u64,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+        }
+    }
+}
+
+/// A replayed frame: its global sequence number and opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// 1-based global sequence number, stable across rotations/restarts.
+    pub seq: u64,
+    /// The payload exactly as passed to [`SegmentLog::append`].
+    pub payload: Vec<u8>,
+}
+
+/// What [`SegmentLog::open`] found and did during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Complete, checksum-clean frames recovered.
+    pub frames: usize,
+    /// Segment files scanned.
+    pub segments: usize,
+    /// Bytes of torn (partially written, never acknowledged) tail
+    /// physically truncated from the final segment.
+    pub truncated_bytes: u64,
+    /// The sequence number the next [`SegmentLog::append`] will return.
+    pub next_seq: u64,
+}
+
+/// Typed failure surface of the segment log.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// On-disk damage that is *not* explainable as a torn tail: a frame
+    /// checksum mismatch, an impossible length field, a short frame in a
+    /// non-final segment, or non-contiguous segment numbering.
+    Corrupt {
+        /// Segment file in which the damage was found.
+        segment: PathBuf,
+        /// Byte offset of the frame that failed validation.
+        offset: u64,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// An append payload exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// Offending payload size.
+        len: usize,
+        /// The ceiling it exceeded.
+        max: usize,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest log I/O error: {e}"),
+            IngestError::Corrupt {
+                segment,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "ingest log corrupt: {} at byte {offset}: {detail}",
+                segment.display()
+            ),
+            IngestError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "ingest frame of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+/// One segment file on disk: its first frame's sequence number and path.
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    base: u64,
+    path: PathBuf,
+}
+
+/// The append-only log. See the module docs for the on-disk format.
+#[derive(Debug)]
+pub struct SegmentLog {
+    dir: PathBuf,
+    segment_bytes: u64,
+    /// Segments in sequence order; the last one is the write target.
+    segments: Vec<SegmentMeta>,
+    /// Open handle on the last segment (lazily created on first append).
+    current: Option<File>,
+    /// Byte length of the last segment.
+    current_len: u64,
+    /// Sequence number the next append will be assigned (1-based).
+    next_seq: u64,
+}
+
+fn segment_file_name(base: u64) -> String {
+    format!("seg-{base:020}.log")
+}
+
+/// Parse `seg-{20 digits}.log` → base sequence number.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Durably record directory-level changes (new/removed segment files).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+impl SegmentLog {
+    /// Open (or create) the log at `dir`, replaying every acknowledged
+    /// frame. Returns the log positioned for appends, the recovered
+    /// frames in sequence order, and a report of what recovery did.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: LogConfig,
+    ) -> Result<(SegmentLog, Vec<Frame>, ReplayReport), IngestError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+
+        // Collect and order segment files; ignore anything that is not a
+        // well-formed segment name (editors, tmp files).
+        let mut bases: BTreeMap<u64, PathBuf> = BTreeMap::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(base) = name.to_str().and_then(parse_segment_name) {
+                bases.insert(base, entry.path());
+            }
+        }
+        let segments: Vec<SegmentMeta> = bases
+            .into_iter()
+            .map(|(base, path)| SegmentMeta { base, path })
+            .collect();
+
+        let mut frames = Vec::new();
+        let mut report = ReplayReport {
+            segments: segments.len(),
+            ..ReplayReport::default()
+        };
+        let mut expected_seq = segments.first().map_or(1, |s| s.base);
+        let mut last_len = 0u64;
+
+        for (i, seg) in segments.iter().enumerate() {
+            if seg.base != expected_seq {
+                return Err(IngestError::Corrupt {
+                    segment: seg.path.clone(),
+                    offset: 0,
+                    detail: format!(
+                        "segment starts at seq {} but seq {} was expected \
+                         (missing or overlapping segment)",
+                        seg.base, expected_seq
+                    ),
+                });
+            }
+            let is_last = i + 1 == segments.len();
+            let (seg_frames, valid_len, torn) = replay_segment(seg, is_last)?;
+            if torn > 0 {
+                // The torn tail was never acknowledged; remove it so the
+                // next append starts at a clean frame boundary.
+                let f = OpenOptions::new().write(true).open(&seg.path)?;
+                f.set_len(valid_len)?;
+                f.sync_data()?;
+                report.truncated_bytes += torn;
+            }
+            expected_seq += seg_frames.len() as u64;
+            report.frames += seg_frames.len();
+            frames.extend(seg_frames);
+            if is_last {
+                last_len = valid_len;
+            }
+        }
+
+        let current = match segments.last() {
+            Some(seg) => Some(OpenOptions::new().append(true).open(&seg.path)?),
+            None => None,
+        };
+        report.next_seq = expected_seq;
+        let log = SegmentLog {
+            dir,
+            segment_bytes: config.segment_bytes.max(1),
+            segments,
+            current,
+            current_len: last_len,
+            next_seq: expected_seq,
+        };
+        Ok((log, frames, report))
+    }
+
+    /// Durably append one frame; returns its sequence number. When this
+    /// returns `Ok`, the frame (and, for a fresh segment, its directory
+    /// entry) has been fsync'd — it will survive a crash.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, IngestError> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(IngestError::FrameTooLarge {
+                len: payload.len(),
+                max: MAX_FRAME_LEN,
+            });
+        }
+        let frame_len = (HEADER_LEN + payload.len()) as u64;
+        let rotate = self.current.is_none()
+            || (self.current_len > 0 && self.current_len + frame_len > self.segment_bytes);
+        let mut created = false;
+        if rotate {
+            let meta = SegmentMeta {
+                base: self.next_seq,
+                path: self.dir.join(segment_file_name(self.next_seq)),
+            };
+            let file = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&meta.path)?;
+            self.segments.push(meta);
+            self.current = Some(file);
+            self.current_len = 0;
+            created = true;
+        }
+
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+
+        // One write_all keeps a crash-torn frame a strict prefix of the
+        // intended bytes, which is exactly what recovery knows how to
+        // truncate.
+        let file = self.current.as_mut().expect("current segment just ensured");
+        file.write_all(&buf)?;
+        file.sync_data()?;
+        if created {
+            sync_dir(&self.dir)?;
+        }
+        self.current_len += frame_len;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Delete segments whose frames are all `<= up_to` (already folded
+    /// into a snapshot). The final segment is never deleted, even when
+    /// fully covered: its presence carries the sequence counter across
+    /// restarts, so a fresh frame after compaction can never be mistaken
+    /// for an already-applied one. Returns the number of files removed.
+    pub fn compact(&mut self, up_to: u64) -> Result<usize, IngestError> {
+        let mut removed = 0;
+        while self.segments.len() > 1 && self.segments[1].base <= up_to + 1 {
+            let seg = self.segments.remove(0);
+            fs::remove_file(&seg.path)?;
+            removed += 1;
+        }
+        if removed > 0 {
+            sync_dir(&self.dir)?;
+        }
+        Ok(removed)
+    }
+
+    /// Sequence number the next [`append`](Self::append) will return.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of segment files currently on disk.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Replay one segment file. Returns its frames, the byte length of the
+/// valid prefix, and the number of torn-tail bytes found after it (only
+/// ever nonzero when `is_last`; elsewhere a short frame is `Corrupt`).
+fn replay_segment(seg: &SegmentMeta, is_last: bool) -> Result<(Vec<Frame>, u64, u64), IngestError> {
+    let mut data = Vec::new();
+    File::open(&seg.path)?.read_to_end(&mut data)?;
+
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    let mut seq = seg.base;
+    loop {
+        let remaining = data.len() - offset;
+        if remaining == 0 {
+            return Ok((frames, offset as u64, 0));
+        }
+        if remaining < HEADER_LEN {
+            if is_last {
+                return Ok((frames, offset as u64, remaining as u64));
+            }
+            return Err(IngestError::Corrupt {
+                segment: seg.path.clone(),
+                offset: offset as u64,
+                detail: format!("truncated frame header ({remaining} of {HEADER_LEN} bytes)"),
+            });
+        }
+        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_LEN {
+            // A torn write is a strict prefix of valid bytes, so it can
+            // shorten a frame but never fabricate a length field: this is
+            // damage even in the final segment.
+            return Err(IngestError::Corrupt {
+                segment: seg.path.clone(),
+                offset: offset as u64,
+                detail: format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"),
+            });
+        }
+        if remaining < HEADER_LEN + len {
+            if is_last {
+                return Ok((frames, offset as u64, remaining as u64));
+            }
+            return Err(IngestError::Corrupt {
+                segment: seg.path.clone(),
+                offset: offset as u64,
+                detail: format!(
+                    "truncated frame payload ({} of {len} bytes)",
+                    remaining - HEADER_LEN
+                ),
+            });
+        }
+        let stored_crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().unwrap());
+        let payload = &data[offset + HEADER_LEN..offset + HEADER_LEN + len];
+        let actual_crc = crc32(payload);
+        if stored_crc != actual_crc {
+            // A complete frame with a bad checksum is data damage, not a
+            // torn write — surface it even at the very tail.
+            return Err(IngestError::Corrupt {
+                segment: seg.path.clone(),
+                offset: offset as u64,
+                detail: format!(
+                    "frame seq {seq} checksum mismatch \
+                     (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+                ),
+            });
+        }
+        frames.push(Frame {
+            seq,
+            payload: payload.to_vec(),
+        });
+        seq += 1;
+        offset += HEADER_LEN + len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tasti-ingest-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path) -> (SegmentLog, Vec<Frame>, ReplayReport) {
+        SegmentLog::open(dir, LogConfig::default()).expect("open")
+    }
+
+    #[test]
+    fn empty_dir_starts_at_seq_one() {
+        let dir = tmp_dir("empty");
+        let (mut log, frames, report) = open(&dir);
+        assert!(frames.is_empty());
+        assert_eq!(
+            report,
+            ReplayReport {
+                frames: 0,
+                segments: 0,
+                truncated_bytes: 0,
+                next_seq: 1
+            }
+        );
+        assert_eq!(log.append(b"first").unwrap(), 1);
+        assert_eq!(log.append(b"second").unwrap(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let dir = tmp_dir("roundtrip");
+        let payloads: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; (i as usize + 1) * 3]).collect();
+        {
+            let (mut log, _, _) = open(&dir);
+            for p in &payloads {
+                log.append(p).unwrap();
+            }
+        }
+        let (log, frames, report) = open(&dir);
+        assert_eq!(frames.len(), payloads.len());
+        for (i, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.seq, i as u64 + 1);
+            assert_eq!(frame.payload, payloads[i]);
+        }
+        assert_eq!(report.frames, 10);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(log.next_seq(), 11);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_payloads_round_trip() {
+        let dir = tmp_dir("zero-len");
+        {
+            let (mut log, _, _) = open(&dir);
+            log.append(b"").unwrap();
+            log.append(b"x").unwrap();
+            log.append(b"").unwrap();
+        }
+        let (_, frames, _) = open(&dir);
+        let lens: Vec<usize> = frames.iter().map(|f| f.payload.len()).collect();
+        assert_eq!(lens, [0, 1, 0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_at_segment_boundary() {
+        let dir = tmp_dir("rotate");
+        let config = LogConfig { segment_bytes: 64 };
+        let (mut log, _, _) = SegmentLog::open(&dir, config).unwrap();
+        // 8-byte header + 24-byte payload = 32 bytes/frame: two per segment.
+        for i in 0..5u8 {
+            log.append(&[i; 24]).unwrap();
+        }
+        assert_eq!(log.segment_count(), 3);
+        // A frame bigger than a whole segment still lands (in its own file).
+        let big_seq = log.append(&[9u8; 200]).unwrap();
+        assert_eq!(big_seq, 6);
+        let (log2, frames, _) = SegmentLog::open(&dir, config).unwrap();
+        assert_eq!(frames.len(), 6);
+        assert_eq!(frames[5].payload, vec![9u8; 200]);
+        assert_eq!(log2.next_seq(), 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_append_is_rejected() {
+        let dir = tmp_dir("too-large");
+        let (mut log, _, _) = open(&dir);
+        let err = log.append(&vec![0u8; MAX_FRAME_LEN + 1]).unwrap_err();
+        assert!(matches!(err, IngestError::FrameTooLarge { .. }), "{err}");
+        // The log is still usable after a rejected append.
+        assert_eq!(log.append(b"ok").unwrap(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let dir = tmp_dir("torn");
+        {
+            let (mut log, _, _) = open(&dir);
+            log.append(b"alpha").unwrap();
+            log.append(b"beta").unwrap();
+        }
+        // Simulate a crash mid-write: chop 3 bytes off the final frame.
+        let seg = dir.join(segment_file_name(1));
+        let len = fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let (mut log, frames, report) = open(&dir);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload, b"alpha");
+        assert_eq!(report.truncated_bytes, (HEADER_LEN + 4 - 3) as u64);
+        // The torn frame's sequence number is re-used: it was never ack'd.
+        assert_eq!(log.append(b"gamma").unwrap(), 2);
+        drop(log);
+        let (_, frames, report) = open(&dir);
+        assert_eq!(
+            report.truncated_bytes, 0,
+            "truncation was physical, not per-replay"
+        );
+        let payloads: Vec<&[u8]> = frames.iter().map(|f| f.payload.as_slice()).collect();
+        assert_eq!(payloads, [b"alpha".as_slice(), b"gamma".as_slice()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_mismatch_is_a_typed_error() {
+        let dir = tmp_dir("crc");
+        {
+            let (mut log, _, _) = open(&dir);
+            log.append(b"payload-under-test").unwrap();
+        }
+        let seg = dir.join(segment_file_name(1));
+        let mut data = fs::read(&seg).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x40;
+        fs::write(&seg, &data).unwrap();
+        let err = SegmentLog::open(&dir, LogConfig::default()).unwrap_err();
+        match err {
+            IngestError::Corrupt { offset, detail, .. } => {
+                assert_eq!(offset, 0);
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_frame_in_non_final_segment_is_corrupt() {
+        let dir = tmp_dir("mid-corrupt");
+        let config = LogConfig { segment_bytes: 16 };
+        {
+            let (mut log, _, _) = SegmentLog::open(&dir, config).unwrap();
+            log.append(&[1u8; 16]).unwrap(); // segment 1
+            log.append(&[2u8; 16]).unwrap(); // segment 2
+        }
+        let seg1 = dir.join(segment_file_name(1));
+        let len = fs::metadata(&seg1).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg1).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        let err = SegmentLog::open(&dir, config).unwrap_err();
+        assert!(matches!(err, IngestError::Corrupt { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_segment_is_corrupt() {
+        let dir = tmp_dir("gap");
+        let config = LogConfig { segment_bytes: 16 };
+        {
+            let (mut log, _, _) = SegmentLog::open(&dir, config).unwrap();
+            for i in 0..3u8 {
+                log.append(&[i; 16]).unwrap();
+            }
+        }
+        fs::remove_file(dir.join(segment_file_name(2))).unwrap();
+        let err = SegmentLog::open(&dir, config).unwrap_err();
+        match err {
+            IngestError::Corrupt { detail, .. } => {
+                assert!(detail.contains("expected"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_drops_covered_segments_but_never_the_last() {
+        let dir = tmp_dir("compact");
+        let config = LogConfig { segment_bytes: 16 };
+        let (mut log, _, _) = SegmentLog::open(&dir, config).unwrap();
+        for i in 0..4u8 {
+            log.append(&[i; 16]).unwrap(); // one frame per segment
+        }
+        assert_eq!(log.segment_count(), 4);
+        // up_to=2 covers segments 1 and 2 (frames 1, 2).
+        assert_eq!(log.compact(2).unwrap(), 2);
+        assert_eq!(log.segment_count(), 2);
+        // up_to=100 covers everything, but the last segment must survive.
+        assert_eq!(log.compact(100).unwrap(), 1);
+        assert_eq!(log.segment_count(), 1);
+        drop(log);
+        let (log, frames, _) = SegmentLog::open(&dir, config).unwrap();
+        let seqs: Vec<u64> = frames.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, [4], "only the last segment's frame remains");
+        assert_eq!(log.next_seq(), 5, "sequence counter survives compaction");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_noop_below_first_boundary() {
+        let dir = tmp_dir("compact-noop");
+        let config = LogConfig { segment_bytes: 64 };
+        let (mut log, _, _) = SegmentLog::open(&dir, config).unwrap();
+        for i in 0..4u8 {
+            log.append(&[i; 24]).unwrap(); // two frames per segment
+        }
+        assert_eq!(log.segment_count(), 2);
+        // Frame 1 covered but frame 2 (same segment) is not: nothing to drop.
+        assert_eq!(log.compact(1).unwrap(), 0);
+        assert_eq!(log.segment_count(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_in_the_log_dir_are_ignored() {
+        let dir = tmp_dir("foreign");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("README.txt"), b"not a segment").unwrap();
+        fs::write(dir.join("seg-bogus.log"), b"also not a segment").unwrap();
+        let (mut log, frames, _) = open(&dir);
+        assert!(frames.is_empty());
+        assert_eq!(log.append(b"payload").unwrap(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

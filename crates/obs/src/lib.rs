@@ -19,6 +19,10 @@
 //!   were sanitized on entry.
 //! * [`BuildTelemetry`] — per-stage wall-clock + invocation spans for index
 //!   construction (mine → embed → FPF → min-k).
+//! * [`IngestTelemetry`] / [`DriftGauge`] — streaming-ingest accounting:
+//!   durable records/batches/replays plus a per-cluster radius and
+//!   score-variance drift signal that decides when incremental rep
+//!   assignment must escalate to a full re-selection.
 //!
 //! Every record serializes to JSON through a built-in writer (no serde
 //! required); enabling the `serde` feature additionally derives
@@ -32,12 +36,14 @@
 
 pub mod counter;
 pub mod histogram;
+pub mod ingest;
 pub mod json;
 pub mod telemetry;
 pub mod timer;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSummary};
+pub use ingest::{DriftGauge, IngestTelemetry};
 pub use json::{JsonError, JsonValue};
 pub use telemetry::{AssignTelemetry, BuildTelemetry, QueryTelemetry, StageTelemetry};
 pub use timer::{StageRecorder, Stopwatch};

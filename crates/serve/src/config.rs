@@ -101,6 +101,16 @@ pub struct ServeConfig {
     /// service is constructed with. Loading uses the service's labeler
     /// factory, so `TastiService::with_factory` is required when non-empty.
     pub preload: Vec<(String, PathBuf)>,
+    /// Directory of the durable ingest segment log. `None` (the default)
+    /// disables the `ingest` op — batches are rejected with the typed
+    /// `ingest_rejected` error. When set, the log is replayed at startup
+    /// so acknowledged batches survive a crash.
+    pub ingest_dir: Option<PathBuf>,
+    /// Drift level at which ingest maintenance escalates from incremental
+    /// rep assignment to a full assignment refresh (see
+    /// `tasti_obs::DriftGauge`): 1.0 ≈ clusters have grown by one baseline
+    /// radius. The default 0.5 escalates at half that.
+    pub drift_threshold: f64,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +127,8 @@ impl Default for ServeConfig {
             crack_after_queries: true,
             degraded_replies: true,
             preload: Vec::new(),
+            ingest_dir: None,
+            drift_threshold: 0.5,
         }
     }
 }
@@ -134,6 +146,8 @@ mod tests {
         assert!(c.max_connections >= c.workers);
         assert!(c.crack_after_queries);
         assert!(c.snapshot_path.is_none());
+        assert!(c.ingest_dir.is_none(), "ingest is opt-in");
+        assert!(c.drift_threshold > 0.0);
     }
 
     #[test]

@@ -90,6 +90,6 @@ pub use client::{Client, ClientError};
 pub use config::{ServeConfig, ServeCore};
 pub use metrics::ServeMetrics;
 pub use proto::{ErrorKind, Op, Reply, Request, ScoreSpec};
-pub use registry::{IndexEntry, IndexRegistry};
+pub use registry::{IndexEntry, IndexRegistry, IngestOutcome};
 pub use server::{JoinReport, Server};
-pub use service::{LabelerFactory, TastiService, DEFAULT_INDEX_NAME};
+pub use service::{LabelerFactory, ReplaySummary, TastiService, DEFAULT_INDEX_NAME};

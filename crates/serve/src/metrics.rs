@@ -62,6 +62,21 @@ pub struct ServeMetrics {
     /// channel was full (request-level backpressure; the connection stays
     /// open). Zero under the threaded core, which rejects at admission.
     pub requests_rejected_overloaded: Counter,
+    /// Records durably ingested and applied (acknowledged batches summed).
+    pub records_ingested: Counter,
+    /// Acknowledged `ingest` batches.
+    pub ingest_batches: Counter,
+    /// `ingest` batches rejected with the typed `ingest_rejected` error
+    /// (no ingest log configured, or the durable append failed).
+    pub ingest_rejected: Counter,
+    /// Segment-log frames re-applied during startup replay.
+    pub ingest_replayed_frames: Counter,
+    /// Drift-triggered escalations from incremental rep assignment to a
+    /// full assignment refresh.
+    pub ingest_escalations: Counter,
+    /// Crack maintenance passes that escalated to a full assignment
+    /// rebuild (the previously silent reps-grown-by-⅛ heuristic, audited).
+    pub crack_rebuilds: Counter,
     /// Reactor loop iterations (readiness wakeups + timer/completion
     /// wakeups). Zero under the threaded core.
     pub reactor_wakeups: Counter,
@@ -101,6 +116,12 @@ impl ServeMetrics {
             rejection_write_drops: Counter::new(),
             snapshot_failures: Counter::new(),
             requests_rejected_overloaded: Counter::new(),
+            records_ingested: Counter::new(),
+            ingest_batches: Counter::new(),
+            ingest_rejected: Counter::new(),
+            ingest_replayed_frames: Counter::new(),
+            ingest_escalations: Counter::new(),
+            crack_rebuilds: Counter::new(),
             reactor_wakeups: Counter::new(),
             reactor_timer_fires: Counter::new(),
             reactor_loop_micros: Mutex::new(Histogram::default()),
@@ -216,6 +237,14 @@ impl ServeMetrics {
                 "requests_rejected_overloaded",
                 &self.requests_rejected_overloaded,
             ),
+            // Ingest counters join the same fire-before-emit convention:
+            // an ingest-free server's dump stays byte-identical.
+            ("records_ingested", &self.records_ingested),
+            ("ingest_batches", &self.ingest_batches),
+            ("ingest_rejected", &self.ingest_rejected),
+            ("ingest_replayed_frames", &self.ingest_replayed_frames),
+            ("ingest_escalations", &self.ingest_escalations),
+            ("crack_rebuilds", &self.crack_rebuilds),
         ] {
             if c.get() > 0 {
                 counter(key, c, &mut out);
@@ -356,6 +385,31 @@ mod tests {
         assert_eq!(loop_micros.get("count").unwrap().as_u64(), Some(1));
         let ready = reactor.get("ready_events").unwrap();
         assert_eq!(ready.get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn ingest_counters_are_absent_until_ingest_happens() {
+        let m = ServeMetrics::new();
+        let clean = m.to_json_body();
+        for key in [
+            "records_ingested",
+            "ingest_batches",
+            "ingest_rejected",
+            "ingest_replayed_frames",
+            "ingest_escalations",
+            "crack_rebuilds",
+        ] {
+            assert!(!clean.contains(key), "idle dump must omit {key}");
+        }
+        m.records_ingested.add(40);
+        m.ingest_batches.incr();
+        m.crack_rebuilds.incr();
+        let doc = JsonValue::parse(&format!("{{{}}}", m.to_json_body())).unwrap();
+        assert_eq!(doc.get("records_ingested").unwrap().as_u64(), Some(40));
+        assert_eq!(doc.get("ingest_batches").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("crack_rebuilds").unwrap().as_u64(), Some(1));
+        assert!(doc.get("ingest_rejected").is_none());
+        assert!(doc.get("ingest_escalations").is_none());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```text
 //! request  := { "id": u64, "op": op, ["index": string], [params…] } "\n"
 //! op       := "ebs_aggregate" | "supg_recall_target" | "supg_precision_target"
-//!           | "limit_query" | "predicate_aggregate"
+//!           | "limit_query" | "predicate_aggregate" | "ingest"
 //!           | "index_stats" | "metrics" | "health"
 //!           | "index_load" | "index_unload" | "index_list"
 //!           | "snapshot" | "shutdown"
@@ -23,8 +23,17 @@
 //!               "error": { "kind": kind, "message": string,
 //!                          ["retry_after_micros": u64] } } "\n"
 //! kind     := "bad_request" | "overloaded" | "shutting_down"
-//!           | "budget_exhausted" | "labeler_unavailable" | "internal"
+//!           | "budget_exhausted" | "labeler_unavailable"
+//!           | "ingest_rejected" | "internal"
 //! ```
+//!
+//! **Streaming ingest:** `ingest` appends a batch of new records to the
+//! routed index: `"rows"` is an array of feature rows (arrays of numbers);
+//! `"embedded": true` marks rows already in the index's embedding space
+//! (required for TASTI-PT indexes, which carry no embedding model). The
+//! batch is acknowledged only after it is durable in the server's segment
+//! log; a server running without an ingest log rejects the op with the
+//! typed `ingest_rejected` error.
 //!
 //! Query operations take a `score` (the scoring function executed on
 //! representatives and oracle outputs), an optional propagation `k`, an
@@ -65,6 +74,8 @@ pub enum Op {
     LimitQuery,
     /// Importance-sampled aggregation over records matching a predicate.
     PredicateAggregate,
+    /// Durably append a batch of new records to the routed index.
+    Ingest,
     /// Index metadata (records, reps, cover radius, …).
     IndexStats,
     /// Full operational-metrics dump (admin).
@@ -86,12 +97,13 @@ pub enum Op {
 
 impl Op {
     /// Every operation, in protocol order.
-    pub const ALL: [Op; 13] = [
+    pub const ALL: [Op; 14] = [
         Op::EbsAggregate,
         Op::SupgRecallTarget,
         Op::SupgPrecisionTarget,
         Op::LimitQuery,
         Op::PredicateAggregate,
+        Op::Ingest,
         Op::IndexStats,
         Op::Metrics,
         Op::Health,
@@ -110,6 +122,7 @@ impl Op {
             Op::SupgPrecisionTarget => "supg_precision_target",
             Op::LimitQuery => "limit_query",
             Op::PredicateAggregate => "predicate_aggregate",
+            Op::Ingest => "ingest",
             Op::IndexStats => "index_stats",
             Op::Metrics => "metrics",
             Op::Health => "health",
@@ -295,6 +308,12 @@ pub struct Request {
     pub index: Option<String>,
     /// Index snapshot file to load (`index_load` only).
     pub path: Option<String>,
+    /// Feature rows to append (`ingest` only).
+    pub rows: Option<Vec<Vec<f32>>>,
+    /// Whether `rows` are already in the index's embedding space
+    /// (`ingest` only; default false = raw features run through the
+    /// index's embedding model).
+    pub embedded: Option<bool>,
     /// Scoring function (query ops; the *value* score for
     /// `predicate_aggregate`).
     pub score: Option<ScoreSpec>,
@@ -336,6 +355,8 @@ impl Request {
             op,
             index: None,
             path: None,
+            rows: None,
+            embedded: None,
             score: None,
             predicate: None,
             threshold: None,
@@ -369,6 +390,27 @@ impl Request {
             out.push_str(",\"path\":\"");
             push_escaped(&mut out, path);
             out.push('"');
+        }
+        if let Some(rows) = &self.rows {
+            out.push_str(",\"rows\":[");
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, x) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&fmt_f64(f64::from(*x)));
+                }
+                out.push(']');
+            }
+            out.push(']');
+        }
+        if let Some(embedded) = self.embedded {
+            out.push_str(",\"embedded\":");
+            out.push_str(if embedded { "true" } else { "false" });
         }
         if let Some(s) = &self.score {
             out.push_str(",\"score\":");
@@ -462,11 +504,42 @@ impl Request {
                     }),
             }
         };
+        let rows = match v.get("rows") {
+            None | Some(JsonValue::Null) => None,
+            Some(JsonValue::Array(items)) => {
+                let mut parsed = Vec::with_capacity(items.len());
+                for (i, row) in items.iter().enumerate() {
+                    let bad = || ProtoError {
+                        id,
+                        message: format!("'rows[{i}]' must be an array of numbers"),
+                    };
+                    let row = row.as_array().ok_or_else(bad)?;
+                    let mut vals = Vec::with_capacity(row.len());
+                    for x in row {
+                        vals.push(x.as_f64().ok_or_else(bad)? as f32);
+                    }
+                    parsed.push(vals);
+                }
+                Some(parsed)
+            }
+            Some(_) => {
+                return Err(fail("field 'rows' must be an array of arrays".into()));
+            }
+        };
+        let embedded = match v.get("embedded") {
+            None | Some(JsonValue::Null) => None,
+            Some(x) => Some(
+                x.as_bool()
+                    .ok_or_else(|| fail("field 'embedded' must be a boolean".into()))?,
+            ),
+        };
         Ok(Request {
             id: id.unwrap_or(0),
             op,
             index: s("index")?,
             path: s("path")?,
+            rows,
+            embedded,
             score,
             predicate,
             threshold: f("threshold")?,
@@ -518,6 +591,10 @@ pub enum ErrorKind {
     /// carries `retry_after_micros`), or degraded replies are disabled and
     /// the oracle faulted mid-query.
     LabelerUnavailable,
+    /// An ingest batch could not be accepted: the server runs without an
+    /// ingest log, or the durable append itself failed (the batch is NOT
+    /// acknowledged and must be retried).
+    IngestRejected,
     /// The query panicked or another internal failure occurred.
     Internal,
 }
@@ -531,6 +608,7 @@ impl ErrorKind {
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::BudgetExhausted => "budget_exhausted",
             ErrorKind::LabelerUnavailable => "labeler_unavailable",
+            ErrorKind::IngestRejected => "ingest_rejected",
             ErrorKind::Internal => "internal",
         }
     }
@@ -830,6 +908,52 @@ mod tests {
         let reply = Reply::parse(&line).unwrap();
         assert_eq!(reply.index.as_deref(), Some("alt"));
         assert!(reply.telemetry.is_none());
+    }
+
+    #[test]
+    fn ingest_requests_round_trip_rows_and_embedded_flag() {
+        let mut req = Request::new(Op::Ingest);
+        req.id = 21;
+        req.index = Some("night_street".into());
+        req.rows = Some(vec![vec![0.5, -1.25, 3.0], vec![0.0, 2.0, 4.5]]);
+        req.embedded = Some(true);
+        let line = req.to_json();
+        assert!(line.contains("\"op\":\"ingest\""));
+        assert!(line.contains("\"rows\":[[0.5,-1.25,3.0],[0.0,2.0,4.5]]"));
+        assert!(line.contains("\"embedded\":true"));
+        let parsed = Request::parse_line(&line).unwrap();
+        assert_eq!(parsed, req);
+        // Absent fields stay absent (and off the wire).
+        let bare = Request::new(Op::Ingest).to_json();
+        assert!(!bare.contains("rows") && !bare.contains("embedded"));
+        let parsed = Request::parse_line(&bare).unwrap();
+        assert_eq!(parsed.rows, None);
+        assert_eq!(parsed.embedded, None);
+    }
+
+    #[test]
+    fn malformed_ingest_fields_are_typed_parse_errors() {
+        let err = Request::parse_line(r#"{"id":6,"op":"ingest","rows":"nope"}"#).unwrap_err();
+        assert_eq!(err.id, Some(6));
+        assert!(err.message.contains("'rows' must be an array of arrays"));
+        let err = Request::parse_line(r#"{"id":7,"op":"ingest","rows":[[1,"x"]]}"#).unwrap_err();
+        assert!(err
+            .message
+            .contains("'rows[0]' must be an array of numbers"));
+        let err = Request::parse_line(r#"{"id":8,"op":"ingest","rows":[1]}"#).unwrap_err();
+        assert!(err
+            .message
+            .contains("'rows[0]' must be an array of numbers"));
+        let err =
+            Request::parse_line(r#"{"id":9,"op":"ingest","rows":[[1]],"embedded":3}"#).unwrap_err();
+        assert!(err.message.contains("'embedded' must be a boolean"));
+    }
+
+    #[test]
+    fn ingest_is_not_a_query_op() {
+        assert!(!Op::Ingest.is_query());
+        assert_eq!(Op::parse("ingest"), Some(Op::Ingest));
+        assert_eq!(ErrorKind::IngestRejected.name(), "ingest_rejected");
     }
 
     #[test]

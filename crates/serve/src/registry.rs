@@ -24,12 +24,135 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock, TryLockError};
 
-use tasti_core::crack::crack_from_labeler;
-use tasti_core::index::TastiIndex;
+use tasti_core::crack::crack_from_labeler_audited;
+use tasti_core::index::{AppendError, CrackReport, TastiIndex};
 use tasti_core::persist;
+use tasti_core::AssignStats;
 use tasti_labeler::{FallibleTargetLabeler, MeteredLabeler};
+use tasti_obs::{AssignTelemetry, DriftGauge, IngestTelemetry};
 
 use crate::metrics::ServeMetrics;
+
+/// Bridges the cluster crate's assignment stats into the dependency-free
+/// telemetry record the `metrics` op serializes (same mapping
+/// `tasti_core::build` uses for build telemetry).
+fn assign_telemetry(stats: &AssignStats) -> AssignTelemetry {
+    AssignTelemetry {
+        strategy: stats.strategy.to_string(),
+        n_records: stats.n_records as u64,
+        n_reps: stats.n_reps as u64,
+        n_cells: stats.n_cells as u64,
+        nprobe: stats.nprobe as u64,
+        quant: stats.quant.to_string(),
+        candidate_mean: stats.candidate_mean(),
+        candidate_min: stats.candidate_min as u64,
+        candidate_max: stats.candidate_max as u64,
+        probe_widenings: stats.probe_widenings,
+        exact_fallback: stats.exact_fallback,
+        audited_records: stats.audited_records as u64,
+        audited_recall: stats.audited_recall,
+        seconds: stats.seconds,
+    }
+}
+
+/// Anchors a [`DriftGauge`] on an index's current cluster structure:
+/// per-rep mean nearest distances (the radius baseline) and the global
+/// nearest-distance variance. `O(n_records)`; runs once per entry at first
+/// ingest and again after each drift escalation.
+fn anchor_gauge(index: &TastiIndex) -> DriftGauge {
+    let mink = index.mink();
+    let n_reps = mink.n_reps();
+    let mut sum = vec![0.0f64; n_reps];
+    let mut count = vec![0u64; n_reps];
+    let (mut gsum, mut gsumsq, mut gcount) = (0.0f64, 0.0f64, 0u64);
+    for r in 0..mink.n_records() {
+        let nb = mink.nearest(r);
+        let d = f64::from(nb.dist);
+        if !d.is_finite() {
+            continue;
+        }
+        sum[nb.rep as usize] += d;
+        count[nb.rep as usize] += 1;
+        gsum += d;
+        gsumsq += d * d;
+        gcount += 1;
+    }
+    let radius: Vec<f64> = (0..n_reps)
+        .map(|c| {
+            if count[c] > 0 {
+                sum[c] / count[c] as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let variance = if gcount > 0 {
+        let mean = gsum / gcount as f64;
+        (gsumsq / gcount as f64 - mean * mean).max(0.0)
+    } else {
+        0.0
+    };
+    DriftGauge::new(radius, variance)
+}
+
+/// The index-side work of one ingest batch: append, watermark, drift
+/// observation, and (past the threshold) the full assignment refresh.
+/// Shared by [`IndexEntry::apply_ingest`]'s in-place and clone-and-swap
+/// paths. Returns the assigned id range, the drift reading that was
+/// compared against the threshold, and the refresh stats when one ran.
+fn ingest_into(
+    idx: &mut TastiIndex,
+    gauge: &mut DriftGauge,
+    rows: &[Vec<f32>],
+    embedded: bool,
+    seq: u64,
+    drift_threshold: f64,
+) -> Result<(std::ops::Range<usize>, f64, Option<AssignStats>), AppendError> {
+    let range = idx.try_append_rows(rows, embedded)?;
+    idx.set_ingest_watermark(seq);
+    for r in range.clone() {
+        let nb = idx.mink().nearest(r);
+        gauge.observe(nb.rep as usize, f64::from(nb.dist));
+    }
+    let drift = gauge.drift();
+    let assign = if drift > drift_threshold && !range.is_empty() {
+        let stats = idx.refresh_assignment();
+        *gauge = anchor_gauge(idx);
+        Some(stats)
+    } else {
+        None
+    };
+    Ok((range, drift, assign))
+}
+
+/// Per-entry streaming-ingest state: the drift gauge (anchored lazily on
+/// first ingest so ingest-free entries pay nothing) and the telemetry
+/// record the `metrics` op emits.
+#[derive(Default)]
+struct IngestState {
+    gauge: Option<DriftGauge>,
+    telemetry: IngestTelemetry,
+}
+
+/// What one applied ingest batch did to an entry's index.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// False when the frame's sequence was at or below the index's ingest
+    /// watermark — an already-applied frame seen again during replay.
+    pub applied: bool,
+    /// First record id assigned to the batch.
+    pub start: usize,
+    /// Records appended.
+    pub added: usize,
+    /// Total records in the index after the batch.
+    pub total_records: usize,
+    /// Whether drift crossed the threshold and the rep assignment was
+    /// refreshed from scratch.
+    pub escalated: bool,
+    /// The drift-gauge reading right after the batch folded in (pre-reset
+    /// when it escalated — the value that tripped the threshold).
+    pub drift: f64,
+}
 
 /// One named index with everything that must travel with it: labeler,
 /// budget, metrics, maintenance lock, snapshot target.
@@ -48,6 +171,9 @@ pub struct IndexEntry<L: FallibleTargetLabeler> {
     pub metrics: ServeMetrics,
     /// Serializes this entry's crack maintenance; queries never wait on it.
     maintenance: Mutex<()>,
+    /// Streaming-ingest drift gauge + telemetry. Locked after
+    /// `maintenance` (ingest) or alone (telemetry reads).
+    ingest: Mutex<IngestState>,
     /// Where the `snapshot` op persists this entry. For loaded entries this
     /// defaults to the path the snapshot came from.
     pub snapshot_path: Option<PathBuf>,
@@ -74,6 +200,7 @@ impl<L: FallibleTargetLabeler> IndexEntry<L> {
             label_budget,
             metrics: ServeMetrics::new(),
             maintenance: Mutex::new(()),
+            ingest: Mutex::new(IngestState::default()),
             snapshot_path,
         }
     }
@@ -88,12 +215,20 @@ impl<L: FallibleTargetLabeler> IndexEntry<L> {
     /// cracking) without blocking readers: clone the current index, crack
     /// the clone off-lock, swap the `Arc` under a brief write lock. One
     /// pass at a time per entry; callers that lose the `try_lock` race
-    /// skip — the winner folds the shared labeler cache in anyway. Returns
-    /// the number of reps added.
-    pub fn crack_pending(&self) -> usize {
+    /// skip — the winner folds the shared labeler cache in anyway. The
+    /// returned [`CrackReport`] makes the maintenance decision visible:
+    /// whether the batch stayed on the incremental min-k append path or
+    /// escalated to a full assignment rebuild (and with what realized
+    /// candidate counts).
+    pub fn crack_pending(&self) -> CrackReport {
+        let skipped = CrackReport {
+            added: 0,
+            rebuilt: false,
+            assign: None,
+        };
         let _guard = match self.maintenance.try_lock() {
             Ok(g) => g,
-            Err(TryLockError::WouldBlock) => return 0,
+            Err(TryLockError::WouldBlock) => return skipped,
             Err(TryLockError::Poisoned(e)) => e.into_inner(),
         };
         let snapshot = self.index();
@@ -104,28 +239,130 @@ impl<L: FallibleTargetLabeler> IndexEntry<L> {
             .iter()
             .any(|&r| r < snapshot.n_records() && !snapshot.is_rep(r))
         {
-            return 0;
+            return skipped;
         }
         let mut working = (*snapshot).clone();
-        let added = crack_from_labeler(&mut working, &self.labeler);
-        if added > 0 {
+        let report = crack_from_labeler_audited(&mut working, &self.labeler);
+        if report.added > 0 {
             let next = Arc::new(working);
             *self.index.write().unwrap_or_else(|e| e.into_inner()) = next;
-            self.metrics.cracked_reps.add(added as u64);
+            self.metrics.cracked_reps.add(report.added as u64);
             self.metrics.crack_passes.incr();
+            let mut st = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+            if report.rebuilt {
+                st.telemetry.crack_rebuilds += 1;
+                self.metrics.crack_rebuilds.incr();
+                if let Some(stats) = &report.assign {
+                    st.telemetry.last_assign = Some(assign_telemetry(stats));
+                }
+            } else {
+                st.telemetry.crack_incremental += 1;
+            }
         }
-        added
+        report
+    }
+
+    /// Durably-logged ingest, index side: appends `rows` to this entry's
+    /// index, feeds the drift gauge, and escalates to a full assignment
+    /// refresh when drift crosses `drift_threshold`. `seq` is the batch's
+    /// segment-log sequence — it becomes the index's ingest watermark, and
+    /// a frame at or below the current watermark is skipped
+    /// (`applied: false`), which is what makes startup replay idempotent.
+    ///
+    /// Takes the maintenance lock *blocking* (unlike cracking, ingest must
+    /// never be dropped) and mutates a clone off-lock unless no reader
+    /// holds the index, in which case it updates in place under the write
+    /// lock. Validation errors leave index and gauge untouched.
+    pub fn apply_ingest(
+        &self,
+        rows: &[Vec<f32>],
+        embedded: bool,
+        seq: u64,
+        drift_threshold: f64,
+        replay: bool,
+    ) -> Result<IngestOutcome, AppendError> {
+        let _guard = self.maintenance.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = self.index.write().unwrap_or_else(|e| e.into_inner());
+        if seq != 0 && slot.ingest_watermark() >= seq {
+            return Ok(IngestOutcome {
+                applied: false,
+                start: slot.n_records(),
+                added: 0,
+                total_records: slot.n_records(),
+                escalated: false,
+                drift: 0.0,
+            });
+        }
+        let mut st = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        let st = &mut *st;
+        if st.gauge.is_none() {
+            // Anchor on the pre-ingest structure the FPF pass built.
+            st.gauge = Some(anchor_gauge(&slot));
+        }
+        let gauge = st.gauge.as_mut().expect("anchored above");
+        // Fast path: no in-flight query holds the index — mutate in place
+        // under the write lock (appends are incremental, O(batch)).
+        // Otherwise clone off-lock and swap, like cracking.
+        let (range, drift, assign) = match Arc::get_mut(&mut slot) {
+            Some(idx) => ingest_into(idx, gauge, rows, embedded, seq, drift_threshold)?,
+            None => {
+                drop(slot);
+                let snapshot = self.index();
+                let mut working = (*snapshot).clone();
+                drop(snapshot);
+                let out = ingest_into(&mut working, gauge, rows, embedded, seq, drift_threshold)?;
+                *self.index.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(working);
+                out
+            }
+        };
+        let escalated = assign.is_some();
+        st.telemetry.records_ingested += range.len() as u64;
+        if replay {
+            st.telemetry.replayed_frames += 1;
+        } else {
+            st.telemetry.batches += 1;
+        }
+        if escalated {
+            st.telemetry.escalations += 1;
+        }
+        if let Some(stats) = &assign {
+            st.telemetry.last_assign = Some(assign_telemetry(stats));
+        }
+        st.telemetry.drift_threshold = drift_threshold;
+        st.telemetry.drift = st.gauge.as_ref().map(DriftGauge::drift).unwrap_or(0.0);
+        Ok(IngestOutcome {
+            applied: true,
+            start: range.start,
+            added: range.len(),
+            total_records: range.end,
+            escalated,
+            drift,
+        })
+    }
+
+    /// A point-in-time copy of this entry's ingest telemetry with the
+    /// drift gauge's current reading folded in. [`IngestTelemetry::is_idle`]
+    /// on the result tells callers whether to emit it at all.
+    pub fn ingest_telemetry(&self) -> IngestTelemetry {
+        let st = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        let mut t = st.telemetry.clone();
+        if let Some(g) = &st.gauge {
+            t.drift = g.drift();
+        }
+        t
     }
 
     /// Persists this entry's current index to `path` (atomic temp-file +
-    /// rename via `persist::save`). Returns `(records, reps)` of the saved
-    /// snapshot; bumps this entry's snapshot counters either way.
-    pub fn snapshot_to(&self, path: &std::path::Path) -> Result<(usize, usize), String> {
+    /// rename via `persist::save`). Returns `(records, reps, watermark)`
+    /// of the saved snapshot — the watermark is what segment-log
+    /// compaction keys on; bumps this entry's snapshot counters either
+    /// way.
+    pub fn snapshot_to(&self, path: &std::path::Path) -> Result<(usize, usize, u64), String> {
         let idx = self.index();
         match persist::save(&idx, path) {
             Ok(()) => {
                 self.metrics.snapshots.incr();
-                Ok((idx.n_records(), idx.reps().len()))
+                Ok((idx.n_records(), idx.reps().len(), idx.ingest_watermark()))
             }
             Err(e) => {
                 self.metrics.snapshot_failures.incr();

@@ -20,18 +20,20 @@
 //!   brief write lock. Readers never wait on a crack, and cracking one
 //!   index never serializes another's.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use tasti_core::index::TastiIndex;
 use tasti_core::persist;
 use tasti_core::scoring::ScoringFunction;
+use tasti_ingest::{LogConfig, SegmentLog};
 use tasti_labeler::{
     BreakerState, FallibleTargetLabeler, FaultKind, LabelerError, LabelerFault, MeteredLabeler,
     RecordId,
 };
-use tasti_obs::json::{fmt_f64, push_escaped};
+use tasti_obs::json::{fmt_f64, push_escaped, JsonValue};
 use tasti_obs::{QueryTelemetry, Stopwatch};
 use tasti_query::{
     try_ebs_aggregate_batch, try_limit_query_batch, try_predicate_aggregate_batch,
@@ -81,6 +83,36 @@ impl QueryError {
     }
 }
 
+/// What startup replay of the ingest segment log found and did
+/// ([`TastiService::open_ingest`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Acknowledged frames recovered from the log.
+    pub frames: usize,
+    /// Frames folded into an index (past its snapshot watermark).
+    pub applied: usize,
+    /// Frames skipped because the index's persisted watermark already
+    /// covered them (the snapshot on disk was newer than the frame).
+    pub already_applied: usize,
+    /// Frames addressed to an index that is not loaded.
+    pub unknown_index: usize,
+    /// Records appended across the applied frames.
+    pub records: usize,
+    /// Torn (never-acknowledged) tail bytes truncated during recovery.
+    pub truncated_bytes: u64,
+}
+
+/// The durable side of streaming ingest: the segment log plus the
+/// bookkeeping compaction keys on (per index: the highest log sequence
+/// holding its frames, and its ingest watermark at the last successful
+/// snapshot).
+struct IngestLogState {
+    log: SegmentLog,
+    appended: BTreeMap<String, u64>,
+    persisted: BTreeMap<String, u64>,
+    replay: ReplaySummary,
+}
+
 /// Unpacks a fault-aware query outcome into the result plus the fault that
 /// degraded it (if any).
 fn split_outcome<R>(out: QueryOutcome<R>) -> (R, Option<LabelerFault>) {
@@ -100,12 +132,18 @@ pub struct TastiService<L: FallibleTargetLabeler> {
     metrics: ServeMetrics,
     config: ServeConfig,
     factory: Option<LabelerFactory<L>>,
+    /// Durable ingest log; `None` until [`TastiService::open_ingest`] runs
+    /// (which needs `config.ingest_dir`). Locked briefly: an `ingest`
+    /// request holds it only for the append, never across index fold-in.
+    ingest: Mutex<Option<IngestLogState>>,
 }
 
 impl<L: FallibleTargetLabeler> TastiService<L> {
     /// Wraps an index and a labeler into a single-index service (the index
     /// becomes the registry's default entry). A `label_budget` in the
-    /// config overrides the labeler's own budget.
+    /// config overrides the labeler's own budget. When `config.ingest_dir`
+    /// is set, call [`TastiService::open_ingest`] before serving `ingest`
+    /// ([`TastiService::with_factory`] does it automatically).
     ///
     /// # Panics
     ///
@@ -133,6 +171,9 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         for (name, path) in service.config.preload.clone() {
             service.load_index_from(&name, &path, None)?;
         }
+        if service.config.ingest_dir.is_some() {
+            service.open_ingest()?;
+        }
         Ok(service)
     }
 
@@ -154,7 +195,85 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
             metrics: ServeMetrics::new(),
             config,
             factory,
+            ingest: Mutex::new(None),
         }
+    }
+
+    /// Opens the ingest segment log at `config.ingest_dir` and replays
+    /// every acknowledged frame into its index, so a `kill -9` after an
+    /// ingest ack never loses the batch. Frames at or below an index's
+    /// ingest watermark (already captured by the snapshot the index was
+    /// loaded from) are recognized and skipped, which makes replay
+    /// idempotent. Runs automatically in [`TastiService::with_factory`];
+    /// services built with [`TastiService::new`] call it explicitly before
+    /// serving `ingest`.
+    pub fn open_ingest(&self) -> Result<ReplaySummary, String> {
+        let dir = self
+            .config
+            .ingest_dir
+            .as_ref()
+            .ok_or_else(|| "open_ingest requires ServeConfig::ingest_dir".to_string())?;
+        let mut guard = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_some() {
+            return Err("the ingest log is already open".to_string());
+        }
+        let (log, frames, report) = SegmentLog::open(dir, LogConfig::default())
+            .map_err(|e| format!("failed to open ingest log at {}: {e}", dir.display()))?;
+        let mut summary = ReplaySummary {
+            frames: frames.len(),
+            truncated_bytes: report.truncated_bytes,
+            ..ReplaySummary::default()
+        };
+        let mut appended = BTreeMap::new();
+        for frame in &frames {
+            let (name, embedded, rows) = decode_ingest_payload(&frame.payload)
+                .map_err(|e| format!("ingest log frame {} is unreadable: {e}", frame.seq))?;
+            let Some(entry) = self.registry.get(Some(&name)) else {
+                summary.unknown_index += 1;
+                continue;
+            };
+            appended.insert(name, frame.seq);
+            let out = entry
+                .apply_ingest(
+                    &rows,
+                    embedded,
+                    frame.seq,
+                    self.config.drift_threshold,
+                    true,
+                )
+                .map_err(|e| {
+                    format!(
+                        "ingest log frame {} (index '{}') failed to re-apply: {e}",
+                        frame.seq, entry.name
+                    )
+                })?;
+            if out.applied {
+                summary.applied += 1;
+                summary.records += out.added;
+                self.metrics.ingest_replayed_frames.incr();
+                entry.metrics.ingest_replayed_frames.incr();
+                self.metrics.records_ingested.add(out.added as u64);
+                entry.metrics.records_ingested.add(out.added as u64);
+            } else {
+                summary.already_applied += 1;
+            }
+        }
+        *guard = Some(IngestLogState {
+            log,
+            appended,
+            persisted: BTreeMap::new(),
+            replay: summary,
+        });
+        Ok(summary)
+    }
+
+    /// What startup replay did — `Some` once the ingest log is open.
+    pub fn ingest_replay(&self) -> Option<ReplaySummary> {
+        self.ingest
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|st| st.replay)
     }
 
     /// Registers a pre-built index under a registry name — the programmatic
@@ -268,6 +387,7 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
                     Op::IndexUnload => self.index_unload(req),
                     Op::IndexList => Ok(self.index_list(req)),
                     Op::Snapshot => self.snapshot(req, entry.as_deref().expect("routed")),
+                    Op::Ingest => self.ingest_batch(req, entry.as_deref().expect("routed")),
                     Op::Shutdown => Ok(ok_response(req.id, "\"draining\":true", None)),
                     _ => self.run_query(req, entry.as_deref().expect("routed")),
                 };
@@ -289,10 +409,13 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         }
         if ok && req.op.is_query() && self.config.crack_after_queries {
             if let Some(e) = &entry {
-                let added = e.crack_pending();
-                if added > 0 {
-                    self.metrics.cracked_reps.add(added as u64);
+                let report = e.crack_pending();
+                if report.added > 0 {
+                    self.metrics.cracked_reps.add(report.added as u64);
                     self.metrics.crack_passes.incr();
+                    if report.rebuilt {
+                        self.metrics.crack_rebuilds.incr();
+                    }
                 }
             }
         }
@@ -578,6 +701,115 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         ))
     }
 
+    /// The `ingest` op: validate the batch against the routed index,
+    /// durably append it to the segment log (fsync'd — that is the ack
+    /// promise), then fold it into the index. Rejections *before* the
+    /// append use typed errors and never acknowledge; an apply failure
+    /// *after* the append is `internal` — the data is safe in the log and
+    /// replays on restart.
+    fn ingest_batch(&self, req: &Request, entry: &IndexEntry<L>) -> Result<String, QueryError> {
+        let rows = match req.rows.as_deref() {
+            Some(rows) if !rows.is_empty() => rows,
+            _ => {
+                return Err(QueryError::new(
+                    ErrorKind::BadRequest,
+                    "ingest needs a non-empty 'rows' array",
+                ))
+            }
+        };
+        let embedded = req.embedded.unwrap_or(false);
+        // Validate shape before the durable append: a malformed batch must
+        // be a clean `bad_request`, not a logged frame that poisons replay.
+        let idx = entry.index();
+        let expected = if embedded {
+            idx.embedding_dim()
+        } else {
+            match idx.model() {
+                Some(m) => m.input_dim(),
+                None => {
+                    return Err(QueryError::new(
+                        ErrorKind::BadRequest,
+                        "this index has no embedding model; send pre-embedded rows \
+                         (\"embedded\":true)",
+                    ))
+                }
+            }
+        };
+        if let Some((i, row)) = rows.iter().enumerate().find(|(_, r)| r.len() != expected) {
+            return Err(QueryError::new(
+                ErrorKind::BadRequest,
+                format!(
+                    "rows[{i}] has {} values but the index expects {expected}",
+                    row.len()
+                ),
+            ));
+        }
+        drop(idx);
+        let payload = encode_ingest_payload(&entry.name, embedded, rows);
+        // Hold the log lock only for the append — durability is serialized
+        // service-wide, index fold-in runs under the entry's own locks.
+        let seq = {
+            let mut guard = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(st) = guard.as_mut() else {
+                self.metrics.ingest_rejected.incr();
+                entry.metrics.ingest_rejected.incr();
+                return Err(QueryError::new(
+                    ErrorKind::IngestRejected,
+                    "this server runs without an ingest log (start with --ingest-dir)",
+                ));
+            };
+            match st.log.append(payload.as_bytes()) {
+                Ok(seq) => {
+                    st.appended.insert(entry.name.clone(), seq);
+                    seq
+                }
+                Err(e) => {
+                    self.metrics.ingest_rejected.incr();
+                    entry.metrics.ingest_rejected.incr();
+                    return Err(QueryError::new(
+                        ErrorKind::IngestRejected,
+                        format!("durable append failed ({e}); the batch is not acknowledged"),
+                    ));
+                }
+            }
+        };
+        let out = entry
+            .apply_ingest(rows, embedded, seq, self.config.drift_threshold, false)
+            .map_err(|e| {
+                QueryError::new(
+                    ErrorKind::Internal,
+                    format!(
+                        "batch {seq} is durable in the ingest log but failed to apply ({e}); \
+                         it will be retried by replay on restart"
+                    ),
+                )
+            })?;
+        self.metrics.records_ingested.add(out.added as u64);
+        entry.metrics.records_ingested.add(out.added as u64);
+        self.metrics.ingest_batches.incr();
+        entry.metrics.ingest_batches.incr();
+        if out.escalated {
+            self.metrics.ingest_escalations.incr();
+            entry.metrics.ingest_escalations.incr();
+        }
+        let mut body = String::new();
+        push_int(&mut body, "ingested", out.added as u64);
+        push_int(&mut body, "start", out.start as u64);
+        push_int(&mut body, "records", out.total_records as u64);
+        push_int(&mut body, "seq", seq);
+        if out.escalated {
+            push_bool(&mut body, "escalated", true);
+            push_num(&mut body, "drift", out.drift);
+        }
+        body.pop();
+        Ok(ok_response_routed(
+            req.id,
+            &body,
+            None,
+            req.index.as_deref(),
+        ))
+    }
+
     /// The `health` admin response: meter status plus the oracle path's
     /// breaker/fault/retry counters when the wrapped labeler reports them
     /// (a [`tasti_labeler::ResilientLabeler`] does; a plain labeler yields
@@ -668,12 +900,16 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         entry: Option<&IndexEntry<L>>,
     ) -> Result<String, QueryError> {
         match entry {
-            Some(e) => Ok(ok_response_routed(
-                req.id,
-                &e.metrics.to_json_body(),
-                None,
-                req.index.as_deref(),
-            )),
+            Some(e) => {
+                let mut body = e.metrics.to_json_body();
+                append_ingest_section(&mut body, e);
+                Ok(ok_response_routed(
+                    req.id,
+                    &body,
+                    None,
+                    req.index.as_deref(),
+                ))
+            }
             None => {
                 let mut body = self.metrics.to_json_body();
                 if self.registry.len() > 1 {
@@ -686,6 +922,7 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
                         push_escaped(&mut body, &e.name);
                         body.push_str("\":{");
                         body.push_str(&e.metrics.to_json_body());
+                        append_ingest_section(&mut body, e);
                         body.push('}');
                     }
                     body.push('}');
@@ -778,8 +1015,9 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
             )
         })?;
         match entry.snapshot_to(path) {
-            Ok((records, reps)) => {
+            Ok((records, reps, watermark)) => {
                 self.metrics.snapshots.incr();
+                self.note_persisted(&entry.name, watermark);
                 let mut body = String::new();
                 body.push_str("\"path\":\"");
                 push_escaped(&mut body, &path.display().to_string());
@@ -809,14 +1047,34 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         path: &std::path::Path,
     ) -> Result<(usize, usize), (ErrorKind, String)> {
         match self.registry.default_entry().snapshot_to(path) {
-            Ok(shape) => {
+            Ok((records, reps, watermark)) => {
                 self.metrics.snapshots.incr();
-                Ok(shape)
+                self.note_persisted(self.registry.default_name(), watermark);
+                Ok((records, reps))
             }
             Err(message) => {
                 self.metrics.snapshot_failures.incr();
                 Err((ErrorKind::Internal, message))
             }
+        }
+    }
+
+    /// Records that `name`'s snapshot now covers ingest frames up to
+    /// `watermark`, then compacts the segment log past the point *every*
+    /// index with logged frames has persisted. Compaction failure is
+    /// swallowed — the log merely keeps more history than it needs.
+    fn note_persisted(&self, name: &str, watermark: u64) {
+        let mut guard = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(st) = guard.as_mut() else { return };
+        st.persisted.insert(name.to_string(), watermark);
+        let floor = st
+            .appended
+            .keys()
+            .map(|n| st.persisted.get(n).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(0);
+        if floor > 0 {
+            let _ = st.log.compact(floor);
         }
     }
 
@@ -826,12 +1084,15 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
     pub fn crack_pending(&self) -> usize {
         let mut total = 0;
         for entry in self.registry.entries() {
-            let added = entry.crack_pending();
-            if added > 0 {
-                self.metrics.cracked_reps.add(added as u64);
+            let report = entry.crack_pending();
+            if report.added > 0 {
+                self.metrics.cracked_reps.add(report.added as u64);
                 self.metrics.crack_passes.incr();
+                if report.rebuilt {
+                    self.metrics.crack_rebuilds.incr();
+                }
             }
-            total += added;
+            total += report.added;
         }
         total
     }
@@ -852,6 +1113,78 @@ impl<L: FallibleTargetLabeler> std::fmt::Debug for TastiService<L> {
 /// How many record ids a response array carries before truncating (the
 /// count field is always exact).
 const MAX_RECORDS_IN_RESPONSE: usize = 1000;
+
+/// Appends `,"ingest":{...}` when the entry has streaming-ingest activity.
+/// Idle entries emit nothing, keeping ingest-free `metrics` output
+/// byte-identical to the pre-ingest protocol.
+fn append_ingest_section<L: FallibleTargetLabeler>(body: &mut String, entry: &IndexEntry<L>) {
+    let t = entry.ingest_telemetry();
+    if !t.is_idle() {
+        body.push_str(",\"ingest\":");
+        t.write_json(body);
+    }
+}
+
+/// Serializes one ingest batch as a segment-log frame payload. The index
+/// name rides inside the frame so replay can route it without any state
+/// outside the log.
+fn encode_ingest_payload(index: &str, embedded: bool, rows: &[Vec<f32>]) -> String {
+    let mut out = String::from("{\"index\":\"");
+    push_escaped(&mut out, index);
+    out.push_str("\",\"embedded\":");
+    out.push_str(if embedded { "true" } else { "false" });
+    out.push_str(",\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&fmt_f64(f64::from(*v)));
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a frame payload back into `(index, embedded, rows)`.
+fn decode_ingest_payload(payload: &[u8]) -> Result<(String, bool, Vec<Vec<f32>>), String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+    let doc = JsonValue::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+    let index = doc
+        .get("index")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "payload is missing 'index'".to_string())?
+        .to_string();
+    let embedded = doc
+        .get("embedded")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    let rows_v = doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "payload is missing 'rows'".to_string())?;
+    let mut rows = Vec::with_capacity(rows_v.len());
+    for row in rows_v {
+        let vals = row
+            .as_array()
+            .ok_or_else(|| "payload row is not an array".to_string())?;
+        let mut out = Vec::with_capacity(vals.len());
+        for v in vals {
+            out.push(
+                v.as_f64()
+                    .ok_or_else(|| "payload row value is not a number".to_string())?
+                    as f32,
+            );
+        }
+        rows.push(out);
+    }
+    Ok((index, embedded, rows))
+}
 
 fn push_num(out: &mut String, key: &str, v: f64) {
     out.push('"');
@@ -891,5 +1224,41 @@ fn push_records(out: &mut String, key: &str, records: &[usize]) {
     out.push(',');
     if records.len() > MAX_RECORDS_IN_RESPONSE {
         push_bool(out, "truncated", true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_payload_round_trips_through_the_frame_codec() {
+        let rows = vec![vec![0.5f32, -1.25, 3.0], vec![0.0, 2.0, 4.5]];
+        let payload = encode_ingest_payload("night \"street\"", true, &rows);
+        let (name, embedded, back) = decode_ingest_payload(payload.as_bytes()).unwrap();
+        assert_eq!(name, "night \"street\"");
+        assert!(embedded);
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn malformed_frame_payloads_are_typed_errors_not_panics() {
+        assert!(decode_ingest_payload(&[0xff, 0xfe])
+            .unwrap_err()
+            .contains("UTF-8"));
+        assert!(decode_ingest_payload(b"not json")
+            .unwrap_err()
+            .contains("not JSON"));
+        assert!(decode_ingest_payload(b"{\"rows\":[[1.0]]}")
+            .unwrap_err()
+            .contains("'index'"));
+        assert!(decode_ingest_payload(b"{\"index\":\"a\"}")
+            .unwrap_err()
+            .contains("'rows'"));
+        assert!(
+            decode_ingest_payload(b"{\"index\":\"a\",\"rows\":[[true]]}")
+                .unwrap_err()
+                .contains("not a number")
+        );
     }
 }

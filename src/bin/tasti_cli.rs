@@ -90,13 +90,18 @@ struct ServeArgs {
     fault_corrupt: f64,
     fault_fatal: f64,
     fault_seed: u64,
+    /// Directory of the durable ingest segment log; absent → the `ingest`
+    /// op is rejected.
+    ingest_dir: Option<String>,
+    /// Drift level at which ingest escalates to a full assignment refresh.
+    drift_threshold: f64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
 struct ProbeArgs {
     /// agg | supg | supg-precision | limit | predicate | stats | metrics
     /// | health | index-list | index-load | index-unload | snapshot
-    /// | shutdown
+    /// | shutdown | ingest
     op: String,
     addr: String,
     class: String,
@@ -112,6 +117,12 @@ struct ProbeArgs {
     path: Option<String>,
     /// Per-index label budget for `index-load`.
     label_budget: Option<usize>,
+    /// Row source for `ingest`: regenerate this dataset (with `--n`/
+    /// `--seed`) and send features `[offset, offset+count)`.
+    dataset: Option<String>,
+    n: Option<usize>,
+    offset: usize,
+    count: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -147,10 +158,12 @@ USAGE:
                   [--label-budget B] [--no-crack] [--no-degraded]
                   [--fault-transient R] [--fault-timeout R]
                   [--fault-corrupt R] [--fault-fatal R] [--fault-seed S]
-  tasti_cli probe <agg|supg|supg-precision|limit|predicate|stats|metrics|health|index-list|index-load|index-unload|snapshot|shutdown>
+                  [--ingest-dir DIR] [--drift-threshold T]
+  tasti_cli probe <agg|supg|supg-precision|limit|predicate|stats|metrics|health|index-list|index-load|index-unload|snapshot|shutdown|ingest>
                   --addr HOST:PORT [--index NAME] [--path FILE]
                   [--label-budget B] [--class car|bus] [--min-count K]
                   [--error E] [--budget B] [--matches M] [--seed S]
+                  [--dataset NAME --n RECORDS --offset O --count C]
 
 DATASETS: night-street, taipei, amsterdam, wikisql, common-voice
 QUERIES over video use --class/--min-count; wikisql aggregates predicate
@@ -172,7 +185,16 @@ serve --fault-* rates inject deterministic oracle faults behind the full
 resilience stack (retry/backoff + circuit breaker): transient and timeout
 faults are retried, corrupt and fatal faults degrade their query to the
 proxy-only answer (or a typed labeler_unavailable error with
---no-degraded). `probe health` reports breaker state and fault counters.";
+--no-degraded). `probe health` reports breaker state and fault counters.
+
+serve --ingest-dir DIR enables streaming ingest: `probe ingest` batches are
+fsync'd to a crash-safe segment log before they are acknowledged, then
+folded into the index incrementally (escalating to a full rep-assignment
+refresh past --drift-threshold). On restart the log replays, so an
+acknowledged batch survives kill -9. `probe ingest` regenerates --dataset
+with --n/--seed and sends feature rows [--offset, --offset+--count); serve
+accepts a --n larger than the index so ingested records keep oracle
+coverage.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, Vec<String>>, String> {
     let mut flags: HashMap<String, Vec<String>> = HashMap::new();
@@ -359,13 +381,15 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 fault_corrupt: get(&flags, "fault-corrupt", Some(0.0))?,
                 fault_fatal: get(&flags, "fault-fatal", Some(0.0))?,
                 fault_seed: get(&flags, "fault-seed", Some(0x5EED))?,
+                ingest_dir: get_opt(&flags, "ingest-dir")?,
+                drift_threshold: get(&flags, "drift-threshold", Some(0.5))?,
             }))
         }
         Some("probe") => {
             let op = args
                 .get(1)
                 .cloned()
-                .ok_or("probe needs an op: agg|supg|supg-precision|limit|predicate|stats|metrics|health|index-list|index-load|index-unload|snapshot|shutdown")?;
+                .ok_or("probe needs an op: agg|supg|supg-precision|limit|predicate|stats|metrics|health|index-list|index-load|index-unload|snapshot|shutdown|ingest")?;
             if probe_op(&op).is_none() {
                 return Err(format!("unknown probe op '{op}'"));
             }
@@ -382,6 +406,10 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 index: get_opt(&flags, "index")?,
                 path: get_opt(&flags, "path")?,
                 label_budget: get_opt(&flags, "label-budget")?,
+                dataset: get_opt(&flags, "dataset")?,
+                n: get_opt(&flags, "n")?,
+                offset: get(&flags, "offset", Some(0))?,
+                count: get(&flags, "count", Some(0))?,
             }))
         }
         Some(other) => Err(format!("unknown command '{other}'")),
@@ -404,6 +432,7 @@ fn probe_op(name: &str) -> Option<ServeOp> {
         "index-unload" | "index_unload" => ServeOp::IndexUnload,
         "snapshot" => ServeOp::Snapshot,
         "shutdown" => ServeOp::Shutdown,
+        "ingest" => ServeOp::Ingest,
         _ => return None,
     })
 }
@@ -645,9 +674,21 @@ fn run_query(a: &QueryArgs) -> Result<(), String> {
 fn run_serve(a: &ServeArgs) -> Result<(), String> {
     let dataset = load_dataset(&a.dataset, a.n, a.seed)?;
     let index = persist::load(&a.index).map_err(|e| e.to_string())?;
-    if index.n_records() != dataset.len() {
+    // With ingest enabled the dataset may be *larger* than the index —
+    // the extra records are the oracle ground truth for rows ingested
+    // later (and for replayed log frames). Without ingest the sizes must
+    // match exactly, as before.
+    if a.ingest_dir.is_none() && index.n_records() != dataset.len() {
         return Err(format!(
             "index covers {} records but dataset has {} — pass the same --dataset/--n/--seed used at build time",
+            index.n_records(),
+            dataset.len()
+        ));
+    }
+    if index.n_records() > dataset.len() {
+        return Err(format!(
+            "index covers {} records but dataset has only {} — the dataset must cover every \
+             (current and ingested) record",
             index.n_records(),
             dataset.len()
         ));
@@ -663,6 +704,8 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
         label_budget: a.label_budget,
         crack_after_queries: !a.no_crack,
         degraded_replies: !a.no_degraded,
+        ingest_dir: a.ingest_dir.as_ref().map(std::path::PathBuf::from),
+        drift_threshold: a.drift_threshold,
         preload: a
             .preload
             .iter()
@@ -728,6 +771,13 @@ fn serve_until_drained<L: FallibleTargetLabeler + 'static>(
     let n_named = config.preload.len();
     let labeler = factory(DEFAULT_INDEX_NAME);
     let service = Arc::new(TastiService::with_factory(index, labeler, config, factory)?);
+    if let Some(r) = service.ingest_replay() {
+        println!(
+            "ingest log: replayed {} frame(s) — {} applied ({} record(s)), {} already in \
+             snapshot, {} for unknown indexes, {} torn byte(s) truncated",
+            r.frames, r.applied, r.records, r.already_applied, r.unknown_index, r.truncated_bytes
+        );
+    }
     let server = Server::start(service).map_err(|e| e.to_string())?;
     let named = if n_named > 0 {
         format!(", {n_named} named index(es) preloaded")
@@ -794,6 +844,32 @@ fn run_probe(a: &ProbeArgs) -> Result<(), String> {
             if a.index.is_none() {
                 return Err("probe index-unload needs --index NAME".to_string());
             }
+        }
+        ServeOp::Ingest => {
+            let dataset_name = a.dataset.clone().ok_or(
+                "probe ingest needs --dataset NAME --n RECORDS (the row source) \
+                 plus --offset/--count",
+            )?;
+            let n = a.n.ok_or("probe ingest needs --n RECORDS")?;
+            if a.count == 0 {
+                return Err("probe ingest needs --count > 0".to_string());
+            }
+            let dataset = load_dataset(&dataset_name, n, a.seed)?;
+            let end = a.offset + a.count;
+            if end > dataset.len() {
+                return Err(format!(
+                    "--offset {} + --count {} exceeds the dataset's {} records",
+                    a.offset,
+                    a.count,
+                    dataset.len()
+                ));
+            }
+            req.rows = Some(
+                (a.offset..end)
+                    .map(|r| dataset.features.row(r).to_vec())
+                    .collect(),
+            );
+            req.embedded = Some(false);
         }
         ServeOp::IndexStats
         | ServeOp::Metrics
@@ -1142,6 +1218,7 @@ mod tests {
             "index_unload",
             "snapshot",
             "shutdown",
+            "ingest",
         ] {
             let cmd = parse(&s(&["probe", op, "--addr", "127.0.0.1:9"])).unwrap();
             match cmd {
@@ -1151,6 +1228,77 @@ mod tests {
         }
         assert!(parse(&s(&["probe", "nope", "--addr", "x"])).is_err());
         assert!(parse(&s(&["probe", "stats"])).is_err(), "addr is required");
+    }
+
+    #[test]
+    fn parses_serve_ingest_flags() {
+        let cmd = parse(&s(&[
+            "serve",
+            "--index",
+            "x.json",
+            "--dataset",
+            "night-street",
+            "--n",
+            "2100",
+            "--ingest-dir",
+            "/tmp/ingest-log",
+            "--drift-threshold",
+            "0.75",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.ingest_dir.as_deref(), Some("/tmp/ingest-log"));
+                assert!((a.drift_threshold - 0.75).abs() < 1e-12);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&s(&[
+            "serve",
+            "--index",
+            "x.json",
+            "--dataset",
+            "night-street",
+            "--n",
+            "2000",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert!(a.ingest_dir.is_none(), "ingest is opt-in");
+                assert!((a.drift_threshold - 0.5).abs() < 1e-12);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_probe_ingest_row_source() {
+        let cmd = parse(&s(&[
+            "probe",
+            "ingest",
+            "--addr",
+            "127.0.0.1:9",
+            "--dataset",
+            "night-street",
+            "--n",
+            "2100",
+            "--offset",
+            "2000",
+            "--count",
+            "40",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Probe(a) => {
+                assert_eq!(a.op, "ingest");
+                assert_eq!(a.dataset.as_deref(), Some("night-street"));
+                assert_eq!(a.n, Some(2100));
+                assert_eq!(a.offset, 2000);
+                assert_eq!(a.count, 40);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 
     #[test]
