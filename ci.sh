@@ -48,7 +48,9 @@ if [ "$PROFILE" = "quick" ]; then
   cargo test -q -p tasti-query --features quick-proptest \
     --test degenerate --test telemetry_audit
   cargo test -q -p tasti-core --features quick-proptest --test degenerate_ranking
+  cargo test -q -p tasti-core --features quick-proptest --test persist_recovery
   cargo test -q -p tasti-ingest --features quick-proptest --test recovery
+  cargo test -q -p tasti-ingest --features quick-proptest --test vfs_faults
 else
   echo "==> property tests ran at full depth inside 'cargo test -q'"
 fi
@@ -196,6 +198,109 @@ grep -q 'ingest log: replayed' "$SMOKE/ingest2.log" \
 wait "$SERVE_PID"
 SERVE_PID=""
 echo "ingest smoke OK (40 streamed records survived kill -9 via log replay)"
+
+echo "==> storage chaos: disk-fault suite, read-only degradation, corrupt-snapshot recovery"
+# The dedicated suite: fsyncgate semantics over the wire, group commit,
+# fault-free byte-identity, snapshot save backoff.
+cargo test -q -p tasti-serve --test storage_chaos
+# A serve run under a scripted disk fault: the 2nd log fsync fails, so the
+# 2nd batch must come back as a typed storage rejection (never acked) and
+# ingest degrades to read-only — while queries and the admin surface keep
+# answering and the drain still exits 0.
+"$CLI" serve --index "$SMOKE/idx.json" --dataset night-street --n 2100 --seed 7 \
+  --addr 127.0.0.1:0 --workers 4 --ingest-dir "$SMOKE/faulted-log" \
+  --storage-fault-script 'sync:2=eio' \
+  > "$SMOKE/storage.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE '127\.0\.0\.1:[0-9]+' "$SMOKE/storage.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+  echo "storage smoke: server never printed its address"; cat "$SMOKE/storage.log"; exit 1
+fi
+# Batch 1 rides fsync #1: acknowledged.
+"$CLI" probe ingest --addr "$ADDR" --dataset night-street --n 2100 --seed 7 \
+  --offset 2000 --count 10
+# Batch 2 hits the injected fsync failure: the probe must exit non-zero
+# with a typed storage rejection on the wire.
+if "$CLI" probe ingest --addr "$ADDR" --dataset night-street --n 2100 --seed 7 \
+    --offset 2010 --count 10 > "$SMOKE/rejected.json" 2>/dev/null; then
+  echo "storage smoke: faulted ingest was acknowledged"; exit 1
+fi
+grep -q '"kind":"ingest_rejected"' "$SMOKE/rejected.json" \
+  || { echo "storage smoke: rejection not typed"; cat "$SMOKE/rejected.json"; exit 1; }
+grep -q '"fault_class":"storage"' "$SMOKE/rejected.json" \
+  || { echo "storage smoke: rejection missing fault class"; cat "$SMOKE/rejected.json"; exit 1; }
+grep -q '"read_only":true' "$SMOKE/rejected.json" \
+  || { echo "storage smoke: rejection missing read-only flag"; cat "$SMOKE/rejected.json"; exit 1; }
+# Queries and the admin surface keep serving in read-only degradation,
+# and metrics expose the storage section.
+for op in agg limit health; do
+  "$CLI" probe "$op" --addr "$ADDR" --class car --seed 7
+done
+"$CLI" probe metrics --addr "$ADDR" | grep -q '"storage":{"read_only":true' \
+  || { echo "storage smoke: metrics missing the storage section"; exit 1; }
+"$CLI" probe shutdown --addr "$ADDR"
+wait "$SERVE_PID" # drain under a poisoned log must still exit 0
+SERVE_PID=""
+# Corrupt-snapshot-then-restart: snapshot saves rotate a last-good copy;
+# a corrupted primary must fall back to it at startup with a visible
+# notice, and the ingest log replays anything above its watermark.
+"$CLI" serve --index "$SMOKE/idx.json" --dataset night-street --n 2100 --seed 7 \
+  --addr 127.0.0.1:0 --workers 4 --ingest-dir "$SMOKE/ingest-log" \
+  --snapshot "$SMOKE/snap-v3.json" \
+  > "$SMOKE/snapwriter.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE '127\.0\.0\.1:[0-9]+' "$SMOKE/snapwriter.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+  echo "storage smoke: snapshot writer never printed its address"; cat "$SMOKE/snapwriter.log"; exit 1
+fi
+"$CLI" probe snapshot --addr "$ADDR"
+"$CLI" probe ingest --addr "$ADDR" --dataset night-street --n 2100 --seed 7 \
+  --offset 2040 --count 10
+"$CLI" probe snapshot --addr "$ADDR" # rotates the first save to .prev
+"$CLI" probe shutdown --addr "$ADDR"
+wait "$SERVE_PID"
+SERVE_PID=""
+# A streamed index snapshots in the checksummed v3 envelope.
+grep -q '"version":3' "$SMOKE/snap-v3.json" \
+  || { echo "storage smoke: streamed snapshot must be format version 3"; exit 1; }
+[ -s "$SMOKE/snap-v3.json.prev" ] \
+  || { echo "storage smoke: snapshot save must rotate a last-good copy"; exit 1; }
+# Smash four bytes mid-file: the checksum must catch it at load.
+dd if=/dev/zero of="$SMOKE/snap-v3.json" bs=1 seek=64 count=4 conv=notrunc 2>/dev/null
+"$CLI" serve --index "$SMOKE/snap-v3.json" --dataset night-street --n 2100 --seed 7 \
+  --addr 127.0.0.1:0 --workers 4 --ingest-dir "$SMOKE/ingest-log" \
+  > "$SMOKE/recover.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE '127\.0\.0\.1:[0-9]+' "$SMOKE/recover.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+  echo "storage smoke: recovery server never printed its address"; cat "$SMOKE/recover.log"; exit 1
+fi
+grep -q 'recovered from last-good' "$SMOKE/recover.log" \
+  || { echo "storage smoke: corrupt snapshot did not fall back"; cat "$SMOKE/recover.log"; exit 1; }
+# The fallback is lossless: every acknowledged record is still served.
+"$CLI" probe stats --addr "$ADDR" | grep -q '"records":2050' \
+  || { echo "storage smoke: fallback + replay lost acknowledged records"; exit 1; }
+"$CLI" probe metrics --addr "$ADDR" | grep -q '"snapshot_fallback_loads":1' \
+  || { echo "storage smoke: fallback load not visible in metrics"; exit 1; }
+"$CLI" probe shutdown --addr "$ADDR"
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "storage chaos OK (typed read-only degradation; corrupt snapshot recovered from last-good)"
 
 echo "==> chaos: fault-injected suite + serve smoke under injected faults"
 # The dedicated suite: 8-client storm, breaker lifecycle, degraded replies.

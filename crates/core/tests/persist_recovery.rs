@@ -1,0 +1,169 @@
+//! Snapshot corruption recovery: whatever damage the primary snapshot
+//! takes — a flipped byte, a torn tail, wholesale garbage, or the file
+//! vanishing between `save`'s two renames — `load_with_fallback` must
+//! recover the `.prev` last-good copy, report the damage in a typed
+//! `FallbackInfo`, and never panic or return a silently-wrong index.
+//!
+//! The fallback is lossless for streamed indexes because the last-good
+//! copy carries an older (or equal) ingest watermark: the segment log
+//! replays everything above it (`crates/serve/tests/storage_chaos.rs`
+//! asserts that end to end over the wire; here we pin the watermark
+//! ordering that makes it possible).
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use tasti_cluster::{Metric, MinKTable};
+use tasti_core::persist::{self, PersistError};
+use tasti_core::scoring::CountClass;
+use tasti_core::TastiIndex;
+use tasti_labeler::{Detection, LabelerOutput, ObjectClass};
+use tasti_nn::Matrix;
+
+#[cfg(feature = "quick-proptest")]
+const CASES: u32 = 24;
+#[cfg(not(feature = "quick-proptest"))]
+const CASES: u32 = 96;
+
+/// Fresh scratch directory per proptest case.
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "tasti-persist-rec-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn frame(n_cars: usize) -> LabelerOutput {
+    LabelerOutput::Detections(
+        (0..n_cars)
+            .map(|i| Detection {
+                class: ObjectClass::Car,
+                x: 0.1 * (i + 1) as f32,
+                y: 0.5,
+                w: 0.1,
+                h: 0.1,
+            })
+            .collect(),
+    )
+}
+
+/// A 6-record index whose snapshot format depends on `watermark`
+/// (0 → v1 bare body, >0 → the checksummed v3 envelope).
+fn tiny_index(watermark: u64) -> TastiIndex {
+    let embeddings = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as f32 * 0.5);
+    let reps = vec![0usize, 5];
+    let rep_outputs = vec![frame(0), frame(3)];
+    let rep_emb: Vec<f32> = [embeddings.row(0), embeddings.row(5)].concat();
+    let mink = MinKTable::build(embeddings.as_slice(), &rep_emb, 2, 2, Metric::L2);
+    let mut index = TastiIndex::new(embeddings, Metric::L2, 2, reps, rep_outputs, mink);
+    index.set_ingest_watermark(watermark);
+    index
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Save watermark `w1`, then `w2 >= w1` (rotating the first snapshot
+    /// to `.prev`), corrupt the primary arbitrarily, and load. Recovery
+    /// must yield exactly the `w1` state with a fallback report — never a
+    /// panic, never a quietly-wrong index.
+    #[test]
+    fn corrupted_primary_always_recovers_to_last_good(
+        w1 in 1u64..500,
+        growth in 0u64..500,
+        mode in 0usize..4,
+        pos_sel in 0u64..u64::MAX,
+        mask_sel in 1u64..256,
+    ) {
+        let dir = scratch("corrupt");
+        let path = dir.join("index.json");
+        let w2 = w1 + growth;
+
+        persist::save(&tiny_index(w1), &path).unwrap();
+        persist::save(&tiny_index(w2), &path).unwrap();
+        prop_assert!(dir.join("index.json.prev").exists(), "save must rotate last-good");
+
+        let bytes = fs::read(&path).unwrap();
+        let pos = (pos_sel % bytes.len() as u64) as usize;
+        let mask = mask_sel as u8;
+        match mode {
+            // A flipped byte anywhere (bit rot, torn sector).
+            0 => {
+                let mut b = bytes.clone();
+                b[pos] ^= mask;
+                fs::write(&path, b).unwrap();
+            }
+            // A torn tail (crash mid-write on a non-atomic copy).
+            1 => fs::write(&path, &bytes[..pos]).unwrap(),
+            // Wholesale garbage.
+            2 => fs::write(&path, b"not a snapshot at all").unwrap(),
+            // The primary vanished between save's two renames.
+            _ => fs::remove_file(&path).unwrap(),
+        }
+
+        let report = persist::load_with_fallback(&path)
+            .map_err(|e| TestCaseError::fail(format!("recovery failed: {e}")))?;
+        let fb = report.fallback.as_ref();
+        prop_assert!(fb.is_some(), "damage must be reported, not papered over");
+        prop_assert_eq!(
+            report.index.ingest_watermark(), w1,
+            "recovered index must be exactly the last-good state"
+        );
+        // The recovered watermark never exceeds the lost one, so an
+        // ingest-log replay from it re-applies the gap (losslessness).
+        prop_assert!(report.index.ingest_watermark() <= w2);
+        // And the recovered index answers queries like the w1 original.
+        let score = CountClass(ObjectClass::Car);
+        prop_assert_eq!(report.index.propagate(&score), tiny_index(w1).propagate(&score));
+    }
+
+    /// With both the primary and the last-good damaged, recovery reports
+    /// the typed `Corrupt { recovered: false }` error — still no panic.
+    #[test]
+    fn double_corruption_is_a_typed_error(
+        w in 1u64..500,
+        mask_sel in 1u64..256,
+    ) {
+        let dir = scratch("double");
+        let path = dir.join("index.json");
+        persist::save(&tiny_index(w), &path).unwrap();
+        persist::save(&tiny_index(w + 1), &path).unwrap();
+        let mask = mask_sel as u8;
+        for p in [path.clone(), dir.join("index.json.prev")] {
+            let mut b = fs::read(&p).unwrap();
+            let mid = b.len() / 2;
+            b[mid] ^= mask;
+            fs::write(&p, b).unwrap();
+        }
+        match persist::load_with_fallback(&path) {
+            Err(PersistError::Corrupt { recovered, .. }) => {
+                prop_assert!(!recovered, "nothing good was left to recover");
+            }
+            Ok(_) => prop_assert!(false, "corrupt snapshot loaded"),
+            Err(other) => prop_assert!(false, "wrong error type: {other}"),
+        }
+    }
+}
+
+/// v1 (pre-ingest) snapshots carry no checksum envelope; a corrupt one
+/// with no last-good sibling is a plain typed error, and an intact one
+/// loads byte-identically through the fallback API (byte-compat pin).
+#[test]
+fn v1_snapshot_without_last_good_stays_typed() {
+    let dir = scratch("v1");
+    let path = dir.join("index.json");
+    persist::save(&tiny_index(0), &path).unwrap();
+    let report = persist::load_with_fallback(&path).unwrap();
+    assert!(report.fallback.is_none());
+    assert_eq!(report.index.ingest_watermark(), 0);
+
+    fs::write(&path, "garbage").unwrap();
+    assert!(persist::load_with_fallback(&path).is_err());
+}

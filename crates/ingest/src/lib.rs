@@ -32,8 +32,13 @@
 
 pub mod crc32;
 pub mod segment;
+pub mod vfs;
 
 pub use crc32::crc32;
 pub use segment::{
-    Frame, IngestError, LogConfig, ReplayReport, SegmentLog, DEFAULT_SEGMENT_BYTES, MAX_FRAME_LEN,
+    Frame, IngestError, LogConfig, PendingSync, ReplayReport, SegmentLog, DEFAULT_SEGMENT_BYTES,
+    MAX_FRAME_LEN,
+};
+pub use vfs::{
+    FaultKind, FaultOp, FaultRule, FaultScript, FaultVfs, RealVfs, Vfs, VfsFile, VfsSyncHandle,
 };

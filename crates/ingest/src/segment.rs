@@ -18,21 +18,38 @@
 //!
 //! * Segment base numbers must be contiguous: each segment starts where
 //!   the previous one ended. A gap or overlap is [`IngestError::Corrupt`].
-//! * In any segment **except the last**, every frame must be complete and
-//!   checksum-clean; anything else is `Corrupt` (a crash can only tear
-//!   the tail of the final segment — damage elsewhere is not a crash).
+//! * In any segment **except the last**, every frame up to the next
+//!   segment's base must be complete and checksum-clean; anything else is
+//!   `Corrupt`. Bytes *past* that base — whether torn or whole frames —
+//!   are the remnant of a poisoned segment (see below): the writer rolled
+//!   to a fresh segment precisely because their durability was unknowable,
+//!   so they were never acknowledged and are truncated away.
 //! * In the **last** segment, a trailing frame that is shorter than its
 //!   own header claims (or a header shorter than 8 bytes) is a torn
 //!   write: it is physically truncated away and replay succeeds. A
 //!   *complete* trailing frame with a checksum mismatch is `Corrupt`.
+//!
+//! # Poisoning (fsyncgate semantics)
+//!
+//! A failed `fsync` leaves the file's clean prefix unknowable: the kernel
+//! may have dropped some, all, or none of the dirty pages and will not
+//! reliably report the error again. When a sync fails the log therefore
+//! **poisons** the open segment — it never writes to that file again,
+//! rolls back the sequence counter to the last acknowledged frame,
+//! truncates the file to its last-synced length (best effort), and rolls
+//! to a fresh segment for any future append. Frames covered only by the
+//! failed sync are gone from the log's point of view; callers must not
+//! have acknowledged them (and [`SegmentLog::append`] never returns `Ok`
+//! for them).
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::crc32::crc32;
+use crate::vfs::{RealVfs, Vfs, VfsFile, VfsSyncHandle};
 
 /// Frame header: 4-byte length + 4-byte checksum.
 const HEADER_LEN: usize = 8;
@@ -77,7 +94,8 @@ pub struct ReplayReport {
     /// Segment files scanned.
     pub segments: usize,
     /// Bytes of torn (partially written, never acknowledged) tail
-    /// physically truncated from the final segment.
+    /// physically truncated from the final segment, plus any poisoned
+    /// remnant truncated from earlier segments.
     pub truncated_bytes: u64,
     /// The sequence number the next [`SegmentLog::append`] will return.
     pub next_seq: u64,
@@ -153,19 +171,61 @@ struct SegmentMeta {
     path: PathBuf,
 }
 
+/// An fsync captured by [`SegmentLog::begin_sync`], to be performed via
+/// [`PendingSync::sync`] (possibly on another thread, outside whatever
+/// lock guards the log) and settled with [`SegmentLog::finish_sync`].
+#[derive(Debug)]
+pub struct PendingSync {
+    handle: Box<dyn VfsSyncHandle>,
+    epoch: u64,
+    seq: u64,
+    len: u64,
+    dir_sync: bool,
+}
+
+impl PendingSync {
+    /// Performs the captured fsync. Pass the result to
+    /// [`SegmentLog::finish_sync`].
+    pub fn sync(&self) -> io::Result<()> {
+        self.handle.sync_data()
+    }
+
+    /// Highest sequence number this fsync will cover.
+    pub fn covers(&self) -> u64 {
+        self.seq
+    }
+}
+
 /// The append-only log. See the module docs for the on-disk format.
 #[derive(Debug)]
 pub struct SegmentLog {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     segment_bytes: u64,
     /// Segments in sequence order; the last one is the write target.
     segments: Vec<SegmentMeta>,
     /// Open handle on the last segment (lazily created on first append).
-    current: Option<File>,
+    current: Option<Box<dyn VfsFile>>,
     /// Byte length of the last segment.
     current_len: u64,
+    /// Prefix of the last segment covered by a successful fsync.
+    current_synced_len: u64,
     /// Sequence number the next append will be assigned (1-based).
     next_seq: u64,
+    /// Highest sequence number covered by a successful fsync — the
+    /// acknowledgeable prefix.
+    synced_seq: u64,
+    /// Bumped whenever the write target changes (rotation or poisoning);
+    /// lets [`finish_sync`](Self::finish_sync) detect a stale capture.
+    epoch: u64,
+    /// A segment file was created since the last successful sync: the
+    /// directory entry still needs an fsync before frames in it can be
+    /// acknowledged.
+    dir_sync_pending: bool,
+    /// Segments poisoned over this log's lifetime.
+    poisoned_segments: u64,
+    /// Failed fsyncs (file or directory) over this log's lifetime.
+    sync_failures: u64,
 }
 
 fn segment_file_name(base: u64) -> String {
@@ -181,30 +241,34 @@ fn parse_segment_name(name: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// Durably record directory-level changes (new/removed segment files).
-fn sync_dir(dir: &Path) -> io::Result<()> {
-    File::open(dir)?.sync_all()
-}
-
 impl SegmentLog {
-    /// Open (or create) the log at `dir`, replaying every acknowledged
-    /// frame. Returns the log positioned for appends, the recovered
-    /// frames in sequence order, and a report of what recovery did.
+    /// Open (or create) the log at `dir` on the real filesystem. See
+    /// [`SegmentLog::open_with_vfs`].
     pub fn open(
         dir: impl Into<PathBuf>,
         config: LogConfig,
     ) -> Result<(SegmentLog, Vec<Frame>, ReplayReport), IngestError> {
+        Self::open_with_vfs(dir, config, Arc::new(RealVfs))
+    }
+
+    /// Open (or create) the log at `dir`, replaying every acknowledged
+    /// frame through `vfs`. Returns the log positioned for appends, the
+    /// recovered frames in sequence order, and a report of what recovery
+    /// did.
+    pub fn open_with_vfs(
+        dir: impl Into<PathBuf>,
+        config: LogConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(SegmentLog, Vec<Frame>, ReplayReport), IngestError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        vfs.create_dir_all(&dir)?;
 
         // Collect and order segment files; ignore anything that is not a
         // well-formed segment name (editors, tmp files).
         let mut bases: BTreeMap<u64, PathBuf> = BTreeMap::new();
-        for entry in fs::read_dir(&dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            if let Some(base) = name.to_str().and_then(parse_segment_name) {
-                bases.insert(base, entry.path());
+        for name in vfs.list_dir(&dir)? {
+            if let Some(base) = parse_segment_name(&name) {
+                bases.insert(base, dir.join(name));
             }
         }
         let segments: Vec<SegmentMeta> = bases
@@ -233,13 +297,13 @@ impl SegmentLog {
                 });
             }
             let is_last = i + 1 == segments.len();
-            let (seg_frames, valid_len, torn) = replay_segment(seg, is_last)?;
+            let next_base = segments.get(i + 1).map(|s| s.base);
+            let (seg_frames, valid_len, torn) = replay_segment(vfs.as_ref(), seg, next_base)?;
             if torn > 0 {
-                // The torn tail was never acknowledged; remove it so the
-                // next append starts at a clean frame boundary.
-                let f = OpenOptions::new().write(true).open(&seg.path)?;
-                f.set_len(valid_len)?;
-                f.sync_data()?;
+                // The torn tail (or poisoned remnant) was never
+                // acknowledged; remove it so the segment ends at a clean
+                // frame boundary.
+                vfs.truncate(&seg.path, valid_len)?;
                 report.truncated_bytes += torn;
             }
             expected_seq += seg_frames.len() as u64;
@@ -251,17 +315,24 @@ impl SegmentLog {
         }
 
         let current = match segments.last() {
-            Some(seg) => Some(OpenOptions::new().append(true).open(&seg.path)?),
+            Some(seg) => Some(vfs.open_append(&seg.path, false)?),
             None => None,
         };
         report.next_seq = expected_seq;
         let log = SegmentLog {
+            vfs,
             dir,
             segment_bytes: config.segment_bytes.max(1),
             segments,
             current,
             current_len: last_len,
+            current_synced_len: last_len,
             next_seq: expected_seq,
+            synced_seq: expected_seq - 1,
+            epoch: 0,
+            dir_sync_pending: false,
+            poisoned_segments: 0,
+            sync_failures: 0,
         };
         Ok((log, frames, report))
     }
@@ -270,6 +341,16 @@ impl SegmentLog {
     /// returns `Ok`, the frame (and, for a fresh segment, its directory
     /// entry) has been fsync'd — it will survive a crash.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, IngestError> {
+        let seq = self.append_unsynced(payload)?;
+        self.sync()?;
+        Ok(seq)
+    }
+
+    /// Write one frame without fsyncing it. The frame is **not durable**
+    /// (and must not be acknowledged) until a subsequent
+    /// [`sync`](Self::sync) / [`finish_sync`](Self::finish_sync) covers
+    /// its sequence number — this is the group-commit building block.
+    pub fn append_unsynced(&mut self, payload: &[u8]) -> Result<u64, IngestError> {
         if payload.len() > MAX_FRAME_LEN {
             return Err(IngestError::FrameTooLarge {
                 len: payload.len(),
@@ -279,20 +360,24 @@ impl SegmentLog {
         let frame_len = (HEADER_LEN + payload.len()) as u64;
         let rotate = self.current.is_none()
             || (self.current_len > 0 && self.current_len + frame_len > self.segment_bytes);
-        let mut created = false;
         if rotate {
+            // Seal the old segment first: a new segment's existence
+            // asserts its predecessor is complete, so any unsynced
+            // frames there must become durable (or poison it) now.
+            if self.current.is_some() && self.next_seq > self.synced_seq + 1 {
+                self.sync()?;
+            }
             let meta = SegmentMeta {
                 base: self.next_seq,
                 path: self.dir.join(segment_file_name(self.next_seq)),
             };
-            let file = OpenOptions::new()
-                .create_new(true)
-                .append(true)
-                .open(&meta.path)?;
+            let file = self.vfs.open_append(&meta.path, true)?;
             self.segments.push(meta);
             self.current = Some(file);
             self.current_len = 0;
-            created = true;
+            self.current_synced_len = 0;
+            self.epoch += 1;
+            self.dir_sync_pending = true;
         }
 
         let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -304,15 +389,157 @@ impl SegmentLog {
         // intended bytes, which is exactly what recovery knows how to
         // truncate.
         let file = self.current.as_mut().expect("current segment just ensured");
-        file.write_all(&buf)?;
-        file.sync_data()?;
-        if created {
-            sync_dir(&self.dir)?;
+        if let Err(e) = file.write_all(&buf) {
+            // The file may now hold a torn prefix of this frame. Cut it
+            // back to the pre-write boundary; if even that fails the
+            // tail state is unknowable — poison the segment.
+            let path = self
+                .segments
+                .last()
+                .expect("current segment has metadata")
+                .path
+                .clone();
+            if self.vfs.truncate(&path, self.current_len).is_err() {
+                self.poison_current();
+            }
+            return Err(e.into());
         }
         self.current_len += frame_len;
         let seq = self.next_seq;
         self.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Captures the fsync that would cover every unsynced frame, without
+    /// performing it. Returns `None` when there is nothing to sync. The
+    /// caller runs [`PendingSync::sync`] (on any thread) and then settles
+    /// with [`finish_sync`](Self::finish_sync); appends may continue in
+    /// between — they are simply not covered by this capture.
+    pub fn begin_sync(&mut self) -> Result<Option<PendingSync>, IngestError> {
+        if self.next_seq == self.synced_seq + 1 && !self.dir_sync_pending {
+            return Ok(None);
+        }
+        let file = self
+            .current
+            .as_ref()
+            .expect("unsynced frames imply an open segment");
+        let handle = file.sync_handle()?;
+        Ok(Some(PendingSync {
+            handle,
+            epoch: self.epoch,
+            seq: self.next_seq - 1,
+            len: self.current_len,
+            dir_sync: self.dir_sync_pending,
+        }))
+    }
+
+    /// Settles a [`PendingSync`] with the result of its fsync. On success
+    /// the covered frames become acknowledgeable and the new
+    /// [`synced_seq`](Self::synced_seq) is returned. On failure the open
+    /// segment is poisoned (unless it was already rotated away) and the
+    /// error is returned — the covered frames were never durable and must
+    /// not be acknowledged.
+    pub fn finish_sync(
+        &mut self,
+        pending: PendingSync,
+        result: io::Result<()>,
+    ) -> Result<u64, IngestError> {
+        if let Err(e) = result {
+            self.sync_failures += 1;
+            if pending.epoch == self.epoch {
+                self.poison_current();
+            }
+            return Err(e.into());
+        }
+        if pending.dir_sync && self.dir_sync_pending {
+            // The frames are on disk but the newest segment's directory
+            // entry may not be: without it they are unreachable after a
+            // crash, so they cannot be acknowledged yet.
+            if let Err(e) = self.vfs.sync_dir(&self.dir) {
+                self.sync_failures += 1;
+                if pending.epoch == self.epoch {
+                    self.poison_current();
+                }
+                return Err(e.into());
+            }
+            self.dir_sync_pending = false;
+        }
+        self.synced_seq = self.synced_seq.max(pending.seq);
+        if pending.epoch == self.epoch {
+            self.current_synced_len = self.current_synced_len.max(pending.len);
+        }
+        Ok(self.synced_seq)
+    }
+
+    /// Fsync every unsynced frame in place; returns the new
+    /// [`synced_seq`](Self::synced_seq). Poisons the open segment on
+    /// failure (see the module docs).
+    pub fn sync(&mut self) -> Result<u64, IngestError> {
+        match self.begin_sync()? {
+            None => Ok(self.synced_seq),
+            Some(pending) => {
+                let result = pending.sync();
+                self.finish_sync(pending, result)
+            }
+        }
+    }
+
+    /// Poison the open segment after a failed sync (or an unrecoverable
+    /// write): drop the handle so the file is never written again, roll
+    /// the sequence counter back to the acknowledged prefix, and clean
+    /// the file back to its last-synced length (best effort). The next
+    /// append rolls to a fresh segment.
+    fn poison_current(&mut self) {
+        if self.current.take().is_none() {
+            return;
+        }
+        self.poisoned_segments += 1;
+        self.epoch += 1;
+        self.next_seq = self.synced_seq + 1;
+        let seg = self
+            .segments
+            .last()
+            .expect("open segment has metadata")
+            .clone();
+        let cleaned = if self.synced_seq >= seg.base {
+            // Some acknowledged frames live here: cut the file back to
+            // exactly that prefix.
+            self.vfs
+                .truncate(&seg.path, self.current_synced_len)
+                .is_ok()
+        } else {
+            // No acknowledged frame lives in this file — remove it so
+            // the fresh segment can reuse its base number.
+            let removed = self
+                .vfs
+                .remove_file(&seg.path)
+                .and_then(|()| self.vfs.sync_dir(&self.dir))
+                .is_ok();
+            if removed {
+                self.segments.pop();
+            }
+            removed
+        };
+        self.current_len = 0;
+        self.current_synced_len = 0;
+        if !cleaned {
+            // Unacknowledged bytes may survive in the poisoned file. Try
+            // to start the next segment eagerly so replay sees the
+            // poisoned file as non-final and prunes everything past its
+            // acknowledged prefix (the next base marks the boundary).
+            let meta = SegmentMeta {
+                base: self.next_seq,
+                path: self.dir.join(segment_file_name(self.next_seq)),
+            };
+            if meta.path != seg.path {
+                if let Ok(file) = self.vfs.open_append(&meta.path, true) {
+                    self.segments.push(meta);
+                    self.current = Some(file);
+                    self.epoch += 1;
+                    self.dir_sync_pending = true;
+                }
+            }
+        }
     }
 
     /// Delete segments whose frames are all `<= up_to` (already folded
@@ -324,11 +551,11 @@ impl SegmentLog {
         let mut removed = 0;
         while self.segments.len() > 1 && self.segments[1].base <= up_to + 1 {
             let seg = self.segments.remove(0);
-            fs::remove_file(&seg.path)?;
+            self.vfs.remove_file(&seg.path)?;
             removed += 1;
         }
         if removed > 0 {
-            sync_dir(&self.dir)?;
+            self.vfs.sync_dir(&self.dir)?;
         }
         Ok(removed)
     }
@@ -336,6 +563,22 @@ impl SegmentLog {
     /// Sequence number the next [`append`](Self::append) will return.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Highest sequence number covered by a successful fsync — the
+    /// prefix that may be acknowledged.
+    pub fn synced_seq(&self) -> u64 {
+        self.synced_seq
+    }
+
+    /// Segments poisoned (fsyncgate rule) over this log's lifetime.
+    pub fn poisoned_segments(&self) -> u64 {
+        self.poisoned_segments
+    }
+
+    /// Failed fsyncs (file or directory) over this log's lifetime.
+    pub fn sync_failures(&self) -> u64 {
+        self.sync_failures
     }
 
     /// Number of segment files currently on disk.
@@ -349,23 +592,35 @@ impl SegmentLog {
     }
 }
 
-/// Replay one segment file. Returns its frames, the byte length of the
-/// valid prefix, and the number of torn-tail bytes found after it (only
-/// ever nonzero when `is_last`; elsewhere a short frame is `Corrupt`).
-fn replay_segment(seg: &SegmentMeta, is_last: bool) -> Result<(Vec<Frame>, u64, u64), IngestError> {
-    let mut data = Vec::new();
-    File::open(&seg.path)?.read_to_end(&mut data)?;
+/// Replay one segment file. `next_base` is the following segment's base
+/// sequence (None for the final segment). Returns the frames, the byte
+/// length of the valid prefix, and the number of bytes after it that
+/// should be truncated: a torn tail in the final segment, or a poisoned
+/// remnant (bytes past `next_base`) in an earlier one.
+fn replay_segment(
+    vfs: &dyn Vfs,
+    seg: &SegmentMeta,
+    next_base: Option<u64>,
+) -> Result<(Vec<Frame>, u64, u64), IngestError> {
+    let data = vfs.read(&seg.path)?;
 
     let mut frames = Vec::new();
     let mut offset = 0usize;
     let mut seq = seg.base;
     loop {
         let remaining = data.len() - offset;
+        if next_base == Some(seq) && remaining > 0 {
+            // The next segment exists and starts here: everything past
+            // this boundary is the remnant of a poisoned segment — bytes
+            // whose durability a failed fsync made unknowable. They were
+            // never acknowledged; prune them.
+            return Ok((frames, offset as u64, remaining as u64));
+        }
         if remaining == 0 {
             return Ok((frames, offset as u64, 0));
         }
         if remaining < HEADER_LEN {
-            if is_last {
+            if next_base.is_none() {
                 return Ok((frames, offset as u64, remaining as u64));
             }
             return Err(IngestError::Corrupt {
@@ -386,7 +641,7 @@ fn replay_segment(seg: &SegmentMeta, is_last: bool) -> Result<(Vec<Frame>, u64, 
             });
         }
         if remaining < HEADER_LEN + len {
-            if is_last {
+            if next_base.is_none() {
                 return Ok((frames, offset as u64, remaining as u64));
             }
             return Err(IngestError::Corrupt {
@@ -425,6 +680,8 @@ fn replay_segment(seg: &SegmentMeta, is_last: bool) -> Result<(Vec<Frame>, u64, 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultScript, FaultVfs};
+    use std::fs::{self, OpenOptions};
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -438,6 +695,14 @@ mod tests {
 
     fn open(dir: &Path) -> (SegmentLog, Vec<Frame>, ReplayReport) {
         SegmentLog::open(dir, LogConfig::default()).expect("open")
+    }
+
+    fn open_faulty(dir: &Path, script: &str) -> (SegmentLog, FaultVfs) {
+        let vfs = FaultVfs::scripted(FaultScript::parse(script).expect("script"));
+        let (log, _, _) =
+            SegmentLog::open_with_vfs(dir, LogConfig::default(), Arc::new(vfs.clone()))
+                .expect("open");
+        (log, vfs)
     }
 
     #[test]
@@ -668,6 +933,168 @@ mod tests {
         let (mut log, frames, _) = open(&dir);
         assert!(frames.is_empty());
         assert_eq!(log.append(b"payload").unwrap(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection: poisoning, group commit, acked-prefix replay
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn group_commit_syncs_many_frames_at_once() {
+        let dir = tmp_dir("group");
+        let (mut log, _) = open_faulty(&dir, "");
+        assert_eq!(log.append_unsynced(b"a").unwrap(), 1);
+        assert_eq!(log.append_unsynced(b"b").unwrap(), 2);
+        assert_eq!(log.append_unsynced(b"c").unwrap(), 3);
+        assert_eq!(log.synced_seq(), 0, "nothing durable yet");
+        assert_eq!(log.sync().unwrap(), 3);
+        assert_eq!(log.synced_seq(), 3);
+        drop(log);
+        let (_, frames, _) = open(&dir);
+        assert_eq!(frames.len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_poisons_and_rolls_without_acking() {
+        let dir = tmp_dir("fsyncgate");
+        let (mut log, vfs) = open_faulty(&dir, "sync:2=eio");
+        assert_eq!(log.append(b"one").unwrap(), 1);
+        let err = log.append(b"two").unwrap_err();
+        assert!(matches!(err, IngestError::Io(_)), "{err}");
+        assert_eq!(log.synced_seq(), 1, "frame 2 was never durable");
+        assert_eq!(log.sync_failures(), 1);
+        assert_eq!(log.poisoned_segments(), 1);
+        // The sequence number is reclaimed: the failed frame was never
+        // acknowledged, so the next append reuses seq 2 in a fresh segment.
+        assert_eq!(log.append(b"three").unwrap(), 2);
+        assert_eq!(log.segment_count(), 2, "rolled to a fresh segment");
+        assert_eq!(vfs.fired(), ["sync:2=eio"]);
+        drop(log);
+        // Restart replays exactly the acknowledged prefix.
+        let (log, frames, _) = open(&dir);
+        let payloads: Vec<&[u8]> = frames.iter().map(|f| f.payload.as_slice()).collect();
+        assert_eq!(payloads, [b"one".as_slice(), b"three".as_slice()]);
+        assert_eq!(log.next_seq(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_first_segment_with_no_acked_frames_is_removed() {
+        let dir = tmp_dir("poison-empty");
+        let (mut log, _) = open_faulty(&dir, "sync:1=eio");
+        assert!(log
+            .append(b"doomed")
+            .unwrap_err()
+            .to_string()
+            .contains("eio"));
+        assert_eq!(log.poisoned_segments(), 1);
+        // No acknowledged frame lived in the poisoned file, so it was
+        // removed and the base number is free for the fresh segment.
+        assert_eq!(log.append(b"survivor").unwrap(), 1);
+        drop(log);
+        let (_, frames, _) = open(&dir);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload, b"survivor");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsynced_frames_vanish_when_the_sync_fails() {
+        let dir = tmp_dir("unsynced-lost");
+        let (mut log, _) = open_faulty(&dir, "sync:2=eio");
+        assert_eq!(log.append(b"acked").unwrap(), 1);
+        log.append_unsynced(b"pending-a").unwrap();
+        log.append_unsynced(b"pending-b").unwrap();
+        assert!(log.sync().is_err(), "scripted fsync failure");
+        drop(log);
+        let (_, frames, _) = open(&dir);
+        let payloads: Vec<&[u8]> = frames.iter().map(|f| f.payload.as_slice()).collect();
+        assert_eq!(
+            payloads,
+            [b"acked".as_slice()],
+            "only the acknowledged prefix survives"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poison_cleanup_failure_still_replays_only_the_acked_prefix() {
+        // The deepest fsyncgate case: the fsync fails AND the cleanup
+        // truncate fails, so complete-but-unacknowledged frames survive in
+        // the poisoned file. The eager roll makes the poisoned segment
+        // non-final, and replay prunes everything past the next base.
+        let dir = tmp_dir("poison-remnant");
+        let (mut log, _) = open_faulty(&dir, "sync:2=eio,truncate:1=eio");
+        assert_eq!(log.append(b"acked").unwrap(), 1);
+        assert!(log
+            .append(b"ghost")
+            .unwrap_err()
+            .to_string()
+            .contains("eio"));
+        assert_eq!(log.segment_count(), 2, "eagerly rolled past the poison");
+        drop(log);
+        // The "ghost" frame's bytes are still complete in segment 1 (the
+        // truncate failed), but replay must not resurrect it.
+        let (mut log, frames, report) = open(&dir);
+        let payloads: Vec<&[u8]> = frames.iter().map(|f| f.payload.as_slice()).collect();
+        assert_eq!(payloads, [b"acked".as_slice()]);
+        assert!(report.truncated_bytes > 0, "remnant physically pruned");
+        assert_eq!(log.append(b"next").unwrap(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_is_cut_back_and_the_log_stays_usable() {
+        let dir = tmp_dir("short-write");
+        let (mut log, _) = open_faulty(&dir, "write:2=short");
+        assert_eq!(log.append(b"one").unwrap(), 1);
+        assert!(log
+            .append(b"two")
+            .unwrap_err()
+            .to_string()
+            .contains("short"));
+        assert_eq!(log.poisoned_segments(), 0, "clean cut-back, no poison");
+        // Same segment, sequence number reclaimed.
+        assert_eq!(log.append(b"three").unwrap(), 2);
+        assert_eq!(log.segment_count(), 1);
+        drop(log);
+        let (_, frames, _) = open(&dir);
+        let payloads: Vec<&[u8]> = frames.iter().map(|f| f.payload.as_slice()).collect();
+        assert_eq!(payloads, [b"one".as_slice(), b"three".as_slice()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn begin_finish_sync_covers_concurrent_appends_next_round() {
+        let dir = tmp_dir("pending-sync");
+        let (mut log, _) = open_faulty(&dir, "");
+        log.append_unsynced(b"a").unwrap();
+        let pending = log.begin_sync().unwrap().expect("one frame pending");
+        assert_eq!(pending.covers(), 1);
+        // A follower appends while the leader's fsync is in flight.
+        log.append_unsynced(b"b").unwrap();
+        let result = pending.sync();
+        assert_eq!(log.finish_sync(pending, result).unwrap(), 1);
+        assert_eq!(log.synced_seq(), 1, "frame 2 awaits the next fsync");
+        assert_eq!(log.sync().unwrap(), 2);
+        drop(log);
+        let (_, frames, _) = open(&dir);
+        assert_eq!(frames.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_on_append_is_reported_and_recoverable() {
+        let dir = tmp_dir("enospc");
+        let (mut log, _) = open_faulty(&dir, "write:1=enospc");
+        let err = log.append(b"wedged").unwrap_err();
+        assert!(err.to_string().contains("enospc"), "{err}");
+        assert_eq!(log.append(b"after-space-freed").unwrap(), 1);
+        drop(log);
+        let (_, frames, _) = open(&dir);
+        assert_eq!(frames[0].payload, b"after-space-freed");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,727 @@
+//! Injectable filesystem seam with deterministic fault injection.
+//!
+//! Everything the durability layer does to disk — appending segment
+//! frames, fsyncing, renaming snapshots into place — goes through the
+//! [`Vfs`] trait so tests can interpose a [`FaultVfs`] that injects
+//! `EIO`, `ENOSPC`, short writes, torn renames, and fsync failures at
+//! scripted points. The production implementation is [`RealVfs`], a
+//! zero-cost veneer over `std::fs`; a `FaultVfs` with an empty script
+//! delegates every call unchanged, so the seam itself cannot alter
+//! fault-free behavior.
+//!
+//! # Fault model
+//!
+//! Faults are keyed by *operation kind* and *call ordinal*: the script
+//! entry `sync:2=eio` makes the second fsync (file or handle) fail with
+//! `EIO`. Each rule fires exactly once. The interesting kinds:
+//!
+//! * `eio` / `enospc` — the operation does not happen and the error is
+//!   returned. (`enospc` is what a full disk reports on write.)
+//! * `short` (writes only) — half the buffer reaches the file, then
+//!   `EIO`: the on-disk state is a torn prefix, exactly what a crash
+//!   mid-write leaves.
+//! * `torn` (renames only) — the rename **is performed** but reported
+//!   as failed, modeling a crash after the metadata operation hit the
+//!   journal but before the caller learned of it.
+//!
+//! A failed fsync is the deepest hazard (the "fsyncgate" semantics):
+//! after it, the kernel may have dropped the dirty pages *and cleared
+//! the error*, so the file's clean prefix is unknowable. Callers must
+//! treat a sync error as poisoning the file — never write to it again,
+//! never acknowledge data covered only by the failed sync. The segment
+//! log implements that contract; this module only makes the failure
+//! injectable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// POSIX `EIO` (identical on Linux and macOS).
+const CODE_EIO: i32 = 5;
+/// POSIX `ENOSPC` (identical on Linux and macOS).
+const CODE_ENOSPC: i32 = 28;
+
+/// A cloned handle that can fsync an already-open file without borrowing
+/// it. The group-commit leader syncs through one of these *outside* the
+/// log lock, so followers can keep appending while the fsync is in
+/// flight.
+pub trait VfsSyncHandle: Send + fmt::Debug {
+    /// `fdatasync` the underlying file.
+    fn sync_data(&self) -> io::Result<()>;
+}
+
+/// An open writable file.
+pub trait VfsFile: Send + fmt::Debug {
+    /// Write the whole buffer (or fail partway — a short write leaves a
+    /// prefix on disk, which is what torn-tail recovery expects).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// `fdatasync` the file.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Clone a [`VfsSyncHandle`] for this file.
+    fn sync_handle(&self) -> io::Result<Box<dyn VfsSyncHandle>>;
+}
+
+/// The filesystem operations the durability layer needs, injectable for
+/// fault testing. Implementations must be shareable across threads.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// `std::fs::create_dir_all`.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// File names (not paths) of the directory's entries.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Open for appending; `create_new` additionally requires the file
+    /// not to exist yet.
+    fn open_append(&self, path: &Path, create_new: bool) -> io::Result<Box<dyn VfsFile>>;
+    /// Create (or truncate) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Truncate the file to `len` bytes and `fdatasync` it.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// `std::fs::rename` (atomic within a filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// `std::fs::remove_file`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// fsync a directory so entry changes (create/rename/remove) are
+    /// durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+// ---------------------------------------------------------------------
+// Real implementation
+// ---------------------------------------------------------------------
+
+/// The production [`Vfs`]: plain `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+#[derive(Debug)]
+struct RealFile(File);
+
+#[derive(Debug)]
+struct RealSyncHandle(File);
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn sync_handle(&self) -> io::Result<Box<dyn VfsSyncHandle>> {
+        Ok(Box::new(RealSyncHandle(self.0.try_clone()?)))
+    }
+}
+
+impl VfsSyncHandle for RealSyncHandle {
+    fn sync_data(&self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        Ok(data)
+    }
+
+    fn open_append(&self, path: &Path, create_new: bool) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .create_new(create_new)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(File::create(path)?)))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+/// Operation kinds a fault script can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultOp {
+    /// Opening or creating a file (`open_append` / `create`).
+    Open,
+    /// Reading a whole file.
+    Read,
+    /// A `write_all` on an open file.
+    Write,
+    /// An `fdatasync` (through the file or a cloned sync handle).
+    Sync,
+    /// A rename.
+    Rename,
+    /// A file removal.
+    Remove,
+    /// A directory fsync.
+    SyncDir,
+    /// A truncate.
+    Truncate,
+}
+
+impl FaultOp {
+    /// The script spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultOp::Open => "open",
+            FaultOp::Read => "read",
+            FaultOp::Write => "write",
+            FaultOp::Sync => "sync",
+            FaultOp::Rename => "rename",
+            FaultOp::Remove => "remove",
+            FaultOp::SyncDir => "syncdir",
+            FaultOp::Truncate => "truncate",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultOp> {
+        Some(match s {
+            "open" => FaultOp::Open,
+            "read" => FaultOp::Read,
+            "write" => FaultOp::Write,
+            "sync" => FaultOp::Sync,
+            "rename" => FaultOp::Rename,
+            "remove" => FaultOp::Remove,
+            "syncdir" => FaultOp::SyncDir,
+            "truncate" => FaultOp::Truncate,
+            _ => return None,
+        })
+    }
+}
+
+/// What an injected fault does. See the module docs for semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `EIO`; the operation is not performed.
+    Eio,
+    /// `ENOSPC`; the operation is not performed.
+    Enospc,
+    /// Writes only: half the buffer lands, then `EIO`.
+    ShortWrite,
+    /// Renames only: the rename is performed but reported failed.
+    TornRename,
+}
+
+impl FaultKind {
+    fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Eio => "eio",
+            FaultKind::Enospc => "enospc",
+            FaultKind::ShortWrite => "short",
+            FaultKind::TornRename => "torn",
+        }
+    }
+
+    fn error(&self, op: FaultOp) -> io::Error {
+        let code = match self {
+            FaultKind::Enospc => CODE_ENOSPC,
+            _ => CODE_EIO,
+        };
+        let kind = io::Error::from_raw_os_error(code).kind();
+        io::Error::new(
+            kind,
+            format!("injected {} fault on {}", self.name(), op.name()),
+        )
+    }
+}
+
+/// One scripted fault: the `nth` call (1-based) of `op` fails as `kind`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRule {
+    /// Targeted operation kind.
+    pub op: FaultOp,
+    /// 1-based ordinal of the call to fail.
+    pub nth: u64,
+    /// How it fails.
+    pub kind: FaultKind,
+}
+
+/// A parsed fault script: a set of [`FaultRule`]s.
+///
+/// Text form: comma-separated `op:nth=kind` entries, e.g.
+/// `sync:2=eio,write:1=short,rename:1=torn`. The empty string is the
+/// empty script (no faults ever fire).
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultScript {
+    /// Parses the text form; see the type docs for the grammar.
+    pub fn parse(text: &str) -> Result<FaultScript, String> {
+        let mut rules = Vec::new();
+        for entry in text.split(',').filter(|e| !e.trim().is_empty()) {
+            let entry = entry.trim();
+            let (target, kind) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry '{entry}' is not op:nth=kind"))?;
+            let (op, nth) = target
+                .split_once(':')
+                .ok_or_else(|| format!("fault target '{target}' is not op:nth"))?;
+            let op = FaultOp::parse(op).ok_or_else(|| format!("unknown fault op '{op}'"))?;
+            let nth: u64 = nth
+                .parse()
+                .map_err(|_| format!("fault ordinal '{nth}' is not a number"))?;
+            if nth == 0 {
+                return Err("fault ordinals are 1-based".to_string());
+            }
+            let kind = match kind {
+                "eio" => FaultKind::Eio,
+                "enospc" => FaultKind::Enospc,
+                "short" => FaultKind::ShortWrite,
+                "torn" => FaultKind::TornRename,
+                other => return Err(format!("unknown fault kind '{other}'")),
+            };
+            if kind == FaultKind::ShortWrite && op != FaultOp::Write {
+                return Err(format!("'short' only applies to write, not {}", op.name()));
+            }
+            if kind == FaultKind::TornRename && op != FaultOp::Rename {
+                return Err(format!("'torn' only applies to rename, not {}", op.name()));
+            }
+            rules.push(FaultRule { op, nth, kind });
+        }
+        Ok(FaultScript { rules })
+    }
+
+    /// Adds a rule programmatically (test builders).
+    pub fn push(&mut self, op: FaultOp, nth: u64, kind: FaultKind) {
+        self.rules.push(FaultRule { op, nth, kind });
+    }
+
+    /// Whether the script contains no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// `xorshift64*` — a tiny deterministic generator for seeded fault mode
+/// (no external RNG dependency).
+#[derive(Debug)]
+struct SeededFaults {
+    state: u64,
+    rate: f64,
+}
+
+impl SeededFaults {
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let bits = x.wrapping_mul(0x2545F4914F6CDD1D);
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    rules: Vec<FaultRule>,
+    counts: BTreeMap<&'static str, u64>,
+    fired: Vec<String>,
+    seeded: Option<SeededFaults>,
+}
+
+impl FaultState {
+    /// Count the call and decide whether it faults.
+    fn check(&mut self, op: FaultOp) -> Option<FaultKind> {
+        let count = self.counts.entry(op.name()).or_insert(0);
+        *count += 1;
+        let n = *count;
+        if let Some(rule) = self
+            .rules
+            .iter()
+            .find(|r| r.op == op && r.nth == n)
+            .copied()
+        {
+            self.fired
+                .push(format!("{}:{}={}", op.name(), n, rule.kind.name()));
+            return Some(rule.kind);
+        }
+        if let Some(seeded) = self.seeded.as_mut() {
+            // Seeded mode only disturbs the write path (write/sync):
+            // faulting reads or opens would just keep the process from
+            // starting, which is not an interesting degradation.
+            if matches!(op, FaultOp::Write | FaultOp::Sync) && seeded.next_f64() < seeded.rate {
+                self.fired.push(format!("{}:{}=eio(seeded)", op.name(), n));
+                return Some(FaultKind::Eio);
+            }
+        }
+        None
+    }
+}
+
+/// A [`Vfs`] that delegates to [`RealVfs`] but injects scripted and/or
+/// seeded faults. Clones share fault state, so a clone handed to a
+/// `SegmentLog` and one kept by the test observe the same script.
+#[derive(Debug, Clone)]
+pub struct FaultVfs {
+    inner: RealVfs,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// A fault VFS driven by a script. An empty script is byte-for-byte
+    /// equivalent to [`RealVfs`].
+    pub fn scripted(script: FaultScript) -> FaultVfs {
+        FaultVfs {
+            inner: RealVfs,
+            state: Arc::new(Mutex::new(FaultState {
+                rules: script.rules,
+                ..FaultState::default()
+            })),
+        }
+    }
+
+    /// A fault VFS that fails each write/fsync independently with
+    /// probability `rate`, deterministically derived from `seed`.
+    pub fn seeded(seed: u64, rate: f64) -> FaultVfs {
+        FaultVfs {
+            inner: RealVfs,
+            state: Arc::new(Mutex::new(FaultState {
+                seeded: Some(SeededFaults {
+                    // xorshift needs a nonzero state; splash the seed so
+                    // small seeds still decorrelate.
+                    state: (seed ^ 0x9E37_79B9_7F4A_7C15) | 1,
+                    rate,
+                }),
+                ..FaultState::default()
+            })),
+        }
+    }
+
+    /// Human-readable record of every fault injected so far, in order.
+    pub fn fired(&self) -> Vec<String> {
+        self.state.lock().unwrap().fired.clone()
+    }
+
+    /// Number of faults injected so far.
+    pub fn fault_count(&self) -> usize {
+        self.state.lock().unwrap().fired.len()
+    }
+
+    fn check(&self, op: FaultOp) -> Option<FaultKind> {
+        self.state.lock().unwrap().check(op)
+    }
+}
+
+#[derive(Debug)]
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+#[derive(Debug)]
+struct FaultSyncHandle {
+    inner: Box<dyn VfsSyncHandle>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.state.lock().unwrap().check(FaultOp::Write) {
+            None => self.inner.write_all(buf),
+            Some(FaultKind::ShortWrite) => {
+                // Land a torn prefix, then fail — what a crash mid-write
+                // leaves behind.
+                self.inner.write_all(&buf[..buf.len() / 2])?;
+                Err(FaultKind::ShortWrite.error(FaultOp::Write))
+            }
+            Some(kind) => Err(kind.error(FaultOp::Write)),
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        match self.state.lock().unwrap().check(FaultOp::Sync) {
+            None => self.inner.sync_data(),
+            Some(kind) => Err(kind.error(FaultOp::Sync)),
+        }
+    }
+
+    fn sync_handle(&self) -> io::Result<Box<dyn VfsSyncHandle>> {
+        Ok(Box::new(FaultSyncHandle {
+            inner: self.inner.sync_handle()?,
+            state: Arc::clone(&self.state),
+        }))
+    }
+}
+
+impl VfsSyncHandle for FaultSyncHandle {
+    fn sync_data(&self) -> io::Result<()> {
+        match self.state.lock().unwrap().check(FaultOp::Sync) {
+            None => self.inner.sync_data(),
+            Some(kind) => Err(kind.error(FaultOp::Sync)),
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.list_dir(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.check(FaultOp::Read) {
+            None => self.inner.read(path),
+            Some(kind) => Err(kind.error(FaultOp::Read)),
+        }
+    }
+
+    fn open_append(&self, path: &Path, create_new: bool) -> io::Result<Box<dyn VfsFile>> {
+        match self.check(FaultOp::Open) {
+            None => Ok(Box::new(FaultFile {
+                inner: self.inner.open_append(path, create_new)?,
+                state: Arc::clone(&self.state),
+            })),
+            Some(kind) => Err(kind.error(FaultOp::Open)),
+        }
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        match self.check(FaultOp::Open) {
+            None => Ok(Box::new(FaultFile {
+                inner: self.inner.create(path)?,
+                state: Arc::clone(&self.state),
+            })),
+            Some(kind) => Err(kind.error(FaultOp::Open)),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        match self.check(FaultOp::Truncate) {
+            None => self.inner.truncate(path, len),
+            Some(kind) => Err(kind.error(FaultOp::Truncate)),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.check(FaultOp::Rename) {
+            None => self.inner.rename(from, to),
+            Some(FaultKind::TornRename) => {
+                // The metadata operation reached the journal; the caller
+                // just never hears about it.
+                self.inner.rename(from, to)?;
+                Err(FaultKind::TornRename.error(FaultOp::Rename))
+            }
+            Some(kind) => Err(kind.error(FaultOp::Rename)),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.check(FaultOp::Remove) {
+            None => self.inner.remove_file(path),
+            Some(kind) => Err(kind.error(FaultOp::Remove)),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.check(FaultOp::SyncDir) {
+            None => self.inner.sync_dir(dir),
+            Some(kind) => Err(kind.error(FaultOp::SyncDir)),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tasti-vfs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn script_parses_and_rejects_nonsense() {
+        let s = FaultScript::parse("sync:2=eio, write:1=short ,rename:3=torn").unwrap();
+        assert_eq!(s.rules.len(), 3);
+        assert_eq!(s.rules[0].op, FaultOp::Sync);
+        assert_eq!(s.rules[0].nth, 2);
+        assert_eq!(s.rules[1].kind, FaultKind::ShortWrite);
+        assert!(FaultScript::parse("").unwrap().is_empty());
+        assert!(FaultScript::parse("sync=eio").is_err(), "missing ordinal");
+        assert!(
+            FaultScript::parse("sync:0=eio").is_err(),
+            "0 is not 1-based"
+        );
+        assert!(FaultScript::parse("flush:1=eio").is_err(), "unknown op");
+        assert!(FaultScript::parse("sync:1=melt").is_err(), "unknown kind");
+        assert!(
+            FaultScript::parse("sync:1=short").is_err(),
+            "short is write-only"
+        );
+        assert!(
+            FaultScript::parse("write:1=torn").is_err(),
+            "torn is rename-only"
+        );
+    }
+
+    #[test]
+    fn empty_script_is_transparent() {
+        let dir = tmp_dir("transparent");
+        let real = RealVfs;
+        let faulty = FaultVfs::scripted(FaultScript::default());
+        for (tag, vfs) in [("real", &real as &dyn Vfs), ("fault", &faulty)] {
+            let path = dir.join(format!("{tag}.bin"));
+            let mut f = vfs.create(&path).unwrap();
+            f.write_all(b"hello ").unwrap();
+            f.write_all(b"world").unwrap();
+            f.sync_data().unwrap();
+            drop(f);
+            let renamed = dir.join(format!("{tag}.renamed"));
+            vfs.rename(&path, &renamed).unwrap();
+            vfs.truncate(&renamed, 5).unwrap();
+            assert_eq!(vfs.read(&renamed).unwrap(), b"hello");
+            assert!(vfs.exists(&renamed));
+            vfs.sync_dir(&dir).unwrap();
+            vfs.remove_file(&renamed).unwrap();
+            assert!(!vfs.exists(&renamed));
+        }
+        assert_eq!(
+            faulty.fault_count(),
+            0,
+            "no fault may fire without a script"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nth_call_faults_and_only_that_call() {
+        let dir = tmp_dir("nth");
+        let vfs = FaultVfs::scripted(FaultScript::parse("sync:2=eio").unwrap());
+        let mut f = vfs.create(&dir.join("f")).unwrap();
+        f.write_all(b"x").unwrap();
+        f.sync_data().unwrap(); // 1st sync: fine
+        let err = f.sync_data().unwrap_err(); // 2nd: scripted EIO
+        assert_eq!(err.raw_os_error(), None, "synthetic error carries message");
+        assert!(err.to_string().contains("injected eio"), "{err}");
+        f.sync_data().unwrap(); // 3rd: fine again
+        assert_eq!(vfs.fired(), ["sync:2=eio"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_leaves_a_torn_prefix() {
+        let dir = tmp_dir("short");
+        let vfs = FaultVfs::scripted(FaultScript::parse("write:1=short").unwrap());
+        let path = dir.join("torn");
+        let mut f = vfs.create(&path).unwrap();
+        assert!(f.write_all(b"0123456789").is_err());
+        drop(f);
+        assert_eq!(fs::read(&path).unwrap(), b"01234", "half the buffer landed");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_rename_happens_but_reports_failure() {
+        let dir = tmp_dir("torn-rename");
+        let vfs = FaultVfs::scripted(FaultScript::parse("rename:1=torn").unwrap());
+        let from = dir.join("a");
+        let to = dir.join("b");
+        fs::write(&from, b"payload").unwrap();
+        assert!(vfs.rename(&from, &to).is_err());
+        assert!(!from.exists(), "rename was actually performed");
+        assert_eq!(fs::read(&to).unwrap(), b"payload");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_reports_storage_full() {
+        let dir = tmp_dir("enospc");
+        let vfs = FaultVfs::scripted(FaultScript::parse("write:1=enospc").unwrap());
+        let path = dir.join("full");
+        let mut f = vfs.create(&path).unwrap();
+        let err = f.write_all(b"data").unwrap_err();
+        assert!(err.to_string().contains("enospc"), "{err}");
+        assert_eq!(fs::read(&path).unwrap(), b"", "nothing landed");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_handle_shares_the_fault_script() {
+        let dir = tmp_dir("handle");
+        let vfs = FaultVfs::scripted(FaultScript::parse("sync:1=eio").unwrap());
+        let f = vfs.create(&dir.join("f")).unwrap();
+        let handle = f.sync_handle().unwrap();
+        assert!(handle.sync_data().is_err(), "handle syncs hit the script");
+        assert!(handle.sync_data().is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seeded_mode_is_deterministic() {
+        let run = |seed| {
+            let vfs = FaultVfs::seeded(seed, 0.5);
+            let dir = tmp_dir(&format!("seeded-{seed}"));
+            let mut f = vfs.create(&dir.join("f")).unwrap();
+            let outcomes: Vec<bool> = (0..32).map(|_| f.write_all(b"x").is_ok()).collect();
+            drop(f);
+            fs::remove_dir_all(&dir).unwrap();
+            outcomes
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault schedule");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+}

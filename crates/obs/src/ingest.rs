@@ -156,6 +156,11 @@ pub struct IngestTelemetry {
     pub drift_threshold: f64,
     /// Drift-triggered full-refresh escalations.
     pub escalations: u64,
+    /// Escalated refreshes completed off the request path by the serving
+    /// layer's background maintenance thread. Elided from JSON while zero
+    /// so pre-background-refresh output stays byte-identical.
+    #[cfg_attr(feature = "serde", serde(skip_serializing_if = "u64_is_zero"))]
+    pub background_refreshes: u64,
     /// Maintenance cracks that stayed on the incremental append path.
     pub crack_incremental: u64,
     /// Maintenance cracks that escalated to a full assignment rebuild
@@ -164,6 +169,13 @@ pub struct IngestTelemetry {
     /// Telemetry of the most recent assignment rebuild, when one ran.
     #[cfg_attr(feature = "serde", serde(skip_serializing_if = "Option::is_none"))]
     pub last_assign: Option<AssignTelemetry>,
+}
+
+/// serde `skip_serializing_if` helper: elide zero-valued counters that
+/// post-date the wire format (keeps old output byte-identical).
+#[cfg(feature = "serde")]
+fn u64_is_zero(v: &u64) -> bool {
+    *v == 0
 }
 
 impl IngestTelemetry {
@@ -191,6 +203,10 @@ impl IngestTelemetry {
         out.push_str(&fmt_f64(self.drift_threshold));
         out.push_str(",\"escalations\":");
         out.push_str(&self.escalations.to_string());
+        if self.background_refreshes > 0 {
+            out.push_str(",\"background_refreshes\":");
+            out.push_str(&self.background_refreshes.to_string());
+        }
         out.push_str(",\"crack_incremental\":");
         out.push_str(&self.crack_incremental.to_string());
         out.push_str(",\"crack_rebuilds\":");
@@ -327,6 +343,7 @@ mod tests {
             drift: 0.125,
             drift_threshold: 0.5,
             escalations: 0,
+            background_refreshes: 0,
             crack_incremental: 3,
             crack_rebuilds: 1,
             last_assign: None,
@@ -339,7 +356,20 @@ mod tests {
         assert!(j.contains("\"crack_incremental\":3"));
         assert!(j.contains("\"crack_rebuilds\":1"));
         assert!(!j.contains("last_assign"), "elided when absent: {j}");
+        assert!(
+            !j.contains("background_refreshes"),
+            "elided while zero: {j}"
+        );
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn background_refreshes_appear_once_one_completes() {
+        let t = IngestTelemetry {
+            background_refreshes: 2,
+            ..IngestTelemetry::default()
+        };
+        assert!(t.to_json().contains("\"background_refreshes\":2"));
     }
 
     #[test]

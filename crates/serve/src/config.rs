@@ -1,6 +1,9 @@
 //! Service configuration.
 
 use std::path::PathBuf;
+use std::sync::Arc;
+
+use tasti_ingest::{RealVfs, Vfs};
 
 /// Which serving core drives the front end.
 ///
@@ -111,6 +114,11 @@ pub struct ServeConfig {
     /// `tasti_obs::DriftGauge`): 1.0 ≈ clusters have grown by one baseline
     /// radius. The default 0.5 escalates at half that.
     pub drift_threshold: f64,
+    /// Filesystem seam for everything the service persists: the ingest
+    /// segment log and index snapshots. Defaults to the real filesystem;
+    /// tests and the CLI chaos flags substitute a
+    /// [`tasti_ingest::FaultVfs`] to inject disk faults deterministically.
+    pub storage_vfs: Arc<dyn Vfs>,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +137,7 @@ impl Default for ServeConfig {
             preload: Vec::new(),
             ingest_dir: None,
             drift_threshold: 0.5,
+            storage_vfs: Arc::new(RealVfs),
         }
     }
 }

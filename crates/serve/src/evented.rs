@@ -291,7 +291,10 @@ pub(crate) fn start<L: FallibleTargetLabeler + 'static>(
 
 /// One compute worker: pop a request line, parse, handle, push the
 /// completion back, wake the reactor. Exits when the channel closes.
-fn compute_loop<L: FallibleTargetLabeler>(shared: &ReactorShared, service: &TastiService<L>) {
+fn compute_loop<L: FallibleTargetLabeler + 'static>(
+    shared: &ReactorShared,
+    service: &TastiService<L>,
+) {
     while let Some(job) = shared.jobs.pop() {
         let (line, shutdown) = match Request::parse_line(job.line.trim()) {
             Ok(req) => {
@@ -362,7 +365,7 @@ impl Conn {
     }
 }
 
-struct Reactor<L: FallibleTargetLabeler> {
+struct Reactor<L: FallibleTargetLabeler + 'static> {
     service: Arc<TastiService<L>>,
     shared: Arc<ReactorShared>,
     poller: Poller,
@@ -374,7 +377,7 @@ struct Reactor<L: FallibleTargetLabeler> {
     drain_deadline: Option<Arc<TimerEntry>>,
 }
 
-impl<L: FallibleTargetLabeler> Reactor<L> {
+impl<L: FallibleTargetLabeler + 'static> Reactor<L> {
     fn run(mut self) {
         let mut events: Vec<Event> = Vec::new();
         loop {

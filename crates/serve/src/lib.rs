@@ -93,3 +93,7 @@ pub use proto::{ErrorKind, Op, Reply, Request, ScoreSpec};
 pub use registry::{IndexEntry, IndexRegistry, IngestOutcome};
 pub use server::{JoinReport, Server};
 pub use service::{LabelerFactory, ReplaySummary, TastiService, DEFAULT_INDEX_NAME};
+// The storage seam ([`ServeConfig::storage_vfs`]) comes from tasti-ingest;
+// re-exported so embedders (and the CLI) can wire fault injection without
+// depending on that crate directly.
+pub use tasti_ingest::{FaultScript, FaultVfs, RealVfs, Vfs};

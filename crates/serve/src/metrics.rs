@@ -77,6 +77,16 @@ pub struct ServeMetrics {
     /// Crack maintenance passes that escalated to a full assignment
     /// rebuild (the previously silent reps-grown-by-⅛ heuristic, audited).
     pub crack_rebuilds: Counter,
+    /// Drift-escalated assignment refreshes completed off the request path
+    /// by the background maintenance thread.
+    pub ingest_background_refreshes: Counter,
+    /// Acknowledged `ingest` batches whose durability rode a group-commit
+    /// fsync led by a concurrent batch (i.e. they shared a sync instead of
+    /// issuing their own).
+    pub group_commit_batches: Counter,
+    /// Index loads that recovered from a corrupt/missing snapshot by
+    /// falling back to the rotated last-good (`.prev`) copy.
+    pub snapshot_fallback_loads: Counter,
     /// Reactor loop iterations (readiness wakeups + timer/completion
     /// wakeups). Zero under the threaded core.
     pub reactor_wakeups: Counter,
@@ -122,6 +132,9 @@ impl ServeMetrics {
             ingest_replayed_frames: Counter::new(),
             ingest_escalations: Counter::new(),
             crack_rebuilds: Counter::new(),
+            ingest_background_refreshes: Counter::new(),
+            group_commit_batches: Counter::new(),
+            snapshot_fallback_loads: Counter::new(),
             reactor_wakeups: Counter::new(),
             reactor_timer_fires: Counter::new(),
             reactor_loop_micros: Mutex::new(Histogram::default()),
@@ -245,6 +258,14 @@ impl ServeMetrics {
             ("ingest_replayed_frames", &self.ingest_replayed_frames),
             ("ingest_escalations", &self.ingest_escalations),
             ("crack_rebuilds", &self.crack_rebuilds),
+            // Storage fault-tolerance counters: same convention — absent
+            // until the corresponding event fires.
+            (
+                "ingest_background_refreshes",
+                &self.ingest_background_refreshes,
+            ),
+            ("group_commit_batches", &self.group_commit_batches),
+            ("snapshot_fallback_loads", &self.snapshot_fallback_loads),
         ] {
             if c.get() > 0 {
                 counter(key, c, &mut out);
@@ -410,6 +431,28 @@ mod tests {
         assert_eq!(doc.get("crack_rebuilds").unwrap().as_u64(), Some(1));
         assert!(doc.get("ingest_rejected").is_none());
         assert!(doc.get("ingest_escalations").is_none());
+    }
+
+    #[test]
+    fn storage_counters_are_absent_until_a_fault_fires() {
+        let m = ServeMetrics::new();
+        let clean = m.to_json_body();
+        for key in [
+            "ingest_background_refreshes",
+            "group_commit_batches",
+            "snapshot_fallback_loads",
+        ] {
+            assert!(!clean.contains(key), "idle dump must omit {key}");
+        }
+        m.group_commit_batches.add(3);
+        m.snapshot_fallback_loads.incr();
+        let doc = JsonValue::parse(&format!("{{{}}}", m.to_json_body())).unwrap();
+        assert_eq!(doc.get("group_commit_batches").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            doc.get("snapshot_fallback_loads").unwrap().as_u64(),
+            Some(1)
+        );
+        assert!(doc.get("ingest_background_refreshes").is_none());
     }
 
     #[test]

@@ -21,11 +21,17 @@
 //!               ["telemetry": {…QueryTelemetry…}] } "\n"
 //!           | { "id": u64|null, "ok": false,
 //!               "error": { "kind": kind, "message": string,
-//!                          ["retry_after_micros": u64] } } "\n"
+//!                          ["retry_after_micros": u64],
+//!                          ["fault_class": string], ["read_only": true] } } "\n"
 //! kind     := "bad_request" | "overloaded" | "shutting_down"
 //!           | "budget_exhausted" | "labeler_unavailable"
 //!           | "ingest_rejected" | "internal"
 //! ```
+//!
+//! **Storage faults:** when the server's disk rejects writes, `ingest`
+//! errors carry `"fault_class":"storage"` and, once the index has entered
+//! read-only degradation, `"read_only":true`. Both fields are omitted on
+//! every non-storage error, keeping fault-free wire output byte-identical.
 //!
 //! **Streaming ingest:** `ingest` appends a batch of new records to the
 //! routed index: `"rows"` is an array of feature rows (arrays of numbers);
@@ -675,6 +681,22 @@ pub fn err_response_with_retry(
     message: &str,
     retry_after_micros: Option<u64>,
 ) -> String {
+    err_response_full(id, kind, message, retry_after_micros, None, false)
+}
+
+/// The full error-response builder: additionally carries the fault
+/// taxonomy of storage failures. `fault_class` names the failing subsystem
+/// (`"storage"` for disk faults) and `read_only` marks that the routed
+/// index has entered read-only degradation. Both are omitted when absent /
+/// false, so every pre-existing error stays byte-identical on the wire.
+pub fn err_response_full(
+    id: Option<u64>,
+    kind: ErrorKind,
+    message: &str,
+    retry_after_micros: Option<u64>,
+    fault_class: Option<&str>,
+    read_only: bool,
+) -> String {
     let mut out = String::from("{\"id\":");
     match id {
         Some(id) => out.push_str(&id.to_string()),
@@ -688,6 +710,14 @@ pub fn err_response_with_retry(
     if let Some(micros) = retry_after_micros {
         out.push_str(",\"retry_after_micros\":");
         out.push_str(&micros.to_string());
+    }
+    if let Some(class) = fault_class {
+        out.push_str(",\"fault_class\":\"");
+        push_escaped(&mut out, class);
+        out.push('"');
+    }
+    if read_only {
+        out.push_str(",\"read_only\":true");
     }
     out.push_str("}}");
     out
@@ -715,6 +745,12 @@ pub struct Reply {
     /// Server backoff hint (`labeler_unavailable` errors): microseconds
     /// until the breaker allows its next probe.
     pub retry_after_micros: Option<u64>,
+    /// Failing subsystem on typed faults (`"storage"` for disk failures);
+    /// absent on non-fault errors.
+    pub fault_class: Option<String>,
+    /// Whether the routed index has entered read-only degradation (storage
+    /// faults only; `false` when the field is absent).
+    pub read_only: bool,
 }
 
 impl Reply {
@@ -748,6 +784,16 @@ impl Reply {
                 .get("error")
                 .and_then(|e| e.get("retry_after_micros"))
                 .and_then(JsonValue::as_u64),
+            fault_class: v
+                .get("error")
+                .and_then(|e| e.get("fault_class"))
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            read_only: v
+                .get("error")
+                .and_then(|e| e.get("read_only"))
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
         })
     }
 }

@@ -22,7 +22,10 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock, TryLockError};
+
+use tasti_ingest::Vfs;
 
 use tasti_core::crack::crack_from_labeler_audited;
 use tasti_core::index::{AppendError, CrackReport, TastiIndex};
@@ -96,10 +99,14 @@ fn anchor_gauge(index: &TastiIndex) -> DriftGauge {
 }
 
 /// The index-side work of one ingest batch: append, watermark, drift
-/// observation, and (past the threshold) the full assignment refresh.
-/// Shared by [`IndexEntry::apply_ingest`]'s in-place and clone-and-swap
-/// paths. Returns the assigned id range, the drift reading that was
-/// compared against the threshold, and the refresh stats when one ran.
+/// observation, and (past the threshold) the drift escalation. Shared by
+/// [`IndexEntry::apply_ingest`]'s in-place and clone-and-swap paths.
+/// `inline_refresh` decides what an escalation *does*: replay runs the
+/// full assignment refresh right here (startup has no request path to
+/// protect), the live path only reports it so the serving layer can
+/// schedule the refresh on its background maintenance thread. Returns the
+/// assigned id range, the drift reading compared against the threshold,
+/// whether it escalated, and the refresh stats when one ran inline.
 fn ingest_into(
     idx: &mut TastiIndex,
     gauge: &mut DriftGauge,
@@ -107,7 +114,8 @@ fn ingest_into(
     embedded: bool,
     seq: u64,
     drift_threshold: f64,
-) -> Result<(std::ops::Range<usize>, f64, Option<AssignStats>), AppendError> {
+    inline_refresh: bool,
+) -> Result<(std::ops::Range<usize>, f64, bool, Option<AssignStats>), AppendError> {
     let range = idx.try_append_rows(rows, embedded)?;
     idx.set_ingest_watermark(seq);
     for r in range.clone() {
@@ -115,14 +123,15 @@ fn ingest_into(
         gauge.observe(nb.rep as usize, f64::from(nb.dist));
     }
     let drift = gauge.drift();
-    let assign = if drift > drift_threshold && !range.is_empty() {
+    let escalated = drift > drift_threshold && !range.is_empty();
+    let assign = if escalated && inline_refresh {
         let stats = idx.refresh_assignment();
         *gauge = anchor_gauge(idx);
         Some(stats)
     } else {
         None
     };
-    Ok((range, drift, assign))
+    Ok((range, drift, escalated, assign))
 }
 
 /// Per-entry streaming-ingest state: the drift gauge (anchored lazily on
@@ -146,9 +155,16 @@ pub struct IngestOutcome {
     pub added: usize,
     /// Total records in the index after the batch.
     pub total_records: usize,
-    /// Whether drift crossed the threshold and the rep assignment was
-    /// refreshed from scratch.
+    /// Whether drift crossed the threshold. During replay the rep
+    /// assignment was refreshed inline; on the live path the refresh is
+    /// the serving layer's to schedule (see
+    /// [`IndexEntry::schedule_refresh`]), keeping it off the request path.
     pub escalated: bool,
+    /// True when this batch's escalation newly claimed the background
+    /// refresh slot — the serving layer must run
+    /// [`IndexEntry::run_scheduled_refresh`] (escalations firing while a
+    /// refresh is already pending coalesce and leave this false).
+    pub refresh_scheduled: bool,
     /// The drift-gauge reading right after the batch folded in (pre-reset
     /// when it escalated — the value that tripped the threshold).
     pub drift: f64,
@@ -174,6 +190,10 @@ pub struct IndexEntry<L: FallibleTargetLabeler> {
     /// Streaming-ingest drift gauge + telemetry. Locked after
     /// `maintenance` (ingest) or alone (telemetry reads).
     ingest: Mutex<IngestState>,
+    /// Set while a drift-escalated assignment refresh is scheduled but not
+    /// yet completed — deduplicates escalations that fire while the
+    /// background refresh is still queued or running.
+    refresh_pending: AtomicBool,
     /// Where the `snapshot` op persists this entry. For loaded entries this
     /// defaults to the path the snapshot came from.
     pub snapshot_path: Option<PathBuf>,
@@ -201,6 +221,7 @@ impl<L: FallibleTargetLabeler> IndexEntry<L> {
             metrics: ServeMetrics::new(),
             maintenance: Mutex::new(()),
             ingest: Mutex::new(IngestState::default()),
+            refresh_pending: AtomicBool::new(false),
             snapshot_path,
         }
     }
@@ -263,11 +284,12 @@ impl<L: FallibleTargetLabeler> IndexEntry<L> {
     }
 
     /// Durably-logged ingest, index side: appends `rows` to this entry's
-    /// index, feeds the drift gauge, and escalates to a full assignment
-    /// refresh when drift crosses `drift_threshold`. `seq` is the batch's
-    /// segment-log sequence — it becomes the index's ingest watermark, and
-    /// a frame at or below the current watermark is skipped
-    /// (`applied: false`), which is what makes startup replay idempotent.
+    /// index, feeds the drift gauge, and escalates when drift crosses
+    /// `drift_threshold` — inline during replay, reported for background
+    /// scheduling on the live path. `seq` is the batch's segment-log
+    /// sequence — it becomes the index's ingest watermark, and a frame at
+    /// or below the current watermark is skipped (`applied: false`), which
+    /// is what makes startup replay idempotent.
     ///
     /// Takes the maintenance lock *blocking* (unlike cracking, ingest must
     /// never be dropped) and mutates a clone off-lock unless no reader
@@ -290,6 +312,7 @@ impl<L: FallibleTargetLabeler> IndexEntry<L> {
                 added: 0,
                 total_records: slot.n_records(),
                 escalated: false,
+                refresh_scheduled: false,
                 drift: 0.0,
             });
         }
@@ -300,29 +323,43 @@ impl<L: FallibleTargetLabeler> IndexEntry<L> {
             st.gauge = Some(anchor_gauge(&slot));
         }
         let gauge = st.gauge.as_mut().expect("anchored above");
+        // Replay refreshes inline (startup has no request path to keep
+        // fast); live escalations are handed to the background thread.
+        let inline = replay;
         // Fast path: no in-flight query holds the index — mutate in place
         // under the write lock (appends are incremental, O(batch)).
         // Otherwise clone off-lock and swap, like cracking.
-        let (range, drift, assign) = match Arc::get_mut(&mut slot) {
-            Some(idx) => ingest_into(idx, gauge, rows, embedded, seq, drift_threshold)?,
+        let (range, drift, escalated, assign) = match Arc::get_mut(&mut slot) {
+            Some(idx) => ingest_into(idx, gauge, rows, embedded, seq, drift_threshold, inline)?,
             None => {
                 drop(slot);
                 let snapshot = self.index();
                 let mut working = (*snapshot).clone();
                 drop(snapshot);
-                let out = ingest_into(&mut working, gauge, rows, embedded, seq, drift_threshold)?;
+                let out = ingest_into(
+                    &mut working,
+                    gauge,
+                    rows,
+                    embedded,
+                    seq,
+                    drift_threshold,
+                    inline,
+                )?;
                 *self.index.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(working);
                 out
             }
         };
-        let escalated = assign.is_some();
         st.telemetry.records_ingested += range.len() as u64;
         if replay {
             st.telemetry.replayed_frames += 1;
         } else {
             st.telemetry.batches += 1;
         }
-        if escalated {
+        // Live escalations coalesce onto one pending background refresh;
+        // the counter ticks per refresh initiated, not per batch that saw
+        // drift above threshold while one was already queued.
+        let refresh_scheduled = escalated && !inline && self.schedule_refresh();
+        if (escalated && inline) || refresh_scheduled {
             st.telemetry.escalations += 1;
         }
         if let Some(stats) = &assign {
@@ -336,8 +373,45 @@ impl<L: FallibleTargetLabeler> IndexEntry<L> {
             added: range.len(),
             total_records: range.end,
             escalated,
+            refresh_scheduled,
             drift,
         })
+    }
+
+    /// Marks a drift escalation as needing a background assignment
+    /// refresh. Returns `true` when this call claimed the slot (the caller
+    /// should spawn/queue [`IndexEntry::run_scheduled_refresh`]) and
+    /// `false` when a refresh is already pending — escalations arriving
+    /// while one is queued coalesce into it.
+    pub fn schedule_refresh(&self) -> bool {
+        self.refresh_pending
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Runs one scheduled drift escalation off the request path: clone the
+    /// index, refresh the rep assignment from scratch, swap, re-anchor the
+    /// drift gauge on the rebuilt structure. Serialized against ingest and
+    /// cracking by the maintenance lock. No-op when nothing was scheduled.
+    pub fn run_scheduled_refresh(&self) -> bool {
+        if !self.refresh_pending.load(Ordering::Acquire) {
+            return false;
+        }
+        let _guard = self.maintenance.lock().unwrap_or_else(|e| e.into_inner());
+        let snapshot = self.index();
+        let mut working = (*snapshot).clone();
+        drop(snapshot);
+        let stats = working.refresh_assignment();
+        let rebuilt = anchor_gauge(&working);
+        *self.index.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(working);
+        let mut st = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        st.gauge = Some(rebuilt);
+        st.telemetry.background_refreshes += 1;
+        st.telemetry.last_assign = Some(assign_telemetry(&stats));
+        st.telemetry.drift = 0.0;
+        drop(st);
+        self.refresh_pending.store(false, Ordering::Release);
+        true
     }
 
     /// A point-in-time copy of this entry's ingest telemetry with the
@@ -353,13 +427,18 @@ impl<L: FallibleTargetLabeler> IndexEntry<L> {
     }
 
     /// Persists this entry's current index to `path` (atomic temp-file +
-    /// rename via `persist::save`). Returns `(records, reps, watermark)`
-    /// of the saved snapshot — the watermark is what segment-log
-    /// compaction keys on; bumps this entry's snapshot counters either
-    /// way.
-    pub fn snapshot_to(&self, path: &std::path::Path) -> Result<(usize, usize, u64), String> {
+    /// rename via `persist::save_with_vfs`, through the service's storage
+    /// seam so disk faults are injectable). Returns
+    /// `(records, reps, watermark)` of the saved snapshot — the watermark
+    /// is what segment-log compaction keys on; bumps this entry's snapshot
+    /// counters either way.
+    pub fn snapshot_to(
+        &self,
+        path: &std::path::Path,
+        vfs: &dyn Vfs,
+    ) -> Result<(usize, usize, u64), String> {
         let idx = self.index();
-        match persist::save(&idx, path) {
+        match persist::save_with_vfs(&idx, path, vfs) {
             Ok(()) => {
                 self.metrics.snapshots.incr();
                 Ok((idx.n_records(), idx.reps().len(), idx.ingest_watermark()))

@@ -171,6 +171,9 @@ impl<L: FallibleTargetLabeler + 'static> Server<L> {
             #[cfg(target_os = "linux")]
             CoreHandle::Evented(core) => core.join_threads(),
         }
+        // Background drift-escalation workers finish first so the final
+        // crack and the shutdown snapshot see the refreshed assignment.
+        self.service.join_background_refreshes();
         let reps_added = self.service.crack_pending();
         let config = self.service.config();
         let mut snapshot_error = None;
@@ -324,7 +327,7 @@ fn begin_shutdown(shared: &Shared) {
     let _ = TcpStream::connect(shared.wake_addr);
 }
 
-fn worker_loop<L: FallibleTargetLabeler>(shared: &Shared, service: &TastiService<L>) {
+fn worker_loop<L: FallibleTargetLabeler + 'static>(shared: &Shared, service: &TastiService<L>) {
     loop {
         let conn = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -370,7 +373,7 @@ enum Flow {
 
 /// Parses and answers one request line on the threaded core. Shared by
 /// the steady-state loop and the EOF trailing-line path.
-fn respond<L: FallibleTargetLabeler>(
+fn respond<L: FallibleTargetLabeler + 'static>(
     shared: &Shared,
     service: &TastiService<L>,
     writer: &mut TcpStream,
@@ -411,7 +414,7 @@ fn respond<L: FallibleTargetLabeler>(
 /// Bytes accumulate in a [`LineBuffer`], never in `read_line`'s string:
 /// a request line straddling the idle-poll timeout survives intact, and a
 /// final unterminated line at EOF is answered instead of discarded.
-fn serve_connection<L: FallibleTargetLabeler>(
+fn serve_connection<L: FallibleTargetLabeler + 'static>(
     shared: &Shared,
     service: &TastiService<L>,
     conn: TcpStream,

@@ -23,7 +23,9 @@
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use tasti_core::index::TastiIndex;
 use tasti_core::persist;
@@ -43,9 +45,7 @@ use tasti_query::{
 
 use crate::config::ServeConfig;
 use crate::metrics::ServeMetrics;
-use crate::proto::{
-    err_response_with_retry, ok_response, ok_response_routed, ErrorKind, Op, Request,
-};
+use crate::proto::{err_response_full, ok_response, ok_response_routed, ErrorKind, Op, Request};
 use crate::registry::{IndexEntry, IndexRegistry};
 
 /// Default oracle match threshold: a record matches when its oracle score
@@ -61,11 +61,15 @@ pub const DEFAULT_INDEX_NAME: &str = "default";
 pub type LabelerFactory<L> = Box<dyn Fn(&str) -> MeteredLabeler<L> + Send + Sync>;
 
 /// A typed request failure: the wire error kind, its message, and (for
-/// `labeler_unavailable`) the breaker's backoff hint.
+/// `labeler_unavailable`) the breaker's backoff hint. Storage faults
+/// additionally carry the `"storage"` fault class and, once the index has
+/// degraded, the read-only marker.
 struct QueryError {
     kind: ErrorKind,
     message: String,
     retry_after_micros: Option<u64>,
+    fault_class: Option<&'static str>,
+    read_only: bool,
 }
 
 impl QueryError {
@@ -74,11 +78,21 @@ impl QueryError {
             kind,
             message: message.into(),
             retry_after_micros: None,
+            fault_class: None,
+            read_only: false,
         }
     }
 
     fn with_retry(mut self, retry_after_micros: Option<u64>) -> Self {
         self.retry_after_micros = retry_after_micros;
+        self
+    }
+
+    /// Tags the error with the `storage` fault class; `read_only` marks
+    /// that the service has entered read-only degradation.
+    fn storage(mut self, read_only: bool) -> Self {
+        self.fault_class = Some("storage");
+        self.read_only = read_only;
         self
     }
 }
@@ -111,7 +125,33 @@ struct IngestLogState {
     appended: BTreeMap<String, u64>,
     persisted: BTreeMap<String, u64>,
     replay: ReplaySummary,
+    /// `Some(reason)` once a storage fault (failed append or fsync) has
+    /// degraded ingest to read-only: queries keep serving, every further
+    /// `ingest` is rejected with the typed `storage` fault class. Cleared
+    /// only by restart — after a failed fsync the kernel may have dropped
+    /// dirty pages, so no in-process retry can re-establish the
+    /// durability contract (fsyncgate).
+    read_only: Option<String>,
+    /// True while one request is running the group-commit fsync off-lock;
+    /// batches that append meanwhile wait on the service condvar and share
+    /// that fsync (or the next one) instead of issuing their own.
+    sync_in_flight: bool,
 }
+
+/// Exponential snapshot retry backoff after persist failures (see
+/// [`TastiService::handle`]'s `snapshot` op): a failed snapshot opens a
+/// window in which further attempts are rejected with a `retry_after`
+/// hint, doubling per consecutive failure.
+#[derive(Default)]
+struct SnapshotBackoff {
+    consecutive_failures: u32,
+    not_before: Option<Instant>,
+}
+
+/// First snapshot retry window; doubles per consecutive failure.
+const SNAPSHOT_BACKOFF_BASE: Duration = Duration::from_millis(50);
+/// Ceiling for the snapshot retry window.
+const SNAPSHOT_BACKOFF_CAP: Duration = Duration::from_secs(5);
 
 /// Unpacks a fault-aware query outcome into the result plus the fault that
 /// degraded it (if any).
@@ -128,17 +168,26 @@ fn split_outcome<R>(out: QueryOutcome<R>) -> (R, Option<LabelerFault>) {
 pub struct TastiService<L: FallibleTargetLabeler> {
     registry: IndexRegistry<L>,
     /// Service-wide aggregate; each entry additionally records into its own
-    /// [`ServeMetrics`].
-    metrics: ServeMetrics,
+    /// [`ServeMetrics`]. `Arc`ed so background maintenance threads can
+    /// keep counting after `handle` returns.
+    metrics: Arc<ServeMetrics>,
     config: ServeConfig,
     factory: Option<LabelerFactory<L>>,
     /// Durable ingest log; `None` until [`TastiService::open_ingest`] runs
     /// (which needs `config.ingest_dir`). Locked briefly: an `ingest`
-    /// request holds it only for the append, never across index fold-in.
+    /// request holds it only for the append, never across index fold-in
+    /// and never across the group-commit fsync.
     ingest: Mutex<Option<IngestLogState>>,
+    /// Wakes batches waiting for an in-flight group-commit fsync to
+    /// settle (paired with the `ingest` mutex).
+    ingest_cv: Condvar,
+    /// Snapshot retry state (storage fault tolerance).
+    snapshot_backoff: Mutex<SnapshotBackoff>,
+    /// Background drift-escalation workers, joined at graceful shutdown.
+    refresh_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
-impl<L: FallibleTargetLabeler> TastiService<L> {
+impl<L: FallibleTargetLabeler + 'static> TastiService<L> {
     /// Wraps an index and a labeler into a single-index service (the index
     /// becomes the registry's default entry). A `label_budget` in the
     /// config overrides the labeler's own budget. When `config.ingest_dir`
@@ -192,10 +241,13 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         );
         Self {
             registry: IndexRegistry::new(default),
-            metrics: ServeMetrics::new(),
+            metrics: Arc::new(ServeMetrics::new()),
             config,
             factory,
             ingest: Mutex::new(None),
+            ingest_cv: Condvar::new(),
+            snapshot_backoff: Mutex::new(SnapshotBackoff::default()),
+            refresh_threads: Mutex::new(Vec::new()),
         }
     }
 
@@ -217,8 +269,12 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         if guard.is_some() {
             return Err("the ingest log is already open".to_string());
         }
-        let (log, frames, report) = SegmentLog::open(dir, LogConfig::default())
-            .map_err(|e| format!("failed to open ingest log at {}: {e}", dir.display()))?;
+        let (log, frames, report) = SegmentLog::open_with_vfs(
+            dir,
+            LogConfig::default(),
+            Arc::clone(&self.config.storage_vfs),
+        )
+        .map_err(|e| format!("failed to open ingest log at {}: {e}", dir.display()))?;
         let mut summary = ReplaySummary {
             frames: frames.len(),
             truncated_bytes: report.truncated_bytes,
@@ -263,6 +319,8 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
             appended,
             persisted: BTreeMap::new(),
             replay: summary,
+            read_only: None,
+            sync_in_flight: false,
         });
         Ok(summary)
     }
@@ -297,7 +355,10 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
     }
 
     /// Loads an index snapshot from disk into the registry via the labeler
-    /// factory. Returns `(records, reps)` of the loaded index.
+    /// factory. Returns `(records, reps)` of the loaded index. A corrupt
+    /// snapshot with a rotated last-good (`.prev`) copy recovers to that
+    /// copy (ingest replay from its older watermark makes the fallback
+    /// lossless) and bumps `snapshot_fallback_loads`.
     fn load_index_from(
         &self,
         name: &str,
@@ -307,8 +368,12 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         let factory = self.factory.as_ref().ok_or_else(|| {
             "this server cannot load indexes at runtime (no labeler factory configured)".to_string()
         })?;
-        let index = persist::load(path)
+        let report = persist::load_with_fallback_vfs(path, &*self.config.storage_vfs)
             .map_err(|e| format!("failed to load index '{name}' from {}: {e}", path.display()))?;
+        if report.fallback.is_some() {
+            self.metrics.snapshot_fallback_loads.incr();
+        }
+        let index = report.index;
         let shape = (index.n_records(), index.reps().len());
         self.registry.insert(IndexEntry::new(
             name,
@@ -398,7 +463,14 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         let (line, ok) = match outcome {
             Ok(line) => (line, true),
             Err(e) => (
-                err_response_with_retry(Some(req.id), e.kind, &e.message, e.retry_after_micros),
+                err_response_full(
+                    Some(req.id),
+                    e.kind,
+                    &e.message,
+                    e.retry_after_micros,
+                    e.fault_class,
+                    e.read_only,
+                ),
                 false,
             ),
         };
@@ -746,33 +818,15 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         }
         drop(idx);
         let payload = encode_ingest_payload(&entry.name, embedded, rows);
-        // Hold the log lock only for the append — durability is serialized
-        // service-wide, index fold-in runs under the entry's own locks.
-        let seq = {
-            let mut guard = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
-            let Some(st) = guard.as_mut() else {
-                self.metrics.ingest_rejected.incr();
-                entry.metrics.ingest_rejected.incr();
-                return Err(QueryError::new(
-                    ErrorKind::IngestRejected,
-                    "this server runs without an ingest log (start with --ingest-dir)",
-                ));
-            };
-            match st.log.append(payload.as_bytes()) {
-                Ok(seq) => {
-                    st.appended.insert(entry.name.clone(), seq);
-                    seq
-                }
-                Err(e) => {
-                    self.metrics.ingest_rejected.incr();
-                    entry.metrics.ingest_rejected.incr();
-                    return Err(QueryError::new(
-                        ErrorKind::IngestRejected,
-                        format!("durable append failed ({e}); the batch is not acknowledged"),
-                    ));
-                }
-            }
-        };
+        // Durable append with group commit. The log lock is held for the
+        // append and the sync bookkeeping, never across the fsync itself:
+        // one batch (the leader) runs the fsync off-lock while batches
+        // appending meanwhile wait on the condvar and share its coverage —
+        // or the next fsync's. A failed append or fsync degrades the
+        // service to read-only (fsyncgate: after a failed fsync the
+        // kernel's dirty pages are gone, so the durability contract can
+        // only be re-established by restart + replay).
+        let seq = self.append_durable(entry, &payload)?;
         let out = entry
             .apply_ingest(rows, embedded, seq, self.config.drift_threshold, false)
             .map_err(|e| {
@@ -788,9 +842,10 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         entry.metrics.records_ingested.add(out.added as u64);
         self.metrics.ingest_batches.incr();
         entry.metrics.ingest_batches.incr();
-        if out.escalated {
+        if out.refresh_scheduled {
             self.metrics.ingest_escalations.incr();
             entry.metrics.ingest_escalations.incr();
+            self.spawn_background_refresh(&entry.name);
         }
         let mut body = String::new();
         push_int(&mut body, "ingested", out.added as u64);
@@ -798,7 +853,9 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         push_int(&mut body, "records", out.total_records as u64);
         push_int(&mut body, "seq", seq);
         if out.escalated {
-            push_bool(&mut body, "escalated", true);
+            // The assignment refresh runs off the request path; the reply
+            // reports that it was handed to the maintenance thread.
+            body.push_str("\"escalated\":\"scheduled\",");
             push_num(&mut body, "drift", out.drift);
         }
         body.pop();
@@ -808,6 +865,205 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
             None,
             req.index.as_deref(),
         ))
+    }
+
+    /// Durably appends one encoded batch to the segment log, with group
+    /// commit across concurrent batches. Returns the frame's sequence only
+    /// once an fsync covers it — the ack promise. On any storage failure
+    /// the service enters read-only degradation and the batch is rejected
+    /// un-acknowledged with the typed `storage` fault class.
+    fn append_durable(&self, entry: &IndexEntry<L>, payload: &str) -> Result<u64, QueryError> {
+        let reject = |message: String, read_only: bool| {
+            self.metrics.ingest_rejected.incr();
+            entry.metrics.ingest_rejected.incr();
+            Err(QueryError::new(ErrorKind::IngestRejected, message).storage(read_only))
+        };
+        let mut guard = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = {
+            let Some(st) = guard.as_mut() else {
+                self.metrics.ingest_rejected.incr();
+                entry.metrics.ingest_rejected.incr();
+                return Err(QueryError::new(
+                    ErrorKind::IngestRejected,
+                    "this server runs without an ingest log (start with --ingest-dir)",
+                ));
+            };
+            if let Some(reason) = &st.read_only {
+                return reject(
+                    format!("ingest is read-only after a storage fault ({reason}); the batch is not acknowledged"),
+                    true,
+                );
+            }
+            match st.log.append_unsynced(payload.as_bytes()) {
+                Ok(seq) => {
+                    st.appended.insert(entry.name.clone(), seq);
+                    seq
+                }
+                Err(e) => {
+                    st.read_only = Some(format!("durable append failed: {e}"));
+                    self.ingest_cv.notify_all();
+                    return reject(
+                        format!("durable append failed ({e}); the batch is not acknowledged and ingest is now read-only"),
+                        true,
+                    );
+                }
+            }
+        };
+        // Group-commit loop: ack as soon as any fsync covers `seq`. One
+        // waiter at a time leads the fsync off-lock; the rest wait on the
+        // condvar and share its result.
+        let mut led_a_sync = false;
+        loop {
+            let st = guard.as_mut().expect("ingest log cannot close mid-request");
+            if st.log.synced_seq() >= seq {
+                if !led_a_sync {
+                    // This batch was covered by an fsync another batch led.
+                    self.metrics.group_commit_batches.incr();
+                    entry.metrics.group_commit_batches.incr();
+                }
+                return Ok(seq);
+            }
+            if let Some(reason) = &st.read_only {
+                return reject(
+                    format!("fsync failed before the batch was durable ({reason}); the batch is not acknowledged and ingest is now read-only"),
+                    true,
+                );
+            }
+            if st.sync_in_flight {
+                guard = self
+                    .ingest_cv
+                    .wait(guard)
+                    .unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            // Become the leader for every unsynced frame so far.
+            let pending = match st.log.begin_sync() {
+                Ok(Some(p)) => p,
+                Ok(None) => {
+                    // Nothing left to sync, yet `seq` is not covered: the
+                    // frame was rolled back by a poison — a storage fault.
+                    let reason = "the segment holding the batch was poisoned".to_string();
+                    st.read_only = Some(reason.clone());
+                    self.ingest_cv.notify_all();
+                    return reject(
+                        format!(
+                            "{reason}; the batch is not acknowledged and ingest is now read-only"
+                        ),
+                        true,
+                    );
+                }
+                Err(e) => {
+                    let reason = format!("could not start the durability fsync: {e}");
+                    st.read_only = Some(reason.clone());
+                    self.ingest_cv.notify_all();
+                    return reject(
+                        format!(
+                            "{reason}; the batch is not acknowledged and ingest is now read-only"
+                        ),
+                        true,
+                    );
+                }
+            };
+            st.sync_in_flight = true;
+            drop(guard);
+            let result = pending.sync();
+            guard = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+            let st = guard.as_mut().expect("ingest log cannot close mid-request");
+            st.sync_in_flight = false;
+            match st.log.finish_sync(pending, result) {
+                Ok(_) => {
+                    led_a_sync = true;
+                    self.ingest_cv.notify_all();
+                    // Loop re-checks coverage (it must: an append racing
+                    // between begin_sync and our append is possible only
+                    // for *later* frames, but the check is the invariant).
+                }
+                Err(e) => {
+                    // finish_sync poisoned the open segment and rolled the
+                    // sequence counter back to the acknowledged prefix.
+                    st.read_only = Some(format!("fsync failed: {e}"));
+                    self.ingest_cv.notify_all();
+                    return reject(
+                        format!(
+                            "fsync failed ({e}); the open segment is poisoned, the batch is not \
+                             acknowledged, and ingest is now read-only"
+                        ),
+                        true,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Spawns the background worker for a newly scheduled drift
+    /// escalation ([`IndexEntry::run_scheduled_refresh`]). Joined at
+    /// graceful shutdown via
+    /// [`TastiService::join_background_refreshes`].
+    fn spawn_background_refresh(&self, name: &str) {
+        let Some(entry) = self.registry.get(Some(name)) else {
+            return;
+        };
+        let metrics = Arc::clone(&self.metrics);
+        let handle = std::thread::spawn(move || {
+            if entry.run_scheduled_refresh() {
+                metrics.ingest_background_refreshes.incr();
+                entry.metrics.ingest_background_refreshes.incr();
+            }
+        });
+        self.refresh_threads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+
+    /// Joins every background drift-escalation worker spawned so far.
+    /// Called during graceful shutdown so the final crack/snapshot sees
+    /// the refreshed assignment.
+    pub fn join_background_refreshes(&self) {
+        let handles: Vec<JoinHandle<()>> = self
+            .refresh_threads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// The `"storage"` section of `health`/`metrics`: poisoned segments,
+    /// sync failures, snapshot fallback loads, read-only state. `None`
+    /// until any storage fault has fired, so fault-free output stays
+    /// byte-identical to the pre-fault-model protocol.
+    fn storage_json(&self) -> Option<String> {
+        let (sync_failures, poisoned, read_only) = {
+            let guard = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+            match guard.as_ref() {
+                Some(st) => (
+                    st.log.sync_failures(),
+                    st.log.poisoned_segments(),
+                    st.read_only.clone(),
+                ),
+                None => (0, 0, None),
+            }
+        };
+        let fallback_loads = self.metrics.snapshot_fallback_loads.get();
+        if sync_failures == 0 && poisoned == 0 && read_only.is_none() && fallback_loads == 0 {
+            return None;
+        }
+        let mut out = String::from("\"storage\":{");
+        push_bool(&mut out, "read_only", read_only.is_some());
+        if let Some(reason) = &read_only {
+            out.push_str("\"reason\":\"");
+            push_escaped(&mut out, reason);
+            out.push_str("\",");
+        }
+        push_int(&mut out, "sync_failures", sync_failures);
+        push_int(&mut out, "poisoned_segments", poisoned);
+        push_int(&mut out, "snapshot_fallback_loads", fallback_loads);
+        out.pop();
+        out.push('}');
+        Some(out)
     }
 
     /// The `health` admin response: meter status plus the oracle path's
@@ -848,6 +1104,10 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
                 body.pop();
                 body.push('}');
             }
+        }
+        if let Some(s) = self.storage_json() {
+            body.push(',');
+            body.push_str(&s);
         }
         ok_response_routed(req.id, &body, None, req.index.as_deref())
     }
@@ -912,6 +1172,10 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
             }
             None => {
                 let mut body = self.metrics.to_json_body();
+                if let Some(s) = self.storage_json() {
+                    body.push(',');
+                    body.push_str(&s);
+                }
                 if self.registry.len() > 1 {
                     body.push_str(",\"indexes\":{");
                     for (i, e) in self.registry.entries().iter().enumerate() {
@@ -1014,9 +1278,37 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
                 "no snapshot path configured (start the server with --snapshot)",
             )
         })?;
-        match entry.snapshot_to(path) {
+        // Storage fault tolerance: after a failed persist, further
+        // attempts are held back by an exponential retry window so a dead
+        // disk is not hammered — the error carries the remaining wait.
+        {
+            let backoff = self
+                .snapshot_backoff
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(t) = backoff.not_before {
+                let now = Instant::now();
+                if now < t {
+                    let remaining = (t - now).as_micros() as u64;
+                    return Err(QueryError::new(
+                        ErrorKind::Internal,
+                        format!(
+                            "snapshot is backing off after {} consecutive persist failures",
+                            backoff.consecutive_failures
+                        ),
+                    )
+                    .with_retry(Some(remaining.max(1)))
+                    .storage(false));
+                }
+            }
+        }
+        match entry.snapshot_to(path, &*self.config.storage_vfs) {
             Ok((records, reps, watermark)) => {
                 self.metrics.snapshots.incr();
+                *self
+                    .snapshot_backoff
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner()) = SnapshotBackoff::default();
                 self.note_persisted(&entry.name, watermark);
                 let mut body = String::new();
                 body.push_str("\"path\":\"");
@@ -1034,7 +1326,17 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
             }
             Err(message) => {
                 self.metrics.snapshot_failures.incr();
-                Err(QueryError::new(ErrorKind::Internal, message))
+                let mut backoff = self
+                    .snapshot_backoff
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                backoff.consecutive_failures = backoff.consecutive_failures.saturating_add(1);
+                let exp = backoff.consecutive_failures.saturating_sub(1).min(16);
+                let window = SNAPSHOT_BACKOFF_BASE
+                    .saturating_mul(1u32 << exp)
+                    .min(SNAPSHOT_BACKOFF_CAP);
+                backoff.not_before = Some(Instant::now() + window);
+                Err(QueryError::new(ErrorKind::Internal, message).storage(false))
             }
         }
     }
@@ -1046,7 +1348,11 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
         &self,
         path: &std::path::Path,
     ) -> Result<(usize, usize), (ErrorKind, String)> {
-        match self.registry.default_entry().snapshot_to(path) {
+        match self
+            .registry
+            .default_entry()
+            .snapshot_to(path, &*self.config.storage_vfs)
+        {
             Ok((records, reps, watermark)) => {
                 self.metrics.snapshots.incr();
                 self.note_persisted(self.registry.default_name(), watermark);
@@ -1098,7 +1404,7 @@ impl<L: FallibleTargetLabeler> TastiService<L> {
     }
 }
 
-impl<L: FallibleTargetLabeler> std::fmt::Debug for TastiService<L> {
+impl<L: FallibleTargetLabeler + 'static> std::fmt::Debug for TastiService<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let idx = self.index();
         f.debug_struct("TastiService")

@@ -278,3 +278,38 @@ fn ingest_free_serving_emits_no_ingest_fields() {
         "per-entry metrics leaked ingest fields: {per_entry}"
     );
 }
+
+/// Drift escalation runs off the request path: the triggering reply
+/// reports `escalated: "scheduled"` without paying for the assignment
+/// refresh inline, and once the background workers are joined the
+/// completed refresh is visible in `ingest_background_refreshes`.
+#[test]
+fn drift_escalation_schedules_a_background_refresh() {
+    let dir = scratch("escalate");
+    let svc = service(ServeConfig {
+        ingest_dir: Some(dir.clone()),
+        drift_threshold: 0.05,
+        ..ServeConfig::default()
+    });
+    svc.open_ingest().expect("open log");
+
+    // A far-off-manifold row pushes the drift gauge over the threshold.
+    let reply = Reply::parse(&svc.handle(&ingest_req(vec![vec![5000.0]], true))).unwrap();
+    assert!(reply.ok, "{:?}", reply.error_message);
+    assert_eq!(
+        reply.result.get("escalated").and_then(JsonValue::as_str),
+        Some("scheduled"),
+        "escalation must be scheduled, not run inline"
+    );
+
+    svc.join_background_refreshes();
+
+    let metrics = Reply::parse(&svc.handle(&Request::new(Op::Metrics))).unwrap();
+    assert!(metrics.ok);
+    assert_eq!(
+        result_u64(&metrics, "ingest_background_refreshes"),
+        Some(1),
+        "the completed refresh must be counted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

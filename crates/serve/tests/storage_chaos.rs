@@ -1,0 +1,558 @@
+//! Storage fault tolerance, asserted over the wire: a scripted fsync
+//! failure must leave the batch un-acknowledged, degrade ingest to
+//! read-only with typed `storage` rejections while queries keep serving,
+//! and a restart must replay exactly the acknowledged prefix. Group
+//! commit is pinned deterministically with a blocking-sync VFS, and the
+//! fault-free paths are pinned byte-for-byte against the real filesystem.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use tasti_cluster::{Metric, MinKTable};
+use tasti_core::index::TastiIndex;
+use tasti_ingest::{FaultScript, FaultVfs, RealVfs, Vfs, VfsFile, VfsSyncHandle};
+use tasti_labeler::{
+    BatchTargetLabeler, Detection, LabelCost, LabelerOutput, MeteredLabeler, ObjectClass, RecordId,
+    Schema, TargetLabeler,
+};
+use tasti_nn::Matrix;
+use tasti_obs::json::JsonValue;
+use tasti_serve::{Client, Op, Reply, Request, ScoreSpec, ServeConfig, Server, TastiService};
+
+const N_RECORDS: usize = 120;
+
+fn frame(n_cars: usize) -> LabelerOutput {
+    LabelerOutput::Detections(
+        (0..n_cars)
+            .map(|i| Detection {
+                class: ObjectClass::Car,
+                x: 0.1 * (i + 1) as f32,
+                y: 0.5,
+                w: 0.1,
+                h: 0.1,
+            })
+            .collect(),
+    )
+}
+
+struct LineLabeler;
+
+impl TargetLabeler for LineLabeler {
+    fn label(&self, record: RecordId) -> LabelerOutput {
+        frame(usize::from(record >= N_RECORDS / 2))
+    }
+
+    fn invocation_cost(&self) -> LabelCost {
+        LabelCost {
+            seconds: 0.0,
+            dollars: 0.0,
+        }
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::object_detection()
+    }
+
+    fn name(&self) -> &str {
+        "line"
+    }
+}
+
+impl BatchTargetLabeler for LineLabeler {}
+
+/// A synthetic model-less index over 1-D embeddings on a line (the
+/// `ingest.rs` fixture).
+fn tiny_index() -> TastiIndex {
+    let embeddings = Matrix::from_fn(N_RECORDS, 1, |r, _| r as f32);
+    let reps: Vec<RecordId> = (0..N_RECORDS).step_by(20).collect();
+    let rep_outputs: Vec<LabelerOutput> = reps
+        .iter()
+        .map(|&r| frame(usize::from(r >= N_RECORDS / 2)))
+        .collect();
+    let rep_emb: Vec<f32> = reps.iter().map(|&r| r as f32).collect();
+    let mink = MinKTable::build(embeddings.as_slice(), &rep_emb, 1, 2, Metric::L2);
+    TastiIndex::new(embeddings, Metric::L2, 2, reps, rep_outputs, mink)
+}
+
+fn service(config: ServeConfig) -> TastiService<LineLabeler> {
+    TastiService::new(tiny_index(), MeteredLabeler::new(LineLabeler), config)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("tasti-storage-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ingest_req(rows: Vec<Vec<f32>>, embedded: bool) -> Request {
+    let mut req = Request::new(Op::Ingest);
+    req.rows = Some(rows);
+    req.embedded = Some(embedded);
+    req
+}
+
+fn result_u64(reply: &Reply, key: &str) -> Option<u64> {
+    reply.result.get(key).and_then(JsonValue::as_u64)
+}
+
+fn limit_req() -> Request {
+    let mut q = Request::new(Op::LimitQuery);
+    q.score = Some(ScoreSpec::HasClass(ObjectClass::Car));
+    q.k_matches = Some(2);
+    q
+}
+
+/// The headline chaos scenario, end to end over a real socket: fsync #2
+/// is scripted to fail, so batch 2 is never acknowledged, ingest turns
+/// read-only with typed rejections, queries keep answering, health
+/// exposes the storage section — and a restart on the clean filesystem
+/// replays exactly the acknowledged prefix (batch 1).
+#[test]
+fn fsync_failure_degrades_to_read_only_and_restart_replays_acked_prefix() {
+    let dir = scratch("fsync");
+    let config = ServeConfig {
+        ingest_dir: Some(dir.clone()),
+        storage_vfs: Arc::new(FaultVfs::scripted(
+            FaultScript::parse("sync:2=eio").expect("script"),
+        )),
+        ..ServeConfig::default()
+    };
+    let svc = service(config);
+    svc.open_ingest().expect("open log");
+    let server = Server::start(Arc::new(svc)).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Batch 1: fsync #1 succeeds — acknowledged.
+    let reply = client
+        .call(ingest_req(vec![vec![200.0]], true))
+        .expect("batch 1");
+    assert!(reply.ok, "{:?}", reply.error_message);
+    assert_eq!(result_u64(&reply, "seq"), Some(1));
+
+    // Batch 2: fsync #2 fails. The reply must be a typed storage
+    // rejection, explicit that the batch was NOT acknowledged.
+    let reply = client
+        .call(ingest_req(vec![vec![201.0], vec![202.0]], true))
+        .expect("batch 2 call");
+    assert!(!reply.ok);
+    assert_eq!(reply.error_kind.as_deref(), Some("ingest_rejected"));
+    assert_eq!(reply.fault_class.as_deref(), Some("storage"));
+    assert!(reply.read_only, "read-only degradation must be visible");
+    let msg = reply.error_message.expect("message");
+    assert!(msg.contains("not acknowledged"), "message: {msg}");
+
+    // Batch 3 arrives while read-only: same typed rejection.
+    let reply = client
+        .call(ingest_req(vec![vec![203.0]], true))
+        .expect("batch 3 call");
+    assert!(!reply.ok);
+    assert_eq!(reply.error_kind.as_deref(), Some("ingest_rejected"));
+    assert!(reply.read_only);
+
+    // Queries keep serving on the same connection.
+    let reply = client.call(limit_req()).expect("query under read-only");
+    assert!(reply.ok, "{:?}", reply.error_message);
+
+    // Health gains the storage section.
+    let reply = client.call(Request::new(Op::Health)).expect("health");
+    assert!(reply.ok);
+    let storage = reply.result.get("storage").expect("storage section");
+    assert_eq!(
+        storage.get("read_only").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        storage.get("sync_failures").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        storage.get("poisoned_segments").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+
+    // And the unrouted metrics dump carries it too, plus the rejections.
+    let reply = client.call(Request::new(Op::Metrics)).expect("metrics");
+    assert!(reply.ok);
+    assert!(reply.result.get("storage").is_some());
+    assert_eq!(result_u64(&reply, "ingest_rejected"), Some(2));
+
+    server.shutdown_and_join();
+
+    // Restart on the pristine filesystem: exactly the acked prefix
+    // (batch 1, one record) replays — batch 2's rows were never durable.
+    let svc = service(ServeConfig {
+        ingest_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let replay = svc.open_ingest().expect("reopen log");
+    assert_eq!(replay.frames, 1, "only the acked frame replays");
+    assert_eq!(replay.applied, 1);
+    assert_eq!(replay.records, 1);
+    assert_eq!(svc.index().n_records(), N_RECORDS + 1);
+    assert_eq!(svc.index().ingest_watermark(), 1);
+    // The restarted service accepts writes again (read-only does not
+    // survive into a fresh incarnation).
+    let reply = Reply::parse(&svc.handle(&ingest_req(vec![vec![201.0]], true))).unwrap();
+    assert!(reply.ok, "{:?}", reply.error_message);
+    assert_eq!(result_u64(&reply, "seq"), Some(2), "seq 2 is reused");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Blocking-sync VFS: makes the group-commit schedule deterministic.
+// ---------------------------------------------------------------------
+
+/// Shared gate: while closed, file fsyncs block; the test observes how
+/// many appends have landed and how many fsyncs ran.
+#[derive(Debug, Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+    writes: AtomicU64,
+    syncs: AtomicU64,
+}
+
+impl Gate {
+    fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A [`Vfs`] over the real filesystem whose file fsyncs block while the
+/// gate is closed (directory fsyncs pass through — only the group-commit
+/// window is being shaped).
+#[derive(Debug)]
+struct BlockingVfs {
+    inner: RealVfs,
+    gate: Arc<Gate>,
+}
+
+#[derive(Debug)]
+struct BlockingFile {
+    inner: Box<dyn VfsFile>,
+    gate: Arc<Gate>,
+}
+
+#[derive(Debug)]
+struct BlockingSync {
+    inner: Box<dyn VfsSyncHandle>,
+    gate: Arc<Gate>,
+}
+
+impl VfsSyncHandle for BlockingSync {
+    fn sync_data(&self) -> io::Result<()> {
+        self.gate.wait_open();
+        self.gate.syncs.fetch_add(1, Ordering::SeqCst);
+        self.inner.sync_data()
+    }
+}
+
+impl VfsFile for BlockingFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.inner.write_all(buf)?;
+        self.gate.writes.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.gate.wait_open();
+        self.gate.syncs.fetch_add(1, Ordering::SeqCst);
+        self.inner.sync_data()
+    }
+
+    fn sync_handle(&self) -> io::Result<Box<dyn VfsSyncHandle>> {
+        Ok(Box::new(BlockingSync {
+            inner: self.inner.sync_handle()?,
+            gate: Arc::clone(&self.gate),
+        }))
+    }
+}
+
+impl Vfs for BlockingVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        self.inner.list_dir(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn open_append(&self, path: &Path, create_new: bool) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(BlockingFile {
+            inner: self.inner.open_append(path, create_new)?,
+            gate: Arc::clone(&self.gate),
+        }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(BlockingFile {
+            inner: self.inner.create(path)?,
+            gate: Arc::clone(&self.gate),
+        }))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.inner.sync_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+/// Three concurrent batches, one blocked fsync: the first batch leads
+/// fsync #1 and blocks; batches 2 and 3 append meanwhile and wait. When
+/// the gate opens, fsync #1 covers batch 1, and a single fsync #2 covers
+/// batches 2 AND 3 — one of them is a group-commit follower. Every batch
+/// is acknowledged exactly once, with three file fsyncs never happening.
+#[test]
+fn concurrent_batches_share_one_fsync() {
+    let dir = scratch("group");
+    let gate = Arc::new(Gate::default());
+    let config = ServeConfig {
+        ingest_dir: Some(dir.clone()),
+        storage_vfs: Arc::new(BlockingVfs {
+            inner: RealVfs,
+            gate: Arc::clone(&gate),
+        }),
+        ..ServeConfig::default()
+    };
+    let svc = Arc::new(service(config));
+    svc.open_ingest().expect("open log");
+
+    let spawn_batch = |row: f32| {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            Reply::parse(&svc.handle(&ingest_req(vec![vec![row]], true))).unwrap()
+        })
+    };
+
+    // Batch 1 appends (write #1) and leads fsync #1, blocking on the gate.
+    let b1 = spawn_batch(200.0);
+    while gate.writes.load(Ordering::SeqCst) < 1 {
+        std::thread::yield_now();
+    }
+    // Batches 2 and 3 append behind the in-flight fsync and wait for a
+    // covering sync. Their appends are serialized by the ingest lock, so
+    // once both writes are visible, both are in the group-commit window.
+    let b2 = spawn_batch(201.0);
+    let b3 = spawn_batch(202.0);
+    while gate.writes.load(Ordering::SeqCst) < 3 {
+        std::thread::yield_now();
+    }
+
+    gate.open();
+    let replies = [b1, b2, b3].map(|h| h.join().expect("batch thread"));
+    for (i, reply) in replies.iter().enumerate() {
+        assert!(reply.ok, "batch {i}: {:?}", reply.error_message);
+    }
+    let mut seqs: Vec<u64> = replies
+        .iter()
+        .map(|r| result_u64(r, "seq").expect("seq"))
+        .collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, vec![1, 2, 3], "each batch acked exactly once");
+    assert!(
+        gate.syncs.load(Ordering::SeqCst) <= 2,
+        "3 batches needed at most 2 fsyncs, got {}",
+        gate.syncs.load(Ordering::SeqCst)
+    );
+
+    // The shared fsync is visible in the metrics: at least one batch was
+    // acknowledged by a sync it did not lead.
+    let line = svc.handle(&Request::new(Op::Metrics));
+    let reply = Reply::parse(&line).unwrap();
+    assert!(
+        result_u64(&reply, "group_commit_batches").unwrap_or(0) >= 1,
+        "metrics: {line}"
+    );
+
+    // All three batches are durable: a restart replays them.
+    drop(svc);
+    let svc = service(ServeConfig {
+        ingest_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let replay = svc.open_ingest().expect("reopen");
+    assert_eq!(replay.frames, 3);
+    assert_eq!(svc.index().n_records(), N_RECORDS + 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Byte-identity pin: with an empty fault script (and on the real
+/// filesystem), the ingest/health/metrics wire bytes are identical — no
+/// storage section, no fault fields, no behavioral difference.
+/// Masks wall-clock readings (labeler wall time, latency percentiles) so
+/// two otherwise byte-identical runs compare equal; everything else stays
+/// byte-for-byte.
+fn scrub_timing(line: &str) -> String {
+    const VOLATILE: [&str; 7] = [
+        "\"wall_seconds\":",
+        "\"min\":",
+        "\"max\":",
+        "\"mean\":",
+        "\"p50\":",
+        "\"p90\":",
+        "\"p99\":",
+    ];
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        out.push(bytes[i] as char);
+        i += 1;
+        if VOLATILE.iter().any(|k| out.ends_with(k)) {
+            while i < bytes.len()
+                && matches!(bytes[i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+            {
+                i += 1;
+            }
+            out.push('0');
+        }
+    }
+    out
+}
+
+#[test]
+fn fault_free_wire_output_is_byte_identical_to_real_vfs() {
+    let run = |tag: &str, vfs: Arc<dyn Vfs>| -> Vec<String> {
+        let dir = scratch(tag);
+        let svc = service(ServeConfig {
+            ingest_dir: Some(dir.clone()),
+            storage_vfs: vfs,
+            ..ServeConfig::default()
+        });
+        svc.open_ingest().expect("open log");
+        let out = vec![
+            svc.handle(&ingest_req(vec![vec![300.0], vec![301.0]], true)),
+            svc.handle(&limit_req()),
+            svc.handle(&Request::new(Op::Health)),
+            svc.handle(&Request::new(Op::Metrics)),
+        ];
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    };
+
+    let real: Vec<String> = run("ident-real", Arc::new(RealVfs))
+        .iter()
+        .map(|l| scrub_timing(l))
+        .collect();
+    let empty_script: Vec<String> = run(
+        "ident-fault",
+        Arc::new(FaultVfs::scripted(FaultScript::default())),
+    )
+    .iter()
+    .map(|l| scrub_timing(l))
+    .collect();
+    assert_eq!(real, empty_script, "empty fault script must be invisible");
+    for line in &real {
+        assert!(!line.contains("\"storage\""), "no storage section: {line}");
+        assert!(!line.contains("fault_class"), "no fault class: {line}");
+        assert!(!line.contains("read_only"), "no read-only flag: {line}");
+    }
+}
+
+/// ENOSPC on the append write itself (not the fsync) is the same typed
+/// degradation: rejected un-acked, read-only, queries alive.
+#[test]
+fn write_failure_is_typed_and_un_acked() {
+    let dir = scratch("enospc");
+    let svc = service(ServeConfig {
+        ingest_dir: Some(dir.clone()),
+        storage_vfs: Arc::new(FaultVfs::scripted(
+            FaultScript::parse("write:2=enospc").expect("script"),
+        )),
+        ..ServeConfig::default()
+    });
+    svc.open_ingest().expect("open log");
+
+    let reply = Reply::parse(&svc.handle(&ingest_req(vec![vec![210.0]], true))).unwrap();
+    assert!(reply.ok, "{:?}", reply.error_message);
+
+    let reply = Reply::parse(&svc.handle(&ingest_req(vec![vec![211.0]], true))).unwrap();
+    assert!(!reply.ok);
+    assert_eq!(reply.error_kind.as_deref(), Some("ingest_rejected"));
+    assert_eq!(reply.fault_class.as_deref(), Some("storage"));
+    assert!(reply.read_only);
+
+    let reply = Reply::parse(&svc.handle(&limit_req())).unwrap();
+    assert!(reply.ok, "queries must survive: {:?}", reply.error_message);
+
+    // Only batch 1 replays.
+    drop(svc);
+    let svc = service(ServeConfig {
+        ingest_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let replay = svc.open_ingest().expect("reopen");
+    assert_eq!(replay.frames, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failing snapshot write returns a typed storage-classed error, backs
+/// off subsequent attempts (visible `retry_after_micros`), and recovers
+/// once the disk heals.
+#[test]
+fn snapshot_failure_backs_off_and_recovers() {
+    let dir = scratch("snapback");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("snap.json");
+    // Snapshot save path: create (open #? — `create` op) then sync.
+    // Script the first snapshot *file* sync to fail; the second snapshot
+    // attempt (after backoff expires) succeeds.
+    let svc = service(ServeConfig {
+        snapshot_path: Some(snap.clone()),
+        storage_vfs: Arc::new(FaultVfs::scripted(
+            FaultScript::parse("sync:1=eio").expect("script"),
+        )),
+        ..ServeConfig::default()
+    });
+
+    let reply = Reply::parse(&svc.handle(&Request::new(Op::Snapshot))).unwrap();
+    assert!(!reply.ok, "first snapshot must fail");
+    assert_eq!(reply.error_kind.as_deref(), Some("internal"));
+    assert_eq!(reply.fault_class.as_deref(), Some("storage"));
+    assert!(!snap.exists(), "failed save must not install the snapshot");
+
+    // Immediately retrying hits the backoff window, also typed.
+    let reply = Reply::parse(&svc.handle(&Request::new(Op::Snapshot))).unwrap();
+    assert!(!reply.ok);
+    assert!(
+        reply.retry_after_micros.is_some(),
+        "backoff must tell the client when to retry"
+    );
+
+    // After the (50ms base) window the fault is spent and the save lands.
+    std::thread::sleep(std::time::Duration::from_millis(80));
+    let reply = Reply::parse(&svc.handle(&Request::new(Op::Snapshot))).unwrap();
+    assert!(reply.ok, "{:?}", reply.error_message);
+    assert!(snap.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

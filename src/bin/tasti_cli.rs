@@ -20,8 +20,8 @@ use tasti::index::persist;
 use tasti::prelude::*;
 use tasti::query::{StoppingRule, SupgConfig};
 use tasti::serve::{
-    Client, LabelerFactory, Op as ServeOp, Reply, Request as ServeRequest, ScoreSpec, ServeConfig,
-    ServeCore, Server, TastiService, DEFAULT_INDEX_NAME,
+    Client, FaultScript, FaultVfs, LabelerFactory, Op as ServeOp, Reply, Request as ServeRequest,
+    ScoreSpec, ServeConfig, ServeCore, Server, TastiService, Vfs, DEFAULT_INDEX_NAME,
 };
 use tasti_labeler::Schema;
 
@@ -95,6 +95,14 @@ struct ServeArgs {
     ingest_dir: Option<String>,
     /// Drift level at which ingest escalates to a full assignment refresh.
     drift_threshold: f64,
+    /// Scripted disk-fault injection for the storage layer (segment log +
+    /// snapshots): `op:nth=kind,...`. Absent (and rate 0) → real
+    /// filesystem.
+    storage_fault_script: Option<String>,
+    /// Seeded random disk-fault rate (0 = off), deterministic under
+    /// `storage_fault_seed`.
+    storage_fault_rate: f64,
+    storage_fault_seed: u64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -159,6 +167,8 @@ USAGE:
                   [--fault-transient R] [--fault-timeout R]
                   [--fault-corrupt R] [--fault-fatal R] [--fault-seed S]
                   [--ingest-dir DIR] [--drift-threshold T]
+                  [--storage-fault-script 'op:nth=kind,...']
+                  [--storage-fault-rate R] [--storage-fault-seed S]
   tasti_cli probe <agg|supg|supg-precision|limit|predicate|stats|metrics|health|index-list|index-load|index-unload|snapshot|shutdown|ingest>
                   --addr HOST:PORT [--index NAME] [--path FILE]
                   [--label-budget B] [--class car|bus] [--min-count K]
@@ -194,7 +204,17 @@ refresh past --drift-threshold). On restart the log replays, so an
 acknowledged batch survives kill -9. `probe ingest` regenerates --dataset
 with --n/--seed and sends feature rows [--offset, --offset+--count); serve
 accepts a --n larger than the index so ingested records keep oracle
-coverage.";
+coverage.
+
+serve --storage-fault-* flags inject deterministic *disk* faults under the
+segment log and snapshot writer (storage chaos testing). A script names
+exact operations ('sync:2=eio,write:1=short'; kinds eio, enospc, short,
+torn); a rate draws faults from a seeded schedule. After an fsync failure
+the open segment is poisoned, the batch is NOT acknowledged, and ingest
+degrades to read-only (typed ingest_rejected with read_only:true) while
+queries keep serving; `probe health` gains a storage section. A damaged
+snapshot falls back to its .prev last-good copy at startup and on
+index-load, with the gap replayed from the ingest log.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, Vec<String>>, String> {
     let mut flags: HashMap<String, Vec<String>> = HashMap::new();
@@ -383,6 +403,9 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 fault_seed: get(&flags, "fault-seed", Some(0x5EED))?,
                 ingest_dir: get_opt(&flags, "ingest-dir")?,
                 drift_threshold: get(&flags, "drift-threshold", Some(0.5))?,
+                storage_fault_script: get_opt(&flags, "storage-fault-script")?,
+                storage_fault_rate: get(&flags, "storage-fault-rate", Some(0.0))?,
+                storage_fault_seed: get(&flags, "storage-fault-seed", Some(0xD15C))?,
             }))
         }
         Some("probe") => {
@@ -673,7 +696,23 @@ fn run_query(a: &QueryArgs) -> Result<(), String> {
 
 fn run_serve(a: &ServeArgs) -> Result<(), String> {
     let dataset = load_dataset(&a.dataset, a.n, a.seed)?;
-    let index = persist::load(&a.index).map_err(|e| e.to_string())?;
+    let storage_vfs = storage_vfs_for(a)?;
+    // Startup load goes through the same fallback path the runtime
+    // `index_load` op uses: a damaged snapshot recovers to the `.prev`
+    // last-good copy (the ingest log replays the gap) instead of refusing
+    // to start.
+    let report =
+        persist::load_with_fallback_vfs(&a.index, &*storage_vfs).map_err(|e| e.to_string())?;
+    if let Some(fb) = &report.fallback {
+        println!(
+            "snapshot {} was unusable ({}); recovered from last-good copy {}",
+            a.index,
+            fb.detail,
+            fb.fallback_path.display()
+        );
+    }
+    let snapshot_fell_back = report.fallback.is_some();
+    let index = report.index;
     // With ingest enabled the dataset may be *larger* than the index —
     // the extra records are the oracle ground truth for rows ingested
     // later (and for replayed log frames). Without ingest the sizes must
@@ -711,6 +750,7 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
             .iter()
             .map(|(name, path)| (name.clone(), std::path::PathBuf::from(path)))
             .collect(),
+        storage_vfs,
         ..ServeConfig::default()
     };
     let any_fault = [
@@ -745,7 +785,7 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
                 plan.clone(),
             )))
         });
-        serve_until_drained(index, factory, config, a)
+        serve_until_drained(index, factory, config, a, snapshot_fell_back)
     } else {
         let factory: LabelerFactory<_> = Box::new(move |_name: &str| {
             MeteredLabeler::new(OracleLabeler::new(
@@ -755,8 +795,38 @@ fn run_serve(a: &ServeArgs) -> Result<(), String> {
                 "oracle",
             ))
         });
-        serve_until_drained(index, factory, config, a)
+        serve_until_drained(index, factory, config, a, snapshot_fell_back)
     }
+}
+
+/// Builds the filesystem seam for the storage layer from the
+/// `--storage-fault-*` flags: scripted faults, seeded random faults, or
+/// (by default) the real filesystem.
+fn storage_vfs_for(a: &ServeArgs) -> Result<Arc<dyn Vfs>, String> {
+    if let Some(text) = &a.storage_fault_script {
+        if a.storage_fault_rate > 0.0 {
+            return Err(
+                "--storage-fault-script and --storage-fault-rate are mutually exclusive"
+                    .to_string(),
+            );
+        }
+        let script =
+            FaultScript::parse(text).map_err(|e| format!("invalid --storage-fault-script: {e}"))?;
+        return Ok(Arc::new(FaultVfs::scripted(script)));
+    }
+    if a.storage_fault_rate > 0.0 {
+        if !(a.storage_fault_rate <= 1.0) {
+            return Err(format!(
+                "invalid --storage-fault-rate {} (expected 0..=1)",
+                a.storage_fault_rate
+            ));
+        }
+        return Ok(Arc::new(FaultVfs::seeded(
+            a.storage_fault_seed,
+            a.storage_fault_rate,
+        )));
+    }
+    Ok(ServeConfig::default().storage_vfs)
 }
 
 /// Starts the server over any (fallible) oracle stack and blocks until the
@@ -766,11 +836,17 @@ fn serve_until_drained<L: FallibleTargetLabeler + 'static>(
     factory: LabelerFactory<L>,
     config: ServeConfig,
     a: &ServeArgs,
+    snapshot_fell_back: bool,
 ) -> Result<(), String> {
     let n_reps = index.reps().len();
     let n_named = config.preload.len();
     let labeler = factory(DEFAULT_INDEX_NAME);
     let service = Arc::new(TastiService::with_factory(index, labeler, config, factory)?);
+    if snapshot_fell_back {
+        // The startup load happened before the service existed; record it
+        // so `snapshot_fallback_loads` reflects the recovery.
+        service.metrics().snapshot_fallback_loads.incr();
+    }
     if let Some(r) = service.ingest_replay() {
         println!(
             "ingest log: replayed {} frame(s) — {} applied ({} record(s)), {} already in \
@@ -1267,6 +1343,80 @@ mod tests {
             Command::Serve(a) => {
                 assert!(a.ingest_dir.is_none(), "ingest is opt-in");
                 assert!((a.drift_threshold - 0.5).abs() < 1e-12);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_storage_fault_flags() {
+        let cmd = parse(&s(&[
+            "serve",
+            "--index",
+            "x.json",
+            "--dataset",
+            "night-street",
+            "--n",
+            "500",
+            "--storage-fault-script",
+            "sync:2=eio,write:1=short",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(
+                    a.storage_fault_script.as_deref(),
+                    Some("sync:2=eio,write:1=short")
+                );
+                assert_eq!(a.storage_fault_rate, 0.0, "seeded faults default off");
+                // The script must survive parsing into an actual FaultVfs.
+                let vfs = storage_vfs_for(&a).unwrap();
+                assert!(format!("{vfs:?}").contains("FaultVfs"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&s(&[
+            "serve",
+            "--index",
+            "x.json",
+            "--dataset",
+            "night-street",
+            "--n",
+            "500",
+            "--storage-fault-rate",
+            "0.25",
+            "--storage-fault-seed",
+            "7",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert!((a.storage_fault_rate - 0.25).abs() < 1e-12);
+                assert_eq!(a.storage_fault_seed, 7);
+                let vfs = storage_vfs_for(&a).unwrap();
+                assert!(format!("{vfs:?}").contains("FaultVfs"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Default: the real filesystem, and a bad script is a parse error.
+        let cmd = parse(&s(&[
+            "serve",
+            "--index",
+            "x.json",
+            "--dataset",
+            "night-street",
+            "--n",
+            "500",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(mut a) => {
+                assert!(a.storage_fault_script.is_none());
+                let vfs = storage_vfs_for(&a).unwrap();
+                assert!(format!("{vfs:?}").contains("RealVfs"));
+                a.storage_fault_script = Some("nonsense".to_string());
+                let err = storage_vfs_for(&a).unwrap_err();
+                assert!(err.contains("storage-fault-script"), "got: {err}");
             }
             other => panic!("wrong parse: {other:?}"),
         }
